@@ -1,0 +1,83 @@
+package pak
+
+import (
+	"math/big"
+
+	"pak/internal/core"
+	"pak/internal/epistemic"
+	"pak/internal/logic"
+	"pak/internal/paper"
+)
+
+// Extended analysis surface: temporal fact operators, the Jeffrey
+// conditionalization view of Theorem 6.2, belief timelines, and the
+// protocol form of T-hat.
+
+// Temporal operators (see internal/logic for semantics).
+
+// AtTime lifts φ to the run-based fact "φ holds at time t of the run".
+func AtTime(t int, f Fact) Fact { return logic.AtTime(t, f) }
+
+// Once returns "φ held at some point up to now" (past-based if φ is).
+func Once(f Fact) Fact { return logic.Once(f) }
+
+// SoFar returns "φ held at every point up to now" (past-based if φ is).
+func SoFar(f Fact) Fact { return logic.SoFar(f) }
+
+// Eventually returns "φ holds now or later in the run".
+func Eventually(f Fact) Fact { return logic.Eventually(f) }
+
+// Henceforth returns "φ holds now and at every later point of the run".
+func Henceforth(f Fact) Fact { return logic.Henceforth(f) }
+
+// DoesAny returns the fact that agent currently performs one of actions.
+func DoesAny(agent string, actions ...string) Fact { return logic.DoesAny(agent, actions...) }
+
+// Jeffrey conditionalization (the executable proof of Theorem 6.2).
+type (
+	// JeffreyCell is one cell of the partition of R_α by acting state.
+	JeffreyCell = core.JeffreyCell
+	// JeffreyDecomposition is the full law-of-total-probability view of
+	// µ(φ@α | α), with per-cell weights and posteriors.
+	JeffreyDecomposition = core.JeffreyDecomposition
+	// TimelinePoint is one step of a belief timeline.
+	TimelinePoint = core.TimelinePoint
+	// RefrainReport is the result of Engine.RefrainAnalysis: the paper's
+	// Section 8 pruning insight evaluated from the original system.
+	RefrainReport = core.RefrainReport
+	// Audit is the one-call complete constraint analysis returned by
+	// Engine.AuditConstraint.
+	Audit = core.Audit
+)
+
+// Epistemic operators: beliefs and knowledge as facts, so they nest and
+// can serve as constraint conditions (they are past-based, hence
+// local-state independent by Lemma 4.3(b)).
+
+// Believes returns the fact B_i^p(φ): agent's degree of belief in φ is at
+// least p at the current point.
+func Believes(agent string, p *big.Rat, f Fact) Fact { return epistemic.Believes(agent, p, f) }
+
+// Knows returns the fact K_i(φ): agent knows φ at the current point.
+func Knows(agent string, f Fact) Fact { return epistemic.Knows(agent, f) }
+
+// EveryoneBelieves returns E_G^p(φ): every agent in the group p-believes φ.
+func EveryoneBelieves(agents []string, p *big.Rat, f Fact) Fact {
+	return epistemic.EveryoneBelieves(agents, p, f)
+}
+
+// MutualBelief returns the k-level iterated everyone-believes fact, the
+// syntactic approximation of common p-belief.
+func MutualBelief(agents []string, p *big.Rat, f Fact, k int) Fact {
+	return epistemic.MutualBelief(agents, p, f, k)
+}
+
+// BeliefDegree returns β_i(φ) at the point (r, t) of sys.
+func BeliefDegree(sys *System, agent string, f Fact, r RunID, t int) *big.Rat {
+	return epistemic.BeliefDegree(sys, agent, f, r, t)
+}
+
+// UnfoldThat unfolds the protocol form of the Figure 2 construction
+// T-hat(p, ε); it is semantically equivalent to That (the hand-built
+// tree), which the test suite verifies.
+func UnfoldThat(p, eps *big.Rat) (*System, error) { return paper.UnfoldThat(p, eps) }

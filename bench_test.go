@@ -1,0 +1,294 @@
+package pak_test
+
+// The benchmark harness: one benchmark per paper experiment (E1..E10, see
+// DESIGN.md's per-experiment index and EXPERIMENTS.md for the recorded
+// paper-vs-measured values), plus performance benchmarks characterizing
+// the engine itself. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// Every experiment benchmark also *verifies* its result on each iteration
+// (b.Fatal on mismatch), so the bench run doubles as a reproduction run.
+
+import (
+	"fmt"
+	"testing"
+
+	"pak"
+	"pak/internal/experiments"
+	"pak/internal/montecarlo"
+	"pak/internal/randsys"
+)
+
+// requireMatch runs one experiment and fails the benchmark if any row
+// diverges from the paper.
+func requireMatch(b *testing.B, build func() (experiments.Result, error)) {
+	b.Helper()
+	res, err := build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	if !res.AllMatch() {
+		for _, row := range res.Rows {
+			if !row.Match {
+				b.Fatalf("%s: %s: paper=%s measured=%s", res.ID, row.Quantity, row.Paper, row.Measured)
+			}
+		}
+	}
+}
+
+// BenchmarkE1FiringSquad regenerates Example 1's exact claims: the
+// constraint value 99/100, Alice's information states {1, 0, 99/100}, and
+// the threshold measures 991/1000 and 9/1000.
+func BenchmarkE1FiringSquad(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		requireMatch(b, experiments.E1FiringSquad)
+	}
+}
+
+// BenchmarkE2Figure1 regenerates the Figure 1 counterexamples (sufficiency
+// and expectation both fail without local-state independence).
+func BenchmarkE2Figure1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		requireMatch(b, experiments.E2Figure1)
+	}
+}
+
+// BenchmarkE3Theorem52Sweep regenerates the Figure 2 construction sweep:
+// µ = p while µ(β ≥ p | α) = ε and the non-revealing belief is
+// (p−ε)/(1−ε).
+func BenchmarkE3Theorem52Sweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		requireMatch(b, experiments.E3Theorem52)
+	}
+}
+
+// BenchmarkE4ExpectationTheorem machine-checks Theorem 6.2 on 25 random
+// systems per iteration, across the four (action × fact) modes.
+func BenchmarkE4ExpectationTheorem(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		requireMatch(b, func() (experiments.Result, error) {
+			return experiments.E4Expectation(25, int64(i)+1)
+		})
+	}
+}
+
+// BenchmarkE5PAKFrontier regenerates the Theorem 7.1 / Corollary 7.2
+// frontier on the T-hat family and FS.
+func BenchmarkE5PAKFrontier(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		requireMatch(b, experiments.E5PAKFrontier)
+	}
+}
+
+// BenchmarkE6ImprovedFS regenerates the Section 8 improvement
+// (99/100 → 990/991 ≈ 0.99899).
+func BenchmarkE6ImprovedFS(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		requireMatch(b, experiments.E6ImprovedFS)
+	}
+}
+
+// BenchmarkE7MonteCarloConvergence cross-validates the exact engine with
+// 30k samples per iteration (Hoeffding 99% CIs must contain the exact
+// values).
+func BenchmarkE7MonteCarloConvergence(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		requireMatch(b, func() (experiments.Result, error) {
+			return experiments.E7MonteCarlo(30_000, int64(i)+1)
+		})
+	}
+}
+
+// BenchmarkE8KoPLimit regenerates the degenerate-threshold (Knowledge of
+// Preconditions) limit on the lossless firing squad.
+func BenchmarkE8KoPLimit(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		requireMatch(b, experiments.E8KoPLimit)
+	}
+}
+
+// BenchmarkE9IndependenceLemma machine-checks Lemma 4.3 on 25 random
+// systems per iteration and re-detects the Figure 1 violation.
+func BenchmarkE9IndependenceLemma(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		requireMatch(b, func() (experiments.Result, error) {
+			return experiments.E9Independence(25, int64(i)+1)
+		})
+	}
+}
+
+// BenchmarkE10CommonBelief computes the Monderer–Samet common p-belief
+// fixed points on T-hat and FS.
+func BenchmarkE10CommonBelief(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		requireMatch(b, experiments.E10CommonBelief)
+	}
+}
+
+// BenchmarkE11CommonKnowledge contrasts common knowledge with common
+// p-belief on the lossy vs lossless firing squad (coordinated attack).
+func BenchmarkE11CommonKnowledge(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		requireMatch(b, experiments.E11CommonKnowledge)
+	}
+}
+
+// BenchmarkE12Martingale verifies the Bayesian belief martingale
+// (E[β at t] = prior) exactly on T-hat and FS.
+func BenchmarkE12Martingale(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		requireMatch(b, experiments.E12Martingale)
+	}
+}
+
+// BenchmarkE13LossSensitivity sweeps the loss probability and verifies the
+// closed forms 1−ℓ² and (1−ℓ²)/(1−ℓ²(1−ℓ)) exactly.
+func BenchmarkE13LossSensitivity(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		requireMatch(b, experiments.E13LossSensitivity)
+	}
+}
+
+// BenchmarkE14NSquad verifies the generalized n-agent closed forms.
+func BenchmarkE14NSquad(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		requireMatch(b, experiments.E14NSquad)
+	}
+}
+
+// --- Performance benchmarks ---
+
+// BenchmarkPerfUnfoldFiringSquad measures protocol unfolding (the paper's
+// Section 2.2 construction of a pps from a joint protocol).
+func BenchmarkPerfUnfoldFiringSquad(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := pak.FiringSquad(pak.Rat(1, 10), pak.FSOriginal); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPerfEngineQueries measures a full constraint analysis (µ, E[β],
+// independence, PAK) on the firing squad, engine construction included.
+func BenchmarkPerfEngineQueries(b *testing.B) {
+	sys, err := pak.FiringSquad(pak.Rat(1, 10), pak.FSOriginal)
+	if err != nil {
+		b.Fatal(err)
+	}
+	both := pak.And(pak.Does("Alice", "fire"), pak.Does("Bob", "fire"))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e := pak.NewEngine(sys)
+		if _, err := e.ConstraintProb(both, "Alice", "fire"); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := e.ExpectedBelief(both, "Alice", "fire"); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := e.CheckPAKSquare(both, "Alice", "fire", pak.Rat(1, 10)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPerfGenerateScale measures random-system generation and the
+// Theorem 6.2 check as the tree deepens.
+func BenchmarkPerfGenerateScale(b *testing.B) {
+	for _, depth := range []int{3, 5, 7} {
+		b.Run(fmt.Sprintf("depth=%d", depth), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				cfg := randsys.Default(int64(i) + 1)
+				cfg.Depth = depth
+				cfg.ActionTime = depth / 2
+				sys, err := randsys.Generate(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				e := pak.NewEngine(sys)
+				rep, err := e.CheckExpectation(pak.RandPastFact(sys, int64(i)), "a0", randsys.DesignatedAction)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !rep.Holds() {
+					b.Fatal("Theorem 6.2 violated")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkPerfMeasureQueries measures exact event-measure computation on
+// a generated system.
+func BenchmarkPerfMeasureQueries(b *testing.B) {
+	cfg := randsys.Default(7)
+	cfg.Depth = 6
+	cfg.ActionTime = 3
+	sys, err := randsys.Generate(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	full := sys.FullSet()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if got := sys.Measure(full); got.Sign() <= 0 {
+			b.Fatal("bad measure")
+		}
+	}
+}
+
+// BenchmarkPerfSampling measures run sampling throughput on the firing
+// squad system.
+func BenchmarkPerfSampling(b *testing.B) {
+	sys, err := pak.FiringSquad(pak.Rat(1, 10), pak.FSOriginal)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s := montecarlo.NewSampler(sys, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = s.SampleRun()
+	}
+}
+
+// BenchmarkPerfProtocolSim measures protocol-level simulation throughput
+// (no unfolding).
+func BenchmarkPerfProtocolSim(b *testing.B) {
+	m, err := pak.FiringSquadModel(pak.Rat(1, 10), pak.FSOriginal)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ps := montecarlo.NewProtocolSampler(m, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ps.Sample(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPerfNSquadScale measures unfolding + analysis of the n-agent
+// firing squad as the squad grows (tree size is exponential in n).
+func BenchmarkPerfNSquadScale(b *testing.B) {
+	for _, n := range []int{2, 3, 4} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				sys, err := pak.NFiringSquadSystem(n, pak.Rat(1, 10), false)
+				if err != nil {
+					b.Fatal(err)
+				}
+				e := pak.NewEngine(sys)
+				if _, err := e.ConstraintProb(pak.AllFire(n), "General", "fire"); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

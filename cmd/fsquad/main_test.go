@@ -1,0 +1,122 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunOriginal(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run(nil, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit %d: %s", code, stderr.String())
+	}
+	out := stdout.String()
+	for _, want := range []string{
+		"99/100",   // the headline constraint value
+		"991/1000", // threshold-met measure
+		"recv=Yes",
+		"recv=No",
+		"Theorem 6.2",
+		"holds",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+	if strings.Contains(out, "VIOLATED") {
+		t.Error("unexpected theorem violation")
+	}
+}
+
+func TestRunImproved(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-variant", "improved"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit %d: %s", code, stderr.String())
+	}
+	out := stdout.String()
+	if !strings.Contains(out, "990/991") {
+		t.Errorf("improved variant should report 990/991:\n%s", out)
+	}
+	// Alice no longer fires after 'No'.
+	if strings.Contains(out, "recv=No,end") {
+		t.Log("note: recv=No appears only in non-acting states")
+	}
+}
+
+func TestRunWithSamplesAndDump(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-samples", "20000", "-seed", "7", "-dump"}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, stderr.String())
+	}
+	out := stdout.String()
+	if !strings.Contains(out, "Monte-Carlo cross-check") {
+		t.Error("missing Monte-Carlo section")
+	}
+	if !strings.Contains(out, "true") {
+		t.Error("sampled estimate should contain the exact value")
+	}
+	if !strings.Contains(out, "λ") {
+		t.Error("missing dump")
+	}
+}
+
+func TestRunCustomLoss(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	// Perfect channel: µ = 1.
+	if code := run([]string{"-loss", "0"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit %d: %s", code, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "1.000000") {
+		t.Errorf("lossless channel should give µ = 1:\n%s", stdout.String())
+	}
+}
+
+func TestRunFlagErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		args []string
+	}{
+		{"bad loss", []string{"-loss", "zzz"}},
+		{"bad variant", []string{"-variant", "zzz"}},
+		{"bad flag", []string{"-nope"}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			var stdout, stderr bytes.Buffer
+			if code := run(tt.args, &stdout, &stderr); code != 2 {
+				t.Fatalf("exit = %d, want 2", code)
+			}
+		})
+	}
+}
+
+func TestRunLossOutOfRange(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-loss", "3/2"}, &stdout, &stderr); code != 1 {
+		t.Fatalf("exit = %d, want 1", code)
+	}
+	if !strings.Contains(stderr.String(), "loss") {
+		t.Errorf("stderr = %q", stderr.String())
+	}
+}
+
+func TestRunSweep(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-sweep"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit %d: %s", code, stderr.String())
+	}
+	out := stdout.String()
+	for _, want := range []string{
+		"Loss sensitivity",
+		"99/100",  // ℓ=1/10 original
+		"990/991", // ℓ=1/10 improved
+		"399/400", // ℓ=1/20 closed form 1−ℓ²
+		"improved wins",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("sweep output missing %q", want)
+		}
+	}
+}

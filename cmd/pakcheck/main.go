@@ -1,0 +1,201 @@
+// Command pakcheck analyzes a probabilistic constraint µ(φ@α | α) ≥ p on
+// a purely probabilistic system stored as JSON, reporting the exact
+// constraint probability, the agent's beliefs when acting, local-state
+// independence, and the verdicts of the paper's theorems.
+//
+// Usage:
+//
+//	pakcheck -system sys.json -query query.json [-dump] [-eps 1/10] [-delta 1/10]
+//
+// The system document is produced by pak.MarshalSystem (see
+// internal/encode for the schema); the query document names the agent,
+// the proper action, the condition fact and an optional threshold:
+//
+//	{
+//	  "agent": "Alice",
+//	  "action": "fire",
+//	  "threshold": "95/100",
+//	  "fact": {"op":"and","args":[
+//	    {"op":"does","agent":"Alice","action":"fire"},
+//	    {"op":"does","agent":"Bob","action":"fire"}]}
+//	}
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"math/big"
+	"os"
+	"sort"
+
+	"pak"
+	"pak/internal/encode"
+	"pak/internal/ratutil"
+	"pak/internal/report"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("pakcheck", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	systemPath := fs.String("system", "", "path to the system JSON document (required)")
+	queryPath := fs.String("query", "", "path to the query JSON document (required)")
+	dump := fs.Bool("dump", false, "print the system tree before the analysis")
+	epsStr := fs.String("eps", "1/10", "ε for the PAK analysis (Theorem 7.1)")
+	deltaStr := fs.String("delta", "1/10", "δ for the PAK analysis (Theorem 7.1)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *systemPath == "" || *queryPath == "" {
+		fmt.Fprintln(stderr, "pakcheck: -system and -query are required")
+		fs.Usage()
+		return 2
+	}
+
+	sysData, err := os.ReadFile(*systemPath)
+	if err != nil {
+		fmt.Fprintf(stderr, "pakcheck: %v\n", err)
+		return 1
+	}
+	sys, err := pak.UnmarshalSystem(sysData)
+	if err != nil {
+		fmt.Fprintf(stderr, "pakcheck: %v\n", err)
+		return 1
+	}
+	queryData, err := os.ReadFile(*queryPath)
+	if err != nil {
+		fmt.Fprintf(stderr, "pakcheck: %v\n", err)
+		return 1
+	}
+	query, fact, err := encode.ParseQuery(queryData)
+	if err != nil {
+		fmt.Fprintf(stderr, "pakcheck: %v\n", err)
+		return 1
+	}
+	eps, err := ratutil.Parse(*epsStr)
+	if err != nil {
+		fmt.Fprintf(stderr, "pakcheck: -eps: %v\n", err)
+		return 2
+	}
+	delta, err := ratutil.Parse(*deltaStr)
+	if err != nil {
+		fmt.Fprintf(stderr, "pakcheck: -delta: %v\n", err)
+		return 2
+	}
+
+	if *dump {
+		fmt.Fprint(stdout, report.Section("System", sys.Dump()))
+	}
+	if err := analyze(stdout, sys, query, fact, eps, delta); err != nil {
+		fmt.Fprintf(stderr, "pakcheck: %v\n", err)
+		return 1
+	}
+	return 0
+}
+
+func analyze(w io.Writer, sys *pak.System, q encode.Query, fact pak.Fact, eps, delta *big.Rat) error {
+	e := pak.NewEngine(sys)
+
+	summary := report.NewTable("quantity", "value")
+	summary.AddRow("system", sys.String())
+	summary.AddRow("agent / action", fmt.Sprintf("%s / %s", q.Agent, q.Action))
+	summary.AddRow("condition φ", fact.String())
+
+	if err := e.IsProper(q.Agent, q.Action); err != nil {
+		return err
+	}
+
+	mu, err := e.ConstraintProb(fact, q.Agent, q.Action)
+	if err != nil {
+		return err
+	}
+	exp, err := e.ExpectedBelief(fact, q.Agent, q.Action)
+	if err != nil {
+		return err
+	}
+	min, max, err := e.BeliefRangeAtAction(fact, q.Agent, q.Action)
+	if err != nil {
+		return err
+	}
+	witness, err := e.ExplainIndependence(fact, q.Agent, q.Action)
+	if err != nil {
+		return err
+	}
+	summary.AddRow("µ(φ@α | α)", fmt.Sprintf("%s ≈ %s", mu.RatString(), mu.FloatString(6)))
+	summary.AddRow("E[β(φ)@α | α]", fmt.Sprintf("%s ≈ %s", exp.RatString(), exp.FloatString(6)))
+	summary.AddRow("β range when acting", fmt.Sprintf("[%s, %s]", min.RatString(), max.RatString()))
+	summary.AddRow("local-state independent", witness.Independent)
+	summary.AddRow("  α deterministic (L4.3a)", witness.Deterministic)
+	summary.AddRow("  φ past-based (L4.3b)", witness.PastBased)
+	fmt.Fprint(w, report.Section("Constraint analysis", summary.Render()))
+
+	byState, err := e.BeliefByActionState(fact, q.Agent, q.Action)
+	if err != nil {
+		return err
+	}
+	states := make([]string, 0, len(byState))
+	for s := range byState {
+		states = append(states, s)
+	}
+	sort.Strings(states)
+	beliefs := report.NewTable("acting local state", "β(φ)")
+	for _, s := range states {
+		beliefs.AddRow(s, fmt.Sprintf("%s ≈ %s", byState[s].RatString(), byState[s].FloatString(6)))
+	}
+	fmt.Fprint(w, report.Section("Beliefs when acting (by information state)", beliefs.Render()))
+
+	if q.Threshold != "" {
+		p, perr := ratutil.Parse(q.Threshold)
+		if perr != nil {
+			return fmt.Errorf("threshold: %w", perr)
+		}
+		tm, terr := e.ThresholdMeasure(fact, q.Agent, q.Action, p)
+		if terr != nil {
+			return terr
+		}
+		th := report.NewTable("quantity", "value")
+		th.AddRow("threshold p", p.RatString())
+		th.AddRow("constraint satisfied (µ ≥ p)", ratutil.Geq(mu, p))
+		th.AddRow("µ(β ≥ p | α)", fmt.Sprintf("%s ≈ %s", tm.RatString(), tm.FloatString(6)))
+		suff, serr := e.CheckSufficiency(fact, q.Agent, q.Action, p)
+		if serr != nil {
+			return serr
+		}
+		th.AddRow("always meets threshold", suff.PremiseMet)
+		fmt.Fprint(w, report.Section("Threshold analysis", th.Render()))
+	}
+
+	pakRep, err := e.CheckPAK(fact, q.Agent, q.Action, delta, eps)
+	if err != nil {
+		return err
+	}
+	expRep, err := e.CheckExpectation(fact, q.Agent, q.Action)
+	if err != nil {
+		return err
+	}
+	kop, err := e.CheckKoPLimit(fact, q.Agent, q.Action)
+	if err != nil {
+		return err
+	}
+	thms := report.NewTable("result", "verdict", "detail")
+	thms.AddRow("Theorem 6.2 (expectation)", verdict(expRep.Holds()),
+		fmt.Sprintf("µ=%s E[β]=%s", expRep.ConstraintProb.RatString(), expRep.ExpectedBelief.RatString()))
+	thms.AddRow("Theorem 7.1 (PAK)", verdict(pakRep.Holds()),
+		fmt.Sprintf("µ(β≥%s|α)=%s bound=%s", pakRep.BeliefLevel.RatString(),
+			pakRep.BeliefMeasure.RatString(), pakRep.Bound.RatString()))
+	thms.AddRow("Lemma F.1 (KoP limit)", verdict(kop.Holds()),
+		fmt.Sprintf("minβ=%s knows=%v", kop.MinBelief.RatString(), kop.AlwaysKnows))
+	fmt.Fprint(w, report.Section("Theorem checks", thms.Render()))
+	return nil
+}
+
+func verdict(ok bool) string {
+	if ok {
+		return "holds"
+	}
+	return "VIOLATED"
+}

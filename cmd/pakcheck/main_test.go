@@ -1,0 +1,132 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"pak"
+)
+
+// writeFixtures materializes the firing-squad system and the paper's
+// constraint query as JSON files in a temp dir.
+func writeFixtures(t *testing.T) (systemPath, queryPath string) {
+	t.Helper()
+	dir := t.TempDir()
+	sys, err := pak.FiringSquad(pak.Rat(1, 10), pak.FSOriginal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := pak.MarshalSystem(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	systemPath = filepath.Join(dir, "fs.json")
+	if err := os.WriteFile(systemPath, data, 0o600); err != nil {
+		t.Fatal(err)
+	}
+	queryPath = filepath.Join(dir, "query.json")
+	query := `{
+		"agent": "Alice",
+		"action": "fire",
+		"threshold": "95/100",
+		"fact": {"op":"and","args":[
+			{"op":"does","agent":"Alice","action":"fire"},
+			{"op":"does","agent":"Bob","action":"fire"}]}
+	}`
+	if err := os.WriteFile(queryPath, []byte(query), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	return systemPath, queryPath
+}
+
+func TestRunFiringSquadQuery(t *testing.T) {
+	systemPath, queryPath := writeFixtures(t)
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-system", systemPath, "-query", queryPath}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit code %d, stderr: %s", code, stderr.String())
+	}
+	out := stdout.String()
+	for _, want := range []string{
+		"99/100",   // µ(φ_both|fire_A)
+		"991/1000", // µ(β ≥ 0.95 | fire_A)
+		"local-state independent",
+		"Theorem 6.2",
+		"holds",
+		"recv=Yes",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "VIOLATED") {
+		t.Errorf("no theorem should be violated:\n%s", out)
+	}
+}
+
+func TestRunDumpFlag(t *testing.T) {
+	systemPath, queryPath := writeFixtures(t)
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-system", systemPath, "-query", queryPath, "-dump"}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit code %d: %s", code, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "λ") {
+		t.Error("dump output missing tree root")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	systemPath, queryPath := writeFixtures(t)
+	dir := t.TempDir()
+	badJSON := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(badJSON, []byte("{{{"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	improperQuery := filepath.Join(dir, "improper.json")
+	if err := os.WriteFile(improperQuery,
+		[]byte(`{"agent":"Alice","action":"never","fact":{"op":"true"}}`), 0o600); err != nil {
+		t.Fatal(err)
+	}
+
+	tests := []struct {
+		name string
+		args []string
+		code int
+	}{
+		{"missing flags", nil, 2},
+		{"bad flag", []string{"-nope"}, 2},
+		{"missing system file", []string{"-system", "/does/not/exist", "-query", queryPath}, 1},
+		{"bad system json", []string{"-system", badJSON, "-query", queryPath}, 1},
+		{"missing query file", []string{"-system", systemPath, "-query", "/does/not/exist"}, 1},
+		{"bad query json", []string{"-system", systemPath, "-query", badJSON}, 1},
+		{"bad eps", []string{"-system", systemPath, "-query", queryPath, "-eps", "nope"}, 2},
+		{"bad delta", []string{"-system", systemPath, "-query", queryPath, "-delta", "nope"}, 2},
+		{"improper action", []string{"-system", systemPath, "-query", improperQuery}, 1},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			var stdout, stderr bytes.Buffer
+			if code := run(tt.args, &stdout, &stderr); code != tt.code {
+				t.Fatalf("exit code = %d, want %d (stderr: %s)", code, tt.code, stderr.String())
+			}
+		})
+	}
+}
+
+func TestRunBadThreshold(t *testing.T) {
+	systemPath, _ := writeFixtures(t)
+	dir := t.TempDir()
+	q := filepath.Join(dir, "q.json")
+	if err := os.WriteFile(q,
+		[]byte(`{"agent":"Alice","action":"fire","threshold":"zzz","fact":{"op":"true"}}`), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-system", systemPath, "-query", q}, &stdout, &stderr); code != 1 {
+		t.Fatalf("exit code = %d, want 1", code)
+	}
+}

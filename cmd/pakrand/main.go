@@ -1,0 +1,101 @@
+// Command pakrand generates a random purely probabilistic system (with a
+// guaranteed proper action for agent "a0") as a JSON document, plus a
+// matching analysis query, so the pipeline
+//
+//	pakrand -out sys.json -query query.json
+//	pakcheck -system sys.json -query query.json
+//
+// can be exercised end to end on arbitrary systems. Generation is
+// deterministic given -seed.
+//
+// Usage:
+//
+//	pakrand [-seed 1] [-agents 2] [-depth 4] [-branch 3] [-obs 2]
+//	        [-action-time 2] [-det] [-out sys.json] [-query query.json]
+//
+// With no -out the system document is written to stdout and the query is
+// omitted.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"pak"
+	"pak/internal/randsys"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("pakrand", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	seed := fs.Int64("seed", 1, "generation seed")
+	agents := fs.Int("agents", 2, "number of agents")
+	depth := fs.Int("depth", 4, "uniform run length in transitions")
+	branch := fs.Int("branch", 3, "maximum children per internal node")
+	obs := fs.Int("obs", 2, "observation alphabet size (small = richer beliefs)")
+	actionTime := fs.Int("action-time", 2, "time at which agent a0 may perform the designated action")
+	det := fs.Bool("det", false, "make the designated action deterministic (Lemma 4.3(a) mode)")
+	out := fs.String("out", "", "write the system document to this file (default: stdout)")
+	queryPath := fs.String("query", "", "also write a matching pakcheck query to this file")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	cfg := randsys.Config{
+		Agents:      *agents,
+		Depth:       *depth,
+		MaxBranch:   *branch,
+		MaxInitial:  2,
+		ObsAlphabet: *obs,
+		ActionTime:  *actionTime,
+		DetAction:   *det,
+		Seed:        *seed,
+	}
+	sys, err := randsys.Generate(cfg)
+	if err != nil {
+		fmt.Fprintf(stderr, "pakrand: %v\n", err)
+		return 2
+	}
+	data, err := pak.MarshalSystem(sys)
+	if err != nil {
+		fmt.Fprintf(stderr, "pakrand: %v\n", err)
+		return 1
+	}
+
+	if *out == "" {
+		fmt.Fprintln(stdout, string(data))
+	} else {
+		if err := os.WriteFile(*out, data, 0o600); err != nil {
+			fmt.Fprintf(stderr, "pakrand: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "wrote system (%d runs, %d nodes) to %s\n",
+			sys.NumRuns(), sys.NumNodes()-1, *out)
+	}
+
+	if *queryPath != "" {
+		// A past-based condition (an observation of the last agent), so
+		// Lemma 4.3(b) guarantees the independence hypothesis and pakcheck
+		// reports meaningful theorem verdicts.
+		condAgent := fmt.Sprintf("a%d", *agents-1)
+		query := fmt.Sprintf(`{
+  "agent": "a0",
+  "action": %q,
+  "threshold": "1/2",
+  "fact": {"op": "localContains", "agent": %q, "substr": "o0"}
+}
+`, randsys.DesignatedAction, condAgent)
+		if err := os.WriteFile(*queryPath, []byte(query), 0o600); err != nil {
+			fmt.Fprintf(stderr, "pakrand: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "wrote query to %s\n", *queryPath)
+	}
+	return 0
+}

@@ -1,0 +1,120 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"pak"
+)
+
+func TestRunToStdout(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run(nil, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit %d: %s", code, stderr.String())
+	}
+	// The emitted document must parse back into a valid system.
+	sys, err := pak.UnmarshalSystem(stdout.Bytes())
+	if err != nil {
+		t.Fatalf("emitted document invalid: %v", err)
+	}
+	if sys.NumRuns() == 0 {
+		t.Fatal("empty system")
+	}
+}
+
+func TestRunDeterministicGivenSeed(t *testing.T) {
+	var a, b, stderr bytes.Buffer
+	if code := run([]string{"-seed", "7"}, &a, &stderr); code != 0 {
+		t.Fatal(stderr.String())
+	}
+	if code := run([]string{"-seed", "7"}, &b, &stderr); code != 0 {
+		t.Fatal(stderr.String())
+	}
+	if a.String() != b.String() {
+		t.Fatal("same seed produced different documents")
+	}
+}
+
+func TestRunToFilesAndPipelineWithPakcheck(t *testing.T) {
+	dir := t.TempDir()
+	sysPath := filepath.Join(dir, "sys.json")
+	queryPath := filepath.Join(dir, "query.json")
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-out", sysPath, "-query", queryPath, "-seed", "3"}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "wrote system") || !strings.Contains(stdout.String(), "wrote query") {
+		t.Fatalf("stdout = %q", stdout.String())
+	}
+
+	// The generated pair must satisfy the full analysis pipeline: the
+	// designated action is proper and the condition fact parses.
+	sysData, err := os.ReadFile(sysPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := pak.UnmarshalSystem(sysData)
+	if err != nil {
+		t.Fatal(err)
+	}
+	engine := pak.NewEngine(sys)
+	if err := engine.IsProper("a0", "alpha*"); err != nil {
+		t.Fatalf("designated action not proper: %v", err)
+	}
+	queryData, err := os.ReadFile(queryPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(queryData), "alpha*") {
+		t.Fatalf("query missing action: %s", queryData)
+	}
+}
+
+func TestRunDetMode(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-det", "-seed", "5"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit %d: %s", code, stderr.String())
+	}
+	sys, err := pak.UnmarshalSystem(stdout.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	det, err := pak.NewEngine(sys).IsDeterministicAction("a0", "alpha*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !det {
+		t.Fatal("-det should produce a deterministic designated action")
+	}
+}
+
+func TestRunBadFlags(t *testing.T) {
+	tests := [][]string{
+		{"-nope"},
+		{"-agents", "0"},
+		{"-depth", "0"},
+		{"-action-time", "9", "-depth", "3"},
+	}
+	for _, args := range tests {
+		var stdout, stderr bytes.Buffer
+		if code := run(args, &stdout, &stderr); code != 2 {
+			t.Errorf("args %v: exit %d, want 2", args, code)
+		}
+	}
+}
+
+func TestRunUnwritablePaths(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-out", "/no/such/dir/sys.json"}, &stdout, &stderr); code != 1 {
+		t.Fatalf("exit %d, want 1", code)
+	}
+	dir := t.TempDir()
+	sysPath := filepath.Join(dir, "sys.json")
+	if code := run([]string{"-out", sysPath, "-query", "/no/such/dir/q.json"}, &stdout, &stderr); code != 1 {
+		t.Fatalf("exit %d, want 1", code)
+	}
+}

@@ -1,0 +1,107 @@
+// Command paperbench regenerates every numeric claim, figure and theorem
+// of the paper and prints a paper-vs-measured comparison table per
+// experiment (E1..E10). It exits non-zero if any value fails to match.
+//
+// Usage:
+//
+//	paperbench [-markdown] [-systems 100] [-samples 60000] [-seed 1]
+//
+// With -markdown the output is a GitHub-flavoured Markdown document
+// suitable for EXPERIMENTS.md.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"pak/internal/experiments"
+	"pak/internal/report"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("paperbench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	markdown := fs.Bool("markdown", false, "emit GitHub-flavoured Markdown")
+	systems := fs.Int("systems", 100, "random systems per property experiment (E4, E9)")
+	samples := fs.Int("samples", 60_000, "Monte-Carlo samples (E7)")
+	seed := fs.Int64("seed", 1, "seed for random workloads")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *systems <= 0 || *samples <= 0 {
+		fmt.Fprintln(stderr, "paperbench: -systems and -samples must be positive")
+		return 2
+	}
+
+	results, err := runAll(*systems, *samples, *seed)
+	if err != nil {
+		fmt.Fprintf(stderr, "paperbench: %v\n", err)
+		return 1
+	}
+
+	failures := 0
+	for _, res := range results {
+		tb := report.NewTable("quantity", "paper", "measured", "match")
+		for _, row := range res.Rows {
+			mark := "yes"
+			if !row.Match {
+				mark = "NO"
+				failures++
+			}
+			tb.AddRow(row.Quantity, row.Paper, row.Measured, mark)
+		}
+		title := fmt.Sprintf("%s — %s", res.ID, res.Title)
+		if *markdown {
+			fmt.Fprintf(stdout, "## %s\n\n*Source: %s*\n\n%s\n", title, res.Source, tb.Markdown())
+		} else {
+			fmt.Fprint(stdout, report.Section(title+" ["+res.Source+"]", tb.Render()))
+		}
+	}
+
+	if failures > 0 {
+		fmt.Fprintf(stderr, "paperbench: %d value(s) failed to match the paper\n", failures)
+		return 1
+	}
+	if *markdown {
+		fmt.Fprintln(stdout, "All measured values match the paper.")
+	} else {
+		fmt.Fprintln(stdout, "RESULT: all measured values match the paper.")
+	}
+	return 0
+}
+
+// runAll mirrors experiments.All but honours the workload flags.
+func runAll(systems, samples int, seed int64) ([]experiments.Result, error) {
+	type builder func() (experiments.Result, error)
+	builders := []builder{
+		experiments.E1FiringSquad,
+		experiments.E2Figure1,
+		experiments.E3Theorem52,
+		func() (experiments.Result, error) { return experiments.E4Expectation(systems, seed) },
+		experiments.E5PAKFrontier,
+		experiments.E6ImprovedFS,
+		func() (experiments.Result, error) { return experiments.E7MonteCarlo(samples, seed) },
+		experiments.E8KoPLimit,
+		func() (experiments.Result, error) { return experiments.E9Independence(systems, seed) },
+		experiments.E10CommonBelief,
+		experiments.E11CommonKnowledge,
+		experiments.E12Martingale,
+		experiments.E13LossSensitivity,
+		experiments.E14NSquad,
+	}
+	out := make([]experiments.Result, 0, len(builders))
+	for _, b := range builders {
+		res, err := b()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}

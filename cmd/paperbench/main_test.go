@@ -1,0 +1,54 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunText(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-systems", "5", "-samples", "20000"}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, stderr.String())
+	}
+	out := stdout.String()
+	for _, want := range []string{
+		"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10",
+		"99/100", "991/1000", "990/991",
+		"RESULT: all measured values match the paper.",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+	if strings.Contains(out, "  NO") {
+		t.Error("unexpected mismatch in output")
+	}
+}
+
+func TestRunMarkdown(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-markdown", "-systems", "3", "-samples", "20000"}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, stderr.String())
+	}
+	out := stdout.String()
+	if !strings.Contains(out, "## E1") || !strings.Contains(out, "| quantity | paper | measured | match |") {
+		t.Errorf("markdown structure missing:\n%s", out[:400])
+	}
+}
+
+func TestRunFlagErrors(t *testing.T) {
+	tests := [][]string{
+		{"-nope"},
+		{"-systems", "0"},
+		{"-samples", "-1"},
+	}
+	for _, args := range tests {
+		var stdout, stderr bytes.Buffer
+		if code := run(args, &stdout, &stderr); code != 2 {
+			t.Errorf("args %v: exit = %d, want 2", args, code)
+		}
+	}
+}

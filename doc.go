@@ -1,0 +1,46 @@
+// Package pak is an executable reproduction of "Probably Approximately
+// Knowing" (Zamir & Moses, PODC 2020): an exact epistemic-probabilistic
+// model checker for finite purely probabilistic systems (pps).
+//
+// The paper studies the interdependence between the actions an agent
+// performs and its subjective probabilistic beliefs, in protocols that
+// satisfy probabilistic constraints of the form "condition φ holds with
+// probability at least p when action α is performed". Its main theorem
+// (Theorem 6.2) is a probabilistic analogue of the Knowledge of
+// Preconditions principle: under a local-state independence condition, the
+// expected degree of the agent's belief in φ when it performs α equals
+// µ(φ@α | α) exactly. The headline corollary (Corollary 7.2) is the PAK
+// principle: if the constraint holds with threshold 1−ε², then with
+// probability at least 1−ε the agent's belief is at least 1−ε when it acts
+// — the agent probably approximately knows φ.
+//
+// This package is the public facade over the library:
+//
+//   - systems: build pps trees directly (NewBuilder) or by unfolding a
+//     synchronous joint protocol (Unfold, FuncModel) over substrates such
+//     as the lossy message network (NewNet);
+//   - facts: the combinator language for conditions (Does, LocalIs, And,
+//     Not, Sometime, ...) with semantic classifiers (IsPastBased,
+//     IsRunBased);
+//   - beliefs: NewEngine answers β_i(φ), µ(φ@α|α), expected beliefs,
+//     threshold measures, knowledge queries, local-state independence, and
+//     machine-checks every theorem in the paper (CheckExpectation,
+//     CheckPAK, ...);
+//   - the paper's own systems: Figure1, That (Figure 2 / Theorem 5.2), and
+//     the relaxed firing squad FiringSquad of Example 1 with its Section 8
+//     improvement;
+//   - estimation: NewSampler and NewProtocolSampler provide seeded
+//     Monte-Carlo cross-validation with Hoeffding confidence radii;
+//   - group epistemics: NewSlice computes Monderer–Samet probabilistic
+//     common belief over time slices;
+//   - nondeterminism: NewSpace/Resolve fix adversaries per the paper's
+//     Section 2 and analyze constraint envelopes across them;
+//   - serialization: MarshalSystem/UnmarshalSystem and ParseFact for the
+//     CLI tools.
+//
+// All probabilities are exact rationals (math/big.Rat); the paper's
+// numbers (0.99, 0.991, 990/991, (p−ε)/(1−ε), ...) are reproduced as
+// rational identities, not floating-point approximations. See DESIGN.md
+// for the architecture and EXPERIMENTS.md for the paper-vs-measured
+// record.
+package pak

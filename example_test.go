@@ -1,0 +1,209 @@
+package pak_test
+
+import (
+	"fmt"
+	"sort"
+
+	"pak"
+)
+
+// ExampleFiringSquad reproduces the headline numbers of the paper's
+// Example 1 through the public API.
+func ExampleFiringSquad() {
+	sys, err := pak.FiringSquad(pak.Rat(1, 10), pak.FSOriginal)
+	if err != nil {
+		panic(err)
+	}
+	engine := pak.NewEngine(sys)
+	both := pak.And(pak.Does("Alice", "fire"), pak.Does("Bob", "fire"))
+
+	mu, _ := engine.ConstraintProb(both, "Alice", "fire")
+	tm, _ := engine.ThresholdMeasure(both, "Alice", "fire", pak.Rat(95, 100))
+	fmt.Println("µ(both | fire_A) =", mu.RatString())
+	fmt.Println("µ(β ≥ 0.95 | fire_A) =", tm.RatString())
+	// Output:
+	// µ(both | fire_A) = 99/100
+	// µ(β ≥ 0.95 | fire_A) = 991/1000
+}
+
+// ExampleNewEngine shows the basic belief query: Alice's three
+// information states when firing, with her belief that Bob fires too.
+func ExampleNewEngine() {
+	sys, err := pak.FiringSquad(pak.Rat(1, 10), pak.FSOriginal)
+	if err != nil {
+		panic(err)
+	}
+	engine := pak.NewEngine(sys)
+	beliefs, _ := engine.BeliefByActionState(pak.Does("Bob", "fire"), "Alice", "fire")
+	states := make([]string, 0, len(beliefs))
+	for s := range beliefs {
+		states = append(states, s)
+	}
+	sort.Strings(states)
+	for _, s := range states {
+		fmt.Printf("%s -> %s\n", s, beliefs[s].RatString())
+	}
+	// Output:
+	// t2|go=1,sent,recv=No -> 0
+	// t2|go=1,sent,recv=Yes -> 1
+	// t2|go=1,sent,recv=none -> 99/100
+}
+
+// ExampleThat walks the Theorem 5.2 construction: the constraint value is
+// p while the threshold is met with probability only ε.
+func ExampleThat() {
+	sys, err := pak.That(pak.Rat(9, 10), pak.Rat(1, 10))
+	if err != nil {
+		panic(err)
+	}
+	engine := pak.NewEngine(sys)
+	bit := pak.LocalContains("j", "bit=1")
+
+	mu, _ := engine.ConstraintProb(bit, "i", "alpha")
+	tm, _ := engine.ThresholdMeasure(bit, "i", "alpha", pak.Rat(9, 10))
+	bel, _ := engine.Belief(bit, "i", "i1:recv=m")
+	fmt.Println("µ =", mu.RatString())
+	fmt.Println("µ(β ≥ p | α) =", tm.RatString())
+	fmt.Println("non-revealing β =", bel.RatString())
+	// Output:
+	// µ = 9/10
+	// µ(β ≥ p | α) = 1/10
+	// non-revealing β = 8/9
+}
+
+// ExampleBelieves nests epistemic operators: what j believes about i's
+// beliefs is an ordinary event with an exact probability.
+func ExampleBelieves() {
+	sys, err := pak.That(pak.Rat(9, 10), pak.Rat(1, 10))
+	if err != nil {
+		panic(err)
+	}
+	bit := pak.LocalContains("j", "bit=1")
+	iConvinced := pak.Believes("i", pak.Rat(9, 10), bit)
+	// j holds bit=1 (run 1) at time 1.
+	deg := pak.BeliefDegree(sys, "j", iConvinced, 1, 1)
+	fmt.Println("β_j(B_i^{9/10}(bit=1)) =", deg.RatString())
+	// Output:
+	// β_j(B_i^{9/10}(bit=1)) = 1/9
+}
+
+// ExampleEngine_CheckExpectation machine-checks the paper's main theorem
+// on the improved firing squad.
+func ExampleEngine_CheckExpectation() {
+	sys, err := pak.FiringSquad(pak.Rat(1, 10), pak.FSImproved)
+	if err != nil {
+		panic(err)
+	}
+	engine := pak.NewEngine(sys)
+	both := pak.And(pak.Does("Alice", "fire"), pak.Does("Bob", "fire"))
+	rep, _ := engine.CheckExpectation(both, "Alice", "fire")
+	fmt.Println("µ =", rep.ConstraintProb.RatString())
+	fmt.Println("E[β] =", rep.ExpectedBelief.RatString())
+	fmt.Println("equal =", rep.Equal())
+	// Output:
+	// µ = 990/991
+	// E[β] = 990/991
+	// equal = true
+}
+
+// ExampleEngine_RefrainAnalysis derives Section 8's improvement from the
+// original system alone.
+func ExampleEngine_RefrainAnalysis() {
+	sys, err := pak.FiringSquad(pak.Rat(1, 10), pak.FSOriginal)
+	if err != nil {
+		panic(err)
+	}
+	engine := pak.NewEngine(sys)
+	both := pak.And(pak.Does("Alice", "fire"), pak.Does("Bob", "fire"))
+	rep, _ := engine.RefrainAnalysis(both, "Alice", "fire", pak.Rat(95, 100))
+	fmt.Println("original  =", rep.Original.RatString())
+	fmt.Println("predicted =", rep.Predicted.RatString())
+	fmt.Println("improves  =", rep.Improves())
+	// Output:
+	// original  = 99/100
+	// predicted = 990/991
+	// improves  = true
+}
+
+// ExampleUnfold builds a tiny coin-flip protocol and unfolds it.
+func ExampleUnfold() {
+	model := pak.FuncModel{
+		AgentNames: []string{"i"},
+		Init: []pak.WeightedGlobal{
+			pak.InitialState(pak.Global{Env: "e", Locals: []string{"start"}}, pak.One()),
+		},
+		Step: func(agent int, local string, t int) []pak.WeightedAction {
+			return pak.Mix(
+				pak.WithProb("heads", pak.Rat(1, 2)),
+				pak.WithProb("tails", pak.Rat(1, 2)),
+			)
+		},
+		Trans: func(g pak.Global, acts []string, envAct string, t int) (pak.Global, error) {
+			return pak.Global{Env: g.Env, Locals: []string{acts[0]}}, nil
+		},
+		Bound: 1,
+	}
+	sys, err := pak.Unfold(model)
+	if err != nil {
+		panic(err)
+	}
+	heads := pak.RunsSatisfying(sys, pak.Performed("i", "heads"))
+	fmt.Println("runs:", sys.NumRuns())
+	fmt.Println("µ(heads) =", sys.Measure(heads).RatString())
+	// Output:
+	// runs: 2
+	// µ(heads) = 1/2
+}
+
+// ExampleNewSlice computes common p-belief and common knowledge at the
+// firing time, exhibiting the coordinated-attack contrast.
+func ExampleNewSlice() {
+	sys, err := pak.FiringSquad(pak.Rat(1, 10), pak.FSOriginal)
+	if err != nil {
+		panic(err)
+	}
+	slice, err := pak.NewSlice(sys, 2)
+	if err != nil {
+		panic(err)
+	}
+	both := pak.RunsSatisfying(sys, pak.Sometime(
+		pak.And(pak.Does("Alice", "fire"), pak.Does("Bob", "fire"))))
+	group := []pak.AgentID{0, 1}
+
+	ck, _ := slice.CommonKnowledge(group, both)
+	cb, _ := slice.CommonP(group, both, pak.Rat(1, 2))
+	fmt.Println("common knowledge:", sys.Measure(ck).RatString())
+	fmt.Println("common 1/2-belief:", sys.Measure(cb).RatString())
+	// Output:
+	// common knowledge: 0
+	// common 1/2-belief: 99/200
+}
+
+// ExampleMutexSystem analyzes the relaxed mutual-exclusion scenario.
+func ExampleMutexSystem() {
+	sys, err := pak.MutexSystem(pak.Rat(1, 10))
+	if err != nil {
+		panic(err)
+	}
+	engine := pak.NewEngine(sys)
+	mu, _ := engine.ConstraintProb(pak.MutexExclusion("i"), "i", pak.ActEnter)
+	fmt.Println("µ(exclusion | enter) =", mu.RatString())
+	// Output:
+	// µ(exclusion | enter) = 29/31
+}
+
+// ExampleConsensusSystem analyzes the bounded randomized consensus.
+func ExampleConsensusSystem() {
+	sys, err := pak.ConsensusSystem(pak.Rat(1, 10))
+	if err != nil {
+		panic(err)
+	}
+	engine := pak.NewEngine(sys)
+	mu0, _ := engine.ConstraintProb(pak.Agreement(), "i", pak.ActDecide0)
+	mu1, _ := engine.ConstraintProb(pak.Agreement(), "i", pak.ActDecide1)
+	fmt.Println("µ(agree | decide0) =", mu0.RatString())
+	fmt.Println("µ(agree | decide1) =", mu1.RatString())
+	// Output:
+	// µ(agree | decide0) = 28/29
+	// µ(agree | decide1) = 10/11
+}

@@ -1,0 +1,105 @@
+// Epistemic: nested beliefs as first-class facts. Because Believes(i,p,φ)
+// is itself a fact over the system, higher-order epistemic questions —
+// "what does Bob believe about Alice's beliefs?" — are ordinary events
+// with exact probabilities, and can themselves be conditions of
+// probabilistic constraints analyzed by the paper's theorems.
+//
+// The example walks the firing squad (Example 1) and T-hat (Figure 2)
+// through first- and second-order belief queries, mutual belief levels,
+// and a constraint whose condition is itself an epistemic fact.
+//
+// Run with:
+//
+//	go run ./examples/epistemic
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pak"
+)
+
+func main() {
+	firingSquadHigherOrder()
+	fmt.Println()
+	thatSecondOrder()
+}
+
+func firingSquadHigherOrder() {
+	fmt.Println("=== Firing squad: higher-order beliefs at the decision time ===")
+	sys, err := pak.FiringSquad(pak.Rat(1, 10), pak.FSOriginal)
+	if err != nil {
+		log.Fatal(err)
+	}
+	engine := pak.NewEngine(sys)
+	goOn := pak.LocalContains("Alice", "go=1") // the mission flag
+
+	// First order: Bob's belief in go=1 after each round-1 observation.
+	// (1 after the wake-up, 1/101 after silence — Bayes.)
+	for r := 0; r < sys.NumRuns(); r++ {
+		if sys.Local(pak.RunID(r), 1, 1) == "t1|none" {
+			deg := pak.BeliefDegree(sys, "Bob", goOn, pak.RunID(r), 1)
+			fmt.Printf("β_Bob(go=1 | silence at t1) = %s (Bayes: 0.005/0.505)\n", deg.RatString())
+			break
+		}
+	}
+
+	// Second order: when Alice has received 'Yes', what does she believe
+	// about Bob's near-certainty in the mission?
+	bobSure := pak.Believes("Bob", pak.Rat(99, 100), goOn)
+	for r := 0; r < sys.NumRuns(); r++ {
+		if sys.RunLen(pak.RunID(r)) > 2 && sys.Local(pak.RunID(r), 2, 0) == "t2|go=1,sent,recv=Yes" {
+			deg := pak.BeliefDegree(sys, "Alice", bobSure, pak.RunID(r), 2)
+			fmt.Printf("β_Alice(B_Bob^{0.99}(go=1) | received 'Yes') = %s\n", deg.RatString())
+			break
+		}
+	}
+
+	// A constraint whose condition is epistemic: when Alice fires, how
+	// often is Bob nearly sure the mission is on? Theorem 6.2 applies
+	// because epistemic facts are past-based.
+	rep, err := engine.CheckExpectation(bobSure, "Alice", "fire")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("µ(B_Bob^{0.99}(go=1) @ fire_A | fire_A) = %s; E[β] = %s; Thm 6.2: %v\n",
+		rep.ConstraintProb.RatString(), rep.ExpectedBelief.RatString(), rep.Equal())
+
+	// Mutual belief levels of joint firing.
+	both := pak.Sometime(pak.And(pak.Does("Alice", "fire"), pak.Does("Bob", "fire")))
+	group := []string{"Alice", "Bob"}
+	for k := 1; k <= 3; k++ {
+		level := pak.MutualBelief(group, pak.Rat(1, 2), both, k)
+		ev := sys.RunsWhere(func(r pak.RunID) bool { return level.Holds(sys, r, 2) })
+		fmt.Printf("mutual 1/2-belief of joint firing, level %d: measure %s\n",
+			k, sys.Measure(ev).RatString())
+	}
+}
+
+func thatSecondOrder() {
+	fmt.Println("=== T-hat(9/10, 1/10): what j believes about i's beliefs ===")
+	sys, err := pak.That(pak.Rat(9, 10), pak.Rat(1, 10))
+	if err != nil {
+		log.Fatal(err)
+	}
+	bit := pak.LocalContains("j", "bit=1")
+
+	// i's first-order belief thresholds.
+	iStrong := pak.Believes("i", pak.Rat(9, 10), bit) // only after m'
+	iWeak := pak.Believes("i", pak.Rat(8, 9), bit)    // everywhere at t1
+
+	// j holds bit=1 (run 1): its beliefs about i's state of mind.
+	strongDeg := pak.BeliefDegree(sys, "j", iStrong, 1, 1)
+	weakDeg := pak.BeliefDegree(sys, "j", iWeak, 1, 1)
+	fmt.Printf("β_j(B_i^{9/10}(bit=1)) = %s  (i is convinced only on the ε/p branch)\n",
+		strongDeg.RatString())
+	fmt.Printf("β_j(B_i^{8/9}(bit=1))  = %s  (the relaxed level holds everywhere)\n",
+		weakDeg.RatString())
+
+	// Knowledge nests too: does i know that j knows the bit?
+	jKnows := pak.Knows("j", bit)
+	iAboutJ := pak.BeliefDegree(sys, "i", jKnows, 1, 1)
+	fmt.Printf("β_i(K_j(bit=1)) after receiving m = %s (= i's own belief in bit=1)\n",
+		iAboutJ.RatString())
+}

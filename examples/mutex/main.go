@@ -1,0 +1,84 @@
+// Mutex: relaxed mutual exclusion, the motivating scenario of the paper's
+// introduction. Two agents contend for a critical section through an
+// arbiter whose grant/deny messages are lost with probability 1/10; a
+// requester that hears nothing times out and enters anyway. Exclusion
+// therefore holds only with high probability — a probabilistic constraint
+// µ("the CS is otherwise empty" @ enter | enter) — and the paper's
+// results say exactly what the agent must believe when entering.
+//
+// With these parameters the constraint value is exactly 29/31 ≈ 0.9355,
+// Theorem 6.2 forces the expected entering belief to equal it, and the
+// Section 8 refrain analysis shows that never entering on a timeout would
+// raise exclusion to 29/30.
+//
+// Run with:
+//
+//	go run ./examples/mutex
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"pak"
+)
+
+func main() {
+	sys, err := pak.MutexSystem(pak.Rat(1, 10))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("Relaxed mutual exclusion:", sys)
+	fmt.Println()
+
+	engine := pak.NewEngine(sys)
+	excl := pak.MutexExclusion("i") // j is not entering now
+
+	mu, err := engine.ConstraintProb(excl, "i", pak.ActEnter)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("µ(CS otherwise empty @ enter_i | enter_i) = %s ≈ %s\n",
+		mu.RatString(), mu.FloatString(5))
+
+	beliefs, err := engine.BeliefByActionState(excl, "i", pak.ActEnter)
+	if err != nil {
+		log.Fatal(err)
+	}
+	states := make([]string, 0, len(beliefs))
+	for s := range beliefs {
+		states = append(states, s)
+	}
+	sort.Strings(states)
+	fmt.Println("\nAgent i's belief in exclusion when entering:")
+	for _, s := range states {
+		fmt.Printf("  %-24s β = %-8s ≈ %s\n", s, beliefs[s].RatString(), beliefs[s].FloatString(4))
+	}
+
+	rep, err := engine.CheckExpectation(excl, "i", pak.ActEnter)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nTheorem 6.2: E[β @ enter | enter] = %s = µ: %v\n",
+		rep.ExpectedBelief.RatString(), rep.Equal())
+
+	pakRep, err := engine.CheckPAKSquare(excl, "i", pak.ActEnter, pak.Rat(1, 4))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Corollary 7.2 (ε=1/4): premise µ ≥ %s: %v; µ(β ≥ %s | enter) = %s ≥ %s: %v\n",
+		pakRep.Threshold.RatString(), pakRep.PremiseMet(),
+		pakRep.BeliefLevel.RatString(), pakRep.BeliefMeasure.RatString(),
+		pakRep.Bound.RatString(), pakRep.ConclusionMet())
+
+	// The Section 8 design insight, computed from this system alone: what
+	// would exclusion become if i never entered on a silent timeout?
+	refrain, err := engine.RefrainAnalysis(excl, "i", pak.ActEnter, pak.Rat(9, 10))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nRefrain analysis (threshold 9/10): µ %s → %s by pruning %v\n",
+		refrain.Original.RatString(), refrain.Predicted.RatString(), refrain.Pruned)
+	fmt.Printf("surviving entry measure: %s of the original\n", refrain.ActingMeasure.RatString())
+}

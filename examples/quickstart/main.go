@@ -1,0 +1,110 @@
+// Quickstart: build a small purely probabilistic system with the public
+// API, compute subjective beliefs, and machine-check the paper's main
+// theorem on it.
+//
+// The scenario is a probabilistic diagnosis: a patient is sick with prior
+// probability 1/4, a test is 90% accurate, and the doctor treats exactly
+// when the test is positive. The paper's machinery answers: what must the
+// doctor believe about the patient when treating, and how does that relate
+// to the probabilistic constraint "the patient is sick when treated"?
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pak"
+)
+
+func main() {
+	sys, err := buildDiagnosis()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("System:", sys)
+	fmt.Println()
+
+	engine := pak.NewEngine(sys)
+	isSick := pak.LocalContains("patient", "sick")
+
+	// The probabilistic constraint value µ(sick@treat | treat): by Bayes
+	// this is (1/4·9/10) / (1/4·9/10 + 3/4·1/10) = 3/4.
+	mu, err := engine.ConstraintProb(isSick, "doctor", "treat")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("µ(sick @ treat | treat)      = %s (exactly %s)\n", mu.FloatString(4), mu.RatString())
+
+	// The doctor's belief in each information state where she treats.
+	beliefs, err := engine.BeliefByActionState(isSick, "doctor", "treat")
+	if err != nil {
+		log.Fatal(err)
+	}
+	for state, bel := range beliefs {
+		fmt.Printf("β(sick) when treating at %-10q = %s\n", state, bel.RatString())
+	}
+
+	// Theorem 6.2 (the probabilistic Knowledge of Preconditions
+	// principle): the expected belief when treating equals µ exactly.
+	rep, err := engine.CheckExpectation(isSick, "doctor", "treat")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nTheorem 6.2: E[β @ treat | treat] = %s, µ = %s, equal = %v\n",
+		rep.ExpectedBelief.RatString(), rep.ConstraintProb.RatString(), rep.Equal())
+
+	// Corollary 7.2 (PAK): with ε = 1/2, µ ≥ 1−ε² = 3/4 forces the doctor
+	// to believe "sick" with degree ≥ 1/2 on a measure ≥ 1/2 of the
+	// treating runs.
+	pakRep, err := engine.CheckPAKSquare(isSick, "doctor", "treat", pak.Rat(1, 2))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Corollary 7.2 (ε=1/2): µ(β ≥ %s | treat) = %s ≥ %s: %v\n",
+		pakRep.BeliefLevel.RatString(), pakRep.BeliefMeasure.RatString(),
+		pakRep.Bound.RatString(), pakRep.Holds())
+}
+
+// buildDiagnosis constructs the four-scenario diagnosis tree.
+func buildDiagnosis() (*pak.System, error) {
+	b := pak.NewBuilder("doctor", "patient")
+	sick := b.Init(pak.Rat(1, 4), "world", "d0", "sick")
+	well := b.Init(pak.Rat(3, 4), "world", "d0", "well")
+
+	// Test outcomes: 90% accurate in both directions.
+	type outcome struct {
+		parent  pak.NodeID
+		pr      [2]int64
+		reading string
+		patient string
+	}
+	outcomes := []outcome{
+		{sick, [2]int64{9, 10}, "pos", "sick+"},
+		{sick, [2]int64{1, 10}, "neg", "sick-"},
+		{well, [2]int64{1, 10}, "pos", "well+"},
+		{well, [2]int64{9, 10}, "neg", "well-"},
+	}
+	for _, o := range outcomes {
+		mid := b.Child(o.parent, pak.Step{
+			Pr:     pak.Rat(o.pr[0], o.pr[1]),
+			Acts:   []string{"test", "none"},
+			Env:    "world",
+			Locals: []string{"d1:" + o.reading, o.patient},
+		})
+		act := "wait"
+		if o.reading == "pos" {
+			act = "treat"
+		}
+		b.Child(mid, pak.Step{
+			Pr:     pak.One(),
+			Acts:   []string{act, "none"},
+			Env:    "world",
+			Locals: []string{"d2:" + o.patient, "p2:" + o.patient},
+		})
+	}
+	return b.Build()
+}

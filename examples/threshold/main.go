@@ -1,0 +1,82 @@
+// Threshold: the paper's Theorem 5.2 construction T-hat(p, ε), swept over
+// its parameters. It demonstrates the paper's negative result — a
+// probabilistic constraint with threshold p can be satisfied even though
+// the agent's belief meets p with arbitrarily small probability ε when it
+// acts — and the positive PAK counterpart (Corollary 7.2) that survives.
+//
+// Run with:
+//
+//	go run ./examples/threshold
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pak"
+)
+
+func main() {
+	fmt.Println("T-hat(p, ε): µ(φ@α|α) = p while µ(β ≥ p | α) = ε")
+	fmt.Println()
+	fmt.Printf("%-10s %-10s %-22s %-16s %-12s\n",
+		"p", "ε", "non-revealing belief", "µ(β ≥ p | α)", "µ(φ@α|α)")
+
+	sweep := []struct{ p, eps string }{
+		{"1/2", "1/4"},
+		{"9/10", "1/10"},
+		{"9/10", "1/100"},
+		{"9/10", "1/1000"},
+		{"99/100", "1/100"},
+		{"999/1000", "1/10000"},
+	}
+	for _, tc := range sweep {
+		p := pak.MustRat(tc.p)
+		eps := pak.MustRat(tc.eps)
+		sys, err := pak.That(p, eps)
+		if err != nil {
+			log.Fatal(err)
+		}
+		engine := pak.NewEngine(sys)
+		phi := pak.LocalContains("j", "bit=1")
+
+		mu, err := engine.ConstraintProb(phi, "i", "alpha")
+		if err != nil {
+			log.Fatal(err)
+		}
+		tm, err := engine.ThresholdMeasure(phi, "i", "alpha", p)
+		if err != nil {
+			log.Fatal(err)
+		}
+		bel, err := engine.Belief(phi, "i", "i1:recv=m")
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-10s %-10s %-22s %-16s %-12s\n",
+			tc.p, tc.eps, bel.RatString(), tm.RatString(), mu.RatString())
+	}
+
+	fmt.Println()
+	fmt.Println("Theorem 5.2: as ε → 0 the threshold is met on a vanishing measure")
+	fmt.Println("of acting runs, yet the constraint µ ≥ p keeps holding.")
+	fmt.Println()
+
+	// The PAK view (Corollary 7.2): relax the belief level from p to 1−ε'
+	// with ε' = sqrt(1−p); then the relaxed level is met w.p. ≥ 1−ε'.
+	fmt.Println("Corollary 7.2 on T-hat(99/100, 1/100) with ε' = 1/10:")
+	sys, err := pak.That(pak.Rat(99, 100), pak.Rat(1, 100))
+	if err != nil {
+		log.Fatal(err)
+	}
+	engine := pak.NewEngine(sys)
+	rep, err := engine.CheckPAKSquare(pak.LocalContains("j", "bit=1"), "i", "alpha", pak.Rat(1, 10))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  µ = %s ≥ 1−ε'² = %s (premise): %v\n",
+		rep.ConstraintProb.RatString(), rep.Threshold.RatString(), rep.PremiseMet())
+	fmt.Printf("  µ(β ≥ %s | α) = %s ≥ %s (conclusion): %v\n",
+		rep.BeliefLevel.RatString(), rep.BeliefMeasure.RatString(),
+		rep.Bound.RatString(), rep.ConclusionMet())
+	fmt.Printf("  PAK holds: %v\n", rep.Holds())
+}

@@ -1,0 +1,249 @@
+// Package adversary implements the paper's Section 2 treatment of
+// nondeterminism: reasoning about probabilities in the presence of
+// nondeterministic choices (by the scheduler or the agents) is done by
+// fixing the set of all nondeterministic choices — an "adversary" in the
+// sense of Halpern and Tuttle — after which all remaining choices are
+// purely probabilistic and the executions form a pps.
+//
+// A Space enumerates the nondeterministic choices; Resolve builds one pps
+// per complete assignment, and analyses can then be quantified over the
+// family (e.g. worst-case constraint probability over all adversaries, as
+// in the paper's example of Alice's go flag being set nondeterministically
+// rather than probabilistically).
+package adversary
+
+import (
+	"errors"
+	"fmt"
+	"math/big"
+	"sort"
+	"strings"
+
+	"pak/internal/core"
+	"pak/internal/logic"
+	"pak/internal/pps"
+	"pak/internal/ratutil"
+)
+
+// Sentinel errors returned (wrapped) by this package.
+var (
+	// ErrBadSpace indicates an invalid choice space.
+	ErrBadSpace = errors.New("adversary: invalid choice space")
+	// ErrNoInstances indicates an empty family where one was required.
+	ErrNoInstances = errors.New("adversary: no adversaries to analyze")
+)
+
+// Choice is one nondeterministic decision with a finite option set.
+type Choice struct {
+	// Name identifies the decision (e.g. "go", "faulty-agent").
+	Name string
+	// Options are the possible resolutions.
+	Options []string
+}
+
+// Assignment fixes every choice of a space: a complete adversary.
+type Assignment map[string]string
+
+// String renders the assignment deterministically (sorted by name).
+func (a Assignment) String() string {
+	names := make([]string, 0, len(a))
+	for n := range a {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	parts := make([]string, len(names))
+	for i, n := range names {
+		parts[i] = fmt.Sprintf("%s=%s", n, a[n])
+	}
+	return strings.Join(parts, ",")
+}
+
+// Space is a finite set of nondeterministic choices.
+type Space struct {
+	choices []Choice
+}
+
+// NewSpace validates and returns a choice space. Choice names must be
+// distinct and every choice must offer at least one option.
+func NewSpace(choices ...Choice) (*Space, error) {
+	seen := make(map[string]bool, len(choices))
+	for _, c := range choices {
+		if c.Name == "" {
+			return nil, fmt.Errorf("%w: empty choice name", ErrBadSpace)
+		}
+		if seen[c.Name] {
+			return nil, fmt.Errorf("%w: duplicate choice %q", ErrBadSpace, c.Name)
+		}
+		seen[c.Name] = true
+		if len(c.Options) == 0 {
+			return nil, fmt.Errorf("%w: choice %q has no options", ErrBadSpace, c.Name)
+		}
+	}
+	return &Space{choices: append([]Choice(nil), choices...)}, nil
+}
+
+// Size returns the number of complete assignments.
+func (s *Space) Size() int {
+	n := 1
+	for _, c := range s.choices {
+		n *= len(c.Options)
+	}
+	return n
+}
+
+// ForEach calls fn for every complete assignment, in lexicographic option
+// order. If fn returns an error, enumeration stops and the error is
+// returned.
+func (s *Space) ForEach(fn func(a Assignment) error) error {
+	assignment := make(Assignment, len(s.choices))
+	var rec func(i int) error
+	rec = func(i int) error {
+		if i == len(s.choices) {
+			// Copy so callers may retain the assignment.
+			snapshot := make(Assignment, len(assignment))
+			for k, v := range assignment {
+				snapshot[k] = v
+			}
+			return fn(snapshot)
+		}
+		for _, opt := range s.choices[i].Options {
+			assignment[s.choices[i].Name] = opt
+			if err := rec(i + 1); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return rec(0)
+}
+
+// Builder constructs the pps corresponding to one adversary.
+type Builder func(a Assignment) (*pps.System, error)
+
+// Instance is one resolved adversary: the assignment and its pps.
+type Instance struct {
+	Assignment Assignment
+	System     *pps.System
+}
+
+// Resolve builds the full family of systems, one per assignment.
+func Resolve(space *Space, build Builder) ([]Instance, error) {
+	var out []Instance
+	err := space.ForEach(func(a Assignment) error {
+		sys, err := build(a)
+		if err != nil {
+			return fmt.Errorf("adversary %v: %w", a, err)
+		}
+		out = append(out, Instance{Assignment: a, System: sys})
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// ConstraintRange is the envelope of a probabilistic constraint's value
+// over a family of adversaries.
+type ConstraintRange struct {
+	// Min and Max bound µ_T(φ@α | α) over the family.
+	Min, Max *big.Rat
+	// ArgMin and ArgMax are the adversaries attaining the bounds.
+	ArgMin, ArgMax Assignment
+	// Skipped lists adversaries under which the action is not proper
+	// (e.g. never performed), which the paper's notions do not cover.
+	Skipped []Assignment
+}
+
+// String summarizes the range.
+func (r ConstraintRange) String() string {
+	return fmt.Sprintf("µ∈[%s, %s] (min at %v, max at %v, %d skipped)",
+		r.Min.RatString(), r.Max.RatString(), r.ArgMin, r.ArgMax, len(r.Skipped))
+}
+
+// ConstraintEnvelope evaluates µ(φ@α | α) on every instance and returns
+// the min/max envelope. Instances on which the action is not proper are
+// recorded in Skipped. It is an error if every instance is skipped.
+func ConstraintEnvelope(instances []Instance, f logic.Fact, agent, action string) (ConstraintRange, error) {
+	if len(instances) == 0 {
+		return ConstraintRange{}, ErrNoInstances
+	}
+	var out ConstraintRange
+	for _, inst := range instances {
+		eng := core.New(inst.System)
+		mu, err := eng.ConstraintProb(f, agent, action)
+		if errors.Is(err, core.ErrNotProper) {
+			out.Skipped = append(out.Skipped, inst.Assignment)
+			continue
+		}
+		if err != nil {
+			return ConstraintRange{}, fmt.Errorf("adversary %v: %w", inst.Assignment, err)
+		}
+		if out.Min == nil || ratutil.Less(mu, out.Min) {
+			out.Min = ratutil.Copy(mu)
+			out.ArgMin = inst.Assignment
+		}
+		if out.Max == nil || ratutil.Greater(mu, out.Max) {
+			out.Max = ratutil.Copy(mu)
+			out.ArgMax = inst.Assignment
+		}
+	}
+	if out.Min == nil {
+		return ConstraintRange{}, fmt.Errorf("%w: action %q proper under no adversary", ErrNoInstances, action)
+	}
+	return out, nil
+}
+
+// Metric is any exact quantity computed from a resolved system's engine
+// (e.g. a threshold measure, an expected belief).
+type Metric func(e *core.Engine) (*big.Rat, error)
+
+// MetricRange is the envelope of an arbitrary metric over a family.
+type MetricRange struct {
+	// Min and Max bound the metric over the family.
+	Min, Max *big.Rat
+	// ArgMin and ArgMax are the adversaries attaining the bounds.
+	ArgMin, ArgMax Assignment
+	// Skipped lists adversaries on which the metric was undefined (the
+	// metric returned core.ErrNotProper or core.ErrUnknownLocal).
+	Skipped []Assignment
+}
+
+// String summarizes the range.
+func (r MetricRange) String() string {
+	return fmt.Sprintf("metric∈[%s, %s] (min at %v, max at %v, %d skipped)",
+		r.Min.RatString(), r.Max.RatString(), r.ArgMin, r.ArgMax, len(r.Skipped))
+}
+
+// MetricEnvelope evaluates an arbitrary exact metric on every instance
+// and returns its min/max envelope. Instances on which the metric is
+// undefined (improper action, unreachable state) are skipped; it is an
+// error if all are.
+func MetricEnvelope(instances []Instance, metric Metric) (MetricRange, error) {
+	if len(instances) == 0 {
+		return MetricRange{}, ErrNoInstances
+	}
+	var out MetricRange
+	for _, inst := range instances {
+		value, err := metric(core.New(inst.System))
+		if errors.Is(err, core.ErrNotProper) || errors.Is(err, core.ErrUnknownLocal) {
+			out.Skipped = append(out.Skipped, inst.Assignment)
+			continue
+		}
+		if err != nil {
+			return MetricRange{}, fmt.Errorf("adversary %v: %w", inst.Assignment, err)
+		}
+		if out.Min == nil || ratutil.Less(value, out.Min) {
+			out.Min = ratutil.Copy(value)
+			out.ArgMin = inst.Assignment
+		}
+		if out.Max == nil || ratutil.Greater(value, out.Max) {
+			out.Max = ratutil.Copy(value)
+			out.ArgMax = inst.Assignment
+		}
+	}
+	if out.Min == nil {
+		return MetricRange{}, fmt.Errorf("%w: metric undefined under every adversary", ErrNoInstances)
+	}
+	return out, nil
+}

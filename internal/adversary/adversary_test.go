@@ -1,0 +1,257 @@
+package adversary
+
+import (
+	"errors"
+	"math/big"
+	"strconv"
+	"strings"
+	"testing"
+
+	"pak/internal/core"
+	"pak/internal/paper"
+	"pak/internal/pps"
+	"pak/internal/ratutil"
+)
+
+func TestNewSpaceValidation(t *testing.T) {
+	tests := []struct {
+		name    string
+		choices []Choice
+	}{
+		{"empty name", []Choice{{Name: "", Options: []string{"a"}}}},
+		{"duplicate", []Choice{{Name: "x", Options: []string{"a"}}, {Name: "x", Options: []string{"b"}}}},
+		{"no options", []Choice{{Name: "x", Options: nil}}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := NewSpace(tt.choices...); !errors.Is(err, ErrBadSpace) {
+				t.Fatalf("err = %v, want ErrBadSpace", err)
+			}
+		})
+	}
+}
+
+func TestSpaceEnumeration(t *testing.T) {
+	space, err := NewSpace(
+		Choice{Name: "x", Options: []string{"0", "1"}},
+		Choice{Name: "y", Options: []string{"a", "b", "c"}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if space.Size() != 6 {
+		t.Fatalf("Size = %d, want 6", space.Size())
+	}
+	var seen []string
+	if err := space.ForEach(func(a Assignment) error {
+		seen = append(seen, a.String())
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != 6 {
+		t.Fatalf("enumerated %d assignments", len(seen))
+	}
+	if seen[0] != "x=0,y=a" || seen[5] != "x=1,y=c" {
+		t.Fatalf("order wrong: %v", seen)
+	}
+}
+
+func TestForEachStopsOnError(t *testing.T) {
+	space, err := NewSpace(Choice{Name: "x", Options: []string{"0", "1", "2"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("boom")
+	count := 0
+	err = space.ForEach(func(a Assignment) error {
+		count++
+		if count == 2 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) || count != 2 {
+		t.Fatalf("err=%v count=%d", err, count)
+	}
+}
+
+// fsBuilder resolves the FS protocol with go fixed by the adversary, as in
+// the paper's Section 2 discussion.
+func fsBuilder(a Assignment) (*pps.System, error) {
+	goVal, err := strconv.Atoi(a["go"])
+	if err != nil {
+		return nil, err
+	}
+	return paper.FiringSquadFixedGo(ratutil.R(1, 10), paper.FSOriginal, goVal)
+}
+
+func TestResolveFiringSquad(t *testing.T) {
+	space, err := NewSpace(Choice{Name: "go", Options: []string{"0", "1"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	instances, err := Resolve(space, fsBuilder)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(instances) != 2 {
+		t.Fatalf("instances = %d, want 2", len(instances))
+	}
+	for _, inst := range instances {
+		if !ratutil.IsOne(inst.System.TotalMeasure()) {
+			t.Errorf("adversary %v: measure %v", inst.Assignment, inst.System.TotalMeasure())
+		}
+	}
+}
+
+func TestResolvePropagatesBuildErrors(t *testing.T) {
+	space, err := NewSpace(Choice{Name: "go", Options: []string{"7"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Resolve(space, fsBuilder); !errors.Is(err, paper.ErrBadParam) {
+		t.Fatalf("err = %v, want ErrBadParam", err)
+	}
+}
+
+func TestConstraintEnvelope(t *testing.T) {
+	space, err := NewSpace(Choice{Name: "go", Options: []string{"0", "1"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	instances, err := Resolve(space, fsBuilder)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env, err := ConstraintEnvelope(instances, paper.FSBothFire(), paper.Alice, paper.ActFire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Under go=0 Alice never fires, so that adversary is skipped; under
+	// go=1 the constraint value is the paper's 99/100.
+	if len(env.Skipped) != 1 || env.Skipped[0]["go"] != "0" {
+		t.Fatalf("skipped = %v", env.Skipped)
+	}
+	if !ratutil.Eq(env.Min, ratutil.R(99, 100)) || !ratutil.Eq(env.Max, ratutil.R(99, 100)) {
+		t.Fatalf("envelope = [%v, %v], want [99/100, 99/100]", env.Min, env.Max)
+	}
+	if env.ArgMin["go"] != "1" || env.ArgMax["go"] != "1" {
+		t.Fatalf("arg adversaries wrong: %v", env)
+	}
+	if !strings.Contains(env.String(), "99/100") {
+		t.Errorf("String = %q", env.String())
+	}
+}
+
+func TestConstraintEnvelopeVariesAcrossAdversaries(t *testing.T) {
+	// An adversary choosing the variant: improved dominates original.
+	space, err := NewSpace(Choice{Name: "variant", Options: []string{"orig", "improved"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	build := func(a Assignment) (*pps.System, error) {
+		v := paper.FSOriginal
+		if a["variant"] == "improved" {
+			v = paper.FSImproved
+		}
+		return paper.FiringSquad(ratutil.R(1, 10), v)
+	}
+	instances, err := Resolve(space, build)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env, err := ConstraintEnvelope(instances, paper.FSBothFire(), paper.Alice, paper.ActFire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ratutil.Eq(env.Min, ratutil.R(99, 100)) || !ratutil.Eq(env.Max, ratutil.R(990, 991)) {
+		t.Fatalf("envelope = [%v, %v], want [99/100, 990/991]", env.Min, env.Max)
+	}
+	if env.ArgMax["variant"] != "improved" {
+		t.Fatalf("ArgMax = %v", env.ArgMax)
+	}
+}
+
+func TestConstraintEnvelopeErrors(t *testing.T) {
+	if _, err := ConstraintEnvelope(nil, paper.FSBothFire(), paper.Alice, paper.ActFire); !errors.Is(err, ErrNoInstances) {
+		t.Errorf("empty instances err = %v", err)
+	}
+	// All-skipped family: go=0 only.
+	space, err := NewSpace(Choice{Name: "go", Options: []string{"0"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	instances, err := Resolve(space, fsBuilder)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ConstraintEnvelope(instances, paper.FSBothFire(), paper.Alice, paper.ActFire); !errors.Is(err, ErrNoInstances) {
+		t.Errorf("all-skipped err = %v", err)
+	}
+}
+
+func TestMetricEnvelope(t *testing.T) {
+	space, err := NewSpace(Choice{Name: "variant", Options: []string{"orig", "improved"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	instances, err := Resolve(space, func(a Assignment) (*pps.System, error) {
+		v := paper.FSOriginal
+		if a["variant"] == "improved" {
+			v = paper.FSImproved
+		}
+		return paper.FiringSquad(ratutil.R(1, 10), v)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Metric: the threshold-met measure µ(β ≥ 0.95 | fire_A). The
+	// improved protocol attains 1, the original 991/1000.
+	metric := func(e *core.Engine) (*big.Rat, error) {
+		return e.ThresholdMeasure(paper.FSBothFire(), paper.Alice, paper.ActFire, ratutil.R(95, 100))
+	}
+	env, err := MetricEnvelope(instances, metric)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ratutil.Eq(env.Min, ratutil.R(991, 1000)) || !ratutil.IsOne(env.Max) {
+		t.Fatalf("envelope = [%v, %v]", env.Min, env.Max)
+	}
+	if env.ArgMax["variant"] != "improved" {
+		t.Fatalf("ArgMax = %v", env.ArgMax)
+	}
+	if !strings.Contains(env.String(), "991/1000") {
+		t.Errorf("String = %q", env.String())
+	}
+}
+
+func TestMetricEnvelopeSkipsAndErrors(t *testing.T) {
+	if _, err := MetricEnvelope(nil, func(*core.Engine) (*big.Rat, error) {
+		return ratutil.One(), nil
+	}); !errors.Is(err, ErrNoInstances) {
+		t.Errorf("empty err = %v", err)
+	}
+	space, err := NewSpace(Choice{Name: "go", Options: []string{"0"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	instances, err := Resolve(space, fsBuilder)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A metric that is undefined (improper action) on every instance.
+	metric := func(e *core.Engine) (*big.Rat, error) {
+		return e.ConstraintProb(paper.FSBothFire(), paper.Alice, paper.ActFire)
+	}
+	if _, err := MetricEnvelope(instances, metric); !errors.Is(err, ErrNoInstances) {
+		t.Errorf("all-skipped err = %v", err)
+	}
+	// A metric returning a hard error must propagate.
+	boom := errors.New("boom")
+	if _, err := MetricEnvelope(instances, func(*core.Engine) (*big.Rat, error) {
+		return nil, boom
+	}); !errors.Is(err, boom) {
+		t.Errorf("hard error = %v", err)
+	}
+}

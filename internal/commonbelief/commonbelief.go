@@ -1,0 +1,162 @@
+// Package commonbelief implements probabilistic (p-)belief operators over
+// a time slice of a pps, in the style of Monderer and Samet's
+// "Approximating common knowledge with common beliefs" — the related work
+// the paper builds on for its notion of beliefs, and the natural extension
+// of its framework to group epistemics.
+//
+// Fixing a time t, the sample space is the set of runs (restricted to runs
+// long enough to have a point at t), an agent's information partition is
+// induced by its local state at t, and for an event E:
+//
+//	B_i^p(E) = the runs whose µ(E | ℓ_i at t) ≥ p        (i p-believes E)
+//	E_G^p(E) = ∩_{i∈G} B_i^p(E)                          (everyone p-believes)
+//	C_G^p(E) = the largest F with F ⊆ E_G^p(E ∩ F)       (common p-belief)
+//
+// C is computed as a greatest fixed point by iterating
+// F ← F ∩ E_G^p(E ∩ F) from the full slice, which terminates because the
+// run set is finite and the iteration is monotone.
+package commonbelief
+
+import (
+	"errors"
+	"fmt"
+	"math/big"
+
+	"pak/internal/pps"
+	"pak/internal/ratutil"
+	"pak/internal/runset"
+)
+
+// Sentinel errors returned (wrapped) by this package.
+var (
+	// ErrBadTime indicates a slice time with no points.
+	ErrBadTime = errors.New("commonbelief: no runs reach the requested time")
+	// ErrBadProb indicates a belief level outside [0, 1].
+	ErrBadProb = errors.New("commonbelief: belief level must be in [0,1]")
+	// ErrBadGroup indicates an empty or invalid agent group.
+	ErrBadGroup = errors.New("commonbelief: invalid agent group")
+)
+
+// Slice is a fixed-time epistemic view of a pps: the runs alive at time t
+// together with each agent's information partition there.
+type Slice struct {
+	sys   *pps.System
+	t     int
+	alive *runset.Set
+	// cells groups alive runs by (agent, local state at t).
+	cells map[pps.AgentID]map[string]*runset.Set
+}
+
+// NewSlice builds the time-t view of sys.
+func NewSlice(sys *pps.System, t int) (*Slice, error) {
+	if t < 0 {
+		return nil, fmt.Errorf("%w: t=%d", ErrBadTime, t)
+	}
+	alive := sys.RunsWhere(func(r pps.RunID) bool { return t < sys.RunLen(r) })
+	if alive.IsEmpty() {
+		return nil, fmt.Errorf("%w: t=%d", ErrBadTime, t)
+	}
+	s := &Slice{
+		sys:   sys,
+		t:     t,
+		alive: alive,
+		cells: make(map[pps.AgentID]map[string]*runset.Set),
+	}
+	for a := pps.AgentID(0); int(a) < sys.NumAgents(); a++ {
+		byLocal := make(map[string]*runset.Set)
+		alive.ForEach(func(r int) bool {
+			local := sys.Local(pps.RunID(r), t, a)
+			cell, ok := byLocal[local]
+			if !ok {
+				cell = sys.NewSet()
+				byLocal[local] = cell
+			}
+			cell.Add(r)
+			return true
+		})
+		s.cells[a] = byLocal
+	}
+	return s, nil
+}
+
+// Time returns the slice time.
+func (s *Slice) Time() int { return s.t }
+
+// Alive returns the runs that have a point at the slice time.
+func (s *Slice) Alive() *runset.Set { return s.alive.Clone() }
+
+// PBelief returns B_i^p(E): the set of alive runs at whose time-t point
+// agent a's posterior probability of E is at least p.
+func (s *Slice) PBelief(a pps.AgentID, event *runset.Set, p *big.Rat) (*runset.Set, error) {
+	if p == nil || !ratutil.IsProb(p) {
+		return nil, fmt.Errorf("%w: %v", ErrBadProb, p)
+	}
+	if int(a) < 0 || int(a) >= s.sys.NumAgents() {
+		return nil, fmt.Errorf("%w: agent %d", ErrBadGroup, a)
+	}
+	out := s.sys.NewSet()
+	for _, cell := range s.cells[a] {
+		cond, ok := s.sys.Cond(event, cell)
+		if !ok {
+			continue // unreachable: cells are nonempty with positive mass
+		}
+		if ratutil.Geq(cond, p) {
+			out = out.Union(cell)
+		}
+	}
+	return out, nil
+}
+
+// EveryoneP returns E_G^p(E) = ∩_{i∈G} B_i^p(E) for the agent group G.
+func (s *Slice) EveryoneP(group []pps.AgentID, event *runset.Set, p *big.Rat) (*runset.Set, error) {
+	if len(group) == 0 {
+		return nil, fmt.Errorf("%w: empty group", ErrBadGroup)
+	}
+	out := s.alive.Clone()
+	for _, a := range group {
+		b, err := s.PBelief(a, event, p)
+		if err != nil {
+			return nil, err
+		}
+		out = out.Intersect(b)
+	}
+	return out, nil
+}
+
+// CommonP returns C_G^p(E), the event that E is common p-belief among G at
+// the slice time, computed as the greatest fixed point of
+// F ↦ E_G^p(E ∩ F) below the alive slice.
+func (s *Slice) CommonP(group []pps.AgentID, event *runset.Set, p *big.Rat) (*runset.Set, error) {
+	current := s.alive.Clone()
+	for {
+		next, err := s.EveryoneP(group, event.Intersect(current), p)
+		if err != nil {
+			return nil, err
+		}
+		next = next.Intersect(current)
+		if next.Equal(current) {
+			return next, nil
+		}
+		current = next
+	}
+}
+
+// IteratedEP returns the k-fold iterate (E_G^p)^k applied to E with
+// intersection at each stage: level 1 is E_G^p(E), level 2 is
+// E_G^p(E ∩ E_G^p(E)), and so on. As k grows the iterates decrease to
+// CommonP; exposing them lets callers inspect how fast common p-belief is
+// approached (Monderer–Samet's approximation view).
+func (s *Slice) IteratedEP(group []pps.AgentID, event *runset.Set, p *big.Rat, k int) (*runset.Set, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("%w: k=%d", ErrBadGroup, k)
+	}
+	current := s.alive.Clone()
+	for i := 0; i < k; i++ {
+		next, err := s.EveryoneP(group, event.Intersect(current), p)
+		if err != nil {
+			return nil, err
+		}
+		current = next.Intersect(current)
+	}
+	return current, nil
+}

@@ -1,0 +1,246 @@
+package commonbelief
+
+import (
+	"errors"
+	"testing"
+
+	"pak/internal/logic"
+	"pak/internal/paper"
+	"pak/internal/pps"
+	"pak/internal/ratutil"
+	"pak/internal/runset"
+)
+
+// thatSlice builds T-hat(9/10, 1/10) and its time-1 slice. Runs: 0 is
+// bit=0 (message m), 1 is bit=1 with m, 2 is bit=1 with m'.
+func thatSlice(t *testing.T) (*pps.System, *Slice) {
+	t.Helper()
+	sys, err := paper.That(ratutil.R(9, 10), ratutil.R(1, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewSlice(sys, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys, s
+}
+
+// bitEvent is the event "bit = 1" = runs {1, 2}.
+func bitEvent(sys *pps.System) *runset.Set {
+	return logic.RunsSatisfying(sys, paper.ThatBitFact())
+}
+
+func TestNewSliceErrors(t *testing.T) {
+	sys, _ := thatSlice(t)
+	if _, err := NewSlice(sys, -1); !errors.Is(err, ErrBadTime) {
+		t.Errorf("negative time err = %v", err)
+	}
+	if _, err := NewSlice(sys, 99); !errors.Is(err, ErrBadTime) {
+		t.Errorf("beyond-horizon err = %v", err)
+	}
+}
+
+func TestSliceAccessors(t *testing.T) {
+	sys, s := thatSlice(t)
+	if s.Time() != 1 {
+		t.Errorf("Time = %d", s.Time())
+	}
+	if !s.Alive().Equal(sys.FullSet()) {
+		t.Errorf("Alive = %v", s.Alive())
+	}
+}
+
+func TestPBelief(t *testing.T) {
+	sys, s := thatSlice(t)
+	e := bitEvent(sys)
+	agentI, agentJ := pps.AgentID(0), pps.AgentID(1)
+
+	// i's posterior of bit=1 is 8/9 in the recv=m cell {0,1} and 1 in the
+	// recv=m' cell {2}.
+	b, err := s.PBelief(agentI, e, ratutil.R(8, 9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !b.Equal(sys.FullSet()) {
+		t.Errorf("B_i^{8/9} = %v, want all runs", b)
+	}
+	b, err = s.PBelief(agentI, e, ratutil.R(9, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !b.Equal(runset.Of(3, 2)) {
+		t.Errorf("B_i^{9/10} = %v, want {2}", b)
+	}
+
+	// j knows its own bit: B_j^p(E) = {1,2} for every positive p.
+	b, err = s.PBelief(agentJ, e, ratutil.One())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !b.Equal(runset.Of(3, 1, 2)) {
+		t.Errorf("B_j^1 = %v, want {1,2}", b)
+	}
+}
+
+func TestPBeliefErrors(t *testing.T) {
+	sys, s := thatSlice(t)
+	e := bitEvent(sys)
+	if _, err := s.PBelief(0, e, ratutil.R(3, 2)); !errors.Is(err, ErrBadProb) {
+		t.Errorf("bad p err = %v", err)
+	}
+	if _, err := s.PBelief(0, e, nil); !errors.Is(err, ErrBadProb) {
+		t.Errorf("nil p err = %v", err)
+	}
+	if _, err := s.PBelief(99, e, ratutil.R(1, 2)); !errors.Is(err, ErrBadGroup) {
+		t.Errorf("bad agent err = %v", err)
+	}
+}
+
+func TestEveryoneP(t *testing.T) {
+	sys, s := thatSlice(t)
+	e := bitEvent(sys)
+	group := []pps.AgentID{0, 1}
+	ev, err := s.EveryoneP(group, e, ratutil.R(9, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// B_i^{9/10} = {2}, B_j^{9/10} = {1,2}: intersection {2}.
+	if !ev.Equal(runset.Of(3, 2)) {
+		t.Errorf("E^{9/10} = %v, want {2}", ev)
+	}
+	if _, err := s.EveryoneP(nil, e, ratutil.R(1, 2)); !errors.Is(err, ErrBadGroup) {
+		t.Errorf("empty group err = %v", err)
+	}
+}
+
+func TestCommonPCollapses(t *testing.T) {
+	// At p = 9/10 the event "bit=1" is p-believed by everyone exactly on
+	// {2}, but j's posterior of {2} within its bit=1 cell is only
+	// ε/p = 1/9 < 9/10, so the iteration collapses: no common p-belief.
+	sys, s := thatSlice(t)
+	e := bitEvent(sys)
+	group := []pps.AgentID{0, 1}
+	c, err := s.CommonP(group, e, ratutil.R(9, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.IsEmpty() {
+		t.Fatalf("C^{9/10} = %v, want ∅", c)
+	}
+}
+
+func TestCommonPTrivialLevels(t *testing.T) {
+	sys, s := thatSlice(t)
+	e := bitEvent(sys)
+	group := []pps.AgentID{0, 1}
+	// p = 0: everything is 0-believed, so C is the full slice.
+	c, err := s.CommonP(group, e, ratutil.Zero())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.Equal(sys.FullSet()) {
+		t.Fatalf("C^0 = %v, want all", c)
+	}
+}
+
+func TestIteratedEPDecreasesToCommon(t *testing.T) {
+	sys, s := thatSlice(t)
+	e := bitEvent(sys)
+	group := []pps.AgentID{0, 1}
+	p := ratutil.R(9, 10)
+
+	k1, err := s.IteratedEP(group, e, p, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k2, err := s.IteratedEP(group, e, p, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !k1.Equal(runset.Of(3, 2)) {
+		t.Errorf("level-1 = %v, want {2}", k1)
+	}
+	if !k2.SubsetOf(k1) {
+		t.Error("iterates should be decreasing")
+	}
+	c, err := s.CommonP(group, e, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !k2.Equal(c) {
+		t.Errorf("level-2 = %v should equal the fixed point %v", k2, c)
+	}
+	if _, err := s.IteratedEP(group, e, p, 0); !errors.Is(err, ErrBadGroup) {
+		t.Errorf("k=0 err = %v", err)
+	}
+	_ = sys
+}
+
+func TestCommonPIsFixedPoint(t *testing.T) {
+	// On the firing-squad system: whatever C is, it must satisfy
+	// C = E_G^p(E ∩ C) ∩ C.
+	sys, err := paper.FiringSquad(ratutil.R(1, 10), paper.FSOriginal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewSlice(sys, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bothFire := logic.RunsSatisfying(sys, logic.Sometime(paper.FSBothFire()))
+	group := []pps.AgentID{0, 1}
+	for _, p := range []string{"1/2", "9/10", "99/100"} {
+		level := ratutil.MustParse(p)
+		c, err := s.CommonP(group, bothFire, level)
+		if err != nil {
+			t.Fatal(err)
+		}
+		next, err := s.EveryoneP(group, bothFire.Intersect(c), level)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !next.Intersect(c).Equal(c) {
+			t.Errorf("p=%s: C is not a fixed point: C=%v, E(E∩C)∩C=%v", p, c, next.Intersect(c))
+		}
+		// C must be contained in the one-step operator.
+		one, err := s.EveryoneP(group, bothFire, level)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !c.SubsetOf(one) {
+			t.Errorf("p=%s: C ⊄ E^p(E)", p)
+		}
+	}
+}
+
+func TestFiringSquadCommonBeliefLevels(t *testing.T) {
+	// In FS at t=2 the event "both will fire" can be common p-believed for
+	// moderate p: when Alice received 'Yes' and Bob got the wake-up, both
+	// assign high probability to the event and to each other's beliefs.
+	sys, err := paper.FiringSquad(ratutil.R(1, 10), paper.FSOriginal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewSlice(sys, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bothFire := logic.RunsSatisfying(sys, logic.Sometime(paper.FSBothFire()))
+	group := []pps.AgentID{0, 1}
+
+	cLow, err := s.CommonP(group, bothFire, ratutil.R(1, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cLow.IsEmpty() {
+		t.Error("C^{1/2}(both fire) should be nonempty in FS")
+	}
+	cHigh, err := s.CommonP(group, bothFire, ratutil.R(999, 1000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cHigh.SubsetOf(cLow) {
+		t.Error("common belief should be antitone in p")
+	}
+}

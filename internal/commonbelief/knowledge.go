@@ -1,0 +1,100 @@
+package commonbelief
+
+import (
+	"fmt"
+
+	"pak/internal/pps"
+	"pak/internal/runset"
+)
+
+// Deterministic (S5) knowledge operators over a time slice, complementing
+// the probabilistic p-belief operators. In a pps the prior has full
+// support, so K_i coincides with B_i^1; the separate implementation works
+// purely set-theoretically and is used to exhibit the classic coordinated
+// attack contrast: over a lossy channel, common *knowledge* of a joint
+// action is unattainable while common p-belief is, and the paper's
+// Example 1 protocol succeeds exactly because its specification is
+// probabilistic.
+
+// Knowledge returns K_a(E): the runs at whose time-t point agent a knows
+// E, i.e. whose information cell is contained in E.
+func (s *Slice) Knowledge(a pps.AgentID, event *runset.Set) (*runset.Set, error) {
+	if int(a) < 0 || int(a) >= s.sys.NumAgents() {
+		return nil, fmt.Errorf("%w: agent %d", ErrBadGroup, a)
+	}
+	out := s.sys.NewSet()
+	for _, cell := range s.cells[a] {
+		if cell.SubsetOf(event) {
+			out = out.Union(cell)
+		}
+	}
+	return out, nil
+}
+
+// EveryoneKnows returns E_G(E) = ∩_{i∈G} K_i(E).
+func (s *Slice) EveryoneKnows(group []pps.AgentID, event *runset.Set) (*runset.Set, error) {
+	if len(group) == 0 {
+		return nil, fmt.Errorf("%w: empty group", ErrBadGroup)
+	}
+	out := s.alive.Clone()
+	for _, a := range group {
+		k, err := s.Knowledge(a, event)
+		if err != nil {
+			return nil, err
+		}
+		out = out.Intersect(k)
+	}
+	return out, nil
+}
+
+// CommonKnowledge returns C_G(E), the greatest fixed point of
+// F ↦ E_G(E ∩ F) below the alive slice: the event that E is common
+// knowledge among G at the slice time.
+func (s *Slice) CommonKnowledge(group []pps.AgentID, event *runset.Set) (*runset.Set, error) {
+	current := s.alive.Clone()
+	for {
+		next, err := s.EveryoneKnows(group, event.Intersect(current))
+		if err != nil {
+			return nil, err
+		}
+		next = next.Intersect(current)
+		if next.Equal(current) {
+			return next, nil
+		}
+		current = next
+	}
+}
+
+// KnowledgeDepth iterates the "everyone knows" operator E_G (with
+// intersection at each stage) and returns the last level with a nonempty
+// iterate, together with that iterate. Iteration stops early when a fixed
+// point is reached: a nonempty fixed point means E is common knowledge on
+// the returned set (all further levels coincide), so the returned depth is
+// then the level at which the fixed point appeared, not maxDepth. A depth
+// k < maxDepth with an empty next level measures exactly k levels of
+// mutual knowledge ("everyone knows that everyone knows ... (k times)").
+func (s *Slice) KnowledgeDepth(group []pps.AgentID, event *runset.Set, maxDepth int) (int, *runset.Set, error) {
+	if maxDepth < 1 {
+		return 0, nil, fmt.Errorf("%w: maxDepth=%d", ErrBadGroup, maxDepth)
+	}
+	current := s.alive.Clone()
+	depth := 0
+	last := current.Clone()
+	for i := 0; i < maxDepth; i++ {
+		next, err := s.EveryoneKnows(group, event.Intersect(current))
+		if err != nil {
+			return 0, nil, err
+		}
+		next = next.Intersect(current)
+		if next.IsEmpty() {
+			return depth, last, nil
+		}
+		depth = i + 1
+		last = next
+		if next.Equal(current) {
+			return depth, last, nil // fixed point: all further levels equal
+		}
+		current = next
+	}
+	return depth, last, nil
+}

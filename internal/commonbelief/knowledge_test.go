@@ -1,0 +1,183 @@
+package commonbelief
+
+import (
+	"errors"
+	"testing"
+
+	"pak/internal/logic"
+	"pak/internal/paper"
+	"pak/internal/pps"
+	"pak/internal/ratutil"
+	"pak/internal/runset"
+)
+
+func TestKnowledgeOnThat(t *testing.T) {
+	sys, s := thatSlice(t)
+	e := bitEvent(sys) // {1, 2}
+
+	// j knows its own bit: K_j(bit=1) = {1, 2}.
+	kj, err := s.Knowledge(1, e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !kj.Equal(runset.Of(3, 1, 2)) {
+		t.Fatalf("K_j = %v, want {1,2}", kj)
+	}
+	// i knows bit=1 only after receiving m' (run 2).
+	ki, err := s.Knowledge(0, e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ki.Equal(runset.Of(3, 2)) {
+		t.Fatalf("K_i = %v, want {2}", ki)
+	}
+	// Knowledge coincides with B^1 in a pps.
+	b1, err := s.PBelief(0, e, ratutil.One())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ki.Equal(b1) {
+		t.Fatal("K_i != B_i^1")
+	}
+	if _, err := s.Knowledge(99, e); !errors.Is(err, ErrBadGroup) {
+		t.Errorf("bad agent err = %v", err)
+	}
+}
+
+func TestEveryoneKnowsAndCommonOnThat(t *testing.T) {
+	sys, s := thatSlice(t)
+	e := bitEvent(sys)
+	group := []pps.AgentID{0, 1}
+
+	ek, err := s.EveryoneKnows(group, e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ek.Equal(runset.Of(3, 2)) {
+		t.Fatalf("E_G = %v, want {2}", ek)
+	}
+	// But j does not know that i knows: j's bit=1 cell {1,2} is not
+	// contained in {2}, so common knowledge collapses to ∅.
+	ck, err := s.CommonKnowledge(group, e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ck.IsEmpty() {
+		t.Fatalf("C_G = %v, want ∅", ck)
+	}
+	if _, err := s.EveryoneKnows(nil, e); !errors.Is(err, ErrBadGroup) {
+		t.Errorf("empty group err = %v", err)
+	}
+}
+
+func TestKnowledgeDepthOnThat(t *testing.T) {
+	sys, s := thatSlice(t)
+	e := bitEvent(sys)
+	group := []pps.AgentID{0, 1}
+	depth, last, err := s.KnowledgeDepth(group, e, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Level 1 (everyone knows) is attained on {2}; level 2 is empty.
+	if depth != 1 {
+		t.Fatalf("depth = %d, want 1", depth)
+	}
+	if !last.Equal(runset.Of(3, 2)) {
+		t.Fatalf("last nonempty level = %v, want {2}", last)
+	}
+	if _, _, err := s.KnowledgeDepth(group, e, 0); !errors.Is(err, ErrBadGroup) {
+		t.Errorf("bad depth err = %v", err)
+	}
+}
+
+// TestCoordinatedAttackImpossibility exhibits the classic result through
+// the paper's Example 1: over the lossy channel, "both fire" is NEVER
+// common knowledge at the firing time — even on runs where both fire —
+// while common p-belief at moderate p is attained (the probabilistic
+// relaxation that makes the FS protocol's specification satisfiable).
+func TestCoordinatedAttackImpossibility(t *testing.T) {
+	sys, err := paper.FiringSquad(ratutil.R(1, 10), paper.FSOriginal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewSlice(sys, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	both := logic.RunsSatisfying(sys, logic.Sometime(paper.FSBothFire()))
+	group := []pps.AgentID{0, 1}
+
+	ck, err := s.CommonKnowledge(group, both)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ck.IsEmpty() {
+		t.Fatalf("common knowledge of joint firing over a lossy channel: %v", ck)
+	}
+
+	cb, err := s.CommonP(group, both, ratutil.R(1, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cb.IsEmpty() {
+		t.Fatal("common 1/2-belief should be attainable")
+	}
+}
+
+// TestLosslessChannelRestoresCommonKnowledge is the contrast: with no
+// message loss the go=1 branch has a single run, information is complete,
+// and joint firing becomes common knowledge at the firing time.
+func TestLosslessChannelRestoresCommonKnowledge(t *testing.T) {
+	sys, err := paper.FiringSquad(ratutil.Zero(), paper.FSOriginal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewSlice(sys, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	both := logic.RunsSatisfying(sys, logic.Sometime(paper.FSBothFire()))
+	group := []pps.AgentID{0, 1}
+
+	ck, err := s.CommonKnowledge(group, both)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ck.Equal(both) {
+		t.Fatalf("lossless: C_G(both) = %v, want the both-fire runs %v", ck, both)
+	}
+	depth, last, err := s.KnowledgeDepth(group, both, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The iteration reaches a nonempty fixed point (= common knowledge)
+	// at level 2 and stops there.
+	if depth != 2 || !last.Equal(both) {
+		t.Fatalf("lossless: depth = %d last = %v, want fixed point %v at level 2", depth, last, both)
+	}
+}
+
+// TestKnowledgeMonotoneInEvent checks K_a's monotonicity: E ⊆ F implies
+// K_a(E) ⊆ K_a(F).
+func TestKnowledgeMonotoneInEvent(t *testing.T) {
+	sys, s := thatSlice(t)
+	small := bitEvent(sys)
+	large := sys.FullSet()
+	for a := pps.AgentID(0); a < 2; a++ {
+		kSmall, err := s.Knowledge(a, small)
+		if err != nil {
+			t.Fatal(err)
+		}
+		kLarge, err := s.Knowledge(a, large)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !kSmall.SubsetOf(kLarge) {
+			t.Fatalf("agent %d: knowledge not monotone", a)
+		}
+		// K is truthful: K(E) ⊆ E.
+		if !kSmall.SubsetOf(small) {
+			t.Fatalf("agent %d: knowledge not truthful", a)
+		}
+	}
+}

@@ -1,0 +1,130 @@
+package core
+
+import (
+	"fmt"
+	"math/big"
+	"sort"
+	"strings"
+
+	"pak/internal/logic"
+	"pak/internal/ratutil"
+)
+
+// Audit is the one-call complete analysis of a probabilistic constraint
+// µ(φ@α | α) ≥ p: every quantity the paper's framework attaches to the
+// (system, fact, agent, action, threshold) tuple, computed exactly. It is
+// the programmatic equivalent of the pakcheck CLI's output.
+type Audit struct {
+	// Agent, Action and Fact identify the analyzed constraint.
+	Agent, Action string
+	Fact          string
+	// Threshold is the constraint's p.
+	Threshold *big.Rat
+
+	// ConstraintProb is µ(φ@α | α).
+	ConstraintProb *big.Rat
+	// Satisfied is ConstraintProb ≥ Threshold.
+	Satisfied bool
+	// ExpectedBelief is E[β(φ)@α | α]; equals ConstraintProb whenever
+	// Independence holds (Theorem 6.2).
+	ExpectedBelief *big.Rat
+	// MinBelief and MaxBelief bound β over the acting states.
+	MinBelief, MaxBelief *big.Rat
+	// ThresholdMet is µ(β ≥ p | α).
+	ThresholdMet *big.Rat
+	// BeliefByState maps each acting local state to its belief.
+	BeliefByState map[string]*big.Rat
+
+	// Independence diagnostics (Definition 4.1 / Lemma 4.3).
+	Independence IndependenceWitness
+	// Refrain is the Section 8 pruning analysis at the threshold.
+	Refrain RefrainReport
+
+	// Theorem verdicts on this system.
+	Expectation ExpectationReport
+	Sufficiency SufficiencyReport
+	Necessity   NecessityReport
+	KoPLimit    KoPReport
+}
+
+// AllTheoremsHold reports whether every checked result holds (it must, on
+// any valid system — a false value would be a counterexample to the
+// paper).
+func (a Audit) AllTheoremsHold() bool {
+	return a.Expectation.Holds() && a.Sufficiency.Holds() &&
+		a.Necessity.Holds() && a.KoPLimit.Holds()
+}
+
+// String renders a multi-line summary.
+func (a Audit) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "audit of µ(%s @ %s | %s) ≥ %s for agent %s\n",
+		a.Fact, a.Action, a.Action, a.Threshold.RatString(), a.Agent)
+	fmt.Fprintf(&b, "  µ = %s (satisfied: %v)\n", a.ConstraintProb.RatString(), a.Satisfied)
+	fmt.Fprintf(&b, "  E[β] = %s, β ∈ [%s, %s], µ(β ≥ p | α) = %s\n",
+		a.ExpectedBelief.RatString(), a.MinBelief.RatString(), a.MaxBelief.RatString(),
+		a.ThresholdMet.RatString())
+	fmt.Fprintf(&b, "  independent=%v (det=%v, past=%v)\n",
+		a.Independence.Independent, a.Independence.Deterministic, a.Independence.PastBased)
+	states := make([]string, 0, len(a.BeliefByState))
+	for s := range a.BeliefByState {
+		states = append(states, s)
+	}
+	sort.Strings(states)
+	for _, s := range states {
+		fmt.Fprintf(&b, "  β@%q = %s\n", s, a.BeliefByState[s].RatString())
+	}
+	fmt.Fprintf(&b, "  refrain: %s\n", a.Refrain)
+	fmt.Fprintf(&b, "  theorems hold: %v", a.AllTheoremsHold())
+	return b.String()
+}
+
+// AuditConstraint runs the complete analysis for the constraint
+// µ(φ@α | α) ≥ p. The action must be proper.
+func (e *Engine) AuditConstraint(f logic.Fact, agent, action string, p *big.Rat) (Audit, error) {
+	if p == nil || !ratutil.IsProb(p) {
+		return Audit{}, fmt.Errorf("%w: threshold %v not in [0,1]", ErrBadPoint, p)
+	}
+	audit := Audit{
+		Agent:     agent,
+		Action:    action,
+		Fact:      f.String(),
+		Threshold: ratutil.Copy(p),
+	}
+	var err error
+	if audit.ConstraintProb, err = e.ConstraintProb(f, agent, action); err != nil {
+		return Audit{}, err
+	}
+	audit.Satisfied = ratutil.Geq(audit.ConstraintProb, p)
+	if audit.ExpectedBelief, err = e.ExpectedBelief(f, agent, action); err != nil {
+		return Audit{}, err
+	}
+	if audit.MinBelief, audit.MaxBelief, err = e.BeliefRangeAtAction(f, agent, action); err != nil {
+		return Audit{}, err
+	}
+	if audit.ThresholdMet, err = e.ThresholdMeasure(f, agent, action, p); err != nil {
+		return Audit{}, err
+	}
+	if audit.BeliefByState, err = e.BeliefByActionState(f, agent, action); err != nil {
+		return Audit{}, err
+	}
+	if audit.Independence, err = e.ExplainIndependence(f, agent, action); err != nil {
+		return Audit{}, err
+	}
+	if audit.Refrain, err = e.RefrainAnalysis(f, agent, action, p); err != nil {
+		return Audit{}, err
+	}
+	if audit.Expectation, err = e.CheckExpectation(f, agent, action); err != nil {
+		return Audit{}, err
+	}
+	if audit.Sufficiency, err = e.CheckSufficiency(f, agent, action, p); err != nil {
+		return Audit{}, err
+	}
+	if audit.Necessity, err = e.CheckNecessity(f, agent, action, p); err != nil {
+		return Audit{}, err
+	}
+	if audit.KoPLimit, err = e.CheckKoPLimit(f, agent, action); err != nil {
+		return Audit{}, err
+	}
+	return audit, nil
+}

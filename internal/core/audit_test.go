@@ -1,0 +1,99 @@
+package core
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"pak/internal/logic"
+	"pak/internal/paper"
+	"pak/internal/ratutil"
+)
+
+func TestAuditFiringSquad(t *testing.T) {
+	sys, err := paper.FiringSquad(ratutil.R(1, 10), paper.FSOriginal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := New(sys)
+	audit, err := e.AuditConstraint(paper.FSBothFire(), paper.Alice, paper.ActFire, ratutil.R(95, 100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	checks := []struct {
+		name string
+		got  string
+		want string
+	}{
+		{"µ", audit.ConstraintProb.RatString(), "99/100"},
+		{"E[β]", audit.ExpectedBelief.RatString(), "99/100"},
+		{"min β", audit.MinBelief.RatString(), "0"},
+		{"max β", audit.MaxBelief.RatString(), "1"},
+		{"µ(β≥p|α)", audit.ThresholdMet.RatString(), "991/1000"},
+		{"refrain prediction", audit.Refrain.Predicted.RatString(), "990/991"},
+	}
+	for _, c := range checks {
+		if c.got != c.want {
+			t.Errorf("%s = %s, want %s", c.name, c.got, c.want)
+		}
+	}
+	if !audit.Satisfied {
+		t.Error("constraint should be satisfied")
+	}
+	if !audit.Independence.Independent || !audit.Independence.Deterministic || !audit.Independence.PastBased {
+		t.Errorf("independence witness = %+v", audit.Independence)
+	}
+	if len(audit.BeliefByState) != 3 {
+		t.Errorf("acting states = %d, want 3", len(audit.BeliefByState))
+	}
+	if !audit.AllTheoremsHold() {
+		t.Error("all theorems must hold")
+	}
+	out := audit.String()
+	for _, want := range []string{"µ = 99/100", "satisfied: true", "refrain", "theorems hold: true"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("String missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestAuditFigure1(t *testing.T) {
+	// On Figure 1 with the dependent fact, the audit records the failed
+	// independence and the failed identity without any theorem being
+	// contradicted (hypotheses fail).
+	sys, err := paper.Figure1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := New(sys)
+	audit, err := e.AuditConstraint(paper.Figure1PhiFact(), paper.AgentI, paper.ActAlpha, ratutil.R(1, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if audit.Independence.Independent {
+		t.Error("Figure 1 should fail independence")
+	}
+	if audit.Expectation.Equal() {
+		t.Error("identity should fail on Figure 1")
+	}
+	if !audit.AllTheoremsHold() {
+		t.Error("theorems hold vacuously when hypotheses fail")
+	}
+}
+
+func TestAuditErrors(t *testing.T) {
+	sys, err := paper.Figure1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := New(sys)
+	if _, err := e.AuditConstraint(logic.True(), paper.AgentI, "never", ratutil.R(1, 2)); !errors.Is(err, ErrNotProper) {
+		t.Errorf("improper action err = %v", err)
+	}
+	if _, err := e.AuditConstraint(logic.True(), paper.AgentI, paper.ActAlpha, ratutil.R(3, 2)); !errors.Is(err, ErrBadPoint) {
+		t.Errorf("bad threshold err = %v", err)
+	}
+	if _, err := e.AuditConstraint(logic.True(), paper.AgentI, paper.ActAlpha, nil); !errors.Is(err, ErrBadPoint) {
+		t.Errorf("nil threshold err = %v", err)
+	}
+}

@@ -1,0 +1,271 @@
+package core
+
+import (
+	"fmt"
+	"math/big"
+
+	"pak/internal/logic"
+	"pak/internal/pps"
+	"pak/internal/ratutil"
+	"pak/internal/runset"
+)
+
+// Belief queries (Section 3 of the paper). The agent's subjective
+// probabilistic belief is the posterior obtained by conditioning the prior
+// µ_T on the agent's local state: β_i(φ) at (r, t) is µ_T(φ@ℓ | ℓ) for
+// ℓ = r_i(t). Since synchrony makes a local state occur at most once per
+// run, φ@ℓ ("φ holds when i is in state ℓ in the current run") is a
+// well-defined fact about runs and corresponds to a measurable event.
+
+// FactAtLocal returns the event φ@ℓ: the runs in which agent's local state
+// equals local at some point (necessarily a unique time) and φ holds at
+// that point.
+func (e *Engine) FactAtLocal(f logic.Fact, agent, local string) (*runset.Set, error) {
+	a, err := e.agent(agent)
+	if err != nil {
+		return nil, err
+	}
+	occ, tm, ok := e.sys.Occurs(a, local)
+	if !ok {
+		return nil, fmt.Errorf("%w: agent %q state %q", ErrUnknownLocal, agent, local)
+	}
+	ev := e.sys.NewSet()
+	occ.ForEach(func(r int) bool {
+		if f.Holds(e.sys, pps.RunID(r), tm) {
+			ev.Add(r)
+		}
+		return true
+	})
+	return ev, nil
+}
+
+// Belief returns β_i(φ) at local state ℓ: µ_T(φ@ℓ | ℓ) (Definition 3.1).
+// The belief is a property of the local state alone — it is the same at
+// every point where the agent is in state ℓ.
+func (e *Engine) Belief(f logic.Fact, agent, local string) (*big.Rat, error) {
+	a, err := e.agent(agent)
+	if err != nil {
+		return nil, err
+	}
+	occ, _, ok := e.sys.Occurs(a, local)
+	if !ok {
+		return nil, fmt.Errorf("%w: agent %q state %q", ErrUnknownLocal, agent, local)
+	}
+	ev, err := e.FactAtLocal(f, agent, local)
+	if err != nil {
+		return nil, err
+	}
+	cond, condOK := e.sys.Cond(ev, occ)
+	if !condOK {
+		// Unreachable in a valid pps: every occurring local state has
+		// positive measure because all runs do.
+		return nil, fmt.Errorf("%w: state %q has zero measure", ErrUnknownLocal, local)
+	}
+	return cond, nil
+}
+
+// BeliefAtPoint returns β_i(φ) at the point (r, t): the belief at the
+// agent's local state there.
+func (e *Engine) BeliefAtPoint(f logic.Fact, agent string, r pps.RunID, t int) (*big.Rat, error) {
+	a, err := e.agent(agent)
+	if err != nil {
+		return nil, err
+	}
+	if r < 0 || int(r) >= e.sys.NumRuns() || t < 0 || t >= e.sys.RunLen(r) {
+		return nil, fmt.Errorf("%w: (%d, %d)", ErrBadPoint, r, t)
+	}
+	return e.Belief(f, agent, e.sys.Local(r, t, a))
+}
+
+// Knows reports whether agent knows φ at (r, t) in the S5 sense of the
+// interpreted-systems framework: φ@ℓ holds in every run in which the
+// agent's current local state ℓ occurs. In a pps the prior has full
+// support, so K_i(φ) coincides with β_i(φ) = 1.
+func (e *Engine) Knows(f logic.Fact, agent string, r pps.RunID, t int) (bool, error) {
+	a, err := e.agent(agent)
+	if err != nil {
+		return false, err
+	}
+	if r < 0 || int(r) >= e.sys.NumRuns() || t < 0 || t >= e.sys.RunLen(r) {
+		return false, fmt.Errorf("%w: (%d, %d)", ErrBadPoint, r, t)
+	}
+	local := e.sys.Local(r, t, a)
+	occ, tm, _ := e.sys.Occurs(a, local)
+	known := true
+	occ.ForEach(func(rr int) bool {
+		if !f.Holds(e.sys, pps.RunID(rr), tm) {
+			known = false
+			return false
+		}
+		return true
+	})
+	return known, nil
+}
+
+// FactAtAction returns the event φ@α: the runs in which agent performs
+// the proper action α, and φ holds at the (unique) point of performance
+// (Section 3.1).
+func (e *Engine) FactAtAction(f logic.Fact, agent, action string) (*runset.Set, error) {
+	_, info, err := e.properFor(agent, action)
+	if err != nil {
+		return nil, err
+	}
+	ev := e.sys.NewSet()
+	info.set.ForEach(func(r int) bool {
+		if f.Holds(e.sys, pps.RunID(r), info.times[r]) {
+			ev.Add(r)
+		}
+		return true
+	})
+	return ev, nil
+}
+
+// ConstraintProb returns µ_T(φ@α | α), the left-hand side of a
+// probabilistic constraint µ_T(φ@α | α) ≥ p (Definition 3.2).
+func (e *Engine) ConstraintProb(f logic.Fact, agent, action string) (*big.Rat, error) {
+	_, info, err := e.properFor(agent, action)
+	if err != nil {
+		return nil, err
+	}
+	ev, err := e.FactAtAction(f, agent, action)
+	if err != nil {
+		return nil, err
+	}
+	cond, ok := e.sys.Cond(ev, info.set)
+	if !ok {
+		return nil, fmt.Errorf("%w: %s never performs %q", ErrNotProper, agent, action)
+	}
+	return cond, nil
+}
+
+// BeliefAtAction returns the run-indexed random variable (β_i(φ)@α)[r]:
+// the agent's degree of belief in φ at the point where it performs α in
+// run r, and 0 (by the paper's convention) for runs in which α is not
+// performed. The action must be proper.
+func (e *Engine) BeliefAtAction(f logic.Fact, agent, action string) ([]*big.Rat, error) {
+	a, info, err := e.properFor(agent, action)
+	if err != nil {
+		return nil, err
+	}
+	// β depends only on the local state, so compute once per ℓ ∈ L_i[α].
+	byLocal := make(map[string]*big.Rat, len(info.locals))
+	for _, local := range info.locals {
+		bel, belErr := e.Belief(f, agent, local)
+		if belErr != nil {
+			return nil, belErr
+		}
+		byLocal[local] = bel
+	}
+	out := make([]*big.Rat, e.sys.NumRuns())
+	for r := range out {
+		t := info.times[r]
+		if t < 0 {
+			out[r] = ratutil.Zero()
+			continue
+		}
+		out[r] = ratutil.Copy(byLocal[e.sys.Local(pps.RunID(r), t, a)])
+	}
+	return out, nil
+}
+
+// ExpectedBelief returns E_µT(β_i(φ)@α | α), the expected degree of the
+// agent's belief in φ when it performs α, conditioned on α being performed
+// (Definition 6.1).
+func (e *Engine) ExpectedBelief(f logic.Fact, agent, action string) (*big.Rat, error) {
+	_, info, err := e.properFor(agent, action)
+	if err != nil {
+		return nil, err
+	}
+	beliefs, err := e.BeliefAtAction(f, agent, action)
+	if err != nil {
+		return nil, err
+	}
+	mAlpha := e.sys.Measure(info.set)
+	total := new(big.Rat)
+	info.set.ForEach(func(r int) bool {
+		total.Add(total, ratutil.Mul(e.sys.RunProb(pps.RunID(r)), beliefs[r]))
+		return true
+	})
+	return ratutil.Div(total, mAlpha), nil
+}
+
+// BeliefThresholdEvent returns the event {r ∈ R_α : (β_i(φ)@α)[r] ≥ p}.
+func (e *Engine) BeliefThresholdEvent(f logic.Fact, agent, action string, p *big.Rat) (*runset.Set, error) {
+	_, info, err := e.properFor(agent, action)
+	if err != nil {
+		return nil, err
+	}
+	beliefs, err := e.BeliefAtAction(f, agent, action)
+	if err != nil {
+		return nil, err
+	}
+	ev := e.sys.NewSet()
+	info.set.ForEach(func(r int) bool {
+		if ratutil.Geq(beliefs[r], p) {
+			ev.Add(r)
+		}
+		return true
+	})
+	return ev, nil
+}
+
+// ThresholdMeasure returns µ_T(β_i(φ)@α ≥ p | α): the probability,
+// conditioned on α being performed, that the agent's belief meets the
+// threshold p when it acts.
+func (e *Engine) ThresholdMeasure(f logic.Fact, agent, action string, p *big.Rat) (*big.Rat, error) {
+	_, info, err := e.properFor(agent, action)
+	if err != nil {
+		return nil, err
+	}
+	ev, err := e.BeliefThresholdEvent(f, agent, action, p)
+	if err != nil {
+		return nil, err
+	}
+	cond, ok := e.sys.Cond(ev, info.set)
+	if !ok {
+		return nil, fmt.Errorf("%w: %s never performs %q", ErrNotProper, agent, action)
+	}
+	return cond, nil
+}
+
+// BeliefRangeAtAction returns the minimum and maximum of β_i(φ) over the
+// points at which agent performs the proper action α.
+func (e *Engine) BeliefRangeAtAction(f logic.Fact, agent, action string) (min, max *big.Rat, err error) {
+	_, info, err := e.properFor(agent, action)
+	if err != nil {
+		return nil, nil, err
+	}
+	for _, local := range info.locals {
+		bel, belErr := e.Belief(f, agent, local)
+		if belErr != nil {
+			return nil, nil, belErr
+		}
+		if min == nil || ratutil.Less(bel, min) {
+			min = ratutil.Copy(bel)
+		}
+		if max == nil || ratutil.Greater(bel, max) {
+			max = ratutil.Copy(bel)
+		}
+	}
+	return min, max, nil
+}
+
+// BeliefByActionState returns β_i(φ) for each local state in L_i[α],
+// keyed by the local state. This is the agent's "information states when
+// acting" view used throughout the paper's examples (e.g. Alice's three
+// states {Yes, No, silence} in Example 1).
+func (e *Engine) BeliefByActionState(f logic.Fact, agent, action string) (map[string]*big.Rat, error) {
+	_, info, err := e.properFor(agent, action)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]*big.Rat, len(info.locals))
+	for _, local := range info.locals {
+		bel, belErr := e.Belief(f, agent, local)
+		if belErr != nil {
+			return nil, belErr
+		}
+		out[local] = bel
+	}
+	return out, nil
+}

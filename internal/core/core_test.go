@@ -1,0 +1,593 @@
+package core
+
+import (
+	"errors"
+	"math/big"
+	"strings"
+	"testing"
+
+	"pak/internal/logic"
+	"pak/internal/pps"
+	"pak/internal/ratutil"
+)
+
+// figure1 builds the paper's Figure 1 system: one agent i, one initial
+// state g0, and a mixed action step performing α or α' with probability
+// 1/2 each. It is the paper's counterexample to both the sufficiency claim
+// (Section 4) and the expectation identity (Section 6) in the absence of
+// local-state independence.
+func figure1(t *testing.T) *Engine {
+	t.Helper()
+	b := pps.NewBuilder("i")
+	g0 := b.Init(ratutil.One(), "e0", "g0")
+	b.Child(g0, pps.Step{Pr: ratutil.R(1, 2), Acts: []string{"alpha"}, Env: "e1", Locals: []string{"g1"}})
+	b.Child(g0, pps.Step{Pr: ratutil.R(1, 2), Acts: []string{"alpha'"}, Env: "e1", Locals: []string{"g1"}})
+	sys, err := b.Build()
+	if err != nil {
+		t.Fatalf("figure1 build: %v", err)
+	}
+	return New(sys)
+}
+
+// that builds the paper's Figure 2 system T-hat(p, ε) from the proof of
+// Theorem 5.2. Two agents i and j; j's bit is 1 with probability p. When
+// bit=0, j sends message m; when bit=1 it sends m with probability 1-ε/p
+// and m' with probability ε/p. Agent i then performs α unconditionally at
+// time 1.
+func that(t *testing.T, p, eps *big.Rat) *Engine {
+	t.Helper()
+	sys, err := buildThat(p, eps)
+	if err != nil {
+		t.Fatalf("T-hat build: %v", err)
+	}
+	return New(sys)
+}
+
+func buildThat(p, eps *big.Rat) (*pps.System, error) {
+	b := pps.NewBuilder("i", "j")
+	s0 := b.Init(ratutil.OneMinus(p), "env", "i0", "j0:bit=0")
+	s1 := b.Init(p, "env", "i0", "j0:bit=1")
+	// bit=0: j sends m deterministically.
+	n0 := b.Child(s0, pps.Step{Pr: ratutil.One(), Acts: []string{"noop", "send-m"},
+		Env: "env", Locals: []string{"i1:recv=m", "j1:bit=0"}})
+	b.Child(n0, pps.Step{Pr: ratutil.One(), Acts: []string{"alpha", "noop"},
+		Env: "env", Locals: []string{"i2", "j2:bit=0"}})
+	// bit=1: j sends m w.p. 1-ε/p, m' w.p. ε/p.
+	epsOverP := ratutil.Div(eps, p)
+	n1 := b.Child(s1, pps.Step{Pr: ratutil.OneMinus(epsOverP), Acts: []string{"noop", "send-m"},
+		Env: "env", Locals: []string{"i1:recv=m", "j1:bit=1"}})
+	b.Child(n1, pps.Step{Pr: ratutil.One(), Acts: []string{"alpha", "noop"},
+		Env: "env", Locals: []string{"i2", "j2:bit=1"}})
+	n2 := b.Child(s1, pps.Step{Pr: epsOverP, Acts: []string{"noop", "send-m'"},
+		Env: "env", Locals: []string{"i1:recv=m'", "j1:bit=1"}})
+	b.Child(n2, pps.Step{Pr: ratutil.One(), Acts: []string{"alpha", "noop"},
+		Env: "env", Locals: []string{"i2b", "j2b:bit=1"}})
+	return b.Build()
+}
+
+// bitIsOne is the fact φ = "bit = 1", a fact about runs expressed through
+// j's local state.
+func bitIsOne() logic.Fact { return logic.LocalContains("j", "bit=1") }
+
+func TestProperAction(t *testing.T) {
+	e := figure1(t)
+	if err := e.IsProper("i", "alpha"); err != nil {
+		t.Errorf("alpha should be proper: %v", err)
+	}
+	if err := e.IsProper("i", "never"); !errors.Is(err, ErrNotProper) {
+		t.Errorf("never-performed action: err = %v, want ErrNotProper", err)
+	}
+	if err := e.IsProper("nobody", "alpha"); !errors.Is(err, ErrUnknownAgent) {
+		t.Errorf("unknown agent: err = %v, want ErrUnknownAgent", err)
+	}
+}
+
+func TestImproperRepeatedAction(t *testing.T) {
+	// A run in which i performs α twice: α is not proper.
+	b := pps.NewBuilder("i")
+	g := b.Init(ratutil.One(), "e", "l0")
+	c := b.Child(g, pps.Step{Pr: ratutil.One(), Acts: []string{"alpha"}, Env: "e", Locals: []string{"l1"}})
+	b.Child(c, pps.Step{Pr: ratutil.One(), Acts: []string{"alpha"}, Env: "e", Locals: []string{"l2"}})
+	sys, err := b.Build()
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	e := New(sys)
+	if err := e.IsProper("i", "alpha"); !errors.Is(err, ErrNotProper) {
+		t.Fatalf("repeated action: err = %v, want ErrNotProper", err)
+	}
+	if _, err := e.ConstraintProb(logic.True(), "i", "alpha"); !errors.Is(err, ErrNotProper) {
+		t.Fatalf("ConstraintProb on improper action: err = %v, want ErrNotProper", err)
+	}
+}
+
+func TestPerformedSetAndTime(t *testing.T) {
+	e := figure1(t)
+	set, err := e.PerformedSet("i", "alpha")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if set.Count() != 1 || !set.Contains(0) {
+		t.Fatalf("PerformedSet = %v", set)
+	}
+	tm, ok, err := e.PerformanceTime("i", "alpha", 0)
+	if err != nil || !ok || tm != 0 {
+		t.Fatalf("PerformanceTime run0 = %d,%v,%v", tm, ok, err)
+	}
+	_, ok, err = e.PerformanceTime("i", "alpha", 1)
+	if err != nil || ok {
+		t.Fatalf("PerformanceTime run1 should be absent, got ok=%v err=%v", ok, err)
+	}
+	if _, _, err := e.PerformanceTime("i", "alpha", 99); !errors.Is(err, ErrBadPoint) {
+		t.Fatalf("out-of-range run: err = %v", err)
+	}
+}
+
+func TestActionStates(t *testing.T) {
+	e := that(t, ratutil.R(9, 10), ratutil.R(1, 10))
+	states, err := e.ActionStates("i", "alpha")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"i1:recv=m", "i1:recv=m'"}
+	if len(states) != 2 || states[0] != want[0] || states[1] != want[1] {
+		t.Fatalf("ActionStates = %v, want %v", states, want)
+	}
+}
+
+func TestBeliefFigure1(t *testing.T) {
+	// Paper, Section 4: with ψ = ¬does_i(α), β_i(ψ) = 1/2 when i performs
+	// α, while µ(ψ@α|α) = 0.
+	e := figure1(t)
+	psi := logic.Not(logic.Does("i", "alpha"))
+	bel, err := e.Belief(psi, "i", "g0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ratutil.Eq(bel, ratutil.R(1, 2)) {
+		t.Fatalf("β_i(ψ) at g0 = %v, want 1/2", bel)
+	}
+	mu, err := e.ConstraintProb(psi, "i", "alpha")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ratutil.IsZero(mu) {
+		t.Fatalf("µ(ψ@α|α) = %v, want 0", mu)
+	}
+}
+
+func TestBeliefUnknowns(t *testing.T) {
+	e := figure1(t)
+	if _, err := e.Belief(logic.True(), "i", "no-such-state"); !errors.Is(err, ErrUnknownLocal) {
+		t.Errorf("unknown local: err = %v", err)
+	}
+	if _, err := e.Belief(logic.True(), "nobody", "g0"); !errors.Is(err, ErrUnknownAgent) {
+		t.Errorf("unknown agent: err = %v", err)
+	}
+	if _, err := e.BeliefAtPoint(logic.True(), "i", 0, 99); !errors.Is(err, ErrBadPoint) {
+		t.Errorf("bad point: err = %v", err)
+	}
+}
+
+func TestBeliefAtPoint(t *testing.T) {
+	e := figure1(t)
+	bel, err := e.BeliefAtPoint(logic.Not(logic.Does("i", "alpha")), "i", 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ratutil.Eq(bel, ratutil.R(1, 2)) {
+		t.Fatalf("belief at point (1,0) = %v, want 1/2", bel)
+	}
+}
+
+func TestBeliefAtActionConvention(t *testing.T) {
+	// (β_i(φ)@α)[r] = 0 by convention for runs where α is not performed.
+	e := figure1(t)
+	beliefs, err := e.BeliefAtAction(logic.True(), "i", "alpha")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ratutil.IsOne(beliefs[0]) {
+		t.Errorf("belief in run 0 = %v, want 1", beliefs[0])
+	}
+	if !ratutil.IsZero(beliefs[1]) {
+		t.Errorf("belief in run 1 = %v, want 0 (convention)", beliefs[1])
+	}
+}
+
+func TestThatBeliefs(t *testing.T) {
+	// Paper, proof of Theorem 5.2: with p = 9/10, ε = 1/10,
+	// β_i(φ)@α = (p-ε)/(1-ε) = 8/9 in runs r and r', and 1 in run r''.
+	p, eps := ratutil.R(9, 10), ratutil.R(1, 10)
+	e := that(t, p, eps)
+	phi := bitIsOne()
+	byState, err := e.BeliefByActionState(phi, "i", "alpha")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantShared := ratutil.Div(ratutil.Sub(p, eps), ratutil.OneMinus(eps)) // 8/9
+	if got := byState["i1:recv=m"]; !ratutil.Eq(got, wantShared) {
+		t.Errorf("β at recv=m = %v, want %v", got, wantShared)
+	}
+	if got := byState["i1:recv=m'"]; !ratutil.IsOne(got) {
+		t.Errorf("β at recv=m' = %v, want 1", got)
+	}
+
+	mu, err := e.ConstraintProb(phi, "i", "alpha")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ratutil.Eq(mu, p) {
+		t.Errorf("µ(φ@α|α) = %v, want %v", mu, p)
+	}
+
+	// µ(β ≥ p | α) = ε: the threshold is met only in run r''.
+	tm, err := e.ThresholdMeasure(phi, "i", "alpha", p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ratutil.Eq(tm, eps) {
+		t.Errorf("µ(β≥p|α) = %v, want %v", tm, eps)
+	}
+}
+
+func TestThatExpectationTheorem(t *testing.T) {
+	// Theorem 6.2 on T-hat: E[β_i(φ)@α | α] = µ(φ@α | α) = p exactly.
+	for _, tc := range []struct{ p, eps *big.Rat }{
+		{ratutil.R(9, 10), ratutil.R(1, 10)},
+		{ratutil.R(99, 100), ratutil.R(1, 100)},
+		{ratutil.R(1, 2), ratutil.R(1, 10)},
+		{ratutil.R(95, 100), ratutil.R(3, 100)},
+	} {
+		e := that(t, tc.p, tc.eps)
+		rep, err := e.CheckExpectation(bitIsOne(), "i", "alpha")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rep.Independent {
+			t.Errorf("p=%v ε=%v: expected independence (α deterministic)", tc.p, tc.eps)
+		}
+		if !rep.Equal() {
+			t.Errorf("p=%v ε=%v: µ=%v != E[β]=%v", tc.p, tc.eps,
+				rep.ConstraintProb, rep.ExpectedBelief)
+		}
+		if !ratutil.Eq(rep.ConstraintProb, tc.p) {
+			t.Errorf("µ = %v, want %v", rep.ConstraintProb, tc.p)
+		}
+		if !rep.Holds() {
+			t.Errorf("Theorem 6.2 violated: %v", rep)
+		}
+	}
+}
+
+func TestFigure1ExpectationCounterexample(t *testing.T) {
+	// Paper, Section 6: with φ = does_i(α), µ(φ@α|α) = 1 but E[β] = 1/2.
+	// The identity fails, and the independence hypothesis fails too —
+	// exactly as the paper argues.
+	e := figure1(t)
+	phi := logic.Does("i", "alpha")
+	rep, err := e.CheckExpectation(phi, "i", "alpha")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ratutil.IsOne(rep.ConstraintProb) {
+		t.Errorf("µ(φ@α|α) = %v, want 1", rep.ConstraintProb)
+	}
+	if !ratutil.Eq(rep.ExpectedBelief, ratutil.R(1, 2)) {
+		t.Errorf("E[β] = %v, want 1/2", rep.ExpectedBelief)
+	}
+	if rep.Independent {
+		t.Error("φ should NOT be local-state independent of α in Figure 1")
+	}
+	if rep.Equal() {
+		t.Error("the two sides should differ in Figure 1")
+	}
+	if !rep.Holds() {
+		t.Error("theorem trivially holds when hypothesis fails")
+	}
+}
+
+func TestFigure1SufficiencyCounterexample(t *testing.T) {
+	// Paper, Section 4: ψ = ¬does_i(α); β_i(ψ) = 1/2 ≥ 1/2 whenever α is
+	// performed, yet µ(ψ@α|α) = 0 < 1/2. Sufficiency fails without
+	// independence.
+	e := figure1(t)
+	psi := logic.Not(logic.Does("i", "alpha"))
+	rep, err := e.CheckSufficiency(psi, "i", "alpha", ratutil.R(1, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.PremiseMet {
+		t.Errorf("premise should be met: minβ = %v", rep.MinBelief)
+	}
+	if rep.ConstraintMet {
+		t.Errorf("constraint should fail: µ = %v", rep.ConstraintProb)
+	}
+	if rep.Independent {
+		t.Error("ψ should not be independent of α")
+	}
+	if !rep.Holds() {
+		t.Error("Theorem 4.2 is not contradicted (hypothesis fails)")
+	}
+	if !strings.Contains(rep.String(), "holds=true") {
+		t.Errorf("String() = %q", rep.String())
+	}
+}
+
+func TestSufficiencyOnThat(t *testing.T) {
+	// On T-hat with the independence hypothesis met, acting only with
+	// belief ≥ (p-ε)/(1-ε) guarantees µ ≥ (p-ε)/(1-ε).
+	p, eps := ratutil.R(9, 10), ratutil.R(1, 10)
+	e := that(t, p, eps)
+	minBelief := ratutil.Div(ratutil.Sub(p, eps), ratutil.OneMinus(eps))
+	rep, err := e.CheckSufficiency(bitIsOne(), "i", "alpha", minBelief)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Independent || !rep.PremiseMet || !rep.ConstraintMet || !rep.Holds() {
+		t.Fatalf("sufficiency should hold on T-hat: %v", rep)
+	}
+}
+
+func TestNecessityLemma(t *testing.T) {
+	// Lemma 5.1 on T-hat: µ = p, so some performance point has β ≥ p.
+	// The witness is the revealing state recv=m'.
+	p, eps := ratutil.R(9, 10), ratutil.R(1, 10)
+	e := that(t, p, eps)
+	rep, err := e.CheckNecessity(bitIsOne(), "i", "alpha", p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Holds() {
+		t.Fatalf("Lemma 5.1 violated: %v", rep)
+	}
+	if rep.Witness != "i1:recv=m'" {
+		t.Errorf("witness = %q, want i1:recv=m'", rep.Witness)
+	}
+	if !ratutil.IsOne(rep.MaxBelief) {
+		t.Errorf("max belief = %v, want 1", rep.MaxBelief)
+	}
+}
+
+func TestPAKTheorem(t *testing.T) {
+	// Theorem 7.1 / Corollary 7.2 on T-hat(1-ε², ·): the premise
+	// µ ≥ 1-ε² holds by construction with p = 1-ε².
+	eps := ratutil.R(1, 10)
+	p := ratutil.OneMinus(ratutil.Mul(eps, eps)) // 99/100
+	e := that(t, p, ratutil.R(1, 100))
+	rep, err := e.CheckPAKSquare(bitIsOne(), "i", "alpha", eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.PremiseMet() {
+		t.Fatalf("premise should hold: µ = %v, threshold = %v", rep.ConstraintProb, rep.Threshold)
+	}
+	if !rep.ConclusionMet() {
+		t.Fatalf("conclusion should hold: µ(β≥%v|α) = %v, bound %v",
+			rep.BeliefLevel, rep.BeliefMeasure, rep.Bound)
+	}
+	if !rep.Holds() {
+		t.Fatalf("Corollary 7.2 violated: %v", rep)
+	}
+}
+
+func TestPAKThresholdCanBeRarelyMet(t *testing.T) {
+	// Theorem 5.2: on T-hat(p, ε), µ(β ≥ p | α) = ε can be made
+	// arbitrarily small while µ = p stays fixed. PAK still holds because
+	// the *relaxed* threshold 1-ε' is met with high probability.
+	p := ratutil.R(9, 10)
+	for _, eps := range []*big.Rat{ratutil.R(1, 10), ratutil.R(1, 100), ratutil.R(1, 1000)} {
+		e := that(t, p, eps)
+		tm, err := e.ThresholdMeasure(bitIsOne(), "i", "alpha", p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ratutil.Eq(tm, eps) {
+			t.Errorf("ε=%v: µ(β≥p|α) = %v, want %v", eps, tm, eps)
+		}
+	}
+}
+
+func TestKoPLimit(t *testing.T) {
+	// Degenerate T-hat with ε = 0 is not allowed (edge probability 0), so
+	// build a system in which φ surely holds when α is performed: i
+	// observes the bit perfectly before acting.
+	b := pps.NewBuilder("i", "j")
+	s0 := b.Init(ratutil.R(1, 2), "env", "i0:see=0", "j0:bit=0")
+	s1 := b.Init(ratutil.R(1, 2), "env", "i0:see=1", "j0:bit=1")
+	// i performs α only when it saw bit=1.
+	b.Child(s0, pps.Step{Pr: ratutil.One(), Acts: []string{"noop", "noop"},
+		Env: "env", Locals: []string{"i1:see=0", "j1:bit=0"}})
+	b.Child(s1, pps.Step{Pr: ratutil.One(), Acts: []string{"alpha", "noop"},
+		Env: "env", Locals: []string{"i1:see=1", "j1:bit=1"}})
+	sys, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := New(sys)
+	rep, err := e.CheckKoPLimit(bitIsOne(), "i", "alpha")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ratutil.IsOne(rep.ConstraintProb) {
+		t.Fatalf("µ = %v, want 1", rep.ConstraintProb)
+	}
+	if !ratutil.IsOne(rep.MinBelief) {
+		t.Fatalf("min belief = %v, want 1", rep.MinBelief)
+	}
+	if !rep.AlwaysKnows {
+		t.Fatal("agent should know φ at every performance point")
+	}
+	if !rep.Holds() {
+		t.Fatalf("Lemma F.1 violated: %v", rep)
+	}
+}
+
+func TestKnows(t *testing.T) {
+	p, eps := ratutil.R(9, 10), ratutil.R(1, 10)
+	e := that(t, p, eps)
+	phi := bitIsOne()
+	// Run 2 (r'') is the revealing run: i received m', so it knows bit=1.
+	knows, err := e.Knows(phi, "i", 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !knows {
+		t.Error("i should know bit=1 after receiving m'")
+	}
+	// Run 1 (r') has bit=1 but i received m, shared with the bit=0 run.
+	knows, err = e.Knows(phi, "i", 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if knows {
+		t.Error("i should not know bit=1 after receiving m")
+	}
+	// Knowledge coincides with belief 1 in a pps.
+	bel, err := e.BeliefAtPoint(phi, "i", 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ratutil.IsOne(bel) {
+		t.Errorf("belief at revealing point = %v, want 1", bel)
+	}
+}
+
+func TestIsDeterministicAction(t *testing.T) {
+	e1 := figure1(t)
+	det, err := e1.IsDeterministicAction("i", "alpha")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if det {
+		t.Error("Figure 1's alpha is a mixed action, not deterministic")
+	}
+	e2 := that(t, ratutil.R(9, 10), ratutil.R(1, 10))
+	det, err = e2.IsDeterministicAction("i", "alpha")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !det {
+		t.Error("T-hat's alpha is performed unconditionally, hence deterministic")
+	}
+}
+
+func TestExplainIndependence(t *testing.T) {
+	// Figure 1: neither sufficient condition of Lemma 4.3 holds, and
+	// independence indeed fails — consistent with the lemma.
+	e1 := figure1(t)
+	w1, err := e1.ExplainIndependence(logic.Not(logic.Does("i", "alpha")), "i", "alpha")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w1.Deterministic || w1.PastBased || w1.Independent {
+		t.Errorf("Figure 1 witness = %+v, want all false", w1)
+	}
+	if !w1.Lemma43Consistent() {
+		t.Error("Lemma 4.3 consistency must hold vacuously")
+	}
+	// T-hat: alpha deterministic AND fact past-based; independence holds.
+	e2 := that(t, ratutil.R(9, 10), ratutil.R(1, 10))
+	w2, err := e2.ExplainIndependence(bitIsOne(), "i", "alpha")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !w2.Deterministic || !w2.PastBased || !w2.Independent {
+		t.Errorf("T-hat witness = %+v, want all true", w2)
+	}
+	if !w2.Lemma43Consistent() {
+		t.Error("Lemma 4.3 violated on T-hat")
+	}
+}
+
+func TestIndependenceViolationDetails(t *testing.T) {
+	e := figure1(t)
+	rep, err := e.LocalStateIndependence(logic.Not(logic.Does("i", "alpha")), "i", "alpha")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Independent || len(rep.Violations) != 1 {
+		t.Fatalf("report = %v", rep)
+	}
+	v := rep.Violations[0]
+	if v.Local != "g0" {
+		t.Errorf("violation local = %q, want g0", v.Local)
+	}
+	// µ(ψ@g0|g0)·µ(α@g0|g0) = 1/2 · 1/2 = 1/4, while µ([ψ∧α]@g0|g0) = 0.
+	if !ratutil.Eq(v.Product, ratutil.R(1, 4)) {
+		t.Errorf("product = %v, want 1/4", v.Product)
+	}
+	if !ratutil.IsZero(v.Joint) {
+		t.Errorf("joint = %v, want 0", v.Joint)
+	}
+	if !strings.Contains(rep.String(), "NOT local-state independent") {
+		t.Errorf("String = %q", rep.String())
+	}
+}
+
+func TestBeliefRangeAtAction(t *testing.T) {
+	p, eps := ratutil.R(9, 10), ratutil.R(1, 10)
+	e := that(t, p, eps)
+	min, max, err := e.BeliefRangeAtAction(bitIsOne(), "i", "alpha")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ratutil.Eq(min, ratutil.R(8, 9)) {
+		t.Errorf("min = %v, want 8/9", min)
+	}
+	if !ratutil.IsOne(max) {
+		t.Errorf("max = %v, want 1", max)
+	}
+}
+
+func TestBeliefThresholdEvent(t *testing.T) {
+	p, eps := ratutil.R(9, 10), ratutil.R(1, 10)
+	e := that(t, p, eps)
+	ev, err := e.BeliefThresholdEvent(bitIsOne(), "i", "alpha", p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.Count() != 1 || !ev.Contains(2) {
+		t.Fatalf("threshold event = %v, want {2}", ev)
+	}
+}
+
+func TestReportStrings(t *testing.T) {
+	e := that(t, ratutil.R(9, 10), ratutil.R(1, 10))
+	phi := bitIsOne()
+	exp, _ := e.CheckExpectation(phi, "i", "alpha")
+	nec, _ := e.CheckNecessity(phi, "i", "alpha", ratutil.R(1, 2))
+	pak, _ := e.CheckPAKSquare(phi, "i", "alpha", ratutil.R(1, 10))
+	kop, _ := e.CheckKoPLimit(phi, "i", "alpha")
+	for _, s := range []string{exp.String(), nec.String(), pak.String(), kop.String()} {
+		if !strings.Contains(s, "holds=") {
+			t.Errorf("report string %q missing holds=", s)
+		}
+	}
+}
+
+func TestEngineSystemAccessor(t *testing.T) {
+	e := figure1(t)
+	if e.System() == nil || e.System().NumRuns() != 2 {
+		t.Fatal("System() accessor wrong")
+	}
+}
+
+func TestConcurrentQueries(t *testing.T) {
+	// The engine caches per-action data; exercise it from multiple
+	// goroutines to catch races (run with -race in CI).
+	e := that(t, ratutil.R(9, 10), ratutil.R(1, 10))
+	phi := bitIsOne()
+	done := make(chan error)
+	for k := 0; k < 8; k++ {
+		go func() {
+			_, err := e.CheckExpectation(phi, "i", "alpha")
+			done <- err
+		}()
+	}
+	for k := 0; k < 8; k++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}

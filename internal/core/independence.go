@@ -1,0 +1,151 @@
+package core
+
+import (
+	"fmt"
+	"math/big"
+
+	"pak/internal/logic"
+	"pak/internal/pps"
+	"pak/internal/ratutil"
+)
+
+// Local-state independence (Definition 4.1): a fact φ is local-state
+// independent of a proper action α for agent i if, for every local state
+// ℓ_i,
+//
+//	µ_T(φ@ℓ | ℓ) · µ_T(α@ℓ | ℓ) = µ_T([φ∧α]@ℓ | ℓ).
+//
+// Intuitively the probability that φ holds when i performs α must not
+// depend on which runs through ℓ happen to perform α. It is the hypothesis
+// of Theorems 4.2, 6.2 and 7.1, and fails exactly in mixed-action
+// pathologies such as the paper's Figure 1.
+
+// IndependenceViolation records one local state at which Definition 4.1
+// fails, with both sides of the defining equation.
+type IndependenceViolation struct {
+	// Local is the offending local state ℓ.
+	Local string
+	// Product is µ(φ@ℓ|ℓ) · µ(α@ℓ|ℓ).
+	Product *big.Rat
+	// Joint is µ([φ∧α]@ℓ|ℓ).
+	Joint *big.Rat
+}
+
+// String renders the violation for reports.
+func (v IndependenceViolation) String() string {
+	return fmt.Sprintf("at ℓ=%q: µ(φ@ℓ|ℓ)·µ(α@ℓ|ℓ) = %s ≠ %s = µ([φ∧α]@ℓ|ℓ)",
+		v.Local, v.Product.RatString(), v.Joint.RatString())
+}
+
+// IndependenceReport is the result of checking Definition 4.1.
+type IndependenceReport struct {
+	// Independent is true when the defining equation holds at every local
+	// state of the agent.
+	Independent bool
+	// Violations lists the local states at which it fails.
+	Violations []IndependenceViolation
+}
+
+// String summarizes the report.
+func (r IndependenceReport) String() string {
+	if r.Independent {
+		return "local-state independent"
+	}
+	return fmt.Sprintf("NOT local-state independent (%d violations; first: %s)",
+		len(r.Violations), r.Violations[0])
+}
+
+// LocalStateIndependence checks Definition 4.1 for the given fact, agent
+// and proper action, examining every local state of the agent that occurs
+// in the system. (States at which α is never performed satisfy the
+// equation trivially, both sides being 0, but are checked anyway.)
+func (e *Engine) LocalStateIndependence(f logic.Fact, agent, action string) (IndependenceReport, error) {
+	a, _, err := e.properFor(agent, action)
+	if err != nil {
+		return IndependenceReport{}, err
+	}
+	report := IndependenceReport{Independent: true}
+	for _, local := range e.sys.LocalStates(a) {
+		occ, tm, ok := e.sys.Occurs(a, local)
+		if !ok {
+			continue // unreachable: LocalStates only lists occurring states
+		}
+		// Events conditioned on ℓ occurring.
+		factAt := e.sys.NewSet()  // φ@ℓ
+		actAt := e.sys.NewSet()   // α@ℓ  (does_i(α)@ℓ)
+		jointAt := e.sys.NewSet() // [φ∧α]@ℓ
+		occ.ForEach(func(r int) bool {
+			run := pps.RunID(r)
+			holds := f.Holds(e.sys, run, tm)
+			act, actOK := e.sys.Action(run, tm, a)
+			performs := actOK && act == action
+			if holds {
+				factAt.Add(r)
+			}
+			if performs {
+				actAt.Add(r)
+			}
+			if holds && performs {
+				jointAt.Add(r)
+			}
+			return true
+		})
+		mOcc := e.sys.Measure(occ)
+		if mOcc.Sign() == 0 {
+			continue // unreachable in a valid pps
+		}
+		pFact := ratutil.Div(e.sys.Measure(factAt), mOcc)
+		pAct := ratutil.Div(e.sys.Measure(actAt), mOcc)
+		pJoint := ratutil.Div(e.sys.Measure(jointAt), mOcc)
+		product := ratutil.Mul(pFact, pAct)
+		if !ratutil.Eq(product, pJoint) {
+			report.Independent = false
+			report.Violations = append(report.Violations, IndependenceViolation{
+				Local:   local,
+				Product: product,
+				Joint:   pJoint,
+			})
+		}
+	}
+	return report, nil
+}
+
+// IndependenceWitness classifies why local-state independence holds, per
+// the sufficient conditions of Lemma 4.3.
+type IndependenceWitness struct {
+	// Deterministic is true when the action is deterministic for the agent
+	// (condition (a) of Lemma 4.3).
+	Deterministic bool
+	// PastBased is true when the fact is past-based in the system
+	// (condition (b) of Lemma 4.3).
+	PastBased bool
+	// Independent is the directly checked Definition 4.1.
+	Independent bool
+}
+
+// Lemma43Consistent reports whether the witness is consistent with
+// Lemma 4.3: if either sufficient condition holds, independence must hold.
+func (w IndependenceWitness) Lemma43Consistent() bool {
+	if w.Deterministic || w.PastBased {
+		return w.Independent
+	}
+	return true // lemma is silent when neither condition holds
+}
+
+// ExplainIndependence evaluates both sufficient conditions of Lemma 4.3
+// alongside the direct Definition 4.1 check.
+func (e *Engine) ExplainIndependence(f logic.Fact, agent, action string) (IndependenceWitness, error) {
+	det, err := e.IsDeterministicAction(agent, action)
+	if err != nil {
+		return IndependenceWitness{}, err
+	}
+	report, err := e.LocalStateIndependence(f, agent, action)
+	if err != nil {
+		return IndependenceWitness{}, err
+	}
+	return IndependenceWitness{
+		Deterministic: det,
+		PastBased:     logic.IsPastBased(e.sys, f),
+		Independent:   report.Independent,
+	}, nil
+}

@@ -1,0 +1,187 @@
+package core
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"pak/internal/logic"
+	"pak/internal/ratutil"
+)
+
+func TestDecomposeThat(t *testing.T) {
+	// On T-hat(9/10, 1/10): two cells — recv=m with weight 9/10 and
+	// posterior 8/9, recv=m' with weight 1/10 and posterior 1. Their
+	// weighted sum is the constraint value p = 9/10.
+	p, eps := ratutil.R(9, 10), ratutil.R(1, 10)
+	e := that(t, p, eps)
+	d, err := e.Decompose(bitIsOne(), "i", "alpha")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Cells) != 2 {
+		t.Fatalf("cells = %d, want 2", len(d.Cells))
+	}
+	if !d.WeightsSumToOne() {
+		t.Error("weights must sum to 1")
+	}
+	if !d.LemmaB1Holds() {
+		t.Error("Lemma B.1 must hold on T-hat (independent case)")
+	}
+	byLocal := map[string]JeffreyCell{}
+	for _, c := range d.Cells {
+		byLocal[c.Local] = c
+	}
+	m := byLocal["i1:recv=m"]
+	if !ratutil.Eq(m.Weight, ratutil.R(9, 10)) {
+		t.Errorf("recv=m weight = %v, want 9/10", m.Weight)
+	}
+	if !ratutil.Eq(m.Posterior, ratutil.R(8, 9)) {
+		t.Errorf("recv=m posterior = %v, want 8/9", m.Posterior)
+	}
+	mp := byLocal["i1:recv=m'"]
+	if !ratutil.Eq(mp.Weight, ratutil.R(1, 10)) || !ratutil.IsOne(mp.Posterior) {
+		t.Errorf("recv=m' cell = %v", mp)
+	}
+	if !ratutil.Eq(d.ExpectedBelief, p) || !ratutil.Eq(d.ConstraintProb, p) {
+		t.Errorf("aggregates = (%v, %v), want both 9/10", d.ExpectedBelief, d.ConstraintProb)
+	}
+	if !strings.Contains(d.Cells[0].String(), "w=") {
+		t.Errorf("cell String = %q", d.Cells[0].String())
+	}
+}
+
+func TestDecomposeLocalizesIndependenceFailure(t *testing.T) {
+	// On Figure 1 with φ = does(α): the single cell has posterior 1/2 but
+	// cell constraint 1 — Lemma B.1 fails exactly where Definition 4.1
+	// does.
+	e := figure1(t)
+	d, err := e.Decompose(logic.Does("i", "alpha"), "i", "alpha")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Cells) != 1 {
+		t.Fatalf("cells = %d, want 1", len(d.Cells))
+	}
+	c := d.Cells[0]
+	if !ratutil.Eq(c.Posterior, ratutil.R(1, 2)) || !ratutil.IsOne(c.CellConstraint) {
+		t.Fatalf("cell = %v, want β=1/2 µ|cell=1", c)
+	}
+	if d.LemmaB1Holds() {
+		t.Error("Lemma B.1 must fail on the dependent case")
+	}
+	if !d.WeightsSumToOne() {
+		t.Error("weights still sum to 1")
+	}
+	// The aggregates reproduce both sides of the (failing) identity.
+	if !ratutil.Eq(d.ExpectedBelief, ratutil.R(1, 2)) || !ratutil.IsOne(d.ConstraintProb) {
+		t.Fatalf("aggregates = (%v, %v)", d.ExpectedBelief, d.ConstraintProb)
+	}
+}
+
+func TestDecomposeAgreesWithEngine(t *testing.T) {
+	// The decomposition's aggregates must equal the engine's direct
+	// queries on any system/fact pair.
+	e := that(t, ratutil.R(95, 100), ratutil.R(3, 100))
+	phi := bitIsOne()
+	d, err := e.Decompose(phi, "i", "alpha")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mu, err := e.ConstraintProb(phi, "i", "alpha")
+	if err != nil {
+		t.Fatal(err)
+	}
+	exp, err := e.ExpectedBelief(phi, "i", "alpha")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ratutil.Eq(d.ConstraintProb, mu) || !ratutil.Eq(d.ExpectedBelief, exp) {
+		t.Fatalf("decomposition disagrees with engine: %v vs %v, %v vs %v",
+			d.ConstraintProb, mu, d.ExpectedBelief, exp)
+	}
+}
+
+func TestDecomposeErrors(t *testing.T) {
+	e := figure1(t)
+	if _, err := e.Decompose(logic.True(), "i", "never"); !errors.Is(err, ErrNotProper) {
+		t.Errorf("err = %v", err)
+	}
+	if _, err := e.Decompose(logic.True(), "nobody", "alpha"); !errors.Is(err, ErrUnknownAgent) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestBeliefTimelineThat(t *testing.T) {
+	// Along the revealing run r'' of T-hat, i's belief in bit=1 jumps
+	// from the prior 9/10 at t0 to certainty at t1.
+	e := that(t, ratutil.R(9, 10), ratutil.R(1, 10))
+	tl, err := e.BeliefTimeline(bitIsOne(), "i", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tl) != 3 {
+		t.Fatalf("timeline length = %d, want 3", len(tl))
+	}
+	if !ratutil.Eq(tl[0].Belief, ratutil.R(9, 10)) || tl[0].Knows {
+		t.Errorf("t0: %v, want prior 9/10, no knowledge", tl[0])
+	}
+	if !ratutil.IsOne(tl[1].Belief) || !tl[1].Knows {
+		t.Errorf("t1: %v, want certainty", tl[1])
+	}
+	if !tl[2].Knows {
+		t.Errorf("t2: %v, knowledge persists for a run-based fact", tl[2])
+	}
+	// Along the non-revealing bit=1 run r', belief moves 9/10 → 8/9.
+	tl, err = e.BeliefTimeline(bitIsOne(), "i", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ratutil.Eq(tl[1].Belief, ratutil.R(8, 9)) {
+		t.Errorf("non-revealing t1 belief = %v, want 8/9", tl[1].Belief)
+	}
+	if !strings.Contains(tl[1].String(), "t=1") {
+		t.Errorf("point String = %q", tl[1].String())
+	}
+}
+
+func TestBeliefTimelineErrors(t *testing.T) {
+	e := figure1(t)
+	if _, err := e.BeliefTimeline(logic.True(), "i", 99); !errors.Is(err, ErrBadPoint) {
+		t.Errorf("err = %v", err)
+	}
+	if _, err := e.BeliefTimeline(logic.True(), "nobody", 0); !errors.Is(err, ErrUnknownAgent) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestExpectedBeliefAtTimeMartingale(t *testing.T) {
+	// For a fact about runs, E[β at t] equals the prior µ(φ) at every
+	// time (all runs have equal length in T-hat): Bayesian updating is a
+	// martingale.
+	p := ratutil.R(9, 10)
+	e := that(t, p, ratutil.R(1, 10))
+	phi := bitIsOne()
+	for tt := 0; tt <= 2; tt++ {
+		got, err := e.ExpectedBeliefAtTime(phi, "i", tt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ratutil.Eq(got, p) {
+			t.Errorf("E[β at t=%d] = %v, want %v", tt, got, p)
+		}
+	}
+}
+
+func TestExpectedBeliefAtTimeErrors(t *testing.T) {
+	e := figure1(t)
+	if _, err := e.ExpectedBeliefAtTime(logic.True(), "i", -1); !errors.Is(err, ErrBadPoint) {
+		t.Errorf("err = %v", err)
+	}
+	if _, err := e.ExpectedBeliefAtTime(logic.True(), "i", 99); !errors.Is(err, ErrBadPoint) {
+		t.Errorf("err = %v", err)
+	}
+	if _, err := e.ExpectedBeliefAtTime(logic.True(), "nobody", 0); !errors.Is(err, ErrUnknownAgent) {
+		t.Errorf("err = %v", err)
+	}
+}

@@ -1,0 +1,98 @@
+package core
+
+import (
+	"fmt"
+	"math/big"
+	"sort"
+
+	"pak/internal/logic"
+	"pak/internal/ratutil"
+)
+
+// Refrain analysis: the paper's Section 8 design insight made executable.
+// Theorem 6.2 implies that whenever an agent acts while holding a low
+// degree of belief in the constraint's condition, she drags the constraint
+// probability down; by refraining in exactly those information states she
+// raises it. RefrainAnalysis computes, from the *original* system alone,
+// the constraint value that the pruned protocol would achieve:
+//
+//	µ' = Σ_{ℓ ∈ L_i[α], β(ℓ) ≥ p} w_ℓ · β_ℓ / Σ_{ℓ: β(ℓ) ≥ p} w_ℓ
+//
+// — the Jeffrey decomposition restricted to the retained cells. On the
+// paper's FS with p = 0.95 this predicts exactly 990/991, the value the
+// paper reports for the improved protocol, without constructing FS'.
+//
+// The prediction is exact when the condition φ does not itself depend on
+// whether the pruned occurrences of α happen (e.g. φ = "Bob fires" is
+// untouched by Alice's pruning); for conditions that mention does_i(α) the
+// prediction is the Jeffrey bound rather than the pruned system's value.
+
+// RefrainReport is the result of RefrainAnalysis.
+type RefrainReport struct {
+	// Threshold is the belief level p below which the agent refrains.
+	Threshold *big.Rat
+	// Original is µ(φ@α | α) in the analyzed system.
+	Original *big.Rat
+	// Predicted is the constraint value after pruning low-belief states
+	// (nil when the agent would never act: every acting state is pruned).
+	Predicted *big.Rat
+	// ActingMeasure is the fraction of the original acting measure that
+	// survives pruning: µ(kept cells | α).
+	ActingMeasure *big.Rat
+	// Kept and Pruned list the acting local states on each side of the
+	// threshold, sorted.
+	Kept, Pruned []string
+}
+
+// Improves reports whether the pruned protocol strictly improves the
+// constraint value.
+func (r RefrainReport) Improves() bool {
+	return r.Predicted != nil && ratutil.Greater(r.Predicted, r.Original)
+}
+
+// String summarizes the report.
+func (r RefrainReport) String() string {
+	pred := "never acts"
+	if r.Predicted != nil {
+		pred = r.Predicted.RatString()
+	}
+	return fmt.Sprintf("refrain{p=%s µ=%s→%s keep=%d prune=%d}",
+		r.Threshold.RatString(), r.Original.RatString(), pred, len(r.Kept), len(r.Pruned))
+}
+
+// RefrainAnalysis evaluates the Section 8 pruning at belief threshold p:
+// what µ(φ@α | α) becomes if the agent refrains from performing α in every
+// information state where β_i(φ) < p.
+func (e *Engine) RefrainAnalysis(f logic.Fact, agent, action string, p *big.Rat) (RefrainReport, error) {
+	d, err := e.Decompose(f, agent, action)
+	if err != nil {
+		return RefrainReport{}, err
+	}
+	mu, err := e.ConstraintProb(f, agent, action)
+	if err != nil {
+		return RefrainReport{}, err
+	}
+	report := RefrainReport{
+		Threshold:     ratutil.Copy(p),
+		Original:      mu,
+		ActingMeasure: ratutil.Zero(),
+	}
+	keptMass := ratutil.Zero()
+	keptValue := ratutil.Zero()
+	for _, cell := range d.Cells {
+		if ratutil.Geq(cell.Posterior, p) {
+			report.Kept = append(report.Kept, cell.Local)
+			keptMass = ratutil.Add(keptMass, cell.Weight)
+			keptValue = ratutil.Add(keptValue, ratutil.Mul(cell.Weight, cell.CellConstraint))
+		} else {
+			report.Pruned = append(report.Pruned, cell.Local)
+		}
+	}
+	sort.Strings(report.Kept)
+	sort.Strings(report.Pruned)
+	report.ActingMeasure = keptMass
+	if keptMass.Sign() > 0 {
+		report.Predicted = ratutil.Div(keptValue, keptMass)
+	}
+	return report, nil
+}

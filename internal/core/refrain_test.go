@@ -1,0 +1,160 @@
+package core
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"pak/internal/logic"
+	"pak/internal/paper"
+	"pak/internal/ratutil"
+)
+
+// TestRefrainPredictsSection8 is the headline check: pruning Alice's
+// low-belief firing states in the ORIGINAL FS predicts exactly the
+// constraint value of the IMPROVED protocol, 990/991 — Section 8's number
+// derived through Theorem 6.2's decomposition alone.
+func TestRefrainPredictsSection8(t *testing.T) {
+	sys, err := paper.FiringSquad(ratutil.R(1, 10), paper.FSOriginal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := New(sys)
+	rep, err := e.RefrainAnalysis(paper.FSBothFire(), paper.Alice, paper.ActFire, ratutil.R(95, 100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Predicted == nil || !ratutil.Eq(rep.Predicted, ratutil.R(990, 991)) {
+		t.Fatalf("predicted = %v, want 990/991", rep.Predicted)
+	}
+	if !rep.Improves() {
+		t.Error("pruning should strictly improve")
+	}
+	if !ratutil.Eq(rep.Original, ratutil.R(99, 100)) {
+		t.Errorf("original = %v", rep.Original)
+	}
+	// The pruned state is the 'No' state; kept are Yes and silence.
+	if len(rep.Pruned) != 1 || !strings.Contains(rep.Pruned[0], "recv=No") {
+		t.Errorf("pruned = %v", rep.Pruned)
+	}
+	if len(rep.Kept) != 2 {
+		t.Errorf("kept = %v", rep.Kept)
+	}
+	// Surviving acting measure: 991/1000 of the original.
+	if !ratutil.Eq(rep.ActingMeasure, ratutil.R(991, 1000)) {
+		t.Errorf("acting measure = %v, want 991/1000", rep.ActingMeasure)
+	}
+
+	// Cross-validate against the actually-improved protocol.
+	improved, err := paper.FiringSquad(ratutil.R(1, 10), paper.FSImproved)
+	if err != nil {
+		t.Fatal(err)
+	}
+	improvedMu, err := New(improved).ConstraintProb(paper.FSBothFire(), paper.Alice, paper.ActFire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ratutil.Eq(rep.Predicted, improvedMu) {
+		t.Fatalf("prediction %v != improved protocol's value %v", rep.Predicted, improvedMu)
+	}
+}
+
+func TestRefrainOnThat(t *testing.T) {
+	// Pruning T-hat's non-revealing state leaves only the certain state:
+	// µ' = 1, at the cost of acting only with probability ε.
+	p, eps := ratutil.R(9, 10), ratutil.R(1, 10)
+	sys, err := paper.That(p, eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := New(sys)
+	rep, err := e.RefrainAnalysis(paper.ThatBitFact(), paper.AgentI, paper.ActAlpha, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Predicted == nil || !ratutil.IsOne(rep.Predicted) {
+		t.Fatalf("predicted = %v, want 1", rep.Predicted)
+	}
+	if !ratutil.Eq(rep.ActingMeasure, eps) {
+		t.Fatalf("acting measure = %v, want ε", rep.ActingMeasure)
+	}
+}
+
+func TestRefrainNoImprovementPossible(t *testing.T) {
+	// With threshold 0 nothing is pruned: prediction = original.
+	sys, err := paper.FiringSquad(ratutil.R(1, 10), paper.FSOriginal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := New(sys)
+	rep, err := e.RefrainAnalysis(paper.FSBothFire(), paper.Alice, paper.ActFire, ratutil.Zero())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ratutil.Eq(rep.Predicted, rep.Original) || rep.Improves() {
+		t.Fatalf("threshold 0: %v", rep)
+	}
+	if len(rep.Pruned) != 0 {
+		t.Errorf("pruned = %v", rep.Pruned)
+	}
+}
+
+func TestRefrainEverythingPruned(t *testing.T) {
+	// A threshold above every belief prunes all acting states: the agent
+	// never acts, Predicted is nil.
+	sys, err := paper.That(ratutil.R(1, 2), ratutil.R(1, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := New(sys)
+	// Beliefs are 1/3 and 1; use a fact that is never certain: bit=0.
+	notBit := logic.Not(paper.ThatBitFact())
+	rep, err := e.RefrainAnalysis(notBit, paper.AgentI, paper.ActAlpha, ratutil.MustParse("999/1000"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Predicted != nil {
+		t.Fatalf("predicted = %v, want nil (never acts)", rep.Predicted)
+	}
+	if rep.Improves() {
+		t.Error("no action cannot improve")
+	}
+	if !strings.Contains(rep.String(), "never acts") {
+		t.Errorf("String = %q", rep.String())
+	}
+}
+
+func TestRefrainMonotoneInThreshold(t *testing.T) {
+	// Raising the threshold never lowers the predicted value (as long as
+	// some state survives): the retained cells are a superset relation.
+	sys, err := paper.FiringSquad(ratutil.R(1, 10), paper.FSOriginal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := New(sys)
+	var prev *RefrainReport
+	for _, p := range []string{"0", "1/2", "95/100", "1"} {
+		rep, err := e.RefrainAnalysis(paper.FSBothFire(), paper.Alice, paper.ActFire, ratutil.MustParse(p))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if prev != nil && prev.Predicted != nil && rep.Predicted != nil {
+			if ratutil.Less(rep.Predicted, prev.Predicted) {
+				t.Fatalf("prediction dropped from %v to %v at p=%s", prev.Predicted, rep.Predicted, p)
+			}
+		}
+		repCopy := rep
+		prev = &repCopy
+	}
+}
+
+func TestRefrainErrors(t *testing.T) {
+	sys, err := paper.Figure1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := New(sys)
+	if _, err := e.RefrainAnalysis(logic.True(), "i", "never", ratutil.R(1, 2)); !errors.Is(err, ErrNotProper) {
+		t.Errorf("err = %v", err)
+	}
+}

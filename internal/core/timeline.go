@@ -1,0 +1,95 @@
+package core
+
+import (
+	"fmt"
+	"math/big"
+
+	"pak/internal/logic"
+	"pak/internal/pps"
+	"pak/internal/ratutil"
+)
+
+// Belief timelines: how an agent's degree of belief in a fact evolves
+// along a run as its local state accumulates information. For facts about
+// runs this is a martingale-like trajectory of posteriors; for transient
+// facts it tracks the belief in "φ holds now" at each point.
+
+// TimelinePoint is one step of a belief timeline.
+type TimelinePoint struct {
+	// Time is the point's time.
+	Time int
+	// Local is the agent's local state there.
+	Local string
+	// Belief is β_i(φ) at the point.
+	Belief *big.Rat
+	// Knows reports K_i(φ) at the point (equivalent to Belief = 1 in a
+	// pps, where the prior has full support).
+	Knows bool
+}
+
+// String renders the point.
+func (p TimelinePoint) String() string {
+	return fmt.Sprintf("t=%d ℓ=%q β=%s K=%v", p.Time, p.Local, p.Belief.RatString(), p.Knows)
+}
+
+// BeliefTimeline returns agent's belief in f at every point of run r, in
+// time order.
+func (e *Engine) BeliefTimeline(f logic.Fact, agent string, r pps.RunID) ([]TimelinePoint, error) {
+	a, err := e.agent(agent)
+	if err != nil {
+		return nil, err
+	}
+	if r < 0 || int(r) >= e.sys.NumRuns() {
+		return nil, fmt.Errorf("%w: run %d", ErrBadPoint, r)
+	}
+	out := make([]TimelinePoint, 0, e.sys.RunLen(r))
+	for t := 0; t < e.sys.RunLen(r); t++ {
+		local := e.sys.Local(r, t, a)
+		bel, berr := e.Belief(f, agent, local)
+		if berr != nil {
+			return nil, berr
+		}
+		out = append(out, TimelinePoint{
+			Time:   t,
+			Local:  local,
+			Belief: bel,
+			Knows:  ratutil.IsOne(bel),
+		})
+	}
+	return out, nil
+}
+
+// ExpectedBeliefAtTime returns E[β_i(φ) at time t], the prior-weighted
+// average of the agent's belief over the runs alive at time t. For a fact
+// about runs, the law of total expectation makes this constant in t and
+// equal to the prior µ(φ) whenever all runs are alive — the martingale
+// property of Bayesian updating, which the tests verify.
+func (e *Engine) ExpectedBeliefAtTime(f logic.Fact, agent string, t int) (*big.Rat, error) {
+	a, err := e.agent(agent)
+	if err != nil {
+		return nil, err
+	}
+	if t < 0 {
+		return nil, fmt.Errorf("%w: time %d", ErrBadPoint, t)
+	}
+	alive := e.sys.RunsWhere(func(r pps.RunID) bool { return t < e.sys.RunLen(r) })
+	if alive.IsEmpty() {
+		return nil, fmt.Errorf("%w: no runs at time %d", ErrBadPoint, t)
+	}
+	mAlive := e.sys.Measure(alive)
+	total := new(big.Rat)
+	var iterErr error
+	alive.ForEach(func(r int) bool {
+		bel, berr := e.Belief(f, agent, e.sys.Local(pps.RunID(r), t, a))
+		if berr != nil {
+			iterErr = berr
+			return false
+		}
+		total.Add(total, ratutil.Mul(e.sys.RunProb(pps.RunID(r)), bel))
+		return true
+	})
+	if iterErr != nil {
+		return nil, iterErr
+	}
+	return ratutil.Div(total, mAlive), nil
+}

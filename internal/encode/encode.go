@@ -1,0 +1,307 @@
+// Package encode provides a JSON representation of purely probabilistic
+// systems and of facts, so systems can be stored, exchanged and analyzed
+// by the command-line tools.
+//
+// A system document lists its agents and its non-root nodes. Node ids are
+// dense and parents precede children; probabilities are exact rational
+// strings ("1/2", "81/100"). A fact document is a small expression tree
+// mirroring package logic's combinators.
+package encode
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+
+	"pak/internal/epistemic"
+	"pak/internal/logic"
+	"pak/internal/pps"
+	"pak/internal/ratutil"
+)
+
+// Sentinel errors returned (wrapped) by this package.
+var (
+	// ErrBadDocument indicates malformed system JSON.
+	ErrBadDocument = errors.New("encode: malformed system document")
+	// ErrBadFact indicates malformed fact JSON.
+	ErrBadFact = errors.New("encode: malformed fact document")
+)
+
+// nodeDoc is the JSON form of one tree node.
+type nodeDoc struct {
+	// ID is the node's identifier; ids are dense, start at 1 and a parent
+	// always precedes its children.
+	ID int `json:"id"`
+	// Parent is the parent's id; 0 denotes the root λ.
+	Parent int `json:"parent"`
+	// Pr is the edge probability as an exact rational string.
+	Pr string `json:"pr"`
+	// Env is the environment component of the global state.
+	Env string `json:"env,omitempty"`
+	// Locals holds one local state per agent.
+	Locals []string `json:"locals"`
+	// Acts holds the joint action that produced this state (absent for
+	// initial states).
+	Acts []string `json:"acts,omitempty"`
+	// EnvAct is the environment action that produced this state.
+	EnvAct string `json:"envAct,omitempty"`
+}
+
+// systemDoc is the JSON form of a system.
+type systemDoc struct {
+	Agents []string  `json:"agents"`
+	Nodes  []nodeDoc `json:"nodes"`
+}
+
+// Marshal renders sys as indented JSON.
+func Marshal(sys *pps.System) ([]byte, error) {
+	doc := systemDoc{Agents: sys.Agents()}
+	for id := pps.NodeID(1); int(id) < sys.NumNodes(); id++ {
+		doc.Nodes = append(doc.Nodes, nodeDoc{
+			ID:     int(id),
+			Parent: int(sys.ParentOf(id)),
+			Pr:     ratutil.String(sys.EdgeProb(id)),
+			Env:    sys.EnvOf(id),
+			Locals: sys.LocalsOf(id),
+			Acts:   sys.ActsOf(id),
+			EnvAct: sys.EnvActOf(id),
+		})
+	}
+	out, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("encode.Marshal: %w", err)
+	}
+	return out, nil
+}
+
+// Unmarshal parses a system document and rebuilds the validated System.
+func Unmarshal(data []byte) (*pps.System, error) {
+	var doc systemDoc
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadDocument, err)
+	}
+	if len(doc.Agents) == 0 {
+		return nil, fmt.Errorf("%w: no agents", ErrBadDocument)
+	}
+	b := pps.NewBuilder(doc.Agents...)
+	// idMap maps document ids to builder NodeIDs; the root is 0 in both.
+	idMap := map[int]pps.NodeID{0: pps.Root}
+	for _, n := range doc.Nodes {
+		pr, err := ratutil.Parse(n.Pr)
+		if err != nil {
+			return nil, fmt.Errorf("%w: node %d: %v", ErrBadDocument, n.ID, err)
+		}
+		parent, ok := idMap[n.Parent]
+		if !ok {
+			return nil, fmt.Errorf("%w: node %d references unknown parent %d (parents must precede children)",
+				ErrBadDocument, n.ID, n.Parent)
+		}
+		if _, dup := idMap[n.ID]; dup {
+			return nil, fmt.Errorf("%w: duplicate node id %d", ErrBadDocument, n.ID)
+		}
+		step := pps.Step{Pr: pr, Env: n.Env, Locals: n.Locals, Acts: n.Acts, EnvAct: n.EnvAct}
+		var id pps.NodeID
+		if parent == pps.Root {
+			id = b.Init(pr, n.Env, n.Locals...)
+		} else {
+			id = b.Child(parent, step)
+		}
+		idMap[n.ID] = id
+	}
+	sys, err := b.Build()
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadDocument, err)
+	}
+	return sys, nil
+}
+
+// factDoc is the JSON expression form of a fact.
+type factDoc struct {
+	Op     string            `json:"op"`
+	Agent  string            `json:"agent,omitempty"`
+	Action string            `json:"action,omitempty"`
+	Local  string            `json:"local,omitempty"`
+	Substr string            `json:"substr,omitempty"`
+	Env    string            `json:"env,omitempty"`
+	Time   int               `json:"time,omitempty"`
+	P      string            `json:"p,omitempty"`
+	Arg    json.RawMessage   `json:"arg,omitempty"`
+	Args   []json.RawMessage `json:"args,omitempty"`
+}
+
+// ParseFact parses a fact expression document into a logic.Fact.
+//
+// Supported operators:
+//
+//	{"op":"true"} / {"op":"false"}
+//	{"op":"does","agent":A,"action":X}
+//	{"op":"performed","agent":A,"action":X}
+//	{"op":"localIs","agent":A,"local":L}
+//	{"op":"localContains","agent":A,"substr":S}
+//	{"op":"envIs","env":E}
+//	{"op":"timeIs","time":T}
+//	{"op":"not","arg":F} / {"op":"sometime","arg":F} / {"op":"always","arg":F}
+//	{"op":"and","args":[F...]} / {"op":"or","args":[F...]}
+//	{"op":"implies","args":[P,Q]} / {"op":"iff","args":[P,Q]}
+//	{"op":"believes","agent":A,"p":"9/10","arg":F}  (B_A^p(F))
+//	{"op":"knows","agent":A,"arg":F}                (K_A(F))
+func ParseFact(data []byte) (logic.Fact, error) {
+	var doc factDoc
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadFact, err)
+	}
+	parseArg := func() (logic.Fact, error) {
+		if doc.Arg == nil {
+			return nil, fmt.Errorf("%w: op %q requires \"arg\"", ErrBadFact, doc.Op)
+		}
+		return ParseFact(doc.Arg)
+	}
+	parseArgs := func(exact int) ([]logic.Fact, error) {
+		if exact >= 0 && len(doc.Args) != exact {
+			return nil, fmt.Errorf("%w: op %q requires exactly %d args", ErrBadFact, doc.Op, exact)
+		}
+		out := make([]logic.Fact, len(doc.Args))
+		for i, raw := range doc.Args {
+			f, err := ParseFact(raw)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = f
+		}
+		return out, nil
+	}
+	needAgentAction := func() error {
+		if doc.Agent == "" || doc.Action == "" {
+			return fmt.Errorf("%w: op %q requires agent and action", ErrBadFact, doc.Op)
+		}
+		return nil
+	}
+	switch doc.Op {
+	case "true":
+		return logic.True(), nil
+	case "false":
+		return logic.False(), nil
+	case "does":
+		if err := needAgentAction(); err != nil {
+			return nil, err
+		}
+		return logic.Does(doc.Agent, doc.Action), nil
+	case "performed":
+		if err := needAgentAction(); err != nil {
+			return nil, err
+		}
+		return logic.Performed(doc.Agent, doc.Action), nil
+	case "localIs":
+		if doc.Agent == "" {
+			return nil, fmt.Errorf("%w: localIs requires agent", ErrBadFact)
+		}
+		return logic.LocalIs(doc.Agent, doc.Local), nil
+	case "localContains":
+		if doc.Agent == "" || doc.Substr == "" {
+			return nil, fmt.Errorf("%w: localContains requires agent and substr", ErrBadFact)
+		}
+		return logic.LocalContains(doc.Agent, doc.Substr), nil
+	case "envIs":
+		return logic.EnvIs(doc.Env), nil
+	case "timeIs":
+		return logic.TimeIs(doc.Time), nil
+	case "not":
+		f, err := parseArg()
+		if err != nil {
+			return nil, err
+		}
+		return logic.Not(f), nil
+	case "sometime":
+		f, err := parseArg()
+		if err != nil {
+			return nil, err
+		}
+		return logic.Sometime(f), nil
+	case "always":
+		f, err := parseArg()
+		if err != nil {
+			return nil, err
+		}
+		return logic.Always(f), nil
+	case "and":
+		fs, err := parseArgs(-1)
+		if err != nil {
+			return nil, err
+		}
+		return logic.And(fs...), nil
+	case "or":
+		fs, err := parseArgs(-1)
+		if err != nil {
+			return nil, err
+		}
+		return logic.Or(fs...), nil
+	case "implies":
+		fs, err := parseArgs(2)
+		if err != nil {
+			return nil, err
+		}
+		return logic.Implies(fs[0], fs[1]), nil
+	case "iff":
+		fs, err := parseArgs(2)
+		if err != nil {
+			return nil, err
+		}
+		return logic.Iff(fs[0], fs[1]), nil
+	case "believes":
+		if doc.Agent == "" {
+			return nil, fmt.Errorf("%w: believes requires agent", ErrBadFact)
+		}
+		p, perr := ratutil.Parse(doc.P)
+		if perr != nil || !ratutil.IsProb(p) {
+			return nil, fmt.Errorf("%w: believes requires p in [0,1], got %q", ErrBadFact, doc.P)
+		}
+		f, err := parseArg()
+		if err != nil {
+			return nil, err
+		}
+		return epistemic.Believes(doc.Agent, p, f), nil
+	case "knows":
+		if doc.Agent == "" {
+			return nil, fmt.Errorf("%w: knows requires agent", ErrBadFact)
+		}
+		f, err := parseArg()
+		if err != nil {
+			return nil, err
+		}
+		return epistemic.Knows(doc.Agent, f), nil
+	default:
+		return nil, fmt.Errorf("%w: unknown op %q", ErrBadFact, doc.Op)
+	}
+}
+
+// Query is a full analysis request for the pakcheck tool: a probabilistic
+// constraint µ(φ@α | α) ≥ p together with the belief analyses to run.
+type Query struct {
+	// Agent and Action identify the proper action α.
+	Agent  string `json:"agent"`
+	Action string `json:"action"`
+	// Fact is the condition φ as a fact expression.
+	Fact json.RawMessage `json:"fact"`
+	// Threshold is the constraint threshold p as a rational string
+	// (optional; empty means only report the measured values).
+	Threshold string `json:"threshold,omitempty"`
+}
+
+// ParseQuery parses a Query document and resolves its fact.
+func ParseQuery(data []byte) (Query, logic.Fact, error) {
+	var q Query
+	if err := json.Unmarshal(data, &q); err != nil {
+		return Query{}, nil, fmt.Errorf("%w: %v", ErrBadFact, err)
+	}
+	if q.Agent == "" || q.Action == "" {
+		return Query{}, nil, fmt.Errorf("%w: query requires agent and action", ErrBadFact)
+	}
+	if len(q.Fact) == 0 {
+		return Query{}, nil, fmt.Errorf("%w: query requires a fact", ErrBadFact)
+	}
+	f, err := ParseFact(q.Fact)
+	if err != nil {
+		return Query{}, nil, err
+	}
+	return q, f, nil
+}

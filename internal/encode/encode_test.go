@@ -1,0 +1,215 @@
+package encode
+
+import (
+	"errors"
+	"testing"
+
+	"pak/internal/core"
+	"pak/internal/paper"
+	"pak/internal/pps"
+	"pak/internal/ratutil"
+)
+
+func TestRoundTripFiringSquad(t *testing.T) {
+	sys, err := paper.FiringSquad(ratutil.R(1, 10), paper.FSOriginal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := Marshal(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Unmarshal(data)
+	if err != nil {
+		t.Fatalf("Unmarshal: %v", err)
+	}
+	// Structural equality: the Dump strings coincide (same node order,
+	// probabilities, states and actions).
+	if sys.Dump() != back.Dump() {
+		t.Fatal("round trip changed the system")
+	}
+	// Semantic spot check: the paper's headline number survives.
+	e := core.New(back)
+	mu, err := e.ConstraintProb(paper.FSBothFire(), paper.Alice, paper.ActFire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ratutil.Eq(mu, ratutil.R(99, 100)) {
+		t.Fatalf("µ after round trip = %v", mu)
+	}
+}
+
+func TestRoundTripThat(t *testing.T) {
+	sys, err := paper.That(ratutil.R(9, 10), ratutil.R(1, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := Marshal(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Unmarshal(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.Dump() != back.Dump() {
+		t.Fatal("round trip changed the system")
+	}
+}
+
+func TestUnmarshalErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		in   string
+	}{
+		{"not json", `{{{`},
+		{"no agents", `{"agents":[],"nodes":[]}`},
+		{"bad probability", `{"agents":["i"],"nodes":[{"id":1,"parent":0,"pr":"nope","locals":["l"]}]}`},
+		{"unknown parent", `{"agents":["i"],"nodes":[{"id":1,"parent":5,"pr":"1","locals":["l"]}]}`},
+		{"duplicate id", `{"agents":["i"],"nodes":[
+			{"id":1,"parent":0,"pr":"1/2","locals":["l"]},
+			{"id":1,"parent":0,"pr":"1/2","locals":["l2"]}]}`},
+		{"invalid system", `{"agents":["i"],"nodes":[{"id":1,"parent":0,"pr":"1/2","locals":["l"]}]}`},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := Unmarshal([]byte(tt.in)); !errors.Is(err, ErrBadDocument) {
+				t.Fatalf("err = %v, want ErrBadDocument", err)
+			}
+		})
+	}
+}
+
+func TestParseFactOperators(t *testing.T) {
+	sys, err := paper.FiringSquad(ratutil.R(1, 10), paper.FSOriginal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Find a run where both fire (go=1, Bob got, at t=2).
+	bothJSON := `{"op":"and","args":[
+		{"op":"does","agent":"Alice","action":"fire"},
+		{"op":"does","agent":"Bob","action":"fire"}]}`
+	f, err := ParseFact([]byte(bothJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// It should agree with the native fact at every point.
+	native := paper.FSBothFire()
+	for r := 0; r < sys.NumRuns(); r++ {
+		for tt := 0; tt < sys.RunLen(pps.RunID(r)); tt++ {
+			if f.Holds(sys, pps.RunID(r), tt) != native.Holds(sys, pps.RunID(r), tt) {
+				t.Fatalf("parsed fact disagrees with native at (%d,%d)", r, tt)
+			}
+		}
+	}
+}
+
+func TestParseFactTable(t *testing.T) {
+	valid := []string{
+		`{"op":"true"}`,
+		`{"op":"false"}`,
+		`{"op":"does","agent":"a","action":"x"}`,
+		`{"op":"performed","agent":"a","action":"x"}`,
+		`{"op":"localIs","agent":"a","local":"l"}`,
+		`{"op":"localContains","agent":"a","substr":"s"}`,
+		`{"op":"envIs","env":"e"}`,
+		`{"op":"timeIs","time":3}`,
+		`{"op":"not","arg":{"op":"true"}}`,
+		`{"op":"sometime","arg":{"op":"true"}}`,
+		`{"op":"always","arg":{"op":"true"}}`,
+		`{"op":"and","args":[{"op":"true"},{"op":"false"}]}`,
+		`{"op":"or","args":[]}`,
+		`{"op":"implies","args":[{"op":"true"},{"op":"false"}]}`,
+		`{"op":"iff","args":[{"op":"true"},{"op":"true"}]}`,
+	}
+	for _, in := range valid {
+		if _, err := ParseFact([]byte(in)); err != nil {
+			t.Errorf("ParseFact(%s) = %v", in, err)
+		}
+	}
+	invalid := []string{
+		`not json`,
+		`{"op":"frobnicate"}`,
+		`{"op":"does","agent":"a"}`,
+		`{"op":"performed","action":"x"}`,
+		`{"op":"localIs"}`,
+		`{"op":"localContains","agent":"a"}`,
+		`{"op":"not"}`,
+		`{"op":"implies","args":[{"op":"true"}]}`,
+		`{"op":"not","arg":{"op":"bogus"}}`,
+	}
+	for _, in := range invalid {
+		if _, err := ParseFact([]byte(in)); !errors.Is(err, ErrBadFact) {
+			t.Errorf("ParseFact(%s) err = %v, want ErrBadFact", in, err)
+		}
+	}
+}
+
+func TestParseQuery(t *testing.T) {
+	q, f, err := ParseQuery([]byte(`{
+		"agent": "Alice",
+		"action": "fire",
+		"threshold": "95/100",
+		"fact": {"op":"does","agent":"Bob","action":"fire"}
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Agent != "Alice" || q.Action != "fire" || q.Threshold != "95/100" {
+		t.Fatalf("query = %+v", q)
+	}
+	if f == nil || f.String() != "does_Bob(fire)" {
+		t.Fatalf("fact = %v", f)
+	}
+
+	invalid := []string{
+		`nope`,
+		`{"action":"fire","fact":{"op":"true"}}`,
+		`{"agent":"A","fact":{"op":"true"}}`,
+		`{"agent":"A","action":"x"}`,
+		`{"agent":"A","action":"x","fact":{"op":"bogus"}}`,
+	}
+	for _, in := range invalid {
+		if _, _, err := ParseQuery([]byte(in)); !errors.Is(err, ErrBadFact) {
+			t.Errorf("ParseQuery(%s) err = %v, want ErrBadFact", in, err)
+		}
+	}
+}
+
+func TestParseFactEpistemic(t *testing.T) {
+	sys, err := paper.That(ratutil.R(9, 10), ratutil.R(1, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// B_i^{9/10}(bit=1) holds at t1 only in the revealing run 2.
+	f, err := ParseFact([]byte(`{"op":"believes","agent":"i","p":"9/10",
+		"arg":{"op":"localContains","agent":"j","substr":"bit=1"}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Holds(sys, 1, 1) || !f.Holds(sys, 2, 1) {
+		t.Fatal("parsed believes fact has wrong semantics")
+	}
+	k, err := ParseFact([]byte(`{"op":"knows","agent":"j",
+		"arg":{"op":"localContains","agent":"j","substr":"bit=1"}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !k.Holds(sys, 1, 0) || k.Holds(sys, 0, 0) {
+		t.Fatal("parsed knows fact has wrong semantics")
+	}
+
+	invalid := []string{
+		`{"op":"believes","p":"1/2","arg":{"op":"true"}}`,             // no agent
+		`{"op":"believes","agent":"i","arg":{"op":"true"}}`,           // no p
+		`{"op":"believes","agent":"i","p":"3/2","arg":{"op":"true"}}`, // p out of range
+		`{"op":"believes","agent":"i","p":"1/2"}`,                     // no arg
+		`{"op":"knows","arg":{"op":"true"}}`,                          // no agent
+		`{"op":"knows","agent":"i"}`,                                  // no arg
+	}
+	for _, in := range invalid {
+		if _, err := ParseFact([]byte(in)); !errors.Is(err, ErrBadFact) {
+			t.Errorf("ParseFact(%s) err = %v, want ErrBadFact", in, err)
+		}
+	}
+}

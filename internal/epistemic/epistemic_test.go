@@ -1,0 +1,243 @@
+package epistemic
+
+import (
+	"testing"
+
+	"pak/internal/commonbelief"
+	"pak/internal/core"
+	"pak/internal/logic"
+	"pak/internal/paper"
+	"pak/internal/pps"
+	"pak/internal/ratutil"
+)
+
+// that returns T-hat(9/10, 1/10): runs 0 (bit=0, m), 1 (bit=1, m),
+// 2 (bit=1, m').
+func that(t *testing.T) *pps.System {
+	t.Helper()
+	sys, err := paper.That(ratutil.R(9, 10), ratutil.R(1, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+func TestBelievesBasic(t *testing.T) {
+	sys := that(t)
+	phi := paper.ThatBitFact()
+	// i's belief in bit=1 at t1: 8/9 after m, 1 after m'.
+	b89 := Believes(paper.AgentI, ratutil.R(8, 9), phi)
+	b9 := Believes(paper.AgentI, ratutil.R(9, 10), phi)
+	tests := []struct {
+		name string
+		f    logic.Fact
+		r    pps.RunID
+		want bool
+	}{
+		{"8/9 holds after m", b89, 1, true},
+		{"8/9 holds after m'", b89, 2, true},
+		{"9/10 fails after m", b9, 1, false},
+		{"9/10 holds after m'", b9, 2, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.f.Holds(sys, tt.r, 1); got != tt.want {
+				t.Fatalf("Holds = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestBelievesAgreesWithEngine(t *testing.T) {
+	sys := that(t)
+	phi := paper.ThatBitFact()
+	e := core.New(sys)
+	for r := 0; r < sys.NumRuns(); r++ {
+		for tt := 0; tt < sys.RunLen(pps.RunID(r)); tt++ {
+			deg := BeliefDegree(sys, paper.AgentI, phi, pps.RunID(r), tt)
+			engineDeg, err := e.BeliefAtPoint(phi, paper.AgentI, pps.RunID(r), tt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !ratutil.Eq(deg, engineDeg) {
+				t.Fatalf("(%d,%d): epistemic %v != engine %v", r, tt, deg, engineDeg)
+			}
+		}
+	}
+}
+
+func TestKnowsMatchesBeliefOne(t *testing.T) {
+	sys := that(t)
+	phi := paper.ThatBitFact()
+	k := Knows(paper.AgentI, phi)
+	b1 := Believes(paper.AgentI, ratutil.One(), phi)
+	for r := 0; r < sys.NumRuns(); r++ {
+		for tt := 0; tt < sys.RunLen(pps.RunID(r)); tt++ {
+			if k.Holds(sys, pps.RunID(r), tt) != b1.Holds(sys, pps.RunID(r), tt) {
+				t.Fatalf("(%d,%d): K != B^1 in a pps", r, tt)
+			}
+		}
+	}
+	// j always knows its own bit.
+	kj := Knows(paper.AgentJ, phi)
+	if !kj.Holds(sys, 1, 0) || kj.Holds(sys, 0, 0) {
+		t.Error("K_j(bit=1) wrong")
+	}
+}
+
+func TestEpistemicFactsArePastBased(t *testing.T) {
+	sys := that(t)
+	phi := paper.ThatBitFact()
+	facts := []logic.Fact{
+		Believes(paper.AgentI, ratutil.R(8, 9), phi),
+		Knows(paper.AgentJ, phi),
+		EveryoneBelieves([]string{paper.AgentI, paper.AgentJ}, ratutil.R(1, 2), phi),
+	}
+	for _, f := range facts {
+		if !logic.IsPastBased(sys, f) {
+			t.Errorf("%v should be past-based (belief depends only on the local state)", f)
+		}
+	}
+}
+
+func TestNestedBeliefs(t *testing.T) {
+	// "j q-believes that i p-believes bit=1": j knows the bit but not
+	// which message arrived. At t1 with bit=1, i p-believes (p=9/10) only
+	// in run 2 (posterior 1), which j's cell {1,2} hits with probability
+	// ε/p = 1/9.
+	sys := that(t)
+	phi := paper.ThatBitFact()
+	iBelieves := Believes(paper.AgentI, ratutil.R(9, 10), phi)
+	jAboutI := BeliefDegree(sys, paper.AgentJ, iBelieves, 1, 1)
+	if !ratutil.Eq(jAboutI, ratutil.R(1, 9)) {
+		t.Fatalf("β_j(B_i^{9/10}(bit=1)) = %v, want 1/9", jAboutI)
+	}
+	// With the relaxed level 8/9, i p-believes everywhere, so j is certain.
+	iBelievesLow := Believes(paper.AgentI, ratutil.R(8, 9), phi)
+	jAboutILow := BeliefDegree(sys, paper.AgentJ, iBelievesLow, 1, 1)
+	if !ratutil.IsOne(jAboutILow) {
+		t.Fatalf("β_j(B_i^{8/9}(bit=1)) = %v, want 1", jAboutILow)
+	}
+}
+
+func TestMutualBeliefMatchesFixedPointOperator(t *testing.T) {
+	// The syntactic iterated everyone-believes facts must coincide, level
+	// by level, with the set-operator iterates of internal/commonbelief.
+	sys := that(t)
+	phi := paper.ThatBitFact()
+	group := []string{paper.AgentI, paper.AgentJ}
+	groupIDs := []pps.AgentID{0, 1}
+	slice, err := commonbelief.NewSlice(sys, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	event := logic.RunsSatisfying(sys, phi)
+	p := ratutil.R(9, 10)
+	for k := 1; k <= 3; k++ {
+		syntactic := sys.RunsWhere(func(r pps.RunID) bool {
+			return MutualBelief(group, p, phi, k).Holds(sys, r, 1)
+		})
+		operator, err := slice.IteratedEP(groupIDs, event, p, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !syntactic.Equal(operator) {
+			t.Fatalf("level %d: syntactic %v != operator %v", k, syntactic, operator)
+		}
+	}
+}
+
+func TestMutualBeliefOnFiringSquad(t *testing.T) {
+	// In FS at firing time, 2-level mutual 1/2-belief of joint firing
+	// holds on the runs where common 1/2-belief holds (the operator's
+	// fixed point is reached by level 2 here).
+	sys, err := paper.FiringSquad(ratutil.R(1, 10), paper.FSOriginal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bothEver := logic.Sometime(paper.FSBothFire())
+	group := []string{paper.Alice, paper.Bob}
+	p := ratutil.R(1, 2)
+	m2 := MutualBelief(group, p, bothEver, 2)
+	syntactic := sys.RunsWhere(func(r pps.RunID) bool { return m2.Holds(sys, r, 2) })
+
+	slice, err := commonbelief.NewSlice(sys, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	common, err := slice.CommonP([]pps.AgentID{0, 1}, logic.RunsSatisfying(sys, bothEver), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !syntactic.Equal(common) {
+		t.Fatalf("2-level mutual belief %v != common belief %v", syntactic, common)
+	}
+	if syntactic.IsEmpty() {
+		t.Fatal("mutual belief should be attainable in FS")
+	}
+}
+
+func TestConstraintOnEpistemicCondition(t *testing.T) {
+	// Epistemic facts are past-based, so they can serve as constraint
+	// conditions with the independence hypothesis guaranteed: analyze
+	// µ(B_Bob^{99/100}(go=1) @ fire_A | fire_A) on FS — "when Alice fires,
+	// how often is Bob (nearly) sure the mission is on?"
+	sys, err := paper.FiringSquad(ratutil.R(1, 10), paper.FSOriginal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := core.New(sys)
+	bobSure := Believes(paper.Bob, ratutil.R(99, 100), paper.FSGoIsOne())
+	rep, err := e.CheckExpectation(bobSure, paper.Alice, paper.ActFire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Independent {
+		t.Fatal("epistemic condition should be independent (past-based)")
+	}
+	if !rep.Equal() {
+		t.Fatalf("Theorem 6.2 on an epistemic condition: %v", rep)
+	}
+	// Bob is ≥99% sure go=1 exactly when he got the wake-up: 99/100.
+	if !ratutil.Eq(rep.ConstraintProb, ratutil.R(99, 100)) {
+		t.Fatalf("µ = %v, want 99/100", rep.ConstraintProb)
+	}
+}
+
+func TestPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"bad level":      func() { Believes("i", ratutil.R(3, 2), logic.True()) },
+		"nil level":      func() { Believes("i", nil, logic.True()) },
+		"mutual level 0": func() { MutualBelief([]string{"i"}, ratutil.R(1, 2), logic.True(), 0) },
+	} {
+		t.Run(name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			fn()
+		})
+	}
+}
+
+func TestUnknownAgentPanics(t *testing.T) {
+	sys := that(t)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Believes("nobody", ratutil.R(1, 2), logic.True()).Holds(sys, 0, 0)
+}
+
+func TestStrings(t *testing.T) {
+	b := Believes("i", ratutil.R(1, 2), logic.True())
+	if got := b.String(); got != "B_i^{1/2}(true)" {
+		t.Errorf("Believes String = %q", got)
+	}
+	k := Knows("j", logic.False())
+	if got := k.String(); got != "K_j(false)" {
+		t.Errorf("Knows String = %q", got)
+	}
+}

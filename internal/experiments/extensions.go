@@ -1,0 +1,188 @@
+package experiments
+
+import (
+	"fmt"
+	"math/big"
+
+	"pak/internal/commonbelief"
+	"pak/internal/core"
+	"pak/internal/logic"
+	"pak/internal/paper"
+	"pak/internal/pps"
+	"pak/internal/ratutil"
+	"pak/internal/scenarios"
+)
+
+// Extension experiments: results the paper implies through its related
+// work (Halpern–Tuttle's coordinated attack setting, Fischer–Zuck's
+// average-belief observation, the Bayesian-updating view of posteriors)
+// made executable.
+
+// E11CommonKnowledge contrasts deterministic common knowledge with common
+// p-belief on Example 1's system: over the lossy channel joint firing is
+// never common knowledge at the firing time (the coordinated-attack
+// impossibility), while common p-belief is attained; a lossless channel
+// restores common knowledge.
+func E11CommonKnowledge() (Result, error) {
+	res := Result{
+		ID:     "E11",
+		Title:  "Coordinated attack: common knowledge vs common p-belief",
+		Source: "Example 1 / related work [24, 29] (derived)",
+	}
+	group := []pps.AgentID{0, 1}
+
+	analyze := func(loss string) (ckCount, depth, cbCount int, err error) {
+		sys, err := paper.FiringSquad(ratutil.MustParse(loss), paper.FSOriginal)
+		if err != nil {
+			return 0, 0, 0, err
+		}
+		slice, err := commonbelief.NewSlice(sys, 2)
+		if err != nil {
+			return 0, 0, 0, err
+		}
+		both := logic.RunsSatisfying(sys, logic.Sometime(paper.FSBothFire()))
+		ck, err := slice.CommonKnowledge(group, both)
+		if err != nil {
+			return 0, 0, 0, err
+		}
+		d, _, err := slice.KnowledgeDepth(group, both, 16)
+		if err != nil {
+			return 0, 0, 0, err
+		}
+		cb, err := slice.CommonP(group, both, ratutil.R(1, 2))
+		if err != nil {
+			return 0, 0, 0, err
+		}
+		return ck.Count(), d, cb.Count(), nil
+	}
+
+	ck, depth, cb, err := analyze("1/10")
+	if err != nil {
+		return Result{}, err
+	}
+	res.addBool("lossy: common knowledge of joint firing unattainable", "true", ck == 0, true)
+	res.Rows = append(res.Rows, Row{
+		Quantity: "lossy: levels of 'everyone knows' attained",
+		Paper:    "1 (derived)",
+		Measured: fmt.Sprintf("%d", depth),
+		Match:    depth == 1,
+	})
+	res.addBool("lossy: common 1/2-belief attainable", "true", cb > 0, true)
+
+	ck, _, _, err = analyze("0")
+	if err != nil {
+		return Result{}, err
+	}
+	res.addBool("lossless: common knowledge restored", "true", ck > 0, true)
+	return res, nil
+}
+
+// E12Martingale verifies the Bayesian-updating martingale: for a fact
+// about runs, the prior-weighted average of an agent's posterior belief is
+// constant over time and equals the prior probability of the fact —
+// checked exactly on T-hat (fact "bit=1", prior p) and on FS (fact "go=1",
+// prior 1/2, for both agents).
+func E12Martingale() (Result, error) {
+	res := Result{
+		ID:     "E12",
+		Title:  "Belief martingale: E[β_i(φ) at t] = µ(φ) for run facts",
+		Source: "Section 3 (posterior beliefs; derived)",
+	}
+	// T-hat: i's expected belief in bit=1 equals p at every time.
+	p := ratutil.R(9, 10)
+	that, err := paper.That(p, ratutil.R(1, 10))
+	if err != nil {
+		return Result{}, err
+	}
+	e := core.New(that)
+	for t := 0; t <= 2; t++ {
+		got, err := e.ExpectedBeliefAtTime(paper.ThatBitFact(), paper.AgentI, t)
+		if err != nil {
+			return Result{}, err
+		}
+		res.addExact(fmt.Sprintf("T-hat: E[β_i(bit=1) at t=%d]", t), "9/10", got)
+	}
+
+	// FS: both agents' expected belief in go=1 equals the prior 1/2 at
+	// every time, even though Bob's individual beliefs swing between
+	// 1/101 and 1.
+	fs, err := paper.FiringSquad(ratutil.R(1, 10), paper.FSOriginal)
+	if err != nil {
+		return Result{}, err
+	}
+	fe := core.New(fs)
+	goOne := paper.FSGoIsOne()
+	for _, agent := range []string{paper.Alice, paper.Bob} {
+		for t := 0; t <= 3; t++ {
+			got, err := fe.ExpectedBeliefAtTime(goOne, agent, t)
+			if err != nil {
+				return Result{}, err
+			}
+			res.addExact(fmt.Sprintf("FS: E[β_%s(go=1) at t=%d]", agent, t), "1/2", got)
+		}
+	}
+
+	// Bob's posterior after silence at t=1 is the Bayes value 1/101.
+	silent, err := fe.Belief(goOne, paper.Bob, "t1|none")
+	if err != nil {
+		return Result{}, err
+	}
+	res.addExact("FS: β_Bob(go=1) after round-1 silence (Bayes)", "1/101", silent)
+	return res, nil
+}
+
+// E14NSquad checks the n-agent generalization of Example 1: the closed
+// forms µ = (1−ℓ²)^(n−1) (original) and ((1−ℓ²)/(1−ℓ²(1−ℓ)))^(n−1)
+// (improved) at ℓ = 1/10, and the degeneration to the paper's numbers at
+// n = 2.
+func E14NSquad() (Result, error) {
+	res := Result{
+		ID:     "E14",
+		Title:  "n-agent firing squad: generalized closed forms",
+		Source: "Example 1 / Section 8 generalized (derived)",
+	}
+	loss := ratutil.R(1, 10)
+	lossSq := ratutil.Mul(loss, loss)
+	base := ratutil.OneMinus(lossSq)
+	fireBase := ratutil.OneMinus(ratutil.Mul(lossSq, ratutil.OneMinus(loss)))
+	pow := func(x *big.Rat, k int) *big.Rat {
+		out := ratutil.One()
+		for i := 0; i < k; i++ {
+			out = ratutil.Mul(out, x)
+		}
+		return out
+	}
+	for _, n := range []int{2, 3, 4} {
+		orig, err := scenarios.NFiringSquadSystem(n, loss, false)
+		if err != nil {
+			return Result{}, err
+		}
+		mu, err := core.New(orig).ConstraintProb(scenarios.AllFireFact(n), scenarios.General, scenarios.ActFire)
+		if err != nil {
+			return Result{}, err
+		}
+		res.addExact(fmt.Sprintf("n=%d: µ = (1−ℓ²)^%d", n, n-1), pow(base, n-1).RatString(), mu)
+
+		impr, err := scenarios.NFiringSquadSystem(n, loss, true)
+		if err != nil {
+			return Result{}, err
+		}
+		muI, err := core.New(impr).ConstraintProb(scenarios.AllFireFact(n), scenarios.General, scenarios.ActFire)
+		if err != nil {
+			return Result{}, err
+		}
+		want := ratutil.Div(pow(base, n-1), pow(fireBase, n-1))
+		res.addExact(fmt.Sprintf("n=%d: improved µ", n), want.RatString(), muI)
+	}
+	// n = 2 degenerates to Example 1 / Section 8.
+	sys2, err := scenarios.NFiringSquadSystem(2, loss, false)
+	if err != nil {
+		return Result{}, err
+	}
+	mu2, err := core.New(sys2).ConstraintProb(scenarios.AllFireFact(2), scenarios.General, scenarios.ActFire)
+	if err != nil {
+		return Result{}, err
+	}
+	res.addExact("n=2 degenerates to Example 1", "99/100", mu2)
+	return res, nil
+}

@@ -1,0 +1,70 @@
+package experiments
+
+import (
+	"fmt"
+	"math/big"
+
+	"pak/internal/core"
+	"pak/internal/paper"
+	"pak/internal/ratutil"
+)
+
+// E13LossSensitivity sweeps the per-message loss probability ℓ and checks
+// the closed forms the FS analysis implies:
+//
+//	µ_FS(φ_both | fire_A)       = 1 − ℓ²                    (Bob misses both wake-ups w.p. ℓ²)
+//	µ_FS'(φ_both | fire_A)      = (1 − ℓ²) / (1 − ℓ²(1−ℓ))  (Alice also skips on a delivered 'No')
+//
+// together with the qualitative claims: the improved protocol dominates
+// the original at every loss rate (strictly for 0 < ℓ < 1), and both
+// values are non-increasing in ℓ. At ℓ = 1/10 the two forms specialize to
+// the paper's 99/100 and 990/991.
+func E13LossSensitivity() (Result, error) {
+	res := Result{
+		ID:     "E13",
+		Title:  "FS loss sensitivity: closed forms across the loss sweep",
+		Source: "Example 1 / Section 8 (derived closed forms)",
+	}
+	grid := []string{"1/100", "1/20", "1/10", "1/4", "1/2", "3/4"}
+	var prevOrig, prevImpr *big.Rat
+	for _, lossStr := range grid {
+		loss := ratutil.MustParse(lossStr)
+		lossSq := ratutil.Mul(loss, loss)
+		wantOrig := ratutil.OneMinus(lossSq) // 1 − ℓ²
+		wantImpr := ratutil.Div(wantOrig,
+			ratutil.OneMinus(ratutil.Mul(lossSq, ratutil.OneMinus(loss)))) // (1−ℓ²)/(1−ℓ²(1−ℓ))
+
+		measured := make(map[paper.FSVariant]*big.Rat, 2)
+		for _, variant := range []paper.FSVariant{paper.FSOriginal, paper.FSImproved} {
+			sys, err := paper.FiringSquad(loss, variant)
+			if err != nil {
+				return Result{}, err
+			}
+			e := core.New(sys)
+			mu, err := e.ConstraintProb(paper.FSBothFire(), paper.Alice, paper.ActFire)
+			if err != nil {
+				return Result{}, err
+			}
+			measured[variant] = mu
+		}
+		res.addExact(fmt.Sprintf("ℓ=%s: µ_FS = 1−ℓ²", lossStr),
+			wantOrig.RatString(), measured[paper.FSOriginal])
+		res.addExact(fmt.Sprintf("ℓ=%s: µ_FS' = (1−ℓ²)/(1−ℓ²(1−ℓ))", lossStr),
+			wantImpr.RatString(), measured[paper.FSImproved])
+		res.addBool(fmt.Sprintf("ℓ=%s: improved strictly dominates", lossStr), "true",
+			ratutil.Greater(measured[paper.FSImproved], measured[paper.FSOriginal]), true)
+		if prevOrig != nil {
+			res.addBool(fmt.Sprintf("ℓ=%s: µ_FS non-increasing in ℓ", lossStr), "true",
+				ratutil.Leq(measured[paper.FSOriginal], prevOrig), true)
+			res.addBool(fmt.Sprintf("ℓ=%s: µ_FS' non-increasing in ℓ", lossStr), "true",
+				ratutil.Leq(measured[paper.FSImproved], prevImpr), true)
+		}
+		prevOrig, prevImpr = measured[paper.FSOriginal], measured[paper.FSImproved]
+	}
+	// The paper's operating point.
+	res.addExact("ℓ=1/10 specializes to Example 1", "99/100",
+		ratutil.OneMinus(ratutil.R(1, 100)))
+	res.addExact("ℓ=1/10 specializes to Section 8", "990/991",
+		ratutil.Div(ratutil.R(99, 100), ratutil.R(991, 1000)))
+	return res, nil
+}

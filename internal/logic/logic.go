@@ -1,0 +1,285 @@
+// Package logic implements facts (events) over purely probabilistic
+// systems, following Section 2.3 of the paper.
+//
+// A fact is identified with the set of points (r, t) at which it is true;
+// we represent it as a predicate evaluated at points. Some facts are
+// transient ("the critical section is currently empty"), others are facts
+// about runs ("all agents decide the same value"), whose truth value is
+// constant along a run. The package provides:
+//
+//   - primitive facts: does_i(α), local-state and environment predicates,
+//     time predicates, and an escape hatch for arbitrary point predicates;
+//   - boolean combinators: Not, And, Or, Implies, Iff;
+//   - run-based wrappers: Sometime(φ) ("φ holds at some point of the
+//     current run") and Always(φ), plus Performed(i, α) and HasLocal(i, ℓ)
+//     corresponding to the paper's run-based facts α and ℓ_i;
+//   - semantic classifiers: IsRunBased and IsPastBased, the properties the
+//     paper's Lemma 4.3 relies on.
+//
+// Facts referencing an agent name that does not exist in the system under
+// evaluation indicate a programming error and cause a panic.
+package logic
+
+import (
+	"fmt"
+	"strings"
+
+	"pak/internal/pps"
+)
+
+// Fact is a (possibly transient) fact over a pps: a predicate on points.
+// Implementations must be pure functions of the point.
+type Fact interface {
+	// Holds reports whether the fact is true at point (r, t) of sys,
+	// i.e. (sys, r, t) |= φ.
+	Holds(sys *pps.System, r pps.RunID, t int) bool
+	// String renders the fact for reports and debugging.
+	String() string
+}
+
+func mustAgent(sys *pps.System, name string) pps.AgentID {
+	id, ok := sys.AgentIndex(name)
+	if !ok {
+		panic(fmt.Sprintf("logic: unknown agent %q in system %v", name, sys))
+	}
+	return id
+}
+
+// trueFact and falseFact are the boolean constants.
+type trueFact struct{}
+
+func (trueFact) Holds(*pps.System, pps.RunID, int) bool { return true }
+func (trueFact) String() string                         { return "true" }
+
+type falseFact struct{}
+
+func (falseFact) Holds(*pps.System, pps.RunID, int) bool { return false }
+func (falseFact) String() string                         { return "false" }
+
+// True returns the fact that holds at every point.
+func True() Fact { return trueFact{} }
+
+// False returns the fact that holds at no point.
+func False() Fact { return falseFact{} }
+
+// doesFact is does_i(α): agent i is currently performing α.
+type doesFact struct {
+	agent  string
+	action string
+}
+
+func (f doesFact) Holds(sys *pps.System, r pps.RunID, t int) bool {
+	act, ok := sys.Action(r, t, mustAgent(sys, f.agent))
+	return ok && act == f.action
+}
+
+func (f doesFact) String() string { return fmt.Sprintf("does_%s(%s)", f.agent, f.action) }
+
+// Does returns the transient fact does_i(α): agent performs action at the
+// current point (the action is recorded on the edge leaving the point).
+func Does(agent, action string) Fact { return doesFact{agent, action} }
+
+// localIsFact is the fact "agent i's local state is ℓ".
+type localIsFact struct {
+	agent string
+	local string
+}
+
+func (f localIsFact) Holds(sys *pps.System, r pps.RunID, t int) bool {
+	return sys.Local(r, t, mustAgent(sys, f.agent)) == f.local
+}
+
+func (f localIsFact) String() string { return fmt.Sprintf("local_%s=%q", f.agent, f.local) }
+
+// LocalIs returns the transient fact that agent's local state equals local.
+func LocalIs(agent, local string) Fact { return localIsFact{agent, local} }
+
+// localPredFact applies an arbitrary predicate to an agent's local state.
+type localPredFact struct {
+	agent string
+	name  string
+	pred  func(local string) bool
+}
+
+func (f localPredFact) Holds(sys *pps.System, r pps.RunID, t int) bool {
+	return f.pred(sys.Local(r, t, mustAgent(sys, f.agent)))
+}
+
+func (f localPredFact) String() string { return fmt.Sprintf("%s(local_%s)", f.name, f.agent) }
+
+// LocalPred returns the transient fact that pred holds of agent's current
+// local state; name is used for display.
+func LocalPred(agent, name string, pred func(local string) bool) Fact {
+	return localPredFact{agent, name, pred}
+}
+
+// LocalContains returns the fact that agent's local state contains substr.
+// It is a convenient way to express facts such as "bit = 1" when local
+// states are structured strings.
+func LocalContains(agent, substr string) Fact {
+	return LocalPred(agent, fmt.Sprintf("contains(%q)", substr), func(l string) bool {
+		return strings.Contains(l, substr)
+	})
+}
+
+// envIsFact is the fact "the environment state is e".
+type envIsFact struct{ env string }
+
+func (f envIsFact) Holds(sys *pps.System, r pps.RunID, t int) bool {
+	return sys.Env(r, t) == f.env
+}
+
+func (f envIsFact) String() string { return fmt.Sprintf("env=%q", f.env) }
+
+// EnvIs returns the transient fact that the environment state equals env.
+func EnvIs(env string) Fact { return envIsFact{env} }
+
+// envPredFact applies an arbitrary predicate to the environment state.
+type envPredFact struct {
+	name string
+	pred func(env string) bool
+}
+
+func (f envPredFact) Holds(sys *pps.System, r pps.RunID, t int) bool {
+	return f.pred(sys.Env(r, t))
+}
+
+func (f envPredFact) String() string { return fmt.Sprintf("%s(env)", f.name) }
+
+// EnvPred returns the transient fact that pred holds of the current
+// environment state; name is used for display.
+func EnvPred(name string, pred func(env string) bool) Fact {
+	return envPredFact{name, pred}
+}
+
+// timeIsFact is the fact "the current time is t0".
+type timeIsFact struct{ t0 int }
+
+func (f timeIsFact) Holds(_ *pps.System, _ pps.RunID, t int) bool { return t == f.t0 }
+func (f timeIsFact) String() string                               { return fmt.Sprintf("time=%d", f.t0) }
+
+// TimeIs returns the fact that the current time equals t0. Since systems
+// are synchronous, every agent always knows this fact's truth value.
+func TimeIs(t0 int) Fact { return timeIsFact{t0} }
+
+// atomFact is the generic escape hatch.
+type atomFact struct {
+	name string
+	pred func(sys *pps.System, r pps.RunID, t int) bool
+}
+
+func (f atomFact) Holds(sys *pps.System, r pps.RunID, t int) bool { return f.pred(sys, r, t) }
+func (f atomFact) String() string                                 { return f.name }
+
+// Atom returns a fact defined by an arbitrary point predicate; name is
+// used for display. The predicate must be pure.
+func Atom(name string, pred func(sys *pps.System, r pps.RunID, t int) bool) Fact {
+	return atomFact{name, pred}
+}
+
+// notFact negates a fact.
+type notFact struct{ f Fact }
+
+func (f notFact) Holds(sys *pps.System, r pps.RunID, t int) bool {
+	return !f.f.Holds(sys, r, t)
+}
+
+func (f notFact) String() string { return "¬(" + f.f.String() + ")" }
+
+// Not returns ¬φ.
+func Not(f Fact) Fact { return notFact{f} }
+
+// andFact is a conjunction.
+type andFact struct{ fs []Fact }
+
+func (f andFact) Holds(sys *pps.System, r pps.RunID, t int) bool {
+	for _, g := range f.fs {
+		if !g.Holds(sys, r, t) {
+			return false
+		}
+	}
+	return true
+}
+
+func (f andFact) String() string { return joinFacts(f.fs, " ∧ ", "true") }
+
+// And returns the conjunction of fs (true for an empty list).
+func And(fs ...Fact) Fact { return andFact{fs} }
+
+// orFact is a disjunction.
+type orFact struct{ fs []Fact }
+
+func (f orFact) Holds(sys *pps.System, r pps.RunID, t int) bool {
+	for _, g := range f.fs {
+		if g.Holds(sys, r, t) {
+			return true
+		}
+	}
+	return false
+}
+
+func (f orFact) String() string { return joinFacts(f.fs, " ∨ ", "false") }
+
+// Or returns the disjunction of fs (false for an empty list).
+func Or(fs ...Fact) Fact { return orFact{fs} }
+
+// Implies returns p → q.
+func Implies(p, q Fact) Fact { return Or(Not(p), q) }
+
+// Iff returns p ↔ q.
+func Iff(p, q Fact) Fact { return And(Implies(p, q), Implies(q, p)) }
+
+func joinFacts(fs []Fact, sep, empty string) string {
+	if len(fs) == 0 {
+		return empty
+	}
+	parts := make([]string, len(fs))
+	for i, f := range fs {
+		parts[i] = "(" + f.String() + ")"
+	}
+	return strings.Join(parts, sep)
+}
+
+// sometimeFact is the run-based fact "φ holds at some point of the run".
+type sometimeFact struct{ f Fact }
+
+func (f sometimeFact) Holds(sys *pps.System, r pps.RunID, _ int) bool {
+	for t := 0; t < sys.RunLen(r); t++ {
+		if f.f.Holds(sys, r, t) {
+			return true
+		}
+	}
+	return false
+}
+
+func (f sometimeFact) String() string { return "◇(" + f.f.String() + ")" }
+
+// Sometime lifts a transient fact φ to the fact about runs "φ holds at
+// some point of the current run" (paper, Section 2.3).
+func Sometime(f Fact) Fact { return sometimeFact{f} }
+
+// alwaysFact is the run-based fact "φ holds at every point of the run".
+type alwaysFact struct{ f Fact }
+
+func (f alwaysFact) Holds(sys *pps.System, r pps.RunID, _ int) bool {
+	for t := 0; t < sys.RunLen(r); t++ {
+		if !f.f.Holds(sys, r, t) {
+			return false
+		}
+	}
+	return true
+}
+
+func (f alwaysFact) String() string { return "□(" + f.f.String() + ")" }
+
+// Always lifts a transient fact φ to the fact about runs "φ holds at every
+// point of the current run".
+func Always(f Fact) Fact { return alwaysFact{f} }
+
+// Performed returns the run-based fact the paper writes simply as α: agent
+// performs action at some point of the current run.
+func Performed(agent, action string) Fact { return Sometime(Does(agent, action)) }
+
+// HasLocal returns the run-based fact the paper writes as ℓ_i: agent is in
+// local state local at some point of the current run.
+func HasLocal(agent, local string) Fact { return Sometime(LocalIs(agent, local)) }

@@ -1,0 +1,298 @@
+package logic
+
+import (
+	"strings"
+	"testing"
+
+	"pak/internal/pps"
+	"pak/internal/ratutil"
+)
+
+// diamond reproduces the paper's Figure 1 system: one agent i at initial
+// state g0 performing α or α' with probability 1/2 each.
+func diamond(t *testing.T) *pps.System {
+	t.Helper()
+	b := pps.NewBuilder("i")
+	g0 := b.Init(ratutil.One(), "e0", "g0")
+	b.Child(g0, pps.Step{Pr: ratutil.R(1, 2), Acts: []string{"alpha"}, Env: "e1", Locals: []string{"g1"}})
+	b.Child(g0, pps.Step{Pr: ratutil.R(1, 2), Acts: []string{"alpha'"}, Env: "e1", Locals: []string{"g1"}})
+	sys, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	return sys
+}
+
+// twoAgent builds a 2-agent, 2-round system in which agent j's initial bit
+// is 0 or 1 and i observes a message about it in round 1.
+func twoAgent(t *testing.T) *pps.System {
+	t.Helper()
+	b := pps.NewBuilder("i", "j")
+	s0 := b.Init(ratutil.R(1, 2), "bit=0", "i0", "j:bit=0")
+	s1 := b.Init(ratutil.R(1, 2), "bit=1", "i0", "j:bit=1")
+	b.Child(s0, pps.Step{Pr: ratutil.One(), Acts: []string{"noop", "send0"},
+		Env: "bit=0", Locals: []string{"i:got0", "j1:bit=0"}})
+	b.Child(s1, pps.Step{Pr: ratutil.One(), Acts: []string{"noop", "send1"},
+		Env: "bit=1", Locals: []string{"i:got1", "j1:bit=1"}})
+	sys, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	return sys
+}
+
+func TestConstants(t *testing.T) {
+	sys := diamond(t)
+	if !True().Holds(sys, 0, 0) {
+		t.Error("True should hold")
+	}
+	if False().Holds(sys, 0, 0) {
+		t.Error("False should not hold")
+	}
+}
+
+func TestDoes(t *testing.T) {
+	sys := diamond(t)
+	f := Does("i", "alpha")
+	if !f.Holds(sys, 0, 0) {
+		t.Error("does_i(alpha) should hold at (r0, 0)")
+	}
+	if f.Holds(sys, 1, 0) {
+		t.Error("does_i(alpha) should not hold at (r1, 0)")
+	}
+	// At the final point no action is performed.
+	if f.Holds(sys, 0, 1) {
+		t.Error("does_i(alpha) should not hold at a final point")
+	}
+	if got := f.String(); got != "does_i(alpha)" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestDoesUnknownAgentPanics(t *testing.T) {
+	sys := diamond(t)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unknown agent did not panic")
+		}
+	}()
+	Does("nobody", "alpha").Holds(sys, 0, 0)
+}
+
+func TestLocalFacts(t *testing.T) {
+	sys := twoAgent(t)
+	tests := []struct {
+		name string
+		f    Fact
+		r    pps.RunID
+		t    int
+		want bool
+	}{
+		{"LocalIs true", LocalIs("i", "i0"), 0, 0, true},
+		{"LocalIs false", LocalIs("i", "i0"), 0, 1, false},
+		{"LocalContains j bit", LocalContains("j", "bit=1"), 1, 0, true},
+		{"LocalContains other run", LocalContains("j", "bit=1"), 0, 0, false},
+		{"LocalPred", LocalPred("i", "nonempty", func(l string) bool { return l != "" }), 0, 0, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.f.Holds(sys, tt.r, tt.t); got != tt.want {
+				t.Fatalf("Holds = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestEnvFacts(t *testing.T) {
+	sys := twoAgent(t)
+	if !EnvIs("bit=0").Holds(sys, 0, 0) {
+		t.Error("EnvIs(bit=0) should hold in run 0")
+	}
+	if EnvIs("bit=0").Holds(sys, 1, 0) {
+		t.Error("EnvIs(bit=0) should not hold in run 1")
+	}
+	pred := EnvPred("hasBit", func(e string) bool { return strings.HasPrefix(e, "bit=") })
+	if !pred.Holds(sys, 0, 1) {
+		t.Error("EnvPred should hold")
+	}
+}
+
+func TestTimeIs(t *testing.T) {
+	sys := diamond(t)
+	if !TimeIs(0).Holds(sys, 0, 0) || TimeIs(0).Holds(sys, 0, 1) {
+		t.Error("TimeIs wrong")
+	}
+}
+
+func TestBooleanCombinators(t *testing.T) {
+	sys := diamond(t)
+	p := True()
+	q := False()
+	tests := []struct {
+		name string
+		f    Fact
+		want bool
+	}{
+		{"Not true", Not(p), false},
+		{"Not false", Not(q), true},
+		{"And empty", And(), true},
+		{"And tf", And(p, q), false},
+		{"And tt", And(p, p), true},
+		{"Or empty", Or(), false},
+		{"Or tf", Or(p, q), true},
+		{"Or ff", Or(q, q), false},
+		{"Implies ft", Implies(q, p), true},
+		{"Implies tf", Implies(p, q), false},
+		{"Iff tt", Iff(p, p), true},
+		{"Iff tf", Iff(p, q), false},
+		{"Iff ff", Iff(q, q), true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.f.Holds(sys, 0, 0); got != tt.want {
+				t.Fatalf("Holds = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestStrings(t *testing.T) {
+	tests := []struct {
+		f    Fact
+		want string
+	}{
+		{And(), "true"},
+		{Or(), "false"},
+		{Not(True()), "¬(true)"},
+		{And(True(), False()), "(true) ∧ (false)"},
+		{Sometime(Does("i", "a")), "◇(does_i(a))"},
+		{Always(True()), "□(true)"},
+		{TimeIs(2), "time=2"},
+		{EnvIs("x"), `env="x"`},
+		{LocalIs("i", "l"), `local_i="l"`},
+	}
+	for _, tt := range tests {
+		if got := tt.f.String(); got != tt.want {
+			t.Errorf("String = %q, want %q", got, tt.want)
+		}
+	}
+}
+
+func TestSometimeAlways(t *testing.T) {
+	sys := diamond(t)
+	// does_i(alpha) holds at t0 of run 0 only; Sometime lifts it to the run.
+	st := Sometime(Does("i", "alpha"))
+	if !st.Holds(sys, 0, 0) || !st.Holds(sys, 0, 1) {
+		t.Error("Sometime should hold at every point of run 0")
+	}
+	if st.Holds(sys, 1, 0) {
+		t.Error("Sometime should not hold in run 1")
+	}
+	al := Always(LocalIs("i", "g0"))
+	if al.Holds(sys, 0, 0) {
+		t.Error("Always(local=g0) should fail (local changes at t1)")
+	}
+	if !Always(True()).Holds(sys, 0, 0) {
+		t.Error("Always(true) should hold")
+	}
+}
+
+func TestPerformedHasLocal(t *testing.T) {
+	sys := diamond(t)
+	if !Performed("i", "alpha").Holds(sys, 0, 1) {
+		t.Error("Performed(alpha) should hold in run 0")
+	}
+	if Performed("i", "alpha").Holds(sys, 1, 0) {
+		t.Error("Performed(alpha) should not hold in run 1")
+	}
+	if !HasLocal("i", "g0").Holds(sys, 0, 1) {
+		t.Error("HasLocal(g0) should hold")
+	}
+	if HasLocal("i", "zzz").Holds(sys, 0, 0) {
+		t.Error("HasLocal(zzz) should not hold")
+	}
+}
+
+func TestIsRunBased(t *testing.T) {
+	sys := diamond(t)
+	tests := []struct {
+		name string
+		f    Fact
+		want bool
+	}{
+		{"Performed is run-based", Performed("i", "alpha"), true},
+		{"Sometime is run-based", Sometime(LocalIs("i", "g1")), true},
+		{"Always is run-based", Always(True()), true},
+		{"Does is transient", Does("i", "alpha"), false},
+		{"TimeIs is transient", TimeIs(0), false},
+		{"constant true is run-based", True(), true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := IsRunBased(sys, tt.f); got != tt.want {
+				t.Fatalf("IsRunBased = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestIsPastBased(t *testing.T) {
+	sys := diamond(t)
+	tests := []struct {
+		name string
+		f    Fact
+		want bool
+	}{
+		// The Figure 1 phenomenon: whether α is performed is decided by a
+		// coin flip after the shared prefix, so does_i(α) is NOT past-based.
+		{"Does not past-based", Does("i", "alpha"), false},
+		{"Performed not past-based", Performed("i", "alpha"), false},
+		{"LocalIs past-based", LocalIs("i", "g0"), true},
+		{"EnvIs past-based", EnvIs("e0"), true},
+		{"TimeIs past-based", TimeIs(1), true},
+		{"True past-based", True(), true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := IsPastBased(sys, tt.f); got != tt.want {
+				t.Fatalf("IsPastBased = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestIsPastBasedTwoAgent(t *testing.T) {
+	sys := twoAgent(t)
+	// "bit=1" is decided at time 0, so every fact depending only on the
+	// prefix is past-based, including j's local-state facts.
+	if !IsPastBased(sys, LocalContains("j", "bit=1")) {
+		t.Error("bit fact should be past-based")
+	}
+	// In this system actions are deterministic per state, so does is
+	// past-based here (unlike in the diamond).
+	if !IsPastBased(sys, Does("j", "send1")) {
+		t.Error("deterministic does should be past-based here")
+	}
+}
+
+func TestRunsSatisfying(t *testing.T) {
+	sys := diamond(t)
+	ev := RunsSatisfying(sys, Performed("i", "alpha"))
+	if ev.Count() != 1 || !ev.Contains(0) {
+		t.Fatalf("RunsSatisfying = %v", ev)
+	}
+	if got := sys.Measure(ev); !ratutil.Eq(got, ratutil.R(1, 2)) {
+		t.Fatalf("measure = %v, want 1/2", got)
+	}
+}
+
+func TestPointsSatisfying(t *testing.T) {
+	sys := diamond(t)
+	pts := PointsSatisfying(sys, Does("i", "alpha"))
+	if len(pts) != 1 {
+		t.Fatalf("PointsSatisfying = %v", pts)
+	}
+	if times := pts[0]; len(times) != 1 || times[0] != 0 {
+		t.Fatalf("times in run 0 = %v, want [0]", times)
+	}
+}

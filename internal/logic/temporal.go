@@ -1,0 +1,117 @@
+package logic
+
+import (
+	"fmt"
+
+	"pak/internal/pps"
+)
+
+// Additional temporal operators. Sometime and Always (logic.go) quantify
+// over the whole run; the operators here quantify over parts of it, which
+// is what conditions about protocol phases need ("a grant was issued
+// before entering", "no failure after deciding"). Past-quantified facts
+// built from past-based arguments remain past-based, so they compose well
+// with Lemma 4.3(b).
+
+// atTimeFact is the run-based fact "φ holds at time t0 of the current run".
+type atTimeFact struct {
+	t0 int
+	f  Fact
+}
+
+func (f atTimeFact) Holds(sys *pps.System, r pps.RunID, _ int) bool {
+	if f.t0 < 0 || f.t0 >= sys.RunLen(r) {
+		return false
+	}
+	return f.f.Holds(sys, r, f.t0)
+}
+
+func (f atTimeFact) String() string { return fmt.Sprintf("@%d(%s)", f.t0, f.f) }
+
+// AtTime lifts φ to the run-based fact "φ holds at time t0 of the current
+// run" (false if the run ends before t0).
+func AtTime(t0 int, f Fact) Fact { return atTimeFact{t0, f} }
+
+// onceFact is "φ held at some time ≤ now" (the past temporal operator).
+type onceFact struct{ f Fact }
+
+func (f onceFact) Holds(sys *pps.System, r pps.RunID, t int) bool {
+	for u := 0; u <= t && u < sys.RunLen(r); u++ {
+		if f.f.Holds(sys, r, u) {
+			return true
+		}
+	}
+	return false
+}
+
+func (f onceFact) String() string { return "⟐(" + f.f.String() + ")" }
+
+// Once returns the transient fact "φ held at some point up to and
+// including the current time". If φ is past-based, Once(φ) is past-based
+// too (its value depends only on the run prefix).
+func Once(f Fact) Fact { return onceFact{f} }
+
+// soFarFact is "φ held at every time ≤ now".
+type soFarFact struct{ f Fact }
+
+func (f soFarFact) Holds(sys *pps.System, r pps.RunID, t int) bool {
+	for u := 0; u <= t && u < sys.RunLen(r); u++ {
+		if !f.f.Holds(sys, r, u) {
+			return false
+		}
+	}
+	return true
+}
+
+func (f soFarFact) String() string { return "⟞(" + f.f.String() + ")" }
+
+// SoFar returns the transient fact "φ held at every point up to and
+// including the current time". If φ is past-based, so is SoFar(φ).
+func SoFar(f Fact) Fact { return soFarFact{f} }
+
+// eventuallyFact is "φ holds at some time ≥ now" (the future operator).
+type eventuallyFact struct{ f Fact }
+
+func (f eventuallyFact) Holds(sys *pps.System, r pps.RunID, t int) bool {
+	for u := t; u < sys.RunLen(r); u++ {
+		if f.f.Holds(sys, r, u) {
+			return true
+		}
+	}
+	return false
+}
+
+func (f eventuallyFact) String() string { return "◇≥(" + f.f.String() + ")" }
+
+// Eventually returns the transient fact "φ holds at the current or a later
+// point of the run". Future-quantified facts are generally NOT past-based
+// even when φ is.
+func Eventually(f Fact) Fact { return eventuallyFact{f} }
+
+// henceforthFact is "φ holds at every time ≥ now".
+type henceforthFact struct{ f Fact }
+
+func (f henceforthFact) Holds(sys *pps.System, r pps.RunID, t int) bool {
+	for u := t; u < sys.RunLen(r); u++ {
+		if !f.f.Holds(sys, r, u) {
+			return false
+		}
+	}
+	return true
+}
+
+func (f henceforthFact) String() string { return "□≥(" + f.f.String() + ")" }
+
+// Henceforth returns the transient fact "φ holds at the current and every
+// later point of the run".
+func Henceforth(f Fact) Fact { return henceforthFact{f} }
+
+// DoesAny returns the transient fact that agent is currently performing
+// one of the given actions.
+func DoesAny(agent string, actions ...string) Fact {
+	fs := make([]Fact, len(actions))
+	for i, a := range actions {
+		fs[i] = Does(agent, a)
+	}
+	return Or(fs...)
+}

@@ -1,0 +1,152 @@
+package logic
+
+import (
+	"testing"
+
+	"pak/internal/pps"
+	"pak/internal/ratutil"
+)
+
+// chain builds a single-run, three-step system with distinct env states
+// e0, e1, e2, e3 at times 0..3.
+func chain(t *testing.T) *pps.System {
+	t.Helper()
+	b := pps.NewBuilder("i")
+	n := b.Init(ratutil.One(), "e0", "l0")
+	for k := 1; k <= 3; k++ {
+		n = b.Child(n, pps.Step{Pr: ratutil.One(), Acts: []string{"a"},
+			Env: "e" + string(rune('0'+k)), Locals: []string{"l" + string(rune('0'+k))}})
+	}
+	sys, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+func TestAtTime(t *testing.T) {
+	sys := chain(t)
+	f := AtTime(2, EnvIs("e2"))
+	// Run-based: holds at every point of the run.
+	for tt := 0; tt < 4; tt++ {
+		if !f.Holds(sys, 0, tt) {
+			t.Errorf("AtTime(2, e2) should hold at t=%d", tt)
+		}
+	}
+	if AtTime(2, EnvIs("e0")).Holds(sys, 0, 0) {
+		t.Error("AtTime(2, e0) should not hold")
+	}
+	// Out-of-range times are false, not a panic.
+	if AtTime(99, True()).Holds(sys, 0, 0) {
+		t.Error("AtTime beyond run end should be false")
+	}
+	if AtTime(-1, True()).Holds(sys, 0, 0) {
+		t.Error("AtTime(-1) should be false")
+	}
+	if !IsRunBased(sys, f) {
+		t.Error("AtTime facts are run-based")
+	}
+}
+
+func TestOnceAndSoFar(t *testing.T) {
+	sys := chain(t)
+	sawE1 := Once(EnvIs("e1"))
+	tests := []struct {
+		t    int
+		want bool
+	}{
+		{0, false}, {1, true}, {2, true}, {3, true},
+	}
+	for _, tt := range tests {
+		if got := sawE1.Holds(sys, 0, tt.t); got != tt.want {
+			t.Errorf("Once(e1) at t=%d = %v, want %v", tt.t, got, tt.want)
+		}
+	}
+
+	notE3 := SoFar(Not(EnvIs("e3")))
+	for _, tt := range []struct {
+		t    int
+		want bool
+	}{{0, true}, {2, true}, {3, false}} {
+		if got := notE3.Holds(sys, 0, tt.t); got != tt.want {
+			t.Errorf("SoFar(¬e3) at t=%d = %v, want %v", tt.t, got, tt.want)
+		}
+	}
+
+	// Past operators over past-based facts stay past-based.
+	if !IsPastBased(sys, sawE1) || !IsPastBased(sys, notE3) {
+		t.Error("Once/SoFar of past-based facts should be past-based")
+	}
+}
+
+func TestEventuallyHenceforth(t *testing.T) {
+	sys := chain(t)
+	ev := Eventually(EnvIs("e3"))
+	for _, tt := range []struct {
+		t    int
+		want bool
+	}{{0, true}, {3, true}} {
+		if got := ev.Holds(sys, 0, tt.t); got != tt.want {
+			t.Errorf("Eventually(e3) at t=%d = %v, want %v", tt.t, got, tt.want)
+		}
+	}
+	if Eventually(EnvIs("e1")).Holds(sys, 0, 2) {
+		t.Error("Eventually(e1) at t=2 should be false (e1 is in the past)")
+	}
+
+	hf := Henceforth(Not(EnvIs("e0")))
+	if !hf.Holds(sys, 0, 1) || hf.Holds(sys, 0, 0) {
+		t.Error("Henceforth wrong")
+	}
+}
+
+// branching system: at t0 a coin decides the branch; Eventually of a
+// branch-dependent fact must NOT be past-based at the shared prefix.
+func TestEventuallyNotPastBased(t *testing.T) {
+	b := pps.NewBuilder("i")
+	g := b.Init(ratutil.One(), "e", "l0")
+	b.Child(g, pps.Step{Pr: ratutil.R(1, 2), Acts: []string{"a"}, Env: "win", Locals: []string{"l1"}})
+	b.Child(g, pps.Step{Pr: ratutil.R(1, 2), Acts: []string{"b"}, Env: "lose", Locals: []string{"l1"}})
+	sys, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := Eventually(EnvIs("win"))
+	if IsPastBased(sys, f) {
+		t.Error("Eventually of branch-dependent fact should not be past-based")
+	}
+	if !IsPastBased(sys, Once(EnvIs("win"))) {
+		t.Error("Once should be past-based")
+	}
+}
+
+func TestDoesAny(t *testing.T) {
+	sys := chain(t)
+	if !DoesAny("i", "x", "a", "y").Holds(sys, 0, 0) {
+		t.Error("DoesAny should hold when one alternative matches")
+	}
+	if DoesAny("i", "x", "y").Holds(sys, 0, 0) {
+		t.Error("DoesAny should fail when none match")
+	}
+	if DoesAny("i").Holds(sys, 0, 0) {
+		t.Error("empty DoesAny is false")
+	}
+}
+
+func TestTemporalStrings(t *testing.T) {
+	tests := []struct {
+		f    Fact
+		want string
+	}{
+		{AtTime(2, True()), "@2(true)"},
+		{Once(True()), "⟐(true)"},
+		{SoFar(True()), "⟞(true)"},
+		{Eventually(True()), "◇≥(true)"},
+		{Henceforth(True()), "□≥(true)"},
+	}
+	for _, tt := range tests {
+		if got := tt.f.String(); got != tt.want {
+			t.Errorf("String = %q, want %q", got, tt.want)
+		}
+	}
+}

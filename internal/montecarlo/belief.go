@@ -1,0 +1,120 @@
+package montecarlo
+
+import (
+	"fmt"
+
+	"pak/internal/logic"
+	"pak/internal/pps"
+)
+
+// Sampled belief estimation: the empirical counterparts of the exact
+// belief queries in internal/core. An agent's belief β_i(φ) at local
+// state ℓ is the conditional probability µ(φ@ℓ | ℓ), so it is estimated
+// by sampling runs from the prior and conditioning on ℓ occurring; the
+// expected acting belief and the constraint probability are estimated the
+// same way from the acting runs.
+
+// EstimateBelief estimates β_i(φ) at the agent's local state ℓ: the
+// frequency of φ holding at ℓ's occurrence time among sampled runs that
+// pass through ℓ. It fails with ErrNoHits if no sample reaches ℓ.
+func (s *Sampler) EstimateBelief(f logic.Fact, agent pps.AgentID, local string, n int) (Estimate, error) {
+	if n <= 0 {
+		return Estimate{}, ErrNoSamples
+	}
+	_, tm, ok := s.sys.Occurs(agent, local)
+	if !ok {
+		return Estimate{}, fmt.Errorf("montecarlo: state %q never occurs: %w", local, ErrNoHits)
+	}
+	hits, reached := 0, 0
+	for k := 0; k < n; k++ {
+		r := s.SampleRun()
+		if tm >= s.sys.RunLen(r) || s.sys.Local(r, tm, agent) != local {
+			continue
+		}
+		reached++
+		if f.Holds(s.sys, r, tm) {
+			hits++
+		}
+	}
+	if reached == 0 {
+		return Estimate{}, ErrNoHits
+	}
+	return Estimate{P: float64(hits) / float64(reached), N: reached, Radius: hoeffdingRadius(reached)}, nil
+}
+
+// ConstraintEstimate bundles the sampled view of a probabilistic
+// constraint µ(φ@α | α).
+type ConstraintEstimate struct {
+	// Constraint estimates µ(φ@α | α).
+	Constraint Estimate
+	// MeanActingBelief is the average, over sampled acting runs, of the
+	// exact belief at the acting state. By Theorem 6.2 it converges to
+	// the same value as Constraint under local-state independence; the
+	// estimator exposes the pair so the identity can be observed
+	// empirically.
+	MeanActingBelief float64
+	// ActingRuns is the number of sampled runs in which α was performed.
+	ActingRuns int
+}
+
+// String renders the estimate pair.
+func (c ConstraintEstimate) String() string {
+	return fmt.Sprintf("µ̂=%v Ê[β]=%.6f (acting n=%d)", c.Constraint, c.MeanActingBelief, c.ActingRuns)
+}
+
+// EstimateConstraint estimates µ(φ@α | α) and the mean acting belief for
+// a proper action of the given agent, using beliefAt to evaluate the
+// exact belief at a point (callers pass core.Engine.BeliefAtPoint or an
+// equivalent; the indirection avoids an import cycle).
+func (s *Sampler) EstimateConstraint(
+	f logic.Fact,
+	agent pps.AgentID,
+	action string,
+	n int,
+	beliefAt func(r pps.RunID, t int) (float64, error),
+) (ConstraintEstimate, error) {
+	if n <= 0 {
+		return ConstraintEstimate{}, ErrNoSamples
+	}
+	acting, holds := 0, 0
+	beliefSum := 0.0
+	for k := 0; k < n; k++ {
+		r := s.SampleRun()
+		perfT := -1
+		for t := 0; t < s.sys.RunLen(r); t++ {
+			if act, ok := s.sys.Action(r, t, agent); ok && act == action {
+				perfT = t
+				break
+			}
+		}
+		if perfT < 0 {
+			continue
+		}
+		acting++
+		if f.Holds(s.sys, r, perfT) {
+			holds++
+		}
+		if beliefAt != nil {
+			bel, err := beliefAt(r, perfT)
+			if err != nil {
+				return ConstraintEstimate{}, err
+			}
+			beliefSum += bel
+		}
+	}
+	if acting == 0 {
+		return ConstraintEstimate{}, ErrNoHits
+	}
+	out := ConstraintEstimate{
+		Constraint: Estimate{
+			P:      float64(holds) / float64(acting),
+			N:      acting,
+			Radius: hoeffdingRadius(acting),
+		},
+		ActingRuns: acting,
+	}
+	if beliefAt != nil {
+		out.MeanActingBelief = beliefSum / float64(acting)
+	}
+	return out, nil
+}

@@ -1,0 +1,112 @@
+package montecarlo
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+
+	"pak/internal/core"
+	"pak/internal/paper"
+	"pak/internal/pps"
+	"pak/internal/ratutil"
+)
+
+func TestEstimateBeliefMatchesExact(t *testing.T) {
+	// Sampled belief at T-hat's non-revealing state must contain the
+	// exact 8/9.
+	sys, err := paper.That(ratutil.R(9, 10), ratutil.R(1, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewSampler(sys, 21)
+	est, err := s.EstimateBelief(paper.ThatBitFact(), 0, "i1:recv=m", samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !est.Contains(8.0 / 9.0) {
+		t.Fatalf("estimate %v does not contain 8/9", est)
+	}
+}
+
+func TestEstimateBeliefErrors(t *testing.T) {
+	sys, err := paper.That(ratutil.R(9, 10), ratutil.R(1, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewSampler(sys, 1)
+	if _, err := s.EstimateBelief(paper.ThatBitFact(), 0, "i1:recv=m", 0); !errors.Is(err, ErrNoSamples) {
+		t.Errorf("zero samples err = %v", err)
+	}
+	if _, err := s.EstimateBelief(paper.ThatBitFact(), 0, "no-such-state", 100); !errors.Is(err, ErrNoHits) {
+		t.Errorf("unknown state err = %v", err)
+	}
+}
+
+func TestEstimateConstraintFiringSquad(t *testing.T) {
+	// The sampled constraint and the sampled mean acting belief must both
+	// converge to 99/100 (Theorem 6.2, observed empirically).
+	sys := fsSystem(t)
+	e := core.New(sys)
+	s := NewSampler(sys, 31)
+	alice, _ := sys.AgentIndex(paper.Alice)
+	both := paper.FSBothFire()
+	beliefAt := func(r pps.RunID, tt int) (float64, error) {
+		bel, err := e.BeliefAtPoint(both, paper.Alice, r, tt)
+		if err != nil {
+			return 0, err
+		}
+		return ratutil.Float(bel), nil
+	}
+	est, err := s.EstimateConstraint(both, alice, paper.ActFire, samples, beliefAt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !est.Constraint.Contains(0.99) {
+		t.Fatalf("constraint estimate %v does not contain 0.99", est.Constraint)
+	}
+	if math.Abs(est.MeanActingBelief-0.99) > 0.02 {
+		t.Fatalf("mean acting belief %v too far from 0.99", est.MeanActingBelief)
+	}
+	// The two sampled sides of Theorem 6.2 should be close to each other.
+	if math.Abs(est.MeanActingBelief-est.Constraint.P) > 0.02 {
+		t.Fatalf("empirical Theorem 6.2 gap too large: %v", est)
+	}
+	if !strings.Contains(est.String(), "acting n=") {
+		t.Errorf("String = %q", est.String())
+	}
+}
+
+func TestEstimateConstraintWithoutBeliefFn(t *testing.T) {
+	sys := fsSystem(t)
+	s := NewSampler(sys, 5)
+	alice, _ := sys.AgentIndex(paper.Alice)
+	est, err := s.EstimateConstraint(paper.FSBothFire(), alice, paper.ActFire, 10_000, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.MeanActingBelief != 0 {
+		t.Error("belief mean should be 0 when no belief function is given")
+	}
+	if est.ActingRuns == 0 {
+		t.Error("no acting runs sampled")
+	}
+}
+
+func TestEstimateConstraintErrors(t *testing.T) {
+	sys := fsSystem(t)
+	s := NewSampler(sys, 1)
+	alice, _ := sys.AgentIndex(paper.Alice)
+	if _, err := s.EstimateConstraint(paper.FSBothFire(), alice, paper.ActFire, 0, nil); !errors.Is(err, ErrNoSamples) {
+		t.Errorf("zero samples err = %v", err)
+	}
+	if _, err := s.EstimateConstraint(paper.FSBothFire(), alice, "never", 100, nil); !errors.Is(err, ErrNoHits) {
+		t.Errorf("never-performed err = %v", err)
+	}
+	boom := errors.New("boom")
+	_, err := s.EstimateConstraint(paper.FSBothFire(), alice, paper.ActFire, 1000,
+		func(pps.RunID, int) (float64, error) { return 0, boom })
+	if !errors.Is(err, boom) {
+		t.Errorf("belief error not propagated: %v", err)
+	}
+}

@@ -1,0 +1,287 @@
+// Package montecarlo provides a sampling-based estimator for purely
+// probabilistic systems and protocols, cross-validating the exact rational
+// engine: sampled frequencies of events, constraint probabilities and
+// belief thresholds converge to the exact values computed by internal/core.
+//
+// The paper's evaluation is analytic; this package supplies the
+// "empirical" counterpart a systems reader expects: estimates carry
+// Hoeffding confidence radii, and the test suite (plus experiment E7 in
+// the benchmark harness) verifies that the exact values always fall within
+// the confidence interval.
+//
+// All sampling is deterministic given the seed.
+package montecarlo
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"pak/internal/pps"
+	"pak/internal/protocol"
+	"pak/internal/ratutil"
+)
+
+// Sentinel errors returned (wrapped) by this package.
+var (
+	// ErrNoSamples indicates a request for an estimate from zero samples.
+	ErrNoSamples = errors.New("montecarlo: sample count must be positive")
+	// ErrNoHits indicates a conditional estimate whose conditioning event
+	// was never sampled.
+	ErrNoHits = errors.New("montecarlo: conditioning event never occurred in the sample")
+)
+
+// Estimate is a sampled probability with its sample size and a Hoeffding
+// confidence radius at 99% confidence.
+type Estimate struct {
+	// P is the point estimate (a frequency).
+	P float64
+	// N is the number of samples behind the estimate.
+	N int
+	// Radius is the 99%-confidence Hoeffding radius: with probability at
+	// least 0.99 the true value lies within [P-Radius, P+Radius].
+	Radius float64
+}
+
+// Contains reports whether the exact value v lies within the confidence
+// interval.
+func (e Estimate) Contains(v float64) bool {
+	return v >= e.P-e.Radius && v <= e.P+e.Radius
+}
+
+// String renders the estimate.
+func (e Estimate) String() string {
+	return fmt.Sprintf("%.6f ±%.6f (n=%d)", e.P, e.Radius, e.N)
+}
+
+// hoeffdingRadius returns the two-sided 99% Hoeffding radius for n samples:
+// sqrt(ln(2/0.01) / (2n)).
+func hoeffdingRadius(n int) float64 {
+	if n <= 0 {
+		return 1
+	}
+	return math.Sqrt(math.Log(2/0.01) / (2 * float64(n)))
+}
+
+// Sampler draws runs from a pps according to µ_T.
+type Sampler struct {
+	sys *pps.System
+	rng *rand.Rand
+	// cum[node] holds the cumulative edge probabilities of node's
+	// children as float64 for fast inverse-transform sampling.
+	cum map[pps.NodeID][]float64
+	// leafRun caches the resolution from leaf nodes to run identifiers.
+	leafRun map[pps.NodeID]pps.RunID
+}
+
+// NewSampler returns a Sampler over sys seeded deterministically.
+func NewSampler(sys *pps.System, seed int64) *Sampler {
+	return &Sampler{
+		sys: sys,
+		rng: rand.New(rand.NewSource(seed)),
+		cum: make(map[pps.NodeID][]float64),
+	}
+}
+
+// cumFor returns the cumulative distribution over the children of node.
+func (s *Sampler) cumFor(node pps.NodeID) []float64 {
+	if c, ok := s.cum[node]; ok {
+		return c
+	}
+	children := s.sys.ChildrenOf(node)
+	c := make([]float64, len(children))
+	total := 0.0
+	for i, ch := range children {
+		total += ratutil.Float(s.sys.EdgeProb(ch))
+		c[i] = total
+	}
+	s.cum[node] = c
+	return c
+}
+
+// SampleNodePath draws one root-to-leaf node path according to the tree's
+// transition probabilities.
+func (s *Sampler) SampleNodePath() []pps.NodeID {
+	var path []pps.NodeID
+	node := pps.Root
+	for !s.sys.IsLeaf(node) {
+		children := s.sys.ChildrenOf(node)
+		cum := s.cumFor(node)
+		x := s.rng.Float64() * cum[len(cum)-1]
+		idx := 0
+		for idx < len(cum)-1 && x > cum[idx] {
+			idx++
+		}
+		node = children[idx]
+		path = append(path, node)
+	}
+	return path
+}
+
+// SampleRun draws one run (as a RunID) according to µ_T.
+func (s *Sampler) SampleRun() pps.RunID {
+	path := s.SampleNodePath()
+	return s.runOf(path[len(path)-1])
+}
+
+// runOf resolves a leaf node to its run, building the index lazily.
+func (s *Sampler) runOf(leaf pps.NodeID) pps.RunID {
+	if s.leafRun == nil {
+		s.leafRun = make(map[pps.NodeID]pps.RunID)
+		for r := 0; r < s.sys.NumRuns(); r++ {
+			run := pps.RunID(r)
+			s.leafRun[s.sys.NodeAt(run, s.sys.RunLen(run)-1)] = run
+		}
+	}
+	return s.leafRun[leaf]
+}
+
+// EstimateEvent estimates µ_T of the event defined by pred over n samples.
+func (s *Sampler) EstimateEvent(pred func(r pps.RunID) bool, n int) (Estimate, error) {
+	if n <= 0 {
+		return Estimate{}, ErrNoSamples
+	}
+	hits := 0
+	for k := 0; k < n; k++ {
+		if pred(s.SampleRun()) {
+			hits++
+		}
+	}
+	return Estimate{P: float64(hits) / float64(n), N: n, Radius: hoeffdingRadius(n)}, nil
+}
+
+// EstimateConditional estimates µ_T(a | b) over n samples of the prior,
+// counting only samples falling in b.
+func (s *Sampler) EstimateConditional(a, b func(r pps.RunID) bool, n int) (Estimate, error) {
+	if n <= 0 {
+		return Estimate{}, ErrNoSamples
+	}
+	hitsA, hitsB := 0, 0
+	for k := 0; k < n; k++ {
+		r := s.SampleRun()
+		if !b(r) {
+			continue
+		}
+		hitsB++
+		if a(r) {
+			hitsA++
+		}
+	}
+	if hitsB == 0 {
+		return Estimate{}, ErrNoHits
+	}
+	return Estimate{P: float64(hitsA) / float64(hitsB), N: hitsB, Radius: hoeffdingRadius(hitsB)}, nil
+}
+
+// ProtocolSampler simulates a protocol.Model directly, without unfolding
+// it into a pps first. This scales to horizons whose trees would be too
+// large to enumerate, trading exactness for sampling.
+type ProtocolSampler struct {
+	m   protocol.Model
+	rng *rand.Rand
+}
+
+// NewProtocolSampler returns a sampler for m seeded deterministically.
+func NewProtocolSampler(m protocol.Model, seed int64) *ProtocolSampler {
+	return &ProtocolSampler{m: m, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Trace is one simulated execution of a protocol: the global state at
+// every time and the actions chosen at every step.
+type Trace struct {
+	// States[t] is the global state at time t, 0 ≤ t ≤ Horizon.
+	States []protocol.Global
+	// Acts[t] are the agents' actions at time t, 0 ≤ t < Horizon.
+	Acts [][]string
+	// EnvActs[t] is the environment action at time t.
+	EnvActs []string
+}
+
+// pick draws from a weighted distribution.
+func pick[T any](rng *rand.Rand, dist []protocol.Weighted[T]) T {
+	x := rng.Float64()
+	acc := 0.0
+	for _, w := range dist {
+		acc += ratutil.Float(w.Pr)
+		if x <= acc {
+			return w.Value
+		}
+	}
+	return dist[len(dist)-1].Value
+}
+
+// Sample simulates one execution of the protocol.
+func (ps *ProtocolSampler) Sample() (Trace, error) {
+	g := pick(ps.rng, ps.m.Initials()).Clone()
+	trace := Trace{States: []protocol.Global{g.Clone()}}
+	agents := ps.m.Agents()
+	for t := 0; t < ps.m.Horizon(); t++ {
+		acts := make([]string, len(agents))
+		for a := range agents {
+			dist := ps.m.AgentStep(a, g.Locals[a], t)
+			if err := protocol.ValidateDist(dist); err != nil {
+				return Trace{}, fmt.Errorf("agent %s at t=%d: %w", agents[a], t, err)
+			}
+			acts[a] = pick(ps.rng, dist)
+		}
+		envDist := ps.m.EnvStep(g, acts, t)
+		if err := protocol.ValidateDist(envDist); err != nil {
+			return Trace{}, fmt.Errorf("environment at t=%d: %w", t, err)
+		}
+		envAct := pick(ps.rng, envDist)
+		next, err := ps.m.Next(g, acts, envAct, t)
+		if err != nil {
+			return Trace{}, fmt.Errorf("transition at t=%d: %w", t, err)
+		}
+		trace.Acts = append(trace.Acts, acts)
+		trace.EnvActs = append(trace.EnvActs, envAct)
+		trace.States = append(trace.States, next.Clone())
+		g = next
+	}
+	return trace, nil
+}
+
+// EstimateTrace estimates the probability that pred holds of a simulated
+// execution, over n independent simulations.
+func (ps *ProtocolSampler) EstimateTrace(pred func(Trace) bool, n int) (Estimate, error) {
+	if n <= 0 {
+		return Estimate{}, ErrNoSamples
+	}
+	hits := 0
+	for k := 0; k < n; k++ {
+		tr, err := ps.Sample()
+		if err != nil {
+			return Estimate{}, err
+		}
+		if pred(tr) {
+			hits++
+		}
+	}
+	return Estimate{P: float64(hits) / float64(n), N: n, Radius: hoeffdingRadius(n)}, nil
+}
+
+// EstimateTraceConditional estimates P(a | b) over simulated executions.
+func (ps *ProtocolSampler) EstimateTraceConditional(a, b func(Trace) bool, n int) (Estimate, error) {
+	if n <= 0 {
+		return Estimate{}, ErrNoSamples
+	}
+	hitsA, hitsB := 0, 0
+	for k := 0; k < n; k++ {
+		tr, err := ps.Sample()
+		if err != nil {
+			return Estimate{}, err
+		}
+		if !b(tr) {
+			continue
+		}
+		hitsB++
+		if a(tr) {
+			hitsA++
+		}
+	}
+	if hitsB == 0 {
+		return Estimate{}, ErrNoHits
+	}
+	return Estimate{P: float64(hitsA) / float64(hitsB), N: hitsB, Radius: hoeffdingRadius(hitsB)}, nil
+}

@@ -1,0 +1,232 @@
+package montecarlo
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"pak/internal/core"
+	"pak/internal/paper"
+	"pak/internal/pps"
+	"pak/internal/protocol"
+	"pak/internal/ratutil"
+)
+
+const samples = 40_000
+
+func fsSystem(t *testing.T) *pps.System {
+	t.Helper()
+	sys, err := paper.FiringSquad(ratutil.R(1, 10), paper.FSOriginal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+func TestEstimateEventMatchesExact(t *testing.T) {
+	sys := fsSystem(t)
+	s := NewSampler(sys, 1)
+	goOne := paper.FSGoIsOne()
+	est, err := s.EstimateEvent(func(r pps.RunID) bool {
+		return goOne.Holds(sys, r, 0)
+	}, samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !est.Contains(0.5) {
+		t.Fatalf("estimate %v does not contain exact value 0.5", est)
+	}
+}
+
+func TestEstimateConditionalMatchesEngine(t *testing.T) {
+	// E7: sampled µ(φ_both@fire_A | fire_A) must contain the exact 0.99.
+	sys := fsSystem(t)
+	e := core.New(sys)
+	exact, err := e.ConstraintProb(paper.FSBothFire(), paper.Alice, paper.ActFire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev, err := e.FactAtAction(paper.FSBothFire(), paper.Alice, paper.ActFire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perf, err := e.PerformedSet(paper.Alice, paper.ActFire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewSampler(sys, 2)
+	est, err := s.EstimateConditional(
+		func(r pps.RunID) bool { return ev.Contains(int(r)) },
+		func(r pps.RunID) bool { return perf.Contains(int(r)) },
+		samples,
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !est.Contains(ratutil.Float(exact)) {
+		t.Fatalf("estimate %v does not contain exact %v", est, ratutil.Float(exact))
+	}
+}
+
+func TestSamplerDeterministic(t *testing.T) {
+	sys := fsSystem(t)
+	a := NewSampler(sys, 42)
+	b := NewSampler(sys, 42)
+	for k := 0; k < 100; k++ {
+		if a.SampleRun() != b.SampleRun() {
+			t.Fatal("same seed produced different samples")
+		}
+	}
+}
+
+func TestSampleNodePathReachesLeaf(t *testing.T) {
+	sys := fsSystem(t)
+	s := NewSampler(sys, 7)
+	for k := 0; k < 50; k++ {
+		path := s.SampleNodePath()
+		if len(path) == 0 {
+			t.Fatal("empty path")
+		}
+		if !sys.IsLeaf(path[len(path)-1]) {
+			t.Fatal("path does not end at a leaf")
+		}
+		if sys.ParentOf(path[0]) != pps.Root {
+			t.Fatal("path does not start at an initial state")
+		}
+	}
+}
+
+func TestEstimateErrors(t *testing.T) {
+	sys := fsSystem(t)
+	s := NewSampler(sys, 3)
+	if _, err := s.EstimateEvent(func(pps.RunID) bool { return true }, 0); !errors.Is(err, ErrNoSamples) {
+		t.Errorf("zero samples err = %v", err)
+	}
+	_, err := s.EstimateConditional(
+		func(pps.RunID) bool { return true },
+		func(pps.RunID) bool { return false }, // impossible conditioning event
+		100,
+	)
+	if !errors.Is(err, ErrNoHits) {
+		t.Errorf("no hits err = %v", err)
+	}
+}
+
+func TestEstimateContainsAndString(t *testing.T) {
+	e := Estimate{P: 0.5, N: 100, Radius: 0.1}
+	if !e.Contains(0.55) || e.Contains(0.7) {
+		t.Error("Contains wrong")
+	}
+	if !strings.Contains(e.String(), "n=100") {
+		t.Errorf("String = %q", e.String())
+	}
+}
+
+func TestHoeffdingRadiusShrinks(t *testing.T) {
+	if hoeffdingRadius(100) <= hoeffdingRadius(10_000) {
+		t.Error("radius should shrink with more samples")
+	}
+	if hoeffdingRadius(0) != 1 {
+		t.Error("radius for n=0 should be the trivial bound 1")
+	}
+}
+
+func TestProtocolSamplerFiringSquad(t *testing.T) {
+	// Simulating the protocol directly (without unfolding) must agree with
+	// the exact conditional too.
+	m, err := paper.FiringSquadModel(ratutil.R(1, 10), paper.FSOriginal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps := NewProtocolSampler(m, 11)
+	bothFire := func(tr Trace) bool {
+		return tr.Acts[2][0] == paper.ActFire && tr.Acts[2][1] == paper.ActFire
+	}
+	aliceFires := func(tr Trace) bool { return tr.Acts[2][0] == paper.ActFire }
+	est, err := ps.EstimateTraceConditional(bothFire, aliceFires, samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !est.Contains(0.99) {
+		t.Fatalf("protocol-level estimate %v does not contain 0.99", est)
+	}
+}
+
+func TestProtocolSamplerTraceShape(t *testing.T) {
+	m, err := paper.FiringSquadModel(ratutil.R(1, 10), paper.FSOriginal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps := NewProtocolSampler(m, 5)
+	tr, err := ps.Sample()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.States) != 4 || len(tr.Acts) != 3 || len(tr.EnvActs) != 3 {
+		t.Fatalf("trace shape: states=%d acts=%d envActs=%d", len(tr.States), len(tr.Acts), len(tr.EnvActs))
+	}
+}
+
+func TestProtocolSamplerPropagatesErrors(t *testing.T) {
+	bad := protocol.FuncModel{
+		AgentNames: []string{"i"},
+		Init: []protocol.Weighted[protocol.Global]{
+			protocol.W(protocol.Global{Env: "e", Locals: []string{"s"}}, ratutil.One()),
+		},
+		Step: func(agent int, local string, t int) []protocol.Weighted[string] {
+			return nil // invalid distribution
+		},
+		Trans: func(g protocol.Global, acts []string, envAct string, t int) (protocol.Global, error) {
+			return g, nil
+		},
+		Bound: 1,
+	}
+	ps := NewProtocolSampler(bad, 1)
+	if _, err := ps.Sample(); !errors.Is(err, protocol.ErrBadDist) {
+		t.Fatalf("Sample err = %v, want ErrBadDist", err)
+	}
+	if _, err := ps.EstimateTrace(func(Trace) bool { return true }, 10); err == nil {
+		t.Fatal("EstimateTrace should propagate sampling errors")
+	}
+}
+
+func TestEstimateTraceZeroSamples(t *testing.T) {
+	m, err := paper.FiringSquadModel(ratutil.R(1, 10), paper.FSOriginal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps := NewProtocolSampler(m, 1)
+	if _, err := ps.EstimateTrace(func(Trace) bool { return true }, 0); !errors.Is(err, ErrNoSamples) {
+		t.Errorf("err = %v", err)
+	}
+	if _, err := ps.EstimateTraceConditional(func(Trace) bool { return true },
+		func(Trace) bool { return true }, 0); !errors.Is(err, ErrNoSamples) {
+		t.Errorf("err = %v", err)
+	}
+	// Impossible conditioning event.
+	if _, err := ps.EstimateTraceConditional(func(Trace) bool { return true },
+		func(Trace) bool { return false }, 10); !errors.Is(err, ErrNoHits) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestThatSampling(t *testing.T) {
+	// Sampled threshold-met frequency on T-hat(9/10, 1/10) should be ≈ ε.
+	sys, err := paper.That(ratutil.R(9, 10), ratutil.R(1, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := core.New(sys)
+	ev, err := e.BeliefThresholdEvent(paper.ThatBitFact(), paper.AgentI, paper.ActAlpha, ratutil.R(9, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewSampler(sys, 9)
+	est, err := s.EstimateEvent(func(r pps.RunID) bool { return ev.Contains(int(r)) }, samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !est.Contains(0.1) {
+		t.Fatalf("estimate %v does not contain ε = 0.1", est)
+	}
+}

@@ -1,0 +1,371 @@
+package paper
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"pak/internal/core"
+	"pak/internal/logic"
+	"pak/internal/ratutil"
+)
+
+// TestFigure1Counterexamples re-derives the two counterexample claims the
+// paper makes about Figure 1.
+func TestFigure1Counterexamples(t *testing.T) {
+	sys, err := Figure1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.NumRuns() != 2 {
+		t.Fatalf("NumRuns = %d, want 2", sys.NumRuns())
+	}
+	e := core.New(sys)
+
+	// Section 4: ψ = ¬does_i(α). β_i(ψ) = 1/2 whenever α is performed,
+	// but µ(ψ@α|α) = 0.
+	psi := Figure1PsiFact()
+	bel, err := e.Belief(psi, AgentI, "g0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ratutil.Eq(bel, ratutil.R(1, 2)) {
+		t.Errorf("β_i(ψ)@g0 = %v, want 1/2", bel)
+	}
+	mu, err := e.ConstraintProb(psi, AgentI, ActAlpha)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ratutil.IsZero(mu) {
+		t.Errorf("µ(ψ@α|α) = %v, want 0", mu)
+	}
+
+	// Section 6: φ = does_i(α). µ(φ@α|α) = 1 but E[β] = 1/2.
+	rep, err := e.CheckExpectation(Figure1PhiFact(), AgentI, ActAlpha)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ratutil.IsOne(rep.ConstraintProb) || !ratutil.Eq(rep.ExpectedBelief, ratutil.R(1, 2)) {
+		t.Errorf("µ=%v E[β]=%v, want 1 and 1/2", rep.ConstraintProb, rep.ExpectedBelief)
+	}
+	if rep.Independent {
+		t.Error("Figure 1's φ must not be local-state independent of α")
+	}
+}
+
+func TestThatValidation(t *testing.T) {
+	tests := []struct {
+		name   string
+		p, eps string
+	}{
+		{"eps zero", "9/10", "0"},
+		{"eps equals p", "1/2", "1/2"},
+		{"eps above p", "1/10", "1/2"},
+		{"p is one", "1", "1/10"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := That(ratutil.MustParse(tt.p), ratutil.MustParse(tt.eps))
+			if !errors.Is(err, ErrBadParam) {
+				t.Fatalf("That(%s,%s) err = %v, want ErrBadParam", tt.p, tt.eps, err)
+			}
+		})
+	}
+	if _, err := That(nil, ratutil.R(1, 10)); !errors.Is(err, ErrBadParam) {
+		t.Fatalf("That(nil, ...) err = %v", err)
+	}
+}
+
+// TestThatTheorem52 verifies the exact claims of Theorem 5.2's proof for a
+// sweep of (p, ε): µ(φ@α|α) = p while µ(β ≥ p | α) = ε, and the
+// non-revealing belief equals (p−ε)/(1−ε) < p.
+func TestThatTheorem52(t *testing.T) {
+	cases := []struct{ p, eps string }{
+		{"9/10", "1/10"},
+		{"9/10", "1/100"},
+		{"95/100", "1/1000"},
+		{"99/100", "1/100"},
+		{"1/2", "1/4"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.p+"_"+tc.eps, func(t *testing.T) {
+			p := ratutil.MustParse(tc.p)
+			eps := ratutil.MustParse(tc.eps)
+			sys, err := That(p, eps)
+			if err != nil {
+				t.Fatal(err)
+			}
+			e := core.New(sys)
+			phi := ThatBitFact()
+
+			mu, err := e.ConstraintProb(phi, AgentI, ActAlpha)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !ratutil.Eq(mu, p) {
+				t.Errorf("µ = %v, want %v", mu, p)
+			}
+			tm, err := e.ThresholdMeasure(phi, AgentI, ActAlpha, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !ratutil.Eq(tm, eps) {
+				t.Errorf("µ(β≥p|α) = %v, want %v", tm, eps)
+			}
+			bel, err := e.Belief(phi, AgentI, "i1:recv=m")
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := ratutil.Div(ratutil.Sub(p, eps), ratutil.OneMinus(eps))
+			if !ratutil.Eq(bel, want) {
+				t.Errorf("non-revealing belief = %v, want (p-ε)/(1-ε) = %v", bel, want)
+			}
+			if !ratutil.Less(bel, p) {
+				t.Errorf("non-revealing belief %v should be below p=%v", bel, p)
+			}
+			// Theorem 6.2 on T-hat.
+			rep, err := e.CheckExpectation(phi, AgentI, ActAlpha)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !rep.Independent || !rep.Equal() {
+				t.Errorf("expectation identity failed: %v", rep)
+			}
+		})
+	}
+}
+
+// fsEngine unfolds a firing-squad variant at the paper's loss rate 1/10.
+func fsEngine(t *testing.T, variant FSVariant) *core.Engine {
+	t.Helper()
+	sys, err := FiringSquad(ratutil.R(1, 10), variant)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return core.New(sys)
+}
+
+func TestFSStructure(t *testing.T) {
+	sys, err := FiringSquad(ratutil.R(1, 10), FSOriginal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// go=0 contributes 2 runs (Bob's 'No' delivered or lost); go=1
+	// contributes 4 delivery patterns × 2 = 8: ten runs in total.
+	if sys.NumRuns() != 10 {
+		t.Fatalf("NumRuns = %d, want 10", sys.NumRuns())
+	}
+	if !ratutil.IsOne(sys.TotalMeasure()) {
+		t.Fatalf("total measure = %v", sys.TotalMeasure())
+	}
+	if sys.MaxTime() != 3 {
+		t.Fatalf("MaxTime = %d, want 3", sys.MaxTime())
+	}
+}
+
+// TestFSOriginalPaperNumbers verifies every numeric claim Example 1 and
+// Sections 1/3 make about FS with loss = 1/10.
+func TestFSOriginalPaperNumbers(t *testing.T) {
+	e := fsEngine(t, FSOriginal)
+	phi := FSBothFire()
+
+	// Spec: µ(φ_both@fire_A | fire_A) = 0.99 ≥ 0.95.
+	mu, err := e.ConstraintProb(phi, Alice, ActFire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ratutil.Eq(mu, ratutil.R(99, 100)) {
+		t.Fatalf("µ(φ_both|fire_A) = %v, want 99/100", mu)
+	}
+
+	// Alice's three information states when firing (Section 1): belief in
+	// fire_B is 1 after 'Yes', 0 after 'No', and 0.99 after silence.
+	fireB := FSBobFires()
+	byState, err := e.BeliefByActionState(fireB, Alice, ActFire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(byState) != 3 {
+		t.Fatalf("Alice fires in %d states, want 3: %v", len(byState), byState)
+	}
+	for state, bel := range byState {
+		var want string
+		switch {
+		case contains(state, "recv=Yes"):
+			want = "1"
+		case contains(state, "recv=No"):
+			want = "0"
+		default:
+			want = "99/100"
+		}
+		if bel.RatString() != want {
+			t.Errorf("β_A(fire_B) at %q = %s, want %s", state, bel.RatString(), want)
+		}
+	}
+
+	// Threshold analysis (Section 1): the 0.95 threshold is met when
+	// firing with probability 0.991, missed with probability 0.009.
+	tm, err := e.ThresholdMeasure(phi, Alice, ActFire, ratutil.R(95, 100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ratutil.Eq(tm, ratutil.R(991, 1000)) {
+		t.Errorf("µ(β≥0.95|fire_A) = %v, want 991/1000", tm)
+	}
+	miss := ratutil.OneMinus(tm)
+	if !ratutil.Eq(miss, ratutil.R(9, 1000)) {
+		t.Errorf("miss measure = %v, want 9/1000 (= 0.1·0.1·0.9)", miss)
+	}
+
+	// Theorem 6.2: E[β_A(φ_both)@fire_A | fire_A] = 99/100 exactly.
+	rep, err := e.CheckExpectation(phi, Alice, ActFire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Independent {
+		t.Error("φ_both should be independent of fire_A (deterministic protocol)")
+	}
+	if !rep.Equal() {
+		t.Errorf("expectation identity failed: %v", rep)
+	}
+}
+
+// TestFSImprovedSection8 verifies the Section 8 claim: refraining from
+// firing on 'No' raises µ(φ_both | fire_A) to 0.99899 (exactly 990/991).
+func TestFSImprovedSection8(t *testing.T) {
+	e := fsEngine(t, FSImproved)
+	phi := FSBothFire()
+
+	mu, err := e.ConstraintProb(phi, Alice, ActFire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ratutil.Eq(mu, ratutil.R(990, 991)) {
+		t.Fatalf("µ(φ_both|fire_A) = %v, want 990/991", mu)
+	}
+
+	// Alice now fires in only two information states, and both meet the
+	// 0.95 threshold: the threshold-met measure is 1.
+	byState, err := e.BeliefByActionState(phi, Alice, ActFire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(byState) != 2 {
+		t.Fatalf("Alice fires in %d states, want 2: %v", len(byState), byState)
+	}
+	tm, err := e.ThresholdMeasure(phi, Alice, ActFire, ratutil.R(95, 100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ratutil.IsOne(tm) {
+		t.Errorf("µ(β≥0.95|fire_A) = %v, want 1", tm)
+	}
+
+	// Theorem 6.2 again: expected belief equals 990/991.
+	rep, err := e.CheckExpectation(phi, Alice, ActFire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Equal() || !ratutil.Eq(rep.ExpectedBelief, ratutil.R(990, 991)) {
+		t.Errorf("E[β] = %v, want 990/991", rep.ExpectedBelief)
+	}
+}
+
+func TestFSGoZeroNeverFires(t *testing.T) {
+	// Spec: if go = 0 then neither agent ever fires.
+	for _, variant := range []FSVariant{FSOriginal, FSImproved} {
+		sys, err := FiringSquad(ratutil.R(1, 10), variant)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fires := logic.Or(logic.Performed(Alice, ActFire), logic.Performed(Bob, ActFire))
+		bad := logic.RunsSatisfying(sys, logic.And(fires, logic.Not(FSGoIsOne())))
+		if !bad.IsEmpty() {
+			t.Errorf("%v: some go=0 run fires: %v", variant, bad)
+		}
+	}
+}
+
+func TestFSFixedGoAdversaries(t *testing.T) {
+	// Fixing the adversary's choice of go yields two separate pps, as in
+	// Section 2's discussion of nondeterminism.
+	sys0, err := FiringSquadFixedGo(ratutil.R(1, 10), FSOriginal, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !logic.RunsSatisfying(sys0, logic.Performed(Alice, ActFire)).IsEmpty() {
+		t.Error("go=0 adversary: Alice should never fire")
+	}
+
+	sys1, err := FiringSquadFixedGo(ratutil.R(1, 10), FSOriginal, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := core.New(sys1)
+	mu, err := e.ConstraintProb(FSBothFire(), Alice, ActFire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ratutil.Eq(mu, ratutil.R(99, 100)) {
+		t.Errorf("go=1 adversary: µ = %v, want 99/100", mu)
+	}
+	// Under go=1, Alice fires with probability 1 (at time 2), per the paper.
+	perf, err := e.PerformedSet(Alice, ActFire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ratutil.IsOne(sys1.Measure(perf)) {
+		t.Error("go=1 adversary: Alice should fire with probability 1")
+	}
+
+	if _, err := FiringSquadFixedGo(ratutil.R(1, 10), FSOriginal, 7); !errors.Is(err, ErrBadParam) {
+		t.Errorf("bad go value err = %v", err)
+	}
+}
+
+func TestFSPerfectChannelKoP(t *testing.T) {
+	// With a lossless channel the constraint holds with probability 1, so
+	// by Lemma F.1 Alice must know φ_both whenever she fires.
+	sys, err := FiringSquad(ratutil.Zero(), FSOriginal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := core.New(sys)
+	rep, err := e.CheckKoPLimit(FSBothFire(), Alice, ActFire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ratutil.IsOne(rep.ConstraintProb) {
+		t.Fatalf("µ = %v, want 1", rep.ConstraintProb)
+	}
+	if !rep.AlwaysKnows || !ratutil.IsOne(rep.MinBelief) {
+		t.Fatalf("KoP limit violated: %v", rep)
+	}
+}
+
+func TestFSCorollary72(t *testing.T) {
+	// µ = 99/100 = 1 − (1/10)², so Corollary 7.2 with ε = 1/10 promises
+	// µ(β ≥ 9/10 | fire_A) ≥ 9/10; the paper notes the actual value 0.991.
+	e := fsEngine(t, FSOriginal)
+	rep, err := e.CheckPAKSquare(FSBothFire(), Alice, ActFire, ratutil.R(1, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.PremiseMet() {
+		t.Fatalf("premise: µ = %v < %v", rep.ConstraintProb, rep.Threshold)
+	}
+	if !rep.ConclusionMet() || !rep.Holds() {
+		t.Fatalf("Corollary 7.2 failed on FS: %v", rep)
+	}
+	if !ratutil.Eq(rep.BeliefMeasure, ratutil.R(991, 1000)) {
+		t.Errorf("µ(β≥0.9|fire_A) = %v, want 991/1000", rep.BeliefMeasure)
+	}
+}
+
+func TestVariantString(t *testing.T) {
+	if FSOriginal.String() != "FS" || FSImproved.String() != "FS-improved" {
+		t.Error("FSVariant.String wrong")
+	}
+}
+
+func contains(s, sub string) bool { return strings.Contains(s, sub) }

@@ -1,0 +1,96 @@
+package paper
+
+import (
+	"fmt"
+	"math/big"
+	"strings"
+
+	"pak/internal/pps"
+	"pak/internal/protocol"
+	"pak/internal/ratutil"
+)
+
+// ThatModel expresses the T-hat(p, ε) construction as a joint protocol
+// (Section 2.2 style), providing a second, independent construction path:
+// unfolding this model must yield a system semantically equivalent to the
+// hand-built tree of That — same constraint value, same beliefs, same
+// threshold measure. The equivalence is asserted in the tests, giving the
+// reproduction a protocol-vs-tree cross-check.
+type thatModel struct {
+	p, eps *big.Rat
+}
+
+var _ protocol.Model = thatModel{}
+
+// NewThatModel returns the T-hat(p, ε) protocol. Requires 0 < ε < p < 1.
+func NewThatModel(p, eps *big.Rat) (protocol.Model, error) {
+	one := ratutil.One()
+	if p == nil || eps == nil || eps.Sign() <= 0 || ratutil.Geq(eps, p) || ratutil.Geq(p, one) {
+		return nil, fmt.Errorf("%w: need 0 < ε < p < 1, got p=%v ε=%v", ErrBadParam, p, eps)
+	}
+	return thatModel{p: ratutil.Copy(p), eps: ratutil.Copy(eps)}, nil
+}
+
+func (m thatModel) Agents() []string { return []string{AgentI, AgentJ} }
+
+func (m thatModel) Initials() []protocol.Weighted[protocol.Global] {
+	return []protocol.Weighted[protocol.Global]{
+		protocol.W(protocol.Global{Env: "env", Locals: []string{"i0", "bit=0"}}, ratutil.OneMinus(m.p)),
+		protocol.W(protocol.Global{Env: "env", Locals: []string{"i0", "bit=1"}}, ratutil.Copy(m.p)),
+	}
+}
+
+func (m thatModel) Horizon() int { return 2 }
+
+func (m thatModel) AgentStep(agent int, local string, t int) []protocol.Weighted[string] {
+	switch t {
+	case 0:
+		if agent == 1 { // j sends its message
+			if strings.Contains(local, "bit=1") {
+				epsOverP := ratutil.Div(m.eps, m.p)
+				return protocol.Mix(
+					protocol.W("send-m", ratutil.OneMinus(epsOverP)),
+					protocol.W("send-m'", epsOverP),
+				)
+			}
+			return protocol.Det("send-m")
+		}
+		return protocol.Det(ActNoop)
+	default: // t == 1: i performs α unconditionally
+		if agent == 0 {
+			return protocol.Det(ActAlpha)
+		}
+		return protocol.Det(ActNoop)
+	}
+}
+
+func (m thatModel) EnvStep(protocol.Global, []string, int) []protocol.Weighted[string] {
+	return protocol.Det("") // the channel of T-hat is reliable
+}
+
+func (m thatModel) Next(g protocol.Global, acts []string, _ string, t int) (protocol.Global, error) {
+	next := g.Clone()
+	switch t {
+	case 0:
+		msg := strings.TrimPrefix(acts[1], "send-")
+		next.Locals[0] = "recv=" + msg
+		next.Locals[1] = g.Locals[1] + ",sent"
+	default:
+		next.Locals[0] = g.Locals[0] + ",acted"
+		next.Locals[1] = g.Locals[1] + ",done"
+	}
+	return next, nil
+}
+
+// UnfoldThat unfolds the protocol form of T-hat(p, ε).
+func UnfoldThat(p, eps *big.Rat) (*pps.System, error) {
+	m, err := NewThatModel(p, eps)
+	if err != nil {
+		return nil, err
+	}
+	sys, err := protocol.Unfold(m)
+	if err != nil {
+		return nil, fmt.Errorf("paper.UnfoldThat: %w", err)
+	}
+	return sys, nil
+}

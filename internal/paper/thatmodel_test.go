@@ -1,0 +1,140 @@
+package paper
+
+import (
+	"errors"
+	"math/big"
+	"testing"
+
+	"pak/internal/core"
+	"pak/internal/ratutil"
+)
+
+// TestUnfoldThatValidation mirrors That's parameter domain.
+func TestUnfoldThatValidation(t *testing.T) {
+	bad := []struct{ p, eps string }{
+		{"9/10", "0"}, {"1/2", "1/2"}, {"1/10", "1/2"}, {"1", "1/10"},
+	}
+	for _, tc := range bad {
+		if _, err := UnfoldThat(ratutil.MustParse(tc.p), ratutil.MustParse(tc.eps)); !errors.Is(err, ErrBadParam) {
+			t.Errorf("UnfoldThat(%s,%s) err = %v", tc.p, tc.eps, err)
+		}
+	}
+	if _, err := NewThatModel(nil, ratutil.R(1, 10)); !errors.Is(err, ErrBadParam) {
+		t.Errorf("NewThatModel(nil) err = %v", err)
+	}
+}
+
+// TestProtocolTreeEquivalence is the two-path cross-check: the hand-built
+// tree (That) and the protocol unfolding (UnfoldThat) must agree on every
+// semantic quantity of the Theorem 5.2 analysis, for a parameter sweep.
+func TestProtocolTreeEquivalence(t *testing.T) {
+	sweep := []struct{ p, eps string }{
+		{"9/10", "1/10"},
+		{"95/100", "1/100"},
+		{"1/2", "1/4"},
+	}
+	for _, tc := range sweep {
+		t.Run(tc.p+"_"+tc.eps, func(t *testing.T) {
+			p := ratutil.MustParse(tc.p)
+			eps := ratutil.MustParse(tc.eps)
+			hand, err := That(p, eps)
+			if err != nil {
+				t.Fatal(err)
+			}
+			unfolded, err := UnfoldThat(p, eps)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Same run count and total measure.
+			if hand.NumRuns() != unfolded.NumRuns() {
+				t.Fatalf("run counts differ: %d vs %d", hand.NumRuns(), unfolded.NumRuns())
+			}
+			if !ratutil.IsOne(unfolded.TotalMeasure()) {
+				t.Fatal("unfolded total measure != 1")
+			}
+
+			he := core.New(hand)
+			ue := core.New(unfolded)
+			phi := ThatBitFact()
+
+			pairs := []struct {
+				name string
+				get  func(e *core.Engine) (*big.Rat, error)
+			}{
+				{"constraint", func(e *core.Engine) (*big.Rat, error) {
+					return e.ConstraintProb(phi, AgentI, ActAlpha)
+				}},
+				{"expected belief", func(e *core.Engine) (*big.Rat, error) {
+					return e.ExpectedBelief(phi, AgentI, ActAlpha)
+				}},
+				{"threshold measure", func(e *core.Engine) (*big.Rat, error) {
+					return e.ThresholdMeasure(phi, AgentI, ActAlpha, p)
+				}},
+				{"min belief", func(e *core.Engine) (*big.Rat, error) {
+					min, _, err := e.BeliefRangeAtAction(phi, AgentI, ActAlpha)
+					return min, err
+				}},
+				{"max belief", func(e *core.Engine) (*big.Rat, error) {
+					_, max, err := e.BeliefRangeAtAction(phi, AgentI, ActAlpha)
+					return max, err
+				}},
+			}
+			for _, pair := range pairs {
+				hv, err := pair.get(he)
+				if err != nil {
+					t.Fatalf("%s (hand): %v", pair.name, err)
+				}
+				uv, err := pair.get(ue)
+				if err != nil {
+					t.Fatalf("%s (unfolded): %v", pair.name, err)
+				}
+				if !ratutil.Eq(hv, uv) {
+					t.Errorf("%s differs: hand=%v unfolded=%v", pair.name, hv, uv)
+				}
+			}
+
+			// Both satisfy Theorem 6.2 with independence.
+			rep, err := ue.CheckExpectation(phi, AgentI, ActAlpha)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !rep.Independent || !rep.Equal() {
+				t.Errorf("unfolded T-hat: %v", rep)
+			}
+		})
+	}
+}
+
+// TestUnfoldedThatBeliefStates checks the unfolded system exposes the same
+// two information states for i when acting (stamped names differ from the
+// hand-built tree, but the belief values must coincide).
+func TestUnfoldedThatBeliefStates(t *testing.T) {
+	p, eps := ratutil.R(9, 10), ratutil.R(1, 10)
+	sys, err := UnfoldThat(p, eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := core.New(sys)
+	byState, err := e.BeliefByActionState(ThatBitFact(), AgentI, ActAlpha)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(byState) != 2 {
+		t.Fatalf("acting states = %v, want 2", byState)
+	}
+	wantShared := ratutil.R(8, 9)
+	var sawShared, sawCertain bool
+	for state, bel := range byState {
+		switch {
+		case ratutil.Eq(bel, wantShared):
+			sawShared = true
+		case ratutil.IsOne(bel):
+			sawCertain = true
+		default:
+			t.Errorf("unexpected belief %v at %q", bel, state)
+		}
+	}
+	if !sawShared || !sawCertain {
+		t.Fatalf("belief values missing: %v", byState)
+	}
+}

@@ -1,0 +1,46 @@
+package pps
+
+import (
+	"pak/internal/ratutil"
+	"pak/internal/runset"
+)
+
+// Float fast path. The exact engine works in *big.Rat end to end; for
+// large Monte-Carlo workloads and for the ablation benchmarks comparing
+// exact vs floating-point measure computation, the system also exposes
+// float64 run probabilities (computed once per System, cached).
+
+// runProbsFloat returns the cached float64 conversions of the run
+// probabilities.
+func (s *System) runProbsFloat() []float64 {
+	s.floatOnce.Do(func() {
+		s.floatProbs = make([]float64, len(s.runPr))
+		for i, pr := range s.runPr {
+			s.floatProbs[i] = ratutil.Float(pr)
+		}
+	})
+	return s.floatProbs
+}
+
+// MeasureFloat returns µ_T(ev) as a float64. It is an approximation of
+// Measure (the exact rational form) intended for high-volume estimation;
+// exactness-sensitive code (the theorem checkers) must use Measure.
+func (s *System) MeasureFloat(ev *runset.Set) float64 {
+	probs := s.runProbsFloat()
+	total := 0.0
+	ev.ForEach(func(r int) bool {
+		total += probs[r]
+		return true
+	})
+	return total
+}
+
+// CondFloat returns µ_T(a | b) as a float64, with ok=false when the
+// conditioning event has zero probability.
+func (s *System) CondFloat(a, b *runset.Set) (float64, bool) {
+	mb := s.MeasureFloat(b)
+	if mb == 0 {
+		return 0, false
+	}
+	return s.MeasureFloat(a.Intersect(b)) / mb, true
+}

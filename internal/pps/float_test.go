@@ -1,0 +1,51 @@
+package pps
+
+import (
+	"math"
+	"testing"
+
+	"pak/internal/ratutil"
+)
+
+func TestMeasureFloatMatchesExact(t *testing.T) {
+	sys := buildDiamond(t)
+	ev := sys.RunsWhere(func(r RunID) bool { return r == 0 })
+	exact := ratutil.Float(sys.Measure(ev))
+	got := sys.MeasureFloat(ev)
+	if math.Abs(got-exact) > 1e-12 {
+		t.Fatalf("MeasureFloat = %v, exact = %v", got, exact)
+	}
+	if got := sys.MeasureFloat(sys.FullSet()); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("MeasureFloat(full) = %v", got)
+	}
+	if got := sys.MeasureFloat(sys.NewSet()); got != 0 {
+		t.Fatalf("MeasureFloat(empty) = %v", got)
+	}
+}
+
+func TestCondFloat(t *testing.T) {
+	sys := buildDiamond(t)
+	a := sys.RunsWhere(func(r RunID) bool { return r == 0 })
+	got, ok := sys.CondFloat(a, sys.FullSet())
+	if !ok || math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("CondFloat = %v,%v", got, ok)
+	}
+	if _, ok := sys.CondFloat(a, sys.NewSet()); ok {
+		t.Fatal("CondFloat on empty event should report ok=false")
+	}
+}
+
+func TestMeasureFloatConcurrent(t *testing.T) {
+	// The lazy float cache must be safe under concurrent first use.
+	sys := buildDiamond(t)
+	full := sys.FullSet()
+	done := make(chan float64)
+	for k := 0; k < 8; k++ {
+		go func() { done <- sys.MeasureFloat(full) }()
+	}
+	for k := 0; k < 8; k++ {
+		if got := <-done; math.Abs(got-1) > 1e-12 {
+			t.Fatalf("concurrent MeasureFloat = %v", got)
+		}
+	}
+}

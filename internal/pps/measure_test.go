@@ -1,0 +1,165 @@
+package pps
+
+import (
+	"testing"
+	"testing/quick"
+
+	"pak/internal/ratutil"
+	"pak/internal/runset"
+)
+
+// Additional measure-theory property tests over random systems, using the
+// randomTree helper from pps_test.go.
+
+// randomEvent derives a deterministic pseudo-random event from a seed.
+func randomEvent(sys *System, seed int64) *runset.Set {
+	ev := sys.NewSet()
+	x := uint64(seed)
+	for r := 0; r < sys.NumRuns(); r++ {
+		x = x*6364136223846793005 + 1442695040888963407
+		if x&1 == 1 {
+			ev.Add(r)
+		}
+	}
+	return ev
+}
+
+// Property: finite additivity — µ(A) + µ(B) = µ(A∪B) + µ(A∩B).
+func TestQuickMeasureAdditivity(t *testing.T) {
+	f := func(sysSeed, evSeedA, evSeedB int64) bool {
+		sys, err := randomTree(sysSeed)
+		if err != nil {
+			return false
+		}
+		a := randomEvent(sys, evSeedA)
+		b := randomEvent(sys, evSeedB)
+		lhs := ratutil.Add(sys.Measure(a), sys.Measure(b))
+		rhs := ratutil.Add(sys.Measure(a.Union(b)), sys.Measure(a.Intersect(b)))
+		return ratutil.Eq(lhs, rhs)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: complement — µ(A) + µ(¬A) = 1.
+func TestQuickMeasureComplement(t *testing.T) {
+	f := func(sysSeed, evSeed int64) bool {
+		sys, err := randomTree(sysSeed)
+		if err != nil {
+			return false
+		}
+		a := randomEvent(sys, evSeed)
+		total := ratutil.Add(sys.Measure(a), sys.Measure(a.Complement()))
+		return ratutil.IsOne(total)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: chain rule — µ(A∩B) = µ(A|B)·µ(B) whenever µ(B) > 0.
+func TestQuickCondChainRule(t *testing.T) {
+	f := func(sysSeed, evSeedA, evSeedB int64) bool {
+		sys, err := randomTree(sysSeed)
+		if err != nil {
+			return false
+		}
+		a := randomEvent(sys, evSeedA)
+		b := randomEvent(sys, evSeedB)
+		cond, ok := sys.Cond(a, b)
+		if !ok {
+			return b.IsEmpty() // Cond fails exactly on zero-measure events
+		}
+		return ratutil.Eq(ratutil.Mul(cond, sys.Measure(b)), sys.Measure(a.Intersect(b)))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Bayes — µ(A|B)·µ(B) = µ(B|A)·µ(A) for events of positive
+// measure.
+func TestQuickBayes(t *testing.T) {
+	f := func(sysSeed, evSeedA, evSeedB int64) bool {
+		sys, err := randomTree(sysSeed)
+		if err != nil {
+			return false
+		}
+		a := randomEvent(sys, evSeedA)
+		b := randomEvent(sys, evSeedB)
+		if a.IsEmpty() || b.IsEmpty() {
+			return true
+		}
+		ab, okA := sys.Cond(a, b)
+		ba, okB := sys.Cond(b, a)
+		if !okA || !okB {
+			return false
+		}
+		return ratutil.Eq(ratutil.Mul(ab, sys.Measure(b)), ratutil.Mul(ba, sys.Measure(a)))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: law of total probability over the partition by initial state.
+func TestQuickTotalProbabilityByInitial(t *testing.T) {
+	f := func(sysSeed, evSeed int64) bool {
+		sys, err := randomTree(sysSeed)
+		if err != nil {
+			return false
+		}
+		ev := randomEvent(sys, evSeed)
+		total := ratutil.Zero()
+		for _, init := range sys.ChildrenOf(Root) {
+			cell := sys.RunsWhere(func(r RunID) bool { return sys.NodeAt(r, 0) == init })
+			total = ratutil.Add(total, sys.Measure(ev.Intersect(cell)))
+		}
+		return ratutil.Eq(total, sys.Measure(ev))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: run probability equals the product of edge probabilities.
+func TestQuickRunProbIsEdgeProduct(t *testing.T) {
+	f := func(sysSeed int64) bool {
+		sys, err := randomTree(sysSeed)
+		if err != nil {
+			return false
+		}
+		for r := 0; r < sys.NumRuns(); r++ {
+			run := RunID(r)
+			product := ratutil.One()
+			for t := 0; t < sys.RunLen(run); t++ {
+				product = ratutil.Mul(product, sys.EdgeProb(sys.NodeAt(run, t)))
+			}
+			if !ratutil.Eq(product, sys.RunProb(run)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: EdgeProb returns copies (mutating the result must not corrupt
+// the system).
+func TestEdgeProbIsCopy(t *testing.T) {
+	sys := buildDiamond(t)
+	child := sys.ChildrenOf(Root)[0]
+	pr := sys.EdgeProb(child)
+	pr.SetInt64(0)
+	if !ratutil.IsOne(sys.EdgeProb(child)) {
+		t.Fatal("EdgeProb aliased internal state")
+	}
+	rp := sys.RunProb(0)
+	rp.SetInt64(0)
+	if sys.RunProb(0).Sign() == 0 {
+		t.Fatal("RunProb aliased internal state")
+	}
+}

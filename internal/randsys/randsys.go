@@ -1,0 +1,322 @@
+// Package randsys generates random purely probabilistic systems, together
+// with random facts and a designated proper action, for property-based
+// testing and benchmark workloads.
+//
+// The paper's theorems are universal statements over all pps satisfying
+// their hypotheses; the executable analogue is to check them mechanically
+// over large seeded families of random systems. The generator therefore
+// guarantees, by construction, the structural hypotheses the theorems
+// need:
+//
+//   - trees have uniform depth and the designated action is performed by
+//     agent 0 only at a fixed time, so it is performed at most once per run
+//     (and the generator forces at least one performance), making it a
+//     proper action;
+//   - agent 0's step at the action time is a genuine *protocol*: the
+//     probability q(ℓ) of performing α is a function of the local state ℓ
+//     alone, as in the paper's Section 2.2 (an arbitrary per-edge action
+//     assignment would violate the hypothesis under which Lemma 4.3(b) is
+//     proved). DetAction mode makes q(ℓ) ∈ {0,1}, a deterministic action
+//     (Lemma 4.3(a)); otherwise q(ℓ) is a random mixing probability;
+//   - PastFact labels tree nodes, producing past-based facts
+//     (Lemma 4.3(b)); RunFact labels leaves, producing run-based facts
+//     that are generally NOT past-based.
+//
+// Local-state observability is deliberately coarse (a small observation
+// alphabet) so that distinct branches collide on local states and beliefs
+// are nontrivial.
+package randsys
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"pak/internal/logic"
+	"pak/internal/pps"
+	"pak/internal/ratutil"
+)
+
+// DesignatedAction is the proper action α performed by agent 0 in
+// generated systems.
+const DesignatedAction = "alpha*"
+
+// OtherAction is the alternative action used when α is not performed.
+const OtherAction = "beta"
+
+// ErrBadConfig indicates an invalid generator configuration.
+var ErrBadConfig = errors.New("randsys: invalid configuration")
+
+// Config parameterizes system generation. The zero value is invalid; use
+// Default and adjust.
+type Config struct {
+	// Agents is the number of agents (≥ 1). Agent 0 performs the
+	// designated action.
+	Agents int
+	// Depth is the uniform run length in transitions (≥ 1): every run has
+	// points 0..Depth.
+	Depth int
+	// MaxBranch is the maximum number of children of an internal node (≥ 1).
+	MaxBranch int
+	// MaxInitial is the maximum number of initial states (≥ 1).
+	MaxInitial int
+	// ObsAlphabet is the size of the per-agent observation alphabet; small
+	// values produce more local-state collisions and richer beliefs (≥ 1).
+	ObsAlphabet int
+	// ActionTime is the time at which agent 0 may perform the designated
+	// action (0 ≤ ActionTime < Depth).
+	ActionTime int
+	// DetAction, when true, decides the designated action as a function of
+	// agent 0's local state (a deterministic action per Lemma 4.3(a));
+	// otherwise the choice is made independently per edge (mixed).
+	DetAction bool
+	// Seed drives all randomness.
+	Seed int64
+}
+
+// Default returns a moderate configuration suitable for property tests.
+func Default(seed int64) Config {
+	return Config{
+		Agents:      2,
+		Depth:       4,
+		MaxBranch:   3,
+		MaxInitial:  2,
+		ObsAlphabet: 2,
+		ActionTime:  2,
+		Seed:        seed,
+	}
+}
+
+func (c Config) validate() error {
+	switch {
+	case c.Agents < 1:
+		return fmt.Errorf("%w: Agents=%d", ErrBadConfig, c.Agents)
+	case c.Depth < 1:
+		return fmt.Errorf("%w: Depth=%d", ErrBadConfig, c.Depth)
+	case c.MaxBranch < 1:
+		return fmt.Errorf("%w: MaxBranch=%d", ErrBadConfig, c.MaxBranch)
+	case c.MaxInitial < 1:
+		return fmt.Errorf("%w: MaxInitial=%d", ErrBadConfig, c.MaxInitial)
+	case c.ObsAlphabet < 1:
+		return fmt.Errorf("%w: ObsAlphabet=%d", ErrBadConfig, c.ObsAlphabet)
+	case c.ActionTime < 0 || c.ActionTime >= c.Depth:
+		return fmt.Errorf("%w: ActionTime=%d with Depth=%d", ErrBadConfig, c.ActionTime, c.Depth)
+	}
+	return nil
+}
+
+// randProbs returns n positive rationals summing to exactly 1.
+func randProbs(rng *rand.Rand, n int) []*ratValue {
+	weights := make([]int64, n)
+	var total int64
+	for i := range weights {
+		weights[i] = int64(rng.Intn(9) + 1)
+		total += weights[i]
+	}
+	out := make([]*ratValue, n)
+	for i, w := range weights {
+		out[i] = &ratValue{num: w, den: total}
+	}
+	return out
+}
+
+// ratValue avoids importing big in the hot path; converted on use.
+type ratValue struct{ num, den int64 }
+
+// Generate builds a random system according to cfg. The designated action
+// is guaranteed to be proper for agent 0: in DetAction mode a draw may
+// happen to never perform the action, in which case Generate retries with
+// derived seeds (bounded; failure is reported as an error).
+func Generate(cfg Config) (*pps.System, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	const maxAttempts = 64
+	seed := cfg.Seed
+	for attempt := 0; attempt < maxAttempts; attempt++ {
+		sys, err := generateOnce(cfg, seed)
+		if err != nil {
+			return nil, err
+		}
+		if performsDesignated(sys, cfg.ActionTime) {
+			return sys, nil
+		}
+		seed = seed*6364136223846793005 + 1442695040888963407 // splitmix-style reseed
+	}
+	return nil, fmt.Errorf("%w: designated action never performed after %d attempts (seed %d)",
+		ErrBadConfig, maxAttempts, cfg.Seed)
+}
+
+// performsDesignated reports whether agent 0 performs the designated
+// action somewhere at the action time.
+func performsDesignated(sys *pps.System, actionTime int) bool {
+	for r := 0; r < sys.NumRuns(); r++ {
+		if act, ok := sys.Action(pps.RunID(r), actionTime, 0); ok && act == DesignatedAction {
+			return true
+		}
+	}
+	return false
+}
+
+func generateOnce(cfg Config, seed int64) (*pps.System, error) {
+	rng := rand.New(rand.NewSource(seed))
+
+	agents := make([]string, cfg.Agents)
+	for i := range agents {
+		agents[i] = fmt.Sprintf("a%d", i)
+	}
+	b := pps.NewBuilder(agents...)
+
+	locals := func(t int) []string {
+		out := make([]string, cfg.Agents)
+		for i := range out {
+			out[i] = fmt.Sprintf("a%d-t%d-o%d", i, t, rng.Intn(cfg.ObsAlphabet))
+		}
+		return out
+	}
+
+	// Agent 0's step at ActionTime must be a *protocol*: the probability
+	// of performing α must be a function of the local state alone. (The
+	// proof of Lemma 4.3(b) relies on exactly this property — the lemma is
+	// about protocol-generated systems, and an arbitrary tree that assigns
+	// actions per edge can violate it. An early version of this generator
+	// did so, and the property tests for Lemma 4.3 caught it.)
+	// mixFor draws, once per local state, the probability q(ℓ) with which
+	// agent 0 performs α at ℓ.
+	mixes := make(map[string]*ratValue)
+	mixFor := func(local string) *ratValue {
+		if q, ok := mixes[local]; ok {
+			return q
+		}
+		var q *ratValue
+		if cfg.DetAction {
+			h := 0
+			for _, c := range local {
+				h = h*31 + int(c)
+			}
+			if h%2 == 0 {
+				q = &ratValue{num: 1, den: 1}
+			} else {
+				q = &ratValue{num: 0, den: 1}
+			}
+		} else {
+			// Never 0, so mixed-mode systems always perform α somewhere.
+			choices := []ratValue{{1, 4}, {1, 2}, {3, 4}, {1, 1}}
+			c := choices[rng.Intn(len(choices))]
+			q = &c
+		}
+		mixes[local] = q
+		return q
+	}
+
+	type nodeInfo struct {
+		id    pps.NodeID
+		t     int
+		local string // agent 0's local state
+	}
+	var frontier []nodeInfo
+
+	nInit := rng.Intn(cfg.MaxInitial) + 1
+	initPrs := randProbs(rng, nInit)
+	for k := 0; k < nInit; k++ {
+		ls := locals(0)
+		id := b.Init(ratutil.R(initPrs[k].num, initPrs[k].den), fmt.Sprintf("e%d", rng.Intn(3)), ls...)
+		frontier = append(frontier, nodeInfo{id: id, t: 0, local: ls[0]})
+	}
+
+	otherActs := func() []string {
+		acts := make([]string, cfg.Agents)
+		for i := range acts {
+			acts[i] = fmt.Sprintf("act%d", rng.Intn(2))
+		}
+		return acts
+	}
+
+	for len(frontier) > 0 {
+		n := frontier[0]
+		frontier = frontier[1:]
+		if n.t >= cfg.Depth {
+			continue
+		}
+		if n.t == cfg.ActionTime {
+			// Branch exactly on agent 0's mixed step: an α-child with
+			// probability q(ℓ) and a β-child with probability 1−q(ℓ).
+			q := mixFor(n.local)
+			branches := []struct {
+				act string
+				pr  *ratValue
+			}{
+				{DesignatedAction, q},
+				{OtherAction, &ratValue{num: q.den - q.num, den: q.den}},
+			}
+			for _, br := range branches {
+				if br.pr.num == 0 {
+					continue
+				}
+				acts := otherActs()
+				acts[0] = br.act
+				ls := locals(n.t + 1)
+				id := b.Child(n.id, pps.Step{
+					Pr:     ratutil.R(br.pr.num, br.pr.den),
+					Acts:   acts,
+					Env:    fmt.Sprintf("e%d", rng.Intn(3)),
+					Locals: ls,
+				})
+				frontier = append(frontier, nodeInfo{id: id, t: n.t + 1, local: ls[0]})
+			}
+			continue
+		}
+		nKids := rng.Intn(cfg.MaxBranch) + 1
+		prs := randProbs(rng, nKids)
+		for k := 0; k < nKids; k++ {
+			acts := otherActs()
+			ls := locals(n.t + 1)
+			id := b.Child(n.id, pps.Step{
+				Pr:     ratutil.R(prs[k].num, prs[k].den),
+				Acts:   acts,
+				Env:    fmt.Sprintf("e%d", rng.Intn(3)),
+				Locals: ls,
+			})
+			frontier = append(frontier, nodeInfo{id: id, t: n.t + 1, local: ls[0]})
+		}
+	}
+
+	sys, err := b.Build()
+	if err != nil {
+		return nil, fmt.Errorf("randsys.Generate(seed=%d): %w", seed, err)
+	}
+	return sys, nil
+}
+
+// PastFact returns a random past-based fact over sys: each tree node is
+// labelled true with the given numerator/denominator probability, and the
+// fact holds at a point exactly when its node is labelled. By construction
+// the fact satisfies the paper's definition of past-based (its value is a
+// function of the run prefix).
+func PastFact(sys *pps.System, seed int64) logic.Fact {
+	rng := rand.New(rand.NewSource(seed))
+	labels := make(map[pps.NodeID]bool, sys.NumNodes())
+	for id := pps.NodeID(1); int(id) < sys.NumNodes(); id++ {
+		labels[id] = rng.Intn(2) == 0
+	}
+	return logic.Atom(fmt.Sprintf("pastFact(seed=%d)", seed),
+		func(s *pps.System, r pps.RunID, t int) bool {
+			return labels[s.NodeAt(r, t)]
+		})
+}
+
+// RunFact returns a random fact about runs over sys: each run is labelled
+// true with probability 1/2 and the fact holds at every point of a
+// labelled run. It is run-based by construction but in general NOT
+// past-based (the label depends on the whole run).
+func RunFact(sys *pps.System, seed int64) logic.Fact {
+	rng := rand.New(rand.NewSource(seed))
+	labels := make([]bool, sys.NumRuns())
+	for i := range labels {
+		labels[i] = rng.Intn(2) == 0
+	}
+	return logic.Atom(fmt.Sprintf("runFact(seed=%d)", seed),
+		func(_ *pps.System, r pps.RunID, _ int) bool {
+			return labels[r]
+		})
+}

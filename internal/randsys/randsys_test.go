@@ -1,0 +1,260 @@
+package randsys
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"pak/internal/core"
+	"pak/internal/logic"
+	"pak/internal/pps"
+	"pak/internal/ratutil"
+)
+
+func TestConfigValidation(t *testing.T) {
+	tests := []struct {
+		name   string
+		mutate func(c Config) Config
+	}{
+		{"no agents", func(c Config) Config { c.Agents = 0; return c }},
+		{"zero depth", func(c Config) Config { c.Depth = 0; return c }},
+		{"zero branch", func(c Config) Config { c.MaxBranch = 0; return c }},
+		{"zero initial", func(c Config) Config { c.MaxInitial = 0; return c }},
+		{"zero alphabet", func(c Config) Config { c.ObsAlphabet = 0; return c }},
+		{"negative action time", func(c Config) Config { c.ActionTime = -1; return c }},
+		{"action time at depth", func(c Config) Config { c.ActionTime = c.Depth; return c }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := Generate(tt.mutate(Default(1))); !errors.Is(err, ErrBadConfig) {
+				t.Fatalf("err = %v, want ErrBadConfig", err)
+			}
+		})
+	}
+}
+
+func TestGenerateBasicInvariants(t *testing.T) {
+	for seed := int64(0); seed < 30; seed++ {
+		sys, err := Generate(Default(seed))
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if !ratutil.IsOne(sys.TotalMeasure()) {
+			t.Fatalf("seed %d: total measure %v", seed, sys.TotalMeasure())
+		}
+		e := core.New(sys)
+		if err := e.IsProper("a0", DesignatedAction); err != nil {
+			t.Fatalf("seed %d: designated action not proper: %v", seed, err)
+		}
+	}
+}
+
+func TestGenerateDeterministicGivenSeed(t *testing.T) {
+	a, err := Generate(Default(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(Default(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NumRuns() != b.NumRuns() || a.NumNodes() != b.NumNodes() {
+		t.Fatal("same seed produced structurally different systems")
+	}
+	for r := 0; r < a.NumRuns(); r++ {
+		if !ratutil.Eq(a.RunProb(pps.RunID(r)), b.RunProb(pps.RunID(r))) {
+			t.Fatal("same seed produced different run probabilities")
+		}
+	}
+}
+
+func TestDetActionIsDeterministic(t *testing.T) {
+	cfg := Default(3)
+	cfg.DetAction = true
+	sys, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := core.New(sys)
+	det, err := e.IsDeterministicAction("a0", DesignatedAction)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !det {
+		t.Fatal("DetAction mode should yield a deterministic action")
+	}
+}
+
+func TestPastFactIsPastBased(t *testing.T) {
+	f := func(sysSeed, factSeed int64) bool {
+		sys, err := Generate(Default(sysSeed % 1000))
+		if err != nil {
+			return false
+		}
+		return logic.IsPastBased(sys, PastFact(sys, factSeed))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunFactIsRunBased(t *testing.T) {
+	f := func(sysSeed, factSeed int64) bool {
+		sys, err := Generate(Default(sysSeed % 1000))
+		if err != nil {
+			return false
+		}
+		return logic.IsRunBased(sys, RunFact(sys, factSeed))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickLemma43PastBased is the property-test form of Lemma 4.3(b):
+// past-based facts are local-state independent of every proper action.
+func TestQuickLemma43PastBased(t *testing.T) {
+	f := func(sysSeed, factSeed int64) bool {
+		sys, err := Generate(Default(sysSeed % 10_000))
+		if err != nil {
+			return false
+		}
+		e := core.New(sys)
+		rep, err := e.LocalStateIndependence(PastFact(sys, factSeed), "a0", DesignatedAction)
+		if err != nil {
+			return false
+		}
+		return rep.Independent
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickLemma43Deterministic is the property-test form of Lemma 4.3(a):
+// every fact (even a non-past-based run fact) is local-state independent
+// of a deterministic proper action.
+func TestQuickLemma43Deterministic(t *testing.T) {
+	f := func(sysSeed, factSeed int64) bool {
+		cfg := Default(sysSeed % 10_000)
+		cfg.DetAction = true
+		sys, err := Generate(cfg)
+		if err != nil {
+			return false
+		}
+		e := core.New(sys)
+		rep, err := e.LocalStateIndependence(RunFact(sys, factSeed), "a0", DesignatedAction)
+		if err != nil {
+			return false
+		}
+		return rep.Independent
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickTheorem62 is the property-test form of the paper's main
+// theorem: whenever local-state independence holds, µ(φ@α|α) equals the
+// expected belief exactly, over random systems, both mixed and
+// deterministic, with past-based and run-based facts.
+func TestQuickTheorem62(t *testing.T) {
+	f := func(sysSeed, factSeed int64, det, runFact bool) bool {
+		cfg := Default(sysSeed % 10_000)
+		cfg.DetAction = det
+		sys, err := Generate(cfg)
+		if err != nil {
+			return false
+		}
+		var fact logic.Fact
+		if runFact {
+			fact = RunFact(sys, factSeed)
+		} else {
+			fact = PastFact(sys, factSeed)
+		}
+		e := core.New(sys)
+		rep, err := e.CheckExpectation(fact, "a0", DesignatedAction)
+		if err != nil {
+			return false
+		}
+		// Holds() is vacuous when independence fails (possible for a run
+		// fact with a mixed action); otherwise it asserts exact equality.
+		return rep.Holds()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickLemma51 checks Lemma 5.1 over random systems: with p set to the
+// exact constraint probability, some performance point has belief ≥ p.
+func TestQuickLemma51(t *testing.T) {
+	f := func(sysSeed, factSeed int64) bool {
+		sys, err := Generate(Default(sysSeed % 10_000))
+		if err != nil {
+			return false
+		}
+		e := core.New(sys)
+		fact := PastFact(sys, factSeed)
+		mu, err := e.ConstraintProb(fact, "a0", DesignatedAction)
+		if err != nil {
+			return false
+		}
+		rep, err := e.CheckNecessity(fact, "a0", DesignatedAction, mu)
+		if err != nil {
+			return false
+		}
+		return rep.Holds()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickCorollary72 checks the PAK corollary over random systems for a
+// grid of ε values.
+func TestQuickCorollary72(t *testing.T) {
+	epsGrid := []string{"1/10", "1/4", "1/2", "9/10"}
+	f := func(sysSeed, factSeed int64, epsIdx uint8) bool {
+		sys, err := Generate(Default(sysSeed % 10_000))
+		if err != nil {
+			return false
+		}
+		e := core.New(sys)
+		fact := PastFact(sys, factSeed)
+		eps := ratutil.MustParse(epsGrid[int(epsIdx)%len(epsGrid)])
+		rep, err := e.CheckPAKSquare(fact, "a0", DesignatedAction, eps)
+		if err != nil {
+			return false
+		}
+		return rep.Holds()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickSufficiency checks Theorem 4.2 over random systems with the
+// threshold set to the minimum acting belief.
+func TestQuickSufficiency(t *testing.T) {
+	f := func(sysSeed, factSeed int64) bool {
+		sys, err := Generate(Default(sysSeed % 10_000))
+		if err != nil {
+			return false
+		}
+		e := core.New(sys)
+		fact := PastFact(sys, factSeed)
+		min, _, err := e.BeliefRangeAtAction(fact, "a0", DesignatedAction)
+		if err != nil {
+			return false
+		}
+		rep, err := e.CheckSufficiency(fact, "a0", DesignatedAction, min)
+		if err != nil {
+			return false
+		}
+		return rep.Holds() && rep.PremiseMet
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

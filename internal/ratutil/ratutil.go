@@ -1,0 +1,170 @@
+// Package ratutil provides small helpers over math/big.Rat used throughout
+// the library.
+//
+// The paper's model (a finite purely probabilistic system, pps) assigns a
+// rational probability to every transition, and all of the paper's numeric
+// claims are exact rational identities (e.g. 99/100, 991/1000, (p-ε)/(1-ε)).
+// To reproduce them without floating-point error the entire engine works in
+// *big.Rat; this package collects the constructors, comparisons and
+// aggregations that the rest of the code needs, with the convention that
+// every function returns a freshly allocated value and never mutates its
+// arguments.
+package ratutil
+
+import (
+	"errors"
+	"fmt"
+	"math/big"
+	"strings"
+)
+
+// ErrParse is returned (wrapped) by Parse when the input is not a valid
+// rational or decimal literal.
+var ErrParse = errors.New("ratutil: cannot parse rational")
+
+// R returns the rational a/b. It panics if b == 0; it is intended for
+// compile-time-known constants in tests, examples and system constructions.
+func R(a, b int64) *big.Rat {
+	if b == 0 {
+		panic("ratutil.R: zero denominator")
+	}
+	return big.NewRat(a, b)
+}
+
+// Int returns n as a rational.
+func Int(n int64) *big.Rat { return new(big.Rat).SetInt64(n) }
+
+// Zero returns a fresh rational equal to 0.
+func Zero() *big.Rat { return new(big.Rat) }
+
+// One returns a fresh rational equal to 1.
+func One() *big.Rat { return big.NewRat(1, 1) }
+
+// Parse converts a string such as "1/2", "3", "0.25" or "99/100" into a
+// rational. Both fraction and decimal notations are accepted (big.Rat's
+// SetString semantics). Whitespace is trimmed.
+func Parse(s string) (*big.Rat, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil, fmt.Errorf("%w: empty string", ErrParse)
+	}
+	r, ok := new(big.Rat).SetString(s)
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrParse, s)
+	}
+	return r, nil
+}
+
+// MustParse is Parse, panicking on error. For constants in tests and
+// examples only.
+func MustParse(s string) *big.Rat {
+	r, err := Parse(s)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// Copy returns a fresh rational equal to x. Copy(nil) returns 0.
+func Copy(x *big.Rat) *big.Rat {
+	if x == nil {
+		return new(big.Rat)
+	}
+	return new(big.Rat).Set(x)
+}
+
+// Add returns x + y without mutating either.
+func Add(x, y *big.Rat) *big.Rat { return new(big.Rat).Add(x, y) }
+
+// Sub returns x - y without mutating either.
+func Sub(x, y *big.Rat) *big.Rat { return new(big.Rat).Sub(x, y) }
+
+// Mul returns x * y without mutating either.
+func Mul(x, y *big.Rat) *big.Rat { return new(big.Rat).Mul(x, y) }
+
+// Div returns x / y without mutating either. It panics if y is zero, like
+// big.Rat.Quo.
+func Div(x, y *big.Rat) *big.Rat { return new(big.Rat).Quo(x, y) }
+
+// Sum returns the sum of xs (0 for an empty list).
+func Sum(xs ...*big.Rat) *big.Rat {
+	total := new(big.Rat)
+	for _, x := range xs {
+		total.Add(total, x)
+	}
+	return total
+}
+
+// Prod returns the product of xs (1 for an empty list).
+func Prod(xs ...*big.Rat) *big.Rat {
+	total := big.NewRat(1, 1)
+	for _, x := range xs {
+		total.Mul(total, x)
+	}
+	return total
+}
+
+// OneMinus returns 1 - x.
+func OneMinus(x *big.Rat) *big.Rat { return new(big.Rat).Sub(One(), x) }
+
+// Eq reports x == y.
+func Eq(x, y *big.Rat) bool { return x.Cmp(y) == 0 }
+
+// Less reports x < y.
+func Less(x, y *big.Rat) bool { return x.Cmp(y) < 0 }
+
+// Leq reports x <= y.
+func Leq(x, y *big.Rat) bool { return x.Cmp(y) <= 0 }
+
+// Greater reports x > y.
+func Greater(x, y *big.Rat) bool { return x.Cmp(y) > 0 }
+
+// Geq reports x >= y.
+func Geq(x, y *big.Rat) bool { return x.Cmp(y) >= 0 }
+
+// IsZero reports x == 0.
+func IsZero(x *big.Rat) bool { return x.Sign() == 0 }
+
+// IsOne reports x == 1.
+func IsOne(x *big.Rat) bool { return x.Cmp(One()) == 0 }
+
+// IsProb reports 0 <= x <= 1, i.e. x is a valid probability.
+func IsProb(x *big.Rat) bool { return x.Sign() >= 0 && Leq(x, One()) }
+
+// IsPositiveProb reports 0 < x <= 1. Transition probabilities in a pps are
+// required to lie in the half-open interval (0, 1].
+func IsPositiveProb(x *big.Rat) bool { return x.Sign() > 0 && Leq(x, One()) }
+
+// Min returns a copy of the smaller of x and y.
+func Min(x, y *big.Rat) *big.Rat {
+	if x.Cmp(y) <= 0 {
+		return Copy(x)
+	}
+	return Copy(y)
+}
+
+// Max returns a copy of the larger of x and y.
+func Max(x, y *big.Rat) *big.Rat {
+	if x.Cmp(y) >= 0 {
+		return Copy(x)
+	}
+	return Copy(y)
+}
+
+// Float returns the nearest float64 to x.
+func Float(x *big.Rat) float64 {
+	f, _ := x.Float64()
+	return f
+}
+
+// Format renders x as a decimal string with prec digits after the point,
+// e.g. Format(R(99,100), 4) == "0.9900". Exact rationals are preferred for
+// comparisons; Format is for human-readable reports.
+func Format(x *big.Rat, prec int) string {
+	return x.FloatString(prec)
+}
+
+// String renders x in its exact fraction form, e.g. "99/100" or "1".
+func String(x *big.Rat) string {
+	return x.RatString()
+}

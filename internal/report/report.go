@@ -1,0 +1,126 @@
+// Package report renders aligned text and Markdown tables for the
+// command-line tools and the experiment harness.
+package report
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table accumulates rows and renders them with aligned columns.
+type Table struct {
+	header []string
+	rows   [][]string
+}
+
+// NewTable returns a table with the given column headers.
+func NewTable(header ...string) *Table {
+	return &Table{header: append([]string(nil), header...)}
+}
+
+// AddRow appends a row; cells are formatted with %v. Rows shorter than the
+// header are padded, longer ones are truncated.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(t.header))
+	for i := range row {
+		if i < len(cells) {
+			row[i] = fmt.Sprintf("%v", cells[i])
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// Len returns the number of data rows.
+func (t *Table) Len() int { return len(t.rows) }
+
+// widths computes per-column display widths.
+func (t *Table) widths() []int {
+	w := make([]int, len(t.header))
+	for i, h := range t.header {
+		w[i] = runeLen(h)
+	}
+	for _, row := range t.rows {
+		for i, cell := range row {
+			if l := runeLen(cell); l > w[i] {
+				w[i] = l
+			}
+		}
+	}
+	return w
+}
+
+// runeLen counts runes (probability strings and fact names use multibyte
+// symbols such as µ and β).
+func runeLen(s string) int { return len([]rune(s)) }
+
+// pad right-pads s with spaces to width w.
+func pad(s string, w int) string {
+	if n := w - runeLen(s); n > 0 {
+		return s + strings.Repeat(" ", n)
+	}
+	return s
+}
+
+// Render returns the table as aligned plain text.
+func (t *Table) Render() string {
+	w := t.widths()
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(pad(c, w[i]))
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.header)
+	sep := make([]string, len(t.header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", w[i])
+	}
+	writeRow(sep)
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// Markdown returns the table as a GitHub-flavoured Markdown table.
+func (t *Table) Markdown() string {
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		b.WriteString("| ")
+		b.WriteString(strings.Join(cells, " | "))
+		b.WriteString(" |\n")
+	}
+	writeRow(t.header)
+	sep := make([]string, len(t.header))
+	for i := range sep {
+		sep[i] = "---"
+	}
+	writeRow(sep)
+	for _, row := range t.rows {
+		escaped := make([]string, len(row))
+		for i, c := range row {
+			escaped[i] = strings.ReplaceAll(c, "|", "\\|")
+		}
+		writeRow(escaped)
+	}
+	return b.String()
+}
+
+// Section renders a titled block: the title, an underline, and the body.
+func Section(title, body string) string {
+	var b strings.Builder
+	b.WriteString(title)
+	b.WriteByte('\n')
+	b.WriteString(strings.Repeat("=", runeLen(title)))
+	b.WriteString("\n\n")
+	b.WriteString(body)
+	if !strings.HasSuffix(body, "\n") {
+		b.WriteByte('\n')
+	}
+	b.WriteByte('\n')
+	return b.String()
+}

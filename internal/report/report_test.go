@@ -1,0 +1,84 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRenderAlignment(t *testing.T) {
+	tb := NewTable("name", "value")
+	tb.AddRow("short", 1)
+	tb.AddRow("a-much-longer-name", "99/100")
+	out := tb.Render()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines = %d: %q", len(lines), out)
+	}
+	// All lines align to the same width.
+	w := len([]rune(lines[0]))
+	for _, l := range lines[1:] {
+		if len([]rune(strings.TrimRight(l, " "))) > w {
+			t.Fatalf("misaligned line %q", l)
+		}
+	}
+	if !strings.Contains(out, "a-much-longer-name  99/100") {
+		t.Fatalf("row content missing:\n%s", out)
+	}
+}
+
+func TestRenderUnicodeWidths(t *testing.T) {
+	tb := NewTable("µ(φ@α|α)", "E[β]")
+	tb.AddRow("99/100", "99/100")
+	out := tb.Render()
+	if !strings.Contains(out, "µ(φ@α|α)") {
+		t.Fatalf("unicode header mangled:\n%s", out)
+	}
+	// The separator under the unicode header must have its rune length.
+	lines := strings.Split(out, "\n")
+	if len([]rune(strings.Fields(lines[1])[0])) != len([]rune("µ(φ@α|α)")) {
+		t.Fatalf("separator width wrong: %q", lines[1])
+	}
+}
+
+func TestRowPaddingAndTruncation(t *testing.T) {
+	tb := NewTable("a", "b")
+	tb.AddRow("only-one")
+	tb.AddRow("x", "y", "ignored-extra")
+	out := tb.Render()
+	if strings.Contains(out, "ignored-extra") {
+		t.Fatalf("extra cell leaked:\n%s", out)
+	}
+	if tb.Len() != 2 {
+		t.Fatalf("Len = %d", tb.Len())
+	}
+}
+
+func TestMarkdown(t *testing.T) {
+	tb := NewTable("exp", "paper", "measured")
+	tb.AddRow("E1", "0.99", "99/100")
+	tb.AddRow("E2", "a|b", "c")
+	md := tb.Markdown()
+	want := []string{
+		"| exp | paper | measured |",
+		"| --- | --- | --- |",
+		"| E1 | 0.99 | 99/100 |",
+		`| E2 | a\|b | c |`,
+	}
+	for _, w := range want {
+		if !strings.Contains(md, w) {
+			t.Errorf("markdown missing %q:\n%s", w, md)
+		}
+	}
+}
+
+func TestSection(t *testing.T) {
+	s := Section("Title", "body")
+	if !strings.HasPrefix(s, "Title\n=====\n\nbody\n") {
+		t.Fatalf("Section = %q", s)
+	}
+	// Trailing newline is not duplicated.
+	s2 := Section("T", "body\n")
+	if strings.Contains(s2, "body\n\n\n") {
+		t.Fatalf("Section duplicated newlines: %q", s2)
+	}
+}

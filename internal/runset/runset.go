@@ -1,0 +1,239 @@
+// Package runset implements sets of runs as fixed-universe bitsets.
+//
+// In the paper's probability space X_T = (R_T, 2^{R_T}, µ_T) every event is
+// a subset of the finite run set R_T. The belief engine manipulates many
+// such events (R_α, the runs satisfying φ@ℓ, partitions by local state,
+// threshold events), so a compact set representation with the usual boolean
+// algebra is the natural substrate.
+//
+// A Set is created for a fixed universe size n (the number of runs of the
+// system) and all binary operations require equal universes.
+package runset
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+const wordBits = 64
+
+// Set is a subset of {0, ..., n-1} for a fixed universe size n. The zero
+// value is an empty set over an empty universe; use New for a real universe.
+type Set struct {
+	words []uint64
+	n     int
+}
+
+// New returns an empty set over the universe {0, ..., n-1}. n must be
+// non-negative; New panics otherwise (a programming error, not input).
+func New(n int) *Set {
+	if n < 0 {
+		panic(fmt.Sprintf("runset.New: negative universe size %d", n))
+	}
+	return &Set{words: make([]uint64, (n+wordBits-1)/wordBits), n: n}
+}
+
+// Full returns the set containing every element of the universe.
+func Full(n int) *Set {
+	s := New(n)
+	for i := range s.words {
+		s.words[i] = ^uint64(0)
+	}
+	s.trim()
+	return s
+}
+
+// Of returns a set over universe n containing exactly the given members.
+func Of(n int, members ...int) *Set {
+	s := New(n)
+	for _, m := range members {
+		s.Add(m)
+	}
+	return s
+}
+
+// trim clears any bits beyond the universe in the last word.
+func (s *Set) trim() {
+	if len(s.words) == 0 {
+		return
+	}
+	if rem := s.n % wordBits; rem != 0 {
+		s.words[len(s.words)-1] &= (uint64(1) << uint(rem)) - 1
+	}
+}
+
+func (s *Set) check(i int) {
+	if i < 0 || i >= s.n {
+		panic(fmt.Sprintf("runset: index %d out of universe [0,%d)", i, s.n))
+	}
+}
+
+func (s *Set) sameUniverse(t *Set) {
+	if s.n != t.n {
+		panic(fmt.Sprintf("runset: universe mismatch %d vs %d", s.n, t.n))
+	}
+}
+
+// Len returns the universe size n.
+func (s *Set) Len() int { return s.n }
+
+// Add inserts i into the set.
+func (s *Set) Add(i int) {
+	s.check(i)
+	s.words[i/wordBits] |= uint64(1) << uint(i%wordBits)
+}
+
+// Remove deletes i from the set.
+func (s *Set) Remove(i int) {
+	s.check(i)
+	s.words[i/wordBits] &^= uint64(1) << uint(i%wordBits)
+}
+
+// Contains reports whether i is a member.
+func (s *Set) Contains(i int) bool {
+	s.check(i)
+	return s.words[i/wordBits]&(uint64(1)<<uint(i%wordBits)) != 0
+}
+
+// Count returns the number of members.
+func (s *Set) Count() int {
+	total := 0
+	for _, w := range s.words {
+		total += bits.OnesCount64(w)
+	}
+	return total
+}
+
+// IsEmpty reports whether the set has no members.
+func (s *Set) IsEmpty() bool {
+	for _, w := range s.words {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone returns an independent copy of s.
+func (s *Set) Clone() *Set {
+	c := &Set{words: make([]uint64, len(s.words)), n: s.n}
+	copy(c.words, s.words)
+	return c
+}
+
+// Union returns s ∪ t as a new set.
+func (s *Set) Union(t *Set) *Set {
+	s.sameUniverse(t)
+	out := s.Clone()
+	for i, w := range t.words {
+		out.words[i] |= w
+	}
+	return out
+}
+
+// Intersect returns s ∩ t as a new set.
+func (s *Set) Intersect(t *Set) *Set {
+	s.sameUniverse(t)
+	out := s.Clone()
+	for i, w := range t.words {
+		out.words[i] &= w
+	}
+	return out
+}
+
+// Difference returns s \ t as a new set.
+func (s *Set) Difference(t *Set) *Set {
+	s.sameUniverse(t)
+	out := s.Clone()
+	for i, w := range t.words {
+		out.words[i] &^= w
+	}
+	return out
+}
+
+// Complement returns the universe minus s as a new set.
+func (s *Set) Complement() *Set {
+	out := s.Clone()
+	for i := range out.words {
+		out.words[i] = ^out.words[i]
+	}
+	out.trim()
+	return out
+}
+
+// Equal reports whether s and t have the same universe and the same members.
+func (s *Set) Equal(t *Set) bool {
+	if s.n != t.n {
+		return false
+	}
+	for i, w := range s.words {
+		if w != t.words[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// SubsetOf reports whether every member of s is a member of t.
+func (s *Set) SubsetOf(t *Set) bool {
+	s.sameUniverse(t)
+	for i, w := range s.words {
+		if w&^t.words[i] != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Intersects reports whether s ∩ t is nonempty, without allocating.
+func (s *Set) Intersects(t *Set) bool {
+	s.sameUniverse(t)
+	for i, w := range s.words {
+		if w&t.words[i] != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// ForEach calls fn for every member in increasing order. If fn returns
+// false, iteration stops early.
+func (s *Set) ForEach(fn func(i int) bool) {
+	for wi, w := range s.words {
+		for w != 0 {
+			bit := bits.TrailingZeros64(w)
+			if !fn(wi*wordBits + bit) {
+				return
+			}
+			w &= w - 1
+		}
+	}
+}
+
+// Members returns the members in increasing order.
+func (s *Set) Members() []int {
+	out := make([]int, 0, s.Count())
+	s.ForEach(func(i int) bool {
+		out = append(out, i)
+		return true
+	})
+	return out
+}
+
+// String renders the set as "{0, 3, 7}/n" for debugging.
+func (s *Set) String() string {
+	var b strings.Builder
+	b.WriteByte('{')
+	first := true
+	s.ForEach(func(i int) bool {
+		if !first {
+			b.WriteString(", ")
+		}
+		first = false
+		fmt.Fprintf(&b, "%d", i)
+		return true
+	})
+	fmt.Fprintf(&b, "}/%d", s.n)
+	return b.String()
+}

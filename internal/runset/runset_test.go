@@ -1,0 +1,238 @@
+package runset
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewIsEmpty(t *testing.T) {
+	for _, n := range []int{0, 1, 63, 64, 65, 200} {
+		s := New(n)
+		if !s.IsEmpty() || s.Count() != 0 || s.Len() != n {
+			t.Errorf("New(%d) not empty: count=%d len=%d", n, s.Count(), s.Len())
+		}
+	}
+}
+
+func TestNewPanicsOnNegative(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(-1) did not panic")
+		}
+	}()
+	New(-1)
+}
+
+func TestAddRemoveContains(t *testing.T) {
+	s := New(130)
+	for _, i := range []int{0, 1, 63, 64, 65, 127, 128, 129} {
+		if s.Contains(i) {
+			t.Errorf("fresh set contains %d", i)
+		}
+		s.Add(i)
+		if !s.Contains(i) {
+			t.Errorf("after Add(%d), Contains is false", i)
+		}
+	}
+	if got := s.Count(); got != 8 {
+		t.Fatalf("Count = %d, want 8", got)
+	}
+	s.Remove(64)
+	if s.Contains(64) {
+		t.Error("Remove(64) did not remove")
+	}
+	if got := s.Count(); got != 7 {
+		t.Fatalf("Count after remove = %d, want 7", got)
+	}
+	// Add is idempotent.
+	s.Add(0)
+	if got := s.Count(); got != 7 {
+		t.Fatalf("Count after re-Add = %d, want 7", got)
+	}
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	tests := []struct {
+		name string
+		fn   func(s *Set)
+	}{
+		{"Add high", func(s *Set) { s.Add(10) }},
+		{"Add negative", func(s *Set) { s.Add(-1) }},
+		{"Contains high", func(s *Set) { s.Contains(10) }},
+		{"Remove high", func(s *Set) { s.Remove(10) }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s did not panic", tt.name)
+				}
+			}()
+			tt.fn(New(10))
+		})
+	}
+}
+
+func TestFull(t *testing.T) {
+	for _, n := range []int{0, 1, 64, 65, 100} {
+		f := Full(n)
+		if got := f.Count(); got != n {
+			t.Errorf("Full(%d).Count = %d", n, got)
+		}
+	}
+	// Complement of full is empty, even with a ragged last word.
+	if !Full(67).Complement().IsEmpty() {
+		t.Error("Full(67).Complement() not empty")
+	}
+}
+
+func TestOf(t *testing.T) {
+	s := Of(10, 1, 3, 3, 7)
+	if got := s.Members(); len(got) != 3 || got[0] != 1 || got[1] != 3 || got[2] != 7 {
+		t.Fatalf("Of members = %v, want [1 3 7]", got)
+	}
+}
+
+func TestAlgebra(t *testing.T) {
+	a := Of(10, 0, 1, 2, 3)
+	b := Of(10, 2, 3, 4, 5)
+	tests := []struct {
+		name string
+		got  *Set
+		want *Set
+	}{
+		{"union", a.Union(b), Of(10, 0, 1, 2, 3, 4, 5)},
+		{"intersect", a.Intersect(b), Of(10, 2, 3)},
+		{"difference", a.Difference(b), Of(10, 0, 1)},
+		{"complement", a.Complement(), Of(10, 4, 5, 6, 7, 8, 9)},
+	}
+	for _, tt := range tests {
+		if !tt.got.Equal(tt.want) {
+			t.Errorf("%s = %v, want %v", tt.name, tt.got, tt.want)
+		}
+	}
+	// Operations must not mutate operands.
+	if !a.Equal(Of(10, 0, 1, 2, 3)) || !b.Equal(Of(10, 2, 3, 4, 5)) {
+		t.Fatal("algebra mutated an operand")
+	}
+}
+
+func TestSubsetIntersects(t *testing.T) {
+	a := Of(10, 1, 2)
+	b := Of(10, 1, 2, 3)
+	c := Of(10, 5)
+	if !a.SubsetOf(b) || b.SubsetOf(a) {
+		t.Error("SubsetOf wrong")
+	}
+	if !a.SubsetOf(a) {
+		t.Error("SubsetOf not reflexive")
+	}
+	if !a.Intersects(b) || a.Intersects(c) {
+		t.Error("Intersects wrong")
+	}
+	if !New(10).SubsetOf(c) {
+		t.Error("empty set should be subset of everything")
+	}
+}
+
+func TestUniverseMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Union across universes did not panic")
+		}
+	}()
+	New(5).Union(New(6))
+}
+
+func TestForEachEarlyStop(t *testing.T) {
+	s := Of(100, 10, 20, 30)
+	var seen []int
+	s.ForEach(func(i int) bool {
+		seen = append(seen, i)
+		return len(seen) < 2
+	})
+	if len(seen) != 2 || seen[0] != 10 || seen[1] != 20 {
+		t.Fatalf("early stop saw %v", seen)
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	a := Of(10, 1)
+	b := a.Clone()
+	b.Add(2)
+	if a.Contains(2) {
+		t.Fatal("Clone shares storage")
+	}
+}
+
+func TestString(t *testing.T) {
+	if got := Of(5, 0, 3).String(); got != "{0, 3}/5" {
+		t.Fatalf("String = %q", got)
+	}
+	if got := New(5).String(); got != "{}/5" {
+		t.Fatalf("empty String = %q", got)
+	}
+}
+
+// randomSet builds a set and a reference map from a seed.
+func randomSet(n int, seed int64) (*Set, map[int]bool) {
+	rng := rand.New(rand.NewSource(seed))
+	s := New(n)
+	ref := make(map[int]bool)
+	for i := 0; i < n; i++ {
+		if rng.Intn(2) == 0 {
+			s.Add(i)
+			ref[i] = true
+		}
+	}
+	return s, ref
+}
+
+// Property: De Morgan — complement(a ∪ b) == complement(a) ∩ complement(b).
+func TestQuickDeMorgan(t *testing.T) {
+	f := func(seedA, seedB int64, nRaw uint8) bool {
+		n := int(nRaw)%150 + 1
+		a, _ := randomSet(n, seedA)
+		b, _ := randomSet(n, seedB)
+		left := a.Union(b).Complement()
+		right := a.Complement().Intersect(b.Complement())
+		return left.Equal(right)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: |a| + |b| == |a ∪ b| + |a ∩ b| (inclusion-exclusion).
+func TestQuickInclusionExclusion(t *testing.T) {
+	f := func(seedA, seedB int64, nRaw uint8) bool {
+		n := int(nRaw)%150 + 1
+		a, _ := randomSet(n, seedA)
+		b, _ := randomSet(n, seedB)
+		return a.Count()+b.Count() == a.Union(b).Count()+a.Intersect(b).Count()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: membership agrees with a reference map implementation.
+func TestQuickAgainstReference(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw)%150 + 1
+		s, ref := randomSet(n, seed)
+		if s.Count() != len(ref) {
+			return false
+		}
+		for i := 0; i < n; i++ {
+			if s.Contains(i) != ref[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,208 @@
+package scenarios
+
+import (
+	"errors"
+	"math/big"
+	"strings"
+	"testing"
+
+	"pak/internal/core"
+	"pak/internal/ratutil"
+)
+
+func TestNFiringSquadValidation(t *testing.T) {
+	if _, err := NFiringSquad(1, ratutil.R(1, 10), false); !errors.Is(err, ErrBadParam) {
+		t.Errorf("n=1 err = %v", err)
+	}
+	if _, err := NFiringSquad(3, ratutil.R(3, 2), false); err == nil {
+		t.Error("bad loss accepted")
+	}
+	if _, err := NFiringSquadSystem(0, ratutil.R(1, 10), true); !errors.Is(err, ErrBadParam) {
+		t.Errorf("n=0 err = %v", err)
+	}
+}
+
+// pow returns x^k for exact rationals.
+func pow(x *big.Rat, k int) *big.Rat {
+	out := ratutil.One()
+	for i := 0; i < k; i++ {
+		out = ratutil.Mul(out, x)
+	}
+	return out
+}
+
+// TestNSquadMatchesExample1 checks that n=2 degenerates to the paper's
+// Example 1 numbers.
+func TestNSquadMatchesExample1(t *testing.T) {
+	sys, err := NFiringSquadSystem(2, ratutil.R(1, 10), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := core.New(sys)
+	mu, err := e.ConstraintProb(AllFireFact(2), General, ActFire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ratutil.Eq(mu, ratutil.R(99, 100)) {
+		t.Fatalf("n=2 µ = %v, want 99/100", mu)
+	}
+	improved, err := NFiringSquadSystem(2, ratutil.R(1, 10), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	muI, err := core.New(improved).ConstraintProb(AllFireFact(2), General, ActFire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ratutil.Eq(muI, ratutil.R(990, 991)) {
+		t.Fatalf("n=2 improved µ = %v, want 990/991", muI)
+	}
+}
+
+// TestNSquadClosedForms pins the generalized closed forms for n = 3, 4:
+// original µ = (1−ℓ²)^(n−1); improved µ = ((1−ℓ²)/(1−ℓ²(1−ℓ)))^(n−1).
+func TestNSquadClosedForms(t *testing.T) {
+	loss := ratutil.R(1, 10)
+	lossSq := ratutil.Mul(loss, loss)
+	base := ratutil.OneMinus(lossSq)                                          // 99/100
+	fireBase := ratutil.OneMinus(ratutil.Mul(lossSq, ratutil.OneMinus(loss))) // 991/1000
+	for _, n := range []int{3, 4} {
+		wantOrig := pow(base, n-1)
+		sys, err := NFiringSquadSystem(n, loss, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e := core.New(sys)
+		mu, err := e.ConstraintProb(AllFireFact(n), General, ActFire)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ratutil.Eq(mu, wantOrig) {
+			t.Errorf("n=%d original µ = %v, want (1-ℓ²)^%d = %v", n, mu, n-1, wantOrig)
+		}
+
+		wantImpr := ratutil.Div(wantOrig, pow(fireBase, n-1))
+		impr, err := NFiringSquadSystem(n, loss, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		muI, err := core.New(impr).ConstraintProb(AllFireFact(n), General, ActFire)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ratutil.Eq(muI, wantImpr) {
+			t.Errorf("n=%d improved µ = %v, want %v", n, muI, wantImpr)
+		}
+		if !ratutil.Greater(muI, mu) {
+			t.Errorf("n=%d: improvement not strict", n)
+		}
+	}
+}
+
+// TestNSquadGeneralBeliefs checks the general's information states at
+// firing time for n=3: belief (1−ℓ²)^s with s silent soldiers and no
+// 'No', 0 with a 'No'.
+func TestNSquadGeneralBeliefs(t *testing.T) {
+	loss := ratutil.R(1, 10)
+	sys, err := NFiringSquadSystem(3, loss, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := core.New(sys)
+	byState, err := e.BeliefByActionState(AllFireFact(3), General, ActFire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := ratutil.OneMinus(ratutil.Mul(loss, loss)) // 99/100
+	for state, bel := range byState {
+		var want *big.Rat
+		switch {
+		case strings.Contains(state, "no=y"):
+			want = ratutil.Zero()
+		case strings.Contains(state, "silent=0"):
+			want = ratutil.One()
+		case strings.Contains(state, "silent=1"):
+			want = base
+		case strings.Contains(state, "silent=2"):
+			want = pow(base, 2)
+		default:
+			t.Fatalf("unclassified state %q", state)
+		}
+		if !ratutil.Eq(bel, want) {
+			t.Errorf("β at %q = %v, want %v", state, bel, want)
+		}
+	}
+}
+
+// TestNSquadExpectationTheorem: Theorem 6.2 holds on the n-agent squad
+// for n = 3 (the protocol is deterministic, so independence is
+// guaranteed by Lemma 4.3(a)).
+func TestNSquadExpectationTheorem(t *testing.T) {
+	sys, err := NFiringSquadSystem(3, ratutil.R(1, 10), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := core.New(sys)
+	rep, err := e.CheckExpectation(AllFireFact(3), General, ActFire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Independent || !rep.Equal() {
+		t.Fatalf("Theorem 6.2 on the 3-squad: %v", rep)
+	}
+	// The PAK view: µ = (99/100)² = 9801/10000 ≥ 1 − ε² for ε
+	// slightly above sqrt(199)/100; use ε = 3/20 (1−ε² = 0.9775).
+	pakRep, err := e.CheckPAKSquare(AllFireFact(3), General, ActFire, ratutil.R(3, 20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pakRep.PremiseMet() || !pakRep.Holds() {
+		t.Fatalf("Corollary 7.2 on the 3-squad: %v", pakRep)
+	}
+}
+
+// TestNSquadRefrainMatchesImproved: the refrain analysis on the original
+// n-squad predicts the improved variant's value, generalizing the
+// Section 8 cross-check.
+func TestNSquadRefrainMatchesImproved(t *testing.T) {
+	loss := ratutil.R(1, 10)
+	sys, err := NFiringSquadSystem(3, loss, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := core.New(sys)
+	// Prune every state with a 'No' (belief 0): any positive threshold
+	// below the smallest nonzero belief keeps the rest. The smallest
+	// nonzero belief is (99/100)², so 1/2 works.
+	rep, err := e.RefrainAnalysis(AllFireFact(3), General, ActFire, ratutil.R(1, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	impr, err := NFiringSquadSystem(3, loss, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	muI, err := core.New(impr).ConstraintProb(AllFireFact(3), General, ActFire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Predicted == nil || !ratutil.Eq(rep.Predicted, muI) {
+		t.Fatalf("refrain prediction %v != improved value %v", rep.Predicted, muI)
+	}
+}
+
+func TestNSquadGoZeroNeverFires(t *testing.T) {
+	sys, err := NFiringSquadSystem(3, ratutil.R(1, 10), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := core.New(sys)
+	perf, err := e.PerformedSet(General, ActFire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The general fires exactly on the go=1 half.
+	if !ratutil.Eq(sys.Measure(perf), ratutil.R(1, 2)) {
+		t.Fatalf("µ(general fires) = %v, want 1/2", sys.Measure(perf))
+	}
+}

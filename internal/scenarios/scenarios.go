@@ -1,0 +1,356 @@
+// Package scenarios provides ready-made protocol models for the
+// distributed-computing workloads the paper's introduction motivates
+// beyond Example 1: relaxed mutual exclusion and bounded randomized
+// consensus over lossy channels. Each scenario is a protocol.Model, so it
+// can be unfolded into an exact pps, analyzed by the belief engine, and
+// simulated by the Monte-Carlo layer; the tests pin down the exact
+// constraint values the constructions imply.
+package scenarios
+
+import (
+	"errors"
+	"fmt"
+	"math/big"
+	"strings"
+
+	"pak/internal/logic"
+	"pak/internal/msgnet"
+	"pak/internal/pps"
+	"pak/internal/protocol"
+	"pak/internal/ratutil"
+)
+
+// ErrBadParam indicates scenario parameters outside their domain.
+var ErrBadParam = errors.New("scenarios: invalid parameter")
+
+// Action and agent names shared by the scenarios.
+const (
+	// ActRequest and ActEnter are the mutual-exclusion actions.
+	ActRequest = "request"
+	ActEnter   = "enter"
+	// ActSkip is the idle action.
+	ActSkip = "skip"
+	// ActDecide0 and ActDecide1 are the consensus decisions.
+	ActDecide0 = "decide0"
+	ActDecide1 = "decide1"
+)
+
+// --- Relaxed mutual exclusion ---
+
+// mutexModel is a two-agent contention protocol: each agent requests the
+// critical section with probability 1/2; an arbiter grants one requester
+// and denies the other, over a channel losing each message independently;
+// a requester that hears nothing times out and enters anyway.
+type mutexModel struct {
+	net msgnet.Net
+}
+
+var _ protocol.Model = mutexModel{}
+
+// Mutex returns the relaxed mutual-exclusion protocol with the given
+// arbiter-message loss probability.
+func Mutex(loss *big.Rat) (protocol.Model, error) {
+	net, err := msgnet.New(loss)
+	if err != nil {
+		return nil, fmt.Errorf("scenarios.Mutex: %w", err)
+	}
+	return mutexModel{net: net}, nil
+}
+
+func (m mutexModel) Agents() []string { return []string{"i", "j"} }
+
+func (m mutexModel) Initials() []protocol.Weighted[protocol.Global] {
+	return []protocol.Weighted[protocol.Global]{
+		protocol.W(protocol.Global{Env: "start", Locals: []string{"idle", "idle"}}, ratutil.One()),
+	}
+}
+
+func (m mutexModel) Horizon() int { return 2 }
+
+func (m mutexModel) AgentStep(agent int, local string, t int) []protocol.Weighted[string] {
+	switch t {
+	case 0:
+		return protocol.Mix(
+			protocol.W(ActRequest, ratutil.R(1, 2)),
+			protocol.W(ActSkip, ratutil.R(1, 2)),
+		)
+	default:
+		if strings.HasPrefix(local, "req") && !strings.Contains(local, "deny") {
+			return protocol.Det(ActEnter)
+		}
+		return protocol.Det(ActSkip)
+	}
+}
+
+// arbMsgs returns the arbiter's messages given the requesters and winner.
+func (m mutexModel) arbMsgs(reqI, reqJ bool, winner int) []msgnet.Msg {
+	const arbiter = 2
+	switch {
+	case reqI && reqJ:
+		loser := 1 - winner
+		return []msgnet.Msg{
+			{From: arbiter, To: winner, Payload: "grant"},
+			{From: arbiter, To: loser, Payload: "deny"},
+		}
+	case reqI:
+		return []msgnet.Msg{{From: arbiter, To: 0, Payload: "grant"}}
+	case reqJ:
+		return []msgnet.Msg{{From: arbiter, To: 1, Payload: "grant"}}
+	default:
+		return nil
+	}
+}
+
+func (m mutexModel) EnvStep(g protocol.Global, acts []string, t int) []protocol.Weighted[string] {
+	if t != 0 {
+		return protocol.Det("quiet")
+	}
+	reqI := acts[0] == ActRequest
+	reqJ := acts[1] == ActRequest
+	if reqI && reqJ {
+		var out []protocol.Weighted[string]
+		for winner := 0; winner <= 1; winner++ {
+			for _, pat := range m.net.Patterns(m.arbMsgs(true, true, winner)) {
+				out = append(out, protocol.W(
+					fmt.Sprintf("w=%d|%s", winner, pat.Value),
+					ratutil.Mul(ratutil.R(1, 2), pat.Pr),
+				))
+			}
+		}
+		return out
+	}
+	winner := 0
+	if reqJ {
+		winner = 1
+	}
+	if !reqI && !reqJ {
+		return protocol.Det("quiet")
+	}
+	var out []protocol.Weighted[string]
+	for _, pat := range m.net.Patterns(m.arbMsgs(reqI, reqJ, winner)) {
+		out = append(out, protocol.W(fmt.Sprintf("w=%d|%s", winner, pat.Value), pat.Pr))
+	}
+	return out
+}
+
+func (m mutexModel) Next(g protocol.Global, acts []string, envAct string, t int) (protocol.Global, error) {
+	next := g.Clone()
+	if t != 0 {
+		for a := range next.Locals {
+			next.Locals[a] = g.Locals[a] + "|done"
+		}
+		next.Env = "done"
+		return next, nil
+	}
+	reqI := acts[0] == ActRequest
+	reqJ := acts[1] == ActRequest
+	winner, pattern := splitEnvAct(envAct)
+	msgs := m.arbMsgs(reqI, reqJ, winner)
+	for a := 0; a <= 1; a++ {
+		requested := acts[a] == ActRequest
+		if !requested {
+			next.Locals[a] = "idle"
+			continue
+		}
+		inbox := []string{}
+		if len(msgs) > 0 {
+			var err error
+			inbox, err = msgnet.Inbox(msgs, pattern, a)
+			if err != nil {
+				return protocol.Global{}, err
+			}
+		}
+		switch {
+		case contains(inbox, "grant"):
+			next.Locals[a] = "req:grant"
+		case contains(inbox, "deny"):
+			next.Locals[a] = "req:deny"
+		default:
+			next.Locals[a] = "req:silent"
+		}
+	}
+	next.Env = "arbitrated"
+	return next, nil
+}
+
+// splitEnvAct decodes "w=<idx>|<pattern>"; plain actions decode to winner 0.
+func splitEnvAct(envAct string) (winner int, pattern string) {
+	parts := strings.SplitN(envAct, "|", 2)
+	if len(parts) != 2 {
+		return 0, envAct
+	}
+	if strings.TrimPrefix(parts[0], "w=") == "1" {
+		winner = 1
+	}
+	return winner, parts[1]
+}
+
+func contains(xs []string, want string) bool {
+	for _, x := range xs {
+		if x == want {
+			return true
+		}
+	}
+	return false
+}
+
+// MutexSystem unfolds the mutual-exclusion scenario into its pps.
+func MutexSystem(loss *big.Rat) (*pps.System, error) {
+	m, err := Mutex(loss)
+	if err != nil {
+		return nil, err
+	}
+	sys, err := protocol.Unfold(m)
+	if err != nil {
+		return nil, fmt.Errorf("scenarios.MutexSystem: %w", err)
+	}
+	return sys, nil
+}
+
+// MutexExclusionFact returns the exclusion condition for the given agent:
+// the other agent is not entering the critical section now.
+func MutexExclusionFact(agent string) logic.Fact {
+	other := "j"
+	if agent == "j" {
+		other = "i"
+	}
+	return logic.Not(logic.Does(other, ActEnter))
+}
+
+// --- Bounded randomized consensus ---
+
+// consensusModel is a two-agent, one-exchange binary consensus: uniform
+// random initial bits, one round of bit exchange over a lossy channel,
+// then the AND decision rule (decide the minimum known bit; silence is
+// ignored).
+type consensusModel struct {
+	net msgnet.Net
+}
+
+var _ protocol.Model = consensusModel{}
+
+// Consensus returns the bounded consensus protocol with the given message
+// loss probability.
+func Consensus(loss *big.Rat) (protocol.Model, error) {
+	net, err := msgnet.New(loss)
+	if err != nil {
+		return nil, fmt.Errorf("scenarios.Consensus: %w", err)
+	}
+	return consensusModel{net: net}, nil
+}
+
+func (m consensusModel) Agents() []string { return []string{"i", "j"} }
+
+func (m consensusModel) Initials() []protocol.Weighted[protocol.Global] {
+	quarter := ratutil.R(1, 4)
+	var out []protocol.Weighted[protocol.Global]
+	for _, bi := range []string{"0", "1"} {
+		for _, bj := range []string{"0", "1"} {
+			out = append(out, protocol.W(protocol.Global{
+				Env:    "start",
+				Locals: []string{"b=" + bi, "b=" + bj},
+			}, quarter))
+		}
+	}
+	return out
+}
+
+func (m consensusModel) Horizon() int { return 2 }
+
+func (m consensusModel) msgs(locals []string) []msgnet.Msg {
+	return []msgnet.Msg{
+		{From: 0, To: 1, Payload: OwnBit(locals[0])},
+		{From: 1, To: 0, Payload: OwnBit(locals[1])},
+	}
+}
+
+func (m consensusModel) AgentStep(agent int, local string, t int) []protocol.Weighted[string] {
+	if t == 0 {
+		return protocol.Det("send")
+	}
+	own := OwnBit(local)
+	recv := RecvBit(local)
+	decision := own
+	if recv != "" && recv < decision {
+		decision = recv
+	}
+	return protocol.Det("decide" + decision)
+}
+
+func (m consensusModel) EnvStep(g protocol.Global, acts []string, t int) []protocol.Weighted[string] {
+	if t != 0 {
+		return protocol.Det("quiet")
+	}
+	return m.net.Patterns(m.msgs(g.Locals))
+}
+
+func (m consensusModel) Next(g protocol.Global, acts []string, envAct string, t int) (protocol.Global, error) {
+	next := g.Clone()
+	if t == 0 {
+		msgs := m.msgs(g.Locals)
+		for a := 0; a < 2; a++ {
+			inbox, err := msgnet.Inbox(msgs, envAct, a)
+			if err != nil {
+				return protocol.Global{}, err
+			}
+			if len(inbox) > 0 {
+				next.Locals[a] = g.Locals[a] + ",recv=" + inbox[0]
+			} else {
+				next.Locals[a] = g.Locals[a] + ",recv=none"
+			}
+		}
+		next.Env = "exchanged"
+		return next, nil
+	}
+	for a := range next.Locals {
+		next.Locals[a] = g.Locals[a] + ",decided"
+	}
+	next.Env = "done"
+	return next, nil
+}
+
+// ConsensusSystem unfolds the consensus scenario into its pps.
+func ConsensusSystem(loss *big.Rat) (*pps.System, error) {
+	m, err := Consensus(loss)
+	if err != nil {
+		return nil, err
+	}
+	sys, err := protocol.Unfold(m)
+	if err != nil {
+		return nil, fmt.Errorf("scenarios.ConsensusSystem: %w", err)
+	}
+	return sys, nil
+}
+
+// AgreementFact holds when both agents are currently deciding the same
+// value.
+func AgreementFact() logic.Fact {
+	return logic.Or(
+		logic.And(logic.Does("i", ActDecide0), logic.Does("j", ActDecide0)),
+		logic.And(logic.Does("i", ActDecide1), logic.Does("j", ActDecide1)),
+	)
+}
+
+// OwnBit extracts an agent's initial bit from its (unstamped or stamped)
+// local state.
+func OwnBit(local string) string {
+	idx := strings.Index(local, "b=")
+	if idx < 0 || idx+2 >= len(local) {
+		return ""
+	}
+	return local[idx+2 : idx+3]
+}
+
+// RecvBit extracts the received bit from a post-exchange local state, or
+// "" for silence.
+func RecvBit(local string) string {
+	idx := strings.Index(local, "recv=")
+	if idx < 0 {
+		return ""
+	}
+	v := local[idx+5:]
+	if strings.HasPrefix(v, "none") {
+		return ""
+	}
+	return v[:1]
+}

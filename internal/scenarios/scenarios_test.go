@@ -1,0 +1,290 @@
+package scenarios
+
+import (
+	"testing"
+
+	"pak/internal/core"
+	"pak/internal/logic"
+	"pak/internal/pps"
+	"pak/internal/ratutil"
+)
+
+func TestParameterValidation(t *testing.T) {
+	if _, err := Mutex(ratutil.R(3, 2)); err == nil {
+		t.Error("Mutex should reject loss > 1")
+	}
+	if _, err := Consensus(nil); err == nil {
+		t.Error("Consensus should reject nil loss")
+	}
+	if _, err := MutexSystem(ratutil.R(-1, 2)); err == nil {
+		t.Error("MutexSystem should reject negative loss")
+	}
+	if _, err := ConsensusSystem(ratutil.R(2, 1)); err == nil {
+		t.Error("ConsensusSystem should reject loss > 1")
+	}
+}
+
+// TestMutexExactValues pins the derived numbers at loss 1/10: the
+// constraint value is exactly 29/31 and the two entering information
+// states carry beliefs 29/30 (granted) and 29/40 (silent timeout).
+func TestMutexExactValues(t *testing.T) {
+	sys, err := MutexSystem(ratutil.R(1, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ratutil.IsOne(sys.TotalMeasure()) {
+		t.Fatal("total measure != 1")
+	}
+	e := core.New(sys)
+	excl := MutexExclusionFact("i")
+
+	mu, err := e.ConstraintProb(excl, "i", ActEnter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ratutil.Eq(mu, ratutil.R(29, 31)) {
+		t.Fatalf("µ(exclusion | enter_i) = %v, want 29/31", mu)
+	}
+
+	byState, err := e.BeliefByActionState(excl, "i", ActEnter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]string{
+		"t1|req:grant":  "29/30",
+		"t1|req:silent": "29/40",
+	}
+	if len(byState) != len(want) {
+		t.Fatalf("entering states = %v", byState)
+	}
+	for state, wantBel := range want {
+		got, ok := byState[state]
+		if !ok {
+			t.Fatalf("missing state %q in %v", state, byState)
+		}
+		if got.RatString() != wantBel {
+			t.Errorf("β at %q = %s, want %s", state, got.RatString(), wantBel)
+		}
+	}
+
+	// Theorem 6.2 on the scenario.
+	rep, err := e.CheckExpectation(excl, "i", ActEnter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Independent || !rep.Equal() {
+		t.Fatalf("expectation identity: %v", rep)
+	}
+}
+
+// TestMutexSymmetry: the scenario is symmetric between the two agents.
+func TestMutexSymmetry(t *testing.T) {
+	sys, err := MutexSystem(ratutil.R(1, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := core.New(sys)
+	muI, err := e.ConstraintProb(MutexExclusionFact("i"), "i", ActEnter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	muJ, err := e.ConstraintProb(MutexExclusionFact("j"), "j", ActEnter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ratutil.Eq(muI, muJ) {
+		t.Fatalf("asymmetric: %v vs %v", muI, muJ)
+	}
+}
+
+// TestMutexPerfectChannel: with no loss the deny always arrives and
+// exclusion is certain — the KoP limit.
+func TestMutexPerfectChannel(t *testing.T) {
+	sys, err := MutexSystem(ratutil.Zero())
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := core.New(sys)
+	rep, err := e.CheckKoPLimit(MutexExclusionFact("i"), "i", ActEnter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ratutil.IsOne(rep.ConstraintProb) || !rep.AlwaysKnows {
+		t.Fatalf("lossless mutex should give certainty: %v", rep)
+	}
+}
+
+// TestMutexRefrainOnSilence: Section 8's pruning applied to the mutex —
+// never enter on a timeout — yields exclusion value 29/30 (the granted
+// state's belief), at the cost of acting measure.
+func TestMutexRefrainOnSilence(t *testing.T) {
+	sys, err := MutexSystem(ratutil.R(1, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := core.New(sys)
+	rep, err := e.RefrainAnalysis(MutexExclusionFact("i"), "i", ActEnter, ratutil.R(9, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Predicted == nil || !ratutil.Eq(rep.Predicted, ratutil.R(29, 30)) {
+		t.Fatalf("refrain prediction = %v, want 29/30", rep.Predicted)
+	}
+	if !rep.Improves() {
+		t.Error("pruning the timeout entry should improve exclusion")
+	}
+}
+
+// TestConsensusExactValues pins the derived agreement numbers at loss
+// 1/10: µ(agreement | decide0) = 28/29 and µ(agreement | decide1) = 10/11.
+func TestConsensusExactValues(t *testing.T) {
+	sys, err := ConsensusSystem(ratutil.R(1, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.NumRuns() != 16 {
+		t.Fatalf("runs = %d, want 16", sys.NumRuns())
+	}
+	e := core.New(sys)
+	agree := AgreementFact()
+
+	mu0, err := e.ConstraintProb(agree, "i", ActDecide0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ratutil.Eq(mu0, ratutil.R(28, 29)) {
+		t.Fatalf("µ(agree | decide0) = %v, want 28/29", mu0)
+	}
+	mu1, err := e.ConstraintProb(agree, "i", ActDecide1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ratutil.Eq(mu1, ratutil.R(10, 11)) {
+		t.Fatalf("µ(agree | decide1) = %v, want 10/11", mu1)
+	}
+
+	// The decide-1 beliefs: certainty after receiving 1, exactly 1/2
+	// after silence.
+	byState, err := e.BeliefByActionState(agree, "i", ActDecide1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for state, bel := range byState {
+		switch {
+		case RecvBit(state) == "1":
+			if !ratutil.IsOne(bel) {
+				t.Errorf("β at %q = %v, want 1", state, bel)
+			}
+		default:
+			if !ratutil.Eq(bel, ratutil.R(1, 2)) {
+				t.Errorf("β at %q = %v, want 1/2", state, bel)
+			}
+		}
+	}
+
+	// Decisions are deterministic functions of the local state, so
+	// Lemma 4.3(a) guarantees independence; Theorem 6.2 follows.
+	for _, action := range []string{ActDecide0, ActDecide1} {
+		det, err := e.IsDeterministicAction("i", action)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !det {
+			t.Errorf("%s should be deterministic", action)
+		}
+		rep, err := e.CheckExpectation(agree, "i", action)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rep.Holds() || !rep.Equal() {
+			t.Errorf("%s: %v", action, rep)
+		}
+	}
+}
+
+// TestConsensusValidity: with equal inputs the AND rule always decides
+// the common value — a Validity check.
+func TestConsensusValidity(t *testing.T) {
+	sys, err := ConsensusSystem(ratutil.R(1, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bothZero := logic.And(logic.LocalContains("i", "b=0"), logic.LocalContains("j", "b=0"))
+	decideOne := logic.Or(logic.Performed("i", ActDecide1), logic.Performed("j", ActDecide1))
+	bad := logic.RunsSatisfying(sys, logic.And(logic.AtTime(0, bothZero), decideOne))
+	if !bad.IsEmpty() {
+		t.Fatalf("validity violated on runs %v", bad)
+	}
+	bothOne := logic.And(logic.LocalContains("i", "b=1"), logic.LocalContains("j", "b=1"))
+	decideZero := logic.Or(logic.Performed("i", ActDecide0), logic.Performed("j", ActDecide0))
+	bad = logic.RunsSatisfying(sys, logic.And(logic.AtTime(0, bothOne), decideZero))
+	if !bad.IsEmpty() {
+		t.Fatalf("validity violated on runs %v", bad)
+	}
+}
+
+// TestConsensusPerfectChannel: with no loss, agreement is certain for
+// both decisions (disagreement needs a lost message).
+func TestConsensusPerfectChannel(t *testing.T) {
+	sys, err := ConsensusSystem(ratutil.Zero())
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := core.New(sys)
+	for _, action := range []string{ActDecide0, ActDecide1} {
+		mu, err := e.ConstraintProb(AgreementFact(), "i", action)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ratutil.IsOne(mu) {
+			t.Errorf("lossless %s: µ = %v, want 1", action, mu)
+		}
+	}
+}
+
+func TestBitHelpers(t *testing.T) {
+	tests := []struct {
+		local    string
+		own, rcv string
+	}{
+		{"b=1,recv=0", "1", "0"},
+		{"b=0,recv=none", "0", ""},
+		{"t1|b=1,recv=1", "1", "1"},
+		{"no-bit-here", "", ""},
+		{"b=", "", ""},
+	}
+	for _, tt := range tests {
+		if got := OwnBit(tt.local); got != tt.own {
+			t.Errorf("OwnBit(%q) = %q, want %q", tt.local, got, tt.own)
+		}
+		if got := RecvBit(tt.local); got != tt.rcv {
+			t.Errorf("RecvBit(%q) = %q, want %q", tt.local, got, tt.rcv)
+		}
+	}
+}
+
+func TestMutexExclusionFactOtherAgent(t *testing.T) {
+	sys, err := MutexSystem(ratutil.R(1, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fi := MutexExclusionFact("i")
+	fj := MutexExclusionFact("j")
+	// On a run where only i enters, i's exclusion holds at t1 and j's
+	// exclusion (about i) fails.
+	for r := 0; r < sys.NumRuns(); r++ {
+		run := pps.RunID(r)
+		actI, _ := sys.Action(run, 1, 0)
+		actJ, _ := sys.Action(run, 1, 1)
+		if actI == ActEnter && actJ != ActEnter {
+			if !fi.Holds(sys, run, 1) {
+				t.Error("i's exclusion should hold when j is idle")
+			}
+			if fj.Holds(sys, run, 1) {
+				t.Error("j's exclusion should fail when i enters")
+			}
+			return
+		}
+	}
+	t.Fatal("no suitable run found")
+}

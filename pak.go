@@ -1,0 +1,145 @@
+package pak
+
+import (
+	"math/big"
+
+	"pak/internal/core"
+	"pak/internal/logic"
+	"pak/internal/pps"
+	"pak/internal/ratutil"
+	"pak/internal/runset"
+)
+
+// Core model types, re-exported from the internal packages. Aliases keep
+// values interchangeable between the facade and the internal APIs.
+type (
+	// System is a validated finite purely probabilistic system (pps): a
+	// labelled probability tree whose paths are runs.
+	System = pps.System
+	// Builder constructs a System incrementally; errors are sticky and
+	// reported by Build.
+	Builder = pps.Builder
+	// Step describes one child transition when building a System.
+	Step = pps.Step
+	// NodeID identifies a tree node (Root = 0 is the distribution root λ).
+	NodeID = pps.NodeID
+	// RunID identifies a run.
+	RunID = pps.RunID
+	// AgentID indexes an agent.
+	AgentID = pps.AgentID
+	// RunSet is an event: a subset of the system's runs.
+	RunSet = runset.Set
+
+	// Fact is a (possibly transient) condition over points of a system.
+	Fact = logic.Fact
+
+	// Engine answers belief, constraint and theorem queries over a System.
+	Engine = core.Engine
+
+	// SufficiencyReport is the result of checking Theorem 4.2.
+	SufficiencyReport = core.SufficiencyReport
+	// ExpectationReport is the result of checking Theorem 6.2.
+	ExpectationReport = core.ExpectationReport
+	// NecessityReport is the result of checking Lemma 5.1.
+	NecessityReport = core.NecessityReport
+	// PAKReport is the result of checking Theorem 7.1 / Corollary 7.2.
+	PAKReport = core.PAKReport
+	// KoPReport is the result of checking Lemma F.1.
+	KoPReport = core.KoPReport
+	// IndependenceReport is the result of checking Definition 4.1.
+	IndependenceReport = core.IndependenceReport
+	// IndependenceWitness explains independence via Lemma 4.3.
+	IndependenceWitness = core.IndependenceWitness
+)
+
+// Root is the NodeID of the distribution root λ.
+const Root = pps.Root
+
+// NewBuilder returns a Builder for a system over the given agents.
+func NewBuilder(agents ...string) *Builder { return pps.NewBuilder(agents...) }
+
+// NewEngine returns an analysis engine bound to sys.
+func NewEngine(sys *System) *Engine { return core.New(sys) }
+
+// Rational constructors, re-exported for building systems and thresholds.
+
+// Rat returns the exact rational a/b (panics if b == 0).
+func Rat(a, b int64) *big.Rat { return ratutil.R(a, b) }
+
+// ParseRat parses "1/2", "0.25" or "3" into an exact rational.
+func ParseRat(s string) (*big.Rat, error) { return ratutil.Parse(s) }
+
+// MustRat is ParseRat, panicking on error; for constants.
+func MustRat(s string) *big.Rat { return ratutil.MustParse(s) }
+
+// One returns a fresh rational 1.
+func One() *big.Rat { return ratutil.One() }
+
+// Zero returns a fresh rational 0.
+func Zero() *big.Rat { return ratutil.Zero() }
+
+// Fact constructors, re-exported from package logic.
+
+// True returns the fact that holds at every point.
+func True() Fact { return logic.True() }
+
+// False returns the fact that holds at no point.
+func False() Fact { return logic.False() }
+
+// Does returns the transient fact does_i(α): agent performs action at the
+// current point.
+func Does(agent, action string) Fact { return logic.Does(agent, action) }
+
+// Performed returns the run-based fact that agent performs action at some
+// point of the current run (the paper's fact written simply as α).
+func Performed(agent, action string) Fact { return logic.Performed(agent, action) }
+
+// LocalIs returns the fact that agent's local state equals local.
+func LocalIs(agent, local string) Fact { return logic.LocalIs(agent, local) }
+
+// LocalContains returns the fact that agent's local state contains substr.
+func LocalContains(agent, substr string) Fact { return logic.LocalContains(agent, substr) }
+
+// EnvIs returns the fact that the environment state equals env.
+func EnvIs(env string) Fact { return logic.EnvIs(env) }
+
+// TimeIs returns the fact that the current time equals t.
+func TimeIs(t int) Fact { return logic.TimeIs(t) }
+
+// Atom returns a fact from an arbitrary pure point predicate.
+func Atom(name string, pred func(sys *System, r RunID, t int) bool) Fact {
+	return logic.Atom(name, pred)
+}
+
+// Not returns ¬φ.
+func Not(f Fact) Fact { return logic.Not(f) }
+
+// And returns the conjunction of fs.
+func And(fs ...Fact) Fact { return logic.And(fs...) }
+
+// Or returns the disjunction of fs.
+func Or(fs ...Fact) Fact { return logic.Or(fs...) }
+
+// Implies returns p → q.
+func Implies(p, q Fact) Fact { return logic.Implies(p, q) }
+
+// Iff returns p ↔ q.
+func Iff(p, q Fact) Fact { return logic.Iff(p, q) }
+
+// Sometime lifts φ to the run-based fact "φ holds at some point of the
+// current run".
+func Sometime(f Fact) Fact { return logic.Sometime(f) }
+
+// Always lifts φ to the run-based fact "φ holds at every point of the
+// current run".
+func Always(f Fact) Fact { return logic.Always(f) }
+
+// IsRunBased reports whether f is a fact about runs in sys.
+func IsRunBased(sys *System, f Fact) bool { return logic.IsRunBased(sys, f) }
+
+// IsPastBased reports whether f is past-based in sys (Lemma 4.3(b)'s
+// sufficient condition for local-state independence).
+func IsPastBased(sys *System, f Fact) bool { return logic.IsPastBased(sys, f) }
+
+// RunsSatisfying returns the event of runs satisfying the (run-based) fact.
+func RunsSatisfying(sys *System, f Fact) *RunSet { return logic.RunsSatisfying(sys, f) }

@@ -1,0 +1,102 @@
+package pak
+
+import (
+	"math/big"
+
+	"pak/internal/adversary"
+	"pak/internal/encode"
+	"pak/internal/paper"
+	"pak/internal/randsys"
+)
+
+// The paper's concrete systems, re-exported.
+
+// FSVariant selects the firing-squad variant.
+type FSVariant = paper.FSVariant
+
+const (
+	// FSOriginal is Example 1's FS protocol.
+	FSOriginal = paper.FSOriginal
+	// FSImproved is the Section 8 refinement (never fire on 'No').
+	FSImproved = paper.FSImproved
+)
+
+// Figure1 builds the paper's Figure 1 mixed-action counterexample system.
+func Figure1() (*System, error) { return paper.Figure1() }
+
+// That builds the pps T-hat(p, ε) of Figure 2 / Theorem 5.2 (requires
+// 0 < ε < p < 1).
+func That(p, eps *big.Rat) (*System, error) { return paper.That(p, eps) }
+
+// FiringSquad unfolds Example 1's relaxed firing squad with the given
+// per-message loss probability (the paper uses 1/10) and variant.
+func FiringSquad(loss *big.Rat, variant FSVariant) (*System, error) {
+	return paper.FiringSquad(loss, variant)
+}
+
+// FiringSquadModel returns Example 1's joint protocol without unfolding,
+// for direct simulation.
+func FiringSquadModel(loss *big.Rat, variant FSVariant) (Model, error) {
+	return paper.FiringSquadModel(loss, variant)
+}
+
+// Adversary handling (paper Section 2's treatment of nondeterminism),
+// re-exported.
+type (
+	// Choice is one nondeterministic decision.
+	Choice = adversary.Choice
+	// Assignment fixes every choice: a complete adversary.
+	Assignment = adversary.Assignment
+	// AdversarySpace enumerates nondeterministic choices.
+	AdversarySpace = adversary.Space
+	// AdversaryInstance is one resolved adversary with its pps.
+	AdversaryInstance = adversary.Instance
+	// ConstraintRange is the min/max envelope of a constraint over a
+	// family of adversaries.
+	ConstraintRange = adversary.ConstraintRange
+)
+
+// NewSpace validates and returns an adversary choice space.
+func NewSpace(choices ...Choice) (*AdversarySpace, error) {
+	return adversary.NewSpace(choices...)
+}
+
+// Resolve builds one pps per complete adversary assignment.
+func Resolve(space *AdversarySpace, build func(Assignment) (*System, error)) ([]AdversaryInstance, error) {
+	return adversary.Resolve(space, build)
+}
+
+// ConstraintEnvelope evaluates µ(φ@α | α) over a family of adversaries.
+func ConstraintEnvelope(instances []AdversaryInstance, f Fact, agent, action string) (ConstraintRange, error) {
+	return adversary.ConstraintEnvelope(instances, f, agent, action)
+}
+
+// Serialization, re-exported.
+
+// MarshalSystem renders sys as JSON.
+func MarshalSystem(sys *System) ([]byte, error) { return encode.Marshal(sys) }
+
+// UnmarshalSystem parses system JSON and rebuilds the validated System.
+func UnmarshalSystem(data []byte) (*System, error) { return encode.Unmarshal(data) }
+
+// ParseFact parses a fact expression document (see internal/encode for the
+// operator list).
+func ParseFact(data []byte) (Fact, error) { return encode.ParseFact(data) }
+
+// Random system generation for testing and benchmarking, re-exported.
+
+// RandConfig parameterizes random system generation.
+type RandConfig = randsys.Config
+
+// RandDefault returns a moderate random-system configuration.
+func RandDefault(seed int64) RandConfig { return randsys.Default(seed) }
+
+// RandSystem generates a random system with a designated proper action
+// (randsys.DesignatedAction) for agent "a0".
+func RandSystem(cfg RandConfig) (*System, error) { return randsys.Generate(cfg) }
+
+// RandPastFact returns a random past-based fact over sys.
+func RandPastFact(sys *System, seed int64) Fact { return randsys.PastFact(sys, seed) }
+
+// RandRunFact returns a random run-based (generally not past-based) fact.
+func RandRunFact(sys *System, seed int64) Fact { return randsys.RunFact(sys, seed) }

@@ -1,0 +1,55 @@
+package pak
+
+import (
+	"math/big"
+
+	"pak/internal/scenarios"
+)
+
+// Ready-made scenario protocols beyond the paper's Example 1, re-exported
+// from internal/scenarios: the relaxed mutual exclusion and bounded
+// randomized consensus workloads the paper's introduction motivates.
+
+// Scenario action names.
+const (
+	// ActEnter is the mutual-exclusion critical-section entry action.
+	ActEnter = scenarios.ActEnter
+	// ActRequest is the mutual-exclusion request action.
+	ActRequest = scenarios.ActRequest
+	// ActDecide0 and ActDecide1 are the consensus decision actions.
+	ActDecide0 = scenarios.ActDecide0
+	ActDecide1 = scenarios.ActDecide1
+)
+
+// MutexModel returns the relaxed mutual-exclusion protocol (two agents,
+// an arbiter over a lossy channel, timeout entry on silence).
+func MutexModel(loss *big.Rat) (Model, error) { return scenarios.Mutex(loss) }
+
+// MutexSystem unfolds the mutual-exclusion scenario into its pps.
+func MutexSystem(loss *big.Rat) (*System, error) { return scenarios.MutexSystem(loss) }
+
+// MutexExclusion returns the exclusion condition for the given agent
+// ("i" or "j"): the other agent is not entering the critical section now.
+func MutexExclusion(agent string) Fact { return scenarios.MutexExclusionFact(agent) }
+
+// ConsensusModel returns the bounded randomized binary consensus protocol
+// (uniform bits, one lossy exchange, AND decision rule).
+func ConsensusModel(loss *big.Rat) (Model, error) { return scenarios.Consensus(loss) }
+
+// ConsensusSystem unfolds the consensus scenario into its pps.
+func ConsensusSystem(loss *big.Rat) (*System, error) { return scenarios.ConsensusSystem(loss) }
+
+// Agreement returns the fact that both agents are currently deciding the
+// same value.
+func Agreement() Fact { return scenarios.AgreementFact() }
+
+// NFiringSquadSystem unfolds the n-agent generalization of Example 1's
+// firing squad (a general plus n−1 soldiers over the lossy channel).
+// improved selects the Section 8-style refinement.
+func NFiringSquadSystem(n int, loss *big.Rat, improved bool) (*System, error) {
+	return scenarios.NFiringSquadSystem(n, loss, improved)
+}
+
+// AllFire returns the fact that every agent of an n-agent squad is
+// currently firing.
+func AllFire(n int) Fact { return scenarios.AllFireFact(n) }
