@@ -292,3 +292,78 @@ func BenchmarkPerfNSquadScale(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkE15QueryBatch regenerates the query-layer invariants (batch =
+// serial, exact, order-preserving) per iteration.
+func BenchmarkE15QueryBatch(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		requireMatch(b, experiments.E15QueryBatch)
+	}
+}
+
+// --- Query-batch benchmarks (serial vs parallel) ---
+//
+// The workload is the full theorem-check battery over the 4-agent firing
+// squad (every agent × every analysis kind and theorem, 40 queries).
+// Each iteration starts from a cold engine so the measured time includes
+// the shared-cache build; the parallel variants must beat the serial
+// loop on multicore hardware, which TestQueryBatchSpeedup (in
+// pak_test.go) asserts outright.
+
+// benchQueryWorkload builds the benchmark system and workload once.
+func benchQueryWorkload(b *testing.B) (*pak.System, []pak.Query) {
+	b.Helper()
+	sys, err := pak.NFiringSquadSystem(4, pak.Rat(1, 10), false)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return sys, experiments.TheoremWorkload(4)
+}
+
+// BenchmarkQueryBatchSerialLoop is the baseline the tentpole moves away
+// from: one Eval call after another on a shared engine.
+func BenchmarkQueryBatchSerialLoop(b *testing.B) {
+	sys, qs := benchQueryWorkload(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e := pak.NewEngine(sys)
+		for _, q := range qs {
+			if _, err := pak.Eval(e, q); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkQueryBatchParallel measures EvalBatch at increasing
+// parallelism over a shared cold engine.
+func BenchmarkQueryBatchParallel(b *testing.B) {
+	sys, qs := benchQueryWorkload(b)
+	for _, par := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("parallel=%d", par), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				e := pak.NewEngine(sys)
+				if _, err := pak.EvalBatch(e, qs, pak.WithParallelism(par)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkQueryBatchColdEngines measures the WithCache(false) mode:
+// every query on its own engine, no shared memoization. The gap to the
+// shared-cache runs is the value of the engine's memoization.
+func BenchmarkQueryBatchColdEngines(b *testing.B) {
+	sys, qs := benchQueryWorkload(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e := pak.NewEngine(sys)
+		if _, err := pak.EvalBatch(e, qs, pak.WithParallelism(8), pak.WithCache(false)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -84,19 +84,34 @@ func analyze(w io.Writer, sys *pak.System, variant pak.FSVariant, samples int, s
 	e := pak.NewEngine(sys)
 	both := pak.And(pak.Does("Alice", "fire"), pak.Does("Bob", "fire"))
 	fireB := pak.Does("Bob", "fire")
+	spec := ratutil.MustParse("95/100")
 
-	mu, err := e.ConstraintProb(both, "Alice", "fire")
+	// The whole analysis as one parallel batch over the shared engine.
+	const (
+		idxConstraint = iota
+		idxExpectation
+		idxThreshold
+		idxBeliefFireB
+		idxBeliefBoth
+		idxThmExpectation
+		idxThmPAK
+	)
+	results, err := pak.EvalBatch(e, []pak.Query{
+		pak.ConstraintQuery{Fact: both, Agent: "Alice", Action: "fire", Threshold: spec},
+		pak.ExpectationQuery{Fact: both, Agent: "Alice", Action: "fire"},
+		pak.ThresholdQuery{Fact: both, Agent: "Alice", Action: "fire", P: spec},
+		pak.BeliefQuery{Fact: fireB, Agent: "Alice", Action: "fire"},
+		pak.BeliefQuery{Fact: both, Agent: "Alice", Action: "fire"},
+		pak.TheoremQuery{Theorem: pak.TheoremExpectation, Fact: both, Agent: "Alice", Action: "fire"},
+		pak.TheoremQuery{Theorem: pak.TheoremPAK, Fact: both, Agent: "Alice", Action: "fire",
+			Eps: ratutil.MustParse("1/10")},
+	})
 	if err != nil {
 		return err
 	}
-	exp, err := e.ExpectedBelief(both, "Alice", "fire")
-	if err != nil {
-		return err
-	}
-	tm, err := e.ThresholdMeasure(both, "Alice", "fire", ratutil.MustParse("95/100"))
-	if err != nil {
-		return err
-	}
+	mu := results[idxConstraint].Value
+	exp := results[idxExpectation].Value
+	tm := results[idxThreshold].Value
 
 	summary := report.NewTable("quantity", "exact", "decimal")
 	summary.AddRow("variant", variant.String(), "")
@@ -105,14 +120,12 @@ func analyze(w io.Writer, sys *pak.System, variant pak.FSVariant, samples int, s
 	summary.AddRow("µ(φ_both @ fire_A | fire_A)", mu.RatString(), mu.FloatString(6))
 	summary.AddRow("E[β_A(φ_both) @ fire_A | fire_A]", exp.RatString(), exp.FloatString(6))
 	summary.AddRow("µ(β ≥ 0.95 | fire_A)", tm.RatString(), tm.FloatString(6))
-	summary.AddRow("spec µ ≥ 0.95 satisfied", fmt.Sprintf("%v", ratutil.Geq(mu, ratutil.MustParse("95/100"))), "")
+	summary.AddRow("spec µ ≥ 0.95 satisfied", fmt.Sprintf("%v", results[idxConstraint].Passed()), "")
 	fmt.Fprint(w, report.Section("Relaxed firing squad (Example 1)", summary.Render()))
 
 	// Alice's information states and her beliefs about Bob's firing.
-	byState, err := e.BeliefByActionState(fireB, "Alice", "fire")
-	if err != nil {
-		return err
-	}
+	byState := results[idxBeliefFireB].Values
+	byStateBoth := results[idxBeliefBoth].Values
 	states := make([]string, 0, len(byState))
 	for s := range byState {
 		states = append(states, s)
@@ -120,26 +133,15 @@ func analyze(w io.Writer, sys *pak.System, variant pak.FSVariant, samples int, s
 	sort.Strings(states)
 	beliefs := report.NewTable("Alice's state when firing", "β_A(fire_B)", "β_A(φ_both)")
 	for _, s := range states {
-		bBoth, berr := e.Belief(both, "Alice", s)
-		if berr != nil {
-			return berr
-		}
-		beliefs.AddRow(s, byState[s].RatString(), bBoth.RatString())
+		beliefs.AddRow(s, byState[s].RatString(), byStateBoth[s].RatString())
 	}
 	fmt.Fprint(w, report.Section("Alice's beliefs when firing", beliefs.Render()))
 
 	// Theorem checks.
-	expRep, err := e.CheckExpectation(both, "Alice", "fire")
-	if err != nil {
-		return err
-	}
-	pakRep, err := e.CheckPAK(both, "Alice", "fire", ratutil.MustParse("1/10"), ratutil.MustParse("1/10"))
-	if err != nil {
-		return err
-	}
+	expRep := results[idxThmExpectation]
 	thms := report.NewTable("result", "verdict")
-	thms.AddRow("Theorem 6.2: µ(φ@α|α) = E[β(φ)@α|α]", holdsStr(expRep.Holds() && expRep.Equal()))
-	thms.AddRow("Corollary 7.2 (ε=1/10): µ(β ≥ 9/10 | α) ≥ 9/10", holdsStr(pakRep.Holds()))
+	thms.AddRow("Theorem 6.2: µ(φ@α|α) = E[β(φ)@α|α]", holdsStr(expRep.Passed() && expRep.Flags["equal"]))
+	thms.AddRow("Corollary 7.2 (ε=1/10): µ(β ≥ 9/10 | α) ≥ 9/10", holdsStr(results[idxThmPAK].Passed()))
 	fmt.Fprint(w, report.Section("Theorem checks", thms.Render()))
 
 	if samples > 0 {
@@ -182,12 +184,13 @@ func sweepLoss(w io.Writer) error {
 			if err != nil {
 				return err
 			}
-			e := pak.NewEngine(sys)
 			both := pak.And(pak.Does("Alice", "fire"), pak.Does("Bob", "fire"))
-			mu, err := e.ConstraintProb(both, "Alice", "fire")
+			res, err := pak.Eval(pak.NewEngine(sys),
+				pak.ConstraintQuery{Fact: both, Agent: "Alice", Action: "fire"})
 			if err != nil {
 				return err
 			}
+			mu := res.Value
 			values[variant] = mu.FloatString(6)
 			if variant == pak.FSOriginal {
 				muOrig = mu.RatString()

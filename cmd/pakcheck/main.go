@@ -1,15 +1,19 @@
-// Command pakcheck analyzes a probabilistic constraint µ(φ@α | α) ≥ p on
-// a purely probabilistic system stored as JSON, reporting the exact
-// constraint probability, the agent's beliefs when acting, local-state
-// independence, and the verdicts of the paper's theorems.
+// Command pakcheck analyzes probabilistic constraints µ(φ@α | α) ≥ p on
+// a purely probabilistic system stored as JSON. Every analysis is built
+// as a list of query values (see pak's unified query API) and routed
+// through one parallel EvalBatch call; the tables below are rendered
+// from the uniform results.
 //
 // Usage:
 //
-//	pakcheck -system sys.json -query query.json [-dump] [-eps 1/10] [-delta 1/10]
+//	pakcheck -system sys.json -query query.json [-dump] [-eps 1/10] [-delta 1/10] [-parallel N]
+//	pakcheck -system sys.json -batch queries.json [-parallel N]
 //
 // The system document is produced by pak.MarshalSystem (see
-// internal/encode for the schema); the query document names the agent,
-// the proper action, the condition fact and an optional threshold:
+// internal/encode for the schema). With -query, the document names the
+// agent, the proper action, the condition fact and an optional
+// threshold, and pakcheck expands it into the full constraint analysis
+// (the paper's complete battery):
 //
 //	{
 //	  "agent": "Alice",
@@ -19,6 +23,10 @@
 //	    {"op":"does","agent":"Alice","action":"fire"},
 //	    {"op":"does","agent":"Bob","action":"fire"}]}
 //	}
+//
+// With -batch, the document is a JSON array of explicit query specs
+// (pak.ParseQueryBatch's schema, produced by pak.MarshalQueryBatch), and
+// pakcheck evaluates exactly those, reporting one row per query.
 package main
 
 import (
@@ -43,15 +51,17 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("pakcheck", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	systemPath := fs.String("system", "", "path to the system JSON document (required)")
-	queryPath := fs.String("query", "", "path to the query JSON document (required)")
+	queryPath := fs.String("query", "", "path to a constraint query document (agent/action/fact/threshold)")
+	batchPath := fs.String("batch", "", "path to a query-batch JSON array (explicit query specs)")
 	dump := fs.Bool("dump", false, "print the system tree before the analysis")
 	epsStr := fs.String("eps", "1/10", "ε for the PAK analysis (Theorem 7.1)")
 	deltaStr := fs.String("delta", "1/10", "δ for the PAK analysis (Theorem 7.1)")
+	parallel := fs.Int("parallel", 0, "EvalBatch workers (0 = GOMAXPROCS)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
-	if *systemPath == "" || *queryPath == "" {
-		fmt.Fprintln(stderr, "pakcheck: -system and -query are required")
+	if *systemPath == "" || (*queryPath == "") == (*batchPath == "") {
+		fmt.Fprintln(stderr, "pakcheck: -system and exactly one of -query / -batch are required")
 		fs.Usage()
 		return 2
 	}
@@ -62,16 +72,6 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 	sys, err := pak.UnmarshalSystem(sysData)
-	if err != nil {
-		fmt.Fprintf(stderr, "pakcheck: %v\n", err)
-		return 1
-	}
-	queryData, err := os.ReadFile(*queryPath)
-	if err != nil {
-		fmt.Fprintf(stderr, "pakcheck: %v\n", err)
-		return 1
-	}
-	query, fact, err := encode.ParseQuery(queryData)
 	if err != nil {
 		fmt.Fprintf(stderr, "pakcheck: %v\n", err)
 		return 1
@@ -90,106 +90,183 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if *dump {
 		fmt.Fprint(stdout, report.Section("System", sys.Dump()))
 	}
-	if err := analyze(stdout, sys, query, fact, eps, delta); err != nil {
+
+	opts := []pak.EvalOption{}
+	if *parallel > 0 {
+		opts = append(opts, pak.WithParallelism(*parallel))
+	}
+
+	if *batchPath != "" {
+		data, readErr := os.ReadFile(*batchPath)
+		if readErr != nil {
+			fmt.Fprintf(stderr, "pakcheck: %v\n", readErr)
+			return 1
+		}
+		qs, parseErr := pak.ParseQueryBatch(data)
+		if parseErr != nil {
+			fmt.Fprintf(stderr, "pakcheck: %v\n", parseErr)
+			return 1
+		}
+		if err := analyzeBatch(stdout, sys, qs, opts); err != nil {
+			fmt.Fprintf(stderr, "pakcheck: %v\n", err)
+			return 1
+		}
+		return 0
+	}
+
+	queryData, err := os.ReadFile(*queryPath)
+	if err != nil {
+		fmt.Fprintf(stderr, "pakcheck: %v\n", err)
+		return 1
+	}
+	query, fact, err := encode.ParseQuery(queryData)
+	if err != nil {
+		fmt.Fprintf(stderr, "pakcheck: %v\n", err)
+		return 1
+	}
+	if err := analyze(stdout, sys, query, fact, eps, delta, opts); err != nil {
 		fmt.Fprintf(stderr, "pakcheck: %v\n", err)
 		return 1
 	}
 	return 0
 }
 
-func analyze(w io.Writer, sys *pak.System, q encode.Query, fact pak.Fact, eps, delta *big.Rat) error {
+// analyze expands the single constraint document into the complete
+// analysis battery, evaluates it as one batch, and renders the report.
+func analyze(w io.Writer, sys *pak.System, q encode.Query, fact pak.Fact, eps, delta *big.Rat, opts []pak.EvalOption) error {
 	e := pak.NewEngine(sys)
+	if err := e.IsProper(q.Agent, q.Action); err != nil {
+		return err
+	}
+	var p *big.Rat
+	if q.Threshold != "" {
+		parsed, perr := ratutil.Parse(q.Threshold)
+		if perr != nil {
+			return fmt.Errorf("threshold: %w", perr)
+		}
+		p = parsed
+	}
+
+	// The battery, as one batch. Positions are fixed; the optional
+	// threshold block is appended at the end.
+	const (
+		idxConstraint = iota
+		idxExpectation
+		idxBeliefs
+		idxIndependence
+		idxThmExpectation
+		idxThmPAK
+		idxThmKoP
+		idxThreshold // present only when p != nil
+		idxThmSufficiency
+	)
+	qs := []pak.Query{
+		pak.ConstraintQuery{Fact: fact, Agent: q.Agent, Action: q.Action, Threshold: p},
+		pak.ExpectationQuery{Fact: fact, Agent: q.Agent, Action: q.Action},
+		pak.BeliefQuery{Fact: fact, Agent: q.Agent, Action: q.Action},
+		pak.IndependenceQuery{Fact: fact, Agent: q.Agent, Action: q.Action},
+		pak.TheoremQuery{Theorem: pak.TheoremExpectation, Fact: fact, Agent: q.Agent, Action: q.Action},
+		pak.TheoremQuery{Theorem: pak.TheoremPAK, Fact: fact, Agent: q.Agent, Action: q.Action, Delta: delta, Eps: eps},
+		pak.TheoremQuery{Theorem: pak.TheoremKoP, Fact: fact, Agent: q.Agent, Action: q.Action},
+	}
+	if p != nil {
+		qs = append(qs,
+			pak.ThresholdQuery{Fact: fact, Agent: q.Agent, Action: q.Action, P: p},
+			pak.TheoremQuery{Theorem: pak.TheoremSufficiency, Fact: fact, Agent: q.Agent, Action: q.Action, P: p},
+		)
+	}
+	results, err := pak.EvalBatch(e, qs, opts...)
+	if err != nil {
+		return err
+	}
+
+	mu := results[idxConstraint].Value
+	exp := results[idxExpectation].Value
+	beliefs := results[idxBeliefs].Values
+	indep := results[idxIndependence].Flags
 
 	summary := report.NewTable("quantity", "value")
 	summary.AddRow("system", sys.String())
 	summary.AddRow("agent / action", fmt.Sprintf("%s / %s", q.Agent, q.Action))
 	summary.AddRow("condition φ", fact.String())
-
-	if err := e.IsProper(q.Agent, q.Action); err != nil {
-		return err
-	}
-
-	mu, err := e.ConstraintProb(fact, q.Agent, q.Action)
-	if err != nil {
-		return err
-	}
-	exp, err := e.ExpectedBelief(fact, q.Agent, q.Action)
-	if err != nil {
-		return err
-	}
 	min, max, err := e.BeliefRangeAtAction(fact, q.Agent, q.Action)
-	if err != nil {
-		return err
-	}
-	witness, err := e.ExplainIndependence(fact, q.Agent, q.Action)
 	if err != nil {
 		return err
 	}
 	summary.AddRow("µ(φ@α | α)", fmt.Sprintf("%s ≈ %s", mu.RatString(), mu.FloatString(6)))
 	summary.AddRow("E[β(φ)@α | α]", fmt.Sprintf("%s ≈ %s", exp.RatString(), exp.FloatString(6)))
 	summary.AddRow("β range when acting", fmt.Sprintf("[%s, %s]", min.RatString(), max.RatString()))
-	summary.AddRow("local-state independent", witness.Independent)
-	summary.AddRow("  α deterministic (L4.3a)", witness.Deterministic)
-	summary.AddRow("  φ past-based (L4.3b)", witness.PastBased)
+	summary.AddRow("local-state independent", indep["independent"])
+	summary.AddRow("  α deterministic (L4.3a)", indep["deterministic"])
+	summary.AddRow("  φ past-based (L4.3b)", indep["pastBased"])
 	fmt.Fprint(w, report.Section("Constraint analysis", summary.Render()))
 
-	byState, err := e.BeliefByActionState(fact, q.Agent, q.Action)
-	if err != nil {
-		return err
-	}
-	states := make([]string, 0, len(byState))
-	for s := range byState {
+	states := make([]string, 0, len(beliefs))
+	for s := range beliefs {
 		states = append(states, s)
 	}
 	sort.Strings(states)
-	beliefs := report.NewTable("acting local state", "β(φ)")
+	byState := report.NewTable("acting local state", "β(φ)")
 	for _, s := range states {
-		beliefs.AddRow(s, fmt.Sprintf("%s ≈ %s", byState[s].RatString(), byState[s].FloatString(6)))
+		byState.AddRow(s, fmt.Sprintf("%s ≈ %s", beliefs[s].RatString(), beliefs[s].FloatString(6)))
 	}
-	fmt.Fprint(w, report.Section("Beliefs when acting (by information state)", beliefs.Render()))
+	fmt.Fprint(w, report.Section("Beliefs when acting (by information state)", byState.Render()))
 
-	if q.Threshold != "" {
-		p, perr := ratutil.Parse(q.Threshold)
-		if perr != nil {
-			return fmt.Errorf("threshold: %w", perr)
-		}
-		tm, terr := e.ThresholdMeasure(fact, q.Agent, q.Action, p)
-		if terr != nil {
-			return terr
-		}
+	if p != nil {
+		tm := results[idxThreshold].Value
 		th := report.NewTable("quantity", "value")
 		th.AddRow("threshold p", p.RatString())
-		th.AddRow("constraint satisfied (µ ≥ p)", ratutil.Geq(mu, p))
+		th.AddRow("constraint satisfied (µ ≥ p)", results[idxConstraint].Passed())
 		th.AddRow("µ(β ≥ p | α)", fmt.Sprintf("%s ≈ %s", tm.RatString(), tm.FloatString(6)))
-		suff, serr := e.CheckSufficiency(fact, q.Agent, q.Action, p)
-		if serr != nil {
-			return serr
-		}
-		th.AddRow("always meets threshold", suff.PremiseMet)
+		th.AddRow("always meets threshold", results[idxThmSufficiency].Flags["premiseMet"])
 		fmt.Fprint(w, report.Section("Threshold analysis", th.Render()))
 	}
 
-	pakRep, err := e.CheckPAK(fact, q.Agent, q.Action, delta, eps)
-	if err != nil {
-		return err
-	}
-	expRep, err := e.CheckExpectation(fact, q.Agent, q.Action)
-	if err != nil {
-		return err
-	}
-	kop, err := e.CheckKoPLimit(fact, q.Agent, q.Action)
-	if err != nil {
-		return err
-	}
+	expRep := results[idxThmExpectation]
+	pakRep := results[idxThmPAK]
+	kop := results[idxThmKoP]
 	thms := report.NewTable("result", "verdict", "detail")
-	thms.AddRow("Theorem 6.2 (expectation)", verdict(expRep.Holds()),
-		fmt.Sprintf("µ=%s E[β]=%s", expRep.ConstraintProb.RatString(), expRep.ExpectedBelief.RatString()))
-	thms.AddRow("Theorem 7.1 (PAK)", verdict(pakRep.Holds()),
-		fmt.Sprintf("µ(β≥%s|α)=%s bound=%s", pakRep.BeliefLevel.RatString(),
-			pakRep.BeliefMeasure.RatString(), pakRep.Bound.RatString()))
-	thms.AddRow("Lemma F.1 (KoP limit)", verdict(kop.Holds()),
-		fmt.Sprintf("minβ=%s knows=%v", kop.MinBelief.RatString(), kop.AlwaysKnows))
+	thms.AddRow("Theorem 6.2 (expectation)", verdict(expRep.Passed()),
+		fmt.Sprintf("µ=%s E[β]=%s", expRep.Value.RatString(), expRep.Values["expectedBelief"].RatString()))
+	thms.AddRow("Theorem 7.1 (PAK)", verdict(pakRep.Passed()),
+		fmt.Sprintf("µ(β≥%s|α)=%s bound=%s", pakRep.Values["beliefLevel"].RatString(),
+			pakRep.Values["beliefMeasure"].RatString(), pakRep.Values["bound"].RatString()))
+	thms.AddRow("Lemma F.1 (KoP limit)", verdict(kop.Passed()),
+		fmt.Sprintf("minβ=%s knows=%v", kop.Values["minBelief"].RatString(), kop.Flags["alwaysKnows"]))
 	fmt.Fprint(w, report.Section("Theorem checks", thms.Render()))
+	return nil
+}
+
+// analyzeBatch evaluates an explicit query list and renders one row per
+// query: kind, headline value, verdict and detail.
+func analyzeBatch(w io.Writer, sys *pak.System, qs []pak.Query, opts []pak.EvalOption) error {
+	results, err := pak.EvalBatch(pak.NewEngine(sys), qs, opts...)
+	tb := report.NewTable("#", "kind", "value", "verdict", "detail")
+	for i, res := range results {
+		if res.Err != nil {
+			tb.AddRow(i, res.Kind, "-", "ERROR", res.Err.Error())
+			continue
+		}
+		value := "-"
+		if res.Value != nil {
+			value = fmt.Sprintf("%s ≈ %s", res.Value.RatString(), res.Value.FloatString(6))
+		}
+		verdictStr := string(res.Verdict)
+		if verdictStr == "" {
+			verdictStr = "-"
+		}
+		detail := res.Detail
+		if res.Witness != nil {
+			detail += fmt.Sprintf(" witness=%d runs", res.Witness.Count())
+		}
+		tb.AddRow(i, res.Kind, value, verdictStr, detail)
+	}
+	fmt.Fprint(w, report.Section(fmt.Sprintf("Query batch (%d queries over %s)", len(qs), sys), tb.Render()))
+	// Render after the table so partial results still print alongside the
+	// error exit.
+	if err != nil {
+		return err
+	}
 	return nil
 }
 

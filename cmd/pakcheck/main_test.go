@@ -130,3 +130,74 @@ func TestRunBadThreshold(t *testing.T) {
 		t.Fatalf("exit code = %d, want 1", code)
 	}
 }
+
+// writeBatchFixture materializes a query-batch document (the new -batch
+// mode) for the firing-squad system via the facade's serializer.
+func writeBatchFixture(t *testing.T) (systemPath, batchPath string) {
+	t.Helper()
+	systemPath, _ = writeFixtures(t)
+	both := pak.And(pak.Does("Alice", "fire"), pak.Does("Bob", "fire"))
+	qs := []pak.Query{
+		pak.ConstraintQuery{Fact: both, Agent: "Alice", Action: "fire", Threshold: pak.Rat(95, 100)},
+		pak.ExpectationQuery{Fact: both, Agent: "Alice", Action: "fire"},
+		pak.TheoremQuery{Theorem: pak.TheoremExpectation, Fact: both, Agent: "Alice", Action: "fire"},
+		pak.IndependenceQuery{Fact: both, Agent: "Alice", Action: "fire"},
+	}
+	doc, err := pak.MarshalQueryBatch(qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batchPath = filepath.Join(t.TempDir(), "batch.json")
+	if err := os.WriteFile(batchPath, doc, 0o600); err != nil {
+		t.Fatal(err)
+	}
+	return systemPath, batchPath
+}
+
+func TestRunBatchMode(t *testing.T) {
+	systemPath, batchPath := writeBatchFixture(t)
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-system", systemPath, "-batch", batchPath, "-parallel", "4"}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit code %d, stderr: %s", code, stderr.String())
+	}
+	out := stdout.String()
+	for _, want := range []string{
+		"Query batch (4 queries",
+		"99/100", // µ through the batch path
+		"pass",
+		"constraint",
+		"expectation",
+		"independence",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("batch output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunBatchModeErrors(t *testing.T) {
+	systemPath, batchPath := writeBatchFixture(t)
+	dir := t.TempDir()
+	badJSON := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(badJSON, []byte("{{{"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	tests := []struct {
+		name string
+		args []string
+		code int
+	}{
+		{"both query and batch", []string{"-system", systemPath, "-query", batchPath, "-batch", batchPath}, 2},
+		{"missing batch file", []string{"-system", systemPath, "-batch", "/does/not/exist"}, 1},
+		{"bad batch json", []string{"-system", systemPath, "-batch", badJSON}, 1},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			var stdout, stderr bytes.Buffer
+			if code := run(tt.args, &stdout, &stderr); code != tt.code {
+				t.Fatalf("exit code = %d, want %d (stderr: %s)", code, tt.code, stderr.String())
+			}
+		})
+	}
+}

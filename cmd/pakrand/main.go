@@ -1,9 +1,10 @@
 // Command pakrand generates a random purely probabilistic system (with a
-// guaranteed proper action for agent "a0") as a JSON document, plus a
-// matching analysis query, so the pipeline
+// guaranteed proper action for agent "a0") as a JSON document, plus
+// matching analysis queries, so the pipeline
 //
-//	pakrand -out sys.json -query query.json
+//	pakrand -out sys.json -query query.json -batch batch.json
 //	pakcheck -system sys.json -query query.json
+//	pakcheck -system sys.json -batch batch.json
 //
 // can be exercised end to end on arbitrary systems. Generation is
 // deterministic given -seed.
@@ -12,9 +13,15 @@
 //
 //	pakrand [-seed 1] [-agents 2] [-depth 4] [-branch 3] [-obs 2]
 //	        [-action-time 2] [-det] [-out sys.json] [-query query.json]
+//	        [-batch batch.json] [-selfcheck]
 //
-// With no -out the system document is written to stdout and the query is
-// omitted.
+// With no -out the system document is written to stdout and the query
+// files are omitted. -query writes the single-constraint document the
+// classic pakcheck mode consumes; -batch writes a full query-batch spec
+// (constraint, expectation, independence and every theorem) serialized
+// through the unified query API. -selfcheck immediately evaluates that
+// batch on the generated system through EvalBatch and reports pass/fail,
+// making pakrand a one-shot property tester.
 package main
 
 import (
@@ -25,6 +32,7 @@ import (
 
 	"pak"
 	"pak/internal/randsys"
+	"pak/internal/ratutil"
 )
 
 func main() {
@@ -42,7 +50,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	actionTime := fs.Int("action-time", 2, "time at which agent a0 may perform the designated action")
 	det := fs.Bool("det", false, "make the designated action deterministic (Lemma 4.3(a) mode)")
 	out := fs.String("out", "", "write the system document to this file (default: stdout)")
-	queryPath := fs.String("query", "", "also write a matching pakcheck query to this file")
+	queryPath := fs.String("query", "", "also write a matching single-constraint pakcheck query to this file")
+	batchPath := fs.String("batch", "", "also write a matching query-batch spec to this file")
+	selfcheck := fs.Bool("selfcheck", false, "evaluate the generated batch on the generated system via EvalBatch")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -97,5 +107,68 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		fmt.Fprintf(stdout, "wrote query to %s\n", *queryPath)
 	}
+
+	if *batchPath != "" || *selfcheck {
+		batch := analysisBatch(*agents)
+		if *batchPath != "" {
+			doc, merr := pak.MarshalQueryBatch(batch)
+			if merr != nil {
+				fmt.Fprintf(stderr, "pakrand: %v\n", merr)
+				return 1
+			}
+			if err := os.WriteFile(*batchPath, doc, 0o600); err != nil {
+				fmt.Fprintf(stderr, "pakrand: %v\n", err)
+				return 1
+			}
+			fmt.Fprintf(stdout, "wrote %d-query batch to %s\n", len(batch), *batchPath)
+		}
+		if *selfcheck {
+			results, evalErr := pak.EvalSystem(sys, batch)
+			if evalErr != nil {
+				fmt.Fprintf(stderr, "pakrand: selfcheck: %v\n", evalErr)
+				return 1
+			}
+			failed := 0
+			for _, res := range results {
+				// Only theorem and independence verdicts must pass
+				// universally: the constraint's own µ ≥ p judgement
+				// legitimately varies with the random system.
+				if res.Kind != pak.KindTheorem && res.Kind != pak.KindIndependence {
+					continue
+				}
+				if res.Verdict == pak.VerdictFail {
+					failed++
+					fmt.Fprintf(stdout, "selfcheck FAIL: %s (%s)\n", res.Query, res.Detail)
+				}
+			}
+			if failed > 0 {
+				// A failed theorem verdict on a hypotheses-met system would
+				// be a counterexample to the paper.
+				fmt.Fprintf(stderr, "pakrand: selfcheck: %d verdict(s) failed\n", failed)
+				return 1
+			}
+			fmt.Fprintf(stdout, "selfcheck: %d queries evaluated, all verdicts pass\n", len(results))
+		}
+	}
 	return 0
+}
+
+// analysisBatch builds the standard property-test battery for a
+// generated system: the designated action of a0 against a past-based
+// observation of the last agent, through every analysis kind.
+func analysisBatch(agents int) []pak.Query {
+	fact := pak.LocalContains(fmt.Sprintf("a%d", agents-1), "o0")
+	half := ratutil.R(1, 2)
+	return []pak.Query{
+		pak.ConstraintQuery{Fact: fact, Agent: "a0", Action: randsys.DesignatedAction, Threshold: half},
+		pak.ExpectationQuery{Fact: fact, Agent: "a0", Action: randsys.DesignatedAction},
+		pak.BeliefQuery{Fact: fact, Agent: "a0", Action: randsys.DesignatedAction},
+		pak.ThresholdQuery{Fact: fact, Agent: "a0", Action: randsys.DesignatedAction, P: half},
+		pak.IndependenceQuery{Fact: fact, Agent: "a0", Action: randsys.DesignatedAction},
+		pak.TheoremQuery{Theorem: pak.TheoremSufficiency, Fact: fact, Agent: "a0", Action: randsys.DesignatedAction, P: half},
+		pak.TheoremQuery{Theorem: pak.TheoremNecessity, Fact: fact, Agent: "a0", Action: randsys.DesignatedAction, P: half},
+		pak.TheoremQuery{Theorem: pak.TheoremExpectation, Fact: fact, Agent: "a0", Action: randsys.DesignatedAction},
+		pak.TheoremQuery{Theorem: pak.TheoremPAK, Fact: fact, Agent: "a0", Action: randsys.DesignatedAction, Eps: ratutil.R(1, 4)},
+		pak.TheoremQuery{Theorem: pak.TheoremKoP, Fact: fact, Agent: "a0", Action: randsys.DesignatedAction},
+	}
 }

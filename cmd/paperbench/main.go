@@ -1,6 +1,8 @@
 // Command paperbench regenerates every numeric claim, figure and theorem
 // of the paper and prints a paper-vs-measured comparison table per
-// experiment (E1..E10). It exits non-zero if any value fails to match.
+// experiment (E1..E15, including the unified query layer's batch
+// invariants, which route the full theorem workload through EvalBatch).
+// It exits non-zero if any value fails to match.
 //
 // Usage:
 //
@@ -94,6 +96,7 @@ func runAll(systems, samples int, seed int64) ([]experiments.Result, error) {
 		experiments.E12Martingale,
 		experiments.E13LossSensitivity,
 		experiments.E14NSquad,
+		experiments.E15QueryBatch,
 	}
 	out := make([]experiments.Result, 0, len(builders))
 	for _, b := range builders {

@@ -25,7 +25,16 @@
 //   - beliefs: NewEngine answers β_i(φ), µ(φ@α|α), expected beliefs,
 //     threshold measures, knowledge queries, local-state independence, and
 //     machine-checks every theorem in the paper (CheckExpectation,
-//     CheckPAK, ...);
+//     CheckPAK, ...); the engine is concurrency-safe and memoizes shared
+//     work (performance indexes, fact extensions, beliefs, independence
+//     scans) so overlapping queries get cheaper;
+//   - queries: the unified query API reifies every analysis as a value
+//     (BeliefQuery, ConstraintQuery, ExpectationQuery, ThresholdQuery,
+//     TheoremQuery, IndependenceQuery, TimelineQuery), evaluated through
+//     Eval or the parallel EvalBatch (WithParallelism, WithCache) to a
+//     uniform QueryResult of exact rationals, verdicts and witness
+//     run-sets; query lists serialize to JSON (MarshalQueryBatch,
+//     ParseQueryBatch) in the format the CLI tools exchange;
 //   - the paper's own systems: Figure1, That (Figure 2 / Theorem 5.2), and
 //     the relaxed firing squad FiringSquad of Example 1 with its Section 8
 //     improvement;

@@ -37,21 +37,18 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		engine := pak.NewEngine(sys)
 		phi := pak.LocalContains("j", "bit=1")
 
-		mu, err := engine.ConstraintProb(phi, "i", "alpha")
+		// The three quantities of the sweep row, as one batch.
+		results, err := pak.EvalSystem(sys, []pak.Query{
+			pak.ConstraintQuery{Fact: phi, Agent: "i", Action: "alpha"},
+			pak.ThresholdQuery{Fact: phi, Agent: "i", Action: "alpha", P: p},
+			pak.BeliefQuery{Fact: phi, Agent: "i", Local: "i1:recv=m"},
+		})
 		if err != nil {
 			log.Fatal(err)
 		}
-		tm, err := engine.ThresholdMeasure(phi, "i", "alpha", p)
-		if err != nil {
-			log.Fatal(err)
-		}
-		bel, err := engine.Belief(phi, "i", "i1:recv=m")
-		if err != nil {
-			log.Fatal(err)
-		}
+		mu, tm, bel := results[0].Value, results[1].Value, results[2].Value
 		fmt.Printf("%-10s %-10s %-22s %-16s %-12s\n",
 			tc.p, tc.eps, bel.RatString(), tm.RatString(), mu.RatString())
 	}
@@ -68,15 +65,19 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	engine := pak.NewEngine(sys)
-	rep, err := engine.CheckPAKSquare(pak.LocalContains("j", "bit=1"), "i", "alpha", pak.Rat(1, 10))
+	rep, err := pak.Eval(pak.NewEngine(sys), pak.TheoremQuery{
+		Theorem: pak.TheoremPAK,
+		Fact:    pak.LocalContains("j", "bit=1"),
+		Agent:   "i", Action: "alpha",
+		Eps: pak.Rat(1, 10), // Corollary 7.2 form: δ = ε
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("  µ = %s ≥ 1−ε'² = %s (premise): %v\n",
-		rep.ConstraintProb.RatString(), rep.Threshold.RatString(), rep.PremiseMet())
+		rep.Value.RatString(), rep.Values["threshold"].RatString(), rep.Flags["premiseMet"])
 	fmt.Printf("  µ(β ≥ %s | α) = %s ≥ %s (conclusion): %v\n",
-		rep.BeliefLevel.RatString(), rep.BeliefMeasure.RatString(),
-		rep.Bound.RatString(), rep.ConclusionMet())
-	fmt.Printf("  PAK holds: %v\n", rep.Holds())
+		rep.Values["beliefLevel"].RatString(), rep.Values["beliefMeasure"].RatString(),
+		rep.Values["bound"].RatString(), rep.Flags["conclusionMet"])
+	fmt.Printf("  PAK holds: %v\n", rep.Passed())
 }

@@ -1,0 +1,3 @@
+module pak
+
+go 1.24

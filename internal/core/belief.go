@@ -19,24 +19,42 @@ import (
 
 // FactAtLocal returns the event φ@ℓ: the runs in which agent's local state
 // equals local at some point (necessarily a unique time) and φ holds at
-// that point.
+// that point. Extensions are memoized per (φ, agent, ℓ); the returned set
+// is a private copy the caller may mutate.
 func (e *Engine) FactAtLocal(f logic.Fact, agent, local string) (*runset.Set, error) {
 	a, err := e.agent(agent)
 	if err != nil {
 		return nil, err
 	}
-	occ, tm, ok := e.sys.Occurs(a, local)
-	if !ok {
-		return nil, fmt.Errorf("%w: agent %q state %q", ErrUnknownLocal, agent, local)
+	ev, err := e.factAtLocal(f, a, agent, local)
+	if err != nil {
+		return nil, err
 	}
-	ev := e.sys.NewSet()
-	occ.ForEach(func(r int) bool {
-		if f.Holds(e.sys, pps.RunID(r), tm) {
-			ev.Add(r)
+	return ev.Clone(), nil
+}
+
+// factAtLocal is FactAtLocal without the defensive clone; the returned
+// set may be the shared cache entry and must not be mutated.
+func (e *Engine) factAtLocal(f logic.Fact, a pps.AgentID, agent, local string) (*runset.Set, error) {
+	compute := func() (*runset.Set, error) {
+		occ, tm, ok := e.sys.Occurs(a, local)
+		if !ok {
+			return nil, fmt.Errorf("%w: agent %q state %q", ErrUnknownLocal, agent, local)
 		}
-		return true
-	})
-	return ev, nil
+		ev := e.sys.NewSet()
+		occ.ForEach(func(r int) bool {
+			if f.Holds(e.sys, pps.RunID(r), tm) {
+				ev.Add(r)
+			}
+			return true
+		})
+		return ev, nil
+	}
+	fk, cacheable := factKey(f)
+	if !cacheable {
+		return compute()
+	}
+	return e.events.get(eventKey{fact: fk, agent: a, kind: eventAtLocal, at: local}, compute)
 }
 
 // Belief returns β_i(φ) at local state ℓ: µ_T(φ@ℓ | ℓ) (Definition 3.1).
@@ -47,21 +65,34 @@ func (e *Engine) Belief(f logic.Fact, agent, local string) (*big.Rat, error) {
 	if err != nil {
 		return nil, err
 	}
-	occ, _, ok := e.sys.Occurs(a, local)
-	if !ok {
-		return nil, fmt.Errorf("%w: agent %q state %q", ErrUnknownLocal, agent, local)
+	compute := func() (*big.Rat, error) {
+		occ, _, ok := e.sys.Occurs(a, local)
+		if !ok {
+			return nil, fmt.Errorf("%w: agent %q state %q", ErrUnknownLocal, agent, local)
+		}
+		ev, evErr := e.factAtLocal(f, a, agent, local)
+		if evErr != nil {
+			return nil, evErr
+		}
+		cond, condOK := e.sys.Cond(ev, occ)
+		if !condOK {
+			// Unreachable in a valid pps: every occurring local state has
+			// positive measure because all runs do.
+			return nil, fmt.Errorf("%w: state %q has zero measure", ErrUnknownLocal, local)
+		}
+		return cond, nil
 	}
-	ev, err := e.FactAtLocal(f, agent, local)
+	var bel *big.Rat
+	if fk, cacheable := factKey(f); cacheable {
+		bel, err = e.beliefs.get(beliefKey{fact: fk, agent: a, local: local}, compute)
+	} else {
+		bel, err = compute()
+	}
 	if err != nil {
 		return nil, err
 	}
-	cond, condOK := e.sys.Cond(ev, occ)
-	if !condOK {
-		// Unreachable in a valid pps: every occurring local state has
-		// positive measure because all runs do.
-		return nil, fmt.Errorf("%w: state %q has zero measure", ErrUnknownLocal, local)
-	}
-	return cond, nil
+	// Return a private copy: callers are free to mutate their result.
+	return ratutil.Copy(bel), nil
 }
 
 // BeliefAtPoint returns β_i(φ) at the point (r, t): the belief at the
@@ -106,18 +137,35 @@ func (e *Engine) Knows(f logic.Fact, agent string, r pps.RunID, t int) (bool, er
 // the proper action α, and φ holds at the (unique) point of performance
 // (Section 3.1).
 func (e *Engine) FactAtAction(f logic.Fact, agent, action string) (*runset.Set, error) {
-	_, info, err := e.properFor(agent, action)
+	ev, err := e.factAtAction(f, agent, action)
 	if err != nil {
 		return nil, err
 	}
-	ev := e.sys.NewSet()
-	info.set.ForEach(func(r int) bool {
-		if f.Holds(e.sys, pps.RunID(r), info.times[r]) {
-			ev.Add(r)
-		}
-		return true
-	})
-	return ev, nil
+	return ev.Clone(), nil
+}
+
+// factAtAction is FactAtAction without the defensive clone; the returned
+// set may be the shared cache entry and must not be mutated.
+func (e *Engine) factAtAction(f logic.Fact, agent, action string) (*runset.Set, error) {
+	a, info, err := e.properFor(agent, action)
+	if err != nil {
+		return nil, err
+	}
+	compute := func() (*runset.Set, error) {
+		ev := e.sys.NewSet()
+		info.set.ForEach(func(r int) bool {
+			if f.Holds(e.sys, pps.RunID(r), info.times[r]) {
+				ev.Add(r)
+			}
+			return true
+		})
+		return ev, nil
+	}
+	fk, cacheable := factKey(f)
+	if !cacheable {
+		return compute()
+	}
+	return e.events.get(eventKey{fact: fk, agent: a, kind: eventAtAction, at: action}, compute)
 }
 
 // ConstraintProb returns µ_T(φ@α | α), the left-hand side of a
@@ -127,7 +175,7 @@ func (e *Engine) ConstraintProb(f logic.Fact, agent, action string) (*big.Rat, e
 	if err != nil {
 		return nil, err
 	}
-	ev, err := e.FactAtAction(f, agent, action)
+	ev, err := e.factAtAction(f, agent, action)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,62 @@
+package core
+
+import "sync"
+
+// memo is a concurrency-safe, singleflight-style memoization table. The
+// map lock is held only while locating (or installing) an entry, never
+// while computing it, so distinct keys are computed in parallel while
+// concurrent requests for the same key block on a single computation and
+// then share its result. Entries are never evicted: the engine's caches
+// are bounded by the number of distinct (fact, agent, action/local)
+// tuples a workload touches, which is small relative to the cost of the
+// exact rational arithmetic they save.
+type memo[K comparable, V any] struct {
+	mu sync.Mutex
+	m  map[K]*memoEntry[V]
+}
+
+// memoEntry holds one computed value. once guarantees the compute
+// function runs at most once per key; panicked re-raises a compute panic
+// on every subsequent access so a poisoned entry is never silently read
+// as a zero value.
+type memoEntry[V any] struct {
+	once     sync.Once
+	val      V
+	err      error
+	panicked any
+}
+
+// get returns the memoized value for key, running compute at most once
+// per key across all goroutines.
+func (c *memo[K, V]) get(key K, compute func() (V, error)) (V, error) {
+	c.mu.Lock()
+	if c.m == nil {
+		c.m = make(map[K]*memoEntry[V])
+	}
+	e, ok := c.m[key]
+	if !ok {
+		e = new(memoEntry[V])
+		c.m[key] = e
+	}
+	c.mu.Unlock()
+	e.once.Do(func() {
+		defer func() {
+			if r := recover(); r != nil {
+				e.panicked = r
+				panic(r)
+			}
+		}()
+		e.val, e.err = compute()
+	})
+	if e.panicked != nil {
+		panic(e.panicked)
+	}
+	return e.val, e.err
+}
+
+// len reports the number of cached entries (for tests and stats).
+func (c *memo[K, V]) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.m)
+}

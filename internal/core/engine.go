@@ -16,9 +16,10 @@ package core
 import (
 	"errors"
 	"fmt"
+	"math/big"
 	"sort"
-	"sync"
 
+	"pak/internal/logic"
 	"pak/internal/pps"
 	"pak/internal/runset"
 )
@@ -61,18 +62,78 @@ type perfInfo struct {
 	locals []string
 }
 
+// eventKind distinguishes the two cached fact-extension shapes.
+type eventKind byte
+
+const (
+	// eventAtLocal caches φ@ℓ extensions; at is the local state.
+	eventAtLocal eventKind = 'l'
+	// eventAtAction caches φ@α extensions; at is the action name.
+	eventAtAction eventKind = 'a'
+	// eventIndep caches Definition 4.1 reports; at is the action name.
+	eventIndep eventKind = 'i'
+)
+
+// eventKey identifies a cached fact extension. Facts are keyed by the
+// unambiguous rendering of their structural spec (logic.FactSpec.Key),
+// under which distinct facts never render equal. Facts containing
+// opaque predicates (logic.Atom, LocalPred, EnvPred) have no structural
+// spec and are never cached (see factKey).
+type eventKey struct {
+	fact  string
+	agent pps.AgentID
+	kind  eventKind
+	at    string
+}
+
+// beliefKey identifies a cached belief β_i(φ) at a local state.
+type beliefKey struct {
+	fact  string
+	agent pps.AgentID
+	local string
+}
+
 // Engine answers belief and constraint queries over a single pps. It is
-// safe for concurrent use; query results are cached per (agent, action).
+// safe for concurrent use, and it memoizes shared work behind
+// singleflight-style caches: the per-(agent, action) performance index,
+// the fact extensions φ@ℓ and φ@α, and the beliefs β_i(φ) at each local
+// state. Concurrent batches (see internal/query.EvalBatch) therefore
+// share work instead of recomputing it, and distinct cache keys are
+// computed in parallel rather than serialized behind one lock.
 type Engine struct {
 	sys *pps.System
 
-	mu   sync.Mutex
-	perf map[actKey]*perfInfo
+	perf    memo[actKey, *perfInfo]
+	events  memo[eventKey, *runset.Set]
+	beliefs memo[beliefKey, *big.Rat]
+	indeps  memo[eventKey, IndependenceReport]
 }
 
 // New returns an Engine bound to sys.
 func New(sys *pps.System) *Engine {
-	return &Engine{sys: sys, perf: make(map[actKey]*perfInfo)}
+	return &Engine{sys: sys}
+}
+
+// CacheStats reports the engine's memoization sizes: the number of cached
+// (agent, action) performance indexes, fact extensions, and beliefs. It
+// is exposed for tests, diagnostics and capacity planning.
+func (e *Engine) CacheStats() (perf, events, beliefs int) {
+	return e.perf.len(), e.events.len(), e.beliefs.len()
+}
+
+// factKey renders a fact's cache identity from its structural spec,
+// whose Key rendering quotes every parameter so distinct facts never
+// collide (display strings can: does_a(b(c) is both Does("a(b","c")
+// and Does("a","b(c")). cacheable is false for facts containing opaque
+// Go predicates (logic.Atom, LocalPred, EnvPred): they have no
+// structural spec and a display name need not identify its closure, so
+// those facts are recomputed on every query instead.
+func factKey(f logic.Fact) (key string, cacheable bool) {
+	spec, ok := logic.SpecOf(f)
+	if !ok {
+		return "", false
+	}
+	return spec.Key(), true
 }
 
 // System returns the underlying system.
@@ -87,42 +148,39 @@ func (e *Engine) agent(name string) (pps.AgentID, error) {
 	return id, nil
 }
 
-// perfFor computes (and caches) where agent a performs action.
+// perfFor computes (and caches) where agent a performs action. The cached
+// perfInfo is shared and must be treated as immutable by callers.
 func (e *Engine) perfFor(a pps.AgentID, action string) *perfInfo {
-	key := actKey{a, action}
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	if info, ok := e.perf[key]; ok {
-		return info
-	}
-	info := &perfInfo{
-		times: make([]int, e.sys.NumRuns()),
-		set:   e.sys.NewSet(),
-	}
-	localSeen := make(map[string]bool)
-	for r := 0; r < e.sys.NumRuns(); r++ {
-		run := pps.RunID(r)
-		info.times[r] = -1
-		for t := 0; t < e.sys.RunLen(run); t++ {
-			act, ok := e.sys.Action(run, t, a)
-			if !ok || act != action {
-				continue
-			}
-			if info.times[r] >= 0 {
-				info.multiple = true
-				continue
-			}
-			info.times[r] = t
-			info.set.Add(r)
-			localSeen[e.sys.Local(run, t, a)] = true
+	info, _ := e.perf.get(actKey{a, action}, func() (*perfInfo, error) {
+		info := &perfInfo{
+			times: make([]int, e.sys.NumRuns()),
+			set:   e.sys.NewSet(),
 		}
-	}
-	info.locals = make([]string, 0, len(localSeen))
-	for l := range localSeen {
-		info.locals = append(info.locals, l)
-	}
-	sort.Strings(info.locals)
-	e.perf[key] = info
+		localSeen := make(map[string]bool)
+		for r := 0; r < e.sys.NumRuns(); r++ {
+			run := pps.RunID(r)
+			info.times[r] = -1
+			for t := 0; t < e.sys.RunLen(run); t++ {
+				act, ok := e.sys.Action(run, t, a)
+				if !ok || act != action {
+					continue
+				}
+				if info.times[r] >= 0 {
+					info.multiple = true
+					continue
+				}
+				info.times[r] = t
+				info.set.Add(r)
+				localSeen[e.sys.Local(run, t, a)] = true
+			}
+		}
+		info.locals = make([]string, 0, len(localSeen))
+		for l := range localSeen {
+			info.locals = append(info.locals, l)
+		}
+		sort.Strings(info.locals)
+		return info, nil
+	})
 	return info
 }
 

@@ -58,12 +58,34 @@ func (r IndependenceReport) String() string {
 // LocalStateIndependence checks Definition 4.1 for the given fact, agent
 // and proper action, examining every local state of the agent that occurs
 // in the system. (States at which α is never performed satisfy the
-// equation trivially, both sides being 0, but are checked anyway.)
+// equation trivially, both sides being 0, but are checked anyway.) The
+// scan touches every local state, so it is the costliest shared step of
+// the theorem checkers; reports are memoized per (φ, agent, α) and the
+// returned copy is safe to retain.
 func (e *Engine) LocalStateIndependence(f logic.Fact, agent, action string) (IndependenceReport, error) {
 	a, _, err := e.properFor(agent, action)
 	if err != nil {
 		return IndependenceReport{}, err
 	}
+	var report IndependenceReport
+	if fk, cacheable := factKey(f); cacheable {
+		report, err = e.indeps.get(eventKey{fact: fk, agent: a, kind: eventIndep, at: action}, func() (IndependenceReport, error) {
+			return e.localStateIndependence(f, a, action)
+		})
+	} else {
+		report, err = e.localStateIndependence(f, a, action)
+	}
+	if err != nil {
+		return IndependenceReport{}, err
+	}
+	// Hand out a copy of the violations slice so callers may append or
+	// sort without corrupting the cache.
+	report.Violations = append([]IndependenceViolation(nil), report.Violations...)
+	return report, nil
+}
+
+// localStateIndependence performs the actual Definition 4.1 scan.
+func (e *Engine) localStateIndependence(f logic.Fact, a pps.AgentID, action string) (IndependenceReport, error) {
 	report := IndependenceReport{Independent: true}
 	for _, local := range e.sys.LocalStates(a) {
 		occ, tm, ok := e.sys.Occurs(a, local)

@@ -141,6 +141,9 @@ type factDoc struct {
 //	{"op":"envIs","env":E}
 //	{"op":"timeIs","time":T}
 //	{"op":"not","arg":F} / {"op":"sometime","arg":F} / {"op":"always","arg":F}
+//	{"op":"once","arg":F} / {"op":"soFar","arg":F}
+//	{"op":"eventually","arg":F} / {"op":"henceforth","arg":F}
+//	{"op":"atTime","time":T,"arg":F}
 //	{"op":"and","args":[F...]} / {"op":"or","args":[F...]}
 //	{"op":"implies","args":[P,Q]} / {"op":"iff","args":[P,Q]}
 //	{"op":"believes","agent":A,"p":"9/10","arg":F}  (B_A^p(F))
@@ -223,6 +226,36 @@ func ParseFact(data []byte) (logic.Fact, error) {
 			return nil, err
 		}
 		return logic.Always(f), nil
+	case "once":
+		f, err := parseArg()
+		if err != nil {
+			return nil, err
+		}
+		return logic.Once(f), nil
+	case "soFar":
+		f, err := parseArg()
+		if err != nil {
+			return nil, err
+		}
+		return logic.SoFar(f), nil
+	case "eventually":
+		f, err := parseArg()
+		if err != nil {
+			return nil, err
+		}
+		return logic.Eventually(f), nil
+	case "henceforth":
+		f, err := parseArg()
+		if err != nil {
+			return nil, err
+		}
+		return logic.Henceforth(f), nil
+	case "atTime":
+		f, err := parseArg()
+		if err != nil {
+			return nil, err
+		}
+		return logic.AtTime(doc.Time, f), nil
 	case "and":
 		fs, err := parseArgs(-1)
 		if err != nil {
@@ -304,4 +337,66 @@ func ParseQuery(data []byte) (Query, logic.Fact, error) {
 		return Query{}, nil, err
 	}
 	return q, f, nil
+}
+
+// ErrOpaqueFact indicates a fact that cannot be serialized because it
+// (or a subfact) is an opaque Go predicate (logic.Atom, LocalPred,
+// EnvPred).
+var ErrOpaqueFact = errors.New("encode: fact contains an opaque predicate and cannot be serialized")
+
+// specToDoc converts a structural fact spec to its JSON document form.
+func specToDoc(s logic.FactSpec) (factDoc, error) {
+	doc := factDoc{
+		Op:     s.Op,
+		Agent:  s.Agent,
+		Action: s.Action,
+		Local:  s.Local,
+		Substr: s.Substr,
+		Env:    s.Env,
+		Time:   s.Time,
+		P:      s.P,
+	}
+	if s.Arg != nil {
+		argDoc, err := specToDoc(*s.Arg)
+		if err != nil {
+			return factDoc{}, err
+		}
+		raw, err := json.Marshal(argDoc)
+		if err != nil {
+			return factDoc{}, fmt.Errorf("encode.MarshalFact: %w", err)
+		}
+		doc.Arg = raw
+	}
+	for _, arg := range s.Args {
+		argDoc, err := specToDoc(arg)
+		if err != nil {
+			return factDoc{}, err
+		}
+		raw, err := json.Marshal(argDoc)
+		if err != nil {
+			return factDoc{}, fmt.Errorf("encode.MarshalFact: %w", err)
+		}
+		doc.Args = append(doc.Args, raw)
+	}
+	return doc, nil
+}
+
+// MarshalFact renders a fact as a JSON expression document, the inverse
+// of ParseFact. Facts built from the structural combinators (everything
+// except logic.Atom, LocalPred and EnvPred) serialize; opaque predicates
+// return ErrOpaqueFact.
+func MarshalFact(f logic.Fact) ([]byte, error) {
+	spec, ok := logic.SpecOf(f)
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrOpaqueFact, f)
+	}
+	doc, err := specToDoc(spec)
+	if err != nil {
+		return nil, err
+	}
+	out, err := json.Marshal(doc)
+	if err != nil {
+		return nil, fmt.Errorf("encode.MarshalFact: %w", err)
+	}
+	return out, nil
 }

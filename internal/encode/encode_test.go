@@ -5,6 +5,8 @@ import (
 	"testing"
 
 	"pak/internal/core"
+	"pak/internal/epistemic"
+	"pak/internal/logic"
 	"pak/internal/paper"
 	"pak/internal/pps"
 	"pak/internal/ratutil"
@@ -210,6 +212,73 @@ func TestParseFactEpistemic(t *testing.T) {
 	for _, in := range invalid {
 		if _, err := ParseFact([]byte(in)); !errors.Is(err, ErrBadFact) {
 			t.Errorf("ParseFact(%s) err = %v, want ErrBadFact", in, err)
+		}
+	}
+}
+
+// TestFactMarshalRoundTrip marshals every structural fact constructor,
+// parses the document back, and requires the re-marshalled bytes and the
+// rendered fact to be identical.
+func TestFactMarshalRoundTrip(t *testing.T) {
+	facts := []logic.Fact{
+		logic.True(),
+		logic.False(),
+		logic.Does("a", "x"),
+		logic.Performed("a", "x"),
+		logic.LocalIs("a", "l0"),
+		logic.LocalContains("a", "o1"),
+		logic.EnvIs("e"),
+		logic.TimeIs(2),
+		logic.Not(logic.Does("a", "x")),
+		logic.And(logic.Does("a", "x"), logic.EnvIs("e")),
+		logic.Or(logic.Does("a", "x"), logic.Does("b", "y")),
+		logic.Implies(logic.Does("a", "x"), logic.EnvIs("e")),
+		logic.Iff(logic.Does("a", "x"), logic.EnvIs("e")),
+		logic.Sometime(logic.Does("a", "x")),
+		logic.Always(logic.EnvIs("e")),
+		logic.Once(logic.Does("a", "x")),
+		logic.SoFar(logic.EnvIs("e")),
+		logic.Eventually(logic.Does("a", "x")),
+		logic.Henceforth(logic.EnvIs("e")),
+		logic.AtTime(1, logic.Does("a", "x")),
+		epistemic.Believes("a", ratutil.R(9, 10), logic.Does("b", "y")),
+		epistemic.Knows("a", logic.EnvIs("e")),
+		epistemic.MutualBelief([]string{"a", "b"}, ratutil.R(1, 2), logic.EnvIs("e"), 2),
+	}
+	for i, f := range facts {
+		data, err := MarshalFact(f)
+		if err != nil {
+			t.Fatalf("fact %d (%s): marshal: %v", i, f, err)
+		}
+		back, err := ParseFact(data)
+		if err != nil {
+			t.Fatalf("fact %d (%s): parse: %v", i, f, err)
+		}
+		if back.String() != f.String() {
+			t.Errorf("fact %d: round-trip rendered %q, want %q", i, back.String(), f.String())
+		}
+		again, err := MarshalFact(back)
+		if err != nil {
+			t.Fatalf("fact %d (%s): re-marshal: %v", i, f, err)
+		}
+		if string(again) != string(data) {
+			t.Errorf("fact %d (%s): document drift:\n%s\nvs\n%s", i, f, data, again)
+		}
+	}
+}
+
+// TestMarshalFactOpaque pins the opaque-predicate refusal.
+func TestMarshalFactOpaque(t *testing.T) {
+	opaque := []logic.Fact{
+		logic.Atom("a", func(*pps.System, pps.RunID, int) bool { return true }),
+		logic.LocalPred("a", "p", func(string) bool { return true }),
+		logic.EnvPred("p", func(string) bool { return true }),
+		logic.And(logic.True(), logic.EnvPred("p", func(string) bool { return true })),
+		epistemic.Knows("a", logic.Atom("a", func(*pps.System, pps.RunID, int) bool { return true })),
+	}
+	for i, f := range opaque {
+		if _, err := MarshalFact(f); !errors.Is(err, ErrOpaqueFact) {
+			t.Errorf("fact %d (%s): err = %v, want ErrOpaqueFact", i, f, err)
 		}
 	}
 }

@@ -158,3 +158,22 @@ func MutualBelief(agents []string, p *big.Rat, f logic.Fact, k int) logic.Fact {
 func BeliefDegree(sys *pps.System, agent string, f logic.Fact, r pps.RunID, t int) *big.Rat {
 	return beliefAt(sys, mustAgent(sys, agent), f, r, t)
 }
+
+// Spec reports the structural form of B_i^p(φ) for serialization
+// (see logic.Speccer and the internal/encode JSON schema).
+func (b believesFact) Spec() (logic.FactSpec, bool) {
+	s, ok := logic.SpecOf(b.f)
+	if !ok {
+		return logic.FactSpec{}, false
+	}
+	return logic.FactSpec{Op: "believes", Agent: b.agent, P: b.p.RatString(), Arg: &s}, true
+}
+
+// Spec reports the structural form of K_i(φ) for serialization.
+func (k knowsFact) Spec() (logic.FactSpec, bool) {
+	s, ok := logic.SpecOf(k.f)
+	if !ok {
+		return logic.FactSpec{}, false
+	}
+	return logic.FactSpec{Op: "knows", Agent: k.agent, Arg: &s}, true
+}

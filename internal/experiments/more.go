@@ -389,6 +389,7 @@ func All() ([]Result, error) {
 		E12Martingale,
 		E13LossSensitivity,
 		E14NSquad,
+		E15QueryBatch,
 	}
 	out := make([]Result, 0, len(builders))
 	for _, b := range builders {

@@ -1,0 +1,155 @@
+package experiments
+
+import (
+	"fmt"
+
+	"pak/internal/core"
+	"pak/internal/query"
+	"pak/internal/ratutil"
+	"pak/internal/scenarios"
+)
+
+// E15QueryBatch validates the unified query layer end to end: the full
+// theorem-check workload over the 4-agent firing squad is evaluated
+// three ways — serial Eval loop, parallel EvalBatch over a shared
+// engine, and parallel EvalBatch with per-query cold engines — and every
+// result must agree exactly (Rat.Cmp == 0). It also re-derives Example
+// 1's headline constraint through the query layer (n = 2 degenerates to
+// the paper's 99/100) and round-trips the whole workload through the
+// JSON spec format before evaluating it.
+func E15QueryBatch() (Result, error) {
+	res := Result{
+		ID:     "E15",
+		Title:  "unified query layer: batch = serial, exact and order-preserving",
+		Source: "Sections 3-7 via the query API (derived)",
+	}
+	loss := ratutil.R(1, 10)
+
+	// The n = 2 squad degenerates to Example 1: the query layer must
+	// reproduce the paper's 99/100 headline.
+	sys2, err := scenarios.NFiringSquadSystem(2, loss, false)
+	if err != nil {
+		return Result{}, err
+	}
+	head, err := query.Eval(core.New(sys2), query.ConstraintQuery{
+		Fact:  scenarios.AllFireFact(2),
+		Agent: scenarios.General, Action: scenarios.ActFire,
+	})
+	if err != nil {
+		return Result{}, err
+	}
+	res.addExact("n=2 headline through query layer", "99/100", head.Value)
+
+	// The full workload over the 4-agent squad.
+	sys, err := scenarios.NFiringSquadSystem(4, loss, false)
+	if err != nil {
+		return Result{}, err
+	}
+	qs := TheoremWorkload(4)
+
+	// Round-trip the workload through the JSON spec format first: the
+	// evaluated queries are the parsed ones.
+	doc, err := query.MarshalBatch(qs)
+	if err != nil {
+		return Result{}, err
+	}
+	parsed, err := query.ParseBatch(doc)
+	if err != nil {
+		return Result{}, err
+	}
+	res.addBool("workload round-trips through JSON",
+		fmt.Sprintf("%d queries", len(qs)), len(parsed) == len(qs), true)
+
+	serialEngine := core.New(sys)
+	serial := make([]query.Result, len(parsed))
+	for i, q := range parsed {
+		r, evalErr := query.Eval(serialEngine, q)
+		if evalErr != nil {
+			return Result{}, evalErr
+		}
+		serial[i] = r
+	}
+	shared, err := query.EvalBatch(core.New(sys), parsed, query.WithParallelism(8))
+	if err != nil {
+		return Result{}, err
+	}
+	cold, err := query.EvalBatch(core.New(sys), parsed, query.WithParallelism(8), query.WithCache(false))
+	if err != nil {
+		return Result{}, err
+	}
+	res.addBool("parallel shared-cache batch = serial", "exact", resultsEqual(serial, shared), true)
+	res.addBool("parallel cold-engine batch = serial", "exact", resultsEqual(serial, cold), true)
+
+	// Every theorem verdict in the workload must pass: a fail would be a
+	// counterexample to the paper.
+	verdicts := 0
+	allPass := true
+	for _, r := range serial {
+		if r.Kind == query.KindTheorem {
+			verdicts++
+			allPass = allPass && r.Passed()
+		}
+	}
+	res.addBool(fmt.Sprintf("all %d theorem verdicts pass", verdicts), "true", allPass, true)
+	return res, nil
+}
+
+// TheoremWorkload is the standard batch used by E15, the benchmarks and
+// the examples: every agent of the n-squad × every analysis kind and
+// theorem, all built from structural (serializable) facts.
+func TheoremWorkload(n int) []query.Query {
+	all := scenarios.AllFireFact(n)
+	agents := make([]string, 0, n)
+	agents = append(agents, scenarios.General)
+	for i := 1; i < n; i++ {
+		agents = append(agents, fmt.Sprintf("s%d", i))
+	}
+	half := ratutil.R(1, 2)
+	var qs []query.Query
+	for _, agent := range agents {
+		qs = append(qs,
+			query.ConstraintQuery{Fact: all, Agent: agent, Action: scenarios.ActFire, Threshold: half},
+			query.ExpectationQuery{Fact: all, Agent: agent, Action: scenarios.ActFire},
+			query.BeliefQuery{Fact: all, Agent: agent, Action: scenarios.ActFire},
+			query.ThresholdQuery{Fact: all, Agent: agent, Action: scenarios.ActFire, P: ratutil.R(9, 10)},
+			query.IndependenceQuery{Fact: all, Agent: agent, Action: scenarios.ActFire},
+			query.TheoremQuery{Theorem: query.TheoremSufficiency, Fact: all, Agent: agent, Action: scenarios.ActFire, P: half},
+			query.TheoremQuery{Theorem: query.TheoremNecessity, Fact: all, Agent: agent, Action: scenarios.ActFire, P: half},
+			query.TheoremQuery{Theorem: query.TheoremExpectation, Fact: all, Agent: agent, Action: scenarios.ActFire},
+			query.TheoremQuery{Theorem: query.TheoremPAK, Fact: all, Agent: agent, Action: scenarios.ActFire, Eps: ratutil.R(1, 4)},
+			query.TheoremQuery{Theorem: query.TheoremKoP, Fact: all, Agent: agent, Action: scenarios.ActFire},
+		)
+	}
+	return qs
+}
+
+// resultsEqual compares two result slices for exact agreement on the
+// fields the batch invariant promises: order, kinds, verdicts, headline
+// values and named values.
+func resultsEqual(a, b []query.Result) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		x, y := a[i], b[i]
+		if x.Kind != y.Kind || x.Verdict != y.Verdict {
+			return false
+		}
+		if (x.Value == nil) != (y.Value == nil) {
+			return false
+		}
+		if x.Value != nil && x.Value.Cmp(y.Value) != 0 {
+			return false
+		}
+		if len(x.Values) != len(y.Values) {
+			return false
+		}
+		for k, xv := range x.Values {
+			yv, ok := y.Values[k]
+			if !ok || xv.Cmp(yv) != 0 {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -113,13 +113,26 @@ func LocalPred(agent, name string, pred func(local string) bool) Fact {
 	return localPredFact{agent, name, pred}
 }
 
+// localContainsFact is the fact "agent i's local state contains substr".
+// Unlike the generic LocalPred it is structural, so it serializes.
+type localContainsFact struct {
+	agent  string
+	substr string
+}
+
+func (f localContainsFact) Holds(sys *pps.System, r pps.RunID, t int) bool {
+	return strings.Contains(sys.Local(r, t, mustAgent(sys, f.agent)), f.substr)
+}
+
+func (f localContainsFact) String() string {
+	return fmt.Sprintf("contains(%q)(local_%s)", f.substr, f.agent)
+}
+
 // LocalContains returns the fact that agent's local state contains substr.
 // It is a convenient way to express facts such as "bit = 1" when local
 // states are structured strings.
 func LocalContains(agent, substr string) Fact {
-	return LocalPred(agent, fmt.Sprintf("contains(%q)", substr), func(l string) bool {
-		return strings.Contains(l, substr)
-	})
+	return localContainsFact{agent, substr}
 }
 
 // envIsFact is the fact "the environment state is e".

@@ -1,0 +1,120 @@
+package query
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"pak/internal/core"
+)
+
+// Eval evaluates one query against the engine. The engine memoizes
+// shared work (performance indexes, fact extensions, beliefs), so
+// consecutive Eval calls over overlapping requests get cheaper; it is
+// safe to call Eval concurrently from multiple goroutines on the same
+// engine.
+//
+// Facts that reference an agent absent from the system panic in the
+// logic layer (a programming error there); Eval converts the panic to
+// an error so one bad query in a batch reports in its own slot instead
+// of killing the process.
+func Eval(e *core.Engine, q Query) (res Result, err error) {
+	if q == nil {
+		return Result{}, fmt.Errorf("query: nil query")
+	}
+	if vErr := q.validate(); vErr != nil {
+		return Result{Kind: q.Kind(), Query: q.String(), Err: vErr}, vErr
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("query: %s: panic: %v", q, r)
+			res = Result{Kind: q.Kind(), Query: q.String(), Err: err}
+		}
+	}()
+	res, err = q.eval(e)
+	if err != nil {
+		return Result{Kind: q.Kind(), Query: q.String(), Err: err}, err
+	}
+	return res, nil
+}
+
+// config collects EvalBatch's functional options.
+type config struct {
+	parallelism int
+	cache       bool
+}
+
+// Option configures EvalBatch.
+type Option func(*config)
+
+// WithParallelism sets the number of worker goroutines evaluating the
+// batch. n ≤ 1 evaluates serially in input order; the default is
+// runtime.GOMAXPROCS(0).
+func WithParallelism(n int) Option {
+	return func(c *config) { c.parallelism = n }
+}
+
+// WithCache controls whether the batch shares the engine's memoization:
+// enabled (the default), queries overlapping in (fact, agent, action)
+// reuse each other's performance indexes, fact extensions and beliefs;
+// disabled, every query is evaluated against a fresh cold engine over
+// the same system. Disabling is chiefly useful for isolating queries and
+// for benchmarking the cache itself.
+func WithCache(enabled bool) Option {
+	return func(c *config) { c.cache = enabled }
+}
+
+// EvalBatch evaluates the queries against the engine, by default in
+// parallel across runtime.GOMAXPROCS(0) workers. The returned slice has
+// one Result per query, in input order — parallelism never reorders or
+// renumbers results, and every result is identical to what a serial Eval
+// loop would produce (the engine computes exact rationals, so there is
+// no accumulation-order effect to worry about). Failed queries carry
+// their error in Result.Err; the joined error aggregates them and is nil
+// when every query succeeded.
+func EvalBatch(e *core.Engine, qs []Query, opts ...Option) ([]Result, error) {
+	cfg := config{parallelism: runtime.GOMAXPROCS(0), cache: true}
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	results := make([]Result, len(qs))
+	errs := make([]error, len(qs))
+
+	evalOne := func(i int) {
+		target := e
+		if !cfg.cache {
+			target = core.New(e.System())
+		}
+		results[i], errs[i] = Eval(target, qs[i])
+	}
+
+	if cfg.parallelism <= 1 || len(qs) <= 1 {
+		for i := range qs {
+			evalOne(i)
+		}
+		return results, errors.Join(errs...)
+	}
+
+	workers := cfg.parallelism
+	if workers > len(qs) {
+		workers = len(qs)
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				evalOne(i)
+			}
+		}()
+	}
+	for i := range qs {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	return results, errors.Join(errs...)
+}

@@ -1,0 +1,230 @@
+package query
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math/big"
+
+	"pak/internal/encode"
+	"pak/internal/ratutil"
+)
+
+// JSON (de)serialization of query specs. A query document is a flat
+// envelope carrying the kind, the request parameters as rational
+// strings, and the condition as a fact-expression document (the schema
+// of encode.ParseFact):
+//
+//	{"kind":"constraint","agent":"Alice","action":"fire",
+//	 "threshold":"95/100",
+//	 "fact":{"op":"and","args":[
+//	   {"op":"does","agent":"Alice","action":"fire"},
+//	   {"op":"does","agent":"Bob","action":"fire"}]}}
+//
+// A batch document is a JSON array of query documents. Queries whose
+// facts are opaque Go predicates (logic.Atom and friends) evaluate but
+// do not serialize; Marshal returns encode.ErrOpaqueFact for them.
+
+// ErrBadQuery indicates a malformed query document.
+var ErrBadQuery = errors.New("query: malformed query document")
+
+// queryDoc is the JSON envelope of a single query.
+type queryDoc struct {
+	Kind    Kind    `json:"kind"`
+	Theorem Theorem `json:"theorem,omitempty"`
+	Agent   string  `json:"agent,omitempty"`
+	Action  string  `json:"action,omitempty"`
+	Local   string  `json:"local,omitempty"`
+	Run     *int    `json:"run,omitempty"`
+	// Threshold doubles as ConstraintQuery.Threshold and ThresholdQuery.P
+	// and TheoremQuery.P — each kind has at most one probability
+	// threshold parameter.
+	Threshold string          `json:"threshold,omitempty"`
+	Delta     string          `json:"delta,omitempty"`
+	Eps       string          `json:"eps,omitempty"`
+	Fact      json.RawMessage `json:"fact,omitempty"`
+}
+
+// ratField renders an optional rational parameter.
+func ratField(p *big.Rat) string {
+	if p == nil {
+		return ""
+	}
+	return p.RatString()
+}
+
+// parseRatField parses an optional rational parameter.
+func parseRatField(name, s string) (*big.Rat, error) {
+	if s == "" {
+		return nil, nil
+	}
+	p, err := ratutil.Parse(s)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %s: %v", ErrBadQuery, name, err)
+	}
+	return p, nil
+}
+
+// docOf converts a query to its JSON envelope, serializing the fact.
+func docOf(q Query) (queryDoc, error) {
+	if err := q.validate(); err != nil {
+		return queryDoc{}, err
+	}
+	switch v := q.(type) {
+	case BeliefQuery:
+		fact, err := encode.MarshalFact(v.Fact)
+		if err != nil {
+			return queryDoc{}, err
+		}
+		return queryDoc{Kind: KindBelief, Agent: v.Agent, Local: v.Local, Action: v.Action, Fact: fact}, nil
+	case ConstraintQuery:
+		fact, err := encode.MarshalFact(v.Fact)
+		if err != nil {
+			return queryDoc{}, err
+		}
+		return queryDoc{Kind: KindConstraint, Agent: v.Agent, Action: v.Action,
+			Threshold: ratField(v.Threshold), Fact: fact}, nil
+	case ExpectationQuery:
+		fact, err := encode.MarshalFact(v.Fact)
+		if err != nil {
+			return queryDoc{}, err
+		}
+		return queryDoc{Kind: KindExpectation, Agent: v.Agent, Action: v.Action, Fact: fact}, nil
+	case ThresholdQuery:
+		fact, err := encode.MarshalFact(v.Fact)
+		if err != nil {
+			return queryDoc{}, err
+		}
+		return queryDoc{Kind: KindThreshold, Agent: v.Agent, Action: v.Action,
+			Threshold: ratField(v.P), Fact: fact}, nil
+	case TheoremQuery:
+		fact, err := encode.MarshalFact(v.Fact)
+		if err != nil {
+			return queryDoc{}, err
+		}
+		return queryDoc{Kind: KindTheorem, Theorem: v.Theorem, Agent: v.Agent, Action: v.Action,
+			Threshold: ratField(v.P), Delta: ratField(v.Delta), Eps: ratField(v.Eps), Fact: fact}, nil
+	case IndependenceQuery:
+		fact, err := encode.MarshalFact(v.Fact)
+		if err != nil {
+			return queryDoc{}, err
+		}
+		return queryDoc{Kind: KindIndependence, Agent: v.Agent, Action: v.Action, Fact: fact}, nil
+	case TimelineQuery:
+		fact, err := encode.MarshalFact(v.Fact)
+		if err != nil {
+			return queryDoc{}, err
+		}
+		run := v.Run
+		return queryDoc{Kind: KindTimeline, Agent: v.Agent, Run: &run, Fact: fact}, nil
+	default:
+		return queryDoc{}, fmt.Errorf("%w: unknown query type %T", ErrBadQuery, q)
+	}
+}
+
+// fromDoc converts a JSON envelope back to a query.
+func fromDoc(doc queryDoc) (Query, error) {
+	if len(doc.Fact) == 0 {
+		return nil, fmt.Errorf("%w: kind %q requires a fact", ErrBadQuery, doc.Kind)
+	}
+	fact, err := encode.ParseFact(doc.Fact)
+	if err != nil {
+		return nil, err
+	}
+	threshold, err := parseRatField("threshold", doc.Threshold)
+	if err != nil {
+		return nil, err
+	}
+	var q Query
+	switch doc.Kind {
+	case KindBelief:
+		q = BeliefQuery{Fact: fact, Agent: doc.Agent, Local: doc.Local, Action: doc.Action}
+	case KindConstraint:
+		q = ConstraintQuery{Fact: fact, Agent: doc.Agent, Action: doc.Action, Threshold: threshold}
+	case KindExpectation:
+		q = ExpectationQuery{Fact: fact, Agent: doc.Agent, Action: doc.Action}
+	case KindThreshold:
+		q = ThresholdQuery{Fact: fact, Agent: doc.Agent, Action: doc.Action, P: threshold}
+	case KindTheorem:
+		delta, derr := parseRatField("delta", doc.Delta)
+		if derr != nil {
+			return nil, derr
+		}
+		eps, eerr := parseRatField("eps", doc.Eps)
+		if eerr != nil {
+			return nil, eerr
+		}
+		q = TheoremQuery{Theorem: doc.Theorem, Fact: fact, Agent: doc.Agent, Action: doc.Action,
+			P: threshold, Delta: delta, Eps: eps}
+	case KindIndependence:
+		q = IndependenceQuery{Fact: fact, Agent: doc.Agent, Action: doc.Action}
+	case KindTimeline:
+		run := 0
+		if doc.Run != nil {
+			run = *doc.Run
+		}
+		q = TimelineQuery{Fact: fact, Agent: doc.Agent, Run: run}
+	default:
+		return nil, fmt.Errorf("%w: unknown kind %q", ErrBadQuery, doc.Kind)
+	}
+	if err := q.validate(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadQuery, err)
+	}
+	return q, nil
+}
+
+// Marshal renders one query as a JSON document.
+func Marshal(q Query) ([]byte, error) {
+	doc, err := docOf(q)
+	if err != nil {
+		return nil, err
+	}
+	out, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("query.Marshal: %w", err)
+	}
+	return out, nil
+}
+
+// Parse parses one query document.
+func Parse(data []byte) (Query, error) {
+	var doc queryDoc
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadQuery, err)
+	}
+	return fromDoc(doc)
+}
+
+// MarshalBatch renders a query list as a JSON array document.
+func MarshalBatch(qs []Query) ([]byte, error) {
+	docs := make([]queryDoc, len(qs))
+	for i, q := range qs {
+		doc, err := docOf(q)
+		if err != nil {
+			return nil, fmt.Errorf("query %d: %w", i, err)
+		}
+		docs[i] = doc
+	}
+	out, err := json.MarshalIndent(docs, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("query.MarshalBatch: %w", err)
+	}
+	return out, nil
+}
+
+// ParseBatch parses a JSON array of query documents.
+func ParseBatch(data []byte) ([]Query, error) {
+	var docs []queryDoc
+	if err := json.Unmarshal(data, &docs); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadQuery, err)
+	}
+	out := make([]Query, len(docs))
+	for i, doc := range docs {
+		q, err := fromDoc(doc)
+		if err != nil {
+			return nil, fmt.Errorf("query %d: %w", i, err)
+		}
+		out[i] = q
+	}
+	return out, nil
+}

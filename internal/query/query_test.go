@@ -1,0 +1,404 @@
+package query
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"testing"
+
+	"pak/internal/core"
+	"pak/internal/encode"
+	"pak/internal/logic"
+	"pak/internal/paper"
+	"pak/internal/pps"
+	"pak/internal/ratutil"
+	"pak/internal/scenarios"
+)
+
+// fsEngine returns an engine over the paper's Example 1 firing squad
+// (loss 1/10, original variant).
+func fsEngine(t testing.TB) *core.Engine {
+	t.Helper()
+	sys, err := paper.FiringSquad(ratutil.R(1, 10), paper.FSOriginal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return core.New(sys)
+}
+
+// bothFire is φ_both: Alice and Bob both fire now.
+func bothFire() logic.Fact {
+	return logic.And(logic.Does("Alice", "fire"), logic.Does("Bob", "fire"))
+}
+
+// allKinds returns one well-formed query of every kind (and every
+// theorem) over the firing squad, all built from structural facts so
+// they serialize.
+func allKinds() []Query {
+	phi := bothFire()
+	return []Query{
+		BeliefQuery{Fact: logic.Does("Bob", "fire"), Agent: "Alice", Action: "fire"},
+		BeliefQuery{Fact: phi, Agent: "Alice", Local: "t2|go=1,sent,recv=Yes"},
+		ConstraintQuery{Fact: phi, Agent: "Alice", Action: "fire", Threshold: ratutil.R(95, 100)},
+		ConstraintQuery{Fact: phi, Agent: "Alice", Action: "fire"},
+		ExpectationQuery{Fact: phi, Agent: "Alice", Action: "fire"},
+		ThresholdQuery{Fact: phi, Agent: "Alice", Action: "fire", P: ratutil.R(95, 100)},
+		TheoremQuery{Theorem: TheoremSufficiency, Fact: phi, Agent: "Alice", Action: "fire", P: ratutil.R(9, 10)},
+		TheoremQuery{Theorem: TheoremNecessity, Fact: phi, Agent: "Alice", Action: "fire", P: ratutil.R(9, 10)},
+		TheoremQuery{Theorem: TheoremExpectation, Fact: phi, Agent: "Alice", Action: "fire"},
+		TheoremQuery{Theorem: TheoremPAK, Fact: phi, Agent: "Alice", Action: "fire",
+			Delta: ratutil.R(1, 10), Eps: ratutil.R(1, 10)},
+		TheoremQuery{Theorem: TheoremPAK, Fact: phi, Agent: "Alice", Action: "fire", Eps: ratutil.R(1, 10)},
+		TheoremQuery{Theorem: TheoremKoP, Fact: phi, Agent: "Alice", Action: "fire"},
+		IndependenceQuery{Fact: phi, Agent: "Alice", Action: "fire"},
+		TimelineQuery{Fact: logic.Performed("Bob", "fire"), Agent: "Alice", Run: 0},
+	}
+}
+
+// TestEvalKnownValues pins the paper's Example 1 numbers through the
+// query layer: µ = 99/100, E[β] = 99/100, µ(β ≥ 0.95 | α) = 991/1000.
+func TestEvalKnownValues(t *testing.T) {
+	e := fsEngine(t)
+	phi := bothFire()
+
+	cons, err := Eval(e, ConstraintQuery{Fact: phi, Agent: "Alice", Action: "fire", Threshold: ratutil.R(95, 100)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := ratutil.R(99, 100); cons.Value.Cmp(want) != 0 {
+		t.Errorf("µ = %s, want %s", cons.Value.RatString(), want.RatString())
+	}
+	if !cons.Passed() {
+		t.Errorf("constraint verdict = %s, want pass", cons.Verdict)
+	}
+	if cons.Witness == nil || cons.Witness.IsEmpty() {
+		t.Error("constraint witness missing")
+	}
+
+	exp, err := Eval(e, ExpectationQuery{Fact: phi, Agent: "Alice", Action: "fire"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exp.Value.Cmp(cons.Value) != 0 {
+		t.Errorf("Theorem 6.2 broken through the query layer: E[β] = %s ≠ µ = %s",
+			exp.Value.RatString(), cons.Value.RatString())
+	}
+
+	th, err := Eval(e, ThresholdQuery{Fact: phi, Agent: "Alice", Action: "fire", P: ratutil.R(95, 100)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := ratutil.R(991, 1000); th.Value.Cmp(want) != 0 {
+		t.Errorf("µ(β ≥ 0.95 | α) = %s, want %s", th.Value.RatString(), want.RatString())
+	}
+
+	bel, err := Eval(e, BeliefQuery{Fact: phi, Agent: "Alice", Action: "fire"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Alice fires in three information states with beliefs {1, 0, 99/100}.
+	if len(bel.Values) != 3 {
+		t.Errorf("belief values = %d entries, want 3", len(bel.Values))
+	}
+	sawZero, sawOne := false, false
+	for _, v := range bel.Values {
+		sawZero = sawZero || v.Sign() == 0
+		sawOne = sawOne || ratutil.IsOne(v)
+	}
+	if !sawZero || !sawOne {
+		t.Errorf("belief values missing extremes {0, 1}: %v", bel.Values)
+	}
+
+	indep, err := Eval(e, IndependenceQuery{Fact: phi, Agent: "Alice", Action: "fire"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !indep.Passed() || !indep.Flags["independent"] {
+		t.Errorf("independence verdict = %s flags = %v, want pass", indep.Verdict, indep.Flags)
+	}
+}
+
+// TestTheoremVerdictsPass checks every theorem holds on the firing squad
+// through the query layer.
+func TestTheoremVerdictsPass(t *testing.T) {
+	e := fsEngine(t)
+	for _, q := range allKinds() {
+		tq, ok := q.(TheoremQuery)
+		if !ok {
+			continue
+		}
+		res, err := Eval(e, tq)
+		if err != nil {
+			t.Fatalf("%s: %v", tq, err)
+		}
+		if !res.Passed() {
+			t.Errorf("%s: verdict = %s, want pass (%s)", tq, res.Verdict, res.Detail)
+		}
+	}
+}
+
+// TestRoundTrip marshals every query kind to JSON, parses it back,
+// re-marshals, and requires (a) byte-identical documents and (b)
+// identical evaluation results on both sides.
+func TestRoundTrip(t *testing.T) {
+	e := fsEngine(t)
+	for i, q := range allKinds() {
+		data, err := Marshal(q)
+		if err != nil {
+			t.Fatalf("query %d (%s): marshal: %v", i, q, err)
+		}
+		back, err := Parse(data)
+		if err != nil {
+			t.Fatalf("query %d (%s): parse: %v", i, q, err)
+		}
+		again, err := Marshal(back)
+		if err != nil {
+			t.Fatalf("query %d (%s): re-marshal: %v", i, q, err)
+		}
+		if string(data) != string(again) {
+			t.Errorf("query %d (%s): round-trip drift:\n%s\nvs\n%s", i, q, data, again)
+		}
+		want, err := Eval(e, q)
+		if err != nil {
+			t.Fatalf("query %d (%s): eval original: %v", i, q, err)
+		}
+		got, err := Eval(e, back)
+		if err != nil {
+			t.Fatalf("query %d (%s): eval round-tripped: %v", i, q, err)
+		}
+		requireSameResult(t, fmt.Sprintf("query %d (%s)", i, q), want, got)
+	}
+}
+
+// TestBatchRoundTrip round-trips the whole list as one batch document.
+func TestBatchRoundTrip(t *testing.T) {
+	qs := allKinds()
+	data, err := MarshalBatch(qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseBatch(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(qs) {
+		t.Fatalf("batch round-trip: %d queries, want %d", len(back), len(qs))
+	}
+	again, err := MarshalBatch(back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != string(again) {
+		t.Error("batch round-trip drift")
+	}
+	// The document must be a plain JSON array.
+	var raw []json.RawMessage
+	if err := json.Unmarshal(data, &raw); err != nil {
+		t.Fatalf("batch document is not a JSON array: %v", err)
+	}
+}
+
+// TestOpaqueFactRefusesToSerialize pins the documented limitation: Atom
+// facts evaluate but do not marshal.
+func TestOpaqueFactRefusesToSerialize(t *testing.T) {
+	e := fsEngine(t)
+	q := ConstraintQuery{
+		Fact:   logic.Atom("opaque", func(*pps.System, pps.RunID, int) bool { return true }),
+		Agent:  "Alice",
+		Action: "fire",
+	}
+	if _, err := Eval(e, q); err != nil {
+		t.Fatalf("opaque fact should evaluate: %v", err)
+	}
+	if _, err := Marshal(q); !errors.Is(err, encode.ErrOpaqueFact) {
+		t.Fatalf("marshal of opaque fact: err = %v, want ErrOpaqueFact", err)
+	}
+}
+
+// requireSameResult compares two results for exact agreement: values by
+// Rat.Cmp, verdicts, flags, witnesses and timelines.
+func requireSameResult(t *testing.T, label string, a, b Result) {
+	t.Helper()
+	if a.Kind != b.Kind || a.Verdict != b.Verdict {
+		t.Errorf("%s: kind/verdict mismatch: (%s, %s) vs (%s, %s)", label, a.Kind, a.Verdict, b.Kind, b.Verdict)
+	}
+	if (a.Value == nil) != (b.Value == nil) {
+		t.Errorf("%s: value presence mismatch", label)
+	} else if a.Value != nil && a.Value.Cmp(b.Value) != 0 {
+		t.Errorf("%s: value %s vs %s", label, a.Value.RatString(), b.Value.RatString())
+	}
+	if len(a.Values) != len(b.Values) {
+		t.Errorf("%s: values size %d vs %d", label, len(a.Values), len(b.Values))
+	}
+	for k, av := range a.Values {
+		bv, ok := b.Values[k]
+		if !ok {
+			t.Errorf("%s: values[%q] missing on one side", label, k)
+			continue
+		}
+		if av.Cmp(bv) != 0 {
+			t.Errorf("%s: values[%q] = %s vs %s", label, k, av.RatString(), bv.RatString())
+		}
+	}
+	if len(a.Flags) != len(b.Flags) {
+		t.Errorf("%s: flags size %d vs %d", label, len(a.Flags), len(b.Flags))
+	}
+	for k, av := range a.Flags {
+		if bv, ok := b.Flags[k]; !ok || av != bv {
+			t.Errorf("%s: flags[%q] = %v vs %v (present %v)", label, k, av, b.Flags[k], ok)
+		}
+	}
+	if (a.Witness == nil) != (b.Witness == nil) {
+		t.Errorf("%s: witness presence mismatch", label)
+	} else if a.Witness != nil && !a.Witness.Equal(b.Witness) {
+		t.Errorf("%s: witness %s vs %s", label, a.Witness, b.Witness)
+	}
+	if len(a.Timeline) != len(b.Timeline) {
+		t.Errorf("%s: timeline length %d vs %d", label, len(a.Timeline), len(b.Timeline))
+	}
+	for i := range a.Timeline {
+		if i >= len(b.Timeline) {
+			break
+		}
+		ap, bp := a.Timeline[i], b.Timeline[i]
+		if ap.Time != bp.Time || ap.Local != bp.Local || ap.Knows != bp.Knows || ap.Belief.Cmp(bp.Belief) != 0 {
+			t.Errorf("%s: timeline[%d] %s vs %s", label, i, ap, bp)
+		}
+	}
+}
+
+// nsquadWorkload builds the full theorem-check workload over the
+// n-agent firing squad: every agent × every theorem plus the supporting
+// quantities, the workload the benchmarks and the README's batch
+// example use.
+func nsquadWorkload(n int) []Query {
+	all := scenarios.AllFireFact(n)
+	agents := make([]string, 0, n)
+	agents = append(agents, scenarios.General)
+	for i := 1; i < n; i++ {
+		agents = append(agents, fmt.Sprintf("s%d", i))
+	}
+	var qs []Query
+	for _, agent := range agents {
+		qs = append(qs,
+			ConstraintQuery{Fact: all, Agent: agent, Action: scenarios.ActFire, Threshold: ratutil.R(1, 2)},
+			ExpectationQuery{Fact: all, Agent: agent, Action: scenarios.ActFire},
+			ThresholdQuery{Fact: all, Agent: agent, Action: scenarios.ActFire, P: ratutil.R(9, 10)},
+			IndependenceQuery{Fact: all, Agent: agent, Action: scenarios.ActFire},
+			TheoremQuery{Theorem: TheoremSufficiency, Fact: all, Agent: agent, Action: scenarios.ActFire, P: ratutil.R(1, 2)},
+			TheoremQuery{Theorem: TheoremNecessity, Fact: all, Agent: agent, Action: scenarios.ActFire, P: ratutil.R(1, 2)},
+			TheoremQuery{Theorem: TheoremExpectation, Fact: all, Agent: agent, Action: scenarios.ActFire},
+			TheoremQuery{Theorem: TheoremPAK, Fact: all, Agent: agent, Action: scenarios.ActFire, Eps: ratutil.R(1, 4)},
+			TheoremQuery{Theorem: TheoremKoP, Fact: all, Agent: agent, Action: scenarios.ActFire},
+		)
+	}
+	return qs
+}
+
+// TestEvalBatchParallelMatchesSerial is the core batch invariant: a
+// parallel batch over a shared engine returns results exactly equal
+// (Rat.Cmp == 0 everywhere) to a serial Eval loop, in the same order.
+func TestEvalBatchParallelMatchesSerial(t *testing.T) {
+	sys, err := scenarios.NFiringSquadSystem(4, ratutil.R(1, 10), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs := nsquadWorkload(4)
+
+	serialEngine := core.New(sys)
+	want := make([]Result, len(qs))
+	for i, q := range qs {
+		res, evalErr := Eval(serialEngine, q)
+		if evalErr != nil {
+			t.Fatalf("serial eval %d (%s): %v", i, q, evalErr)
+		}
+		want[i] = res
+	}
+
+	for _, cached := range []bool{true, false} {
+		got, batchErr := EvalBatch(core.New(sys), qs, WithParallelism(8), WithCache(cached))
+		if batchErr != nil {
+			t.Fatalf("batch (cache=%v): %v", cached, batchErr)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("batch (cache=%v): %d results, want %d", cached, len(got), len(want))
+		}
+		for i := range want {
+			requireSameResult(t, fmt.Sprintf("cache=%v query %d (%s)", cached, i, qs[i]), want[i], got[i])
+		}
+	}
+}
+
+// TestEvalBatchRace exercises the batched firing-squad workload under
+// heavy parallelism with an aggressively shared engine; run with -race
+// it doubles as the engine's concurrency-safety proof.
+func TestEvalBatchRace(t *testing.T) {
+	sys, err := scenarios.NFiringSquadSystem(3, ratutil.R(1, 10), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := core.New(sys)
+	qs := nsquadWorkload(3)
+	// Duplicate the workload so many goroutines hit the same cache keys.
+	qs = append(qs, qs...)
+	qs = append(qs, qs...)
+	results, err := EvalBatch(e, qs, WithParallelism(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Duplicated queries must agree with their originals exactly.
+	quarter := len(results) / 4
+	for i := 0; i < quarter; i++ {
+		for _, dup := range []int{i + quarter, i + 2*quarter, i + 3*quarter} {
+			requireSameResult(t, fmt.Sprintf("dup %d vs %d", i, dup), results[i], results[dup])
+		}
+	}
+	perf, events, beliefs := e.CacheStats()
+	if perf == 0 || events == 0 || beliefs == 0 {
+		t.Errorf("expected warm caches, got perf=%d events=%d beliefs=%d", perf, events, beliefs)
+	}
+}
+
+// TestEvalBatchErrors checks per-query error isolation: a bad query
+// reports in its own slot without disturbing its neighbours.
+func TestEvalBatchErrors(t *testing.T) {
+	e := fsEngine(t)
+	phi := bothFire()
+	qs := []Query{
+		ConstraintQuery{Fact: phi, Agent: "Alice", Action: "fire"},
+		ConstraintQuery{Fact: phi, Agent: "Nobody", Action: "fire"},
+		ConstraintQuery{Fact: phi}, // invalid: no agent/action
+	}
+	results, err := EvalBatch(e, qs, WithParallelism(4))
+	if err == nil {
+		t.Fatal("expected a joined error")
+	}
+	if results[0].Err != nil || results[0].Value == nil {
+		t.Errorf("healthy query disturbed: %+v", results[0])
+	}
+	if results[1].Err == nil {
+		t.Error("unknown-agent query reported no error")
+	}
+	if results[2].Err == nil {
+		t.Error("invalid query reported no error")
+	}
+}
+
+// TestValidation rejects malformed requests eagerly.
+func TestValidation(t *testing.T) {
+	e := fsEngine(t)
+	bad := []Query{
+		BeliefQuery{Fact: bothFire(), Agent: "Alice"},                                                 // neither local nor action
+		BeliefQuery{Fact: bothFire(), Agent: "Alice", Local: "x", Action: "fire"},                     // both
+		ConstraintQuery{Fact: bothFire(), Agent: "Alice", Action: "fire", Threshold: ratutil.R(3, 2)}, // p > 1
+		ThresholdQuery{Fact: bothFire(), Agent: "Alice", Action: "fire"},                              // no p
+		TheoremQuery{Theorem: "nope", Fact: bothFire(), Agent: "Alice", Action: "fire"},               // unknown theorem
+		TheoremQuery{Theorem: TheoremPAK, Fact: bothFire(), Agent: "Alice", Action: "fire"},           // no eps
+		TimelineQuery{Fact: bothFire(), Agent: "Alice", Run: -1},                                      // bad run
+	}
+	for i, q := range bad {
+		if _, err := Eval(e, q); err == nil {
+			t.Errorf("bad query %d (%s) accepted", i, q)
+		}
+	}
+}

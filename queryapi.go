@@ -1,0 +1,124 @@
+package pak
+
+import (
+	"pak/internal/core"
+	"pak/internal/encode"
+	"pak/internal/query"
+)
+
+// The unified query API, re-exported from internal/query: every analysis
+// the engine offers as a composable request value, one evaluation entry
+// point, and a parallel batch evaluator over the concurrency-safe
+// Engine. Queries built from structural facts (everything except Atom
+// and the *Pred escape hatches) serialize to JSON, so analysis requests
+// can be stored, shipped to the CLI tools and replayed.
+type (
+	// Query is an analysis request evaluable against an Engine.
+	Query = query.Query
+	// QueryKind identifies a query's analysis family.
+	QueryKind = query.Kind
+	// QueryResult is the uniform outcome of evaluating any Query: exact
+	// rational values, pass/fail verdicts, boolean diagnostics, witness
+	// run-sets and belief timelines.
+	QueryResult = query.Result
+	// QueryVerdict is a query's pass/fail judgement.
+	QueryVerdict = query.Verdict
+	// TheoremID selects which of the paper's results a TheoremQuery
+	// checks.
+	TheoremID = query.Theorem
+
+	// BeliefQuery asks for β_i(φ) at a local state or across the acting
+	// states of a proper action.
+	BeliefQuery = query.BeliefQuery
+	// ConstraintQuery asks for µ(φ@α | α), optionally judged against a
+	// threshold.
+	ConstraintQuery = query.ConstraintQuery
+	// ExpectationQuery asks for E[β_i(φ)@α | α] (Definition 6.1).
+	ExpectationQuery = query.ExpectationQuery
+	// ThresholdQuery asks for µ(β_i(φ)@α ≥ p | α).
+	ThresholdQuery = query.ThresholdQuery
+	// TheoremQuery machine-checks one of the paper's results.
+	TheoremQuery = query.TheoremQuery
+	// IndependenceQuery checks Definition 4.1 with Lemma 4.3 witnesses.
+	IndependenceQuery = query.IndependenceQuery
+	// TimelineQuery asks for the belief trajectory along one run.
+	TimelineQuery = query.TimelineQuery
+
+	// EvalOption configures EvalBatch.
+	EvalOption = query.Option
+)
+
+// Query kinds.
+const (
+	KindBelief       = query.KindBelief
+	KindConstraint   = query.KindConstraint
+	KindExpectation  = query.KindExpectation
+	KindThreshold    = query.KindThreshold
+	KindTheorem      = query.KindTheorem
+	KindIndependence = query.KindIndependence
+	KindTimeline     = query.KindTimeline
+)
+
+// Checkable theorems.
+const (
+	// TheoremSufficiency is Theorem 4.2.
+	TheoremSufficiency = query.TheoremSufficiency
+	// TheoremNecessity is Lemma 5.1.
+	TheoremNecessity = query.TheoremNecessity
+	// TheoremExpectation is Theorem 6.2.
+	TheoremExpectation = query.TheoremExpectation
+	// TheoremPAK is Theorem 7.1 / Corollary 7.2.
+	TheoremPAK = query.TheoremPAK
+	// TheoremKoP is Lemma F.1.
+	TheoremKoP = query.TheoremKoP
+)
+
+// Verdicts.
+const (
+	VerdictNone = query.VerdictNone
+	VerdictPass = query.VerdictPass
+	VerdictFail = query.VerdictFail
+)
+
+// Eval evaluates one query against the engine. The engine memoizes
+// shared work, so repeated and overlapping requests get cheaper; it is
+// safe to Eval concurrently on the same engine.
+func Eval(e *Engine, q Query) (QueryResult, error) { return query.Eval(e, q) }
+
+// EvalBatch evaluates a query list, by default in parallel across
+// GOMAXPROCS workers sharing the engine's caches. Results come back in
+// input order and are identical to a serial Eval loop's.
+func EvalBatch(e *Engine, qs []Query, opts ...EvalOption) ([]QueryResult, error) {
+	return query.EvalBatch(e, qs, opts...)
+}
+
+// EvalSystem is EvalBatch over a fresh engine for sys: the one-call form
+// for callers that have a system and a query list.
+func EvalSystem(sys *System, qs []Query, opts ...EvalOption) ([]QueryResult, error) {
+	return query.EvalBatch(core.New(sys), qs, opts...)
+}
+
+// WithParallelism sets the number of EvalBatch workers (n ≤ 1 is
+// serial).
+func WithParallelism(n int) EvalOption { return query.WithParallelism(n) }
+
+// WithCache controls whether a batch shares the engine's memoization
+// (default true); disabled, each query runs against a cold engine.
+func WithCache(enabled bool) EvalOption { return query.WithCache(enabled) }
+
+// MarshalQuery renders one query as a JSON document.
+func MarshalQuery(q Query) ([]byte, error) { return query.Marshal(q) }
+
+// ParseQuery parses one query JSON document.
+func ParseQuery(data []byte) (Query, error) { return query.Parse(data) }
+
+// MarshalQueryBatch renders a query list as a JSON array document.
+func MarshalQueryBatch(qs []Query) ([]byte, error) { return query.MarshalBatch(qs) }
+
+// ParseQueryBatch parses a JSON array of query documents.
+func ParseQueryBatch(data []byte) ([]Query, error) { return query.ParseBatch(data) }
+
+// MarshalFact renders a structural fact as a JSON expression document,
+// the inverse of ParseFact. Opaque predicates (Atom, LocalPred, EnvPred)
+// do not serialize.
+func MarshalFact(f Fact) ([]byte, error) { return encode.MarshalFact(f) }

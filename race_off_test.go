@@ -1,0 +1,7 @@
+//go:build !race
+
+package pak_test
+
+// raceEnabled reports whether the race detector is instrumenting this
+// test binary (see race_on_test.go for the counterpart).
+const raceEnabled = false
