@@ -16,6 +16,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math/big"
 	"os"
 	"sort"
 
@@ -28,6 +29,14 @@ func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
+// buildFSquad constructs Example 1's system through the scenario
+// registry — the same path pakcheck -scenario and the pakd service
+// resolve — from the CLI's (loss, variant) vocabulary.
+func buildFSquad(loss *big.Rat, variant pak.FSVariant) (*pak.System, error) {
+	return pak.BuildScenario(fmt.Sprintf("fsquad(loss=%s,improved=%v)",
+		loss.RatString(), variant == pak.FSImproved))
+}
+
 func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("fsquad", flag.ContinueOnError)
 	fs.SetOutput(stderr)
@@ -37,6 +46,21 @@ func run(args []string, stdout, stderr io.Writer) int {
 	seed := fs.Int64("seed", 1, "Monte-Carlo seed")
 	dump := fs.Bool("dump", false, "print the unfolded system tree")
 	sweep := fs.Bool("sweep", false, "print the loss-sensitivity sweep for both variants and exit")
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "Usage: fsquad [-loss 1/10] [-variant original|improved] [-samples 0] [-seed 1] [-dump] [-sweep]\n\nFlags:\n")
+		fs.PrintDefaults()
+		fmt.Fprintf(stderr, `
+The analysis battery runs as one parallel EvalBatch over a shared
+engine; the system builds from the scenario registry ("fsquad" in
+SCENARIOS.md).
+
+Examples:
+  fsquad                                 the paper's parameters (µ = 99/100)
+  fsquad -variant improved               the Section 8 refinement (990/991)
+  fsquad -loss 1/4 -samples 60000        exact values + a Monte-Carlo cross-check
+  fsquad -sweep                          loss-sensitivity table for both variants
+`)
+	}
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -64,7 +88,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
-	sys, err := pak.FiringSquad(loss, variant)
+	sys, err := buildFSquad(loss, variant)
 	if err != nil {
 		fmt.Fprintf(stderr, "fsquad: %v\n", err)
 		return 1
@@ -180,7 +204,7 @@ func sweepLoss(w io.Writer) error {
 		values := make(map[pak.FSVariant]string, 2)
 		var muOrig, muImpr string
 		for _, variant := range []pak.FSVariant{pak.FSOriginal, pak.FSImproved} {
-			sys, err := pak.FiringSquad(loss, variant)
+			sys, err := buildFSquad(loss, variant)
 			if err != nil {
 				return err
 			}

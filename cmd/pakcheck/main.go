@@ -8,9 +8,12 @@
 //
 //	pakcheck -system sys.json -query query.json [-dump] [-eps 1/10] [-delta 1/10] [-parallel N]
 //	pakcheck -system sys.json -batch queries.json [-parallel N]
+//	pakcheck -scenario "nsquad(3)" -batch queries.json
 //
-// The system document is produced by pak.MarshalSystem (see
-// internal/encode for the schema). With -query, the document names the
+// The system comes either from a JSON document produced by
+// pak.MarshalSystem (see internal/encode for the schema) or from the
+// scenario registry by name + params (-scenario; the catalog is
+// SCENARIOS.md). With -query, the document names the
 // agent, the proper action, the condition fact and an optional
 // threshold, and pakcheck expands it into the full constraint analysis
 // (the paper's complete battery):
@@ -50,31 +53,59 @@ func main() {
 func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("pakcheck", flag.ContinueOnError)
 	fs.SetOutput(stderr)
-	systemPath := fs.String("system", "", "path to the system JSON document (required)")
+	systemPath := fs.String("system", "", "path to the system JSON document")
+	scenarioSpec := fs.String("scenario", "", `registry scenario spec, e.g. "nsquad(3)" (alternative to -system; see SCENARIOS.md)`)
 	queryPath := fs.String("query", "", "path to a constraint query document (agent/action/fact/threshold)")
 	batchPath := fs.String("batch", "", "path to a query-batch JSON array (explicit query specs)")
 	dump := fs.Bool("dump", false, "print the system tree before the analysis")
 	epsStr := fs.String("eps", "1/10", "ε for the PAK analysis (Theorem 7.1)")
 	deltaStr := fs.String("delta", "1/10", "δ for the PAK analysis (Theorem 7.1)")
 	parallel := fs.Int("parallel", 0, "EvalBatch workers (0 = GOMAXPROCS)")
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "Usage: pakcheck {-system sys.json | -scenario spec} {-query query.json | -batch queries.json}\n")
+		fmt.Fprintf(stderr, "                [-dump] [-eps 1/10] [-delta 1/10] [-parallel N]\n\nFlags:\n")
+		fs.PrintDefaults()
+		fmt.Fprintf(stderr, `
+-query expands one constraint document into the full analysis battery;
+-batch evaluates an explicit query-spec array (pak.ParseQueryBatch's
+format, produced by pakrand -batch or pak.MarshalQueryBatch) through one
+parallel EvalBatch call, one row per query.
+
+Examples:
+  pakcheck -system sys.json -query query.json      the complete constraint battery
+  pakcheck -system sys.json -batch queries.json    evaluate explicit query specs
+  pakcheck -scenario "nsquad(3)" -batch q.json     a registry system, no JSON needed
+  pakcheck -system sys.json -batch q.json -parallel 1   serial evaluation (same results)
+`)
+	}
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
-	if *systemPath == "" || (*queryPath == "") == (*batchPath == "") {
-		fmt.Fprintln(stderr, "pakcheck: -system and exactly one of -query / -batch are required")
+	if (*systemPath == "") == (*scenarioSpec == "") || (*queryPath == "") == (*batchPath == "") {
+		fmt.Fprintln(stderr, "pakcheck: exactly one of -system / -scenario and exactly one of -query / -batch are required")
 		fs.Usage()
 		return 2
 	}
 
-	sysData, err := os.ReadFile(*systemPath)
-	if err != nil {
-		fmt.Fprintf(stderr, "pakcheck: %v\n", err)
-		return 1
-	}
-	sys, err := pak.UnmarshalSystem(sysData)
-	if err != nil {
-		fmt.Fprintf(stderr, "pakcheck: %v\n", err)
-		return 1
+	var sys *pak.System
+	if *scenarioSpec != "" {
+		built, err := pak.BuildScenario(*scenarioSpec)
+		if err != nil {
+			fmt.Fprintf(stderr, "pakcheck: %v\n", err)
+			return 1
+		}
+		sys = built
+	} else {
+		sysData, err := os.ReadFile(*systemPath)
+		if err != nil {
+			fmt.Fprintf(stderr, "pakcheck: %v\n", err)
+			return 1
+		}
+		sys, err = pak.UnmarshalSystem(sysData)
+		if err != nil {
+			fmt.Fprintf(stderr, "pakcheck: %v\n", err)
+			return 1
+		}
 	}
 	eps, err := ratutil.Parse(*epsStr)
 	if err != nil {

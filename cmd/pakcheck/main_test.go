@@ -201,3 +201,46 @@ func TestRunBatchModeErrors(t *testing.T) {
 		})
 	}
 }
+
+// TestRunScenarioFlag: -scenario resolves the system from the registry,
+// and the output matches -system with the equivalent JSON document
+// exactly.
+func TestRunScenarioFlag(t *testing.T) {
+	systemPath, queryPath := writeFixtures(t)
+
+	var fromFile, fromRegistry, stderr bytes.Buffer
+	if code := run([]string{"-system", systemPath, "-query", queryPath}, &fromFile, &stderr); code != 0 {
+		t.Fatalf("-system run exited %d: %s", code, stderr.String())
+	}
+	if code := run([]string{"-scenario", "fsquad", "-query", queryPath}, &fromRegistry, &stderr); code != 0 {
+		t.Fatalf("-scenario run exited %d: %s", code, stderr.String())
+	}
+	if fromFile.String() != fromRegistry.String() {
+		t.Error("-scenario fsquad output differs from -system with the marshaled firing squad")
+	}
+	if !strings.Contains(fromRegistry.String(), "99/100") {
+		t.Errorf("scenario output missing the paper's 99/100:\n%s", fromRegistry.String())
+	}
+}
+
+func TestRunScenarioFlagErrors(t *testing.T) {
+	_, queryPath := writeFixtures(t)
+	tests := []struct {
+		name string
+		args []string
+		code int
+	}{
+		{"both system and scenario", []string{"-system", "x.json", "-scenario", "fsquad", "-query", queryPath}, 2},
+		{"neither system nor scenario", []string{"-query", queryPath}, 2},
+		{"unknown scenario", []string{"-scenario", "nosuch", "-query", queryPath}, 1},
+		{"bad scenario params", []string{"-scenario", "nsquad(n=zero)", "-query", queryPath}, 1},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			var stdout, stderr bytes.Buffer
+			if code := run(tt.args, &stdout, &stderr); code != tt.code {
+				t.Fatalf("exit code = %d, want %d (stderr: %s)", code, tt.code, stderr.String())
+			}
+		})
+	}
+}

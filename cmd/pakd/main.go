@@ -1,0 +1,108 @@
+// Command pakd serves the scenario registry and the unified query layer
+// over HTTP/JSON: the repository's systems, addressable by name + params,
+// evaluated by the same exact engine the CLIs use — one engine per
+// scenario, shared and memoizing across requests, with cross-system
+// fan-out through the query layer's MultiBatch.
+//
+// Usage:
+//
+//	pakd [-addr :8371] [-parallel N] [-max-queries N]
+//	pakd -catalog > SCENARIOS.md
+//
+// Endpoints:
+//
+//	GET  /v1/scenarios         list every registered scenario with its
+//	                           params, defaults and description
+//	GET  /v1/scenarios/{name}  one scenario's metadata
+//	POST /v1/eval              evaluate a query-batch document (the format
+//	                           of pak.ParseQueryBatch / pakrand -batch)
+//	                           against one or more named systems
+//
+// Example (two systems, one batch, one request):
+//
+//	pakrand -batch batch.json
+//	curl -s localhost:8371/v1/eval -d '{
+//	  "systems": ["fsquad", "fsquad(improved=true)"],
+//	  "queries": '"$(cat batch.json)"'}'
+//
+// See examples/service for the full walkthrough and SCENARIOS.md for the
+// catalog. With -catalog, pakd prints that catalog (generated from the
+// registry, so it can never drift from the code) and exits; `make docs`
+// redirects it into SCENARIOS.md.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"time"
+
+	"pak/internal/registry"
+	"pak/internal/service"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("pakd", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	addr := fs.String("addr", ":8371", "listen address")
+	parallel := fs.Int("parallel", 0, "max evaluation workers per request (0 = GOMAXPROCS)")
+	maxQueries := fs.Int("max-queries", 0, "max (system, query) pairs per request (0 = server default)")
+	maxSystems := fs.Int("max-systems", 0, "max named systems per request — bounds engine-cache growth (0 = server default)")
+	catalog := fs.Bool("catalog", false, "print the generated SCENARIOS.md catalog and exit")
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "Usage: pakd [-addr :8371] [-parallel N] [-max-queries N] [-max-systems N]\n")
+		fmt.Fprintf(stderr, "       pakd -catalog > SCENARIOS.md\n\nFlags:\n")
+		fs.PrintDefaults()
+		fmt.Fprintf(stderr, `
+Examples:
+  pakd -addr :8371 -parallel 8    serve the registry with 8 workers/request
+  pakd -catalog > SCENARIOS.md    regenerate the scenario catalog (make docs)
+  curl -s localhost:8371/v1/scenarios | jq '.[].name'
+  curl -s localhost:8371/v1/eval -d '{"systems":["fsquad","nsquad(3)"],"queries":[...]}'
+`)
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	if *catalog {
+		fmt.Fprint(stdout, registry.Default().Markdown())
+		return 0
+	}
+
+	opts := []service.Option{}
+	if *parallel > 0 {
+		opts = append(opts, service.WithMaxParallelism(*parallel))
+	}
+	if *maxQueries > 0 {
+		opts = append(opts, service.WithMaxQueries(*maxQueries))
+	}
+	if *maxSystems > 0 {
+		opts = append(opts, service.WithMaxSystems(*maxSystems))
+	}
+	srv := &http.Server{
+		Addr:    *addr,
+		Handler: service.New(registry.Default(), opts...).Handler(),
+		// Bound every connection phase, not just the headers: without
+		// ReadTimeout a client that trickles its body holds a goroutine
+		// open forever. WriteTimeout is generous because large evals
+		// legitimately compute for a while before responding.
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       60 * time.Second,
+		WriteTimeout:      10 * time.Minute,
+		IdleTimeout:       2 * time.Minute,
+	}
+	fmt.Fprintf(stdout, "pakd: serving %d scenarios on %s\n",
+		len(registry.Default().Names()), *addr)
+	if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+		fmt.Fprintf(stderr, "pakd: %v\n", err)
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,34 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"pak/internal/registry"
+)
+
+func TestCatalogFlag(t *testing.T) {
+	var stdout, stderr strings.Builder
+	if code := run([]string{"-catalog"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("pakd -catalog exited %d: %s", code, stderr.String())
+	}
+	out := stdout.String()
+	if !strings.HasPrefix(out, "# SCENARIOS") {
+		t.Errorf("catalog does not start with the SCENARIOS header: %q", out[:40])
+	}
+	for _, name := range registry.Default().Names() {
+		if !strings.Contains(out, "## "+name+"\n") {
+			t.Errorf("catalog is missing scenario %q", name)
+		}
+	}
+}
+
+func TestBadFlags(t *testing.T) {
+	var stdout, stderr strings.Builder
+	if code := run([]string{"-bogus"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("pakd -bogus exited %d, want 2", code)
+	}
+	if !strings.Contains(stderr.String(), "Examples:") {
+		t.Error("usage text is missing the Examples section")
+	}
+}

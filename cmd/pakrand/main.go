@@ -53,21 +53,31 @@ func run(args []string, stdout, stderr io.Writer) int {
 	queryPath := fs.String("query", "", "also write a matching single-constraint pakcheck query to this file")
 	batchPath := fs.String("batch", "", "also write a matching query-batch spec to this file")
 	selfcheck := fs.Bool("selfcheck", false, "evaluate the generated batch on the generated system via EvalBatch")
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "Usage: pakrand [-seed 1] [-agents 2] [-depth 4] [-branch 3] [-obs 2]\n")
+		fmt.Fprintf(stderr, "               [-action-time 2] [-det] [-out sys.json] [-query query.json]\n")
+		fmt.Fprintf(stderr, "               [-batch batch.json] [-selfcheck]\n\nFlags:\n")
+		fs.PrintDefaults()
+		fmt.Fprintf(stderr, `
+Generation goes through the scenario registry's "random" builder (see
+SCENARIOS.md), so pakrand, pakcheck -scenario "random(...)" and the pakd
+service all produce the same system for the same parameters.
+
+Examples:
+  pakrand -out sys.json -query query.json    a system + matching pakcheck query
+  pakrand -batch batch.json                  also write a full query-batch spec
+  pakrand -seed 7 -selfcheck                 generate, evaluate the batch, verify verdicts
+`)
+	}
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 
-	cfg := randsys.Config{
-		Agents:      *agents,
-		Depth:       *depth,
-		MaxBranch:   *branch,
-		MaxInitial:  2,
-		ObsAlphabet: *obs,
-		ActionTime:  *actionTime,
-		DetAction:   *det,
-		Seed:        *seed,
-	}
-	sys, err := randsys.Generate(cfg)
+	// Generation goes through the registry — the single place system
+	// construction lives — via the same spec pakcheck and pakd accept.
+	spec := fmt.Sprintf("random(seed=%d,agents=%d,depth=%d,branch=%d,obs=%d,actiontime=%d,det=%v)",
+		*seed, *agents, *depth, *branch, *obs, *actionTime, *det)
+	sys, err := pak.BuildScenario(spec)
 	if err != nil {
 		fmt.Fprintf(stderr, "pakrand: %v\n", err)
 		return 2

@@ -1,7 +1,7 @@
 // Command paperbench regenerates every numeric claim, figure and theorem
 // of the paper and prints a paper-vs-measured comparison table per
-// experiment (E1..E15, including the unified query layer's batch
-// invariants, which route the full theorem workload through EvalBatch).
+// experiment (E1..E16, including the unified query layer's batch
+// invariants and the scenario registry's multi-system fan-out checks).
 // It exits non-zero if any value fails to match.
 //
 // Usage:
@@ -33,6 +33,20 @@ func run(args []string, stdout, stderr io.Writer) int {
 	systems := fs.Int("systems", 100, "random systems per property experiment (E4, E9)")
 	samples := fs.Int("samples", 60_000, "Monte-Carlo samples (E7)")
 	seed := fs.Int64("seed", 1, "seed for random workloads")
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "Usage: paperbench [-markdown] [-systems 100] [-samples 60000] [-seed 1]\n\nFlags:\n")
+		fs.PrintDefaults()
+		fmt.Fprintf(stderr, `
+Runs E1..E16 (including E15's batch-=-serial invariant and E16's
+registry + multi-system fan-out checks) and exits non-zero if any
+measured value fails to match the paper.
+
+Examples:
+  paperbench                     the full reproduction gate (CI runs this)
+  paperbench -markdown           regenerate EXPERIMENTS.md (make docs)
+  paperbench -systems 500 -seed 3    a larger random-system property sweep
+`)
+	}
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -78,26 +92,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	return 0
 }
 
-// runAll mirrors experiments.All but honours the workload flags.
+// runAll evaluates experiments.Builders — the one experiment list —
+// with the workload flags applied.
 func runAll(systems, samples int, seed int64) ([]experiments.Result, error) {
-	type builder func() (experiments.Result, error)
-	builders := []builder{
-		experiments.E1FiringSquad,
-		experiments.E2Figure1,
-		experiments.E3Theorem52,
-		func() (experiments.Result, error) { return experiments.E4Expectation(systems, seed) },
-		experiments.E5PAKFrontier,
-		experiments.E6ImprovedFS,
-		func() (experiments.Result, error) { return experiments.E7MonteCarlo(samples, seed) },
-		experiments.E8KoPLimit,
-		func() (experiments.Result, error) { return experiments.E9Independence(systems, seed) },
-		experiments.E10CommonBelief,
-		experiments.E11CommonKnowledge,
-		experiments.E12Martingale,
-		experiments.E13LossSensitivity,
-		experiments.E14NSquad,
-		experiments.E15QueryBatch,
-	}
+	builders := experiments.Builders(systems, samples, seed)
 	out := make([]experiments.Result, 0, len(builders))
 	for _, b := range builders {
 		res, err := b()

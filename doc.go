@@ -33,8 +33,19 @@
 //     TheoremQuery, IndependenceQuery, TimelineQuery), evaluated through
 //     Eval or the parallel EvalBatch (WithParallelism, WithCache) to a
 //     uniform QueryResult of exact rationals, verdicts and witness
-//     run-sets; query lists serialize to JSON (MarshalQueryBatch,
-//     ParseQueryBatch) in the format the CLI tools exchange;
+//     run-sets; EvalMultiBatch/EvalMultiSystems shard batches across
+//     several engines through one bounded worker pool; query lists
+//     serialize to JSON (MarshalQueryBatch, ParseQueryBatch) in the
+//     format the CLI tools and the pakd service exchange;
+//   - scenarios by name: the registry (Scenarios, BuildScenario) resolves
+//     compact specs — "fsquad", "nsquad(5)", "random(seed=42)" — to
+//     systems with validated, defaulted parameters; the generated
+//     SCENARIOS.md catalogs every registered scenario;
+//   - the service: ServiceHandler/NewService expose the registry and the
+//     query layer over HTTP/JSON (what cmd/pakd serves) — named systems,
+//     query-batch documents, cross-system fan-out; see examples/service
+//     for the walkthrough (start pakd, POST a batch with curl, read the
+//     exact JSON results);
 //   - the paper's own systems: Figure1, That (Figure 2 / Theorem 5.2), and
 //     the relaxed firing squad FiringSquad of Example 1 with its Section 8
 //     improvement;
@@ -50,6 +61,6 @@
 // All probabilities are exact rationals (math/big.Rat); the paper's
 // numbers (0.99, 0.991, 990/991, (p−ε)/(1−ε), ...) are reproduced as
 // rational identities, not floating-point approximations. See DESIGN.md
-// for the architecture and EXPERIMENTS.md for the paper-vs-measured
-// record.
+// for the architecture, EXPERIMENTS.md for the paper-vs-measured record,
+// and SCENARIOS.md for the scenario catalog.
 package pak

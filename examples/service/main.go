@@ -1,0 +1,132 @@
+// Service: the pakd HTTP service end to end, in one process. The
+// example mounts pak.ServiceHandler (exactly what `pakd` serves) on an
+// ephemeral port, discovers the scenario catalog over the wire, then
+// POSTs one query-batch document — the format of pak.MarshalQueryBatch /
+// pakrand -batch — against two named systems in a single /v1/eval
+// request. The service shards the work across both engines through the
+// query layer's MultiBatch and returns per-system results in request
+// order, every rational exact.
+//
+// Run with:
+//
+//	go run ./examples/service
+//
+// Against a real daemon the same two calls are (see README.md alongside
+// this file for the full walkthrough):
+//
+//	go run ./cmd/pakd &
+//	curl -s localhost:8371/v1/scenarios
+//	curl -s localhost:8371/v1/eval -d @request.json
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+
+	"pak"
+)
+
+func main() {
+	// One line of Go gives you pakd's handler; a real deployment would
+	// pass it to http.ListenAndServe.
+	ts := httptest.NewServer(pak.ServiceHandler())
+	defer ts.Close()
+
+	// 1. Discover the catalog: every scenario, self-describing.
+	resp, err := http.Get(ts.URL + "/v1/scenarios")
+	if err != nil {
+		log.Fatal(err)
+	}
+	var catalog []struct {
+		Name   string `json:"name"`
+		Doc    string `json:"doc"`
+		Params []struct {
+			Name    string `json:"name"`
+			Default string `json:"default"`
+		} `json:"params"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&catalog); err != nil {
+		log.Fatal(err)
+	}
+	resp.Body.Close()
+	fmt.Printf("GET /v1/scenarios → %d scenarios:\n", len(catalog))
+	for _, sc := range catalog {
+		params := make([]string, 0, len(sc.Params))
+		for _, p := range sc.Params {
+			params = append(params, p.Name+"="+p.Default)
+		}
+		fmt.Printf("  %-10s (%s)\n", sc.Name, strings.Join(params, ", "))
+	}
+
+	// 2. Build the query batch — the same document pakcheck -batch reads
+	// and pakrand -batch writes.
+	allFire := pak.AllFire(2)
+	batch, err := pak.MarshalQueryBatch([]pak.Query{
+		pak.ConstraintQuery{Fact: allFire, Agent: "General", Action: "fire", Threshold: pak.Rat(95, 100)},
+		pak.ExpectationQuery{Fact: allFire, Agent: "General", Action: "fire"},
+		pak.TheoremQuery{Theorem: pak.TheoremPAK, Fact: allFire, Agent: "General", Action: "fire",
+			Eps: pak.Rat(1, 10)},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 3. One request, two named systems: the original n=2 squad (which
+	// is Example 1) and its Section 8 refinement. The service fans the
+	// batch out across both engines.
+	body := fmt.Sprintf(`{"systems": ["nsquad(2)", "nsquad(2,improved=true)"], "queries": %s}`, batch)
+	fmt.Printf("\nPOST /v1/eval with %d queries against 2 systems...\n\n", 3)
+	evalResp, err := http.Post(ts.URL+"/v1/eval", "application/json", strings.NewReader(body))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer evalResp.Body.Close()
+	if evalResp.StatusCode != http.StatusOK {
+		// Request-level failures (unknown scenario, malformed params, a
+		// bad batch document) are 4xx with a JSON {"error": ...} body.
+		var ed struct {
+			Error string `json:"error"`
+		}
+		if err := json.NewDecoder(evalResp.Body).Decode(&ed); err != nil {
+			log.Fatalf("eval failed with HTTP %d", evalResp.StatusCode)
+		}
+		log.Fatalf("eval failed with HTTP %d: %s", evalResp.StatusCode, ed.Error)
+	}
+	var out struct {
+		Results []struct {
+			System    string `json:"system"`
+			Canonical string `json:"canonical"`
+			Results   []struct {
+				Kind    string `json:"kind"`
+				Value   string `json:"value"`
+				Verdict string `json:"verdict"`
+				Detail  string `json:"detail"`
+				Error   string `json:"error"`
+			} `json:"results"`
+		} `json:"results"`
+	}
+	if err := json.NewDecoder(evalResp.Body).Decode(&out); err != nil {
+		log.Fatal(err)
+	}
+
+	// 4. Read the exact results: 99/100 for Example 1, 990/991 for the
+	// improvement, with the PAK verdicts alongside.
+	for _, sr := range out.Results {
+		fmt.Printf("%s  (canonical %s)\n", sr.System, sr.Canonical)
+		for _, r := range sr.Results {
+			if r.Error != "" {
+				fmt.Printf("  %-12s ERROR %s\n", r.Kind, r.Error)
+				continue
+			}
+			line := fmt.Sprintf("  %-12s %s", r.Kind, r.Value)
+			if r.Verdict != "" {
+				line += "  [" + r.Verdict + "]"
+			}
+			fmt.Println(line)
+		}
+	}
+}

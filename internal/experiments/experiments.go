@@ -13,6 +13,7 @@ package experiments
 import (
 	"fmt"
 	"math/big"
+	"sort"
 
 	"pak/internal/core"
 	"pak/internal/logic"
@@ -104,7 +105,15 @@ func E1FiringSquad() (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	for state, bel := range byState {
+	// Iterate in sorted state order: EXPERIMENTS.md is diffed by the CI
+	// docs job, so generation must be deterministic.
+	states := make([]string, 0, len(byState))
+	for state := range byState {
+		states = append(states, state)
+	}
+	sort.Strings(states)
+	for _, state := range states {
+		bel := byState[state]
 		switch {
 		case containsStr(state, "recv=Yes"):
 			res.addExact("β_A(fire_B) after 'Yes'", "1", bel)

@@ -371,26 +371,34 @@ func E10CommonBelief() (Result, error) {
 	return res, nil
 }
 
-// All runs every experiment with default workloads.
-func All() ([]Result, error) {
-	type builder func() (Result, error)
-	builders := []builder{
+// Builders returns every experiment constructor in E-number order,
+// honouring the workload parameters (systems for E4/E9, samples for E7,
+// seed for both). It is the single experiment list — cmd/paperbench and
+// All both consume it, so a new experiment registers in one place.
+func Builders(systems, samples int, seed int64) []func() (Result, error) {
+	return []func() (Result, error){
 		E1FiringSquad,
 		E2Figure1,
 		E3Theorem52,
-		func() (Result, error) { return E4Expectation(100, 1) },
+		func() (Result, error) { return E4Expectation(systems, seed) },
 		E5PAKFrontier,
 		E6ImprovedFS,
-		func() (Result, error) { return E7MonteCarlo(60_000, 1) },
+		func() (Result, error) { return E7MonteCarlo(samples, seed) },
 		E8KoPLimit,
-		func() (Result, error) { return E9Independence(100, 1) },
+		func() (Result, error) { return E9Independence(systems, seed) },
 		E10CommonBelief,
 		E11CommonKnowledge,
 		E12Martingale,
 		E13LossSensitivity,
 		E14NSquad,
 		E15QueryBatch,
+		E16RegistryMultiBatch,
 	}
+}
+
+// All runs every experiment with default workloads.
+func All() ([]Result, error) {
+	builders := Builders(100, 60_000, 1)
 	out := make([]Result, 0, len(builders))
 	for _, b := range builders {
 		res, err := b()

@@ -89,16 +89,23 @@ func EvalBatch(e *core.Engine, qs []Query, opts ...Option) ([]Result, error) {
 		results[i], errs[i] = Eval(target, qs[i])
 	}
 
-	if cfg.parallelism <= 1 || len(qs) <= 1 {
-		for i := range qs {
-			evalOne(i)
-		}
-		return results, errors.Join(errs...)
-	}
+	runPool(len(qs), cfg.parallelism, evalOne)
+	return results, errors.Join(errs...)
+}
 
-	workers := cfg.parallelism
-	if workers > len(qs) {
-		workers = len(qs)
+// runPool runs do(0..n-1) across a bounded worker pool and waits for
+// completion; workers ≤ 1 degrades to a serial in-order loop. It is the
+// one scheduling substrate under EvalBatch and MultiBatch, so the
+// batch-equals-serial contract has a single implementation to audit.
+func runPool(n, workers int, do func(int)) {
+	if workers <= 1 || n <= 1 {
+		for i := 0; i < n; i++ {
+			do(i)
+		}
+		return
+	}
+	if workers > n {
+		workers = n
 	}
 	var wg sync.WaitGroup
 	next := make(chan int)
@@ -107,14 +114,13 @@ func EvalBatch(e *core.Engine, qs []Query, opts ...Option) ([]Result, error) {
 		go func() {
 			defer wg.Done()
 			for i := range next {
-				evalOne(i)
+				do(i)
 			}
 		}()
 	}
-	for i := range qs {
+	for i := 0; i < n; i++ {
 		next <- i
 	}
 	close(next)
 	wg.Wait()
-	return results, errors.Join(errs...)
 }

@@ -1,0 +1,97 @@
+package query
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+
+	"pak/internal/core"
+)
+
+// MultiBatch: cross-system fan-out. EvalBatch parallelizes within one
+// system; MultiBatch shards several query batches — each bound to its
+// own engine — across one bounded worker pool, so a service request
+// naming N systems saturates the machine without spawning N × GOMAXPROCS
+// goroutines.
+//
+// The contract (documented in DESIGN.md and pinned by tests):
+//
+//   - Sharding: the unit of work is one (system, query) pair; a single
+//     pool of at most WithParallelism(n) workers (default GOMAXPROCS)
+//     drains all pairs, so small batches on one system never serialize
+//     behind a large batch on another.
+//   - Ordering: the result slab is indexed [system][query] in input
+//     order. Parallelism never reorders, renumbers or regroups results,
+//     and every result is exactly (Rat.Cmp == 0) what a serial nested
+//     Eval loop would produce.
+//   - Error isolation: a failing query reports in its own Result.Err
+//     slot and never disturbs its neighbours — not in other systems, not
+//     in the same batch. The returned error joins the per-query errors,
+//     each prefixed with its (system, query) coordinates, and is nil
+//     only when every query on every system succeeded.
+
+// MultiItem pairs an engine with the queries to evaluate against it.
+type MultiItem struct {
+	// Engine is the evaluation target (its memoization is shared by the
+	// item's queries, and by any other MultiItem holding the same engine).
+	Engine *core.Engine
+	// Queries are evaluated in order against Engine.
+	Queries []Query
+}
+
+// MultiBatch evaluates every item's query batch against that item's
+// engine, fanning all (system, query) pairs out across one bounded
+// worker pool. It accepts the same options as EvalBatch:
+// WithParallelism bounds the shared pool, WithCache(false) gives every
+// query a cold engine over its item's system.
+func MultiBatch(items []MultiItem, opts ...Option) ([][]Result, error) {
+	cfg := config{parallelism: runtime.GOMAXPROCS(0), cache: true}
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+
+	results := make([][]Result, len(items))
+	errs := make([][]error, len(items))
+	type unit struct{ sys, q int }
+	var units []unit
+	for i, item := range items {
+		results[i] = make([]Result, len(item.Queries))
+		errs[i] = make([]error, len(item.Queries))
+		for j := range item.Queries {
+			units = append(units, unit{i, j})
+		}
+	}
+
+	// The flat unit list drains through the same pool EvalBatch uses:
+	// one scheduling substrate, one batch-equals-serial contract.
+	runPool(len(units), cfg.parallelism, func(u int) {
+		sys, q := units[u].sys, units[u].q
+		item := items[sys]
+		if item.Engine == nil {
+			// joinMulti attributes the (system, query) coordinates.
+			errs[sys][q] = errors.New("query: nil engine")
+			results[sys][q] = Result{Err: errs[sys][q]}
+			return
+		}
+		target := item.Engine
+		if !cfg.cache {
+			target = core.New(item.Engine.System())
+		}
+		results[sys][q], errs[sys][q] = Eval(target, item.Queries[q])
+	})
+	return results, joinMulti(errs)
+}
+
+// joinMulti aggregates the per-slot errors, prefixing each with its
+// (system, query) coordinates so a joined message stays attributable.
+func joinMulti(errs [][]error) error {
+	var flat []error
+	for i, row := range errs {
+		for j, err := range row {
+			if err != nil {
+				flat = append(flat, fmt.Errorf("system %d query %d: %w", i, j, err))
+			}
+		}
+	}
+	return errors.Join(flat...)
+}

@@ -1,0 +1,224 @@
+package query
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"pak/internal/core"
+	"pak/internal/ratutil"
+	"pak/internal/scenarios"
+)
+
+// multiFixture builds two distinct systems with their theorem workloads:
+// the 3-agent squad and the 2-agent squad (which degenerates to Example
+// 1, so its headline constraint is pinned at 99/100).
+func multiFixture(t *testing.T) []MultiItem {
+	t.Helper()
+	loss := ratutil.R(1, 10)
+	items := make([]MultiItem, 0, 2)
+	for _, n := range []int{3, 2} {
+		sys, err := scenarios.NFiringSquadSystem(n, loss, false)
+		if err != nil {
+			t.Fatalf("NFiringSquadSystem(%d): %v", n, err)
+		}
+		all := scenarios.AllFireFact(n)
+		items = append(items, MultiItem{
+			Engine: core.New(sys),
+			Queries: []Query{
+				ConstraintQuery{Fact: all, Agent: scenarios.General, Action: scenarios.ActFire},
+				ExpectationQuery{Fact: all, Agent: scenarios.General, Action: scenarios.ActFire},
+				BeliefQuery{Fact: all, Agent: scenarios.General, Action: scenarios.ActFire},
+				TheoremQuery{Theorem: TheoremExpectation, Fact: all, Agent: scenarios.General, Action: scenarios.ActFire},
+				TheoremQuery{Theorem: TheoremPAK, Fact: all, Agent: scenarios.General, Action: scenarios.ActFire,
+					Eps: ratutil.R(1, 4)},
+			},
+		})
+	}
+	return items
+}
+
+// requireEqualResults asserts exact agreement (order, kind, verdict,
+// value, named values) between two result slabs.
+func requireEqualResults(t *testing.T, got, want [][]Result) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("system count: got %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if len(got[i]) != len(want[i]) {
+			t.Fatalf("system %d: got %d results, want %d", i, len(got[i]), len(want[i]))
+		}
+		for j := range want[i] {
+			g, w := got[i][j], want[i][j]
+			if g.Kind != w.Kind || g.Verdict != w.Verdict {
+				t.Errorf("system %d query %d: kind/verdict (%s,%s), want (%s,%s)",
+					i, j, g.Kind, g.Verdict, w.Kind, w.Verdict)
+			}
+			if (g.Value == nil) != (w.Value == nil) || (g.Value != nil && g.Value.Cmp(w.Value) != 0) {
+				t.Errorf("system %d query %d: value %v, want %v", i, j, g.Value, w.Value)
+			}
+			if len(g.Values) != len(w.Values) {
+				t.Errorf("system %d query %d: %d named values, want %d", i, j, len(g.Values), len(w.Values))
+				continue
+			}
+			for k, wv := range w.Values {
+				if gv, ok := g.Values[k]; !ok || gv.Cmp(wv) != 0 {
+					t.Errorf("system %d query %d: values[%q] = %v, want %v", i, j, k, gv, wv)
+				}
+			}
+		}
+	}
+}
+
+// TestMultiBatchMatchesSerial is the sharding contract: fan-out across
+// engines at any parallelism, cached or cold, returns exactly what a
+// serial nested Eval loop produces, in [system][query] order.
+func TestMultiBatchMatchesSerial(t *testing.T) {
+	items := multiFixture(t)
+	want := make([][]Result, len(items))
+	for i, item := range items {
+		want[i] = make([]Result, len(item.Queries))
+		for j, q := range item.Queries {
+			res, err := Eval(item.Engine, q)
+			if err != nil {
+				t.Fatalf("serial Eval system %d query %d: %v", i, j, err)
+			}
+			want[i][j] = res
+		}
+	}
+
+	for _, opts := range [][]Option{
+		nil,
+		{WithParallelism(1)},
+		{WithParallelism(2)},
+		{WithParallelism(16)},
+		{WithCache(false)},
+		{WithParallelism(3), WithCache(false)},
+	} {
+		got, err := MultiBatch(items, opts...)
+		if err != nil {
+			t.Fatalf("MultiBatch(%v): %v", opts, err)
+		}
+		requireEqualResults(t, got, want)
+	}
+
+	// The n=2 squad in slot 1 degenerates to Example 1: pin its headline.
+	got, err := MultiBatch(items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if head := got[1][0].Value; !ratutil.Eq(head, ratutil.R(99, 100)) {
+		t.Errorf("n=2 headline constraint = %s, want 99/100", head.RatString())
+	}
+}
+
+// TestMultiBatchErrorIsolation: a failing query occupies exactly its own
+// slot; neighbours on both systems still succeed, and the joined error
+// names the failing coordinates.
+func TestMultiBatchErrorIsolation(t *testing.T) {
+	items := multiFixture(t)
+	// Sabotage one query on system 0: an agent the system lacks.
+	bad := ConstraintQuery{Fact: scenarios.AllFireFact(3), Agent: "nobody", Action: scenarios.ActFire}
+	items[0].Queries[2] = bad
+
+	results, err := MultiBatch(items)
+	if err == nil {
+		t.Fatal("MultiBatch succeeded, want a joined error")
+	}
+	if !strings.Contains(err.Error(), "system 0 query 2") {
+		t.Errorf("joined error %q does not name the failing coordinates", err)
+	}
+	if results[0][2].Err == nil {
+		t.Error("failing slot has nil Err")
+	}
+	for i := range results {
+		for j := range results[i] {
+			if i == 0 && j == 2 {
+				continue
+			}
+			if results[i][j].Err != nil {
+				t.Errorf("system %d query %d was disturbed: %v", i, j, results[i][j].Err)
+			}
+		}
+	}
+}
+
+func TestMultiBatchNilEngine(t *testing.T) {
+	items := multiFixture(t)
+	items[1].Engine = nil
+	results, err := MultiBatch(items)
+	if err == nil {
+		t.Fatal("MultiBatch with a nil engine succeeded")
+	}
+	for j := range results[1] {
+		if results[1][j].Err == nil {
+			t.Errorf("nil-engine system query %d has nil Err", j)
+		}
+	}
+	for j := range results[0] {
+		if results[0][j].Err != nil {
+			t.Errorf("healthy system query %d was disturbed: %v", j, results[0][j].Err)
+		}
+	}
+}
+
+func TestMultiBatchEmpty(t *testing.T) {
+	results, err := MultiBatch(nil)
+	if err != nil || len(results) != 0 {
+		t.Fatalf("MultiBatch(nil) = %v, %v", results, err)
+	}
+	results, err = MultiBatch([]MultiItem{{Engine: multiFixture(t)[0].Engine}})
+	if err != nil {
+		t.Fatalf("MultiBatch(no queries): %v", err)
+	}
+	if len(results) != 1 || len(results[0]) != 0 {
+		t.Fatalf("MultiBatch(no queries) shape = %v", results)
+	}
+}
+
+// TestResultDocRoundsTrip pins the wire form: exact values survive as
+// RatStrings, errors flatten to messages, witnesses reduce to counts,
+// and the document is valid JSON.
+func TestResultDoc(t *testing.T) {
+	items := multiFixture(t)
+	res, err := Eval(items[1].Engine, items[1].Queries[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := DocOf(res)
+	if doc.Value != "99/100" {
+		t.Errorf("doc.Value = %q, want 99/100", doc.Value)
+	}
+	if doc.Kind != KindConstraint {
+		t.Errorf("doc.Kind = %q", doc.Kind)
+	}
+	if res.Witness != nil && doc.WitnessRuns != res.Witness.Count() {
+		t.Errorf("doc.WitnessRuns = %d, want %d", doc.WitnessRuns, res.Witness.Count())
+	}
+	if res.Witness == nil && doc.WitnessRuns != -1 {
+		t.Errorf("doc.WitnessRuns = %d, want -1 for no witness", doc.WitnessRuns)
+	}
+	data, err := json.Marshal(doc)
+	if err != nil {
+		t.Fatalf("marshal doc: %v", err)
+	}
+	var back ResultDoc
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("unmarshal doc: %v", err)
+	}
+	if back.Value != doc.Value || back.Kind != doc.Kind || back.WitnessRuns != doc.WitnessRuns {
+		t.Errorf("doc did not round-trip: %+v vs %+v", back, doc)
+	}
+
+	badRes, _ := Eval(items[0].Engine, ConstraintQuery{Fact: scenarios.AllFireFact(3),
+		Agent: "nobody", Action: scenarios.ActFire})
+	badDoc := DocOf(badRes)
+	if badDoc.Error == "" {
+		t.Error("error result's doc has empty Error")
+	}
+	docs := DocsOf([]Result{res, badRes})
+	if len(docs) != 2 || docs[0].Value != "99/100" || docs[1].Error == "" {
+		t.Errorf("DocsOf order/content wrong: %+v", docs)
+	}
+}

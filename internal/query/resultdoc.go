@@ -1,0 +1,78 @@
+package query
+
+// ResultDoc is the wire form of a Result: every exact rational rendered
+// as its RatString, witnesses reduced to their run count, and the error
+// flattened to a message. It is what the pakd service returns per query
+// — lossy only where the in-process types are unserializable (the
+// witness run-set itself) and lossless on every number, so a client can
+// re-parse values with math/big.Rat.SetString without precision loss.
+type ResultDoc struct {
+	Kind    Kind              `json:"kind"`
+	Query   string            `json:"query,omitempty"`
+	Value   string            `json:"value,omitempty"`
+	Values  map[string]string `json:"values,omitempty"`
+	Verdict Verdict           `json:"verdict,omitempty"`
+	Flags   map[string]bool   `json:"flags,omitempty"`
+	// WitnessRuns counts the substantiating event's runs; -1 when the
+	// result carries no witness (0 is a real, empty witness), so the
+	// field is never omitted.
+	WitnessRuns int                `json:"witnessRuns"`
+	Timeline    []TimelinePointDoc `json:"timeline,omitempty"`
+	Detail      string             `json:"detail,omitempty"`
+	Error       string             `json:"error,omitempty"`
+}
+
+// TimelinePointDoc is the wire form of one belief-timeline point.
+type TimelinePointDoc struct {
+	Time   int    `json:"time"`
+	Local  string `json:"local"`
+	Belief string `json:"belief"`
+	Knows  bool   `json:"knows"`
+}
+
+// DocOf converts a Result to its wire form.
+func DocOf(res Result) ResultDoc {
+	doc := ResultDoc{
+		Kind:        res.Kind,
+		Query:       res.Query,
+		Verdict:     res.Verdict,
+		Detail:      res.Detail,
+		WitnessRuns: -1,
+	}
+	if res.Err != nil {
+		doc.Error = res.Err.Error()
+	}
+	if res.Value != nil {
+		doc.Value = res.Value.RatString()
+	}
+	if len(res.Values) > 0 {
+		doc.Values = make(map[string]string, len(res.Values))
+		for k, v := range res.Values {
+			doc.Values[k] = v.RatString()
+		}
+	}
+	if len(res.Flags) > 0 {
+		doc.Flags = make(map[string]bool, len(res.Flags))
+		for k, v := range res.Flags {
+			doc.Flags[k] = v
+		}
+	}
+	if res.Witness != nil {
+		doc.WitnessRuns = res.Witness.Count()
+	}
+	for _, p := range res.Timeline {
+		doc.Timeline = append(doc.Timeline, TimelinePointDoc{
+			Time: p.Time, Local: p.Local, Belief: p.Belief.RatString(), Knows: p.Knows,
+		})
+	}
+	return doc
+}
+
+// DocsOf converts a result slice to wire form, preserving order.
+func DocsOf(results []Result) []ResultDoc {
+	out := make([]ResultDoc, len(results))
+	for i, res := range results {
+		out[i] = DocOf(res)
+	}
+	return out
+}

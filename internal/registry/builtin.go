@@ -1,0 +1,223 @@
+package registry
+
+import (
+	"fmt"
+
+	"pak/internal/paper"
+	"pak/internal/pps"
+	"pak/internal/randsys"
+	"pak/internal/scenarios"
+)
+
+// The built-in catalog: every ready-made system of the repository,
+// registered under the names ROADMAP and the CLIs use. Default returns
+// the shared instance all entry points (CLIs, pakd, the pak facade)
+// resolve against.
+
+// maxSquad bounds nsquad's n: the go=1 branch alone has 2^(2(n-1))
+// delivery patterns in round 0, so n beyond 6 is too large to unfold in
+// a service request.
+const maxSquad = 6
+
+// The random scenario's service caps, enforced by its ServeGuard (the
+// pakd request path) but not by the builder itself: local
+// property-testing workloads keep randsys's full domain, while one wire
+// request cannot demand an exponential (or merely enormous linear)
+// unfold. Every dimension that multiplies work is individually capped,
+// and the cumulative worst-case node count is bounded on top.
+const (
+	maxRandomDepth  = 12
+	maxRandomBranch = 8
+	maxRandomAgents = 16
+	maxRandomObs    = 64
+	maxRandomNodes  = 200_000
+)
+
+var defaultRegistry = mustBuiltins()
+
+// Default returns the process-wide registry holding the built-in
+// scenarios. Callers may Register additional scenarios on it; New gives
+// an isolated registry when that sharing is unwanted.
+func Default() *Registry { return defaultRegistry }
+
+// mustBuiltins builds the built-in registry; registration can only fail
+// on a malformed declaration, which is a programming error.
+func mustBuiltins() *Registry {
+	r := New()
+	for _, s := range builtins() {
+		if err := r.Register(s); err != nil {
+			panic(err)
+		}
+	}
+	return r
+}
+
+// intArg narrows an int64 parameter to the platform int, erroring when
+// the value does not fit — per Args.Int's contract, range checks must
+// happen at full width or 32-bit platforms alias huge values onto
+// small ones.
+func intArg(a Args, name string) (int, error) {
+	v := a.Int64(name)
+	if int64(int(v)) != v {
+		return 0, fmt.Errorf("%w: %s=%d does not fit this platform's int", ErrBadSpec, name, v)
+	}
+	return int(v), nil
+}
+
+// randomServeGuard bounds random's resource demand on the service path.
+// Checks run at full width BEFORE any narrowing to int: int(x) on a
+// 32-bit platform aliases huge values onto small ones, which would
+// dodge these caps entirely.
+func randomServeGuard(a Args) error {
+	caps := []struct {
+		name string
+		max  int64
+	}{
+		{"depth", maxRandomDepth},
+		{"branch", maxRandomBranch},
+		{"agents", maxRandomAgents},
+		{"obs", maxRandomObs},
+		{"actiontime", maxRandomDepth},
+	}
+	for _, c := range caps {
+		if v := a.Int64(c.name); v < 0 || v > c.max {
+			return fmt.Errorf("%w: random needs 0 ≤ %s ≤ %d per service request, got %d",
+				ErrBadSpec, c.name, c.max, v)
+		}
+	}
+	// Cumulative worst-case node count: MaxInitial roots, times branch
+	// per level, summed over all depth levels. Depth is already capped,
+	// so this loop is bounded even for adversarial specs.
+	branch := a.Int64("branch")
+	if branch < 1 {
+		branch = 1
+	}
+	level := 2.0 // MaxInitial
+	total := level
+	for i := int64(0); i < a.Int64("depth"); i++ {
+		level *= float64(branch)
+		total += level
+		if total > maxRandomNodes {
+			return fmt.Errorf("%w: random(depth=%d,branch=%d) could unfold beyond %d nodes",
+				ErrBadSpec, a.Int64("depth"), branch, maxRandomNodes)
+		}
+	}
+	return nil
+}
+
+func builtins() []Scenario {
+	lossParam := Param{Name: "loss", Kind: KindRat, Default: "1/10",
+		Doc: "per-message loss probability ℓ"}
+	improvedParam := Param{Name: "improved", Kind: KindBool, Default: "false",
+		Doc: "use the Section 8 refinement (never fire on 'No')"}
+	return []Scenario{
+		{
+			Name:      "fsquad",
+			Doc:       "Example 1's two-agent relaxed firing squad over a lossy synchronous channel",
+			Construct: "Example 1; Section 8 when improved=true",
+			Params:    []Param{lossParam, improvedParam},
+			Build: func(a Args) (*pps.System, error) {
+				variant := paper.FSOriginal
+				if a.Bool("improved") {
+					variant = paper.FSImproved
+				}
+				return paper.FiringSquad(a.Rat("loss"), variant)
+			},
+		},
+		{
+			Name:      "nsquad",
+			Doc:       "the n-agent firing squad: a general plus n−1 soldiers over the lossy channel",
+			Construct: "Example 1 generalized; closed forms (1−ℓ²)^(n−1) and its Section 8 analogue",
+			Params: []Param{
+				{Name: "n", Kind: KindInt, Default: "3",
+					Doc: fmt.Sprintf("total number of agents including the general (2 ≤ n ≤ %d)", maxSquad)},
+				lossParam, improvedParam,
+			},
+			Build: func(a Args) (*pps.System, error) {
+				// Check at full width before narrowing: int(n) on 32-bit
+				// would alias out-of-range values into the valid window.
+				n := a.Int64("n")
+				if n < 2 || n > maxSquad {
+					return nil, fmt.Errorf("%w: nsquad needs 2 ≤ n ≤ %d, got %d", ErrBadSpec, maxSquad, n)
+				}
+				return scenarios.NFiringSquadSystem(int(n), a.Rat("loss"), a.Bool("improved"))
+			},
+		},
+		{
+			Name:      "mutex",
+			Doc:       "relaxed mutual exclusion: two requesters, an arbiter over a lossy channel, timeout entry",
+			Construct: "Section 1's mutual-exclusion motivation",
+			Params:    []Param{lossParam},
+			Build: func(a Args) (*pps.System, error) {
+				return scenarios.MutexSystem(a.Rat("loss"))
+			},
+		},
+		{
+			Name:      "consensus",
+			Doc:       "bounded randomized binary consensus: uniform bits, one lossy exchange, AND decision rule",
+			Construct: "Section 1's consensus motivation",
+			Params:    []Param{lossParam},
+			Build: func(a Args) (*pps.System, error) {
+				return scenarios.ConsensusSystem(a.Rat("loss"))
+			},
+		},
+		{
+			Name:      "that",
+			Doc:       "the pps T-hat(p, ε) where the constraint holds but belief stays pinned at p−ε when acting",
+			Construct: "Figure 2 / Theorem 5.2",
+			Params: []Param{
+				{Name: "p", Kind: KindRat, Default: "9/10", Doc: "constraint threshold p (ε < p < 1)"},
+				{Name: "eps", Kind: KindRat, Default: "1/10", Doc: "belief deficit ε (0 < ε < p)"},
+			},
+			Build: func(a Args) (*pps.System, error) {
+				return paper.That(a.Rat("p"), a.Rat("eps"))
+			},
+		},
+		{
+			Name:      "figure1",
+			Doc:       "the mixed-action counterexample where local-state independence fails",
+			Construct: "Figure 1 / Section 4",
+			Build: func(a Args) (*pps.System, error) {
+				return paper.Figure1()
+			},
+		},
+		{
+			Name:      "random",
+			Doc:       "a seeded random pps with a designated proper action for agent a0, for property workloads",
+			Construct: "the theorems' universal statements, checked over random families",
+			Params: []Param{
+				{Name: "seed", Kind: KindInt, Default: "1", Doc: "generation seed (deterministic output)"},
+				{Name: "agents", Kind: KindInt, Default: "2", Doc: "number of agents"},
+				{Name: "depth", Kind: KindInt, Default: "4", Doc: "uniform run length in transitions"},
+				{Name: "branch", Kind: KindInt, Default: "3", Doc: "maximum children per internal node"},
+				{Name: "obs", Kind: KindInt, Default: "2", Doc: "observation alphabet size (small = richer beliefs)"},
+				{Name: "actiontime", Kind: KindInt, Default: "2", Doc: "time at which a0 may perform the designated action"},
+				{Name: "det", Kind: KindBool, Default: "false", Doc: "make the designated action deterministic (Lemma 4.3(a) mode)"},
+			},
+			Build: func(a Args) (*pps.System, error) {
+				// Narrow through intArg so out-of-range values error on
+				// 32-bit platforms instead of silently aliasing (the
+				// ServeGuard re-checks stricter caps on the service path).
+				dims := map[string]int{}
+				for _, name := range []string{"agents", "depth", "branch", "obs", "actiontime"} {
+					n, err := intArg(a, name)
+					if err != nil {
+						return nil, err
+					}
+					dims[name] = n
+				}
+				return randsys.Generate(randsys.Config{
+					Agents:      dims["agents"],
+					Depth:       dims["depth"],
+					MaxBranch:   dims["branch"],
+					MaxInitial:  2,
+					ObsAlphabet: dims["obs"],
+					ActionTime:  dims["actiontime"],
+					DetAction:   a.Bool("det"),
+					Seed:        a.Int64("seed"),
+				})
+			},
+			ServeGuard: randomServeGuard,
+		},
+	}
+}

@@ -1,0 +1,107 @@
+package registry
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Spec grammar, deliberately tiny:
+//
+//	spec  := name | name "(" args? ")"
+//	args  := arg ("," arg)*
+//	arg   := value | name "=" value
+//
+// Names are lowercase identifiers ([a-z][a-z0-9_]*). Values are any
+// non-empty run without "," or ")" — which covers rationals ("1/10",
+// "0.25"), integers, booleans and plain strings. Positional arguments
+// bind to the scenario's parameters in declared order and must precede
+// named ones; whitespace around tokens is ignored.
+//
+// An argument containing "=" is always parsed as named (the key is the
+// run before the FIRST "="), so a string value that itself contains "="
+// cannot be passed positionally — write it named, where everything
+// after the first "=" belongs to the value: `scn(label=mode=fast)`
+// binds label to "mode=fast".
+
+// parseSpec splits a spec into its scenario name, positional values and
+// named values. Binding against a scenario's declared parameters happens
+// separately in bind, so parse errors and unknown-parameter errors stay
+// distinguishable.
+func parseSpec(spec string) (name string, pos []string, named map[string]string, err error) {
+	s := strings.TrimSpace(spec)
+	if s == "" {
+		return "", nil, nil, fmt.Errorf("%w: empty spec", ErrBadSpec)
+	}
+	open := strings.IndexByte(s, '(')
+	if open < 0 {
+		if !validIdent(s) {
+			return "", nil, nil, fmt.Errorf("%w: bad scenario name %q", ErrBadSpec, s)
+		}
+		return s, nil, nil, nil
+	}
+	name = strings.TrimSpace(s[:open])
+	if !validIdent(name) {
+		return "", nil, nil, fmt.Errorf("%w: bad scenario name %q", ErrBadSpec, name)
+	}
+	if !strings.HasSuffix(s, ")") {
+		return "", nil, nil, fmt.Errorf("%w: %q is missing the closing parenthesis", ErrBadSpec, spec)
+	}
+	body := strings.TrimSpace(s[open+1 : len(s)-1])
+	if strings.ContainsAny(body, "()") {
+		return "", nil, nil, fmt.Errorf("%w: nested parentheses in %q", ErrBadSpec, spec)
+	}
+	if body == "" {
+		return name, nil, nil, nil
+	}
+	named = make(map[string]string)
+	for _, part := range strings.Split(body, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			return "", nil, nil, fmt.Errorf("%w: empty argument in %q", ErrBadSpec, spec)
+		}
+		if eq := strings.IndexByte(part, '='); eq >= 0 {
+			key := strings.TrimSpace(part[:eq])
+			val := strings.TrimSpace(part[eq+1:])
+			if !validIdent(key) {
+				return "", nil, nil, fmt.Errorf("%w: bad parameter name %q in %q", ErrBadSpec, key, spec)
+			}
+			if val == "" {
+				return "", nil, nil, fmt.Errorf("%w: parameter %q has no value in %q", ErrBadSpec, key, spec)
+			}
+			if _, dup := named[key]; dup {
+				return "", nil, nil, fmt.Errorf("%w: parameter %q repeated in %q", ErrBadSpec, key, spec)
+			}
+			named[key] = val
+			continue
+		}
+		if len(named) > 0 {
+			return "", nil, nil, fmt.Errorf("%w: positional argument %q after named arguments in %q",
+				ErrBadSpec, part, spec)
+		}
+		pos = append(pos, part)
+	}
+	if len(named) == 0 {
+		named = nil
+	}
+	return name, pos, named, nil
+}
+
+// validIdent reports whether s is a lowercase identifier.
+func validIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		switch {
+		case c >= 'a' && c <= 'z':
+		case c == '_':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}

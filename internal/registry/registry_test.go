@@ -1,0 +1,301 @@
+package registry
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+
+	"pak/internal/encode"
+	"pak/internal/paper"
+	"pak/internal/pps"
+	"pak/internal/randsys"
+	"pak/internal/ratutil"
+	"pak/internal/scenarios"
+)
+
+func TestParseSpec(t *testing.T) {
+	cases := []struct {
+		spec  string
+		name  string
+		pos   []string
+		named map[string]string
+	}{
+		{spec: "fsquad", name: "fsquad"},
+		{spec: "  fsquad  ", name: "fsquad"},
+		{spec: "fsquad()", name: "fsquad"},
+		{spec: "nsquad(5)", name: "nsquad", pos: []string{"5"}},
+		{spec: "nsquad(5, 1/4)", name: "nsquad", pos: []string{"5", "1/4"}},
+		{spec: "nsquad(5, loss=1/4)", name: "nsquad", pos: []string{"5"},
+			named: map[string]string{"loss": "1/4"}},
+		{spec: "random(seed=42, agents = 3)", name: "random",
+			named: map[string]string{"seed": "42", "agents": "3"}},
+	}
+	for _, tc := range cases {
+		name, pos, named, err := parseSpec(tc.spec)
+		if err != nil {
+			t.Fatalf("parseSpec(%q): %v", tc.spec, err)
+		}
+		if name != tc.name {
+			t.Errorf("parseSpec(%q) name = %q, want %q", tc.spec, name, tc.name)
+		}
+		if len(pos) != len(tc.pos) {
+			t.Errorf("parseSpec(%q) pos = %v, want %v", tc.spec, pos, tc.pos)
+		} else {
+			for i := range pos {
+				if pos[i] != tc.pos[i] {
+					t.Errorf("parseSpec(%q) pos[%d] = %q, want %q", tc.spec, i, pos[i], tc.pos[i])
+				}
+			}
+		}
+		if len(named) != len(tc.named) {
+			t.Errorf("parseSpec(%q) named = %v, want %v", tc.spec, named, tc.named)
+		}
+		for k, want := range tc.named {
+			if named[k] != want {
+				t.Errorf("parseSpec(%q) named[%q] = %q, want %q", tc.spec, k, named[k], want)
+			}
+		}
+	}
+}
+
+func TestParseSpecErrors(t *testing.T) {
+	for _, spec := range []string{
+		"",
+		"   ",
+		"Fsquad",
+		"nsquad(5",
+		"nsquad 5)",
+		"nsquad((5))",
+		"nsquad(,)",
+		"nsquad(loss=)",
+		"nsquad(=5)",
+		"nsquad(loss=1/4, 5)",
+		"nsquad(loss=1/4, loss=1/2)",
+	} {
+		if _, _, _, err := parseSpec(spec); !errors.Is(err, ErrBadSpec) {
+			t.Errorf("parseSpec(%q) = %v, want ErrBadSpec", spec, err)
+		}
+	}
+}
+
+func TestResolveDefaultsAndCanonical(t *testing.T) {
+	r := Default()
+	// Equivalent spellings — positional/named, "0.1" vs "1/10", "03" vs
+	// "3" — must share one canonical form: it is the engine-cache key.
+	for _, spec := range []string{"nsquad(3)", "nsquad(n=3)", "nsquad(3,1/10,false)",
+		"nsquad(n=3,loss=1/10,improved=false)", "nsquad(n=03,loss=0.1)"} {
+		_, args, err := r.Resolve(spec)
+		if err != nil {
+			t.Fatalf("Resolve(%q): %v", spec, err)
+		}
+		const want = "nsquad(n=3,loss=1/10,improved=false)"
+		if got := args.Canonical(); got != want {
+			t.Errorf("Resolve(%q).Canonical() = %q, want %q", spec, got, want)
+		}
+	}
+	_, args, err := r.Resolve("fsquad")
+	if err != nil {
+		t.Fatalf("Resolve(fsquad): %v", err)
+	}
+	if !ratutil.Eq(args.Rat("loss"), ratutil.R(1, 10)) {
+		t.Errorf("fsquad default loss = %s, want 1/10", args.Rat("loss").RatString())
+	}
+	if args.Bool("improved") {
+		t.Error("fsquad default improved = true, want false")
+	}
+}
+
+func TestResolveErrors(t *testing.T) {
+	r := Default()
+	if _, _, err := r.Resolve("nosuch(1)"); !errors.Is(err, ErrUnknownScenario) {
+		t.Errorf("unknown scenario: got %v, want ErrUnknownScenario", err)
+	}
+	for _, spec := range []string{
+		"fsquad(loss=1/10,bogus=1)", // undeclared param
+		"fsquad(1/10,true,7)",       // too many positional
+		"fsquad(1/10,loss=1/4)",     // both positional and named
+		"nsquad(n=x)",               // non-integer
+		"fsquad(loss=abc)",          // non-rational
+		"fsquad(improved=yes)",      // non-boolean
+		"fsquad(loss=1e1000000)",    // exponent form: outside the spec grammar
+	} {
+		if _, _, err := r.Resolve(spec); !errors.Is(err, ErrBadSpec) {
+			t.Errorf("Resolve(%q) = %v, want ErrBadSpec", spec, err)
+		}
+	}
+}
+
+// TestBuildMatchesDirectConstruction pins the registry to the direct
+// constructors: a registry-built system marshals byte-identically to the
+// library call the spec names.
+func TestBuildMatchesDirectConstruction(t *testing.T) {
+	loss := ratutil.R(1, 10)
+	direct := map[string]func() (*pps.System, error){
+		"fsquad(loss=1/10)": func() (*pps.System, error) {
+			return paper.FiringSquad(loss, paper.FSOriginal)
+		},
+		"fsquad(improved=true)": func() (*pps.System, error) {
+			return paper.FiringSquad(loss, paper.FSImproved)
+		},
+		"nsquad(3)": func() (*pps.System, error) {
+			return scenarios.NFiringSquadSystem(3, loss, false)
+		},
+		"mutex(1/4)": func() (*pps.System, error) {
+			return scenarios.MutexSystem(ratutil.R(1, 4))
+		},
+		"consensus()": func() (*pps.System, error) {
+			return scenarios.ConsensusSystem(loss)
+		},
+		"that(p=9/10,eps=1/10)": func() (*pps.System, error) {
+			return paper.That(ratutil.R(9, 10), loss)
+		},
+		"figure1": paper.Figure1,
+		"random(seed=42)": func() (*pps.System, error) {
+			return randsys.Generate(randsys.Default(42))
+		},
+	}
+	for spec, build := range direct {
+		fromRegistry, err := Default().Build(spec)
+		if err != nil {
+			t.Fatalf("Build(%q): %v", spec, err)
+		}
+		want, err := build()
+		if err != nil {
+			t.Fatalf("direct build for %q: %v", spec, err)
+		}
+		gotDoc, err := encode.Marshal(fromRegistry)
+		if err != nil {
+			t.Fatalf("marshal registry system for %q: %v", spec, err)
+		}
+		wantDoc, err := encode.Marshal(want)
+		if err != nil {
+			t.Fatalf("marshal direct system for %q: %v", spec, err)
+		}
+		if !bytes.Equal(gotDoc, wantDoc) {
+			t.Errorf("Build(%q) differs from the direct construction", spec)
+		}
+	}
+}
+
+func TestBuildBounds(t *testing.T) {
+	for _, spec := range []string{"nsquad(1)", "nsquad(99)", "nsquad(4294967299)"} {
+		if _, err := Default().Build(spec); !errors.Is(err, ErrBadSpec) {
+			t.Errorf("Build(%q) = %v, want ErrBadSpec", spec, err)
+		}
+	}
+	// Underlying constructor errors surface too (That needs eps < p).
+	if _, err := Default().Build("that(p=1/10,eps=9/10)"); err == nil {
+		t.Error("Build(that(p=1/10,eps=9/10)) succeeded, want error")
+	}
+}
+
+// TestRandomServeGuard: the service path rejects specs that could
+// demand an unbounded unfold — including 32-bit-aliasing and
+// guard-loop-spinning shapes — while the builder itself keeps randsys's
+// full domain for trusted local callers.
+func TestRandomServeGuard(t *testing.T) {
+	r := Default()
+	sc, ok := r.Lookup("random")
+	if !ok || sc.ServeGuard == nil {
+		t.Fatal("random has no ServeGuard")
+	}
+	for _, spec := range []string{
+		"random(depth=30,branch=5)",                     // exponential
+		"random(depth=50000,branch=1)",                  // huge linear chains
+		"random(depth=1000000000000000,branch=1)",       // would spin a naive guard loop
+		"random(agents=100000000)",                      // per-node memory multiplier
+		"random(depth=12,branch=8)",                     // trips the cumulative node cap
+		"random(seed=1,agents=2,actiontime=4294967299)", // 32-bit aliasing shape
+	} {
+		_, args, err := r.Resolve(spec)
+		if err != nil {
+			t.Fatalf("Resolve(%q): %v", spec, err)
+		}
+		if err := sc.ServeGuard(args); !errors.Is(err, ErrBadSpec) {
+			t.Errorf("ServeGuard(%q) = %v, want ErrBadSpec", spec, err)
+		}
+	}
+	// The default spec passes the guard, and a beyond-guard spec still
+	// builds locally (the guard binds only the service path).
+	_, args, err := r.Resolve("random")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sc.ServeGuard(args); err != nil {
+		t.Errorf("ServeGuard(defaults) = %v, want nil", err)
+	}
+	if _, err := r.Build("random(seed=3,depth=13,branch=1)"); err != nil {
+		t.Errorf("local Build(random(depth=13)) = %v, want success past the service cap", err)
+	}
+}
+
+// TestVetForService: the generic wire bound rejects oversized values on
+// the service path, while Resolve (the local path) keeps accepting
+// them. (Exponent forms never reach this layer — the spec grammar
+// itself excludes them, see TestResolveErrors.)
+func TestVetForService(t *testing.T) {
+	r := Default()
+	for _, spec := range []string{
+		"fsquad(loss=0." + strings.Repeat("1", 80) + ")", // over the value-length cap
+	} {
+		_, args, err := r.Resolve(spec)
+		if err != nil {
+			t.Fatalf("Resolve(%q) should succeed locally: %v", spec, err)
+		}
+		if err := args.VetForService(); !errors.Is(err, ErrBadSpec) {
+			t.Errorf("VetForService(%q) = %v, want ErrBadSpec", spec, err)
+		}
+	}
+	_, args, err := r.Resolve("that(p=9/10,eps=1/10)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := args.VetForService(); err != nil {
+		t.Errorf("VetForService(sane spec) = %v, want nil", err)
+	}
+}
+
+func TestRegisterValidation(t *testing.T) {
+	r := New()
+	ok := Scenario{Name: "demo", Doc: "d", Construct: "c",
+		Build: func(Args) (*pps.System, error) { return nil, nil }}
+	if err := r.Register(ok); err != nil {
+		t.Fatalf("Register: %v", err)
+	}
+	if err := r.Register(ok); !errors.Is(err, ErrDuplicate) {
+		t.Errorf("duplicate Register = %v, want ErrDuplicate", err)
+	}
+	bad := []Scenario{
+		{Name: "", Build: ok.Build},
+		{Name: "Caps", Build: ok.Build},
+		{Name: "nobuilder"},
+		{Name: "badparam", Build: ok.Build, Params: []Param{{Name: "9x", Kind: KindInt, Default: "1"}}},
+		{Name: "dupparam", Build: ok.Build, Params: []Param{
+			{Name: "a", Kind: KindInt, Default: "1"}, {Name: "a", Kind: KindInt, Default: "2"}}},
+		{Name: "baddefault", Build: ok.Build, Params: []Param{{Name: "a", Kind: KindInt, Default: "x"}}},
+	}
+	for _, s := range bad {
+		if err := r.Register(s); err == nil {
+			t.Errorf("Register(%q) succeeded, want error", s.Name)
+		}
+	}
+}
+
+func TestMarkdownCoversEveryScenario(t *testing.T) {
+	doc := Default().Markdown()
+	for _, name := range Default().Names() {
+		if !strings.Contains(doc, "## "+name+"\n") {
+			t.Errorf("Markdown() is missing a section for %q", name)
+		}
+	}
+	s, _ := Default().Lookup("nsquad")
+	for _, p := range s.Params {
+		if !strings.Contains(doc, "`"+p.Name+"`") {
+			t.Errorf("Markdown() is missing nsquad param %q", p.Name)
+		}
+	}
+	if !strings.Contains(doc, "nsquad(n=3,loss=1/10,improved=false)") {
+		t.Error("Markdown() is missing nsquad's canonical example spec")
+	}
+}

@@ -1,0 +1,412 @@
+// Package service is the HTTP/JSON front end over the scenario registry
+// and the query layer: the bridge from "library" to "service" on the
+// ROADMAP. A Server resolves scenario specs against a registry, keeps
+// one memoizing engine per canonical spec (so repeated requests against
+// "fsquad" share every cached belief and performance index), and
+// evaluates pak's existing query-batch documents with cross-system
+// fan-out through query.MultiBatch.
+//
+// Endpoints:
+//
+//	GET  /v1/scenarios         — the self-describing catalog (JSON)
+//	GET  /v1/scenarios/{name}  — one scenario's metadata
+//	POST /v1/eval              — evaluate a query batch against named systems
+//
+// An eval request names systems by spec and carries query batches in the
+// exact format of pak.ParseQueryBatch — the query layer was shaped to be
+// this wire format, so documents produced by pak.MarshalQueryBatch or
+// pakrand -batch POST unchanged:
+//
+//	{
+//	  "systems": ["fsquad", "nsquad(3)"],
+//	  "queries": [ {"kind":"constraint", ...}, ... ],
+//	  "parallelism": 0
+//	}
+//
+// Top-level queries fan out to every named system; a "requests" list
+// gives per-system batches instead (or additionally). The response keeps
+// per-system result ordering and per-query error isolation: a failing
+// query reports in its own slot's "error" field with HTTP 200, while
+// request-level failures (unknown scenario, malformed params, a bad
+// batch document) are 4xx with a JSON error body.
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"strings"
+	"sync"
+
+	"pak/internal/core"
+	"pak/internal/query"
+	"pak/internal/registry"
+)
+
+// Option configures a Server.
+type Option func(*Server)
+
+// WithMaxParallelism caps the evaluation workers a single request may
+// use (default runtime.GOMAXPROCS(0)). Requests asking for more are
+// clamped, never rejected.
+func WithMaxParallelism(n int) Option {
+	return func(s *Server) {
+		if n > 0 {
+			s.maxParallel = n
+		}
+	}
+}
+
+// WithMaxQueries caps the total (system, query) pairs one eval request
+// may submit (default 10000), bounding a single request's evaluation
+// work.
+func WithMaxQueries(n int) Option {
+	return func(s *Server) {
+		if n > 0 {
+			s.maxQueries = n
+		}
+	}
+}
+
+// WithMaxSystems caps the systems one eval request may name (default
+// 64), bounding the unfolding work and engine-cache growth a single
+// request can cause — each distinct canonical spec builds and retains
+// one engine.
+func WithMaxSystems(n int) Option {
+	return func(s *Server) {
+		if n > 0 {
+			s.maxSystems = n
+		}
+	}
+}
+
+// maxBodyBytes bounds the /v1/eval request body (8 MiB): far above any
+// reasonable query batch, far below what could exhaust server memory.
+const maxBodyBytes = 8 << 20
+
+// Server serves the registry and the query layer over HTTP. It is safe
+// for concurrent use; engines are shared across requests.
+type Server struct {
+	reg         *registry.Registry
+	maxParallel int
+	maxQueries  int
+	maxSystems  int
+
+	mu      sync.Mutex
+	engines map[string]*core.Engine // canonical spec → shared engine
+}
+
+// New returns a server over the registry (nil means registry.Default()).
+func New(reg *registry.Registry, opts ...Option) *Server {
+	if reg == nil {
+		reg = registry.Default()
+	}
+	s := &Server{
+		reg:         reg,
+		maxParallel: runtime.GOMAXPROCS(0),
+		maxQueries:  10000,
+		maxSystems:  64,
+		engines:     make(map[string]*core.Engine),
+	}
+	for _, opt := range opts {
+		opt(s)
+	}
+	return s
+}
+
+// Handler returns the service's HTTP handler.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/scenarios", s.handleScenarios)
+	mux.HandleFunc("/v1/scenarios/", s.handleScenario)
+	mux.HandleFunc("/v1/eval", s.handleEval)
+	return mux
+}
+
+// engineFor resolves a spec and returns the shared engine for its
+// canonical form, building the system on first use. The build runs
+// outside the lock: scenario unfolding can be expensive, and two
+// concurrent first requests for one spec are rarer than one slow build
+// blocking every other spec.
+func (s *Server) engineFor(spec string) (*core.Engine, string, error) {
+	sc, args, err := s.reg.Resolve(spec)
+	if err != nil {
+		return nil, "", err
+	}
+	// Wire-exposure bounds (trusted local callers bypass both by
+	// building directly): the generic value/rational caps every
+	// scenario shares, then the scenario's own ServeGuard. Guard
+	// rejections are client errors by definition, so wrap them in
+	// ErrBadSpec even when a custom guard returns a plain error.
+	if err := args.VetForService(); err != nil {
+		return nil, "", err
+	}
+	if sc.ServeGuard != nil {
+		if err := sc.ServeGuard(args); err != nil {
+			if !errors.Is(err, registry.ErrBadSpec) && !errors.Is(err, registry.ErrUnknownScenario) {
+				err = fmt.Errorf("%w: %v", registry.ErrBadSpec, err)
+			}
+			return nil, "", err
+		}
+	}
+	key := args.Canonical()
+	s.mu.Lock()
+	e, ok := s.engines[key]
+	s.mu.Unlock()
+	if ok {
+		return e, key, nil
+	}
+	sys, err := sc.Build(args)
+	if err != nil {
+		// Validated params fully determine a build, so a builder failure
+		// here is a domain error in the client's spec (loss outside
+		// [0,1], agents=0, eps ≥ p, ...): report it as one, not as a 500.
+		return nil, "", fmt.Errorf("%w: %v", registry.ErrBadSpec, err)
+	}
+	if sys == nil {
+		// Same guard Registry.Build applies: a custom builder returning
+		// (nil, nil) must not become a permanently cached nil-system
+		// engine that panics on every query.
+		return nil, "", fmt.Errorf("%w: scenario %q returned a nil system", registry.ErrBadSpec, key)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if winner, ok := s.engines[key]; ok {
+		return winner, key, nil
+	}
+	e = core.New(sys)
+	s.engines[key] = e
+	return e, key, nil
+}
+
+// The catalog endpoints serialize registry.Scenario directly: its JSON
+// tags are the wire form (the builder is json:"-"), so new metadata
+// fields reach clients without a mirror struct here.
+
+func (s *Server) handleScenarios(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("%s not allowed; use GET", r.Method))
+		return
+	}
+	writeJSON(w, http.StatusOK, s.reg.Scenarios())
+}
+
+func (s *Server) handleScenario(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("%s not allowed; use GET", r.Method))
+		return
+	}
+	name := strings.TrimPrefix(r.URL.Path, "/v1/scenarios/")
+	sc, ok := s.reg.Lookup(name)
+	if !ok {
+		writeError(w, http.StatusNotFound,
+			fmt.Errorf("%w: %q (have %v)", registry.ErrUnknownScenario, name, s.reg.Names()))
+		return
+	}
+	writeJSON(w, http.StatusOK, sc)
+}
+
+// EvalRequest is the /v1/eval request body.
+type EvalRequest struct {
+	// Systems are scenario specs the top-level Queries fan out to.
+	Systems []string `json:"systems,omitempty"`
+	// Queries is a pak.ParseQueryBatch document (a JSON array of query
+	// specs) shared by every entry of Systems, and the default batch for
+	// Requests entries that omit their own.
+	Queries json.RawMessage `json:"queries,omitempty"`
+	// Requests are per-system batches, appended after Systems' fan-out.
+	Requests []SystemRequest `json:"requests,omitempty"`
+	// Parallelism bounds the worker pool (0 = server default; values
+	// above the server's cap are clamped). 1 evaluates serially — the
+	// results are identical either way, only slower.
+	Parallelism int `json:"parallelism,omitempty"`
+}
+
+// SystemRequest is one per-system batch inside an EvalRequest.
+type SystemRequest struct {
+	// System is the scenario spec.
+	System string `json:"system"`
+	// Queries overrides the request's shared batch for this system.
+	Queries json.RawMessage `json:"queries,omitempty"`
+}
+
+// EvalResponse is the /v1/eval response body.
+type EvalResponse struct {
+	// Results has one entry per requested system, in request order.
+	Results []SystemResult `json:"results"`
+}
+
+// SystemResult is one system's evaluated batch.
+type SystemResult struct {
+	// System echoes the requested spec; Canonical is its fully resolved
+	// form (the engine-cache key).
+	System    string `json:"system"`
+	Canonical string `json:"canonical"`
+	// Results has one entry per query, in batch order. Failed queries
+	// carry their message in the entry's "error" field.
+	Results []query.ResultDoc `json:"results"`
+}
+
+func (s *Server) handleEval(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("%s not allowed; use POST", r.Method))
+		return
+	}
+	var req EvalRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				fmt.Errorf("request body exceeds %d bytes", tooLarge.Limit))
+			return
+		}
+		writeError(w, http.StatusBadRequest, fmt.Errorf("malformed request body: %w", err))
+		return
+	}
+	if dec.More() {
+		writeError(w, http.StatusBadRequest,
+			errors.New("malformed request body: trailing content after the JSON document"))
+		return
+	}
+
+	// Normalize both request forms into one per-system list. `shared`
+	// marks targets using the top-level batch, which is parsed once.
+	type target struct {
+		spec   string
+		raw    json.RawMessage
+		shared bool
+	}
+	var targets []target
+	for _, spec := range req.Systems {
+		targets = append(targets, target{spec: spec, raw: req.Queries, shared: true})
+	}
+	for _, sr := range req.Requests {
+		raw, shared := sr.Queries, false
+		if isMissingJSON(raw) {
+			raw, shared = req.Queries, true
+		}
+		targets = append(targets, target{spec: sr.System, raw: raw, shared: shared})
+	}
+	if len(targets) == 0 {
+		writeError(w, http.StatusBadRequest,
+			errors.New(`empty request: name at least one system in "systems" or "requests"`))
+		return
+	}
+	// The systems cap bounds the builds, not just the evaluations: every
+	// distinct canonical spec unfolds a system and retains an engine.
+	if len(targets) > s.maxSystems {
+		writeError(w, http.StatusBadRequest,
+			fmt.Errorf("request names %d systems, above the server cap of %d", len(targets), s.maxSystems))
+		return
+	}
+
+	// Parse every batch and enforce the work cap before building any
+	// engine: scenario unfolding is the expensive, cached-forever part,
+	// so an over-cap request must be rejected before it happens. The
+	// shared top-level batch is parsed once, not once per system.
+	var sharedQs []query.Query
+	sharedParsed := false
+	batches := make([][]query.Query, len(targets))
+	total := 0
+	for i, tg := range targets {
+		if isMissingJSON(tg.raw) {
+			writeError(w, http.StatusBadRequest,
+				fmt.Errorf(`system %q has no query batch: provide "queries" at the top level or per request`, tg.spec))
+			return
+		}
+		if tg.shared && sharedParsed {
+			batches[i] = sharedQs
+			total += len(sharedQs)
+			continue
+		}
+		qs, err := query.ParseBatch(tg.raw)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("system %q: bad query batch: %w", tg.spec, err))
+			return
+		}
+		if tg.shared {
+			sharedQs, sharedParsed = qs, true
+		}
+		batches[i] = qs
+		total += len(qs)
+	}
+	if total > s.maxQueries {
+		writeError(w, http.StatusBadRequest,
+			fmt.Errorf("request submits %d queries, above the server cap of %d", total, s.maxQueries))
+		return
+	}
+
+	items := make([]query.MultiItem, len(targets))
+	canonicals := make([]string, len(targets))
+	for i, tg := range targets {
+		e, canonical, err := s.engineFor(tg.spec)
+		if err != nil {
+			writeError(w, statusOfRegistryErr(err), err)
+			return
+		}
+		items[i] = query.MultiItem{Engine: e, Queries: batches[i]}
+		canonicals[i] = canonical
+	}
+
+	parallel := s.maxParallel
+	if req.Parallelism > 0 && req.Parallelism < parallel {
+		parallel = req.Parallelism
+	}
+	// Per-query errors are already isolated in their result slots; the
+	// joined error adds nothing for a wire client.
+	results, _ := query.MultiBatch(items, query.WithParallelism(parallel))
+
+	resp := EvalResponse{Results: make([]SystemResult, len(targets))}
+	for i, tg := range targets {
+		resp.Results[i] = SystemResult{
+			System:    tg.spec,
+			Canonical: canonicals[i],
+			Results:   query.DocsOf(results[i]),
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// isMissingJSON reports whether a raw batch field is absent for all
+// practical purposes: omitted entirely, or the JSON null literal
+// ("present" only lexically). One predicate, so the per-request
+// fallback and the final validation can't disagree on null.
+func isMissingJSON(raw json.RawMessage) bool {
+	return len(raw) == 0 || string(raw) == "null"
+}
+
+// statusOfRegistryErr maps registry failures to HTTP statuses: both
+// unknown scenarios and malformed specs are client errors.
+func statusOfRegistryErr(err error) int {
+	switch {
+	case errors.Is(err, registry.ErrUnknownScenario):
+		return http.StatusNotFound
+	case errors.Is(err, registry.ErrBadSpec):
+		return http.StatusBadRequest
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// errorDoc is the uniform JSON error body.
+type errorDoc struct {
+	Error string `json:"error"`
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, errorDoc{Error: err.Error()})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	// Encoding a fully materialized value cannot fail except for a broken
+	// connection, which the client observes anyway.
+	_ = enc.Encode(v)
+}

@@ -1,0 +1,328 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"pak/internal/query"
+	"pak/internal/ratutil"
+	"pak/internal/registry"
+	"pak/internal/scenarios"
+)
+
+func newTestServer(t *testing.T, opts ...Option) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(New(nil, opts...).Handler())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// squadBatch is the shared wire-format batch, targeting the General and
+// s1 — agents every nsquad instance has.
+func squadBatch(t *testing.T) []byte {
+	t.Helper()
+	all := scenarios.AllFireFact(2)
+	doc, err := query.MarshalBatch([]query.Query{
+		query.ConstraintQuery{Fact: all, Agent: scenarios.General, Action: scenarios.ActFire},
+		query.ExpectationQuery{Fact: all, Agent: scenarios.General, Action: scenarios.ActFire},
+		query.TheoremQuery{Theorem: query.TheoremExpectation, Fact: all,
+			Agent: scenarios.General, Action: scenarios.ActFire},
+		query.TheoremQuery{Theorem: query.TheoremPAK, Fact: all,
+			Agent: scenarios.General, Action: scenarios.ActFire, Eps: ratutil.R(1, 4)},
+	})
+	if err != nil {
+		t.Fatalf("MarshalBatch: %v", err)
+	}
+	return doc
+}
+
+func postEval(t *testing.T, ts *httptest.Server, body string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/v1/eval", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST /v1/eval: %v", err)
+	}
+	return resp, []byte(readAll(t, resp))
+}
+
+// readAll drains and closes the response body.
+func readAll(t *testing.T, resp *http.Response) string {
+	t.Helper()
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read response body: %v", err)
+	}
+	return string(data)
+}
+
+func TestScenarioCatalogEndpoints(t *testing.T) {
+	ts := newTestServer(t)
+
+	resp, err := http.Get(ts.URL + "/v1/scenarios")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /v1/scenarios: status %d", resp.StatusCode)
+	}
+	var docs []registry.Scenario
+	if err := json.Unmarshal([]byte(readAll(t, resp)), &docs); err != nil {
+		t.Fatalf("decode catalog: %v", err)
+	}
+	names := make(map[string]bool, len(docs))
+	for _, d := range docs {
+		names[d.Name] = true
+	}
+	for _, want := range registry.Default().Names() {
+		if !names[want] {
+			t.Errorf("catalog is missing %q", want)
+		}
+	}
+
+	one, err := http.Get(ts.URL + "/v1/scenarios/nsquad")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if one.StatusCode != http.StatusOK {
+		t.Fatalf("GET /v1/scenarios/nsquad: status %d", one.StatusCode)
+	}
+	var doc registry.Scenario
+	if err := json.Unmarshal([]byte(readAll(t, one)), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Name != "nsquad" || len(doc.Params) != 3 {
+		t.Errorf("nsquad metadata = %+v", doc)
+	}
+
+	missing, err := http.Get(ts.URL + "/v1/scenarios/nosuch")
+	if err != nil {
+		t.Fatal(err)
+	}
+	missing.Body.Close()
+	if missing.StatusCode != http.StatusNotFound {
+		t.Errorf("GET /v1/scenarios/nosuch: status %d, want 404", missing.StatusCode)
+	}
+}
+
+// TestEvalFanOut is the acceptance scenario: one ParseQueryBatch
+// document against two named systems in one request, sharded across
+// engines, with parallel results exactly equal to serial.
+func TestEvalFanOut(t *testing.T) {
+	ts := newTestServer(t)
+	batch := squadBatch(t)
+
+	body := fmt.Sprintf(`{"systems": ["nsquad(2)", "nsquad(n=3)"], "queries": %s}`, batch)
+	resp, data := postEval(t, ts, body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("eval status %d: %s", resp.StatusCode, data)
+	}
+	var out EvalResponse
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatalf("decode response: %v", err)
+	}
+	if len(out.Results) != 2 {
+		t.Fatalf("got %d system results, want 2", len(out.Results))
+	}
+	if out.Results[0].System != "nsquad(2)" || out.Results[1].System != "nsquad(n=3)" {
+		t.Errorf("system order not preserved: %q, %q", out.Results[0].System, out.Results[1].System)
+	}
+	if out.Results[1].Canonical != "nsquad(n=3,loss=1/10,improved=false)" {
+		t.Errorf("canonical = %q", out.Results[1].Canonical)
+	}
+	for i, sr := range out.Results {
+		if len(sr.Results) != 4 {
+			t.Fatalf("system %d: %d results, want 4", i, len(sr.Results))
+		}
+		for j, rd := range sr.Results {
+			if rd.Error != "" {
+				t.Errorf("system %d query %d failed: %s", i, j, rd.Error)
+			}
+		}
+	}
+	// nsquad(2) degenerates to Example 1: µ = 99/100, and the paper's
+	// exact expectation matches by Theorem 6.2.
+	if got := out.Results[0].Results[0].Value; got != "99/100" {
+		t.Errorf("nsquad(2) headline = %q, want 99/100", got)
+	}
+	if out.Results[0].Results[2].Verdict != query.VerdictPass {
+		t.Error("Theorem 6.2 did not pass on nsquad(2)")
+	}
+
+	// Parallel results exactly equal serial: re-POST with parallelism 1
+	// and compare the entire body.
+	serialResp, serialData := postEval(t, ts,
+		fmt.Sprintf(`{"systems": ["nsquad(2)", "nsquad(n=3)"], "queries": %s, "parallelism": 1}`, batch))
+	if serialResp.StatusCode != http.StatusOK {
+		t.Fatalf("serial eval status %d", serialResp.StatusCode)
+	}
+	if string(serialData) != string(data) {
+		t.Error("serial response body differs from parallel response body")
+	}
+}
+
+func TestEvalPerSystemRequests(t *testing.T) {
+	ts := newTestServer(t)
+	shared := squadBatch(t)
+	own, err := query.MarshalBatch([]query.Query{
+		query.ConstraintQuery{Fact: scenarios.AllFireFact(3),
+			Agent: scenarios.General, Action: scenarios.ActFire},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := fmt.Sprintf(`{
+		"queries": %s,
+		"requests": [
+			{"system": "nsquad(2)"},
+			{"system": "nsquad(3)", "queries": %s}
+		]
+	}`, shared, own)
+	resp, data := postEval(t, ts, body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("eval status %d: %s", resp.StatusCode, data)
+	}
+	var out EvalResponse
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Results) != 2 || len(out.Results[0].Results) != 4 || len(out.Results[1].Results) != 1 {
+		t.Fatalf("per-system batch shapes wrong: %+v", out.Results)
+	}
+	// (1−ℓ²)² at ℓ=1/10: the n=3 closed form.
+	want := ratutil.Mul(ratutil.R(99, 100), ratutil.R(99, 100)).RatString()
+	if got := out.Results[1].Results[0].Value; got != want {
+		t.Errorf("nsquad(3) headline = %q, want %s", got, want)
+	}
+}
+
+// TestEvalQueryErrorIsolation: a query naming an absent agent fails in
+// its own slot with HTTP 200; neighbours still carry values.
+func TestEvalQueryErrorIsolation(t *testing.T) {
+	ts := newTestServer(t)
+	all := scenarios.AllFireFact(2)
+	batch, err := query.MarshalBatch([]query.Query{
+		query.ConstraintQuery{Fact: all, Agent: scenarios.General, Action: scenarios.ActFire},
+		query.ConstraintQuery{Fact: all, Agent: "nobody", Action: scenarios.ActFire},
+		query.ExpectationQuery{Fact: all, Agent: scenarios.General, Action: scenarios.ActFire},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, data := postEval(t, ts, fmt.Sprintf(`{"systems": ["nsquad(2)"], "queries": %s}`, batch))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("eval status %d: %s", resp.StatusCode, data)
+	}
+	var out EvalResponse
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatal(err)
+	}
+	rs := out.Results[0].Results
+	if rs[1].Error == "" {
+		t.Error("bad query's slot has no error")
+	}
+	if rs[0].Value != "99/100" || rs[2].Value != "99/100" {
+		t.Errorf("neighbours disturbed: %q, %q", rs[0].Value, rs[2].Value)
+	}
+}
+
+func TestEvalErrorPaths(t *testing.T) {
+	ts := newTestServer(t, WithMaxQueries(3), WithMaxSystems(2))
+	batch := squadBatch(t) // 4 queries, above the cap of 3
+
+	cases := []struct {
+		name   string
+		body   string
+		status int
+		substr string
+	}{
+		{"malformed body", `{"systems": [`, http.StatusBadRequest, "malformed request body"},
+		{"unknown field", `{"bogus": 1}`, http.StatusBadRequest, "bogus"},
+		{"empty request", `{}`, http.StatusBadRequest, "empty request"},
+		{"no queries", `{"systems": ["nsquad(2)"]}`, http.StatusBadRequest, "no query batch"},
+		{"unknown scenario", `{"systems": ["nosuch"], "queries": []}`,
+			http.StatusNotFound, "unknown scenario"},
+		{"malformed params", `{"systems": ["nsquad(n=zero)"], "queries": []}`,
+			http.StatusBadRequest, "invalid scenario spec"},
+		{"undeclared param", `{"systems": ["fsquad(frobnicate=1)"], "queries": []}`,
+			http.StatusBadRequest, "no parameter"},
+		{"out-of-range params", `{"systems": ["nsquad(42)"], "queries": []}`,
+			http.StatusBadRequest, "2 ≤ n"},
+		{"builder domain error", `{"systems": ["random(agents=0)"], "queries": []}`,
+			http.StatusBadRequest, "Agents=0"},
+		{"builder constraint error", `{"systems": ["that(p=1/10,eps=9/10)"], "queries": []}`,
+			http.StatusBadRequest, "invalid scenario spec"},
+		{"serve guard rejects unbounded unfold", `{"systems": ["random(depth=50000,branch=1)"], "queries": []}`,
+			http.StatusBadRequest, "per service request"},
+		{"exponent rationals outside spec grammar", `{"systems": ["fsquad(loss=1e1000000)"], "queries": []}`,
+			http.StatusBadRequest, "want a rational"},
+		{"wire bounds reject oversized rational", fmt.Sprintf(`{"systems": ["fsquad(loss=0.%s)"], "queries": []}`,
+			strings.Repeat("1", 80)), http.StatusBadRequest, "above the service limit"},
+		{"bad batch document", `{"systems": ["nsquad(2)"], "queries": [{"kind": "nope"}]}`,
+			http.StatusBadRequest, "bad query batch"},
+		{"batch not an array", `{"systems": ["nsquad(2)"], "queries": {"kind": "belief"}}`,
+			http.StatusBadRequest, "bad query batch"},
+		{"over query cap", fmt.Sprintf(`{"systems": ["nsquad(2)"], "queries": %s}`, batch),
+			http.StatusBadRequest, "above the server cap"},
+		{"over systems cap", `{"systems": ["nsquad(2)", "nsquad(3)", "nsquad(4)"], "queries": []}`,
+			http.StatusBadRequest, "names 3 systems"},
+	}
+	for _, tc := range cases {
+		resp, data := postEval(t, ts, tc.body)
+		if resp.StatusCode != tc.status {
+			t.Errorf("%s: status %d, want %d (%s)", tc.name, resp.StatusCode, tc.status, data)
+			continue
+		}
+		var ed struct {
+			Error string `json:"error"`
+		}
+		if err := json.Unmarshal(data, &ed); err != nil || ed.Error == "" {
+			t.Errorf("%s: body is not a JSON error doc: %s", tc.name, data)
+			continue
+		}
+		if !strings.Contains(ed.Error, tc.substr) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, ed.Error, tc.substr)
+		}
+	}
+
+	resp, err := http.Get(ts.URL + "/v1/eval")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /v1/eval: status %d, want 405", resp.StatusCode)
+	}
+}
+
+// TestEngineSharing: equivalent specs resolve to one engine, so
+// memoization accumulates across requests.
+func TestEngineSharing(t *testing.T) {
+	s := New(nil)
+	e1, key1, err := s.engineFor("nsquad(3)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, key2, err := s.engineFor("nsquad(n=3,loss=1/10)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if key1 != key2 {
+		t.Errorf("canonical keys differ: %q vs %q", key1, key2)
+	}
+	if e1 != e2 {
+		t.Error("equivalent specs got distinct engines")
+	}
+	e3, _, err := s.engineFor("nsquad(4)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e3 == e1 {
+		t.Error("distinct specs share an engine")
+	}
+}

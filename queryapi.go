@@ -46,6 +46,10 @@ type (
 
 	// EvalOption configures EvalBatch.
 	EvalOption = query.Option
+
+	// MultiItem pairs an engine with the queries EvalMultiBatch
+	// evaluates against it.
+	MultiItem = query.MultiItem
 )
 
 // Query kinds.
@@ -96,6 +100,26 @@ func EvalBatch(e *Engine, qs []Query, opts ...EvalOption) ([]QueryResult, error)
 // for callers that have a system and a query list.
 func EvalSystem(sys *System, qs []Query, opts ...EvalOption) ([]QueryResult, error) {
 	return query.EvalBatch(core.New(sys), qs, opts...)
+}
+
+// EvalMultiBatch is the cross-system fan-out: every item's query batch
+// evaluates against that item's engine, all (system, query) pairs
+// sharded across one bounded worker pool. Results come back indexed
+// [system][query] in input order, exactly equal to a serial nested Eval
+// loop's; a failing query occupies only its own slot (Result.Err), and
+// the joined error names each failure's (system, query) coordinates.
+func EvalMultiBatch(items []MultiItem, opts ...EvalOption) ([][]QueryResult, error) {
+	return query.MultiBatch(items, opts...)
+}
+
+// EvalMultiSystems is EvalMultiBatch over fresh engines: one query list
+// fanned out across several systems.
+func EvalMultiSystems(systems []*System, qs []Query, opts ...EvalOption) ([][]QueryResult, error) {
+	items := make([]MultiItem, len(systems))
+	for i, sys := range systems {
+		items[i] = MultiItem{Engine: core.New(sys), Queries: qs}
+	}
+	return query.MultiBatch(items, opts...)
 }
 
 // WithParallelism sets the number of EvalBatch workers (n ≤ 1 is

@@ -1,0 +1,66 @@
+package pak
+
+import (
+	"pak/internal/registry"
+)
+
+// The scenario registry, re-exported from internal/registry: every
+// ready-made system addressable by a compact spec string — "fsquad",
+// "nsquad(5)", "random(seed=42,agents=3)" — with self-describing
+// metadata (params, defaults, descriptions), so CLIs, services and
+// programs reference systems by name + params instead of shipping
+// system JSON. See SCENARIOS.md for the generated catalog.
+type (
+	// ScenarioRegistry maps scenario names to builders; safe for
+	// concurrent use.
+	ScenarioRegistry = registry.Registry
+	// Scenario is one registered system family: name, description, the
+	// paper construct it exercises, parameters and builder.
+	Scenario = registry.Scenario
+	// ScenarioParam declares one scenario parameter (name, kind,
+	// default, doc).
+	ScenarioParam = registry.Param
+	// ScenarioParamKind is a parameter's value type (rat, int, bool,
+	// string).
+	ScenarioParamKind = registry.ParamKind
+	// ScenarioArgs is a validated argument set ready for a scenario's
+	// builder.
+	ScenarioArgs = registry.Args
+)
+
+// Scenario parameter kinds.
+const (
+	ScenarioRat    = registry.KindRat
+	ScenarioInt    = registry.KindInt
+	ScenarioBool   = registry.KindBool
+	ScenarioString = registry.KindString
+)
+
+// Registry errors.
+var (
+	// ErrUnknownScenario indicates a spec naming no registered scenario.
+	ErrUnknownScenario = registry.ErrUnknownScenario
+	// ErrBadScenarioSpec indicates a malformed spec string or parameters
+	// outside their declared kind or domain.
+	ErrBadScenarioSpec = registry.ErrBadSpec
+)
+
+// Scenarios returns the process-wide registry holding the built-in
+// scenarios (fsquad, nsquad, mutex, consensus, that, figure1, random).
+// Callers may Register their own scenarios on it; NewScenarioRegistry
+// gives an isolated registry instead.
+func Scenarios() *ScenarioRegistry { return registry.Default() }
+
+// NewScenarioRegistry returns an empty registry, for callers that want
+// a catalog isolated from the built-ins.
+func NewScenarioRegistry() *ScenarioRegistry { return registry.New() }
+
+// BuildScenario resolves a spec like "nsquad(5)" or
+// "random(seed=42,agents=3)" against the built-in registry and
+// constructs its system. Omitted parameters take their declared
+// defaults.
+func BuildScenario(spec string) (*System, error) { return registry.Default().Build(spec) }
+
+// ScenarioCatalog renders the built-in registry as the SCENARIOS.md
+// markdown catalog (the document `make docs` regenerates).
+func ScenarioCatalog() string { return registry.Default().Markdown() }

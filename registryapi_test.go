@@ -1,0 +1,156 @@
+package pak_test
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"pak"
+)
+
+// TestScenarioRoundTripIdenticalResults is the registry-reference
+// round-trip contract: a scenario spec (name + params) and a query
+// batch go through JSON and back, and the parsed batch evaluated on the
+// registry-built system returns a Result set exactly equal to the
+// original batch on the directly built system.
+func TestScenarioRoundTripIdenticalResults(t *testing.T) {
+	specs := []string{
+		"fsquad",
+		"fsquad(loss=1/4,improved=true)",
+		"nsquad(3)",
+		"that(p=9/10,eps=1/10)",
+		"random(seed=7,agents=3)",
+	}
+	for _, spec := range specs {
+		sys, err := pak.BuildScenario(spec)
+		if err != nil {
+			t.Fatalf("BuildScenario(%q): %v", spec, err)
+		}
+		qs := scenarioBatch(t, spec)
+
+		doc, err := pak.MarshalQueryBatch(qs)
+		if err != nil {
+			t.Fatalf("%s: MarshalQueryBatch: %v", spec, err)
+		}
+		parsed, err := pak.ParseQueryBatch(doc)
+		if err != nil {
+			t.Fatalf("%s: ParseQueryBatch: %v", spec, err)
+		}
+		if len(parsed) != len(qs) {
+			t.Fatalf("%s: parsed %d queries, want %d", spec, len(parsed), len(qs))
+		}
+
+		want, err := pak.EvalSystem(sys, qs)
+		if err != nil {
+			t.Fatalf("%s: eval original batch: %v", spec, err)
+		}
+		sysAgain, err := pak.BuildScenario(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := pak.EvalSystem(sysAgain, parsed)
+		if err != nil {
+			t.Fatalf("%s: eval parsed batch: %v", spec, err)
+		}
+		for i := range want {
+			w, g := want[i], got[i]
+			if w.Kind != g.Kind || w.Verdict != g.Verdict {
+				t.Errorf("%s query %d: (%s,%s), want (%s,%s)", spec, i, g.Kind, g.Verdict, w.Kind, w.Verdict)
+			}
+			if (w.Value == nil) != (g.Value == nil) || (w.Value != nil && w.Value.Cmp(g.Value) != 0) {
+				t.Errorf("%s query %d: value %v, want %v", spec, i, g.Value, w.Value)
+			}
+			for k, wv := range w.Values {
+				if gv, ok := g.Values[k]; !ok || gv.Cmp(wv) != 0 {
+					t.Errorf("%s query %d: values[%q] = %v, want %v", spec, i, k, gv, wv)
+				}
+			}
+		}
+	}
+}
+
+// scenarioBatch returns a serializable analysis batch appropriate to
+// the spec's agents and proper action.
+func scenarioBatch(t *testing.T, spec string) []pak.Query {
+	t.Helper()
+	var fact pak.Fact
+	var agent, action string
+	switch {
+	case strings.HasPrefix(spec, "fsquad"):
+		fact = pak.And(pak.Does("Alice", "fire"), pak.Does("Bob", "fire"))
+		agent, action = "Alice", "fire"
+	case strings.HasPrefix(spec, "nsquad"):
+		fact = pak.AllFire(3)
+		agent, action = "General", "fire"
+	case strings.HasPrefix(spec, "that"):
+		fact = pak.LocalContains("j", "bit=1")
+		agent, action = "i", "alpha"
+	case strings.HasPrefix(spec, "random"):
+		fact = pak.LocalContains("a2", "o0")
+		agent, action = "a0", "alpha*"
+	default:
+		t.Fatalf("no batch template for %q", spec)
+	}
+	return []pak.Query{
+		pak.ConstraintQuery{Fact: fact, Agent: agent, Action: action, Threshold: pak.Rat(1, 2)},
+		pak.ExpectationQuery{Fact: fact, Agent: agent, Action: action},
+		pak.BeliefQuery{Fact: fact, Agent: agent, Action: action},
+		pak.IndependenceQuery{Fact: fact, Agent: agent, Action: action},
+		pak.TheoremQuery{Theorem: pak.TheoremExpectation, Fact: fact, Agent: agent, Action: action},
+		pak.TheoremQuery{Theorem: pak.TheoremPAK, Fact: fact, Agent: agent, Action: action, Eps: pak.Rat(1, 4)},
+	}
+}
+
+func TestBuildScenarioErrors(t *testing.T) {
+	if _, err := pak.BuildScenario("nosuch"); !errors.Is(err, pak.ErrUnknownScenario) {
+		t.Errorf("BuildScenario(nosuch) = %v, want ErrUnknownScenario", err)
+	}
+	if _, err := pak.BuildScenario("nsquad(n=zero)"); !errors.Is(err, pak.ErrBadScenarioSpec) {
+		t.Errorf("BuildScenario(nsquad(n=zero)) = %v, want ErrBadScenarioSpec", err)
+	}
+}
+
+func TestScenarioCatalogListsEverything(t *testing.T) {
+	catalog := pak.ScenarioCatalog()
+	for _, name := range pak.Scenarios().Names() {
+		if !strings.Contains(catalog, "## "+name+"\n") {
+			t.Errorf("ScenarioCatalog() is missing %q", name)
+		}
+	}
+}
+
+// TestEvalMultiSystems exercises the facade fan-out: one batch across
+// two registry systems, parallel equal to serial.
+func TestEvalMultiSystems(t *testing.T) {
+	sysA, err := pak.BuildScenario("nsquad(2)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sysB, err := pak.BuildScenario("nsquad(3)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs := []pak.Query{
+		pak.ConstraintQuery{Fact: pak.Does("General", "fire"), Agent: "General", Action: "fire"},
+		pak.ExpectationQuery{Fact: pak.AllFire(2), Agent: "General", Action: "fire"},
+	}
+	parallel, err := pak.EvalMultiSystems([]*pak.System{sysA, sysB}, qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial, err := pak.EvalMultiSystems([]*pak.System{sysA, sysB}, qs, pak.WithParallelism(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parallel) != 2 || len(serial) != 2 {
+		t.Fatalf("system counts: %d, %d", len(parallel), len(serial))
+	}
+	for i := range parallel {
+		for j := range parallel[i] {
+			p, s := parallel[i][j], serial[i][j]
+			if (p.Value == nil) != (s.Value == nil) || (p.Value != nil && p.Value.Cmp(s.Value) != 0) {
+				t.Errorf("system %d query %d: parallel %v != serial %v", i, j, p.Value, s.Value)
+			}
+		}
+	}
+}

@@ -1,0 +1,57 @@
+package pak
+
+import (
+	"net/http"
+
+	"pak/internal/query"
+	"pak/internal/service"
+)
+
+// The service layer, re-exported from internal/service: the HTTP/JSON
+// front end that cmd/pakd serves, embeddable in any Go HTTP server. It
+// resolves scenario specs against a registry, keeps one memoizing
+// engine per canonical spec across requests, and evaluates
+// ParseQueryBatch documents with cross-system fan-out via
+// EvalMultiBatch. See examples/service for the wire walkthrough.
+type (
+	// ServiceServer answers the /v1/scenarios and /v1/eval endpoints.
+	ServiceServer = service.Server
+	// ServiceOption configures a ServiceServer.
+	ServiceOption = service.Option
+	// ServiceEvalRequest is the /v1/eval request body: scenario specs
+	// plus a query-batch document (pak.ParseQueryBatch's format).
+	ServiceEvalRequest = service.EvalRequest
+	// ServiceEvalResponse is the /v1/eval response body: per-system
+	// results in request order with per-query error isolation.
+	ServiceEvalResponse = service.EvalResponse
+	// ServiceSystemResult is one system's evaluated batch.
+	ServiceSystemResult = service.SystemResult
+	// QueryResultDoc is the wire form of a QueryResult: exact rationals
+	// as RatStrings, witnesses as run counts, errors as messages.
+	QueryResultDoc = query.ResultDoc
+)
+
+// NewService returns a service over the registry (nil means
+// Scenarios(), the built-in registry).
+func NewService(reg *ScenarioRegistry, opts ...ServiceOption) *ServiceServer {
+	return service.New(reg, opts...)
+}
+
+// ServiceHandler returns the ready-to-mount HTTP handler over the
+// built-in registry: http.ListenAndServe(addr, pak.ServiceHandler())
+// is a one-line pakd.
+func ServiceHandler(opts ...ServiceOption) http.Handler {
+	return service.New(nil, opts...).Handler()
+}
+
+// WithServiceParallelism caps the evaluation workers one request may
+// use (default GOMAXPROCS).
+func WithServiceParallelism(n int) ServiceOption { return service.WithMaxParallelism(n) }
+
+// WithServiceMaxQueries caps the total (system, query) pairs one eval
+// request may submit.
+func WithServiceMaxQueries(n int) ServiceOption { return service.WithMaxQueries(n) }
+
+// WithServiceMaxSystems caps the systems one eval request may name
+// (each distinct scenario spec builds and retains an engine).
+func WithServiceMaxSystems(n int) ServiceOption { return service.WithMaxSystems(n) }
