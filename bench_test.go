@@ -12,6 +12,9 @@ package pak_test
 
 import (
 	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
 	"testing"
 
 	"pak"
@@ -348,6 +351,85 @@ func BenchmarkQueryBatchParallel(b *testing.B) {
 				if _, err := pak.EvalBatch(e, qs, pak.WithParallelism(par)); err != nil {
 					b.Fatal(err)
 				}
+			}
+		})
+	}
+}
+
+// --- Service-hardening benchmarks (cold builds, eviction) ---
+
+// benchPost POSTs one eval request and requires a 200.
+func benchPost(b *testing.B, url, body string) {
+	b.Helper()
+	resp, err := http.Post(url+"/v1/eval", "application/json", strings.NewReader(body))
+	if err != nil {
+		b.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		b.Fatalf("eval status %d", resp.StatusCode)
+	}
+}
+
+// BenchmarkColdBuildSerialVsParallel measures one request naming four
+// un-cached systems against a fresh server: the serial variant pays
+// sum-of-unfolds, the parallel variant pays roughly max-of-unfolds.
+// The gap is the value of the concurrent cold-build path.
+func BenchmarkColdBuildSerialVsParallel(b *testing.B) {
+	// Empty query batch: the request measures pure build cost.
+	body := `{"systems": ["random(seed=1,depth=6,branch=2)", "random(seed=2,depth=6,branch=2)",
+		"random(seed=3,depth=6,branch=2)", "random(seed=4,depth=6,branch=2)"], "queries": []}`
+	for _, workers := range []int{1, 4} {
+		name := "serial"
+		if workers > 1 {
+			name = fmt.Sprintf("parallel=%d", workers)
+		}
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				// A fresh server per iteration keeps every build cold.
+				ts := httptest.NewServer(pak.ServiceHandler(pak.WithServiceParallelism(workers)))
+				b.StartTimer()
+				benchPost(b, ts.URL, body)
+				b.StopTimer()
+				ts.Close()
+				b.StartTimer()
+			}
+		})
+	}
+}
+
+// BenchmarkEvalWithEviction measures a request stream alternating over
+// three systems through a capacity-1 cache (every request rebuilds its
+// engine) versus a cache that fits the working set (every request after
+// the first is warm). The gap prices eviction thrash — and motivates
+// sizing -engine-cache to the hot working set.
+func BenchmarkEvalWithEviction(b *testing.B) {
+	batch, err := pak.MarshalQueryBatch([]pak.Query{
+		pak.ConstraintQuery{Fact: pak.AllFire(2), Agent: "General", Action: "fire"},
+		pak.ExpectationQuery{Fact: pak.AllFire(2), Agent: "General", Action: "fire"},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	systems := []string{"nsquad(2)", "fsquad", "nsquad(3)"}
+	bodies := make([]string, len(systems))
+	for i, s := range systems {
+		bodies[i] = fmt.Sprintf(`{"systems": [%q], "queries": %s}`, s, batch)
+	}
+	for _, cacheSize := range []int{1, 8} {
+		name := fmt.Sprintf("cache=%d", cacheSize)
+		if cacheSize == 1 {
+			name = "cache=1-thrash"
+		}
+		b.Run(name, func(b *testing.B) {
+			ts := httptest.NewServer(pak.ServiceHandler(pak.WithServiceEngineCache(cacheSize)))
+			defer ts.Close()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				benchPost(b, ts.URL, bodies[i%len(bodies)])
 			}
 		})
 	}

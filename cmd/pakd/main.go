@@ -6,7 +6,8 @@
 //
 // Usage:
 //
-//	pakd [-addr :8371] [-parallel N] [-max-queries N]
+//	pakd [-addr :8371] [-parallel N] [-max-queries N] [-max-systems N]
+//	     [-timeout D] [-engine-cache N]
 //	pakd -catalog > SCENARIOS.md
 //
 // Endpoints:
@@ -17,6 +18,14 @@
 //	POST /v1/eval              evaluate a query-batch document (the format
 //	                           of pak.ParseQueryBatch / pakrand -batch)
 //	                           against one or more named systems
+//
+// Hardening knobs (see DESIGN.md "Service hardening" for the
+// contracts): -timeout bounds each /v1/eval request's wall clock and
+// answers 504 on expiry; -engine-cache bounds the engines retained
+// across requests (LRU over canonical specs — eviction is invisible,
+// rebuilt engines return byte-identical results); cold engines named
+// by one request build concurrently, and concurrent requests for one
+// spec share a single build. cmd/pakload is the matching load driver.
 //
 // Example (two systems, one batch, one request):
 //
@@ -53,18 +62,25 @@ func run(args []string, stdout, stderr io.Writer) int {
 	addr := fs.String("addr", ":8371", "listen address")
 	parallel := fs.Int("parallel", 0, "max evaluation workers per request (0 = GOMAXPROCS)")
 	maxQueries := fs.Int("max-queries", 0, "max (system, query) pairs per request (0 = server default)")
-	maxSystems := fs.Int("max-systems", 0, "max named systems per request — bounds engine-cache growth (0 = server default)")
+	maxSystems := fs.Int("max-systems", 0, "max named systems per request — bounds per-request build work (0 = server default)")
+	timeout := fs.Duration("timeout", 0, "per-request eval deadline; expiry answers 504 (0 = none)")
+	engineCache := fs.Int("engine-cache", 0, "engines retained across requests, LRU over canonical specs (0 = server default, negative = unbounded)")
 	catalog := fs.Bool("catalog", false, "print the generated SCENARIOS.md catalog and exit")
 	fs.Usage = func() {
-		fmt.Fprintf(stderr, "Usage: pakd [-addr :8371] [-parallel N] [-max-queries N] [-max-systems N]\n")
+		fmt.Fprintf(stderr, "Usage: pakd [-addr :8371] [-parallel N] [-max-queries N] [-max-systems N] [-timeout D] [-engine-cache N]\n")
 		fmt.Fprintf(stderr, "       pakd -catalog > SCENARIOS.md\n\nFlags:\n")
 		fs.PrintDefaults()
 		fmt.Fprintf(stderr, `
 Examples:
   pakd -addr :8371 -parallel 8    serve the registry with 8 workers/request
+  pakd -timeout 30s               bound each eval request; late answers become 504
+  pakd -engine-cache 64           retain at most 64 engines (LRU; eviction is
+                                  invisible — rebuilt engines answer identically)
   pakd -catalog > SCENARIOS.md    regenerate the scenario catalog (make docs)
   curl -s localhost:8371/v1/scenarios | jq '.[].name'
   curl -s localhost:8371/v1/eval -d '{"systems":["fsquad","nsquad(3)"],"queries":[...]}'
+  go run ./cmd/pakload -url http://localhost:8371 -mix mixed -duration 30s
+                                  drive this server with the load harness
 `)
 	}
 	if err := fs.Parse(args); err != nil {
@@ -85,6 +101,12 @@ Examples:
 	}
 	if *maxSystems > 0 {
 		opts = append(opts, service.WithMaxSystems(*maxSystems))
+	}
+	if *timeout > 0 {
+		opts = append(opts, service.WithRequestTimeout(*timeout))
+	}
+	if *engineCache != 0 {
+		opts = append(opts, service.WithEngineCacheSize(*engineCache))
 	}
 	srv := &http.Server{
 		Addr:    *addr,

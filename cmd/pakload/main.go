@@ -1,0 +1,138 @@
+// Command pakload is the load/stress driver for pakd: it fires a
+// weighted scenario mix at a pakd endpoint — a live one via -url, or a
+// self-contained in-process server by default — under configurable
+// concurrency, and emits a JSON latency/error report on stdout (or to
+// -out). It is how the service-hardening work is measured: cache
+// eviction, singleflight cold builds and request deadlines under real
+// concurrent traffic.
+//
+// Usage:
+//
+//	pakload [-url http://host:8371] [-mix squad|mixed|heavy]
+//	        [-c 8] [-n 200] [-duration 0] [-timeout 30s] [-seed 1]
+//	        [-engine-cache 8] [-eval-timeout 0] [-out report.json]
+//
+// Without -url, pakload starts an in-process pakd over the built-in
+// registry (engine cache bounded by -engine-cache, per-request deadline
+// from -eval-timeout) and drives that — zero setup, one process, same
+// code paths as the real daemon.
+//
+// The exit status is 0 only when every request landed in a designed
+// outcome class ("ok", which includes error probes answering their
+// expected 4xx); any transport failure, timeout, unexpected status or
+// undecodable body exits 1, so CI can gate on a smoke run directly.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"time"
+
+	"pak/internal/load"
+	"pak/internal/service"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("pakload", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	url := fs.String("url", "", "target pakd base URL (empty = start an in-process pakd)")
+	mixName := fs.String("mix", "squad", fmt.Sprintf("workload mix: one of %v", load.MixNames()))
+	concurrency := fs.Int("c", 8, "concurrent workers")
+	requests := fs.Int("n", 200, "total requests (0 = unlimited, use -duration)")
+	duration := fs.Duration("duration", 0, "wall-clock budget (0 = run until -n requests)")
+	timeout := fs.Duration("timeout", 30*time.Second, "per-request client timeout")
+	seed := fs.Int64("seed", 1, "mix-sequence seed (deterministic per worker)")
+	engineCache := fs.Int("engine-cache", 8, "in-process server: engine-cache bound (0 = unbounded)")
+	evalTimeout := fs.Duration("eval-timeout", 0, "in-process server: per-request eval deadline (0 = none)")
+	out := fs.String("out", "-", "report destination ('-' = stdout)")
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "Usage: pakload [-url URL] [-mix %s] [-c N] [-n N | -duration D] [-out report.json]\n\nFlags:\n",
+			strings.Join(load.MixNames(), "|"))
+		fs.PrintDefaults()
+		fmt.Fprintf(stderr, `
+Examples:
+  pakload -n 500 -c 16                      stress an in-process pakd, report to stdout
+  pakload -mix heavy -engine-cache 4        force engine-cache eviction churn
+  pakload -url http://localhost:8371 -mix mixed -duration 30s
+                                            drive a live pakd for 30s, 4xx probes included
+  pakload -n 100 -out report.json           write the JSON report to a file
+
+Exit status is 0 only when every request landed in its designed outcome
+class; transport errors, timeouts or unexpected statuses exit 1.
+`)
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *requests <= 0 && *duration <= 0 {
+		fmt.Fprintln(stderr, "pakload: set -n and/or -duration")
+		return 2
+	}
+
+	mix, err := load.BuiltinMix(*mixName)
+	if err != nil {
+		fmt.Fprintf(stderr, "pakload: %v\n", err)
+		return 2
+	}
+
+	target := *url
+	if target == "" {
+		opts := []service.Option{service.WithEngineCacheSize(*engineCache)}
+		if *evalTimeout > 0 {
+			opts = append(opts, service.WithRequestTimeout(*evalTimeout))
+		}
+		ts := httptest.NewServer(service.New(nil, opts...).Handler())
+		defer ts.Close()
+		target = ts.URL
+		fmt.Fprintf(stderr, "pakload: in-process pakd at %s (engine-cache %d)\n", target, *engineCache)
+	}
+
+	rep, err := load.Run(context.Background(), load.Config{
+		BaseURL:     strings.TrimSuffix(target, "/"),
+		Concurrency: *concurrency,
+		Requests:    *requests,
+		Duration:    *duration,
+		Timeout:     *timeout,
+		Seed:        *seed,
+		Mix:         mix,
+	})
+	if err != nil {
+		fmt.Fprintf(stderr, "pakload: %v\n", err)
+		return 2
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintf(stderr, "pakload: marshal report: %v\n", err)
+		return 1
+	}
+	data = append(data, '\n')
+	if *out == "-" {
+		_, _ = stdout.Write(data)
+	} else {
+		if err := os.WriteFile(*out, data, 0o644); err != nil {
+			fmt.Fprintf(stderr, "pakload: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(stderr, "pakload: report written to %s\n", *out)
+	}
+
+	if rep.OK != rep.Total {
+		fmt.Fprintf(stderr, "pakload: %d of %d requests failed their outcome class: %v\n",
+			rep.Total-rep.OK, rep.Total, rep.Errors)
+		return 1
+	}
+	fmt.Fprintf(stderr, "pakload: %d requests ok, p50 %.2fms p99 %.2fms, %.1f req/s\n",
+		rep.Total, rep.Latency.P50MS, rep.Latency.P99MS, rep.Throughput)
+	return 0
+}

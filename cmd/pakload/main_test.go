@@ -1,0 +1,76 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"pak/internal/load"
+)
+
+// TestPakloadInProcessSmoke: the zero-setup path — pakload against its
+// own in-process pakd — completes every request cleanly and prints a
+// parseable JSON report.
+func TestPakloadInProcessSmoke(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-n", "40", "-c", "4", "-mix", "mixed", "-seed", "2", "-engine-cache", "2"},
+		&stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr.String())
+	}
+	var rep load.Report
+	if err := json.Unmarshal(stdout.Bytes(), &rep); err != nil {
+		t.Fatalf("stdout is not a report: %v\n%s", err, stdout.String())
+	}
+	if rep.Total != 40 || rep.OK != 40 {
+		t.Errorf("report totals: %d requests, %d ok, errors=%v", rep.Total, rep.OK, rep.Errors)
+	}
+	if len(rep.Scenarios) == 0 || rep.Latency.P50MS <= 0 {
+		t.Errorf("report missing detail: %+v", rep)
+	}
+	if !strings.Contains(stderr.String(), "req/s") {
+		t.Errorf("summary line missing: %s", stderr.String())
+	}
+}
+
+// TestPakloadReportFile: -out writes the report to disk.
+func TestPakloadReportFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "report.json")
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-n", "10", "-c", "2", "-out", path}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr.String())
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep load.Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("report file is not JSON: %v", err)
+	}
+	if rep.Total != 10 {
+		t.Errorf("report total = %d, want 10", rep.Total)
+	}
+	if stdout.Len() != 0 {
+		t.Errorf("with -out, stdout should stay empty, got %q", stdout.String())
+	}
+}
+
+// TestPakloadBadFlags: unusable invocations exit 2 with usage guidance.
+func TestPakloadBadFlags(t *testing.T) {
+	cases := [][]string{
+		{"-mix", "nosuch"},
+		{"-n", "0"},
+		{"-badflag"},
+	}
+	for _, args := range cases {
+		var stdout, stderr bytes.Buffer
+		if code := run(args, &stdout, &stderr); code != 2 {
+			t.Errorf("args %v: exit %d, want 2", args, code)
+		}
+	}
+}

@@ -43,9 +43,16 @@
 //     SCENARIOS.md catalogs every registered scenario;
 //   - the service: ServiceHandler/NewService expose the registry and the
 //     query layer over HTTP/JSON (what cmd/pakd serves) — named systems,
-//     query-batch documents, cross-system fan-out; see examples/service
-//     for the walkthrough (start pakd, POST a batch with curl, read the
-//     exact JSON results);
+//     query-batch documents, cross-system fan-out — hardened for
+//     sustained traffic: per-request deadlines with cooperative
+//     cancellation (WithServiceRequestTimeout, WithEvalContext; expiry
+//     answers 504), a size-bounded LRU engine cache whose eviction is
+//     invisible (WithServiceEngineCache — rebuilt engines answer
+//     byte-identically, experiment E17), and concurrent singleflight
+//     cold builds; cmd/pakload + internal/load drive it all under
+//     concurrent load with latency/error-taxonomy JSON reports; see
+//     examples/service for the walkthrough (start pakd, POST a batch
+//     with curl, read the exact JSON results);
 //   - the paper's own systems: Figure1, That (Figure 2 / Theorem 5.2), and
 //     the relaxed firing squad FiringSquad of Example 1 with its Section 8
 //     improvement;

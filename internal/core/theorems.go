@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math/big"
+	"sort"
 
 	"pak/internal/logic"
 	"pak/internal/pps"
@@ -178,7 +179,17 @@ func (e *Engine) CheckNecessity(f logic.Fact, agent, action string, p *big.Rat) 
 		MaxBelief:      ratutil.Zero(),
 		Independent:    indep.Independent,
 	}
-	for local, bel := range beliefs {
+	// Iterate in sorted state order: the witness is "some state with
+	// β ≥ p", and picking the lexicographically first makes the report —
+	// and hence every wire response embedding it — deterministic across
+	// runs and engine rebuilds (the stability E17 pins).
+	locals := make([]string, 0, len(beliefs))
+	for local := range beliefs {
+		locals = append(locals, local)
+	}
+	sort.Strings(locals)
+	for _, local := range locals {
+		bel := beliefs[local]
 		if ratutil.Greater(bel, report.MaxBelief) {
 			report.MaxBelief = ratutil.Copy(bel)
 		}

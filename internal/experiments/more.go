@@ -393,6 +393,7 @@ func Builders(systems, samples int, seed int64) []func() (Result, error) {
 		E14NSquad,
 		E15QueryBatch,
 		E16RegistryMultiBatch,
+		E17EvictionEquivalence,
 	}
 }
 

@@ -1,0 +1,419 @@
+// Package load is the pakd load/stress harness: a self-contained
+// generator that drives a pakd-compatible HTTP endpoint (live or
+// in-process) with a weighted scenario mix under configurable
+// concurrency, records exact latency and outcome accounting, and emits
+// a JSON report. It is the measurement half of the service-hardening
+// work: the deadline, eviction and singleflight paths are only trusted
+// because this harness exercises them under contention (TestLoadSmoke,
+// the race stress tests, cmd/pakload).
+//
+// Accounting is deliberately simple and lossless: every request records
+// its wall-clock latency and lands in exactly one outcome class — "ok",
+// "http_<code>", "timeout", "transport", "bad_json" or
+// "unexpected_status" — so a report's counts always sum to the total
+// and an error taxonomy shift between runs is a behaviour change, not
+// noise.
+package load
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Scenario is one weighted request shape in the mix.
+type Scenario struct {
+	// Name labels the scenario in the report.
+	Name string `json:"name"`
+	// Path is the request path (e.g. "/v1/eval", "/v1/scenarios").
+	Path string `json:"path"`
+	// Body, when non-nil, is POSTed as application/json; nil means GET.
+	Body []byte `json:"-"`
+	// Weight is the scenario's relative frequency (≤ 0 counts as 1).
+	Weight int `json:"weight"`
+	// ExpectStatus, when nonzero, is the status this scenario must
+	// answer; any other status classifies as "unexpected_status". Zero
+	// accepts any status (it still lands in its http_<code> class).
+	ExpectStatus int `json:"expectStatus,omitempty"`
+	// CheckJSON requires the response body to be valid JSON; violations
+	// classify as "bad_json".
+	CheckJSON bool `json:"checkJson,omitempty"`
+}
+
+// Config parameterizes one load run.
+type Config struct {
+	// BaseURL is the target server's root (no trailing slash).
+	BaseURL string
+	// Client is the HTTP client (nil means a fresh client; its Timeout
+	// is overridden by Timeout when set).
+	Client *http.Client
+	// Concurrency is the worker count (≤ 0 means 1).
+	Concurrency int
+	// Requests stops the run after this many total requests. One of
+	// Requests/Duration must be positive; with both, whichever trips
+	// first stops the run.
+	Requests int
+	// Duration stops the run after this wall-clock time.
+	Duration time.Duration
+	// Timeout bounds each request (0 = no per-request bound).
+	Timeout time.Duration
+	// Seed makes the scenario-mix sequence deterministic per worker.
+	Seed int64
+	// Mix is the weighted scenario set (required).
+	Mix []Scenario
+}
+
+// Report is the JSON-serializable outcome of one run.
+type Report struct {
+	// Target echoes the base URL; Concurrency/Requested/Seed echo the
+	// config.
+	Target      string `json:"target"`
+	Concurrency int    `json:"concurrency"`
+	Requested   int    `json:"requested,omitempty"`
+	Seed        int64  `json:"seed"`
+
+	// Total counts completed requests; ElapsedMS the run wall clock;
+	// Throughput the achieved requests/second.
+	Total      int     `json:"total"`
+	ElapsedMS  float64 `json:"elapsedMs"`
+	Throughput float64 `json:"throughputRps"`
+
+	// OK counts requests in the "ok" class. Outcomes maps every
+	// outcome class to its count (including "ok"); the values sum to
+	// Total. Errors is Outcomes minus "ok" — the error taxonomy.
+	OK       int            `json:"ok"`
+	Outcomes map[string]int `json:"outcomes"`
+	Errors   map[string]int `json:"errors,omitempty"`
+
+	// StatusCounts maps observed HTTP status codes (as strings) to
+	// counts; transport failures never reach a status.
+	StatusCounts map[string]int `json:"statusCounts,omitempty"`
+
+	// Latency summarizes the full latency distribution.
+	Latency LatencySummary `json:"latency"`
+
+	// Scenarios breaks the outcome classes down per mix entry.
+	Scenarios map[string]*ScenarioStats `json:"scenarios"`
+}
+
+// ScenarioStats is one scenario's slice of the report.
+type ScenarioStats struct {
+	Requests int            `json:"requests"`
+	Outcomes map[string]int `json:"outcomes"`
+}
+
+// LatencySummary carries the distribution stats plus a fixed log-scale
+// histogram, all in milliseconds.
+type LatencySummary struct {
+	MinMS  float64 `json:"minMs"`
+	MeanMS float64 `json:"meanMs"`
+	P50MS  float64 `json:"p50Ms"`
+	P90MS  float64 `json:"p90Ms"`
+	P99MS  float64 `json:"p99Ms"`
+	MaxMS  float64 `json:"maxMs"`
+	// Histogram counts latencies at or under each bucket's upper bound;
+	// the last bucket is unbounded.
+	Histogram []HistogramBucket `json:"histogram"`
+}
+
+// HistogramBucket is one latency bucket.
+type HistogramBucket struct {
+	// UpperMS is the bucket's inclusive upper bound in milliseconds;
+	// 0 marks the final unbounded bucket.
+	UpperMS float64 `json:"upperMs"`
+	Count   int     `json:"count"`
+}
+
+// bucketBounds is the fixed log-scale histogram ladder (milliseconds).
+var bucketBounds = []float64{0.25, 0.5, 1, 2.5, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000}
+
+// outcome classes.
+const (
+	outcomeOK         = "ok"
+	outcomeTimeout    = "timeout"
+	outcomeTransport  = "transport"
+	outcomeBadJSON    = "bad_json"
+	outcomeBadStatus  = "unexpected_status"
+	outcomeHTTPPrefix = "http_"
+)
+
+// sample is one completed request's accounting record.
+type sample struct {
+	scenario string
+	outcome  string
+	status   int
+	latency  time.Duration
+}
+
+// Run drives the target with the configured mix and returns the report.
+// It returns an error only for unusable configuration; request-level
+// failures are data, recorded in the report's taxonomy.
+func Run(ctx context.Context, cfg Config) (*Report, error) {
+	if cfg.BaseURL == "" {
+		return nil, errors.New("load: BaseURL is required")
+	}
+	if len(cfg.Mix) == 0 {
+		return nil, errors.New("load: the scenario mix is empty")
+	}
+	if cfg.Requests <= 0 && cfg.Duration <= 0 {
+		return nil, errors.New("load: set Requests and/or Duration")
+	}
+	workers := cfg.Concurrency
+	if workers < 1 {
+		workers = 1
+	}
+	client := cfg.Client
+	if client == nil {
+		client = &http.Client{}
+	}
+	if cfg.Timeout > 0 {
+		// Copy before mutating: the caller's client must keep its own
+		// timeout.
+		c := *client
+		c.Timeout = cfg.Timeout
+		client = &c
+	}
+
+	// The weighted pick table: scenario index repeated weight times.
+	// Mixes are tiny, so the flat table beats alias-method cleverness.
+	var pick []int
+	for i, sc := range cfg.Mix {
+		w := sc.Weight
+		if w < 1 {
+			w = 1
+		}
+		for j := 0; j < w; j++ {
+			pick = append(pick, i)
+		}
+	}
+
+	runCtx := ctx
+	var cancel context.CancelFunc
+	if cfg.Duration > 0 {
+		runCtx, cancel = context.WithTimeout(ctx, cfg.Duration)
+		defer cancel()
+	}
+
+	// tickets dispenses request slots: with a request budget it closes
+	// after Requests sends; duration-only runs draw until the context
+	// expires.
+	tickets := make(chan struct{})
+	go func() {
+		defer close(tickets)
+		for n := 0; cfg.Requests <= 0 || n < cfg.Requests; n++ {
+			select {
+			case tickets <- struct{}{}:
+			case <-runCtx.Done():
+				return
+			}
+		}
+	}()
+
+	samplesPer := make([][]sample, workers)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(w)*7919))
+			for range tickets {
+				sc := cfg.Mix[pick[rng.Intn(len(pick))]]
+				// Requests run under the PARENT context, not the duration
+				// budget: expiry stops issuing tickets, while requests
+				// already in flight drain normally — a healthy server must
+				// never earn "timeout" classifications just because the run
+				// ended around it.
+				samplesPer[w] = append(samplesPer[w], doRequest(ctx, client, cfg.BaseURL, sc))
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var all []sample
+	for _, s := range samplesPer {
+		all = append(all, s...)
+	}
+	return summarize(cfg, workers, all, elapsed), nil
+}
+
+// doRequest performs one request and classifies its outcome.
+func doRequest(ctx context.Context, client *http.Client, base string, sc Scenario) sample {
+	s := sample{scenario: sc.Name}
+	var (
+		req *http.Request
+		err error
+	)
+	if sc.Body != nil {
+		req, err = http.NewRequestWithContext(ctx, http.MethodPost, base+sc.Path, bytes.NewReader(sc.Body))
+		if req != nil {
+			req.Header.Set("Content-Type", "application/json")
+		}
+	} else {
+		req, err = http.NewRequestWithContext(ctx, http.MethodGet, base+sc.Path, nil)
+	}
+	if err != nil {
+		s.outcome = outcomeTransport
+		return s
+	}
+
+	t0 := time.Now()
+	resp, err := client.Do(req)
+	s.latency = time.Since(t0)
+	if err != nil {
+		s.outcome = classifyTransport(err)
+		return s
+	}
+	body, readErr := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	s.status = resp.StatusCode
+	switch {
+	case readErr != nil:
+		s.outcome = classifyTransport(readErr)
+	case sc.ExpectStatus != 0 && resp.StatusCode != sc.ExpectStatus:
+		s.outcome = outcomeBadStatus
+	case sc.CheckJSON && !isJSON(body):
+		s.outcome = outcomeBadJSON
+	case resp.StatusCode == http.StatusOK:
+		s.outcome = outcomeOK
+	case sc.ExpectStatus == resp.StatusCode:
+		// An error status this scenario deliberately provokes counts as
+		// its success: the error path answered as designed.
+		s.outcome = outcomeOK
+	default:
+		s.outcome = fmt.Sprintf("%s%d", outcomeHTTPPrefix, resp.StatusCode)
+	}
+	return s
+}
+
+// classifyTransport separates deadline expiry from other transport
+// failures.
+func classifyTransport(err error) string {
+	var ne interface{ Timeout() bool }
+	if errors.Is(err, context.DeadlineExceeded) || (errors.As(err, &ne) && ne.Timeout()) {
+		return outcomeTimeout
+	}
+	return outcomeTransport
+}
+
+// isJSON reports whether data parses as a JSON document. A hand-rolled
+// first-byte probe would accept truncated bodies; real decoding keeps
+// "bad_json" honest.
+func isJSON(data []byte) bool {
+	trimmed := bytes.TrimSpace(data)
+	if len(trimmed) == 0 {
+		return false
+	}
+	var v any
+	return json.Unmarshal(trimmed, &v) == nil
+}
+
+// summarize folds the samples into the report.
+func summarize(cfg Config, workers int, all []sample, elapsed time.Duration) *Report {
+	rep := &Report{
+		Target:       cfg.BaseURL,
+		Concurrency:  workers,
+		Requested:    cfg.Requests,
+		Seed:         cfg.Seed,
+		Total:        len(all),
+		ElapsedMS:    float64(elapsed.Microseconds()) / 1000,
+		Outcomes:     make(map[string]int),
+		Errors:       make(map[string]int),
+		StatusCounts: make(map[string]int),
+		Scenarios:    make(map[string]*ScenarioStats),
+	}
+	if elapsed > 0 {
+		rep.Throughput = float64(len(all)) / elapsed.Seconds()
+	}
+
+	latencies := make([]float64, 0, len(all))
+	for _, s := range all {
+		rep.Outcomes[s.outcome]++
+		if s.outcome == outcomeOK {
+			rep.OK++
+		} else {
+			rep.Errors[s.outcome]++
+		}
+		if s.status != 0 {
+			rep.StatusCounts[fmt.Sprintf("%d", s.status)]++
+		}
+		st := rep.Scenarios[s.scenario]
+		if st == nil {
+			st = &ScenarioStats{Outcomes: make(map[string]int)}
+			rep.Scenarios[s.scenario] = st
+		}
+		st.Requests++
+		st.Outcomes[s.outcome]++
+		if s.latency > 0 {
+			latencies = append(latencies, float64(s.latency.Microseconds())/1000)
+		}
+	}
+	if len(rep.Errors) == 0 {
+		rep.Errors = nil
+	}
+	if len(rep.StatusCounts) == 0 {
+		rep.StatusCounts = nil
+	}
+	rep.Latency = summarizeLatency(latencies)
+	return rep
+}
+
+// summarizeLatency computes the distribution stats and histogram.
+func summarizeLatency(ms []float64) LatencySummary {
+	sum := LatencySummary{}
+	buckets := make([]HistogramBucket, len(bucketBounds)+1)
+	for i, b := range bucketBounds {
+		buckets[i].UpperMS = b
+	}
+	sum.Histogram = buckets
+	if len(ms) == 0 {
+		return sum
+	}
+	sort.Float64s(ms)
+	total := 0.0
+	for _, v := range ms {
+		total += v
+		placed := false
+		for i, b := range bucketBounds {
+			if v <= b {
+				buckets[i].Count++
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			buckets[len(buckets)-1].Count++
+		}
+	}
+	sum.MinMS = ms[0]
+	sum.MaxMS = ms[len(ms)-1]
+	sum.MeanMS = total / float64(len(ms))
+	sum.P50MS = percentile(ms, 0.50)
+	sum.P90MS = percentile(ms, 0.90)
+	sum.P99MS = percentile(ms, 0.99)
+	return sum
+}
+
+// percentile reads the p-quantile from a sorted slice (nearest-rank).
+func percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(p*float64(len(sorted))+0.5) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}

@@ -1,0 +1,158 @@
+package load
+
+import (
+	"fmt"
+	"net/http"
+
+	"pak/internal/logic"
+	"pak/internal/query"
+	"pak/internal/randsys"
+	"pak/internal/ratutil"
+	"pak/internal/scenarios"
+)
+
+// The built-in mixes, shared by cmd/pakload and the smoke/stress tests
+// so "the standard workload" means one thing everywhere:
+//
+//   - "squad": the happy path — catalog reads plus query batches over
+//     the 2- and 3-agent firing squads (warm-cache traffic once the
+//     engines are built).
+//   - "mixed": "squad" plus deliberate client errors (unknown scenario,
+//     bad params, malformed batch), each expecting its 4xx — the error
+//     taxonomy and the service's error paths under load.
+//   - "heavy": cold-build churn — distinct random(seed=…) specs that
+//     defeat the engine cache by design, plus the squad batches, so
+//     eviction and singleflight stay busy.
+//
+// Every mix is deterministic data (no clocks, no RNG), so two runs with
+// one seed issue the same request sequence.
+
+// MixNames lists the built-in mixes.
+func MixNames() []string { return []string{"squad", "mixed", "heavy"} }
+
+// BuiltinMix returns the named mix, or an error naming the valid set.
+func BuiltinMix(name string) ([]Scenario, error) {
+	switch name {
+	case "squad":
+		return squadMix()
+	case "mixed":
+		return mixedMix()
+	case "heavy":
+		return heavyMix()
+	default:
+		return nil, fmt.Errorf("load: unknown mix %q (have %v)", name, MixNames())
+	}
+}
+
+// evalBody renders a /v1/eval request body naming the systems with one
+// standard squad batch (constraint + expectation + Theorem 6.2 against
+// the General).
+func evalBody(n int, systems ...string) ([]byte, error) {
+	all := scenarios.AllFireFact(n)
+	batch, err := query.MarshalBatch([]query.Query{
+		query.ConstraintQuery{Fact: all, Agent: scenarios.General, Action: scenarios.ActFire},
+		query.ExpectationQuery{Fact: all, Agent: scenarios.General, Action: scenarios.ActFire},
+		query.TheoremQuery{Theorem: query.TheoremExpectation, Fact: all,
+			Agent: scenarios.General, Action: scenarios.ActFire},
+		query.ThresholdQuery{Fact: all, Agent: scenarios.General,
+			Action: scenarios.ActFire, P: ratutil.R(9, 10)},
+	})
+	if err != nil {
+		return nil, err
+	}
+	doc := []byte(`{"systems": [`)
+	for i, s := range systems {
+		if i > 0 {
+			doc = append(doc, ',')
+		}
+		doc = append(doc, fmt.Sprintf("%q", s)...)
+	}
+	doc = append(doc, `], "queries": `...)
+	doc = append(doc, batch...)
+	doc = append(doc, '}')
+	return doc, nil
+}
+
+func squadMix() ([]Scenario, error) {
+	two, err := evalBody(2, "nsquad(2)")
+	if err != nil {
+		return nil, err
+	}
+	three, err := evalBody(3, "nsquad(3)")
+	if err != nil {
+		return nil, err
+	}
+	fan, err := evalBody(2, "nsquad(2)", "nsquad(n=2,loss=1/10)", "fsquad")
+	if err != nil {
+		return nil, err
+	}
+	return []Scenario{
+		{Name: "eval-nsquad2", Path: "/v1/eval", Body: two, Weight: 4,
+			ExpectStatus: http.StatusOK, CheckJSON: true},
+		{Name: "eval-nsquad3", Path: "/v1/eval", Body: three, Weight: 2,
+			ExpectStatus: http.StatusOK, CheckJSON: true},
+		{Name: "eval-fanout", Path: "/v1/eval", Body: fan, Weight: 2,
+			ExpectStatus: http.StatusOK, CheckJSON: true},
+		{Name: "catalog", Path: "/v1/scenarios", Weight: 1,
+			ExpectStatus: http.StatusOK, CheckJSON: true},
+		{Name: "catalog-one", Path: "/v1/scenarios/nsquad", Weight: 1,
+			ExpectStatus: http.StatusOK, CheckJSON: true},
+	}, nil
+}
+
+func mixedMix() ([]Scenario, error) {
+	mix, err := squadMix()
+	if err != nil {
+		return nil, err
+	}
+	return append(mix,
+		Scenario{Name: "err-unknown-scenario", Path: "/v1/eval",
+			Body:   []byte(`{"systems": ["nosuch"], "queries": []}`),
+			Weight: 1, ExpectStatus: http.StatusNotFound, CheckJSON: true},
+		Scenario{Name: "err-bad-params", Path: "/v1/eval",
+			Body:   []byte(`{"systems": ["nsquad(n=zero)"], "queries": []}`),
+			Weight: 1, ExpectStatus: http.StatusBadRequest, CheckJSON: true},
+		Scenario{Name: "err-bad-batch", Path: "/v1/eval",
+			Body:   []byte(`{"systems": ["nsquad(2)"], "queries": [{"kind": "nope"}]}`),
+			Weight: 1, ExpectStatus: http.StatusBadRequest, CheckJSON: true},
+	), nil
+}
+
+func heavyMix() ([]Scenario, error) {
+	mix, err := squadMix()
+	if err != nil {
+		return nil, err
+	}
+	// Distinct random(seed=…) specs: each is a new canonical key, so a
+	// bounded engine cache must evict under this traffic. Small depth
+	// keeps each individual build cheap; the churn is the point.
+	for seed := 1; seed <= 8; seed++ {
+		body, err := randEvalBody(seed)
+		if err != nil {
+			return nil, err
+		}
+		mix = append(mix, Scenario{
+			Name: fmt.Sprintf("eval-random-seed%d", seed), Path: "/v1/eval",
+			Body: body, Weight: 1, ExpectStatus: http.StatusOK, CheckJSON: true,
+		})
+	}
+	return mix, nil
+}
+
+// randEvalBody names one random(seed=…) system with a constraint query
+// against its designated agent/action (a0 performs alpha* in every
+// generated system).
+func randEvalBody(seed int) ([]byte, error) {
+	batch, err := query.MarshalBatch([]query.Query{
+		query.ConstraintQuery{
+			Fact:  logic.Does("a0", randsys.DesignatedAction),
+			Agent: "a0", Action: randsys.DesignatedAction,
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	doc := fmt.Sprintf(`{"systems": ["random(seed=%d,depth=4,branch=2,agents=2)"], "queries": %s}`,
+		seed, batch)
+	return []byte(doc), nil
+}

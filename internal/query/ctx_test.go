@@ -1,0 +1,166 @@
+package query
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"pak/internal/core"
+	"pak/internal/ratutil"
+	"pak/internal/scenarios"
+)
+
+// squadWorkload builds a small engine + batch for the context tests.
+func squadWorkload(t *testing.T, n int) (*core.Engine, []Query) {
+	t.Helper()
+	sys, err := scenarios.NFiringSquadSystem(n, ratutil.R(1, 10), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	all := scenarios.AllFireFact(n)
+	qs := []Query{
+		ConstraintQuery{Fact: all, Agent: scenarios.General, Action: scenarios.ActFire},
+		ExpectationQuery{Fact: all, Agent: scenarios.General, Action: scenarios.ActFire},
+		ThresholdQuery{Fact: all, Agent: scenarios.General, Action: scenarios.ActFire, P: ratutil.R(9, 10)},
+		TheoremQuery{Theorem: TheoremExpectation, Fact: all, Agent: scenarios.General, Action: scenarios.ActFire},
+	}
+	return core.New(sys), qs
+}
+
+// TestEvalBatchCancelledContext: a context cancelled before the batch
+// starts fails every slot with the context error — in order, with the
+// query's own label — and the joined error is non-nil.
+func TestEvalBatchCancelledContext(t *testing.T) {
+	e, qs := squadWorkload(t, 2)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	results, err := EvalBatch(e, qs, WithContext(ctx), WithParallelism(4))
+	if err == nil {
+		t.Fatal("cancelled batch returned nil joined error")
+	}
+	if len(results) != len(qs) {
+		t.Fatalf("got %d results, want %d", len(results), len(qs))
+	}
+	for i, r := range results {
+		if r.Err == nil {
+			t.Errorf("slot %d: no error after cancellation", i)
+			continue
+		}
+		if !errors.Is(r.Err, context.Canceled) {
+			t.Errorf("slot %d: error %v does not wrap context.Canceled", i, r.Err)
+		}
+		if r.Kind != qs[i].Kind() || r.Query != qs[i].String() {
+			t.Errorf("slot %d: cancelled result lost its label: %+v", i, r)
+		}
+		if r.Value != nil {
+			t.Errorf("slot %d: cancelled result carries a value", i)
+		}
+	}
+}
+
+// TestEvalBatchDeadlineExceeded: an already-expired deadline surfaces
+// context.DeadlineExceeded in every unstarted slot, the error the
+// service layer maps to 504.
+func TestEvalBatchDeadlineExceeded(t *testing.T) {
+	e, qs := squadWorkload(t, 2)
+	ctx, cancel := context.WithTimeout(context.Background(), -1)
+	defer cancel()
+	results, err := EvalBatch(e, qs, WithContext(ctx))
+	if err == nil {
+		t.Fatal("expired batch returned nil joined error")
+	}
+	for i, r := range results {
+		if !errors.Is(r.Err, context.DeadlineExceeded) {
+			t.Errorf("slot %d: error %v does not wrap context.DeadlineExceeded", i, r.Err)
+		}
+	}
+}
+
+// TestEvalBatchLiveContext: a live context changes nothing — results are
+// exactly what the no-context batch produces.
+func TestEvalBatchLiveContext(t *testing.T) {
+	e, qs := squadWorkload(t, 2)
+	plain, err := EvalBatch(core.New(e.System()), qs, WithParallelism(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	withCtx, err := EvalBatch(e, qs, WithContext(ctx), WithParallelism(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range plain {
+		if plain[i].Value == nil || withCtx[i].Value == nil {
+			if (plain[i].Value == nil) != (withCtx[i].Value == nil) {
+				t.Errorf("slot %d: value presence differs under a live context", i)
+			}
+			continue
+		}
+		if plain[i].Value.Cmp(withCtx[i].Value) != 0 {
+			t.Errorf("slot %d: %s != %s under a live context",
+				i, plain[i].Value.RatString(), withCtx[i].Value.RatString())
+		}
+	}
+	// WithContext(nil) must behave like Background, not panic.
+	if _, err := EvalBatch(e, qs[:1], WithContext(nil)); err != nil {
+		t.Errorf("WithContext(nil): %v", err)
+	}
+}
+
+// TestMultiBatchCancelledContext: cancellation isolates per slot across
+// systems too, and keeps the [system][query] shape intact.
+func TestMultiBatchCancelledContext(t *testing.T) {
+	e2, qs2 := squadWorkload(t, 2)
+	e3, qs3 := squadWorkload(t, 3)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	results, err := MultiBatch([]MultiItem{
+		{Engine: e2, Queries: qs2},
+		{Engine: e3, Queries: qs3},
+	}, WithContext(ctx), WithParallelism(4))
+	if err == nil {
+		t.Fatal("cancelled multi-batch returned nil joined error")
+	}
+	if len(results) != 2 || len(results[0]) != len(qs2) || len(results[1]) != len(qs3) {
+		t.Fatalf("result shape wrong: %d systems", len(results))
+	}
+	for i, row := range results {
+		for j, r := range row {
+			if !errors.Is(r.Err, context.Canceled) {
+				t.Errorf("[%d][%d]: error %v does not wrap context.Canceled", i, j, r.Err)
+			}
+		}
+	}
+}
+
+// TestMultiBatchMidwayCancel: cancelling while the pool drains leaves
+// every slot either exact or cleanly cancelled — never torn. The serial
+// pool guarantees at least the first slot completes before the
+// cancellation (triggered by the first query's own evaluation) is
+// observed by later ones.
+func TestMultiBatchMidwayCancel(t *testing.T) {
+	e, qs := squadWorkload(t, 3)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	// A probe query slice: the first is a real query, the rest are real
+	// too, but we cancel after the batch is submitted serially — with
+	// parallelism 1 the pool checks the context between queries, so a
+	// cancel during query 0 leaves 1..n-1 cancelled.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		cancel()
+	}()
+	<-done
+	results, _ := EvalBatch(e, qs, WithContext(ctx), WithParallelism(1))
+	for i, r := range results {
+		ok := r.Err == nil && r.Value != nil || errors.Is(r.Err, context.Canceled)
+		if r.Kind == KindTheorem {
+			ok = r.Err == nil && r.Verdict != VerdictNone || errors.Is(r.Err, context.Canceled)
+		}
+		if !ok {
+			t.Errorf("slot %d: neither exact nor cleanly cancelled: %+v", i, r)
+		}
+	}
+}

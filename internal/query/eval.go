@@ -1,6 +1,7 @@
 package query
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -43,6 +44,20 @@ func Eval(e *core.Engine, q Query) (res Result, err error) {
 type config struct {
 	parallelism int
 	cache       bool
+	ctx         context.Context
+}
+
+// newConfig applies the options over the defaults shared by EvalBatch
+// and MultiBatch.
+func newConfig(opts []Option) config {
+	cfg := config{parallelism: runtime.GOMAXPROCS(0), cache: true, ctx: context.Background()}
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	if cfg.ctx == nil {
+		cfg.ctx = context.Background()
+	}
+	return cfg
 }
 
 // Option configures EvalBatch.
@@ -53,6 +68,17 @@ type Option func(*config)
 // runtime.GOMAXPROCS(0).
 func WithParallelism(n int) Option {
 	return func(c *config) { c.parallelism = n }
+}
+
+// WithContext binds a batch evaluation to ctx for cooperative
+// cancellation: once ctx is done, queries that have not yet started
+// fail fast in their own result slots with an error wrapping ctx's
+// cause (context.DeadlineExceeded for timeouts), while queries already
+// being evaluated run to completion — one query is the unit of
+// cancellation, so a finished slot is always exact, never a torn
+// partial value. A nil ctx means context.Background() (never cancels).
+func WithContext(ctx context.Context) Option {
+	return func(c *config) { c.ctx = ctx }
 }
 
 // WithCache controls whether the batch shares the engine's memoization:
@@ -72,16 +98,18 @@ func WithCache(enabled bool) Option {
 // loop would produce (the engine computes exact rationals, so there is
 // no accumulation-order effect to worry about). Failed queries carry
 // their error in Result.Err; the joined error aggregates them and is nil
-// when every query succeeded.
+// when every query succeeded. Under WithContext, queries not yet started
+// when the context is done fail in their slots with the context's error.
 func EvalBatch(e *core.Engine, qs []Query, opts ...Option) ([]Result, error) {
-	cfg := config{parallelism: runtime.GOMAXPROCS(0), cache: true}
-	for _, opt := range opts {
-		opt(&cfg)
-	}
+	cfg := newConfig(opts)
 	results := make([]Result, len(qs))
 	errs := make([]error, len(qs))
 
 	evalOne := func(i int) {
+		if err := ctxErr(cfg.ctx, qs[i]); err != nil {
+			results[i], errs[i] = Result{Kind: kindOf(qs[i]), Query: stringOf(qs[i]), Err: err}, err
+			return
+		}
 		target := e
 		if !cfg.cache {
 			target = core.New(e.System())
@@ -91,6 +119,32 @@ func EvalBatch(e *core.Engine, qs []Query, opts ...Option) ([]Result, error) {
 
 	runPool(len(qs), cfg.parallelism, evalOne)
 	return results, errors.Join(errs...)
+}
+
+// ctxErr reports the context's cause as this query's evaluation error,
+// or nil while the context is live. It is the single cancellation check
+// both batch evaluators run before starting a query.
+func ctxErr(ctx context.Context, q Query) error {
+	if err := context.Cause(ctx); err != nil {
+		return fmt.Errorf("query: %s: not evaluated: %w", stringOf(q), err)
+	}
+	return nil
+}
+
+// kindOf and stringOf tolerate nil queries so a cancelled slot's result
+// never panics rendering its own label.
+func kindOf(q Query) Kind {
+	if q == nil {
+		return ""
+	}
+	return q.Kind()
+}
+
+func stringOf(q Query) string {
+	if q == nil {
+		return "<nil>"
+	}
+	return q.String()
 }
 
 // runPool runs do(0..n-1) across a bounded worker pool and waits for

@@ -3,7 +3,6 @@ package query
 import (
 	"errors"
 	"fmt"
-	"runtime"
 
 	"pak/internal/core"
 )
@@ -43,12 +42,12 @@ type MultiItem struct {
 // engine, fanning all (system, query) pairs out across one bounded
 // worker pool. It accepts the same options as EvalBatch:
 // WithParallelism bounds the shared pool, WithCache(false) gives every
-// query a cold engine over its item's system.
+// query a cold engine over its item's system, and WithContext makes the
+// pool cooperatively cancellable — pairs not yet started when the
+// context is done fail fast in their own slots, pairs in flight finish
+// exactly.
 func MultiBatch(items []MultiItem, opts ...Option) ([][]Result, error) {
-	cfg := config{parallelism: runtime.GOMAXPROCS(0), cache: true}
-	for _, opt := range opts {
-		opt(&cfg)
-	}
+	cfg := newConfig(opts)
 
 	results := make([][]Result, len(items))
 	errs := make([][]error, len(items))
@@ -67,6 +66,11 @@ func MultiBatch(items []MultiItem, opts ...Option) ([][]Result, error) {
 	runPool(len(units), cfg.parallelism, func(u int) {
 		sys, q := units[u].sys, units[u].q
 		item := items[sys]
+		if err := ctxErr(cfg.ctx, item.Queries[q]); err != nil {
+			errs[sys][q] = err
+			results[sys][q] = Result{Kind: kindOf(item.Queries[q]), Query: stringOf(item.Queries[q]), Err: err}
+			return
+		}
 		if item.Engine == nil {
 			// joinMulti attributes the (system, query) coordinates.
 			errs[sys][q] = errors.New("query: nil engine")

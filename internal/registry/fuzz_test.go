@@ -1,0 +1,99 @@
+package registry
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseSpec pins the parser's two safety contracts against
+// arbitrary input:
+//
+//  1. No panic: ParseSpec either errors or returns a well-formed split,
+//     for any byte sequence a wire client can send.
+//  2. Canonical round-trip: every spec the default registry accepts
+//     resolves to a canonical form that (a) itself parses, (b) resolves
+//     again, and (c) is a fixed point — Canonical(Canonical(s)) ==
+//     Canonical(s). The canonical form is the engine-cache key, so a
+//     non-idempotent rendering would split one system across two cache
+//     slots.
+//
+// The seed corpus covers the grammar's edge territory: every argument
+// form, whitespace, duplicate and empty args, unbalanced parens,
+// rationals in all spellings, and values with embedded '='.
+func FuzzParseSpec(f *testing.F) {
+	seeds := []string{
+		"",
+		"fsquad",
+		"nsquad(5)",
+		"nsquad(n=3)",
+		"nsquad( 3 , loss = 1/10 )",
+		"nsquad(n=3,loss=1/10,improved=false)",
+		"random(seed=42,agents=3)",
+		"random(seed=-7)",
+		"that(p=9/10,eps=1/100)",
+		"fsquad()",
+		"fsquad(",
+		"fsquad)",
+		"fsquad(()",
+		"fsquad(())",
+		"fsquad(,)",
+		"fsquad(a=)",
+		"fsquad(=b)",
+		"fsquad(a=b=c)",
+		"fsquad(label=mode=fast)",
+		"fsquad(loss=0.25)",
+		"fsquad(loss=1e1000000)",
+		"fsquad(loss=1/10,loss=1/4)",
+		"nsquad(3,n=4)",
+		"nsquad(n=3,3)",
+		"UPPER(1)",
+		"9name",
+		"_x(1)",
+		"x__y(a_b=c_d)",
+		"fsquad(loss=" + strings.Repeat("1", 100) + ")",
+		"fsquad\x00(1)",
+		"名前(1)",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+
+	reg := Default()
+	f.Fuzz(func(t *testing.T, spec string) {
+		// Contract 1: never panic, and a successful parse is well-formed.
+		name, pos, named, err := ParseSpec(spec)
+		if err != nil {
+			return
+		}
+		if !validIdent(name) {
+			t.Fatalf("ParseSpec(%q) accepted invalid name %q", spec, name)
+		}
+		for _, v := range pos {
+			if strings.TrimSpace(v) == "" {
+				t.Fatalf("ParseSpec(%q) returned an empty positional value", spec)
+			}
+		}
+		for k, v := range named {
+			if !validIdent(k) || v == "" {
+				t.Fatalf("ParseSpec(%q) returned bad named arg %q=%q", spec, k, v)
+			}
+		}
+
+		// Contract 2: accepted-by-registry implies canonical round-trip.
+		_, args, err := reg.Resolve(spec)
+		if err != nil {
+			return
+		}
+		canonical := args.Canonical()
+		if _, _, _, err := ParseSpec(canonical); err != nil {
+			t.Fatalf("canonical %q of accepted spec %q does not parse: %v", canonical, spec, err)
+		}
+		_, again, err := reg.Resolve(canonical)
+		if err != nil {
+			t.Fatalf("canonical %q of accepted spec %q does not resolve: %v", canonical, spec, err)
+		}
+		if round := again.Canonical(); round != canonical {
+			t.Fatalf("canonical not a fixed point: %q → %q → %q", spec, canonical, round)
+		}
+	})
+}

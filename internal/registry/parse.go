@@ -23,6 +23,15 @@ import (
 // after the first "=" belongs to the value: `scn(label=mode=fast)`
 // binds label to "mode=fast".
 
+// ParseSpec splits a spec into its scenario name, positional values and
+// named values, without consulting any registry — the grammar half of
+// Resolve, exported so tooling (and the fuzz harness) can exercise the
+// parser directly. For any input it either returns an error or a
+// well-formed split; it never panics.
+func ParseSpec(spec string) (name string, pos []string, named map[string]string, err error) {
+	return parseSpec(spec)
+}
+
 // parseSpec splits a spec into its scenario name, positional values and
 // named values. Binding against a scenario's declared parameters happens
 // separately in bind, so parse errors and unknown-parameter errors stay

@@ -261,6 +261,19 @@ func (r *Registry) Resolve(spec string) (Scenario, Args, error) {
 	return s, args, nil
 }
 
+// Canonical resolves a spec to its canonical form — every parameter
+// named, in declared order, values normalized — without building the
+// system. It is the engine-cache key plumbing: the service layer, the
+// load harness and tests all derive cache identities through this one
+// call, so two spellings of a system can never address two engines.
+func (r *Registry) Canonical(spec string) (string, error) {
+	_, args, err := r.Resolve(spec)
+	if err != nil {
+		return "", err
+	}
+	return args.Canonical(), nil
+}
+
 // Build resolves the spec and constructs its system.
 func (r *Registry) Build(spec string) (*pps.System, error) {
 	s, args, err := r.Resolve(spec)

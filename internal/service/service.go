@@ -28,10 +28,21 @@
 // per-system result ordering and per-query error isolation: a failing
 // query reports in its own slot's "error" field with HTTP 200, while
 // request-level failures (unknown scenario, malformed params, a bad
-// batch document) are 4xx with a JSON error body.
+// batch document) are 4xx with a JSON error body and an expired request
+// deadline is a 504.
+//
+// The server is hardened for sustained traffic: engines are retained in
+// a size-bounded LRU (WithEngineCacheSize) whose eviction is invisible —
+// a rebuilt engine returns byte-identical results; cold engines named by
+// one request build concurrently under singleflight (max-of-unfolds, not
+// sum, and concurrent requests for one spec share a single build); and
+// WithRequestTimeout bounds a request's wall clock with cooperative
+// cancellation at query-boundary granularity. internal/load and
+// cmd/pakload drive these paths under concurrency.
 package service
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -39,6 +50,7 @@ import (
 	"runtime"
 	"strings"
 	"sync"
+	"time"
 
 	"pak/internal/core"
 	"pak/internal/query"
@@ -71,9 +83,7 @@ func WithMaxQueries(n int) Option {
 }
 
 // WithMaxSystems caps the systems one eval request may name (default
-// 64), bounding the unfolding work and engine-cache growth a single
-// request can cause — each distinct canonical spec builds and retains
-// one engine.
+// 64), bounding the unfolding work a single request can cause.
 func WithMaxSystems(n int) Option {
 	return func(s *Server) {
 		if n > 0 {
@@ -82,20 +92,65 @@ func WithMaxSystems(n int) Option {
 	}
 }
 
+// WithEngineCacheSize bounds the engines retained across requests
+// (default defaultEngineCacheSize). The cache is LRU over canonical
+// specs: traffic concentrated on few scenarios keeps them warm forever,
+// while a stream of distinct `random(seed=…)` specs cycles through the
+// bound instead of growing without limit. n ≤ 0 restores the unbounded
+// pre-eviction behaviour. Eviction is invisible to clients — a rebuilt
+// engine returns byte-identical results (E17) — it only costs warmth.
+func WithEngineCacheSize(n int) Option {
+	return func(s *Server) { s.cacheSize = n }
+}
+
+// WithRequestTimeout bounds one /v1/eval request's wall-clock time
+// (resolve + build + evaluate). On expiry the client receives a 504
+// JSON error; evaluation stops cooperatively at the next query
+// boundary, and any engine builds already in flight complete and stay
+// cached (the work is shared, so finishing it warms the next request).
+// d ≤ 0 (the default) means no deadline.
+func WithRequestTimeout(d time.Duration) Option {
+	return func(s *Server) {
+		if d > 0 {
+			s.timeout = d
+		}
+	}
+}
+
+// WithMaxBodyBytes bounds the /v1/eval request body (default
+// maxBodyBytes, 8 MiB). Chiefly for tests and embedders fronting the
+// handler with their own limits.
+func WithMaxBodyBytes(n int64) Option {
+	return func(s *Server) {
+		if n > 0 {
+			s.bodyLimit = n
+		}
+	}
+}
+
 // maxBodyBytes bounds the /v1/eval request body (8 MiB): far above any
 // reasonable query batch, far below what could exhaust server memory.
 const maxBodyBytes = 8 << 20
 
+// defaultEngineCacheSize is the default engine-retention bound: far
+// above the built-in registry's fixed-scenario count (those can never
+// evict each other), small enough that unbounded families like
+// random(seed=…) cannot grow the process without limit.
+const defaultEngineCacheSize = 128
+
 // Server serves the registry and the query layer over HTTP. It is safe
-// for concurrent use; engines are shared across requests.
+// for concurrent use; engines are shared across requests through a
+// size-bounded LRU cache with singleflight builds.
 type Server struct {
 	reg         *registry.Registry
 	maxParallel int
 	maxQueries  int
 	maxSystems  int
+	cacheSize   int
+	timeout     time.Duration
+	bodyLimit   int64
 
-	mu      sync.Mutex
-	engines map[string]*core.Engine // canonical spec → shared engine
+	engines *EngineCache
 }
 
 // New returns a server over the registry (nil means registry.Default()).
@@ -108,13 +163,19 @@ func New(reg *registry.Registry, opts ...Option) *Server {
 		maxParallel: runtime.GOMAXPROCS(0),
 		maxQueries:  10000,
 		maxSystems:  64,
-		engines:     make(map[string]*core.Engine),
+		cacheSize:   defaultEngineCacheSize,
+		bodyLimit:   maxBodyBytes,
 	}
 	for _, opt := range opts {
 		opt(s)
 	}
+	s.engines = NewEngineCache(s.cacheSize)
 	return s
 }
+
+// Cache exposes the engine cache (stats and observation; the load
+// harness and experiment E17 read it).
+func (s *Server) Cache() *EngineCache { return s.engines }
 
 // Handler returns the service's HTTP handler.
 func (s *Server) Handler() http.Handler {
@@ -125,15 +186,22 @@ func (s *Server) Handler() http.Handler {
 	return mux
 }
 
-// engineFor resolves a spec and returns the shared engine for its
-// canonical form, building the system on first use. The build runs
-// outside the lock: scenario unfolding can be expensive, and two
-// concurrent first requests for one spec are rarer than one slow build
-// blocking every other spec.
-func (s *Server) engineFor(spec string) (*core.Engine, string, error) {
+// resolved is a spec vetted for the service path: its canonical cache
+// key plus a deferred build closure. Resolution (cheap, always serial)
+// is split from building (expensive, parallelizable) so handleEval can
+// reject a bad request before any unfold starts and fan the cold builds
+// out afterwards.
+type resolved struct {
+	spec  string
+	key   string
+	build func() (*core.Engine, error)
+}
+
+// resolveTarget resolves and vets one spec without building it.
+func (s *Server) resolveTarget(spec string) (resolved, error) {
 	sc, args, err := s.reg.Resolve(spec)
 	if err != nil {
-		return nil, "", err
+		return resolved{}, err
 	}
 	// Wire-exposure bounds (trusted local callers bypass both by
 	// building directly): the generic value/rational caps every
@@ -141,44 +209,104 @@ func (s *Server) engineFor(spec string) (*core.Engine, string, error) {
 	// rejections are client errors by definition, so wrap them in
 	// ErrBadSpec even when a custom guard returns a plain error.
 	if err := args.VetForService(); err != nil {
-		return nil, "", err
+		return resolved{}, err
 	}
 	if sc.ServeGuard != nil {
 		if err := sc.ServeGuard(args); err != nil {
 			if !errors.Is(err, registry.ErrBadSpec) && !errors.Is(err, registry.ErrUnknownScenario) {
 				err = fmt.Errorf("%w: %v", registry.ErrBadSpec, err)
 			}
-			return nil, "", err
+			return resolved{}, err
 		}
 	}
 	key := args.Canonical()
-	s.mu.Lock()
-	e, ok := s.engines[key]
-	s.mu.Unlock()
-	if ok {
-		return e, key, nil
-	}
-	sys, err := sc.Build(args)
+	return resolved{spec: spec, key: key, build: func() (*core.Engine, error) {
+		sys, err := sc.Build(args)
+		if err != nil {
+			// Validated params fully determine a build, so a builder failure
+			// here is a domain error in the client's spec (loss outside
+			// [0,1], agents=0, eps ≥ p, ...): report it as one, not as a 500.
+			return nil, fmt.Errorf("%w: %v", registry.ErrBadSpec, err)
+		}
+		if sys == nil {
+			// Same guard Registry.Build applies: a custom builder returning
+			// (nil, nil) must not become a permanently cached nil-system
+			// engine that panics on every query.
+			return nil, fmt.Errorf("%w: scenario %q returned a nil system", registry.ErrBadSpec, key)
+		}
+		return core.New(sys), nil
+	}}, nil
+}
+
+// engineFor resolves a spec and returns the shared engine for its
+// canonical form, building (and caching) the system on first use —
+// the serial single-spec path; handleEval uses buildEngines to fan
+// cold builds out.
+func (s *Server) engineFor(spec string) (*core.Engine, string, error) {
+	r, err := s.resolveTarget(spec)
 	if err != nil {
-		// Validated params fully determine a build, so a builder failure
-		// here is a domain error in the client's spec (loss outside
-		// [0,1], agents=0, eps ≥ p, ...): report it as one, not as a 500.
-		return nil, "", fmt.Errorf("%w: %v", registry.ErrBadSpec, err)
+		return nil, "", err
 	}
-	if sys == nil {
-		// Same guard Registry.Build applies: a custom builder returning
-		// (nil, nil) must not become a permanently cached nil-system
-		// engine that panics on every query.
-		return nil, "", fmt.Errorf("%w: scenario %q returned a nil system", registry.ErrBadSpec, key)
+	e, err := s.engines.Get(r.key, r.build)
+	if err != nil {
+		return nil, "", err
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if winner, ok := s.engines[key]; ok {
-		return winner, key, nil
+	return e, r.key, nil
+}
+
+// buildEngines materializes engines for every resolved target, building
+// distinct cold specs concurrently (bounded by the server's parallelism
+// cap) through the cache's singleflight — a request naming N un-cached
+// specs pays max-of-unfolds, not sum-of-unfolds, and two concurrent
+// requests naming the same spec share one build. Targets repeating a
+// canonical key alias one engine. Build starts check ctx cooperatively:
+// once the request deadline passes, no NEW unfold begins, but in-flight
+// builds complete and stay cached (the work warms later requests).
+// The returned error is the first failure in target order.
+func (s *Server) buildEngines(ctx context.Context, targets []resolved) ([]*core.Engine, error) {
+	engines := make([]*core.Engine, len(targets))
+	errs := make([]error, len(targets))
+
+	byKey := make(map[string][]int, len(targets))
+	keys := make([]string, 0, len(targets))
+	for i, tg := range targets {
+		if _, ok := byKey[tg.key]; !ok {
+			keys = append(keys, tg.key)
+		}
+		byKey[tg.key] = append(byKey[tg.key], i)
 	}
-	e = core.New(sys)
-	s.engines[key] = e
-	return e, key, nil
+
+	workers := s.maxParallel
+	if workers < 1 {
+		workers = 1
+	}
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	for _, key := range keys {
+		idxs := byKey[key]
+		wg.Add(1)
+		go func(key string, idxs []int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			var e *core.Engine
+			err := context.Cause(ctx)
+			if err == nil {
+				e, err = s.engines.Get(key, targets[idxs[0]].build)
+			}
+			for _, i := range idxs {
+				engines[i], errs[i] = e, err
+			}
+		}(key, idxs)
+	}
+	wg.Wait()
+
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return engines, nil
 }
 
 // The catalog endpoints serialize registry.Scenario directly: its JSON
@@ -254,8 +382,15 @@ func (s *Server) handleEval(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("%s not allowed; use POST", r.Method))
 		return
 	}
+	ctx := r.Context()
+	if s.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.timeout)
+		defer cancel()
+	}
+
 	var req EvalRequest
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.bodyLimit))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
 		var tooLarge *http.MaxBytesError
@@ -340,16 +475,27 @@ func (s *Server) handleEval(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	items := make([]query.MultiItem, len(targets))
-	canonicals := make([]string, len(targets))
+	// Resolve every spec (cheap, serial — bad requests are rejected
+	// before any unfold), then build the distinct cold engines
+	// concurrently under the cache's singleflight.
+	resolvedTargets := make([]resolved, len(targets))
 	for i, tg := range targets {
-		e, canonical, err := s.engineFor(tg.spec)
+		rt, err := s.resolveTarget(tg.spec)
 		if err != nil {
-			writeError(w, statusOfRegistryErr(err), err)
+			writeError(w, statusOfEvalErr(err), err)
 			return
 		}
-		items[i] = query.MultiItem{Engine: e, Queries: batches[i]}
-		canonicals[i] = canonical
+		resolvedTargets[i] = rt
+	}
+	engines, err := s.buildEngines(ctx, resolvedTargets)
+	if err != nil {
+		writeError(w, statusOfEvalErr(err), evalErrMessage(err, s.timeout))
+		return
+	}
+
+	items := make([]query.MultiItem, len(targets))
+	for i := range targets {
+		items[i] = query.MultiItem{Engine: engines[i], Queries: batches[i]}
 	}
 
 	parallel := s.maxParallel
@@ -358,13 +504,22 @@ func (s *Server) handleEval(w http.ResponseWriter, r *http.Request) {
 	}
 	// Per-query errors are already isolated in their result slots; the
 	// joined error adds nothing for a wire client.
-	results, _ := query.MultiBatch(items, query.WithParallelism(parallel))
+	results, _ := query.MultiBatch(items,
+		query.WithParallelism(parallel), query.WithContext(ctx))
+
+	// A request that outlived its deadline reports one clear 504, not a
+	// partial result set whose gaps the client must diff out: the
+	// evaluated slots are exact, but the contract is all-or-timeout.
+	if err := context.Cause(ctx); err != nil {
+		writeError(w, statusOfEvalErr(err), evalErrMessage(err, s.timeout))
+		return
+	}
 
 	resp := EvalResponse{Results: make([]SystemResult, len(targets))}
 	for i, tg := range targets {
 		resp.Results[i] = SystemResult{
 			System:    tg.spec,
-			Canonical: canonicals[i],
+			Canonical: resolvedTargets[i].key,
 			Results:   query.DocsOf(results[i]),
 		}
 	}
@@ -379,16 +534,38 @@ func isMissingJSON(raw json.RawMessage) bool {
 	return len(raw) == 0 || string(raw) == "null"
 }
 
-// statusOfRegistryErr maps registry failures to HTTP statuses: both
-// unknown scenarios and malformed specs are client errors.
-func statusOfRegistryErr(err error) int {
+// statusOfEvalErr maps an eval-path failure to its HTTP status: unknown
+// scenarios and malformed specs are client errors, an expired request
+// deadline is a 504 gateway timeout (the server ran out of its allotted
+// time, the request itself was well-formed).
+func statusOfEvalErr(err error) int {
 	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		// The client went away; the status is for logs only.
+		return http.StatusGatewayTimeout
 	case errors.Is(err, registry.ErrUnknownScenario):
 		return http.StatusNotFound
 	case errors.Is(err, registry.ErrBadSpec):
 		return http.StatusBadRequest
 	default:
 		return http.StatusInternalServerError
+	}
+}
+
+// evalErrMessage renders an eval-path failure for the wire. Deadline
+// errors get a deterministic message naming the configured budget —
+// stable across runs, so clients (and the golden tests) can rely on
+// its shape.
+func evalErrMessage(err error, timeout time.Duration) error {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		return fmt.Errorf("request deadline exceeded: evaluation did not finish within the server's %v budget", timeout)
+	case errors.Is(err, context.Canceled):
+		return errors.New("request cancelled before evaluation finished")
+	default:
+		return err
 	}
 }
 

@@ -7,8 +7,12 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
 
+	"pak/internal/pps"
 	"pak/internal/query"
 	"pak/internal/ratutil"
 	"pak/internal/registry"
@@ -297,6 +301,116 @@ func TestEvalErrorPaths(t *testing.T) {
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusMethodNotAllowed {
 		t.Errorf("GET /v1/eval: status %d, want 405", resp.StatusCode)
+	}
+}
+
+// TestEvalRequestTimeout: a server whose deadline cannot be met answers
+// 504 with the uniform JSON error body, not a partial result set.
+func TestEvalRequestTimeout(t *testing.T) {
+	ts := newTestServer(t, WithRequestTimeout(time.Nanosecond))
+	resp, data := postEval(t, ts, fmt.Sprintf(`{"systems": ["nsquad(2)"], "queries": %s}`, squadBatch(t)))
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("status %d, want 504 (%s)", resp.StatusCode, data)
+	}
+	var ed errorDoc
+	if err := json.Unmarshal(data, &ed); err != nil || !strings.Contains(ed.Error, "deadline exceeded") {
+		t.Errorf("504 body = %s", data)
+	}
+
+	// A generous deadline changes nothing: the same request answers 200
+	// with full results.
+	ok := newTestServer(t, WithRequestTimeout(time.Minute))
+	resp2, data2 := postEval(t, ok, fmt.Sprintf(`{"systems": ["nsquad(2)"], "queries": %s}`, squadBatch(t)))
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("status %d under a generous deadline (%s)", resp2.StatusCode, data2)
+	}
+}
+
+// slowRegistry registers count scenarios whose builders sleep for delay
+// and count invocations, for the cold-build concurrency tests.
+func slowRegistry(t *testing.T, count int, delay time.Duration, builds *atomic.Int64) *registry.Registry {
+	t.Helper()
+	reg := registry.New()
+	for i := 0; i < count; i++ {
+		err := reg.Register(registry.Scenario{
+			Name: fmt.Sprintf("slow%d", i),
+			Doc:  "test scenario with a slow build",
+			Build: func(registry.Args) (*pps.System, error) {
+				builds.Add(1)
+				time.Sleep(delay)
+				return scenarios.NFiringSquadSystem(2, ratutil.R(1, 10), false)
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	return reg
+}
+
+// TestColdBuildsRunInParallel: one request naming N un-cached specs
+// pays roughly max-of-unfolds, not sum-of-unfolds.
+func TestColdBuildsRunInParallel(t *testing.T) {
+	const n = 4
+	const delay = 100 * time.Millisecond
+	var builds atomic.Int64
+	s := New(slowRegistry(t, n, delay, &builds), WithMaxParallelism(n))
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+
+	specs := make([]string, n)
+	for i := range specs {
+		specs[i] = fmt.Sprintf("%q", fmt.Sprintf("slow%d", i))
+	}
+	start := time.Now()
+	resp, data := postEval(t, ts, fmt.Sprintf(`{"systems": [%s], "queries": []}`, strings.Join(specs, ",")))
+	elapsed := time.Since(start)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, data)
+	}
+	if got := builds.Load(); got != n {
+		t.Errorf("built %d systems, want %d", got, n)
+	}
+	// Serial builds would take n × delay; allow generous scheduling slack
+	// while still ruling the serial path out.
+	if serialFloor := time.Duration(n) * delay; elapsed >= serialFloor {
+		t.Errorf("cold builds took %v, want < %v (serial sum)", elapsed, serialFloor)
+	}
+}
+
+// TestConcurrentColdRequestsShareOneBuild: many clients racing on one
+// un-cached spec trigger exactly one unfold (singleflight).
+func TestConcurrentColdRequestsShareOneBuild(t *testing.T) {
+	var builds atomic.Int64
+	s := New(slowRegistry(t, 1, 50*time.Millisecond, &builds))
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+
+	const clients = 8
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, err := http.Post(ts.URL+"/v1/eval", "application/json",
+				strings.NewReader(`{"systems": ["slow0"], "queries": []}`))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			body, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				t.Errorf("status %d: %s", resp.StatusCode, body)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := builds.Load(); got != 1 {
+		t.Errorf("%d concurrent cold requests ran %d builds, want 1", clients, got)
+	}
+	if st := s.Cache().Stats(); st.Misses != 1 {
+		t.Errorf("cache stats = %+v, want exactly 1 miss", st)
 	}
 }
 

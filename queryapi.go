@@ -1,6 +1,8 @@
 package pak
 
 import (
+	"context"
+
 	"pak/internal/core"
 	"pak/internal/encode"
 	"pak/internal/query"
@@ -129,6 +131,13 @@ func WithParallelism(n int) EvalOption { return query.WithParallelism(n) }
 // WithCache controls whether a batch shares the engine's memoization
 // (default true); disabled, each query runs against a cold engine.
 func WithCache(enabled bool) EvalOption { return query.WithCache(enabled) }
+
+// WithEvalContext binds a batch evaluation to ctx for cooperative
+// cancellation: once ctx is done, queries not yet started fail fast in
+// their own result slots with the context's error, while in-flight
+// queries run to completion — finished slots are always exact, never
+// torn.
+func WithEvalContext(ctx context.Context) EvalOption { return query.WithContext(ctx) }
 
 // MarshalQuery renders one query as a JSON document.
 func MarshalQuery(q Query) ([]byte, error) { return query.Marshal(q) }

@@ -3,5 +3,170 @@
 package pak_test
 
 // raceEnabled reports whether the race detector is instrumenting this
-// test binary (see race_off_test.go for the counterpart).
+// test binary (see race_off_test.go for the counterpart). The stress
+// tests below run only under -race: they exist to let the detector see
+// the service's shared state — the LRU engine cache, the singleflight
+// build table, the per-request worker pools — under real contention,
+// and to pin that concurrency never reorders or tears results.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"pak"
+)
+
 const raceEnabled = true
+
+// raceEvalBody is a two-query batch against the named systems.
+func raceEvalBody(t *testing.T, n int, systems ...string) string {
+	t.Helper()
+	batch, err := pak.MarshalQueryBatch([]pak.Query{
+		pak.ConstraintQuery{Fact: pak.AllFire(n), Agent: "General", Action: "fire"},
+		pak.ExpectationQuery{Fact: pak.AllFire(n), Agent: "General", Action: "fire"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	quoted := make([]string, len(systems))
+	for i, s := range systems {
+		quoted[i] = fmt.Sprintf("%q", s)
+	}
+	return fmt.Sprintf(`{"systems": [%s], "queries": %s}`, strings.Join(quoted, ","), batch)
+}
+
+// TestServiceRaceStress hammers one service with concurrent /v1/eval
+// requests hitting the same spec, equivalent spellings of that spec,
+// and different specs — under an engine cache small enough that the
+// traffic itself forces evictions and rebuilds. Every response must be
+// a 200 whose `[system][query]` shape and exact values match the
+// request's canonical expectation byte for byte: torn cache state,
+// reordered slots or a half-built engine would all surface here (and
+// the race detector sees every interleaving the test provokes).
+func TestServiceRaceStress(t *testing.T) {
+	if testing.Short() {
+		t.Skip("race stress in -short")
+	}
+	ts := httptest.NewServer(pak.ServiceHandler(
+		pak.WithServiceEngineCache(2), // three distinct specs below → guaranteed eviction churn
+		pak.WithServiceRequestTimeout(time.Minute),
+	))
+	t.Cleanup(ts.Close)
+
+	// Three request shapes over three canonical systems; shapes 0 and 1
+	// address nsquad(2) through different spellings, so they must share
+	// one engine and one answer.
+	bodies := []string{
+		raceEvalBody(t, 2, "nsquad(2)"),
+		raceEvalBody(t, 2, "nsquad(n=2,loss=1/10,improved=false)"),
+		raceEvalBody(t, 3, "nsquad(3)"),
+		raceEvalBody(t, 2, "nsquad(2)", "fsquad"),
+	}
+
+	// Reference responses, taken serially before the storm. The stress
+	// assertion is byte identity against these — stronger than "no
+	// error", it pins ordering and exact values.
+	want := make([]string, len(bodies))
+	for i, body := range bodies {
+		if want[i] = postForBody(t, ts.URL, body); want[i] == "" {
+			t.Fatalf("reference request %d failed before the storm", i)
+		}
+	}
+
+	const (
+		workers  = 8
+		requests = 15 // per worker
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for r := 0; r < requests; r++ {
+				shape := (w + r) % len(bodies)
+				got := postForBody(t, ts.URL, bodies[shape])
+				if got == "" {
+					return // postForBody already reported the failure
+				}
+				if got != want[shape] {
+					t.Errorf("worker %d req %d: response for shape %d diverged under load:\ngot  %s\nwant %s",
+						w, r, shape, got, want[shape])
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// TestServiceRaceStressColdStorm: all workers race on a single cold
+// spec so the singleflight build path itself runs under the detector;
+// every client must get the one shared engine's exact answer.
+func TestServiceRaceStressColdStorm(t *testing.T) {
+	if testing.Short() {
+		t.Skip("race stress in -short")
+	}
+	ts := httptest.NewServer(pak.ServiceHandler(pak.WithServiceEngineCache(4)))
+	t.Cleanup(ts.Close)
+	body := raceEvalBody(t, 4, "nsquad(4)") // expensive enough that the build overlaps the storm
+
+	const workers = 8
+	responses := make([]string, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			responses[w] = postForBody(t, ts.URL, body)
+		}(w)
+	}
+	wg.Wait()
+	for w := 1; w < workers; w++ {
+		if responses[w] != responses[0] {
+			t.Errorf("worker %d's response differs from worker 0's:\n%s\nvs\n%s",
+				w, responses[w], responses[0])
+		}
+	}
+	// And the cold storm's answer must carry real values in order.
+	var out pak.ServiceEvalResponse
+	if err := json.Unmarshal([]byte(responses[0]), &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Results) != 1 || len(out.Results[0].Results) != 2 {
+		t.Fatalf("response shape wrong: %+v", out)
+	}
+	if out.Results[0].Results[0].Value == "" || out.Results[0].Results[0].Error != "" {
+		t.Errorf("slot [0][0] not exact: %+v", out.Results[0].Results[0])
+	}
+}
+
+// postForBody POSTs to /v1/eval and returns the response body,
+// requiring a 200. It reports failures with t.Errorf (never FailNow):
+// the stress tests call it from worker goroutines, where t.Fatal is
+// off-contract.
+func postForBody(t *testing.T, base, body string) string {
+	t.Helper()
+	resp, err := http.Post(base+"/v1/eval", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Errorf("POST /v1/eval: %v", err)
+		return ""
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Errorf("read response body: %v", err)
+		return ""
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("status %d: %s", resp.StatusCode, data)
+		return ""
+	}
+	return string(data)
+}

@@ -2,6 +2,7 @@ package pak
 
 import (
 	"net/http"
+	"time"
 
 	"pak/internal/query"
 	"pak/internal/service"
@@ -55,3 +56,14 @@ func WithServiceMaxQueries(n int) ServiceOption { return service.WithMaxQueries(
 // WithServiceMaxSystems caps the systems one eval request may name
 // (each distinct scenario spec builds and retains an engine).
 func WithServiceMaxSystems(n int) ServiceOption { return service.WithMaxSystems(n) }
+
+// WithServiceEngineCache bounds the engines retained across requests
+// (LRU over canonical specs; n ≤ 0 = unbounded). Eviction is invisible
+// — a rebuilt engine returns byte-identical results — it only costs
+// cache warmth.
+func WithServiceEngineCache(n int) ServiceOption { return service.WithEngineCacheSize(n) }
+
+// WithServiceRequestTimeout bounds one eval request's wall clock; on
+// expiry the client receives a 504 JSON error and evaluation stops
+// cooperatively at the next query boundary (d ≤ 0 = no deadline).
+func WithServiceRequestTimeout(d time.Duration) ServiceOption { return service.WithRequestTimeout(d) }
