@@ -61,21 +61,27 @@ func run(args []string, stdout, stderr io.Writer) int {
 	epsStr := fs.String("eps", "1/10", "ε for the PAK analysis (Theorem 7.1)")
 	deltaStr := fs.String("delta", "1/10", "δ for the PAK analysis (Theorem 7.1)")
 	parallel := fs.Int("parallel", 0, "EvalBatch workers (0 = GOMAXPROCS)")
+	stream := fs.Bool("stream", false, "with -batch: render each result as it finishes (EvalStream) instead of one final table")
 	fs.Usage = func() {
 		fmt.Fprintf(stderr, "Usage: pakcheck {-system sys.json | -scenario spec} {-query query.json | -batch queries.json}\n")
-		fmt.Fprintf(stderr, "                [-dump] [-eps 1/10] [-delta 1/10] [-parallel N]\n\nFlags:\n")
+		fmt.Fprintf(stderr, "                [-dump] [-eps 1/10] [-delta 1/10] [-parallel N] [-stream]\n\nFlags:\n")
 		fs.PrintDefaults()
 		fmt.Fprintf(stderr, `
 -query expands one constraint document into the full analysis battery;
 -batch evaluates an explicit query-spec array (pak.ParseQueryBatch's
 format, produced by pakrand -batch or pak.MarshalQueryBatch) through one
-parallel EvalBatch call, one row per query.
+parallel EvalBatch call, one row per query. -stream renders each -batch
+result the moment it finishes (EvalStream) instead of one final table —
+progressive output for huge batches, with a terminal line naming how
+the stream ended.
 
 Examples:
   pakcheck -system sys.json -query query.json      the complete constraint battery
   pakcheck -system sys.json -batch queries.json    evaluate explicit query specs
   pakcheck -scenario "nsquad(3)" -batch q.json     a registry system, no JSON needed
   pakcheck -system sys.json -batch q.json -parallel 1   serial evaluation (same results)
+  pakcheck -scenario "nsquad(3)" -batch q.json -stream -parallel 1
+                                                   stream results in input order
 `)
 	}
 	if err := fs.Parse(args); err != nil {
@@ -84,6 +90,10 @@ Examples:
 	if (*systemPath == "") == (*scenarioSpec == "") || (*queryPath == "") == (*batchPath == "") {
 		fmt.Fprintln(stderr, "pakcheck: exactly one of -system / -scenario and exactly one of -query / -batch are required")
 		fs.Usage()
+		return 2
+	}
+	if *stream && *batchPath == "" {
+		fmt.Fprintln(stderr, "pakcheck: -stream requires -batch (the -query battery renders as one report)")
 		return 2
 	}
 
@@ -137,6 +147,13 @@ Examples:
 		if parseErr != nil {
 			fmt.Fprintf(stderr, "pakcheck: %v\n", parseErr)
 			return 1
+		}
+		if *stream {
+			if err := streamBatch(stdout, sys, qs, opts); err != nil {
+				fmt.Fprintf(stderr, "pakcheck: %v\n", err)
+				return 1
+			}
+			return 0
 		}
 		if err := analyzeBatch(stdout, sys, qs, opts); err != nil {
 			fmt.Fprintf(stderr, "pakcheck: %v\n", err)
@@ -265,6 +282,45 @@ func analyze(w io.Writer, sys *pak.System, q encode.Query, fact pak.Fact, eps, d
 	thms.AddRow("Lemma F.1 (KoP limit)", verdict(kop.Passed()),
 		fmt.Sprintf("minβ=%s knows=%v", kop.Values["minBelief"].RatString(), kop.Flags["alwaysKnows"]))
 	fmt.Fprint(w, report.Section("Theorem checks", thms.Render()))
+	return nil
+}
+
+// streamBatch evaluates an explicit query list through EvalStream,
+// printing each result the moment its worker finishes — progressive
+// rendering for huge batches, where the final table would otherwise
+// arrive all at once at the end. Lines carry the query's batch index
+// (completion order and input order coincide under -parallel 1), and
+// the terminal frame reports how the stream ended, deadline truncation
+// included.
+func streamBatch(w io.Writer, sys *pak.System, qs []pak.Query, opts []pak.EvalOption) error {
+	fmt.Fprintf(w, "Streaming %d queries over %s\n", len(qs), sys)
+	done, failed := 0, 0
+	for f := range pak.EvalStream(pak.NewEngine(sys), qs, opts...) {
+		if f.Terminal() {
+			fmt.Fprintf(w, "stream %s: %d of %d queries evaluated, %d failed\n",
+				f.Status, done, len(qs), failed)
+			break
+		}
+		done++
+		res := f.Result
+		if res.Err != nil {
+			failed++
+			fmt.Fprintf(w, "[%d/%d] #%d %s ERROR %v\n", done, len(qs), f.Index, res.Kind, res.Err)
+			continue
+		}
+		value := "-"
+		if res.Value != nil {
+			value = fmt.Sprintf("%s ≈ %s", res.Value.RatString(), res.Value.FloatString(6))
+		}
+		verdictStr := string(res.Verdict)
+		if verdictStr == "" {
+			verdictStr = "-"
+		}
+		fmt.Fprintf(w, "[%d/%d] #%d %s %s %s %s\n", done, len(qs), f.Index, res.Kind, value, verdictStr, res.Detail)
+	}
+	if failed > 0 {
+		return fmt.Errorf("%d of %d queries failed", failed, len(qs))
+	}
 	return nil
 }
 

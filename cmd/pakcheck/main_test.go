@@ -244,3 +244,65 @@ func TestRunScenarioFlagErrors(t *testing.T) {
 		})
 	}
 }
+
+// TestRunStreamMode: -stream renders one line per result as it
+// completes; with -parallel 1 completion order is input order, so the
+// output is deterministic.
+func TestRunStreamMode(t *testing.T) {
+	systemPath, batchPath := writeBatchFixture(t)
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-system", systemPath, "-batch", batchPath, "-stream", "-parallel", "1"}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit code %d, stderr: %s", code, stderr.String())
+	}
+	out := stdout.String()
+	for _, want := range []string{
+		"Streaming 4 queries",
+		"[1/4] #0 constraint",
+		"[4/4] #3",
+		"99/100",
+		"stream complete: 4 of 4 queries evaluated, 0 failed",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("stream output missing %q:\n%s", want, out)
+		}
+	}
+
+	// A failing query occupies its own line and flips the exit code,
+	// but its neighbours still render.
+	badBatch := filepath.Join(t.TempDir(), "bad-batch.json")
+	both := pak.And(pak.Does("Alice", "fire"), pak.Does("Bob", "fire"))
+	doc, err := pak.MarshalQueryBatch([]pak.Query{
+		pak.ConstraintQuery{Fact: both, Agent: "Alice", Action: "fire"},
+		pak.ConstraintQuery{Fact: both, Agent: "nobody", Action: "fire"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(badBatch, doc, 0o600); err != nil {
+		t.Fatal(err)
+	}
+	stdout.Reset()
+	stderr.Reset()
+	if code := run([]string{"-system", systemPath, "-batch", badBatch, "-stream", "-parallel", "1"}, &stdout, &stderr); code != 1 {
+		t.Fatalf("exit code %d with a failing query, want 1", code)
+	}
+	if !strings.Contains(stdout.String(), "ERROR") || !strings.Contains(stdout.String(), "1 failed") {
+		t.Errorf("failing stream output:\n%s", stdout.String())
+	}
+	if !strings.Contains(stdout.String(), "[1/2] #0 constraint") {
+		t.Errorf("healthy neighbour did not render:\n%s", stdout.String())
+	}
+}
+
+// TestRunStreamRequiresBatch: -stream without -batch is a usage error.
+func TestRunStreamRequiresBatch(t *testing.T) {
+	systemPath, queryPath := writeFixtures(t)
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-system", systemPath, "-query", queryPath, "-stream"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("exit code %d, want 2", code)
+	}
+	if !strings.Contains(stderr.String(), "-stream requires -batch") {
+		t.Errorf("stderr = %s", stderr.String())
+	}
+}

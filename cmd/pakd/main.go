@@ -18,14 +18,23 @@
 //	POST /v1/eval              evaluate a query-batch document (the format
 //	                           of pak.ParseQueryBatch / pakrand -batch)
 //	                           against one or more named systems
+//	POST /v1/eval/stream       the same request, answered as an NDJSON
+//	                           stream: one result frame per query the
+//	                           moment it finishes, closed by a terminal
+//	                           status frame (complete|deadline|cancelled)
+//	GET  /v1/stats             the engine cache's hit/miss/eviction
+//	                           counters as JSON
 //
-// Hardening knobs (see DESIGN.md "Service hardening" for the
-// contracts): -timeout bounds each /v1/eval request's wall clock and
-// answers 504 on expiry; -engine-cache bounds the engines retained
-// across requests (LRU over canonical specs — eviction is invisible,
-// rebuilt engines return byte-identical results); cold engines named
-// by one request build concurrently, and concurrent requests for one
-// spec share a single build. cmd/pakload is the matching load driver.
+// Hardening knobs (see DESIGN.md "Service hardening" and "Streaming
+// results" for the contracts): -timeout bounds each eval request's wall
+// clock — on expiry /v1/eval answers 504 carrying every finished result
+// plus per-slot deadline errors (the finished prefix is never lost),
+// and /v1/eval/stream closes with a "deadline" terminal frame;
+// -engine-cache bounds the engines retained across requests (LRU over
+// canonical specs — eviction is invisible, rebuilt engines return
+// byte-identical results); cold engines named by one request build
+// concurrently, and concurrent requests for one spec share a single
+// build. cmd/pakload is the matching load driver.
 //
 // Example (two systems, one batch, one request):
 //

@@ -8,7 +8,7 @@
 //
 // Usage:
 //
-//	pakload [-url http://host:8371] [-mix squad|mixed|heavy]
+//	pakload [-url http://host:8371] [-mix squad|mixed|heavy|stream]
 //	        [-c 8] [-n 200] [-duration 0] [-timeout 30s] [-seed 1]
 //	        [-engine-cache 8] [-eval-timeout 0] [-out report.json]
 //
@@ -29,6 +29,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net/http"
 	"net/http/httptest"
 	"os"
 	"strings"
@@ -63,12 +64,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 Examples:
   pakload -n 500 -c 16                      stress an in-process pakd, report to stdout
   pakload -mix heavy -engine-cache 4        force engine-cache eviction churn
+  pakload -mix stream -n 200                drive /v1/eval/stream with full NDJSON
+                                            frame validation (set, no holes, terminal)
   pakload -url http://localhost:8371 -mix mixed -duration 30s
                                             drive a live pakd for 30s, 4xx probes included
   pakload -n 100 -out report.json           write the JSON report to a file
 
 Exit status is 0 only when every request landed in its designed outcome
-class; transport errors, timeouts or unexpected statuses exit 1.
+class; transport errors, timeouts, malformed streams or unexpected
+statuses exit 1. When the target exposes GET /v1/stats the report
+records the server's engine-cache counters under "serverStats".
 `)
 	}
 	if err := fs.Parse(args); err != nil {
@@ -109,6 +114,15 @@ class; transport errors, timeouts or unexpected statuses exit 1.
 	if err != nil {
 		fmt.Fprintf(stderr, "pakload: %v\n", err)
 		return 2
+	}
+
+	// Soak accounting: snapshot the server's engine-cache counters into
+	// the report when the target exposes /v1/stats (a non-pakd target
+	// simply omits the field). The run's client timeout bounds the
+	// snapshot too.
+	statsClient := &http.Client{Timeout: *timeout}
+	if stats, statsErr := load.FetchServerStats(statsClient, strings.TrimSuffix(target, "/")); statsErr == nil {
+		rep.ServerStats = stats
 	}
 
 	data, err := json.MarshalIndent(rep, "", "  ")

@@ -74,3 +74,24 @@ func TestPakloadBadFlags(t *testing.T) {
 		}
 	}
 }
+
+// TestPakloadStreamMix: the stream mix validates NDJSON frames end to
+// end against the in-process pakd, and the report snapshots the
+// server's engine-cache counters from /v1/stats.
+func TestPakloadStreamMix(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-n", "30", "-c", "4", "-mix", "stream", "-seed", "3"}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr.String())
+	}
+	var rep load.Report
+	if err := json.Unmarshal(stdout.Bytes(), &rep); err != nil {
+		t.Fatalf("stdout is not a report: %v\n%s", err, stdout.String())
+	}
+	if rep.Total != 30 || rep.OK != 30 {
+		t.Errorf("report totals: %d requests, %d ok, errors=%v", rep.Total, rep.OK, rep.Errors)
+	}
+	if !strings.Contains(string(rep.ServerStats), "engineCache") {
+		t.Errorf("report lacks server stats: %s", rep.ServerStats)
+	}
+}

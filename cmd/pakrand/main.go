@@ -20,8 +20,9 @@
 // classic pakcheck mode consumes; -batch writes a full query-batch spec
 // (constraint, expectation, independence and every theorem) serialized
 // through the unified query API. -selfcheck immediately evaluates that
-// batch on the generated system through EvalBatch and reports pass/fail,
-// making pakrand a one-shot property tester.
+// batch on the generated system through EvalStream, rendering each
+// verdict the moment it is known and reporting pass/fail, making
+// pakrand a one-shot property tester with progressive output.
 package main
 
 import (
@@ -133,22 +134,36 @@ Examples:
 			fmt.Fprintf(stdout, "wrote %d-query batch to %s\n", len(batch), *batchPath)
 		}
 		if *selfcheck {
-			results, evalErr := pak.EvalSystem(sys, batch)
-			if evalErr != nil {
-				fmt.Fprintf(stderr, "pakrand: selfcheck: %v\n", evalErr)
-				return 1
-			}
-			failed := 0
-			for _, res := range results {
+			// The battery streams serially so each verdict renders the
+			// moment it is known, in input order — progressive AND
+			// deterministic output (ten queries gain nothing from a
+			// parallel pool anyway).
+			done, failed := 0, 0
+			for f := range pak.EvalStream(pak.NewEngine(sys), batch, pak.WithParallelism(1)) {
+				if f.Terminal() {
+					if f.Status != pak.StreamComplete {
+						fmt.Fprintf(stderr, "pakrand: selfcheck: stream ended %s after %d of %d queries\n",
+							f.Status, done, len(batch))
+						return 1
+					}
+					continue
+				}
+				done++
+				res := f.Result
+				if res.Err != nil {
+					fmt.Fprintf(stderr, "pakrand: selfcheck: %v\n", res.Err)
+					return 1
+				}
 				// Only theorem and independence verdicts must pass
 				// universally: the constraint's own µ ≥ p judgement
 				// legitimately varies with the random system.
-				if res.Kind != pak.KindTheorem && res.Kind != pak.KindIndependence {
-					continue
-				}
-				if res.Verdict == pak.VerdictFail {
+				gated := res.Kind == pak.KindTheorem || res.Kind == pak.KindIndependence
+				switch {
+				case gated && res.Verdict == pak.VerdictFail:
 					failed++
-					fmt.Fprintf(stdout, "selfcheck FAIL: %s (%s)\n", res.Query, res.Detail)
+					fmt.Fprintf(stdout, "selfcheck [%2d/%d] FAIL: %s (%s)\n", done, len(batch), res.Query, res.Detail)
+				default:
+					fmt.Fprintf(stdout, "selfcheck [%2d/%d] ok: %s\n", done, len(batch), res.Query)
 				}
 			}
 			if failed > 0 {
@@ -157,7 +172,7 @@ Examples:
 				fmt.Fprintf(stderr, "pakrand: selfcheck: %d verdict(s) failed\n", failed)
 				return 1
 			}
-			fmt.Fprintf(stdout, "selfcheck: %d queries evaluated, all verdicts pass\n", len(results))
+			fmt.Fprintf(stdout, "selfcheck: %d queries evaluated, all verdicts pass\n", done)
 		}
 	}
 	return 0

@@ -118,3 +118,22 @@ func TestRunUnwritablePaths(t *testing.T) {
 		t.Fatalf("exit %d, want 1", code)
 	}
 }
+
+// TestRunSelfcheckProgressive: -selfcheck streams the battery serially,
+// rendering one deterministic line per verdict before the summary.
+func TestRunSelfcheckProgressive(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-seed", "7", "-selfcheck"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit %d: %s", code, stderr.String())
+	}
+	out := stdout.String()
+	for _, want := range []string{
+		"selfcheck [ 1/10] ok:",
+		"selfcheck [10/10] ok:",
+		"selfcheck: 10 queries evaluated, all verdicts pass",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("selfcheck output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -34,25 +34,34 @@
 //     Eval or the parallel EvalBatch (WithParallelism, WithCache) to a
 //     uniform QueryResult of exact rationals, verdicts and witness
 //     run-sets; EvalMultiBatch/EvalMultiSystems shard batches across
-//     several engines through one bounded worker pool; query lists
-//     serialize to JSON (MarshalQueryBatch, ParseQueryBatch) in the
-//     format the CLI tools and the pakd service exchange;
+//     several engines through one bounded worker pool;
+//     EvalStream/EvalMultiStream are their streaming forms — one
+//     QueryFrame per query as its worker finishes, a terminal status
+//     frame (complete | deadline | cancelled), and in-flight work
+//     drained on context expiry so the finished prefix is never lost
+//     (the batch evaluators are consumers of the same stream); query
+//     lists serialize to JSON (MarshalQueryBatch, ParseQueryBatch) in
+//     the format the CLI tools and the pakd service exchange;
 //   - scenarios by name: the registry (Scenarios, BuildScenario) resolves
 //     compact specs — "fsquad", "nsquad(5)", "random(seed=42)" — to
 //     systems with validated, defaulted parameters; the generated
 //     SCENARIOS.md catalogs every registered scenario;
 //   - the service: ServiceHandler/NewService expose the registry and the
 //     query layer over HTTP/JSON (what cmd/pakd serves) — named systems,
-//     query-batch documents, cross-system fan-out — hardened for
-//     sustained traffic: per-request deadlines with cooperative
-//     cancellation (WithServiceRequestTimeout, WithEvalContext; expiry
-//     answers 504), a size-bounded LRU engine cache whose eviction is
-//     invisible (WithServiceEngineCache — rebuilt engines answer
-//     byte-identically, experiment E17), and concurrent singleflight
-//     cold builds; cmd/pakload + internal/load drive it all under
-//     concurrent load with latency/error-taxonomy JSON reports; see
-//     examples/service for the walkthrough (start pakd, POST a batch
-//     with curl, read the exact JSON results);
+//     query-batch documents, cross-system fan-out, an NDJSON streaming
+//     endpoint (/v1/eval/stream: one result frame per query the moment
+//     it finishes, golden-pinned frame shapes) and engine-cache stats
+//     (/v1/stats) — hardened for sustained traffic: per-request
+//     deadlines with cooperative cancellation (WithServiceRequestTimeout,
+//     WithEvalContext; expiry answers 504 carrying every finished result
+//     plus per-slot deadline errors, never discarding completed work), a
+//     size-bounded LRU engine cache whose eviction is invisible
+//     (WithServiceEngineCache — rebuilt engines answer byte-identically,
+//     experiment E17), and concurrent singleflight cold builds;
+//     cmd/pakload + internal/load drive it all under concurrent load
+//     with latency/error-taxonomy JSON reports; see examples/service for
+//     the walkthrough (start pakd, POST a batch with curl, read the
+//     exact JSON results);
 //   - the paper's own systems: Figure1, That (Figure 2 / Theorem 5.2), and
 //     the relaxed firing squad FiringSquad of Example 1 with its Section 8
 //     improvement;

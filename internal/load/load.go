@@ -46,6 +46,19 @@ type Scenario struct {
 	// CheckJSON requires the response body to be valid JSON; violations
 	// classify as "bad_json".
 	CheckJSON bool `json:"checkJson,omitempty"`
+	// CheckStream requires the response body to be a well-formed
+	// /v1/eval/stream NDJSON stream: every line a frame, exactly one
+	// terminal status frame in final position, result-frame
+	// (system, index) coordinates forming a set with no holes, and — on
+	// a deadline/cancelled terminal — every unfinished slot carrying the
+	// context error while finished slots stay clean (the prefix-on-
+	// timeout contract). Violations classify as "bad_stream".
+	CheckStream bool `json:"checkStream,omitempty"`
+	// ExpectFrames is the result-frame count a stream of this scenario
+	// must carry — the service emits one frame per query even under a
+	// deadline, so the count is exact, not a lower bound (0 skips the
+	// check).
+	ExpectFrames int `json:"expectFrames,omitempty"`
 }
 
 // Config parameterizes one load run.
@@ -102,6 +115,38 @@ type Report struct {
 
 	// Scenarios breaks the outcome classes down per mix entry.
 	Scenarios map[string]*ScenarioStats `json:"scenarios"`
+
+	// ServerStats, when the target exposes GET /v1/stats, snapshots the
+	// server's engine-cache counters after the run — the soak-mode
+	// accounting ROADMAP asked for (see FetchServerStats).
+	ServerStats json.RawMessage `json:"serverStats,omitempty"`
+}
+
+// FetchServerStats reads the target's GET /v1/stats document so a
+// report can record the server-side cache counters next to the
+// client-side taxonomy. Callers driving a non-pakd target may ignore
+// the error. A nil client gets a bounded one — a stats snapshot must
+// never hang a finished run on an unresponsive target.
+func FetchServerStats(client *http.Client, baseURL string) (json.RawMessage, error) {
+	if client == nil {
+		client = &http.Client{Timeout: 30 * time.Second}
+	}
+	resp, err := client.Get(baseURL + "/v1/stats")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("load: GET /v1/stats answered %d", resp.StatusCode)
+	}
+	if !isJSON(body) {
+		return nil, errors.New("load: GET /v1/stats body is not JSON")
+	}
+	return json.RawMessage(bytes.TrimSpace(body)), nil
 }
 
 // ScenarioStats is one scenario's slice of the report.
@@ -141,6 +186,7 @@ const (
 	outcomeTimeout    = "timeout"
 	outcomeTransport  = "transport"
 	outcomeBadJSON    = "bad_json"
+	outcomeBadStream  = "bad_stream"
 	outcomeBadStatus  = "unexpected_status"
 	outcomeHTTPPrefix = "http_"
 )
@@ -281,6 +327,8 @@ func doRequest(ctx context.Context, client *http.Client, base string, sc Scenari
 		s.outcome = classifyTransport(readErr)
 	case sc.ExpectStatus != 0 && resp.StatusCode != sc.ExpectStatus:
 		s.outcome = outcomeBadStatus
+	case sc.CheckStream && checkStream(body, sc.ExpectFrames) != "":
+		s.outcome = outcomeBadStream
 	case sc.CheckJSON && !isJSON(body):
 		s.outcome = outcomeBadJSON
 	case resp.StatusCode == http.StatusOK:

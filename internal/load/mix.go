@@ -28,7 +28,7 @@ import (
 // one seed issue the same request sequence.
 
 // MixNames lists the built-in mixes.
-func MixNames() []string { return []string{"squad", "mixed", "heavy"} }
+func MixNames() []string { return []string{"squad", "mixed", "heavy", "stream"} }
 
 // BuiltinMix returns the named mix, or an error naming the valid set.
 func BuiltinMix(name string) ([]Scenario, error) {
@@ -39,6 +39,8 @@ func BuiltinMix(name string) ([]Scenario, error) {
 		return mixedMix()
 	case "heavy":
 		return heavyMix()
+	case "stream":
+		return streamMix()
 	default:
 		return nil, fmt.Errorf("load: unknown mix %q (have %v)", name, MixNames())
 	}
@@ -116,6 +118,40 @@ func mixedMix() ([]Scenario, error) {
 			Body:   []byte(`{"systems": ["nsquad(2)"], "queries": [{"kind": "nope"}]}`),
 			Weight: 1, ExpectStatus: http.StatusBadRequest, CheckJSON: true},
 	), nil
+}
+
+// streamMix drives /v1/eval/stream with the standard squad bodies under
+// full frame validation: every response must be a well-formed NDJSON
+// stream whose (system, index) coordinates form a hole-free set with
+// the exact per-batch frame count, closed by a designed terminal frame.
+// Against a deadlined server the same mix asserts the prefix-on-timeout
+// contract instead (unfinished slots name the deadline, finished slots
+// stay clean) — the harness side of the tentpole's "finished work is
+// never lost" guarantee.
+func streamMix() ([]Scenario, error) {
+	two, err := evalBody(2, "nsquad(2)")
+	if err != nil {
+		return nil, err
+	}
+	three, err := evalBody(3, "nsquad(3)")
+	if err != nil {
+		return nil, err
+	}
+	fan, err := evalBody(2, "nsquad(2)", "nsquad(n=2,loss=1/10)", "fsquad")
+	if err != nil {
+		return nil, err
+	}
+	return []Scenario{
+		// evalBody carries 4 queries; the fan-out names 3 systems.
+		{Name: "stream-nsquad2", Path: "/v1/eval/stream", Body: two, Weight: 4,
+			ExpectStatus: http.StatusOK, CheckStream: true, ExpectFrames: 4},
+		{Name: "stream-nsquad3", Path: "/v1/eval/stream", Body: three, Weight: 2,
+			ExpectStatus: http.StatusOK, CheckStream: true, ExpectFrames: 4},
+		{Name: "stream-fanout", Path: "/v1/eval/stream", Body: fan, Weight: 2,
+			ExpectStatus: http.StatusOK, CheckStream: true, ExpectFrames: 12},
+		{Name: "stats", Path: "/v1/stats", Weight: 1,
+			ExpectStatus: http.StatusOK, CheckJSON: true},
+	}, nil
 }
 
 func heavyMix() ([]Scenario, error) {

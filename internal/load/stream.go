@@ -1,0 +1,117 @@
+package load
+
+// Stream validation: the load harness's client-side model of the
+// /v1/eval/stream wire contract. It deliberately decodes the NDJSON
+// frames with its own minimal structs rather than importing the
+// service's types — the harness plays an external client, so a wire
+// drift the service's own tests miss still fails here as "bad_stream".
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"strings"
+)
+
+// wireFrame is the superset of one stream line's fields the validator
+// needs.
+type wireFrame struct {
+	Frame  string `json:"frame"`
+	System int    `json:"system"`
+	Index  int    `json:"index"`
+	Status string `json:"status"`
+	Error  string `json:"error"`
+	Result struct {
+		Error string `json:"error"`
+	} `json:"result"`
+}
+
+// checkStream validates one NDJSON eval-stream body and returns "" when
+// it honours the contract, or a short reason when it does not:
+//
+//   - every line is a JSON frame; result frames only before the single
+//     terminal status frame, which is last;
+//   - (system, index) coordinates form a set — no duplicates — with no
+//     holes (every index below a system's maximum is present);
+//   - expectFrames > 0 pins the exact result-frame count (the service
+//     emits one frame per query even under a deadline);
+//   - a "complete" terminal means no slot carries a context error; a
+//     "deadline"/"cancelled" terminal means unfinished slots name the
+//     context error while finished slots stay clean — the
+//     prefix-on-timeout contract at the wire level.
+func checkStream(body []byte, expectFrames int) string {
+	lines := strings.Split(strings.TrimSuffix(string(bytes.TrimSpace(body)), "\n"), "\n")
+	var results []wireFrame
+	var terminal *wireFrame
+	for ln, line := range lines {
+		var f wireFrame
+		if err := json.Unmarshal([]byte(line), &f); err != nil {
+			return fmt.Sprintf("line %d is not a JSON frame", ln)
+		}
+		if terminal != nil {
+			return fmt.Sprintf("line %d follows the terminal status frame", ln)
+		}
+		switch f.Frame {
+		case "result":
+			results = append(results, f)
+		case "status":
+			tf := f
+			terminal = &tf
+		default:
+			return fmt.Sprintf("line %d has unknown frame kind %q", ln, f.Frame)
+		}
+	}
+	if terminal == nil {
+		return "stream has no terminal status frame"
+	}
+	if expectFrames > 0 && len(results) != expectFrames {
+		return fmt.Sprintf("stream carries %d result frames, want %d", len(results), expectFrames)
+	}
+
+	seen := make(map[[2]int]bool, len(results))
+	maxIndex := make(map[int]int)
+	perSystem := make(map[int]int)
+	for _, f := range results {
+		key := [2]int{f.System, f.Index}
+		if seen[key] {
+			return fmt.Sprintf("slot (%d,%d) emitted twice", f.System, f.Index)
+		}
+		seen[key] = true
+		if f.Index > maxIndex[f.System] {
+			maxIndex[f.System] = f.Index
+		}
+		perSystem[f.System]++
+	}
+	for sys, max := range maxIndex {
+		if perSystem[sys] != max+1 {
+			return fmt.Sprintf("system %d has holes: %d frames but max index %d", sys, perSystem[sys], max)
+		}
+	}
+
+	switch terminal.Status {
+	case "complete":
+		for _, f := range results {
+			if strings.Contains(f.Result.Error, "context deadline exceeded") ||
+				strings.Contains(f.Result.Error, "context canceled") {
+				return fmt.Sprintf("complete stream carries a context error in slot (%d,%d)", f.System, f.Index)
+			}
+		}
+	case "deadline", "cancelled":
+		if terminal.Error == "" {
+			return fmt.Sprintf("%s terminal frame has no error message", terminal.Status)
+		}
+		cause := "context deadline exceeded"
+		if terminal.Status == "cancelled" {
+			cause = "context canceled"
+		}
+		for _, f := range results {
+			if f.Result.Error != "" && !strings.Contains(f.Result.Error, cause) {
+				return fmt.Sprintf("unfinished slot (%d,%d) has a non-context error under %s: %s",
+					f.System, f.Index, terminal.Status, f.Result.Error)
+			}
+		}
+	default:
+		return fmt.Sprintf("terminal status %q is not a designed outcome for this scenario", terminal.Status)
+	}
+	return ""
+}

@@ -1,0 +1,136 @@
+package load
+
+import (
+	"context"
+	"fmt"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"pak/internal/service"
+)
+
+// TestStreamLoadSmoke is the streaming counterpart of TestLoadSmoke,
+// gated in CI under -race via make load-smoke: the stream mix against
+// an in-process pakd with an eviction-sized cache, every response a
+// fully validated NDJSON stream (frame set, no holes, exact counts,
+// designed terminal).
+func TestStreamLoadSmoke(t *testing.T) {
+	ts := stressServer(t)
+	requests := 120
+	concurrency := 8
+	if testing.Short() {
+		requests, concurrency = 50, 4
+	}
+	mix, err := BuiltinMix("stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Run(context.Background(), Config{
+		BaseURL:     ts.URL,
+		Concurrency: concurrency,
+		Requests:    requests,
+		Timeout:     time.Minute,
+		Seed:        1,
+		Mix:         mix,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Total != requests {
+		t.Errorf("completed %d requests, want %d", rep.Total, requests)
+	}
+	if rep.OK != rep.Total {
+		t.Errorf("stream taxonomy not clean: ok=%d of %d, errors=%v", rep.OK, rep.Total, rep.Errors)
+	}
+	if n := rep.Outcomes[outcomeBadStream]; n > 0 {
+		t.Errorf("%d streams violated the frame contract", n)
+	}
+
+	// The soak accounting: the target's stats endpoint snapshots into
+	// the report.
+	stats, err := FetchServerStats(nil, ts.URL)
+	if err != nil {
+		t.Fatalf("FetchServerStats: %v", err)
+	}
+	rep.ServerStats = stats
+	if !strings.Contains(string(rep.ServerStats), "engineCache") {
+		t.Errorf("server stats = %s, want an engineCache document", rep.ServerStats)
+	}
+}
+
+// TestStreamLoadPrefixOnTimeout drives the stream mix against a server
+// whose deadline has always already expired: every stream must still be
+// a well-formed NDJSON response — one frame per query carrying the
+// deadline error, a "deadline" terminal — and therefore classify "ok".
+// A server that dropped finished-or-unfinished slots, truncated the
+// stream, or fell back to a bare 504 would land in bad_stream or
+// unexpected_status.
+func TestStreamLoadPrefixOnTimeout(t *testing.T) {
+	ts := httptest.NewServer(service.New(nil,
+		service.WithRequestTimeout(time.Nanosecond),
+		service.WithMaxParallelism(4),
+	).Handler())
+	t.Cleanup(ts.Close)
+
+	mix, err := BuiltinMix("stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Run(context.Background(), Config{
+		BaseURL:     ts.URL,
+		Concurrency: 4,
+		Requests:    40,
+		Timeout:     time.Minute,
+		Seed:        2,
+		Mix:         mix,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OK != rep.Total {
+		t.Errorf("deadlined stream taxonomy not clean: ok=%d of %d, errors=%v",
+			rep.OK, rep.Total, rep.Errors)
+	}
+}
+
+// TestCheckStream pins the validator itself on hand-written bodies, so
+// "bad_stream" keeps meaning exactly the documented violations.
+func TestCheckStream(t *testing.T) {
+	res := func(sys, idx int, errMsg string) string {
+		doc := fmt.Sprintf(`{"frame":"result","system":%d,"spec":"s","canonical":"s()","index":%d,"result":{"kind":"constraint"`, sys, idx)
+		if errMsg != "" {
+			doc += `,"error":"` + errMsg + `"`
+		}
+		return doc + `}}`
+	}
+	complete := `{"frame":"status","status":"complete"}`
+	deadline := `{"frame":"status","status":"deadline","error":"request deadline exceeded"}`
+
+	cases := []struct {
+		name         string
+		lines        []string
+		expectFrames int
+		wantOK       bool
+	}{
+		{"clean complete", []string{res(0, 0, ""), res(0, 1, ""), complete}, 2, true},
+		{"clean deadline prefix", []string{res(0, 0, ""), res(0, 1, "not evaluated: context deadline exceeded"), deadline}, 2, true},
+		{"multi-system complete", []string{res(0, 0, ""), res(1, 0, ""), res(1, 1, ""), complete}, 3, true},
+		{"no terminal", []string{res(0, 0, "")}, 1, false},
+		{"frame after terminal", []string{res(0, 0, ""), complete, res(0, 1, "")}, 2, false},
+		{"duplicate slot", []string{res(0, 0, ""), res(0, 0, ""), complete}, 2, false},
+		{"hole in indices", []string{res(0, 0, ""), res(0, 2, ""), complete}, 2, false},
+		{"wrong count", []string{res(0, 0, ""), complete}, 2, false},
+		{"context error under complete", []string{res(0, 0, "not evaluated: context deadline exceeded"), complete}, 1, false},
+		{"foreign error under deadline", []string{res(0, 0, "engine exploded"), deadline}, 1, false},
+		{"terminal error frame", []string{res(0, 0, ""), `{"frame":"status","status":"error","code":400,"error":"x"}`}, 1, false},
+		{"not json", []string{"nope"}, 0, false},
+	}
+	for _, tc := range cases {
+		reason := checkStream([]byte(strings.Join(tc.lines, "\n")+"\n"), tc.expectFrames)
+		if ok := reason == ""; ok != tc.wantOK {
+			t.Errorf("%s: checkStream = %q, want ok=%v", tc.name, reason, tc.wantOK)
+		}
+	}
+}

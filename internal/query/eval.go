@@ -47,12 +47,17 @@ type config struct {
 	ctx         context.Context
 }
 
-// newConfig applies the options over the defaults shared by EvalBatch
-// and MultiBatch.
+// newConfig applies the options over the defaults shared by the batch
+// and stream evaluators. Parallelism is normalized here: n ≤ 1 means
+// serial, exactly as WithParallelism documents, so zero and negative
+// values cannot reach the pool as anything but 1.
 func newConfig(opts []Option) config {
 	cfg := config{parallelism: runtime.GOMAXPROCS(0), cache: true, ctx: context.Background()}
 	for _, opt := range opts {
 		opt(&cfg)
+	}
+	if cfg.parallelism < 1 {
+		cfg.parallelism = 1
 	}
 	if cfg.ctx == nil {
 		cfg.ctx = context.Background()
@@ -100,25 +105,13 @@ func WithCache(enabled bool) Option {
 // their error in Result.Err; the joined error aggregates them and is nil
 // when every query succeeded. Under WithContext, queries not yet started
 // when the context is done fail in their slots with the context's error.
+//
+// EvalBatch is a consumer of the streaming core (EvalStream): it drains
+// the frame stream back into an input-ordered slice, so the batch and
+// stream paths cannot disagree on a single result.
 func EvalBatch(e *core.Engine, qs []Query, opts ...Option) ([]Result, error) {
-	cfg := newConfig(opts)
-	results := make([]Result, len(qs))
-	errs := make([]error, len(qs))
-
-	evalOne := func(i int) {
-		if err := ctxErr(cfg.ctx, qs[i]); err != nil {
-			results[i], errs[i] = Result{Kind: kindOf(qs[i]), Query: stringOf(qs[i]), Err: err}, err
-			return
-		}
-		target := e
-		if !cfg.cache {
-			target = core.New(e.System())
-		}
-		results[i], errs[i] = Eval(target, qs[i])
-	}
-
-	runPool(len(qs), cfg.parallelism, evalOne)
-	return results, errors.Join(errs...)
+	results, errs := collectStream([]MultiItem{{Engine: e, Queries: qs}}, newConfig(opts))
+	return results[0], errors.Join(errs[0]...)
 }
 
 // ctxErr reports the context's cause as this query's evaluation error,

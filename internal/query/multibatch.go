@@ -46,43 +46,13 @@ type MultiItem struct {
 // pool cooperatively cancellable — pairs not yet started when the
 // context is done fail fast in their own slots, pairs in flight finish
 // exactly.
+//
+// Like EvalBatch, MultiBatch is a consumer of the streaming core
+// (EvalMultiStream): frames drain back into the [system][query] slab,
+// so batch and stream evaluation share one scheduling substrate and one
+// batch-equals-serial contract.
 func MultiBatch(items []MultiItem, opts ...Option) ([][]Result, error) {
-	cfg := newConfig(opts)
-
-	results := make([][]Result, len(items))
-	errs := make([][]error, len(items))
-	type unit struct{ sys, q int }
-	var units []unit
-	for i, item := range items {
-		results[i] = make([]Result, len(item.Queries))
-		errs[i] = make([]error, len(item.Queries))
-		for j := range item.Queries {
-			units = append(units, unit{i, j})
-		}
-	}
-
-	// The flat unit list drains through the same pool EvalBatch uses:
-	// one scheduling substrate, one batch-equals-serial contract.
-	runPool(len(units), cfg.parallelism, func(u int) {
-		sys, q := units[u].sys, units[u].q
-		item := items[sys]
-		if err := ctxErr(cfg.ctx, item.Queries[q]); err != nil {
-			errs[sys][q] = err
-			results[sys][q] = Result{Kind: kindOf(item.Queries[q]), Query: stringOf(item.Queries[q]), Err: err}
-			return
-		}
-		if item.Engine == nil {
-			// joinMulti attributes the (system, query) coordinates.
-			errs[sys][q] = errors.New("query: nil engine")
-			results[sys][q] = Result{Err: errs[sys][q]}
-			return
-		}
-		target := item.Engine
-		if !cfg.cache {
-			target = core.New(item.Engine.System())
-		}
-		results[sys][q], errs[sys][q] = Eval(target, item.Queries[q])
-	})
+	results, errs := collectStream(items, newConfig(opts))
 	return results, joinMulti(errs)
 }
 

@@ -1,0 +1,174 @@
+package query
+
+// The streaming core. EvalStream and EvalMultiStream are the
+// channel-based forms of EvalBatch/MultiBatch: one frame per (system,
+// query) slot as its worker finishes, then exactly one terminal status
+// frame, then the channel closes. The batch evaluators are thin
+// consumers of this core (see collectStream), so "batch equals stream"
+// is true by construction, not by parallel maintenance of two pools.
+//
+// The contract (documented in DESIGN.md and pinned by tests):
+//
+//   - One frame per slot, always: finished queries carry their exact
+//     Result; queries not yet started when the context dies carry the
+//     context's error in Result.Err. No slot is ever silently dropped,
+//     which is what lets a deadline return the finished prefix instead
+//     of discarding it.
+//   - Completion order: frames arrive as workers finish. Serial
+//     evaluation (parallelism ≤ 1) therefore emits in input order.
+//   - Drain-then-close: when the context expires, queries already being
+//     evaluated run to completion and their exact frames are still
+//     emitted (one query is the unit of cancellation — a finished slot
+//     is never torn); only then does the terminal frame report
+//     StreamDeadline or StreamCancelled.
+//   - Never blocks, never leaks: the channel is buffered for the whole
+//     batch plus the terminal frame, so workers finish and the producer
+//     goroutine exits even if the consumer abandons the stream.
+
+import (
+	"context"
+	"errors"
+
+	"pak/internal/core"
+)
+
+// StreamStatus is how a streamed evaluation ended, carried by the
+// terminal frame.
+type StreamStatus string
+
+const (
+	// StreamComplete: every query was evaluated (success or per-slot
+	// failure) with a live context.
+	StreamComplete StreamStatus = "complete"
+	// StreamDeadline: the context's deadline expired mid-batch; frames
+	// already emitted are exact, the rest carry the deadline error.
+	StreamDeadline StreamStatus = "deadline"
+	// StreamCancelled: the context was cancelled mid-batch (a client
+	// going away rather than a budget running out).
+	StreamCancelled StreamStatus = "cancelled"
+)
+
+// Frame is one emission of a streamed evaluation: a result frame for
+// one (system, query) slot, or the single terminal status frame.
+type Frame struct {
+	// System is the MultiItem index the slot belongs to (always 0 for
+	// EvalStream).
+	System int
+	// Index is the query's position within its batch.
+	Index int
+	// Result is the slot's result — exact on success, labelled with the
+	// evaluation or context error in Result.Err otherwise.
+	Result Result
+	// Status is empty on result frames and set exactly once, on the
+	// final frame before the channel closes.
+	Status StreamStatus
+	// Err is the context's cause on a deadline/cancelled terminal frame
+	// (nil on result frames and on StreamComplete).
+	Err error
+}
+
+// Terminal reports whether this is the closing status frame.
+func (f Frame) Terminal() bool { return f.Status != "" }
+
+// EvalStream is EvalBatch's streaming form: it evaluates qs against the
+// engine under the same options and returns a channel emitting one
+// result frame per query in completion order, then one terminal status
+// frame, then closing. See the package contract above; EvalBatch itself
+// is implemented over this stream.
+func EvalStream(e *core.Engine, qs []Query, opts ...Option) <-chan Frame {
+	return streamItems([]MultiItem{{Engine: e, Queries: qs}}, newConfig(opts))
+}
+
+// EvalMultiStream is MultiBatch's streaming form: every item's batch
+// evaluates against that item's engine, all (system, query) pairs
+// sharded across one bounded worker pool, each emitting its frame as it
+// finishes. Frames carry their (System, Index) coordinates; the
+// terminal status frame closes the stream.
+func EvalMultiStream(items []MultiItem, opts ...Option) <-chan Frame {
+	return streamItems(items, newConfig(opts))
+}
+
+// streamItems runs the shared worker pool and owns the emission
+// contract. The channel buffers every frame, so the pool never blocks
+// on a slow (or gone) consumer and the goroutine cannot leak.
+func streamItems(items []MultiItem, cfg config) <-chan Frame {
+	type unit struct{ sys, q int }
+	var units []unit
+	for i, item := range items {
+		for j := range item.Queries {
+			units = append(units, unit{i, j})
+		}
+	}
+	out := make(chan Frame, len(units)+1)
+	go func() {
+		defer close(out)
+		runPool(len(units), cfg.parallelism, func(u int) {
+			sys, q := units[u].sys, units[u].q
+			res, _ := evalSlot(items[sys], q, cfg)
+			out <- Frame{System: sys, Index: q, Result: res}
+		})
+		status, cause := statusOf(cfg.ctx)
+		out <- Frame{Status: status, Err: cause}
+	}()
+	return out
+}
+
+// evalSlot evaluates one (item, query) slot under the batch config: the
+// context check first (so a dead context fails the slot with the cause,
+// never touching the engine), then the engine, cold when the batch
+// disabled cache sharing.
+func evalSlot(item MultiItem, q int, cfg config) (Result, error) {
+	qu := item.Queries[q]
+	if err := ctxErr(cfg.ctx, qu); err != nil {
+		return Result{Kind: kindOf(qu), Query: stringOf(qu), Err: err}, err
+	}
+	if item.Engine == nil {
+		err := errors.New("query: nil engine")
+		return Result{Err: err}, err
+	}
+	target := item.Engine
+	if !cfg.cache {
+		target = core.New(item.Engine.System())
+	}
+	res, err := Eval(target, qu)
+	if err != nil && res.Err == nil {
+		// Eval's nil-query path reports only through its error return;
+		// the stream carries errors inside frames, so every failure must
+		// land in Result.Err or the batch consumers would report success.
+		res.Err = err
+	}
+	return res, err
+}
+
+// statusOf classifies the context's state for the terminal frame.
+func statusOf(ctx context.Context) (StreamStatus, error) {
+	cause := context.Cause(ctx)
+	switch {
+	case cause == nil:
+		return StreamComplete, nil
+	case errors.Is(cause, context.DeadlineExceeded):
+		return StreamDeadline, cause
+	default:
+		return StreamCancelled, cause
+	}
+}
+
+// collectStream drains a stream back into the [system][query] slabs the
+// batch evaluators return. Frames address their slots directly, so the
+// result shape is input-ordered regardless of completion order.
+func collectStream(items []MultiItem, cfg config) ([][]Result, [][]error) {
+	results := make([][]Result, len(items))
+	errs := make([][]error, len(items))
+	for i, item := range items {
+		results[i] = make([]Result, len(item.Queries))
+		errs[i] = make([]error, len(item.Queries))
+	}
+	for f := range streamItems(items, cfg) {
+		if f.Terminal() {
+			continue
+		}
+		results[f.System][f.Index] = f.Result
+		errs[f.System][f.Index] = f.Result.Err
+	}
+	return results, errs
+}

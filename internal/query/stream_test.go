@@ -1,0 +1,347 @@
+package query
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"testing"
+
+	"pak/internal/core"
+	"pak/internal/ratutil"
+)
+
+// docJSON renders a Result's wire form for byte-level comparison: if
+// two results agree here, a service client cannot tell them apart.
+func docJSON(t *testing.T, res Result) string {
+	t.Helper()
+	data, err := json.Marshal(DocOf(res))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data)
+}
+
+// drain reads a stream to completion, separating result frames from the
+// terminal frame and asserting the core framing contract: exactly one
+// terminal frame, in final position.
+func drain(t *testing.T, ch <-chan Frame) ([]Frame, Frame) {
+	t.Helper()
+	var results []Frame
+	var terminal Frame
+	seenTerminal := false
+	for f := range ch {
+		if seenTerminal {
+			t.Fatalf("frame after the terminal frame: %+v", f)
+		}
+		if f.Terminal() {
+			terminal, seenTerminal = f, true
+			continue
+		}
+		results = append(results, f)
+	}
+	if !seenTerminal {
+		t.Fatal("stream closed without a terminal frame")
+	}
+	return results, terminal
+}
+
+// TestEvalStreamMatchesBatch: every frame a stream emits is
+// byte-identical (in wire form) to its batch-mode counterpart, the
+// emitted indices are exactly the batch's index set — no duplicates, no
+// holes — and the terminal frame reports completion.
+func TestEvalStreamMatchesBatch(t *testing.T) {
+	e, qs := squadWorkload(t, 3)
+	batch, err := EvalBatch(core.New(e.System()), qs, WithParallelism(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	frames, terminal := drain(t, EvalStream(e, qs, WithParallelism(4)))
+	if len(frames) != len(qs) {
+		t.Fatalf("got %d result frames, want %d", len(frames), len(qs))
+	}
+	seen := make(map[int]bool)
+	for _, f := range frames {
+		if f.System != 0 {
+			t.Errorf("EvalStream frame carries system %d, want 0", f.System)
+		}
+		if seen[f.Index] {
+			t.Errorf("index %d emitted twice", f.Index)
+		}
+		seen[f.Index] = true
+		if got, want := docJSON(t, f.Result), docJSON(t, batch[f.Index]); got != want {
+			t.Errorf("frame %d differs from batch mode:\nstream: %s\nbatch:  %s", f.Index, got, want)
+		}
+	}
+	for i := range qs {
+		if !seen[i] {
+			t.Errorf("index %d never emitted", i)
+		}
+	}
+	if terminal.Status != StreamComplete || terminal.Err != nil {
+		t.Errorf("terminal = %+v, want StreamComplete with nil Err", terminal)
+	}
+}
+
+// TestEvalStreamSerialOrder: parallelism ≤ 1 evaluates serially, so
+// frames arrive in input order — the property pakcheck -stream's
+// deterministic rendering rests on.
+func TestEvalStreamSerialOrder(t *testing.T) {
+	e, qs := squadWorkload(t, 2)
+	frames, _ := drain(t, EvalStream(e, qs, WithParallelism(1)))
+	for i, f := range frames {
+		if f.Index != i {
+			t.Fatalf("serial frame %d has index %d", i, f.Index)
+		}
+	}
+}
+
+// TestEvalMultiStreamMatchesMultiBatch: the multi-system stream carries
+// correct (system, index) coordinates, covers every slot exactly once,
+// and each frame equals its MultiBatch counterpart byte for byte.
+func TestEvalMultiStreamMatchesMultiBatch(t *testing.T) {
+	e2, qs2 := squadWorkload(t, 2)
+	e3, qs3 := squadWorkload(t, 3)
+	items := []MultiItem{
+		{Engine: core.New(e2.System()), Queries: qs2},
+		{Engine: core.New(e3.System()), Queries: qs3},
+	}
+	batch, err := MultiBatch(items, WithParallelism(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	frames, terminal := drain(t, EvalMultiStream([]MultiItem{
+		{Engine: e2, Queries: qs2},
+		{Engine: e3, Queries: qs3},
+	}, WithParallelism(4)))
+	if want := len(qs2) + len(qs3); len(frames) != want {
+		t.Fatalf("got %d frames, want %d", len(frames), want)
+	}
+	seen := make(map[[2]int]bool)
+	for _, f := range frames {
+		key := [2]int{f.System, f.Index}
+		if seen[key] {
+			t.Errorf("slot %v emitted twice", key)
+		}
+		seen[key] = true
+		if got, want := docJSON(t, f.Result), docJSON(t, batch[f.System][f.Index]); got != want {
+			t.Errorf("slot %v differs from batch mode:\nstream: %s\nbatch:  %s", key, got, want)
+		}
+	}
+	for i, row := range batch {
+		for j := range row {
+			if !seen[[2]int{i, j}] {
+				t.Errorf("slot [%d][%d] never emitted", i, j)
+			}
+		}
+	}
+	if terminal.Status != StreamComplete {
+		t.Errorf("terminal status = %q, want complete", terminal.Status)
+	}
+}
+
+// gateQuery is a test-only query whose evaluation blocks until released,
+// making mid-batch cancellation deterministic: the test knows exactly
+// which queries finished before the context died.
+type gateQuery struct {
+	entered chan struct{} // closed when eval starts
+	release chan struct{} // eval returns once this closes
+}
+
+func (g gateQuery) Kind() Kind      { return Kind("gate") }
+func (g gateQuery) String() string  { return "gate" }
+func (g gateQuery) validate() error { return nil }
+func (g gateQuery) eval(*core.Engine) (Result, error) {
+	if g.entered != nil {
+		close(g.entered)
+	}
+	if g.release != nil {
+		<-g.release
+	}
+	return Result{Kind: "gate", Query: "gate", Value: ratutil.R(1, 1), Detail: "released"}, nil
+}
+
+// TestEvalStreamDeadlineDrainsInFlight is the tentpole's core property,
+// made deterministic with a gate query: the context dies while query 1
+// is mid-evaluation; queries 0 and 1 still emit their exact frames (the
+// finished prefix is never lost, in-flight work is drained, not torn),
+// queries 2 and 3 emit deadline-error frames, and the terminal frame
+// reports StreamDeadline with the cause.
+func TestEvalStreamDeadlineDrainsInFlight(t *testing.T) {
+	e, real := squadWorkload(t, 2)
+	gate := gateQuery{entered: make(chan struct{}), release: make(chan struct{})}
+	qs := []Query{real[0], gate, real[1], real[2]}
+
+	ctx, cancel := context.WithCancelCause(context.Background())
+	defer cancel(nil)
+	go func() {
+		<-gate.entered
+		cancel(context.DeadlineExceeded)
+		close(gate.release)
+	}()
+
+	frames, terminal := drain(t, EvalStream(e, qs, WithParallelism(1), WithContext(ctx)))
+	if len(frames) != len(qs) {
+		t.Fatalf("got %d frames, want %d (every slot must emit exactly one)", len(frames), len(qs))
+	}
+	byIndex := make(map[int]Frame, len(frames))
+	for _, f := range frames {
+		byIndex[f.Index] = f
+	}
+
+	// The finished prefix: exact, byte-identical to an untimed run.
+	untimed, err := EvalBatch(core.New(e.System()), []Query{real[0]}, WithParallelism(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := docJSON(t, byIndex[0].Result), docJSON(t, untimed[0]); got != want {
+		t.Errorf("finished slot 0 not byte-identical to its untimed value:\ngot:  %s\nwant: %s", got, want)
+	}
+	if byIndex[1].Result.Err != nil || byIndex[1].Result.Detail != "released" {
+		t.Errorf("in-flight slot 1 was not drained to completion: %+v", byIndex[1].Result)
+	}
+
+	// The unstarted suffix: per-slot deadline errors, labels intact.
+	for _, i := range []int{2, 3} {
+		res := byIndex[i].Result
+		if !errors.Is(res.Err, context.DeadlineExceeded) {
+			t.Errorf("slot %d: error %v does not wrap context.DeadlineExceeded", i, res.Err)
+		}
+		if res.Query == "" {
+			t.Errorf("slot %d lost its query label", i)
+		}
+	}
+
+	if terminal.Status != StreamDeadline {
+		t.Errorf("terminal status = %q, want %q", terminal.Status, StreamDeadline)
+	}
+	if !errors.Is(terminal.Err, context.DeadlineExceeded) {
+		t.Errorf("terminal cause = %v, want context.DeadlineExceeded", terminal.Err)
+	}
+}
+
+// TestEvalStreamCancelled: plain cancellation (a client going away)
+// closes with StreamCancelled, not StreamDeadline.
+func TestEvalStreamCancelled(t *testing.T) {
+	e, qs := squadWorkload(t, 2)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	frames, terminal := drain(t, EvalStream(e, qs, WithContext(ctx)))
+	if len(frames) != len(qs) {
+		t.Fatalf("got %d frames, want %d", len(frames), len(qs))
+	}
+	for _, f := range frames {
+		if !errors.Is(f.Result.Err, context.Canceled) {
+			t.Errorf("slot %d: error %v does not wrap context.Canceled", f.Index, f.Result.Err)
+		}
+	}
+	if terminal.Status != StreamCancelled || !errors.Is(terminal.Err, context.Canceled) {
+		t.Errorf("terminal = %+v, want StreamCancelled wrapping context.Canceled", terminal)
+	}
+}
+
+// TestEvalStreamAbandonedConsumerDoesNotLeak: a consumer that walks away
+// after one frame must not wedge the workers — the stream is buffered
+// for the whole batch, so the producer finishes unconditionally. The
+// test passes by not deadlocking (and, under -race, by the detector
+// seeing the abandoned goroutine exit cleanly via the final channel
+// close being reachable).
+func TestEvalStreamAbandonedConsumerDoesNotLeak(t *testing.T) {
+	e, qs := squadWorkload(t, 2)
+	ch := EvalStream(e, qs, WithParallelism(2))
+	<-ch // read one frame, then abandon the stream
+
+	// A second full evaluation on the same engine still works: no worker
+	// is stuck on the abandoned channel.
+	if _, err := EvalBatch(e, qs); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestParallelismContract pins the documented "n ≤ 1 means serial"
+// normalization for n ∈ {-1, 0, 1, len+1} on both the batch and stream
+// paths: every parallelism value yields results identical to the serial
+// reference, and n ≤ 1 additionally yields input-ordered frames.
+func TestParallelismContract(t *testing.T) {
+	e, qs := squadWorkload(t, 2)
+	reference, err := EvalBatch(core.New(e.System()), qs, WithParallelism(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	refDocs := make([]string, len(reference))
+	for i, res := range reference {
+		refDocs[i] = docJSON(t, res)
+	}
+
+	for _, n := range []int{-1, 0, 1, len(qs) + 1} {
+		t.Run(fmt.Sprintf("n=%d", n), func(t *testing.T) {
+			batch, err := EvalBatch(e, qs, WithParallelism(n))
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i, res := range batch {
+				if got := docJSON(t, res); got != refDocs[i] {
+					t.Errorf("batch slot %d at n=%d: %s, want %s", i, n, got, refDocs[i])
+				}
+			}
+
+			frames, terminal := drain(t, EvalStream(e, qs, WithParallelism(n)))
+			if len(frames) != len(qs) {
+				t.Fatalf("stream at n=%d emitted %d frames, want %d", n, len(frames), len(qs))
+			}
+			for pos, f := range frames {
+				if n <= 1 && f.Index != pos {
+					t.Errorf("serial stream at n=%d emitted index %d at position %d", n, f.Index, pos)
+				}
+				if got := docJSON(t, f.Result); got != refDocs[f.Index] {
+					t.Errorf("stream slot %d at n=%d: %s, want %s", f.Index, n, got, refDocs[f.Index])
+				}
+			}
+			if terminal.Status != StreamComplete {
+				t.Errorf("terminal status at n=%d = %q", n, terminal.Status)
+			}
+		})
+	}
+}
+
+// TestEvalBatchNilQuery: a nil query in a batch fails its own slot and
+// the joined error — on both the batch and stream paths (the stream
+// carries errors inside frames, so Eval's error-return-only nil path
+// must land in Result.Err too).
+func TestEvalBatchNilQuery(t *testing.T) {
+	e, qs := squadWorkload(t, 2)
+	batch := []Query{qs[0], nil, qs[1]}
+	results, err := EvalBatch(e, batch, WithParallelism(1))
+	if err == nil {
+		t.Fatal("batch with a nil query returned a nil joined error")
+	}
+	if results[1].Err == nil {
+		t.Error("nil query's slot carries no error")
+	}
+	if results[0].Err != nil || results[2].Err != nil {
+		t.Error("nil query disturbed its neighbours")
+	}
+
+	frames, terminal := drain(t, EvalStream(e, batch, WithParallelism(1)))
+	if frames[1].Result.Err == nil {
+		t.Error("nil query's frame carries no error")
+	}
+	if terminal.Status != StreamComplete {
+		t.Errorf("terminal status = %q, want complete (a nil query is a slot failure, not a stream failure)", terminal.Status)
+	}
+}
+
+// TestEvalStreamEmptyBatch: zero queries still close with a terminal
+// complete frame — the degenerate stream is one frame long.
+func TestEvalStreamEmptyBatch(t *testing.T) {
+	e, _ := squadWorkload(t, 2)
+	frames, terminal := drain(t, EvalStream(e, nil))
+	if len(frames) != 0 {
+		t.Fatalf("empty batch emitted %d result frames", len(frames))
+	}
+	if terminal.Status != StreamComplete {
+		t.Errorf("terminal status = %q, want complete", terminal.Status)
+	}
+}

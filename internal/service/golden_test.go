@@ -14,6 +14,31 @@ import (
 
 var updateGolden = flag.Bool("update", false, "rewrite the golden wire-error files")
 
+// goldenCompare asserts body matches testdata/golden/<name>.json byte
+// for byte, rewriting the file under -update. Shared by the error-path
+// and stream-frame golden tests so every pinned wire shape lives in one
+// directory under one update flag.
+func goldenCompare(t *testing.T, name, body string) {
+	t.Helper()
+	path := filepath.Join("testdata", "golden", name+".json")
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update): %v", err)
+	}
+	if body != string(want) {
+		t.Errorf("wire shape drifted from golden file %s:\ngot:  %swant: %s", path, body, want)
+	}
+}
+
 // TestErrorWireGolden pins the exact JSON body and status of every
 // error path a pakd client can hit, one golden file per path. The wire
 // shape is API: a renamed field, a reworded message or a drifted status
@@ -50,6 +75,8 @@ func TestErrorWireGolden(t *testing.T) {
 		status int
 	}{
 		{"method-not-allowed-eval", ts, http.MethodGet, "/v1/eval", "", http.StatusMethodNotAllowed},
+		{"method-not-allowed-stream", ts, http.MethodGet, "/v1/eval/stream", "", http.StatusMethodNotAllowed},
+		{"method-not-allowed-stats", ts, http.MethodPost, "/v1/stats", "{}", http.StatusMethodNotAllowed},
 		{"method-not-allowed-scenarios", ts, http.MethodPost, "/v1/scenarios", "{}", http.StatusMethodNotAllowed},
 		{"malformed-body", ts, http.MethodPost, "/v1/eval", `{"systems": [`, http.StatusBadRequest},
 		{"unknown-field", ts, http.MethodPost, "/v1/eval", `{"bogus": 1}`, http.StatusBadRequest},
@@ -99,23 +126,7 @@ func TestErrorWireGolden(t *testing.T) {
 				t.Errorf("Content-Type = %q, want application/json", ct)
 			}
 
-			path := filepath.Join("testdata", "golden", tc.name+".json")
-			if *updateGolden {
-				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
-					t.Fatal(err)
-				}
-				if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
-					t.Fatal(err)
-				}
-				return
-			}
-			want, err := os.ReadFile(path)
-			if err != nil {
-				t.Fatalf("missing golden file (run with -update): %v", err)
-			}
-			if body != string(want) {
-				t.Errorf("wire error drifted from golden file %s:\ngot:  %swant: %s", path, body, want)
-			}
+			goldenCompare(t, tc.name, body)
 		})
 	}
 }

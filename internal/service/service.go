@@ -11,6 +11,8 @@
 //	GET  /v1/scenarios         — the self-describing catalog (JSON)
 //	GET  /v1/scenarios/{name}  — one scenario's metadata
 //	POST /v1/eval              — evaluate a query batch against named systems
+//	POST /v1/eval/stream       — the same, answered as an NDJSON frame stream
+//	GET  /v1/stats             — engine-cache counters (hits/misses/evictions)
 //
 // An eval request names systems by spec and carries query batches in the
 // exact format of pak.ParseQueryBatch — the query layer was shaped to be
@@ -28,8 +30,13 @@
 // per-system result ordering and per-query error isolation: a failing
 // query reports in its own slot's "error" field with HTTP 200, while
 // request-level failures (unknown scenario, malformed params, a bad
-// batch document) are 4xx with a JSON error body and an expired request
-// deadline is a 504.
+// batch document) are 4xx with a JSON error body. An expired request
+// deadline is a 504 whose body is still a full EvalResponse — every
+// finished result plus per-slot deadline errors for the rest, with the
+// top-level status/error fields naming the cause — so deadline
+// truncation never discards completed work. /v1/eval/stream goes
+// further and delivers each result the moment it is computed (see
+// stream.go for the frame contract).
 //
 // The server is hardened for sustained traffic: engines are retained in
 // a size-bounded LRU (WithEngineCacheSize) whose eviction is invisible —
@@ -49,7 +56,6 @@ import (
 	"net/http"
 	"runtime"
 	"strings"
-	"sync"
 	"time"
 
 	"pak/internal/core"
@@ -183,7 +189,26 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/scenarios", s.handleScenarios)
 	mux.HandleFunc("/v1/scenarios/", s.handleScenario)
 	mux.HandleFunc("/v1/eval", s.handleEval)
+	mux.HandleFunc("/v1/eval/stream", s.handleEvalStream)
+	mux.HandleFunc("/v1/stats", s.handleStats)
 	return mux
+}
+
+// handleStats serves GET /v1/stats: the engine cache's effectiveness
+// counters as JSON, for dashboards and pakload's soak accounting.
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("%s not allowed; use GET", r.Method))
+		return
+	}
+	writeJSON(w, http.StatusOK, StatsResponse{EngineCache: s.engines.Stats()})
+}
+
+// StatsResponse is the GET /v1/stats body.
+type StatsResponse struct {
+	// EngineCache snapshots the shared engine cache: retained engines
+	// (len/cap) and the hit/miss/eviction/shared-build counters.
+	EngineCache CacheStats `json:"engineCache"`
 }
 
 // resolved is a spec vetted for the service path: its canonical cache
@@ -254,18 +279,32 @@ func (s *Server) engineFor(spec string) (*core.Engine, string, error) {
 	return e, r.key, nil
 }
 
-// buildEngines materializes engines for every resolved target, building
-// distinct cold specs concurrently (bounded by the server's parallelism
-// cap) through the cache's singleflight — a request naming N un-cached
-// specs pays max-of-unfolds, not sum-of-unfolds, and two concurrent
-// requests naming the same spec share one build. Targets repeating a
-// canonical key alias one engine. Build starts check ctx cooperatively:
-// once the request deadline passes, no NEW unfold begins, but in-flight
-// builds complete and stay cached (the work warms later requests).
-// The returned error is the first failure in target order.
-func (s *Server) buildEngines(ctx context.Context, targets []resolved) ([]*core.Engine, error) {
-	engines := make([]*core.Engine, len(targets))
-	errs := make([]error, len(targets))
+// buildResult pairs one target's engine with its build error.
+type buildResult struct {
+	engine *core.Engine
+	err    error
+}
+
+// startBuilds launches the engine builds for every resolved target and
+// returns one channel per target, each delivering exactly one
+// buildResult. Distinct canonical keys build concurrently (bounded by
+// the server's parallelism cap) through the cache's singleflight — a
+// request naming N un-cached specs pays max-of-unfolds, not
+// sum-of-unfolds, and two concurrent requests naming the same spec
+// share one build. Targets repeating a canonical key alias one engine
+// and one delivery fan-out. Build starts check ctx cooperatively: once
+// the request deadline passes, no NEW unfold begins (the target's
+// channel delivers the context's cause), but in-flight builds complete
+// and stay cached — the work is shared, so finishing it warms the next
+// request. The per-target channels are what lets the streaming handler
+// emit system 0's results while system 3 is still unfolding.
+func (s *Server) startBuilds(ctx context.Context, targets []resolved) []<-chan buildResult {
+	chans := make([]chan buildResult, len(targets))
+	out := make([]<-chan buildResult, len(targets))
+	for i := range targets {
+		chans[i] = make(chan buildResult, 1)
+		out[i] = chans[i]
+	}
 
 	byKey := make(map[string][]int, len(targets))
 	keys := make([]string, 0, len(targets))
@@ -281,12 +320,8 @@ func (s *Server) buildEngines(ctx context.Context, targets []resolved) ([]*core.
 		workers = 1
 	}
 	sem := make(chan struct{}, workers)
-	var wg sync.WaitGroup
 	for _, key := range keys {
-		idxs := byKey[key]
-		wg.Add(1)
 		go func(key string, idxs []int) {
-			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
 			var e *core.Engine
@@ -295,18 +330,31 @@ func (s *Server) buildEngines(ctx context.Context, targets []resolved) ([]*core.
 				e, err = s.engines.Get(key, targets[idxs[0]].build)
 			}
 			for _, i := range idxs {
-				engines[i], errs[i] = e, err
+				chans[i] <- buildResult{engine: e, err: err}
 			}
-		}(key, idxs)
+		}(key, byKey[key])
 	}
-	wg.Wait()
+	return out
+}
 
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
+// buildEngines collects startBuilds for callers that need every engine
+// before proceeding (the buffered /v1/eval path). On failure it still
+// returns the partial engine slice — under an expired deadline the
+// evaluator's per-slot context check fires before any engine is
+// touched, which is what lets the timeout response carry the finished
+// prefix instead of discarding the request. The returned error is the
+// first failure in target order.
+func (s *Server) buildEngines(ctx context.Context, targets []resolved) ([]*core.Engine, error) {
+	engines := make([]*core.Engine, len(targets))
+	var firstErr error
+	for i, ch := range s.startBuilds(ctx, targets) {
+		br := <-ch
+		engines[i] = br.engine
+		if br.err != nil && firstErr == nil {
+			firstErr = br.err
 		}
 	}
-	return engines, nil
+	return engines, firstErr
 }
 
 // The catalog endpoints serialize registry.Scenario directly: its JSON
@@ -364,6 +412,16 @@ type SystemRequest struct {
 type EvalResponse struct {
 	// Results has one entry per requested system, in request order.
 	Results []SystemResult `json:"results"`
+	// Status is set when the request's deadline expired ("deadline") or
+	// its context was cancelled ("cancelled") before every query
+	// finished: Results then carries the finished prefix — every
+	// completed slot exact, byte-identical to its untimed value — plus
+	// per-slot errors for the queries that never ran. Empty on a fully
+	// evaluated request.
+	Status string `json:"status,omitempty"`
+	// Error carries the request-level timeout/cancellation message that
+	// accompanies Status.
+	Error string `json:"error,omitempty"`
 }
 
 // SystemResult is one system's evaluated batch.
@@ -377,18 +435,23 @@ type SystemResult struct {
 	Results []query.ResultDoc `json:"results"`
 }
 
-func (s *Server) handleEval(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("%s not allowed; use POST", r.Method))
-		return
-	}
-	ctx := r.Context()
-	if s.timeout > 0 {
-		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, s.timeout)
-		defer cancel()
-	}
+// evalPlan is one vetted /v1/eval request, shared by the buffered and
+// streaming handlers: the requested spec strings, their resolved
+// targets, the parsed per-system batches, and the clamped parallelism.
+type evalPlan struct {
+	specs    []string
+	targets  []resolved
+	batches  [][]query.Query
+	parallel int
+}
 
+// decodeEvalRequest parses, validates and resolves an eval request
+// without building any engine: body decoding, the normalization of
+// "systems"/"requests" into one per-system list, batch parsing, the
+// query/system caps, and spec resolution. On failure it writes the 4xx
+// itself and reports false — nothing has been streamed yet at this
+// point, so request-level errors always get a proper status line.
+func (s *Server) decodeEvalRequest(w http.ResponseWriter, r *http.Request) (evalPlan, bool) {
 	var req EvalRequest
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.bodyLimit))
 	dec.DisallowUnknownFields()
@@ -397,15 +460,15 @@ func (s *Server) handleEval(w http.ResponseWriter, r *http.Request) {
 		if errors.As(err, &tooLarge) {
 			writeError(w, http.StatusRequestEntityTooLarge,
 				fmt.Errorf("request body exceeds %d bytes", tooLarge.Limit))
-			return
+			return evalPlan{}, false
 		}
 		writeError(w, http.StatusBadRequest, fmt.Errorf("malformed request body: %w", err))
-		return
+		return evalPlan{}, false
 	}
 	if dec.More() {
 		writeError(w, http.StatusBadRequest,
 			errors.New("malformed request body: trailing content after the JSON document"))
-		return
+		return evalPlan{}, false
 	}
 
 	// Normalize both request forms into one per-system list. `shared`
@@ -429,14 +492,14 @@ func (s *Server) handleEval(w http.ResponseWriter, r *http.Request) {
 	if len(targets) == 0 {
 		writeError(w, http.StatusBadRequest,
 			errors.New(`empty request: name at least one system in "systems" or "requests"`))
-		return
+		return evalPlan{}, false
 	}
 	// The systems cap bounds the builds, not just the evaluations: every
 	// distinct canonical spec unfolds a system and retains an engine.
 	if len(targets) > s.maxSystems {
 		writeError(w, http.StatusBadRequest,
 			fmt.Errorf("request names %d systems, above the server cap of %d", len(targets), s.maxSystems))
-		return
+		return evalPlan{}, false
 	}
 
 	// Parse every batch and enforce the work cap before building any
@@ -451,7 +514,7 @@ func (s *Server) handleEval(w http.ResponseWriter, r *http.Request) {
 		if isMissingJSON(tg.raw) {
 			writeError(w, http.StatusBadRequest,
 				fmt.Errorf(`system %q has no query batch: provide "queries" at the top level or per request`, tg.spec))
-			return
+			return evalPlan{}, false
 		}
 		if tg.shared && sharedParsed {
 			batches[i] = sharedQs
@@ -461,7 +524,7 @@ func (s *Server) handleEval(w http.ResponseWriter, r *http.Request) {
 		qs, err := query.ParseBatch(tg.raw)
 		if err != nil {
 			writeError(w, http.StatusBadRequest, fmt.Errorf("system %q: bad query batch: %w", tg.spec, err))
-			return
+			return evalPlan{}, false
 		}
 		if tg.shared {
 			sharedQs, sharedParsed = qs, true
@@ -472,7 +535,7 @@ func (s *Server) handleEval(w http.ResponseWriter, r *http.Request) {
 	if total > s.maxQueries {
 		writeError(w, http.StatusBadRequest,
 			fmt.Errorf("request submits %d queries, above the server cap of %d", total, s.maxQueries))
-		return
+		return evalPlan{}, false
 	}
 
 	// Resolve every spec (cheap, serial — bad requests are rejected
@@ -483,47 +546,104 @@ func (s *Server) handleEval(w http.ResponseWriter, r *http.Request) {
 		rt, err := s.resolveTarget(tg.spec)
 		if err != nil {
 			writeError(w, statusOfEvalErr(err), err)
-			return
+			return evalPlan{}, false
 		}
 		resolvedTargets[i] = rt
 	}
-	engines, err := s.buildEngines(ctx, resolvedTargets)
-	if err != nil {
-		writeError(w, statusOfEvalErr(err), evalErrMessage(err, s.timeout))
-		return
-	}
-
-	items := make([]query.MultiItem, len(targets))
-	for i := range targets {
-		items[i] = query.MultiItem{Engine: engines[i], Queries: batches[i]}
-	}
-
 	parallel := s.maxParallel
 	if req.Parallelism > 0 && req.Parallelism < parallel {
 		parallel = req.Parallelism
 	}
-	// Per-query errors are already isolated in their result slots; the
-	// joined error adds nothing for a wire client.
-	results, _ := query.MultiBatch(items,
-		query.WithParallelism(parallel), query.WithContext(ctx))
 
-	// A request that outlived its deadline reports one clear 504, not a
-	// partial result set whose gaps the client must diff out: the
-	// evaluated slots are exact, but the contract is all-or-timeout.
-	if err := context.Cause(ctx); err != nil {
-		writeError(w, statusOfEvalErr(err), evalErrMessage(err, s.timeout))
+	plan := evalPlan{
+		specs:    make([]string, len(targets)),
+		targets:  resolvedTargets,
+		batches:  batches,
+		parallel: parallel,
+	}
+	for i, tg := range targets {
+		plan.specs[i] = tg.spec
+	}
+	return plan, true
+}
+
+// handleEval serves POST /v1/eval: the buffered evaluation path. A
+// request that outruns its deadline is not discarded: the 504 body is
+// a full EvalResponse carrying every finished result (exact,
+// byte-identical to its untimed value) plus per-slot deadline errors
+// for the queries that never ran, with the top-level status/error
+// fields naming the cause — the finished prefix is never lost.
+func (s *Server) handleEval(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("%s not allowed; use POST", r.Method))
+		return
+	}
+	ctx := r.Context()
+	if s.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.timeout)
+		defer cancel()
+	}
+
+	plan, ok := s.decodeEvalRequest(w, r)
+	if !ok {
 		return
 	}
 
-	resp := EvalResponse{Results: make([]SystemResult, len(targets))}
-	for i, tg := range targets {
+	engines, err := s.buildEngines(ctx, plan.targets)
+	if err != nil && (!isContextErr(err) || context.Cause(ctx) == nil) {
+		// A genuine build failure (bad spec, builder domain error — or a
+		// context-flavoured error from a custom builder while this
+		// request is still live) is a plain request error. Context
+		// expiry falls through instead: engines may be missing, but the
+		// evaluator's per-slot context check fires before any engine is
+		// touched, so missing engines surface as per-slot deadline
+		// errors in an otherwise well-formed response.
+		writeError(w, statusOfEvalErr(err), err)
+		return
+	}
+
+	items := make([]query.MultiItem, len(plan.targets))
+	for i := range plan.targets {
+		items[i] = query.MultiItem{Engine: engines[i], Queries: plan.batches[i]}
+	}
+	// Per-query errors are already isolated in their result slots; the
+	// joined error adds nothing for a wire client.
+	results, _ := query.MultiBatch(items,
+		query.WithParallelism(plan.parallel), query.WithContext(ctx))
+
+	resp := EvalResponse{Results: make([]SystemResult, len(plan.targets))}
+	for i := range plan.targets {
 		resp.Results[i] = SystemResult{
-			System:    tg.spec,
-			Canonical: resolvedTargets[i].key,
+			System:    plan.specs[i],
+			Canonical: plan.targets[i].key,
 			Results:   query.DocsOf(results[i]),
 		}
 	}
+	if cause := context.Cause(ctx); cause != nil {
+		// Deadline truncation keeps the finished work: same body shape,
+		// 504 status, the cause named at the top level.
+		resp.Status = string(streamStatusOf(cause))
+		resp.Error = evalErrMessage(cause, s.timeout).Error()
+		writeJSON(w, statusOfEvalErr(cause), resp)
+		return
+	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// isContextErr reports whether err is the expiry/cancellation of the
+// request context rather than a genuine request defect.
+func isContextErr(err error) bool {
+	return errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled)
+}
+
+// streamStatusOf classifies a context cause for the wire: the same
+// deadline/cancelled vocabulary the stream terminal frame uses.
+func streamStatusOf(cause error) query.StreamStatus {
+	if errors.Is(cause, context.DeadlineExceeded) {
+		return query.StreamDeadline
+	}
+	return query.StreamCancelled
 }
 
 // isMissingJSON reports whether a raw batch field is absent for all

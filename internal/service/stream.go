@@ -1,0 +1,207 @@
+// The streaming transport: POST /v1/eval/stream speaks newline-
+// delimited JSON (NDJSON) over http.Flusher, one frame per line:
+//
+//	{"frame":"result","system":0,"spec":"nsquad(2)","canonical":"...","index":1,"result":{...}}
+//	{"frame":"status","status":"complete"}
+//
+// Result frames carry exactly the ResultDoc the buffered /v1/eval path
+// would have returned for the same slot — byte-identical, pinned by
+// tests — and every stream ends with exactly one terminal status frame:
+//
+//	complete   every query evaluated (per-slot failures included)
+//	deadline   the request deadline expired; frames already emitted are
+//	           exact, the remaining slots carry per-slot deadline errors
+//	cancelled  the request context was cancelled (client gone)
+//	error      a request-level failure after streaming began (e.g. a
+//	           mid-stream engine build failure); carries the HTTP status
+//	           the failure would have had in "code"
+//
+// Frames are grouped by system in request order; within one system they
+// arrive in completion order (serial parallelism therefore streams in
+// input order). Engines for later systems build concurrently in the
+// background while earlier systems stream, so a cold multi-system
+// request starts answering as soon as its first engine is up.
+//
+// Request-level failures BEFORE the first frame (bad body, unknown
+// scenario, caps, a cold build failing while nothing has streamed) are
+// ordinary JSON error responses with their own status line. After the
+// first flushed frame the status line is spent: failures become the
+// terminal "error" frame, never a second WriteHeader.
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"pak/internal/core"
+	"pak/internal/query"
+)
+
+// Frame discriminators and the stream's media type.
+const (
+	frameResult = "result"
+	frameStatus = "status"
+
+	// streamStatusError is the terminal status for request-level
+	// failures once streaming has begun; the query layer's
+	// complete/deadline/cancelled statuses cover every other ending.
+	streamStatusError = "error"
+
+	contentTypeNDJSON = "application/x-ndjson"
+)
+
+// StreamResultFrame is one result line of a /v1/eval/stream response.
+type StreamResultFrame struct {
+	// Frame is always "result".
+	Frame string `json:"frame"`
+	// System is the index of the slot's system in the request; Spec and
+	// Canonical echo that system's requested and resolved forms.
+	System    int    `json:"system"`
+	Spec      string `json:"spec"`
+	Canonical string `json:"canonical"`
+	// Index is the query's position within its system's batch.
+	Index int `json:"index"`
+	// Result is the slot's wire result — identical to the entry the
+	// buffered /v1/eval response would carry at [System][Index].
+	Result query.ResultDoc `json:"result"`
+}
+
+// StreamStatusFrame is the terminal line of every /v1/eval/stream
+// response.
+type StreamStatusFrame struct {
+	// Frame is always "status".
+	Frame string `json:"frame"`
+	// Status is "complete", "deadline", "cancelled" or "error".
+	Status string `json:"status"`
+	// Code is the HTTP status a mid-stream failure would have carried
+	// (set only on "error" frames).
+	Code int `json:"code,omitempty"`
+	// Error is the request-level failure or timeout message (empty on
+	// "complete").
+	Error string `json:"error,omitempty"`
+}
+
+// streamWriter owns the one-status-line invariant of the streaming
+// path: before the first frame it can still answer a plain JSON error
+// with its own status code; from the first frame on, the status line is
+// spent and every failure must travel as a terminal error frame. All
+// writes funnel through it, so a double WriteHeader is structurally
+// impossible rather than merely audited.
+type streamWriter struct {
+	w       http.ResponseWriter
+	flusher http.Flusher // nil when the ResponseWriter cannot flush
+	started bool
+}
+
+func newStreamWriter(w http.ResponseWriter) *streamWriter {
+	f, _ := w.(http.Flusher)
+	return &streamWriter{w: w, flusher: f}
+}
+
+// frame writes one NDJSON line and flushes it to the client. The first
+// frame commits the 200 status line and the NDJSON content type.
+func (sw *streamWriter) frame(v any) error {
+	data, err := json.Marshal(v)
+	if err != nil {
+		// Frames are fully materialized value types; this cannot fail.
+		// Guarded anyway so a future frame type can't commit a torn line.
+		return err
+	}
+	if !sw.started {
+		sw.w.Header().Set("Content-Type", contentTypeNDJSON)
+		sw.w.WriteHeader(http.StatusOK)
+		sw.started = true
+	}
+	if _, err := sw.w.Write(append(data, '\n')); err != nil {
+		return err
+	}
+	if sw.flusher != nil {
+		sw.flusher.Flush()
+	}
+	return nil
+}
+
+// fail reports a request-level failure in whichever shape is still
+// expressible: a plain JSON error with its own status line while
+// nothing has been flushed, or a terminal "error" status frame once
+// streaming has begun.
+func (sw *streamWriter) fail(status int, err error) {
+	if !sw.started {
+		writeError(sw.w, status, err)
+		return
+	}
+	_ = sw.frame(StreamStatusFrame{Frame: frameStatus, Status: streamStatusError, Code: status, Error: err.Error()})
+}
+
+// handleEvalStream serves POST /v1/eval/stream. It shares request
+// decoding with the buffered path, then streams: engine builds for
+// every system start concurrently up front, and each system's batch
+// streams through query.EvalStream as soon as its engine is ready — a
+// finished result reaches the client the moment its worker completes,
+// so deadline truncation can only ever cost unfinished work.
+func (s *Server) handleEvalStream(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("%s not allowed; use POST", r.Method))
+		return
+	}
+	ctx := r.Context()
+	if s.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.timeout)
+		defer cancel()
+	}
+
+	plan, ok := s.decodeEvalRequest(w, r)
+	if !ok {
+		return
+	}
+
+	builds := s.startBuilds(ctx, plan.targets)
+	sw := newStreamWriter(w)
+	for i := range plan.targets {
+		br := <-builds[i]
+		var engine *core.Engine
+		switch {
+		case br.err == nil:
+			engine = br.engine
+		case isContextErr(br.err) && context.Cause(ctx) != nil:
+			// The deadline died while this system's engine was pending:
+			// leave the engine nil — the evaluator's per-slot context
+			// check fires before any engine dereference, so the system's
+			// slots stream as per-slot deadline errors.
+		default:
+			sw.fail(statusOfEvalErr(br.err), br.err)
+			return
+		}
+		for f := range query.EvalStream(engine, plan.batches[i],
+			query.WithParallelism(plan.parallel), query.WithContext(ctx)) {
+			if f.Terminal() {
+				// Per-system terminals are suppressed; the request emits
+				// one terminal frame, below, after every system.
+				continue
+			}
+			err := sw.frame(StreamResultFrame{
+				Frame:     frameResult,
+				System:    i,
+				Spec:      plan.specs[i],
+				Canonical: plan.targets[i].key,
+				Index:     f.Index,
+				Result:    query.DocOf(f.Result),
+			})
+			if err != nil {
+				// The client is gone; the buffered query stream drains
+				// itself, so just stop writing.
+				return
+			}
+		}
+	}
+
+	terminal := StreamStatusFrame{Frame: frameStatus, Status: string(query.StreamComplete)}
+	if cause := context.Cause(ctx); cause != nil {
+		terminal.Status = string(streamStatusOf(cause))
+		terminal.Error = evalErrMessage(cause, s.timeout).Error()
+	}
+	_ = sw.frame(terminal)
+}

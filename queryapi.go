@@ -52,6 +52,25 @@ type (
 	// MultiItem pairs an engine with the queries EvalMultiBatch
 	// evaluates against it.
 	MultiItem = query.MultiItem
+
+	// QueryFrame is one emission of a streaming evaluation: a result
+	// frame carrying (System, Index, Result), or the single terminal
+	// status frame that closes every stream.
+	QueryFrame = query.Frame
+	// QueryStreamStatus is how a streamed evaluation ended (the
+	// terminal frame's status).
+	QueryStreamStatus = query.StreamStatus
+)
+
+// Terminal stream statuses.
+const (
+	// StreamComplete: every query evaluated (per-slot failures included).
+	StreamComplete = query.StreamComplete
+	// StreamDeadline: the context's deadline expired mid-batch; emitted
+	// frames are exact, the rest carry per-slot deadline errors.
+	StreamDeadline = query.StreamDeadline
+	// StreamCancelled: the context was cancelled mid-batch.
+	StreamCancelled = query.StreamCancelled
 )
 
 // Query kinds.
@@ -122,6 +141,27 @@ func EvalMultiSystems(systems []*System, qs []Query, opts ...EvalOption) ([][]Qu
 		items[i] = MultiItem{Engine: core.New(sys), Queries: qs}
 	}
 	return query.MultiBatch(items, opts...)
+}
+
+// EvalStream is EvalBatch's streaming form: one result frame per query
+// on the returned channel as its worker finishes (completion order;
+// serial parallelism streams in input order), then exactly one terminal
+// status frame, then the channel closes. Under WithEvalContext a dead
+// context drains in-flight queries to their exact results and fails
+// unstarted slots in their own frames — the finished prefix is never
+// lost. The channel is buffered for the whole batch, so abandoning it
+// leaks nothing. EvalBatch itself consumes this stream, which is what
+// keeps batch and stream results identical by construction.
+func EvalStream(e *Engine, qs []Query, opts ...EvalOption) <-chan QueryFrame {
+	return query.EvalStream(e, qs, opts...)
+}
+
+// EvalMultiStream is EvalMultiBatch's streaming form: all (system,
+// query) pairs shard across one bounded worker pool, each emitting its
+// frame (with System/Index coordinates) as it finishes, closed by one
+// terminal status frame.
+func EvalMultiStream(items []MultiItem, opts ...EvalOption) <-chan QueryFrame {
+	return query.EvalMultiStream(items, opts...)
 }
 
 // WithParallelism sets the number of EvalBatch workers (n ≤ 1 is

@@ -1,0 +1,200 @@
+//go:build race
+
+package pak_test
+
+// The streaming counterpart of TestServiceRaceStress: concurrent
+// /v1/eval/stream clients over an eviction-sized engine cache, a third
+// of them cancelling mid-stream, with every frame that does arrive
+// checked byte for byte against the buffered /v1/eval expectation for
+// the same (system, query) slot. The race detector watches the shared
+// LRU, the singleflight build table and the per-request stream pools
+// under this storm; the assertions pin that concurrency, eviction and
+// client abandonment never reorder, duplicate, tear or hole the frame
+// sequence.
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"pak"
+)
+
+// streamExpectations evaluates one spec's batch through the buffered
+// endpoint and returns each slot's compact wire form.
+func streamExpectations(t *testing.T, url, body string) []string {
+	t.Helper()
+	resp, err := http.Post(url+"/v1/eval", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out pak.ServiceEvalResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Results) != 1 {
+		t.Fatalf("expectation request returned %d systems", len(out.Results))
+	}
+	docs := make([]string, len(out.Results[0].Results))
+	for j, doc := range out.Results[0].Results {
+		data, err := json.Marshal(doc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		docs[j] = string(data)
+	}
+	return docs
+}
+
+// streamOnce drives one /v1/eval/stream request, validating every frame
+// it reads; with cancelMid it abandons the stream after the first
+// result frame (the server must shrug this off — its stream channel is
+// buffered for the whole batch).
+func streamOnce(t *testing.T, url, body string, expect []string, cancelMid bool) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url+"/v1/eval/stream", strings.NewReader(body))
+	if err != nil {
+		t.Error(err)
+		return
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Errorf("stream request: %v", err)
+		return
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("stream status %d", resp.StatusCode)
+		return
+	}
+
+	seen := make(map[int]bool)
+	terminal := false
+	scanner := bufio.NewScanner(resp.Body)
+	for scanner.Scan() {
+		var f struct {
+			Frame  string          `json:"frame"`
+			Index  int             `json:"index"`
+			Status string          `json:"status"`
+			Result json.RawMessage `json:"result"`
+		}
+		if err := json.Unmarshal(scanner.Bytes(), &f); err != nil {
+			t.Errorf("undecodable frame: %v (%s)", err, scanner.Text())
+			return
+		}
+		switch f.Frame {
+		case "result":
+			if terminal {
+				t.Error("result frame after the terminal frame")
+				return
+			}
+			if seen[f.Index] {
+				t.Errorf("index %d streamed twice", f.Index)
+				return
+			}
+			seen[f.Index] = true
+			var doc pak.QueryResultDoc
+			if err := json.Unmarshal(f.Result, &doc); err != nil {
+				t.Errorf("bad result doc: %v", err)
+				return
+			}
+			data, err := json.Marshal(doc)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if string(data) != expect[f.Index] {
+				t.Errorf("slot %d differs from batch mode under churn:\nstream: %s\nbatch:  %s",
+					f.Index, data, expect[f.Index])
+				return
+			}
+			if cancelMid {
+				cancel()
+				return
+			}
+		case "status":
+			terminal = true
+			if f.Status != "complete" {
+				t.Errorf("terminal status %q under a live client", f.Status)
+				return
+			}
+		}
+	}
+	// A cancelled read legitimately errors; a completed one must not,
+	// and must have covered every slot with no holes.
+	if err := scanner.Err(); err != nil {
+		if !cancelMid {
+			t.Errorf("stream read: %v", err)
+		}
+		return
+	}
+	if !terminal {
+		t.Error("stream ended without a terminal frame")
+		return
+	}
+	if len(seen) != len(expect) {
+		t.Errorf("stream covered %d of %d slots", len(seen), len(expect))
+		return
+	}
+	for j := range expect {
+		if !seen[j] {
+			t.Errorf("index %d never streamed", j)
+		}
+	}
+}
+
+func TestStreamRaceStress(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stream race stress in -short")
+	}
+	ts := httptest.NewServer(pak.ServiceHandler(
+		pak.WithServiceEngineCache(2), // three distinct specs below → guaranteed eviction churn
+	))
+	t.Cleanup(ts.Close)
+
+	type target struct {
+		spec string
+		n    int
+	}
+	targets := []target{
+		{"nsquad(2)", 2},
+		{"nsquad(n=2,loss=1/5)", 2},
+		{"nsquad(3)", 3},
+	}
+	bodies := make([]string, len(targets))
+	expect := make([][]string, len(targets))
+	for i, tg := range targets {
+		bodies[i] = raceEvalBody(t, tg.n, tg.spec)
+		expect[i] = streamExpectations(t, ts.URL, bodies[i])
+	}
+
+	const workers = 9
+	const iters = 12
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				k := (w + i) % len(targets)
+				cancelMid := (w+i)%3 == 0 // a third of the clients walk away mid-stream
+				streamOnce(t, ts.URL, bodies[k], expect[k], cancelMid)
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	// After the storm (evictions, rebuilds, abandoned streams), a final
+	// quiet pass must still stream every spec byte-identically.
+	for i := range targets {
+		streamOnce(t, ts.URL, bodies[i], expect[i], false)
+	}
+}

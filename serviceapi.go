@@ -30,6 +30,20 @@ type (
 	// QueryResultDoc is the wire form of a QueryResult: exact rationals
 	// as RatStrings, witnesses as run counts, errors as messages.
 	QueryResultDoc = query.ResultDoc
+	// ServiceStreamResultFrame is one result line of a POST
+	// /v1/eval/stream NDJSON response: the slot's coordinates plus the
+	// exact QueryResultDoc the buffered /v1/eval path would return.
+	ServiceStreamResultFrame = service.StreamResultFrame
+	// ServiceStreamStatusFrame is the terminal line of every
+	// /v1/eval/stream response: complete, deadline, cancelled, or a
+	// mid-stream request-level error.
+	ServiceStreamStatusFrame = service.StreamStatusFrame
+	// ServiceStatsResponse is the GET /v1/stats body: the shared engine
+	// cache's effectiveness counters.
+	ServiceStatsResponse = service.StatsResponse
+	// ServiceCacheStats snapshots the engine cache (len/cap, hits,
+	// misses, evictions, shared builds).
+	ServiceCacheStats = service.CacheStats
 )
 
 // NewService returns a service over the registry (nil means
