@@ -449,3 +449,45 @@ func BenchmarkQueryBatchColdEngines(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkEnvelopeSharedCache pins the tentpole's economics: a sweep
+// whose N assignments resolve through the shared engine cache
+// (pak.ResolveSweep + SweepItems, the registry/EngineCache path) versus
+// the pre-refactor shape — N isolated adversary.Resolve builds per
+// evaluation, every system unfolded and every engine cold each time.
+// After the first iteration the shared-cache path pays zero unfolds and
+// folds over warm memoization; the isolated path rebuilds everything,
+// so the per-op gap is the cost the old private build path hid.
+func BenchmarkEnvelopeSharedCache(b *testing.B) {
+	const space = "sweep(nsquad,n=3,loss=0..1/2/1/10)"
+	inner := pak.ConstraintQuery{Fact: pak.AllFire(3), Agent: "General", Action: "fire"}
+
+	b.Run("shared-cache-sweep", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			out, err := pak.EvalSweep(space, inner)
+			if err != nil || out.Result.Envelope.Visited != 6 {
+				b.Fatalf("sweep: %v (%+v)", err, out.Result.Envelope)
+			}
+		}
+	})
+
+	b.Run("isolated-resolve", func(b *testing.B) {
+		losses := []string{"0", "1/10", "1/5", "3/10", "2/5", "1/2"}
+		space, err := pak.NewSpace(pak.Choice{Name: "loss", Options: losses})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for i := 0; i < b.N; i++ {
+			instances, err := pak.Resolve(space, func(a pak.Assignment) (*pak.System, error) {
+				return pak.NFiringSquadSystem(3, pak.MustRat(a["loss"]), false)
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			env, err := pak.ConstraintEnvelope(instances, pak.AllFire(3), "General", "fire")
+			if err != nil || env.Min == nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

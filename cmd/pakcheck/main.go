@@ -55,6 +55,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs.SetOutput(stderr)
 	systemPath := fs.String("system", "", "path to the system JSON document")
 	scenarioSpec := fs.String("scenario", "", `registry scenario spec, e.g. "nsquad(3)" (alternative to -system; see SCENARIOS.md)`)
+	sweepSpec := fs.String("sweep", "", `space-valued spec, e.g. "sweep(nsquad,loss=0.0..0.5/0.1)": render the query's min/max envelope over every adversary assignment`)
 	queryPath := fs.String("query", "", "path to a constraint query document (agent/action/fact/threshold)")
 	batchPath := fs.String("batch", "", "path to a query-batch JSON array (explicit query specs)")
 	dump := fs.Bool("dump", false, "print the system tree before the analysis")
@@ -63,7 +64,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	parallel := fs.Int("parallel", 0, "EvalBatch workers (0 = GOMAXPROCS)")
 	stream := fs.Bool("stream", false, "with -batch: render each result as it finishes (EvalStream) instead of one final table")
 	fs.Usage = func() {
-		fmt.Fprintf(stderr, "Usage: pakcheck {-system sys.json | -scenario spec} {-query query.json | -batch queries.json}\n")
+		fmt.Fprintf(stderr, "Usage: pakcheck {-system sys.json | -scenario spec | -sweep space} {-query query.json | -batch queries.json}\n")
 		fmt.Fprintf(stderr, "                [-dump] [-eps 1/10] [-delta 1/10] [-parallel N] [-stream]\n\nFlags:\n")
 		fs.PrintDefaults()
 		fmt.Fprintf(stderr, `
@@ -75,6 +76,15 @@ result the moment it finishes (EvalStream) instead of one final table —
 progressive output for huge batches, with a terminal line naming how
 the stream ended.
 
+-sweep evaluates ONE query (the -query document's constraint, or a
+single-element -batch) under every assignment of an adversary space —
+"sweep(nsquad,loss=0.0..0.5/0.1)" ranges the loss, defaults fill the
+rest (see SCENARIOS.md for each scenario's sweep example) — rendering
+one line per assignment as it finishes with the running [min, max]
+envelope, then the envelope table: bounds, witness assignments, skipped
+assignments, visited count. The same evaluation is POST /v1/envelope on
+pakd.
+
 Examples:
   pakcheck -system sys.json -query query.json      the complete constraint battery
   pakcheck -system sys.json -batch queries.json    evaluate explicit query specs
@@ -82,19 +92,48 @@ Examples:
   pakcheck -system sys.json -batch q.json -parallel 1   serial evaluation (same results)
   pakcheck -scenario "nsquad(3)" -batch q.json -stream -parallel 1
                                                    stream results in input order
+  pakcheck -sweep "sweep(nsquad,loss=0.0..0.5/0.1)" -query q.json
+                                                   the constraint's envelope over the loss sweep
 `)
 	}
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
-	if (*systemPath == "") == (*scenarioSpec == "") || (*queryPath == "") == (*batchPath == "") {
-		fmt.Fprintln(stderr, "pakcheck: exactly one of -system / -scenario and exactly one of -query / -batch are required")
+	sources := 0
+	for _, src := range []string{*systemPath, *scenarioSpec, *sweepSpec} {
+		if src != "" {
+			sources++
+		}
+	}
+	if sources != 1 || (*queryPath == "") == (*batchPath == "") {
+		fmt.Fprintln(stderr, "pakcheck: exactly one of -system / -scenario / -sweep and exactly one of -query / -batch are required")
 		fs.Usage()
 		return 2
 	}
 	if *stream && *batchPath == "" {
 		fmt.Fprintln(stderr, "pakcheck: -stream requires -batch (the -query battery renders as one report)")
 		return 2
+	}
+	if *stream && *sweepSpec != "" {
+		fmt.Fprintln(stderr, "pakcheck: -sweep always renders progressively; -stream applies to -batch only")
+		return 2
+	}
+
+	if *sweepSpec != "" {
+		inner, err := sweepInnerQuery(*queryPath, *batchPath)
+		if err != nil {
+			fmt.Fprintf(stderr, "pakcheck: %v\n", err)
+			return 1
+		}
+		opts := []pak.EvalOption{}
+		if *parallel > 0 {
+			opts = append(opts, pak.WithParallelism(*parallel))
+		}
+		if err := sweepRun(stdout, *sweepSpec, inner, opts); err != nil {
+			fmt.Fprintf(stderr, "pakcheck: %v\n", err)
+			return 1
+		}
+		return 0
 	}
 
 	var sys *pak.System
@@ -362,4 +401,120 @@ func verdict(ok bool) string {
 		return "holds"
 	}
 	return "VIOLATED"
+}
+
+// sweepInnerQuery loads the single query a sweep evaluates: the -query
+// constraint document (threshold included when present), or a -batch
+// array holding exactly one spec.
+func sweepInnerQuery(queryPath, batchPath string) (pak.Query, error) {
+	if batchPath != "" {
+		data, err := os.ReadFile(batchPath)
+		if err != nil {
+			return nil, err
+		}
+		qs, err := pak.ParseQueryBatch(data)
+		if err != nil {
+			return nil, err
+		}
+		if len(qs) != 1 {
+			return nil, fmt.Errorf("-sweep folds one query's envelope; the batch has %d (sweep them one at a time)", len(qs))
+		}
+		return qs[0], nil
+	}
+	data, err := os.ReadFile(queryPath)
+	if err != nil {
+		return nil, err
+	}
+	q, fact, err := encode.ParseQuery(data)
+	if err != nil {
+		return nil, err
+	}
+	var p *big.Rat
+	if q.Threshold != "" {
+		if p, err = ratutil.Parse(q.Threshold); err != nil {
+			return nil, fmt.Errorf("threshold: %w", err)
+		}
+	}
+	return pak.ConstraintQuery{Fact: fact, Agent: q.Agent, Action: q.Action, Threshold: p}, nil
+}
+
+// sweepRun resolves the space, evaluates the inner query's envelope
+// over it through EnvelopeStream, and renders progressively: one line
+// per assignment the moment it finishes, carrying the running [min,
+// max], then the final envelope table — bounds, witness assignments,
+// skips, visited count, and how the sweep ended.
+func sweepRun(w io.Writer, spec string, inner pak.Query, opts []pak.EvalOption) error {
+	sw, err := pak.ResolveSweep(spec)
+	if err != nil {
+		return err
+	}
+	items, err := pak.SweepItems(sw)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "Sweeping %s: %d assignments of %q\n", sw.Canonical(), len(items), inner)
+	frames, err := pak.EnvelopeStream(pak.EnvelopeQuery{Inner: inner, Items: items}, opts...)
+	if err != nil {
+		return err
+	}
+	done := 0
+	slots := make([]pak.QueryResult, len(items))
+	for f := range frames {
+		if f.Terminal() {
+			return renderEnvelope(w, sw, items, slots, f)
+		}
+		done++
+		slots[f.Index] = f.Result
+		value := "-"
+		switch {
+		case f.Result.Err != nil && pak.IsEnvelopeSkip(f.Result.Err):
+			value = fmt.Sprintf("SKIP %v", f.Result.Err)
+		case f.Result.Err != nil:
+			value = fmt.Sprintf("ERROR %v", f.Result.Err)
+		case f.Result.Value != nil:
+			value = fmt.Sprintf("%s ≈ %s", f.Result.Value.RatString(), f.Result.Value.FloatString(6))
+		}
+		env := "∅"
+		if f.Envelope.Defined() {
+			env = fmt.Sprintf("[%s, %s]", f.Envelope.Min.RatString(), f.Envelope.Max.RatString())
+		}
+		fmt.Fprintf(w, "[%d/%d] #%d %-24s %-28s env=%s\n",
+			done, len(items), f.Index, f.Assignment, value, env)
+	}
+	return fmt.Errorf("sweep ended without a terminal frame")
+}
+
+// renderEnvelope prints the final envelope table and maps the sweep's
+// ending to the exit contract: a partial, undefined, or hard-failed
+// sweep errors — bounds that silently exclude failed assignments must
+// never exit 0 as if they covered the whole space.
+func renderEnvelope(w io.Writer, sw *pak.ResolvedSweep, items []pak.EnvelopeItem, slots []pak.QueryResult, terminal pak.EnvelopeFrame) error {
+	env := terminal.Envelope
+	tb := report.NewTable("quantity", "value")
+	tb.AddRow("space", sw.Canonical())
+	if env.Defined() {
+		tb.AddRow("min", fmt.Sprintf("%s ≈ %s", env.Min.RatString(), env.Min.FloatString(6)))
+		tb.AddRow("min at", env.ArgMin)
+		tb.AddRow("max", fmt.Sprintf("%s ≈ %s", env.Max.RatString(), env.Max.FloatString(6)))
+		tb.AddRow("max at", env.ArgMax)
+	} else {
+		tb.AddRow("envelope", "undefined (no assignment produced a value)")
+	}
+	tb.AddRow("visited", fmt.Sprintf("%d/%d assignments", env.Visited, env.Total))
+	if len(env.Skipped) > 0 {
+		tb.AddRow("skipped", fmt.Sprintf("%d: %v", len(env.Skipped), env.Skipped))
+	}
+	tb.AddRow("ended", string(terminal.Status))
+	fmt.Fprint(w, report.Section("Adversary envelope", tb.Render()))
+
+	if terminal.Status != pak.StreamComplete {
+		return fmt.Errorf("sweep %s after %d of %d assignments: the envelope is partial", terminal.Status, env.Visited, env.Total)
+	}
+	if failures := pak.EnvelopeFailure(slots); failures != "" {
+		return fmt.Errorf("the envelope excludes failed assignments — %s", failures)
+	}
+	if !env.Defined() {
+		return fmt.Errorf("envelope undefined: the query produced no value under any of the %d assignments", len(items))
+	}
+	return nil
 }

@@ -306,3 +306,109 @@ func TestRunStreamRequiresBatch(t *testing.T) {
 		t.Errorf("stderr = %s", stderr.String())
 	}
 }
+
+// writeSweepQuery materializes the nsquad constraint document the sweep
+// tests share.
+func writeSweepQuery(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "sweep-query.json")
+	doc := `{
+		"agent": "General",
+		"action": "fire",
+		"fact": {"op":"and","args":[
+			{"op":"does","agent":"General","action":"fire"},
+			{"op":"does","agent":"s1","action":"fire"}]}
+	}`
+	if err := os.WriteFile(path, []byte(doc), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunSweepMode(t *testing.T) {
+	queryPath := writeSweepQuery(t)
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-sweep", "sweep(nsquad, loss=0.0..0.5/0.1, n=2)",
+		"-query", queryPath, "-parallel", "1"}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr.String())
+	}
+	out := stdout.String()
+	// Progressive lines carry the running envelope; serial order pins
+	// the exact sequence.
+	for _, want := range []string{
+		"6 assignments",
+		"[1/6] #0 loss=0",
+		"env=[99/100, 1]", // after the second assignment
+		"Adversary envelope",
+		"3/4 ≈ 0.750000",
+		"loss=1/2",
+		"6/6 assignments",
+		"complete",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output lacks %q:\n%s", want, out)
+		}
+	}
+	// The one-shot facade agrees with the rendered bounds.
+	outc, err := pak.EvalSweep("sweep(nsquad, loss=0.0..0.5/0.1, n=2)", pak.ConstraintQuery{
+		Fact:  pak.AllFire(2),
+		Agent: "General", Action: "fire",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := outc.Result.Envelope
+	if env.Min.RatString() != "3/4" || env.Max.RatString() != "1" {
+		t.Errorf("EvalSweep envelope = [%s, %s]", env.Min.RatString(), env.Max.RatString())
+	}
+}
+
+func TestRunSweepModeErrors(t *testing.T) {
+	queryPath := writeSweepQuery(t)
+	cases := []struct {
+		name string
+		args []string
+	}{
+		{"sweep with system", []string{"-sweep", "sweep(nsquad,loss=0..1/5/1/10)", "-system", "x.json", "-query", queryPath}},
+		{"sweep with stream", []string{"-sweep", "sweep(nsquad,loss=0..1/5/1/10)", "-batch", queryPath, "-stream"}},
+		{"bad space", []string{"-sweep", "sweep(nosuch,loss=0..1)", "-query", queryPath}},
+		{"bad range", []string{"-sweep", "sweep(nsquad,loss=1..0)", "-query", queryPath}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var stdout, stderr bytes.Buffer
+			if code := run(tc.args, &stdout, &stderr); code == 0 {
+				t.Errorf("exit 0, want failure; stdout: %s", stdout.String())
+			}
+		})
+	}
+}
+
+// TestRunSweepModeHardFailuresExit: a sweep whose query hard-fails on
+// some assignments (here: the fact names s3, an agent only the n=4
+// squad has) must exit non-zero and say so — bounds that silently
+// exclude failed assignments must never present as a complete
+// envelope.
+func TestRunSweepModeHardFailuresExit(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "q.json")
+	doc := `{
+		"agent": "General",
+		"action": "fire",
+		"fact": {"op":"does","agent":"s3","action":"fire"}
+	}`
+	if err := os.WriteFile(path, []byte(doc), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-sweep", "sweep(nsquad,n=2..4)", "-query", path, "-parallel", "1"}, &stdout, &stderr)
+	if code == 0 {
+		t.Fatalf("exit 0 despite failed assignments; stdout:\n%s", stdout.String())
+	}
+	if !strings.Contains(stderr.String(), "excludes failed assignments") {
+		t.Errorf("stderr does not name the failure class: %s", stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "ERROR") {
+		t.Errorf("progress lines do not mark the hard failures:\n%s", stdout.String())
+	}
+}

@@ -13,7 +13,8 @@
 // Endpoints:
 //
 //	GET  /v1/scenarios         list every registered scenario with its
-//	                           params, defaults and description
+//	                           params, defaults, description and sweep
+//	                           example (the space-valued spec form)
 //	GET  /v1/scenarios/{name}  one scenario's metadata
 //	POST /v1/eval              evaluate a query-batch document (the format
 //	                           of pak.ParseQueryBatch / pakrand -batch)
@@ -22,6 +23,16 @@
 //	                           stream: one result frame per query the
 //	                           moment it finishes, closed by a terminal
 //	                           status frame (complete|deadline|cancelled)
+//	POST /v1/envelope          evaluate ONE query's min/max envelope over
+//	                           an adversary space: {"space":
+//	                           "sweep(nsquad,loss=0.0..0.5/0.1)",
+//	                           "query": {...}} answers the exact bounds,
+//	                           witness assignments and per-assignment
+//	                           results; a deadline yields a partial
+//	                           envelope labeled with the visited count
+//	POST /v1/envelope/stream   the same request as NDJSON: one frame per
+//	                           assignment with the running envelope, the
+//	                           terminal frame carrying the final one
 //	GET  /v1/stats             the engine cache's hit/miss/eviction
 //	                           counters as JSON
 //
@@ -88,8 +99,10 @@ Examples:
   pakd -catalog > SCENARIOS.md    regenerate the scenario catalog (make docs)
   curl -s localhost:8371/v1/scenarios | jq '.[].name'
   curl -s localhost:8371/v1/eval -d '{"systems":["fsquad","nsquad(3)"],"queries":[...]}'
-  go run ./cmd/pakload -url http://localhost:8371 -mix mixed -duration 30s
-                                  drive this server with the load harness
+  curl -s localhost:8371/v1/envelope -d '{"space":"sweep(nsquad,loss=0.0..0.5/0.1)","query":{...}}'
+                                  a constraint's min/max envelope over the loss sweep
+  go run ./cmd/pakload -url http://localhost:8371 -mix envelope -duration 30s
+                                  drive the envelope endpoints with the load harness
 `)
 	}
 	if err := fs.Parse(args); err != nil {

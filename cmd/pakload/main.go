@@ -8,9 +8,16 @@
 //
 // Usage:
 //
-//	pakload [-url http://host:8371] [-mix squad|mixed|heavy|stream]
+//	pakload [-url http://host:8371] [-mix squad|mixed|heavy|stream|envelope]
 //	        [-c 8] [-n 200] [-duration 0] [-timeout 30s] [-seed 1]
 //	        [-engine-cache 8] [-eval-timeout 0] [-out report.json]
+//
+// The "envelope" mix drives the adversary-sweep endpoints: buffered
+// /v1/envelope requests (fully visited envelopes on 200) and
+// /v1/envelope/stream sweeps under full NDJSON frame validation
+// (hole-free assignment indices, running envelopes, a terminal frame
+// whose final envelope accounts for every finished slot), plus the
+// sweep grammar's deliberate 4xx probes.
 //
 // Without -url, pakload starts an in-process pakd over the built-in
 // registry (engine cache bounded by -engine-cache, per-request deadline
@@ -66,6 +73,8 @@ Examples:
   pakload -mix heavy -engine-cache 4        force engine-cache eviction churn
   pakload -mix stream -n 200                drive /v1/eval/stream with full NDJSON
                                             frame validation (set, no holes, terminal)
+  pakload -mix envelope -n 200              drive /v1/envelope[/stream]: adversary
+                                            sweeps with envelope frame validation
   pakload -url http://localhost:8371 -mix mixed -duration 30s
                                             drive a live pakd for 30s, 4xx probes included
   pakload -n 100 -out report.json           write the JSON report to a file

@@ -44,14 +44,27 @@
 //     the format the CLI tools and the pakd service exchange;
 //   - scenarios by name: the registry (Scenarios, BuildScenario) resolves
 //     compact specs — "fsquad", "nsquad(5)", "random(seed=42)" — to
-//     systems with validated, defaulted parameters; the generated
-//     SCENARIOS.md catalogs every registered scenario;
+//     systems with validated, defaulted parameters; space-valued specs
+//     ("sweep(nsquad,loss=0.0..0.5/0.1)", ParseSweepSpec/ResolveSweep)
+//     name whole adversary spaces, each assignment resolving to a
+//     canonical system spec; the generated SCENARIOS.md catalogs every
+//     registered scenario with its sweep example;
+//   - envelopes: EvalSweep/EvalEnvelope/EnvelopeStream fold any
+//     single-valued query's [min, max] across an adversary space —
+//     exact bounds with witness assignments (EnvelopeRange), streamed
+//     progressively with the running envelope per frame, partial but
+//     sound under deadlines (visited/total labeled), engines shared
+//     through the same cache as every other request; MetricQuery sweeps
+//     opaque in-process metrics;
 //   - the service: ServiceHandler/NewService expose the registry and the
 //     query layer over HTTP/JSON (what cmd/pakd serves) — named systems,
 //     query-batch documents, cross-system fan-out, an NDJSON streaming
 //     endpoint (/v1/eval/stream: one result frame per query the moment
-//     it finishes, golden-pinned frame shapes) and engine-cache stats
-//     (/v1/stats) — hardened for sustained traffic: per-request
+//     it finishes, golden-pinned frame shapes), adversary envelopes
+//     (/v1/envelope and /v1/envelope/stream: a query's exact [min, max]
+//     over a sweep(...) space, witness assignments included) and
+//     engine-cache stats (/v1/stats) — hardened for sustained traffic:
+//     per-request
 //     deadlines with cooperative cancellation (WithServiceRequestTimeout,
 //     WithEvalContext; expiry answers 504 carrying every finished result
 //     plus per-slot deadline errors, never discarding completed work), a
@@ -70,7 +83,9 @@
 //   - group epistemics: NewSlice computes Monderer–Samet probabilistic
 //     common belief over time slices;
 //   - nondeterminism: NewSpace/Resolve fix adversaries per the paper's
-//     Section 2 and analyze constraint envelopes across them;
+//     Section 2; ConstraintEnvelope/MetricEnvelope analyze ranges across
+//     a resolved family (thin shims over the same envelope fold the
+//     sweeps use, sharing each instance's engine across calls);
 //   - serialization: MarshalSystem/UnmarshalSystem and ParseFact for the
 //     CLI tools.
 //

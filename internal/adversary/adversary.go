@@ -10,9 +10,23 @@
 // family (e.g. worst-case constraint probability over all adversaries, as
 // in the paper's example of Alice's go flag being set nondeterministically
 // rather than probabilistically).
+//
+// Evaluation is delegated: ConstraintEnvelope and MetricEnvelope are
+// thin shims that compile the family into a query.EnvelopeQuery and fold
+// the answer back into this package's range types, so the envelope
+// arithmetic — min/max, witness selection, skip accounting — has exactly
+// one implementation, shared with the registry-resolved sweeps the pakd
+// service and the CLIs evaluate (see internal/registry's space specs and
+// internal/query's envelope core). Each Instance carries its engine, so
+// repeated envelopes over one resolved family share memoized work
+// instead of re-deriving it per call. For spaces over REGISTERED
+// scenarios, prefer registry.ResolveSpace: its assignments resolve to
+// canonical system specs, so engines flow through the shared
+// EngineCache/singleflight machinery instead of per-family builds.
 package adversary
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/big"
@@ -22,7 +36,7 @@ import (
 	"pak/internal/core"
 	"pak/internal/logic"
 	"pak/internal/pps"
-	"pak/internal/ratutil"
+	"pak/internal/query"
 )
 
 // Sentinel errors returned (wrapped) by this package.
@@ -120,10 +134,26 @@ func (s *Space) ForEach(fn func(a Assignment) error) error {
 // Builder constructs the pps corresponding to one adversary.
 type Builder func(a Assignment) (*pps.System, error)
 
-// Instance is one resolved adversary: the assignment and its pps.
+// Instance is one resolved adversary: the assignment, its pps, and the
+// engine the envelope evaluators analyze it with.
 type Instance struct {
 	Assignment Assignment
 	System     *pps.System
+
+	// engine is created when the instance is resolved, so successive
+	// envelopes over one family share memoized work (performance
+	// indexes, fact extensions, beliefs) instead of re-deriving it.
+	engine *core.Engine
+}
+
+// Engine returns the instance's analysis engine. Instances from Resolve
+// carry one from birth; a hand-assembled Instance gets a fresh engine
+// per call.
+func (inst Instance) Engine() *core.Engine {
+	if inst.engine != nil {
+		return inst.engine
+	}
+	return core.New(inst.System)
 }
 
 // Resolve builds the full family of systems, one per assignment.
@@ -134,7 +164,7 @@ func Resolve(space *Space, build Builder) ([]Instance, error) {
 		if err != nil {
 			return fmt.Errorf("adversary %v: %w", a, err)
 		}
-		out = append(out, Instance{Assignment: a, System: sys})
+		out = append(out, Instance{Assignment: a, System: sys, engine: core.New(sys)})
 		return nil
 	})
 	if err != nil {
@@ -163,35 +193,25 @@ func (r ConstraintRange) String() string {
 
 // ConstraintEnvelope evaluates µ(φ@α | α) on every instance and returns
 // the min/max envelope. Instances on which the action is not proper are
-// recorded in Skipped. It is an error if every instance is skipped.
+// recorded in Skipped. An empty family, and a family on which every
+// instance is skipped, both fail loudly with ErrNoInstances — a
+// zero-value range is never returned without an error.
 func ConstraintEnvelope(instances []Instance, f logic.Fact, agent, action string) (ConstraintRange, error) {
-	if len(instances) == 0 {
-		return ConstraintRange{}, ErrNoInstances
+	env, skipped, err := envelopeOver(instances,
+		query.ConstraintQuery{Fact: f, Agent: agent, Action: action})
+	if err != nil {
+		return ConstraintRange{}, err
 	}
-	var out ConstraintRange
-	for _, inst := range instances {
-		eng := core.New(inst.System)
-		mu, err := eng.ConstraintProb(f, agent, action)
-		if errors.Is(err, core.ErrNotProper) {
-			out.Skipped = append(out.Skipped, inst.Assignment)
-			continue
-		}
-		if err != nil {
-			return ConstraintRange{}, fmt.Errorf("adversary %v: %w", inst.Assignment, err)
-		}
-		if out.Min == nil || ratutil.Less(mu, out.Min) {
-			out.Min = ratutil.Copy(mu)
-			out.ArgMin = inst.Assignment
-		}
-		if out.Max == nil || ratutil.Greater(mu, out.Max) {
-			out.Max = ratutil.Copy(mu)
-			out.ArgMax = inst.Assignment
-		}
-	}
-	if out.Min == nil {
+	if !env.Defined() {
 		return ConstraintRange{}, fmt.Errorf("%w: action %q proper under no adversary", ErrNoInstances, action)
 	}
-	return out, nil
+	return ConstraintRange{
+		Min:     env.Min,
+		Max:     env.Max,
+		ArgMin:  instances[env.MinIndex].Assignment,
+		ArgMax:  instances[env.MaxIndex].Assignment,
+		Skipped: skipped,
+	}, nil
 }
 
 // Metric is any exact quantity computed from a resolved system's engine
@@ -217,33 +237,71 @@ func (r MetricRange) String() string {
 
 // MetricEnvelope evaluates an arbitrary exact metric on every instance
 // and returns its min/max envelope. Instances on which the metric is
-// undefined (improper action, unreachable state) are skipped; it is an
-// error if all are.
+// undefined (improper action, unreachable state) are skipped; like
+// ConstraintEnvelope, an empty or all-skipped family fails loudly with
+// ErrNoInstances rather than returning a zero-value range.
 func MetricEnvelope(instances []Instance, metric Metric) (MetricRange, error) {
-	if len(instances) == 0 {
-		return MetricRange{}, ErrNoInstances
+	env, skipped, err := envelopeOver(instances, query.MetricQuery{Name: "adversary metric", Fn: metric})
+	if err != nil {
+		return MetricRange{}, err
 	}
-	var out MetricRange
-	for _, inst := range instances {
-		value, err := metric(core.New(inst.System))
-		if errors.Is(err, core.ErrNotProper) || errors.Is(err, core.ErrUnknownLocal) {
-			out.Skipped = append(out.Skipped, inst.Assignment)
-			continue
-		}
-		if err != nil {
-			return MetricRange{}, fmt.Errorf("adversary %v: %w", inst.Assignment, err)
-		}
-		if out.Min == nil || ratutil.Less(value, out.Min) {
-			out.Min = ratutil.Copy(value)
-			out.ArgMin = inst.Assignment
-		}
-		if out.Max == nil || ratutil.Greater(value, out.Max) {
-			out.Max = ratutil.Copy(value)
-			out.ArgMax = inst.Assignment
-		}
-	}
-	if out.Min == nil {
+	if !env.Defined() {
 		return MetricRange{}, fmt.Errorf("%w: metric undefined under every adversary", ErrNoInstances)
 	}
-	return out, nil
+	return MetricRange{
+		Min:     env.Min,
+		Max:     env.Max,
+		ArgMin:  instances[env.MinIndex].Assignment,
+		ArgMax:  instances[env.MaxIndex].Assignment,
+		Skipped: skipped,
+	}, nil
+}
+
+// envelopeOver compiles the family into the query layer's envelope and
+// consumes its stream serially — the enumeration order this package's
+// API has always promised. Fail-fast is preserved through cooperative
+// cancellation: the first hard failure (neither a skip nor a context
+// cut) cancels the rest of the sweep, so the remaining instances fail
+// cheaply in their own slots instead of being evaluated, and the error
+// names the offending adversary exactly as the retired in-package fold
+// did.
+func envelopeOver(instances []Instance, inner query.Query) (query.Range, []Assignment, error) {
+	if len(instances) == 0 {
+		return query.Range{}, nil, ErrNoInstances
+	}
+	items := make([]query.EnvelopeItem, len(instances))
+	for i := range instances {
+		items[i] = query.EnvelopeItem{
+			Assignment: instances[i].Assignment.String(),
+			Engine:     instances[i].Engine(),
+		}
+	}
+	ctx, cancel := context.WithCancelCause(context.Background())
+	defer cancel(nil)
+	frames, err := query.EnvelopeStream(query.EnvelopeQuery{Inner: inner, Items: items},
+		query.WithParallelism(1), query.WithContext(ctx))
+	if err != nil {
+		return query.Range{}, nil, err
+	}
+	var skipped []Assignment
+	var hardErr error
+	for f := range frames {
+		if f.Terminal() {
+			if hardErr != nil {
+				return query.Range{}, nil, hardErr
+			}
+			return f.Envelope, skipped, nil
+		}
+		switch {
+		case f.Result.Err == nil:
+		case errors.Is(f.Result.Err, core.ErrNotProper) || errors.Is(f.Result.Err, core.ErrUnknownLocal):
+			skipped = append(skipped, instances[f.Index].Assignment)
+		case core.IsContextErr(f.Result.Err):
+			// A slot cut by our own fail-fast cancellation below.
+		case hardErr == nil:
+			hardErr = fmt.Errorf("adversary %v: %w", instances[f.Index].Assignment, f.Result.Err)
+			cancel(context.Canceled)
+		}
+	}
+	return query.Range{}, nil, errors.New("adversary: envelope stream ended without a terminal frame")
 }

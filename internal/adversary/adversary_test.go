@@ -255,3 +255,56 @@ func TestMetricEnvelopeSkipsAndErrors(t *testing.T) {
 		t.Errorf("hard error = %v", err)
 	}
 }
+
+// TestEnvelopesFailLoudlyOnEmptyFamily is the regression test for the
+// empty-instance contract: both envelope evaluators must return a
+// non-nil error AND the zero value of their range — never a silently
+// usable zero-value range — for an empty (or nil) instance slice.
+func TestEnvelopesFailLoudlyOnEmptyFamily(t *testing.T) {
+	for _, instances := range [][]Instance{nil, {}} {
+		cr, err := ConstraintEnvelope(instances, paper.FSBothFire(), paper.Alice, paper.ActFire)
+		if !errors.Is(err, ErrNoInstances) {
+			t.Fatalf("ConstraintEnvelope(%v) err = %v, want ErrNoInstances", instances, err)
+		}
+		if cr.Min != nil || cr.Max != nil || cr.ArgMin != nil || cr.ArgMax != nil || cr.Skipped != nil {
+			t.Fatalf("ConstraintEnvelope(%v) returned a non-zero range alongside the error: %+v", instances, cr)
+		}
+		mr, err := MetricEnvelope(instances, func(e *core.Engine) (*big.Rat, error) {
+			return ratutil.One(), nil
+		})
+		if !errors.Is(err, ErrNoInstances) {
+			t.Fatalf("MetricEnvelope(%v) err = %v, want ErrNoInstances", instances, err)
+		}
+		if mr.Min != nil || mr.Max != nil || mr.ArgMin != nil || mr.ArgMax != nil || mr.Skipped != nil {
+			t.Fatalf("MetricEnvelope(%v) returned a non-zero range alongside the error: %+v", instances, mr)
+		}
+	}
+}
+
+// TestInstanceEnginesAreShared: instances resolved once share one engine
+// across envelope calls, so a second envelope over the same family reuses
+// the memoized performance indexes and beliefs instead of rebuilding.
+func TestInstanceEnginesAreShared(t *testing.T) {
+	space, err := NewSpace(Choice{Name: "go", Options: []string{"0", "1"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	instances, err := Resolve(space, fsBuilder)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range instances {
+		if instances[i].Engine() != instances[i].Engine() {
+			t.Fatalf("instance %d hands out a fresh engine per call", i)
+		}
+	}
+	if _, err := ConstraintEnvelope(instances, paper.FSBothFire(), paper.Alice, paper.ActFire); err != nil {
+		t.Fatal(err)
+	}
+	// The go=1 instance evaluated the constraint: its engine must have
+	// cached work now (the shim would have discarded it before this PR).
+	_, events, _ := instances[1].Engine().CacheStats()
+	if events == 0 {
+		t.Error("envelope evaluation left the instance engine cold; the family is rebuilding per call")
+	}
+}

@@ -1,15 +1,20 @@
 package core
 
-import "sync"
+import (
+	"context"
+	"errors"
+	"sync"
+)
 
 // memo is a concurrency-safe, singleflight-style memoization table. The
 // map lock is held only while locating (or installing) an entry, never
 // while computing it, so distinct keys are computed in parallel while
 // concurrent requests for the same key block on a single computation and
-// then share its result. Entries are never evicted: the engine's caches
-// are bounded by the number of distinct (fact, agent, action/local)
-// tuples a workload touches, which is small relative to the cost of the
-// exact rational arithmetic they save.
+// then share its result. Entries are retained for the engine's lifetime
+// — the caches are bounded by the number of distinct (fact, agent,
+// action/local) tuples a workload touches — with one exception: an
+// entry whose computation was aborted by a context (see get) is evicted
+// immediately, so a deadline can never poison a key for later callers.
 type memo[K comparable, V any] struct {
 	mu sync.Mutex
 	m  map[K]*memoEntry[V]
@@ -51,7 +56,26 @@ func (c *memo[K, V]) get(key K, compute func() (V, error)) (V, error) {
 	if e.panicked != nil {
 		panic(e.panicked)
 	}
+	if e.err != nil && IsContextErr(e.err) {
+		// A context abort is a property of the aborted caller, not of the
+		// key: never cache it. Evict the poisoned entry so the next get
+		// recomputes under its own (possibly live) context; every waiter
+		// already blocked on this entry still observes the abort.
+		c.mu.Lock()
+		if c.m[key] == e {
+			delete(c.m, key)
+		}
+		c.mu.Unlock()
+	}
 	return e.val, e.err
+}
+
+// IsContextErr reports whether err is (or wraps) a context cancellation
+// or deadline expiry — the error class the memo refuses to retain, the
+// query layer's envelope fold counts as not-visited, and the service
+// maps to 504s. Exported so every layer shares one classifier.
+func IsContextErr(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
 }
 
 // len reports the number of cached entries (for tests and stats).

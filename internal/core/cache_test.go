@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"testing"
@@ -140,5 +142,49 @@ func TestFactKeyUnambiguous(t *testing.T) {
 	}
 	if _, ok := factKey(logic.Atom("p", func(*pps.System, pps.RunID, int) bool { return true })); ok {
 		t.Error("opaque Atom reported cacheable")
+	}
+}
+
+// TestMemoDoesNotCacheContextAborts: a compute aborted by a context
+// must not poison its key — the entry is evicted and the next get
+// recomputes. Deterministic errors stay cached as before.
+func TestMemoDoesNotCacheContextAborts(t *testing.T) {
+	var m memo[string, int]
+	calls := 0
+	compute := func() (int, error) {
+		calls++
+		if calls == 1 {
+			return 0, fmt.Errorf("scan aborted: %w", context.DeadlineExceeded)
+		}
+		return 42, nil
+	}
+	if _, err := m.get("k", compute); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("first get err = %v", err)
+	}
+	if m.len() != 0 {
+		t.Fatalf("aborted entry retained: len = %d", m.len())
+	}
+	v, err := m.get("k", compute)
+	if err != nil || v != 42 {
+		t.Fatalf("second get = (%d, %v), want (42, nil)", v, err)
+	}
+	if calls != 2 {
+		t.Fatalf("compute ran %d times", calls)
+	}
+	// Deterministic errors keep the historical contract: cached forever.
+	boom := errors.New("boom")
+	first := true
+	bad := func() (int, error) {
+		if first {
+			first = false
+			return 0, boom
+		}
+		return 0, errors.New("recomputed; deterministic errors must stay cached")
+	}
+	if _, err := m.get("bad", bad); !errors.Is(err, boom) {
+		t.Fatalf("bad first get err = %v", err)
+	}
+	if _, err := m.get("bad", bad); !errors.Is(err, boom) {
+		t.Fatalf("bad second get err = %v (entry was evicted)", err)
 	}
 }

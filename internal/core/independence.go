@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math/big"
 
@@ -63,17 +64,50 @@ func (r IndependenceReport) String() string {
 // the theorem checkers; reports are memoized per (φ, agent, α) and the
 // returned copy is safe to retain.
 func (e *Engine) LocalStateIndependence(f logic.Fact, agent, action string) (IndependenceReport, error) {
+	return e.LocalStateIndependenceCtx(context.Background(), f, agent, action)
+}
+
+// indepCtxInterval is the coarse cancellation granularity of the
+// independence scan: the context is consulted once per this many local
+// states, so the check's cost is invisible on small systems while a deep
+// scan inside one envelope assignment can still be cut at the deadline
+// within a bounded amount of extra work (the ROADMAP's "finer
+// cancellation", first slice).
+const indepCtxInterval = 64
+
+// LocalStateIndependenceCtx is LocalStateIndependence bound to a
+// context: the Definition 4.1 scan checks ctx every indepCtxInterval
+// local states and aborts with the context's cause once it is done. An
+// aborted scan is never memoized (the memo evicts context aborts), so a
+// later caller with a live context recomputes the report rather than
+// inheriting another request's deadline.
+func (e *Engine) LocalStateIndependenceCtx(ctx context.Context, f logic.Fact, agent, action string) (IndependenceReport, error) {
 	a, _, err := e.properFor(agent, action)
 	if err != nil {
 		return IndependenceReport{}, err
 	}
 	var report IndependenceReport
 	if fk, cacheable := factKey(f); cacheable {
-		report, err = e.indeps.get(eventKey{fact: fk, agent: a, kind: eventIndep, at: action}, func() (IndependenceReport, error) {
-			return e.localStateIndependence(f, a, action)
-		})
+		key := eventKey{fact: fk, agent: a, kind: eventIndep, at: action}
+		// A context abort surfacing from the memo may belong to ANOTHER
+		// caller whose scan this one joined (singleflight shares one
+		// computation per key). The memo evicts aborted entries, so while
+		// our own context is live, retry against a fresh entry; after a
+		// few collisions scan unmemoized under our own context so an
+		// adversarial neighbour can never starve us.
+		for attempt := 0; attempt < 3; attempt++ {
+			report, err = e.indeps.get(key, func() (IndependenceReport, error) {
+				return e.localStateIndependence(ctx, f, a, action)
+			})
+			if err == nil || !IsContextErr(err) || context.Cause(ctx) != nil {
+				break
+			}
+		}
+		if err != nil && IsContextErr(err) && context.Cause(ctx) == nil {
+			report, err = e.localStateIndependence(ctx, f, a, action)
+		}
 	} else {
-		report, err = e.localStateIndependence(f, a, action)
+		report, err = e.localStateIndependence(ctx, f, a, action)
 	}
 	if err != nil {
 		return IndependenceReport{}, err
@@ -85,9 +119,14 @@ func (e *Engine) LocalStateIndependence(f logic.Fact, agent, action string) (Ind
 }
 
 // localStateIndependence performs the actual Definition 4.1 scan.
-func (e *Engine) localStateIndependence(f logic.Fact, a pps.AgentID, action string) (IndependenceReport, error) {
+func (e *Engine) localStateIndependence(ctx context.Context, f logic.Fact, a pps.AgentID, action string) (IndependenceReport, error) {
 	report := IndependenceReport{Independent: true}
-	for _, local := range e.sys.LocalStates(a) {
+	for n, local := range e.sys.LocalStates(a) {
+		if n%indepCtxInterval == indepCtxInterval-1 {
+			if cause := context.Cause(ctx); cause != nil {
+				return IndependenceReport{}, fmt.Errorf("core: independence scan aborted after %d local states: %w", n, cause)
+			}
+		}
 		occ, tm, ok := e.sys.Occurs(a, local)
 		if !ok {
 			continue // unreachable: LocalStates only lists occurring states
@@ -157,11 +196,18 @@ func (w IndependenceWitness) Lemma43Consistent() bool {
 // ExplainIndependence evaluates both sufficient conditions of Lemma 4.3
 // alongside the direct Definition 4.1 check.
 func (e *Engine) ExplainIndependence(f logic.Fact, agent, action string) (IndependenceWitness, error) {
+	return e.ExplainIndependenceCtx(context.Background(), f, agent, action)
+}
+
+// ExplainIndependenceCtx is ExplainIndependence with the Definition 4.1
+// scan bound to ctx (see LocalStateIndependenceCtx); the Lemma 4.3
+// condition checks are cheap and run to completion regardless.
+func (e *Engine) ExplainIndependenceCtx(ctx context.Context, f logic.Fact, agent, action string) (IndependenceWitness, error) {
 	det, err := e.IsDeterministicAction(agent, action)
 	if err != nil {
 		return IndependenceWitness{}, err
 	}
-	report, err := e.LocalStateIndependence(f, agent, action)
+	report, err := e.LocalStateIndependenceCtx(ctx, f, agent, action)
 	if err != nil {
 		return IndependenceWitness{}, err
 	}

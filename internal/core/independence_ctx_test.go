@@ -1,0 +1,48 @@
+package core
+
+import (
+	"context"
+	"testing"
+
+	"pak/internal/logic"
+	"pak/internal/randsys"
+)
+
+// TestIndependenceScanCtxCut: the Definition 4.1 scan consults the
+// context at its coarse interval, so on a system with more local states
+// than the interval an already-dead context cuts the scan with its
+// cause — and because the memo never retains context aborts, a later
+// caller with a live context still computes the exact report.
+func TestIndependenceScanCtxCut(t *testing.T) {
+	sys, err := randsys.Generate(randsys.Config{
+		Agents: 2, Depth: 6, MaxBranch: 3, MaxInitial: 2,
+		ObsAlphabet: 64, ActionTime: 2, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := New(sys)
+	agent := sys.AgentName(0)
+	if n := len(sys.LocalStates(0)); n <= indepCtxInterval {
+		t.Skipf("system has %d local states, below the %d-state check interval", n, indepCtxInterval)
+	}
+	fact := logic.Does(agent, randsys.DesignatedAction)
+
+	ctx, cancel := context.WithCancelCause(context.Background())
+	cancel(context.DeadlineExceeded)
+	if _, err := e.LocalStateIndependenceCtx(ctx, fact, agent, randsys.DesignatedAction); !IsContextErr(err) {
+		t.Fatalf("dead-context scan err = %v, want the deadline cause", err)
+	}
+
+	// The abort is not cached: the same engine answers a live caller.
+	report, err := e.LocalStateIndependence(fact, agent, randsys.DesignatedAction)
+	if err != nil {
+		t.Fatalf("live scan after abort: %v", err)
+	}
+	// And the memoized entry now serves the dead-context caller too (a
+	// cache hit needs no scan to cut).
+	report2, err := e.LocalStateIndependenceCtx(ctx, fact, agent, randsys.DesignatedAction)
+	if err != nil || report2.Independent != report.Independent {
+		t.Fatalf("cached report under dead context = (%+v, %v)", report2, err)
+	}
+}

@@ -59,6 +59,14 @@ type Scenario struct {
 	// deadline, so the count is exact, not a lower bound (0 skips the
 	// check).
 	ExpectFrames int `json:"expectFrames,omitempty"`
+	// CheckEnvelope requires the response to honour the envelope wire
+	// contract: for an NDJSON /v1/envelope/stream body, result frames
+	// with hole-free assignment indices, running envelopes, and one
+	// terminal status frame carrying the final envelope whose visited
+	// count matches the finished slots (partial only under
+	// deadline/cancelled); for a buffered /v1/envelope 200 body, a fully
+	// visited envelope. Violations classify as "bad_stream".
+	CheckEnvelope bool `json:"checkEnvelope,omitempty"`
 }
 
 // Config parameterizes one load run.
@@ -328,6 +336,8 @@ func doRequest(ctx context.Context, client *http.Client, base string, sc Scenari
 	case sc.ExpectStatus != 0 && resp.StatusCode != sc.ExpectStatus:
 		s.outcome = outcomeBadStatus
 	case sc.CheckStream && checkStream(body, sc.ExpectFrames) != "":
+		s.outcome = outcomeBadStream
+	case sc.CheckEnvelope && checkEnvelope(body, resp.StatusCode, sc.ExpectFrames) != "":
 		s.outcome = outcomeBadStream
 	case sc.CheckJSON && !isJSON(body):
 		s.outcome = outcomeBadJSON

@@ -183,3 +183,44 @@ func TestLoadConfigValidation(t *testing.T) {
 		t.Error("unknown mix accepted")
 	}
 }
+
+// TestLoadSmokeEnvelope is the envelope-mix gate: buffered and streamed
+// sweeps (full envelope frame validation, hole-free assignment indices,
+// fully visited envelopes on 200) plus the sweep grammar's deliberate
+// error probes, against the eviction-sized in-process pakd — a clean
+// taxonomy or exit 1, exactly like the other smoke gates. Runs under
+// -race in make load-smoke.
+func TestLoadSmokeEnvelope(t *testing.T) {
+	ts := stressServer(t)
+	requests := 120
+	concurrency := 8
+	if testing.Short() {
+		requests, concurrency = 48, 4
+	}
+	mix, err := BuiltinMix("envelope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Run(context.Background(), Config{
+		BaseURL:     ts.URL,
+		Concurrency: concurrency,
+		Requests:    requests,
+		Timeout:     time.Minute,
+		Seed:        1,
+		Mix:         mix,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Total != requests {
+		t.Errorf("completed %d requests, want %d", rep.Total, requests)
+	}
+	if rep.OK != rep.Total {
+		t.Errorf("taxonomy not clean: ok=%d of %d, errors=%v", rep.OK, rep.Total, rep.Errors)
+	}
+	for _, name := range []string{"envelope-nsquad2", "envelope-stream-nsquad2"} {
+		if st := rep.Scenarios[name]; st == nil || st.Requests == 0 {
+			t.Errorf("scenario %s never ran", name)
+		}
+	}
+}

@@ -28,7 +28,7 @@ import (
 // one seed issue the same request sequence.
 
 // MixNames lists the built-in mixes.
-func MixNames() []string { return []string{"squad", "mixed", "heavy", "stream"} }
+func MixNames() []string { return []string{"squad", "mixed", "heavy", "stream", "envelope"} }
 
 // BuiltinMix returns the named mix, or an error naming the valid set.
 func BuiltinMix(name string) ([]Scenario, error) {
@@ -41,6 +41,8 @@ func BuiltinMix(name string) ([]Scenario, error) {
 		return heavyMix()
 	case "stream":
 		return streamMix()
+	case "envelope":
+		return envelopeMix()
 	default:
 		return nil, fmt.Errorf("load: unknown mix %q (have %v)", name, MixNames())
 	}
@@ -149,6 +151,58 @@ func streamMix() ([]Scenario, error) {
 			ExpectStatus: http.StatusOK, CheckStream: true, ExpectFrames: 4},
 		{Name: "stream-fanout", Path: "/v1/eval/stream", Body: fan, Weight: 2,
 			ExpectStatus: http.StatusOK, CheckStream: true, ExpectFrames: 12},
+		{Name: "stats", Path: "/v1/stats", Weight: 1,
+			ExpectStatus: http.StatusOK, CheckJSON: true},
+	}, nil
+}
+
+// envelopeBody renders a /v1/envelope request body sweeping the space
+// with the standard constraint query (all n agents fire, judged for the
+// General).
+func envelopeBody(space string, n int) ([]byte, error) {
+	doc, err := query.Marshal(query.ConstraintQuery{
+		Fact:  scenarios.AllFireFact(n),
+		Agent: scenarios.General, Action: scenarios.ActFire,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return []byte(fmt.Sprintf(`{"space": %q, "query": %s}`, space, doc)), nil
+}
+
+// envelopeMix drives the envelope endpoints: buffered sweeps (fully
+// visited envelopes on 200), streamed sweeps under full frame
+// validation (hole-free assignment indices, running envelopes, the
+// terminal's final envelope), the deliberate error probes of the sweep
+// grammar, and the stats read. Sweep instances are canonical system
+// specs, so this mix doubles as shared-EngineCache traffic: concurrent
+// sweeps over one space keep hitting the same engines.
+func envelopeMix() ([]Scenario, error) {
+	// 6 assignments: nsquad(2) loss 0..1/2 by 1/10.
+	sweep2, err := envelopeBody("sweep(nsquad,n=2,loss=0..1/2/1/10)", 2)
+	if err != nil {
+		return nil, err
+	}
+	// 3 assignments over the 3-agent squad.
+	sweep3, err := envelopeBody("sweep(nsquad,n=3,loss=0..1/5/1/10)", 3)
+	if err != nil {
+		return nil, err
+	}
+	return []Scenario{
+		{Name: "envelope-nsquad2", Path: "/v1/envelope", Body: sweep2, Weight: 3,
+			ExpectStatus: http.StatusOK, CheckJSON: true, CheckEnvelope: true, ExpectFrames: 6},
+		{Name: "envelope-nsquad3", Path: "/v1/envelope", Body: sweep3, Weight: 2,
+			ExpectStatus: http.StatusOK, CheckJSON: true, CheckEnvelope: true, ExpectFrames: 3},
+		{Name: "envelope-stream-nsquad2", Path: "/v1/envelope/stream", Body: sweep2, Weight: 3,
+			ExpectStatus: http.StatusOK, CheckEnvelope: true, ExpectFrames: 6},
+		{Name: "envelope-stream-nsquad3", Path: "/v1/envelope/stream", Body: sweep3, Weight: 2,
+			ExpectStatus: http.StatusOK, CheckEnvelope: true, ExpectFrames: 3},
+		{Name: "err-envelope-unknown-scenario", Path: "/v1/envelope",
+			Body:   []byte(`{"space": "sweep(nosuch,loss=0..1)", "query": {"kind":"constraint","agent":"a","action":"b","fact":{"op":"does","agent":"a","action":"b"}}}`),
+			Weight: 1, ExpectStatus: http.StatusNotFound, CheckJSON: true},
+		{Name: "err-envelope-bad-range", Path: "/v1/envelope",
+			Body:   []byte(`{"space": "sweep(nsquad,loss=1..0)", "query": {"kind":"constraint","agent":"a","action":"b","fact":{"op":"does","agent":"a","action":"b"}}}`),
+			Weight: 1, ExpectStatus: http.StatusBadRequest, CheckJSON: true},
 		{Name: "stats", Path: "/v1/stats", Weight: 1,
 			ExpectStatus: http.StatusOK, CheckJSON: true},
 	}, nil

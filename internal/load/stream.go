@@ -115,3 +115,131 @@ func checkStream(body []byte, expectFrames int) string {
 	}
 	return ""
 }
+
+// envWireFrame is the superset of one envelope line's fields the
+// validator needs (again deliberately decoded with local structs: the
+// harness plays an external client).
+type envWireFrame struct {
+	Frame      string `json:"frame"`
+	Index      *int   `json:"index"`
+	Assignment string `json:"assignment"`
+	Status     string `json:"status"`
+	Error      string `json:"error"`
+	Result     struct {
+		Error string `json:"error"`
+	} `json:"result"`
+	Envelope *envWire `json:"envelope"`
+}
+
+// envWire is the wire envelope's accounting slice.
+type envWire struct {
+	Min     string `json:"min"`
+	Max     string `json:"max"`
+	Visited int    `json:"visited"`
+	Total   int    `json:"total"`
+}
+
+// checkEnvelope validates one /v1/envelope response body — streamed
+// (NDJSON) or buffered (a single JSON document) — and returns "" when
+// it honours the envelope contract, or a short reason:
+//
+//   - streamed: every result frame carries an assignment index and a
+//     running envelope; indices form a hole-free prefix-free set; the
+//     single terminal frame is last and carries the final envelope;
+//     "complete" means every assignment visited, "deadline"/"cancelled"
+//     mean visited ≤ total with unfinished slots naming the context
+//     error — the partial-envelope contract at the wire level;
+//   - buffered 200: the envelope is fully visited (visited == total);
+//   - expectTotal > 0 pins the space size exactly.
+func checkEnvelope(body []byte, status int, expectTotal int) string {
+	trimmed := bytes.TrimSpace(body)
+	if len(trimmed) == 0 {
+		return "empty envelope body"
+	}
+	// Buffered form first: the whole body is ONE (indented) JSON
+	// document. An NDJSON stream never unmarshals as a single value.
+	var doc struct {
+		Envelope *envWire `json:"envelope"`
+	}
+	if err := json.Unmarshal(trimmed, &doc); err == nil {
+		if doc.Envelope == nil {
+			return "buffered envelope body carries no envelope"
+		}
+		if expectTotal > 0 && doc.Envelope.Total != expectTotal {
+			return fmt.Sprintf("envelope total = %d, want %d", doc.Envelope.Total, expectTotal)
+		}
+		if status == 200 && doc.Envelope.Visited != doc.Envelope.Total {
+			return fmt.Sprintf("a 200 envelope visited %d of %d assignments", doc.Envelope.Visited, doc.Envelope.Total)
+		}
+		return ""
+	}
+
+	lines := strings.Split(strings.TrimSuffix(string(trimmed), "\n"), "\n")
+	var results []envWireFrame
+	var terminal *envWireFrame
+	for ln, line := range lines {
+		var f envWireFrame
+		if err := json.Unmarshal([]byte(line), &f); err != nil {
+			return fmt.Sprintf("line %d is not a JSON frame", ln)
+		}
+		if terminal != nil {
+			return fmt.Sprintf("line %d follows the terminal status frame", ln)
+		}
+		switch f.Frame {
+		case "result":
+			if f.Index == nil || f.Envelope == nil {
+				return fmt.Sprintf("result frame %d lacks an index or running envelope", ln)
+			}
+			results = append(results, f)
+		case "status":
+			tf := f
+			terminal = &tf
+		default:
+			return fmt.Sprintf("line %d has unknown frame kind %q", ln, f.Frame)
+		}
+	}
+	if terminal == nil {
+		return "envelope stream has no terminal status frame"
+	}
+	if terminal.Envelope == nil {
+		return "terminal frame carries no final envelope"
+	}
+	env := terminal.Envelope
+	if expectTotal > 0 && env.Total != expectTotal {
+		return fmt.Sprintf("envelope total = %d, want %d", env.Total, expectTotal)
+	}
+	if len(results) != env.Total {
+		return fmt.Sprintf("stream carries %d result frames for a %d-assignment space", len(results), env.Total)
+	}
+	seen := make(map[int]bool, len(results))
+	finished := 0
+	for _, f := range results {
+		if seen[*f.Index] {
+			return fmt.Sprintf("assignment %d emitted twice", *f.Index)
+		}
+		seen[*f.Index] = true
+		if *f.Index < 0 || *f.Index >= env.Total {
+			return fmt.Sprintf("assignment index %d outside the %d-assignment space", *f.Index, env.Total)
+		}
+		if !strings.Contains(f.Result.Error, "context deadline exceeded") &&
+			!strings.Contains(f.Result.Error, "context canceled") {
+			finished++
+		}
+	}
+	switch terminal.Status {
+	case "complete":
+		if env.Visited != env.Total || finished != env.Total {
+			return fmt.Sprintf("complete envelope visited %d of %d (%d finished slots)", env.Visited, env.Total, finished)
+		}
+	case "deadline", "cancelled":
+		if terminal.Error == "" {
+			return fmt.Sprintf("%s terminal frame has no error message", terminal.Status)
+		}
+		if env.Visited > finished {
+			return fmt.Sprintf("partial envelope claims %d visited but only %d slots finished", env.Visited, finished)
+		}
+	default:
+		return fmt.Sprintf("terminal status %q is not a designed outcome for this scenario", terminal.Status)
+	}
+	return ""
+}

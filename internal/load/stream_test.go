@@ -134,3 +134,47 @@ func TestCheckStream(t *testing.T) {
 		}
 	}
 }
+
+func TestCheckEnvelope(t *testing.T) {
+	res := func(i int, errStr, env string) string {
+		return `{"frame":"result","index":` + itoa(i) + `,"assignment":"loss=0","result":{"error":"` + errStr + `"},"envelope":` + env + `}`
+	}
+	okEnv := `{"min":"1","max":"1","visited":1,"total":2}`
+	fullEnv := `{"min":"1","max":"1","visited":2,"total":2}`
+	cases := []struct {
+		name   string
+		body   string
+		status int
+		total  int
+		wantOK bool
+	}{
+		{"complete", res(0, "", okEnv) + "\n" + res(1, "", fullEnv) + "\n" +
+			`{"frame":"status","status":"complete","envelope":` + fullEnv + `}`, 200, 2, true},
+		{"deadline-partial", res(0, "", okEnv) + "\n" + res(1, "context deadline exceeded", okEnv) + "\n" +
+			`{"frame":"status","status":"deadline","error":"budget","envelope":` + okEnv + `}`, 200, 2, true},
+		{"complete-but-partial", res(0, "", okEnv) + "\n" + res(1, "context deadline exceeded", okEnv) + "\n" +
+			`{"frame":"status","status":"complete","envelope":` + okEnv + `}`, 200, 2, false},
+		{"duplicate-index", res(0, "", okEnv) + "\n" + res(0, "", fullEnv) + "\n" +
+			`{"frame":"status","status":"complete","envelope":` + fullEnv + `}`, 200, 2, false},
+		{"missing-terminal", res(0, "", okEnv), 200, 0, false},
+		{"missing-frame", res(0, "", fullEnv) + "\n" +
+			`{"frame":"status","status":"complete","envelope":` + fullEnv + `}`, 200, 2, false},
+		{"wrong-total", res(0, "", okEnv) + "\n" + res(1, "", fullEnv) + "\n" +
+			`{"frame":"status","status":"complete","envelope":` + fullEnv + `}`, 200, 3, false},
+		{"buffered-ok", `{"envelope":` + fullEnv + `}`, 200, 2, true},
+		{"buffered-partial-200", `{"envelope":` + okEnv + `}`, 200, 2, false},
+		{"buffered-partial-504", `{"envelope":` + okEnv + `}`, 504, 2, true},
+		{"buffered-not-envelope", `{"results":[]}`, 200, 0, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			reason := checkEnvelope([]byte(tc.body), tc.status, tc.total)
+			if (reason == "") != tc.wantOK {
+				t.Errorf("checkEnvelope = %q, wantOK=%v", reason, tc.wantOK)
+			}
+		})
+	}
+}
+
+// itoa avoids importing strconv into the test for one digit.
+func itoa(i int) string { return string(rune('0' + i)) }

@@ -1,0 +1,392 @@
+package query
+
+// Adversary envelopes as queries. The paper's Section 2 treatment of
+// nondeterminism fixes an adversary — one complete assignment of every
+// nondeterministic choice — and its guarantees are statements over the
+// WHOLE adversary space: the envelope [min, max] of a quantity across
+// every assignment. EnvelopeQuery makes that envelope a first-class
+// answer shape of the query layer: wrap any single-valued query, supply
+// one engine per assignment (resolved by the caller through the
+// registry/EngineCache path, so envelope evaluation never builds
+// engines of its own), and the space compiles down to the existing
+// EvalMultiStream worker pool — one MultiItem per assignment, frames
+// carrying assignment coordinates.
+//
+// The contract (documented in DESIGN.md and pinned by tests):
+//
+//   - Progressive tightening: EnvelopeStream emits one frame per
+//     assignment as its worker finishes, each carrying the running
+//     envelope after folding that frame, then a terminal status frame
+//     carrying the final envelope.
+//   - Order-independent fold: the final envelope is a pure function of
+//     the per-assignment results, not of their completion order. Ties
+//     break toward the LOWEST assignment index, so the witness
+//     assignments (ArgMin/ArgMax) under full parallelism are identical
+//     to a serial run's — byte-identical wire envelopes, pinned under
+//     -race.
+//   - Sound partial envelopes: an assignment counts as visited only
+//     when its result (value, skip, or hard failure) actually landed.
+//     Slots cut by the context — never started, or aborted inside a
+//     deep scan — are NOT visited, so a deadline mid-sweep yields an
+//     envelope that is exactly the fold of the visited assignments,
+//     labeled with the visited count (the same prefix-preservation
+//     contract the batch evaluators honour).
+//   - Skips are data: assignments on which the quantity is undefined
+//     (core.ErrNotProper, core.ErrUnknownLocal — e.g. the adversary
+//     under which the action is never performed) are recorded in
+//     Skipped, index-sorted; they bound nothing but stay visible.
+
+import (
+	"errors"
+	"fmt"
+	"math/big"
+	"sort"
+	"strings"
+
+	"pak/internal/core"
+	"pak/internal/ratutil"
+)
+
+// Envelope errors.
+var (
+	// ErrNoAssignments indicates an envelope over an empty space.
+	ErrNoAssignments = errors.New("query: envelope needs at least one assignment")
+	// ErrAllSkipped indicates the inner query was undefined (improper
+	// action, unreachable state) under every visited assignment.
+	ErrAllSkipped = errors.New("query: envelope undefined under every assignment")
+)
+
+// EnvelopeItem is one assignment of the adversary space, paired with
+// the engine its resolved system evaluates on. Callers obtain engines
+// through the registry (registry.ResolveSpace → canonical system specs
+// → shared EngineCache or Registry.Build); the envelope evaluator never
+// constructs engines itself. A nil Engine fails the slot in place, like
+// a nil engine in MultiBatch.
+type EnvelopeItem struct {
+	// Assignment is the canonical rendering of the adversary assignment
+	// ("loss=1/10,seed=3"; empty for the degenerate one-point space).
+	Assignment string
+	// Spec is the canonical system spec the assignment resolves to (the
+	// engine-cache key); informational, echoed on frames.
+	Spec string
+	// Engine evaluates the inner query for this assignment.
+	Engine *core.Engine
+}
+
+// EnvelopeQuery asks for the [min, max] envelope of Inner across the
+// assignments of an adversary space. It is deliberately NOT a Query:
+// the Query interface is closed over single-engine requests, while an
+// envelope spans one engine per assignment — it is evaluated by
+// EvalEnvelope / EnvelopeStream instead, and its Result reports under
+// KindEnvelope.
+type EnvelopeQuery struct {
+	// Inner is the wrapped query. It must yield a single headline Value
+	// (constraint, expectation, threshold, metric, a local belief, a
+	// theorem's constraint probability, ...); a result without one fails
+	// its slot.
+	Inner Query
+	// Items is the compiled space: one entry per assignment, in the
+	// space's canonical enumeration order.
+	Items []EnvelopeItem
+}
+
+// Validate checks the envelope request's well-formedness.
+func (q EnvelopeQuery) Validate() error {
+	if q.Inner == nil {
+		return fmt.Errorf("query: envelope requires an inner query")
+	}
+	if err := q.Inner.validate(); err != nil {
+		return err
+	}
+	if len(q.Items) == 0 {
+		return ErrNoAssignments
+	}
+	return nil
+}
+
+// String describes the request.
+func (q EnvelopeQuery) String() string {
+	return fmt.Sprintf("envelope of [%s] over %d assignments", stringOf(q.Inner), len(q.Items))
+}
+
+// Range is the envelope of the inner query's value over the visited
+// assignments: the answer shape of an envelope query.
+type Range struct {
+	// Min and Max bound the value over the visited assignments; nil
+	// while no assignment has produced a value.
+	Min, Max *big.Rat
+	// ArgMin and ArgMax are the witness assignments attaining the
+	// bounds; ties resolve to the lowest assignment index, so witnesses
+	// are deterministic under parallel evaluation.
+	ArgMin, ArgMax string
+	// MinIndex and MaxIndex are the witnesses' assignment indices (-1
+	// while undefined).
+	MinIndex, MaxIndex int
+	// Visited counts assignments whose result landed (values, skips and
+	// hard failures); Total is the space size. Visited < Total marks a
+	// partial envelope (deadline or cancellation mid-sweep).
+	Visited, Total int
+	// Skipped lists the assignments on which the quantity was
+	// undefined, sorted by assignment index.
+	Skipped []string
+}
+
+// Defined reports whether any assignment has bounded the envelope yet.
+func (r Range) Defined() bool { return r.Min != nil }
+
+// String summarizes the range.
+func (r Range) String() string {
+	coverage := fmt.Sprintf("%d/%d assignments visited", r.Visited, r.Total)
+	if len(r.Skipped) > 0 {
+		coverage += fmt.Sprintf(", %d skipped", len(r.Skipped))
+	}
+	if !r.Defined() {
+		return fmt.Sprintf("envelope undefined (%s)", coverage)
+	}
+	return fmt.Sprintf("∈ [%s, %s] (min at %q, max at %q; %s)",
+		r.Min.RatString(), r.Max.RatString(), r.ArgMin, r.ArgMax, coverage)
+}
+
+// EnvelopeFrame is one emission of a streamed envelope evaluation: a
+// result frame for one assignment, or the single terminal status frame
+// carrying the final envelope.
+type EnvelopeFrame struct {
+	// Index is the assignment's position in the space's enumeration;
+	// Assignment and Spec echo its item.
+	Index      int
+	Assignment string
+	Spec       string
+	// Result is the inner query's result under this assignment (exact
+	// on success; a skip or failure reports in Result.Err).
+	Result Result
+	// Envelope is the running envelope after folding this frame — on
+	// the terminal frame, the final (possibly partial) envelope.
+	Envelope Range
+	// Status is empty on result frames and set exactly once, on the
+	// final frame before the channel closes.
+	Status StreamStatus
+	// Err is the context's cause on a deadline/cancelled terminal frame.
+	Err error
+}
+
+// Terminal reports whether this is the closing status frame.
+func (f EnvelopeFrame) Terminal() bool { return f.Status != "" }
+
+// EnvelopeStream evaluates the envelope progressively: the space
+// compiles to one MultiItem per assignment over the shared
+// EvalMultiStream pool, and each assignment's frame is emitted — with
+// the running envelope — the moment its worker finishes. Exactly one
+// frame per assignment, then one terminal frame, then the channel
+// closes; the channel is buffered for the whole sweep, so abandoning
+// the stream never leaks the pool. The error return is non-nil only
+// for an invalid request (nothing streams then).
+func EnvelopeStream(q EnvelopeQuery, opts ...Option) (<-chan EnvelopeFrame, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	items := make([]MultiItem, len(q.Items))
+	for i, it := range q.Items {
+		items[i] = MultiItem{Engine: it.Engine, Queries: []Query{q.Inner}}
+	}
+	cfg := newConfig(opts)
+	out := make(chan EnvelopeFrame, len(q.Items)+1)
+	go func() {
+		defer close(out)
+		fold := newEnvelopeFold(q.Items)
+		for f := range streamItems(items, cfg) {
+			if f.Terminal() {
+				out <- EnvelopeFrame{Envelope: fold.snapshot(), Status: f.Status, Err: f.Err}
+				return
+			}
+			fold.add(f.System, f.Result)
+			out <- EnvelopeFrame{
+				Index:      f.System,
+				Assignment: q.Items[f.System].Assignment,
+				Spec:       q.Items[f.System].Spec,
+				Result:     f.Result,
+				Envelope:   fold.snapshot(),
+			}
+		}
+	}()
+	return out, nil
+}
+
+// EnvelopeOutcome is EvalEnvelope's buffered answer.
+type EnvelopeOutcome struct {
+	// Result is the envelope as a uniform query result: KindEnvelope,
+	// the final Range in Result.Envelope, min/max mirrored into Values,
+	// and slot failures joined into Result.Err.
+	Result Result
+	// Slots holds the inner query's per-assignment results in
+	// assignment order — each exact, byte-identical (in wire form) to
+	// what a streamed run emits for the same slot.
+	Slots []Result
+	// Status is how the evaluation ended; Cause is the context's cause
+	// on a deadline/cancelled ending.
+	Status StreamStatus
+	// Cause is the context error accompanying a non-complete Status.
+	Cause error
+}
+
+// EvalEnvelope evaluates the envelope to completion (or to the
+// context's end) and folds the stream into one EnvelopeOutcome. It is
+// a pure consumer of EnvelopeStream, so buffered and streamed envelopes
+// cannot disagree. Hard failures (neither skips nor context cuts) join
+// into Result.Err in assignment order; a complete sweep in which every
+// visited assignment was skipped reports ErrAllSkipped.
+func EvalEnvelope(q EnvelopeQuery, opts ...Option) (EnvelopeOutcome, error) {
+	frames, err := EnvelopeStream(q, opts...)
+	if err != nil {
+		return EnvelopeOutcome{}, err
+	}
+	out := EnvelopeOutcome{Slots: make([]Result, len(q.Items))}
+	var final Range
+	for f := range frames {
+		if f.Terminal() {
+			final, out.Status, out.Cause = f.Envelope, f.Status, f.Err
+			continue
+		}
+		out.Slots[f.Index] = f.Result
+	}
+	res := Result{
+		Kind:     KindEnvelope,
+		Query:    q.String(),
+		Envelope: &final,
+		Detail:   final.String(),
+	}
+	if final.Defined() {
+		res.Values = map[string]*big.Rat{
+			"min": ratutil.Copy(final.Min),
+			"max": ratutil.Copy(final.Max),
+		}
+	}
+	var failures []error
+	for i, slot := range out.Slots {
+		switch {
+		case slot.Err != nil && !envelopeSkip(slot.Err) && !ctxAborted(slot.Err):
+			failures = append(failures, fmt.Errorf("assignment %d (%s): %w", i, q.Items[i].Assignment, slot.Err))
+		case slot.Err == nil && slot.Value == nil:
+			// Evaluated but with no single headline number (e.g. a
+			// per-state belief map): the envelope cannot fold it.
+			failures = append(failures, fmt.Errorf("assignment %d (%s): query %s yields no single envelope value",
+				i, q.Items[i].Assignment, stringOf(q.Inner)))
+		}
+	}
+	switch {
+	case len(failures) > 0:
+		res.Err = errors.Join(failures...)
+	case out.Status == StreamComplete && !final.Defined():
+		res.Err = fmt.Errorf("%w: %s", ErrAllSkipped, stringOf(q.Inner))
+	}
+	out.Result = res
+	return out, nil
+}
+
+// envelopeSkip classifies the errors under which an assignment is
+// skipped rather than failed: the quantity is undefined there (the
+// action is not proper, the state never occurs), which the paper's
+// notions do not cover.
+func envelopeSkip(err error) bool {
+	return errors.Is(err, core.ErrNotProper) || errors.Is(err, core.ErrUnknownLocal)
+}
+
+// ctxAborted classifies slots cut by the context — never started, or
+// aborted inside a deep scan. They are not visited: the partial
+// envelope stays the exact fold of the assignments that finished.
+func ctxAborted(err error) bool { return core.IsContextErr(err) }
+
+// envelopeFold accumulates the running envelope. It is owned by the
+// single emitting goroutine; snapshots hand out value copies so frames
+// stay immutable once emitted.
+type envelopeFold struct {
+	items   []EnvelopeItem
+	env     Range
+	skipped []int // assignment indices, arrival order
+}
+
+func newEnvelopeFold(items []EnvelopeItem) *envelopeFold {
+	return &envelopeFold{
+		items: items,
+		env:   Range{MinIndex: -1, MaxIndex: -1, Total: len(items)},
+	}
+}
+
+// add folds one slot result. The tie-break toward the lowest index is
+// what makes the fold order-independent: whatever order frames arrive
+// in, the final witnesses are the first assignments (in enumeration
+// order) attaining the bounds — exactly what a serial sweep produces.
+func (fd *envelopeFold) add(i int, res Result) {
+	switch {
+	case res.Err != nil && envelopeSkip(res.Err):
+		fd.env.Visited++
+		fd.skipped = append(fd.skipped, i)
+		return
+	case res.Err != nil && ctxAborted(res.Err):
+		return // cut by the context: not visited, bounds untouched
+	case res.Err != nil:
+		fd.env.Visited++ // hard failure: visited, bounds untouched
+		return
+	case res.Value == nil:
+		// The inner query evaluated but has no single headline number
+		// (e.g. a per-state belief map): a request shape error, reported
+		// per slot by EvalEnvelope's failure join.
+		fd.env.Visited++
+		return
+	}
+	fd.env.Visited++
+	v := res.Value
+	if fd.env.Min == nil || ratutil.Less(v, fd.env.Min) ||
+		(ratutil.Eq(v, fd.env.Min) && i < fd.env.MinIndex) {
+		fd.env.Min = ratutil.Copy(v)
+		fd.env.MinIndex = i
+		fd.env.ArgMin = fd.items[i].Assignment
+	}
+	if fd.env.Max == nil || ratutil.Greater(v, fd.env.Max) ||
+		(ratutil.Eq(v, fd.env.Max) && i < fd.env.MaxIndex) {
+		fd.env.Max = ratutil.Copy(v)
+		fd.env.MaxIndex = i
+		fd.env.ArgMax = fd.items[i].Assignment
+	}
+}
+
+// snapshot renders the current envelope as an immutable value: rational
+// bounds copied, skipped assignments index-sorted.
+func (fd *envelopeFold) snapshot() Range {
+	env := fd.env
+	if env.Min != nil {
+		env.Min = ratutil.Copy(env.Min)
+	}
+	if env.Max != nil {
+		env.Max = ratutil.Copy(env.Max)
+	}
+	if len(fd.skipped) > 0 {
+		idxs := append([]int(nil), fd.skipped...)
+		sort.Ints(idxs)
+		env.Skipped = make([]string, len(idxs))
+		for j, i := range idxs {
+			env.Skipped[j] = fd.items[i].Assignment
+		}
+	}
+	return env
+}
+
+// IsEnvelopeSkip reports whether a slot error is a skip — the quantity
+// is undefined under that assignment (improper action, unreachable
+// state) — rather than a hard failure. Exported so envelope consumers
+// (pakcheck -sweep, the service) classify slots exactly as the fold
+// does.
+func IsEnvelopeSkip(err error) bool { return envelopeSkip(err) }
+
+// EnvelopeFailure renders the hard failures of a slot slice for error
+// reports, in assignment order: the helper pakcheck -sweep and
+// EvalEnvelope's consumers use so a sweep with failed slots is never
+// presented as a sound envelope.
+func EnvelopeFailure(slots []Result) string {
+	var parts []string
+	for i, slot := range slots {
+		if slot.Err != nil && !envelopeSkip(slot.Err) && !ctxAborted(slot.Err) {
+			parts = append(parts, fmt.Sprintf("#%d: %v", i, slot.Err))
+		}
+	}
+	return strings.Join(parts, "; ")
+}

@@ -20,7 +20,15 @@ import (
 // logic layer (a programming error there); Eval converts the panic to
 // an error so one bad query in a batch reports in its own slot instead
 // of killing the process.
-func Eval(e *core.Engine, q Query) (res Result, err error) {
+func Eval(e *core.Engine, q Query) (Result, error) {
+	return evalCtx(context.Background(), e, q)
+}
+
+// evalCtx is Eval bound to a context. The context is advisory (see the
+// Query interface): it reaches the engine's deep scans so a deadline
+// can cut even a single long evaluation, and an aborted query reports
+// the context's cause in its own slot.
+func evalCtx(ctx context.Context, e *core.Engine, q Query) (res Result, err error) {
 	if q == nil {
 		return Result{}, fmt.Errorf("query: nil query")
 	}
@@ -33,7 +41,7 @@ func Eval(e *core.Engine, q Query) (res Result, err error) {
 			res = Result{Kind: q.Kind(), Query: q.String(), Err: err}
 		}
 	}()
-	res, err = q.eval(e)
+	res, err = q.eval(ctx, e)
 	if err != nil {
 		return Result{Kind: q.Kind(), Query: q.String(), Err: err}, err
 	}

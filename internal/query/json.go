@@ -117,6 +117,8 @@ func docOf(q Query) (queryDoc, error) {
 		}
 		run := v.Run
 		return queryDoc{Kind: KindTimeline, Agent: v.Agent, Run: &run, Fact: fact}, nil
+	case MetricQuery:
+		return queryDoc{}, fmt.Errorf("%w: %s is an opaque Go function and does not serialize", ErrBadQuery, v)
 	default:
 		return queryDoc{}, fmt.Errorf("%w: unknown query type %T", ErrBadQuery, q)
 	}

@@ -28,6 +28,7 @@
 package query
 
 import (
+	"context"
 	"fmt"
 	"math/big"
 	"sort"
@@ -52,6 +53,12 @@ const (
 	KindTheorem      Kind = "theorem"
 	KindIndependence Kind = "independence"
 	KindTimeline     Kind = "timeline"
+	// KindMetric marks MetricQuery: an opaque Go metric evaluated over
+	// the engine (in-process only; it refuses to serialize).
+	KindMetric Kind = "metric"
+	// KindEnvelope marks the result of EvalEnvelope: a min/max Range of
+	// an inner query over an adversary space (see envelope.go).
+	KindEnvelope Kind = "envelope"
 )
 
 // Theorem selects which of the paper's results a TheoremQuery checks.
@@ -110,6 +117,9 @@ type Result struct {
 	Witness *runset.Set
 	// Timeline carries TimelineQuery trajectories.
 	Timeline []core.TimelinePoint
+	// Envelope carries an EvalEnvelope result's min/max range over the
+	// adversary space (nil on every other kind).
+	Envelope *Range
 	// Detail is a human-readable summary for reports.
 	Detail string
 	// Err records this query's evaluation error inside a batch (nil on
@@ -130,8 +140,12 @@ type Query interface {
 	String() string
 	// validate checks the request's well-formedness before evaluation.
 	validate() error
-	// eval runs the request against the engine.
-	eval(e *core.Engine) (Result, error)
+	// eval runs the request against the engine. ctx is advisory: most
+	// queries run to completion regardless (one query is the unit of
+	// cancellation), but evaluations dominated by a single deep engine
+	// scan — today the Definition 4.1 independence scan — consult it at
+	// a coarse interval so a deadline can cut even one query.
+	eval(ctx context.Context, e *core.Engine) (Result, error)
 }
 
 // verdictOf maps a boolean judgement to a Verdict.
@@ -180,7 +194,7 @@ func (q BeliefQuery) validate() error {
 	return nil
 }
 
-func (q BeliefQuery) eval(e *core.Engine) (Result, error) {
+func (q BeliefQuery) eval(ctx context.Context, e *core.Engine) (Result, error) {
 	res := Result{Kind: q.Kind(), Query: q.String()}
 	if q.Local != "" {
 		bel, err := e.Belief(q.Fact, q.Agent, q.Local)
@@ -245,7 +259,7 @@ func (q ConstraintQuery) validate() error {
 	return nil
 }
 
-func (q ConstraintQuery) eval(e *core.Engine) (Result, error) {
+func (q ConstraintQuery) eval(ctx context.Context, e *core.Engine) (Result, error) {
 	mu, err := e.ConstraintProb(q.Fact, q.Agent, q.Action)
 	if err != nil {
 		return Result{}, err
@@ -294,7 +308,7 @@ func (q ExpectationQuery) validate() error {
 	return nil
 }
 
-func (q ExpectationQuery) eval(e *core.Engine) (Result, error) {
+func (q ExpectationQuery) eval(ctx context.Context, e *core.Engine) (Result, error) {
 	exp, err := e.ExpectedBelief(q.Fact, q.Agent, q.Action)
 	if err != nil {
 		return Result{}, err
@@ -342,7 +356,7 @@ func (q ThresholdQuery) validate() error {
 	return nil
 }
 
-func (q ThresholdQuery) eval(e *core.Engine) (Result, error) {
+func (q ThresholdQuery) eval(ctx context.Context, e *core.Engine) (Result, error) {
 	tm, err := e.ThresholdMeasure(q.Fact, q.Agent, q.Action, q.P)
 	if err != nil {
 		return Result{}, err
@@ -414,7 +428,7 @@ func (q TheoremQuery) validate() error {
 	return nil
 }
 
-func (q TheoremQuery) eval(e *core.Engine) (Result, error) {
+func (q TheoremQuery) eval(ctx context.Context, e *core.Engine) (Result, error) {
 	res := Result{Kind: q.Kind(), Query: q.String()}
 	switch q.Theorem {
 	case TheoremSufficiency:
@@ -544,12 +558,12 @@ func (q IndependenceQuery) validate() error {
 	return nil
 }
 
-func (q IndependenceQuery) eval(e *core.Engine) (Result, error) {
-	report, err := e.LocalStateIndependence(q.Fact, q.Agent, q.Action)
+func (q IndependenceQuery) eval(ctx context.Context, e *core.Engine) (Result, error) {
+	report, err := e.LocalStateIndependenceCtx(ctx, q.Fact, q.Agent, q.Action)
 	if err != nil {
 		return Result{}, err
 	}
-	witness, err := e.ExplainIndependence(q.Fact, q.Agent, q.Action)
+	witness, err := e.ExplainIndependenceCtx(ctx, q.Fact, q.Agent, q.Action)
 	if err != nil {
 		return Result{}, err
 	}
@@ -606,7 +620,56 @@ func (q TimelineQuery) validate() error {
 	return nil
 }
 
-func (q TimelineQuery) eval(e *core.Engine) (Result, error) {
+// MetricQuery evaluates an arbitrary exact metric — an opaque Go
+// function over the engine — as a first-class query, so ad-hoc
+// quantities (custom threshold measures, derived beliefs) compose with
+// EvalBatch and, chiefly, with EvalEnvelope's min/max folds. Like facts
+// built from opaque predicates, a MetricQuery evaluates but refuses to
+// serialize: it exists for in-process callers (internal/adversary's
+// MetricEnvelope is its main client), never for the wire.
+type MetricQuery struct {
+	// Name labels the metric in Result.Query and error messages.
+	Name string
+	// Fn computes the metric on the engine.
+	Fn func(e *core.Engine) (*big.Rat, error)
+}
+
+// Kind reports KindMetric.
+func (q MetricQuery) Kind() Kind { return KindMetric }
+
+// String describes the request.
+func (q MetricQuery) String() string {
+	name := q.Name
+	if name == "" {
+		name = "<unnamed>"
+	}
+	return fmt.Sprintf("metric %s", name)
+}
+
+func (q MetricQuery) validate() error {
+	if q.Fn == nil {
+		return fmt.Errorf("query: metric requires a function")
+	}
+	return nil
+}
+
+func (q MetricQuery) eval(ctx context.Context, e *core.Engine) (Result, error) {
+	v, err := q.Fn(e)
+	if err != nil {
+		return Result{}, err
+	}
+	if v == nil {
+		return Result{}, fmt.Errorf("query: %s returned no value", q)
+	}
+	return Result{
+		Kind:   q.Kind(),
+		Query:  q.String(),
+		Value:  ratutil.Copy(v),
+		Detail: fmt.Sprintf("%s = %s", q, v.RatString()),
+	}, nil
+}
+
+func (q TimelineQuery) eval(ctx context.Context, e *core.Engine) (Result, error) {
 	points, err := e.BeliefTimeline(q.Fact, q.Agent, pps.RunID(q.Run))
 	if err != nil {
 		return Result{}, err

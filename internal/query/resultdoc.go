@@ -18,8 +18,46 @@ type ResultDoc struct {
 	// field is never omitted.
 	WitnessRuns int                `json:"witnessRuns"`
 	Timeline    []TimelinePointDoc `json:"timeline,omitempty"`
-	Detail      string             `json:"detail,omitempty"`
-	Error       string             `json:"error,omitempty"`
+	// Envelope carries an envelope result's range (KindEnvelope only).
+	Envelope *RangeDoc `json:"envelope,omitempty"`
+	Detail   string    `json:"detail,omitempty"`
+	Error    string    `json:"error,omitempty"`
+}
+
+// RangeDoc is the wire form of an envelope Range: exact bounds as
+// RatStrings, the witness assignments by name, and the
+// visited/total/skipped accounting that marks partial envelopes.
+type RangeDoc struct {
+	Min    string `json:"min,omitempty"`
+	Max    string `json:"max,omitempty"`
+	ArgMin string `json:"argMin,omitempty"`
+	ArgMax string `json:"argMax,omitempty"`
+	// Visited counts assignments whose result landed; Total is the
+	// space size. Visited < Total labels a partial envelope (the sweep
+	// was cut by a deadline or cancellation).
+	Visited int `json:"visited"`
+	Total   int `json:"total"`
+	// Skipped lists assignments on which the quantity was undefined,
+	// sorted by assignment index.
+	Skipped []string `json:"skipped,omitempty"`
+}
+
+// RangeDocOf converts a Range to its wire form.
+func RangeDocOf(r Range) RangeDoc {
+	doc := RangeDoc{
+		ArgMin:  r.ArgMin,
+		ArgMax:  r.ArgMax,
+		Visited: r.Visited,
+		Total:   r.Total,
+		Skipped: append([]string(nil), r.Skipped...),
+	}
+	if r.Min != nil {
+		doc.Min = r.Min.RatString()
+	}
+	if r.Max != nil {
+		doc.Max = r.Max.RatString()
+	}
+	return doc
 }
 
 // TimelinePointDoc is the wire form of one belief-timeline point.
@@ -59,6 +97,10 @@ func DocOf(res Result) ResultDoc {
 	}
 	if res.Witness != nil {
 		doc.WitnessRuns = res.Witness.Count()
+	}
+	if res.Envelope != nil {
+		env := RangeDocOf(*res.Envelope)
+		doc.Envelope = &env
 	}
 	for _, p := range res.Timeline {
 		doc.Timeline = append(doc.Timeline, TimelinePointDoc{

@@ -130,7 +130,7 @@ func evalSlot(item MultiItem, q int, cfg config) (Result, error) {
 	if !cfg.cache {
 		target = core.New(item.Engine.System())
 	}
-	res, err := Eval(target, qu)
+	res, err := evalCtx(cfg.ctx, target, qu)
 	if err != nil && res.Err == nil {
 		// Eval's nil-query path reports only through its error return;
 		// the stream carries errors inside frames, so every failure must

@@ -153,7 +153,7 @@ type gateQuery struct {
 func (g gateQuery) Kind() Kind      { return Kind("gate") }
 func (g gateQuery) String() string  { return "gate" }
 func (g gateQuery) validate() error { return nil }
-func (g gateQuery) eval(*core.Engine) (Result, error) {
+func (g gateQuery) eval(context.Context, *core.Engine) (Result, error) {
 	if g.entered != nil {
 		close(g.entered)
 	}

@@ -116,6 +116,7 @@ func builtins() []Scenario {
 			Doc:       "Example 1's two-agent relaxed firing squad over a lossy synchronous channel",
 			Construct: "Example 1; Section 8 when improved=true",
 			Params:    []Param{lossParam, improvedParam},
+			Sweep:     "sweep(fsquad,loss=0..1/2/1/10)",
 			Build: func(a Args) (*pps.System, error) {
 				variant := paper.FSOriginal
 				if a.Bool("improved") {
@@ -133,6 +134,7 @@ func builtins() []Scenario {
 					Doc: fmt.Sprintf("total number of agents including the general (2 ≤ n ≤ %d)", maxSquad)},
 				lossParam, improvedParam,
 			},
+			Sweep: "sweep(nsquad,loss=0..1/2/1/10)",
 			Build: func(a Args) (*pps.System, error) {
 				// Check at full width before narrowing: int(n) on 32-bit
 				// would alias out-of-range values into the valid window.
@@ -148,6 +150,7 @@ func builtins() []Scenario {
 			Doc:       "relaxed mutual exclusion: two requesters, an arbiter over a lossy channel, timeout entry",
 			Construct: "Section 1's mutual-exclusion motivation",
 			Params:    []Param{lossParam},
+			Sweep:     "sweep(mutex,loss=0..2/5/1/10)",
 			Build: func(a Args) (*pps.System, error) {
 				return scenarios.MutexSystem(a.Rat("loss"))
 			},
@@ -157,6 +160,7 @@ func builtins() []Scenario {
 			Doc:       "bounded randomized binary consensus: uniform bits, one lossy exchange, AND decision rule",
 			Construct: "Section 1's consensus motivation",
 			Params:    []Param{lossParam},
+			Sweep:     "sweep(consensus,loss=0..2/5/1/10)",
 			Build: func(a Args) (*pps.System, error) {
 				return scenarios.ConsensusSystem(a.Rat("loss"))
 			},
@@ -169,6 +173,7 @@ func builtins() []Scenario {
 				{Name: "p", Kind: KindRat, Default: "9/10", Doc: "constraint threshold p (ε < p < 1)"},
 				{Name: "eps", Kind: KindRat, Default: "1/10", Doc: "belief deficit ε (0 < ε < p)"},
 			},
+			Sweep: "sweep(that,eps=1/20..1/4/1/20)",
 			Build: func(a Args) (*pps.System, error) {
 				return paper.That(a.Rat("p"), a.Rat("eps"))
 			},
@@ -194,6 +199,7 @@ func builtins() []Scenario {
 				{Name: "actiontime", Kind: KindInt, Default: "2", Doc: "time at which a0 may perform the designated action"},
 				{Name: "det", Kind: KindBool, Default: "false", Doc: "make the designated action deterministic (Lemma 4.3(a) mode)"},
 			},
+			Sweep: "sweep(random,seed=1..5)",
 			Build: func(a Args) (*pps.System, error) {
 				// Narrow through intArg so out-of-range values error on
 				// 32-bit platforms instead of silently aliasing (the

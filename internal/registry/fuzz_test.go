@@ -97,3 +97,101 @@ func FuzzParseSpec(f *testing.F) {
 		}
 	})
 }
+
+// FuzzParseSpaceSpec pins the space-spec parser's safety contracts,
+// mirroring FuzzParseSpec for the sweep grammar:
+//
+//  1. No panic: ParseSpaceSpec either errors or returns a well-formed
+//     SpaceSpec, for any byte sequence a wire client can send.
+//  2. Canonical fixed point: every space the default registry resolves
+//     has a canonical rendering that (a) itself parses, (b) resolves
+//     again to the same instance count, and (c) is a fixed point —
+//     Canonical(Canonical(s)) == Canonical(s). The per-assignment
+//     canonical system specs are engine-cache keys, so they must also
+//     resolve and round-trip through the plain-spec canonicalizer.
+func FuzzParseSpaceSpec(f *testing.F) {
+	seeds := []string{
+		"",
+		"sweep(nsquad)",
+		"sweep(nsquad, loss=0.0..0.5/0.1)",
+		"sweep(nsquad,loss=0..1/2/1/10,n=2)",
+		"sweep(nsquad, loss = 0 .. 1/2 / 1/10 )",
+		"sweep(fsquad,loss=0..1/2/1/10,improved=true)",
+		"sweep(random,seed=1..5,depth=2)",
+		"sweep(that,eps=1/20..1/4/1/20)",
+		"sweep(figure1)",
+		"sweep(nsquad,n=2..4)",
+		"sweep(nsquad,loss=1..0)",
+		"sweep(nsquad,loss=0..1/0)",
+		"sweep(nsquad,loss=0..1..2)",
+		"sweep(nsquad,loss=0..1/2/3/4/5)",
+		"sweep(nsquad,loss=-1..-0.5/0.25)",
+		"sweep(nsquad,loss=0..1000000000/0.0000001)",
+		"sweep()",
+		"sweep(nsquad,3)",
+		"sweep(nsquad,loss=)",
+		"sweep(nsquad,(x)=1)",
+		"sweep(UPPER,loss=0..1)",
+		"nsquad(3)",
+		"sweep(nsquad,loss=0..1,loss=0..1)",
+		"sweep(nsquad\x00,loss=0..1)",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+
+	reg := Default()
+	f.Fuzz(func(t *testing.T, spec string) {
+		// Contract 1: never panic; a successful parse is well-formed.
+		ss, err := ParseSpaceSpec(spec)
+		if err != nil {
+			return
+		}
+		if !validIdent(ss.Scenario) {
+			t.Fatalf("ParseSpaceSpec(%q) accepted invalid scenario %q", spec, ss.Scenario)
+		}
+		for _, p := range ss.Params {
+			if !validIdent(p.Name) {
+				t.Fatalf("ParseSpaceSpec(%q) returned bad param name %q", spec, p.Name)
+			}
+			if p.Range == nil && p.Value == "" {
+				t.Fatalf("ParseSpaceSpec(%q) returned an empty fixed value for %q", spec, p.Name)
+			}
+			if p.Range != nil {
+				if p.Range.Step.Sign() <= 0 {
+					t.Fatalf("ParseSpaceSpec(%q) accepted non-positive step for %q", spec, p.Name)
+				}
+				if p.Range.Lo.Cmp(p.Range.Hi) > 0 {
+					t.Fatalf("ParseSpaceSpec(%q) accepted inverted range for %q", spec, p.Name)
+				}
+			}
+		}
+
+		// Contract 2: accepted-by-registry implies canonical fixed point.
+		rs, err := reg.ResolveSpace(spec)
+		if err != nil {
+			return
+		}
+		canonical := rs.Canonical()
+		if _, err := ParseSpaceSpec(canonical); err != nil {
+			t.Fatalf("canonical %q of accepted space %q does not parse: %v", canonical, spec, err)
+		}
+		again, err := reg.ResolveSpace(canonical)
+		if err != nil {
+			t.Fatalf("canonical %q of accepted space %q does not resolve: %v", canonical, spec, err)
+		}
+		if round := again.Canonical(); round != canonical {
+			t.Fatalf("space canonical not a fixed point: %q → %q → %q", spec, canonical, round)
+		}
+		if again.Size() != rs.Size() {
+			t.Fatalf("canonical %q resolves to %d instances, original %q to %d",
+				canonical, again.Size(), spec, rs.Size())
+		}
+		for _, inst := range rs.Instances() {
+			c, err := reg.Canonical(inst.Canonical)
+			if err != nil || c != inst.Canonical {
+				t.Fatalf("instance canonical %q of space %q: (%q, %v)", inst.Canonical, spec, c, err)
+			}
+		}
+	})
+}

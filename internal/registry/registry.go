@@ -65,6 +65,12 @@ type Scenario struct {
 	Construct string `json:"construct"`
 	// Params declares the accepted parameters, in positional order.
 	Params []Param `json:"params,omitempty"`
+	// Sweep, when nonempty, is an example space-valued spec for the
+	// scenario (the sweep(...) grammar of ParseSpaceSpec): the catalog
+	// and GET /v1/scenarios advertise it so clients can discover
+	// envelope requests. Register validates that it parses and names
+	// this scenario.
+	Sweep string `json:"sweep,omitempty"`
 	// Build constructs the system from validated arguments. It is never
 	// nil for a registered scenario and is not serialized.
 	Build func(Args) (*pps.System, error) `json:"-"`
@@ -173,8 +179,20 @@ func (r *Registry) Register(s Scenario) error {
 	if s.Name == "" || !validIdent(s.Name) {
 		return fmt.Errorf("%w: scenario name %q", ErrBadSpec, s.Name)
 	}
+	if s.Name == SweepHead {
+		return fmt.Errorf("%w: scenario name %q is reserved for space-valued specs", ErrBadSpec, s.Name)
+	}
 	if s.Build == nil {
 		return fmt.Errorf("%w: scenario %q has no builder", ErrBadSpec, s.Name)
+	}
+	if s.Sweep != "" {
+		ss, err := ParseSpaceSpec(s.Sweep)
+		if err != nil {
+			return fmt.Errorf("registry: scenario %q sweep example: %w", s.Name, err)
+		}
+		if ss.Scenario != s.Name {
+			return fmt.Errorf("%w: scenario %q sweep example names %q", ErrBadSpec, s.Name, ss.Scenario)
+		}
 	}
 	// Normalizing writes back into s.Params, so copy the slice first:
 	// Register must not mutate the caller's Scenario value.

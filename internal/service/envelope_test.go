@@ -1,0 +1,565 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/big"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"pak/internal/core"
+	"pak/internal/paper"
+	"pak/internal/query"
+	"pak/internal/registry"
+	"pak/internal/scenarios"
+)
+
+// envConstraintDoc is the shared inner query: µ(all-fire @ fire | fire)
+// for the General on an nsquad instance. Its closed form (1−ℓ²)^(n−1)
+// varies monotonically with the swept loss, so the envelope's witnesses
+// are the sweep's endpoints.
+func envConstraintDoc(t *testing.T) string {
+	t.Helper()
+	doc, err := query.Marshal(query.ConstraintQuery{
+		Fact:  scenarios.AllFireFact(2),
+		Agent: scenarios.General, Action: scenarios.ActFire,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(doc)
+}
+
+const envSpace = "sweep(nsquad, loss=0.0..0.5/0.1, n=2)"
+
+func postEnvelope(t *testing.T, ts *httptest.Server, path, body string) (*http.Response, string) {
+	t.Helper()
+	resp, err := http.Post(ts.URL+path, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST %s: %v", path, err)
+	}
+	return resp, readAll(t, resp)
+}
+
+// decodedEnvStream is one parsed /v1/envelope/stream response.
+type decodedEnvStream struct {
+	results  []EnvelopeResultFrame
+	terminal EnvelopeStatusFrame
+}
+
+func parseEnvStream(t *testing.T, body string) decodedEnvStream {
+	t.Helper()
+	var out decodedEnvStream
+	seenTerminal := false
+	for ln, line := range strings.Split(strings.TrimSuffix(body, "\n"), "\n") {
+		if seenTerminal {
+			t.Fatalf("line %d: frame after the terminal status frame: %s", ln, line)
+		}
+		var probe struct {
+			Frame string `json:"frame"`
+		}
+		if err := json.Unmarshal([]byte(line), &probe); err != nil {
+			t.Fatalf("line %d is not a JSON frame: %v (%s)", ln, err, line)
+		}
+		switch probe.Frame {
+		case frameResult:
+			var f EnvelopeResultFrame
+			if err := json.Unmarshal([]byte(line), &f); err != nil {
+				t.Fatalf("line %d: bad result frame: %v", ln, err)
+			}
+			out.results = append(out.results, f)
+		case frameStatus:
+			if err := json.Unmarshal([]byte(line), &out.terminal); err != nil {
+				t.Fatalf("line %d: bad status frame: %v", ln, err)
+			}
+			seenTerminal = true
+		default:
+			t.Fatalf("line %d: unknown frame kind %q", ln, probe.Frame)
+		}
+	}
+	if !seenTerminal {
+		t.Fatal("stream ended without a terminal status frame")
+	}
+	return out
+}
+
+// compactJSON renders any wire value compactly for byte comparison.
+func compactJSON(t *testing.T, v any) string {
+	t.Helper()
+	data, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data)
+}
+
+// inProcessEnvelope evaluates the same sweep in-process through the
+// registry — the three-way determinism baseline.
+func inProcessEnvelope(t *testing.T, space, queryDoc string, opts ...query.Option) query.EnvelopeOutcome {
+	t.Helper()
+	rs, err := registry.Default().ResolveSpace(space)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inner, err := query.Parse([]byte(queryDoc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var items []query.EnvelopeItem
+	for _, inst := range rs.Instances() {
+		sys, err := registry.Default().Build(inst.Canonical)
+		if err != nil {
+			t.Fatalf("build %s: %v", inst.Canonical, err)
+		}
+		items = append(items, query.EnvelopeItem{
+			Assignment: inst.Assignment.String(),
+			Spec:       inst.Canonical,
+			Engine:     core.New(sys),
+		})
+	}
+	out, err := query.EvalEnvelope(query.EnvelopeQuery{Inner: inner, Items: items}, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// TestEnvelopeValues pins the envelope's arithmetic on the closed form:
+// µ = 1−ℓ² for nsquad(2), so the sweep 0..1/2 by 1/10 has max 1 at
+// loss=0 and min 3/4 at loss=1/2.
+func TestEnvelopeValues(t *testing.T) {
+	ts := newTestServer(t)
+	body := fmt.Sprintf(`{"space": %q, "query": %s}`, envSpace, envConstraintDoc(t))
+	resp, data := postEnvelope(t, ts, "/v1/envelope", body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, data)
+	}
+	var er EnvelopeResponse
+	if err := json.Unmarshal([]byte(data), &er); err != nil {
+		t.Fatal(err)
+	}
+	if er.Canonical != "sweep(nsquad,n=2,loss=0..1/2/1/10,improved=false)" {
+		t.Errorf("canonical = %q", er.Canonical)
+	}
+	env := er.Envelope
+	if env.Min != "3/4" || env.Max != "1" {
+		t.Errorf("envelope = [%s, %s], want [3/4, 1]", env.Min, env.Max)
+	}
+	if env.ArgMin != "loss=1/2" || env.ArgMax != "loss=0" {
+		t.Errorf("witnesses = (%q, %q)", env.ArgMin, env.ArgMax)
+	}
+	if env.Visited != 6 || env.Total != 6 || len(env.Skipped) != 0 {
+		t.Errorf("coverage = %d/%d skipped %v", env.Visited, env.Total, env.Skipped)
+	}
+	if len(er.Assignments) != 6 {
+		t.Fatalf("assignments = %d", len(er.Assignments))
+	}
+	want := []string{"1", "99/100", "24/25", "91/100", "21/25", "3/4"}
+	for i, ar := range er.Assignments {
+		if ar.Result.Value != want[i] {
+			t.Errorf("assignment %d (%s) = %s, want %s", i, ar.Assignment, ar.Result.Value, want[i])
+		}
+	}
+}
+
+// TestEnvelopeDeterminism is the three-way identity the ISSUE pins: the
+// streamed envelope after all frames, the buffered /v1/envelope answer,
+// and a serial in-process EnvelopeQuery run are byte-identical in wire
+// form — same bounds, same witness assignments, same per-assignment
+// results — and a parallel in-process run agrees with the serial one
+// (the fold is order-independent). Runs under -race in CI.
+func TestEnvelopeDeterminism(t *testing.T) {
+	ts := newTestServer(t)
+	queryDoc := envConstraintDoc(t)
+	body := fmt.Sprintf(`{"space": %q, "query": %s}`, envSpace, queryDoc)
+
+	buffResp, buffData := postEnvelope(t, ts, "/v1/envelope", body)
+	if buffResp.StatusCode != http.StatusOK {
+		t.Fatalf("buffered status %d: %s", buffResp.StatusCode, buffData)
+	}
+	var buffered EnvelopeResponse
+	if err := json.Unmarshal([]byte(buffData), &buffered); err != nil {
+		t.Fatal(err)
+	}
+
+	streamResp, streamData := postEnvelope(t, ts, "/v1/envelope/stream", body)
+	if streamResp.StatusCode != http.StatusOK {
+		t.Fatalf("stream status %d: %s", streamResp.StatusCode, streamData)
+	}
+	if ct := streamResp.Header.Get("Content-Type"); ct != contentTypeNDJSON {
+		t.Errorf("Content-Type = %q, want %q", ct, contentTypeNDJSON)
+	}
+	stream := parseEnvStream(t, streamData)
+
+	// Stream ≡ buffered: the terminal envelope and every slot.
+	if got, want := compactJSON(t, stream.terminal.Envelope), compactJSON(t, buffered.Envelope); got != want {
+		t.Errorf("streamed final envelope differs from buffered:\nstream:   %s\nbuffered: %s", got, want)
+	}
+	if stream.terminal.Status != string(query.StreamComplete) {
+		t.Errorf("terminal status = %q", stream.terminal.Status)
+	}
+	if len(stream.results) != len(buffered.Assignments) {
+		t.Fatalf("stream emitted %d frames, buffered has %d assignments", len(stream.results), len(buffered.Assignments))
+	}
+	seen := make(map[int]bool)
+	for _, f := range stream.results {
+		if seen[f.Index] {
+			t.Fatalf("assignment %d emitted twice", f.Index)
+		}
+		seen[f.Index] = true
+		ba := buffered.Assignments[f.Index]
+		if f.Assignment != ba.Assignment || f.Spec != ba.Spec {
+			t.Errorf("frame %d identity (%q, %q) != buffered (%q, %q)", f.Index, f.Assignment, f.Spec, ba.Assignment, ba.Spec)
+		}
+		if got, want := compactJSON(t, f.Result), compactJSON(t, ba.Result); got != want {
+			t.Errorf("frame %d result differs from buffered slot:\nstream:   %s\nbuffered: %s", f.Index, got, want)
+		}
+	}
+
+	// Buffered ≡ in-process serial ≡ in-process parallel.
+	serial := inProcessEnvelope(t, envSpace, queryDoc, query.WithParallelism(1))
+	parallel := inProcessEnvelope(t, envSpace, queryDoc)
+	for name, out := range map[string]query.EnvelopeOutcome{"serial": serial, "parallel": parallel} {
+		if got, want := compactJSON(t, query.RangeDocOf(*out.Result.Envelope)), compactJSON(t, buffered.Envelope); got != want {
+			t.Errorf("in-process %s envelope differs from wire:\nin-process: %s\nwire:       %s", name, got, want)
+		}
+		for i, slot := range out.Slots {
+			if got, want := compactJSON(t, query.DocOf(slot)), compactJSON(t, buffered.Assignments[i].Result); got != want {
+				t.Errorf("in-process %s slot %d differs from wire:\nin-process: %s\nwire:       %s", name, i, got, want)
+			}
+		}
+	}
+}
+
+// TestEnvelopePartialOnDeadline is the deterministic prefix proof: a
+// deadline cause injected mid-sweep (from inside the 2nd of 6
+// assignments, serial order) yields a "deadline" terminal whose
+// envelope is the exact fold of the two visited assignments — each
+// byte-identical to its untimed value — labeled with the visited
+// count, while the remaining slots carry per-slot deadline errors.
+func TestEnvelopePartialOnDeadline(t *testing.T) {
+	rs, err := registry.Default().ResolveSpace(envSpace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var items []query.EnvelopeItem
+	for _, inst := range rs.Instances() {
+		sys, err := registry.Default().Build(inst.Canonical)
+		if err != nil {
+			t.Fatal(err)
+		}
+		items = append(items, query.EnvelopeItem{
+			Assignment: inst.Assignment.String(), Spec: inst.Canonical, Engine: core.New(sys),
+		})
+	}
+
+	// The inner query computes the same constraint probability through a
+	// MetricQuery whose Fn doubles as the deadline trigger: the moment
+	// the visitBudget-th evaluation completes, the context expires with
+	// a DeadlineExceeded cause — deterministic mid-sweep expiry, no
+	// timers. The untimed baseline uses an identical metric without the
+	// trigger, so finished slots must diff byte-clean.
+	const visitBudget = 2
+	constraint := func(e *core.Engine) (*big.Rat, error) {
+		return e.ConstraintProb(scenarios.AllFireFact(2), scenarios.General, scenarios.ActFire)
+	}
+	untimedQ := query.EnvelopeQuery{
+		Inner: query.MetricQuery{Name: "µ(all-fire | fire)", Fn: constraint},
+		Items: items,
+	}
+	untimed, err := query.EvalEnvelope(untimedQ, query.WithParallelism(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancelCause(context.Background())
+	defer cancel(nil)
+	var visits atomic.Int32
+	timedQ := query.EnvelopeQuery{
+		Inner: query.MetricQuery{Name: "µ(all-fire | fire)", Fn: func(e *core.Engine) (*big.Rat, error) {
+			v, err := constraint(e)
+			if visits.Add(1) == visitBudget {
+				cancel(context.DeadlineExceeded)
+			}
+			return v, err
+		}},
+		Items: items,
+	}
+	frames, err := query.EnvelopeStream(timedQ, query.WithParallelism(1), query.WithContext(ctx))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []query.EnvelopeFrame
+	var terminal query.EnvelopeFrame
+	for f := range frames {
+		if f.Terminal() {
+			terminal = f
+			break
+		}
+		got = append(got, f)
+	}
+	if terminal.Status != query.StreamDeadline {
+		t.Fatalf("terminal status = %q, want deadline", terminal.Status)
+	}
+	if len(got) != len(items) {
+		t.Fatalf("stream emitted %d result frames, want one per slot (%d) even under the deadline", len(got), len(items))
+	}
+	env := terminal.Envelope
+	if env.Visited != visitBudget || env.Total != len(items) {
+		t.Fatalf("partial envelope labeled %d/%d, want %d/%d", env.Visited, env.Total, visitBudget, len(items))
+	}
+	// The visited prefix diffs clean against the untimed run, and the
+	// partial envelope is exactly the fold of those two assignments:
+	// loss ∈ {0, 1/10} → [99/100, 1]; the unfinished remainder carries
+	// per-slot deadline errors.
+	for i, f := range got {
+		if f.Index != i {
+			t.Fatalf("serial sweep visited assignment %d at position %d", f.Index, i)
+		}
+		if i < visitBudget {
+			if g, w := compactJSON(t, query.DocOf(f.Result)), compactJSON(t, query.DocOf(untimed.Slots[i])); g != w {
+				t.Errorf("visited slot %d not byte-identical to untimed:\ntimed:   %s\nuntimed: %s", i, g, w)
+			}
+			continue
+		}
+		if f.Result.Err == nil || !strings.Contains(f.Result.Err.Error(), "context deadline exceeded") {
+			t.Errorf("unfinished slot %d error = %v, want the deadline cause", i, f.Result.Err)
+		}
+	}
+	if env.Min.RatString() != "99/100" || env.Max.RatString() != "1" {
+		t.Errorf("partial envelope = [%s, %s], want [99/100, 1]",
+			env.Min.RatString(), env.Max.RatString())
+	}
+	if env.ArgMin != "loss=1/10" || env.ArgMax != "loss=0" {
+		t.Errorf("partial witnesses = (%q, %q)", env.ArgMin, env.ArgMax)
+	}
+	for f := range frames {
+		t.Fatalf("frame after the terminal: %+v", f)
+	}
+}
+
+// TestEnvelopeServiceDeadline: the wire-level partial contract. An
+// already-expired server budget answers 504 with a well-formed
+// EnvelopeResponse: zero visited assignments, every slot naming the
+// deadline, status "deadline" — the labeled-partial shape, never a bare
+// error that discards the response body.
+func TestEnvelopeServiceDeadline(t *testing.T) {
+	ts := newTestServer(t, WithRequestTimeout(time.Nanosecond))
+	body := fmt.Sprintf(`{"space": %q, "query": %s}`, envSpace, envConstraintDoc(t))
+	resp, data := postEnvelope(t, ts, "/v1/envelope", body)
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("status %d: %s", resp.StatusCode, data)
+	}
+	var er EnvelopeResponse
+	if err := json.Unmarshal([]byte(data), &er); err != nil {
+		t.Fatal(err)
+	}
+	if er.Status != string(query.StreamDeadline) || !strings.Contains(er.Error, "deadline") {
+		t.Errorf("timeout marker = (%q, %q)", er.Status, er.Error)
+	}
+	if er.Envelope.Visited != 0 || er.Envelope.Total != 6 {
+		t.Errorf("envelope coverage = %d/%d, want 0/6", er.Envelope.Visited, er.Envelope.Total)
+	}
+	if len(er.Assignments) != 6 {
+		t.Fatalf("assignments = %d", len(er.Assignments))
+	}
+	for i, ar := range er.Assignments {
+		if !strings.Contains(ar.Result.Error, "context deadline exceeded") {
+			t.Errorf("slot %d error %q does not name the deadline", i, ar.Result.Error)
+		}
+	}
+}
+
+// TestEnvelopeTimedPartialPrefix drives a real mid-sweep expiry over
+// the wire: engines are warmed first (builds survive deadlines and stay
+// cached), then a tight budget cuts the serial evaluation partway. The
+// visited prefix must diff clean against an untimed run and the partial
+// envelope must be labeled with the visited count.
+func TestEnvelopeTimedPartialPrefix(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timed prefix test in -short")
+	}
+	// 26 assignments of nsquad(4); the theorem-expectation inner query
+	// needs the independence scan plus both sides of Theorem 6.2 per
+	// assignment — milliseconds each, ~hundreds total, far beyond the
+	// 60ms budget collectively while any single one finishes inside it.
+	space := "sweep(nsquad, n=4, loss=0.0..0.5/0.02)"
+	innerDoc, err := query.Marshal(query.TheoremQuery{
+		Theorem: query.TheoremExpectation,
+		Fact:    scenarios.AllFireFact(4),
+		Agent:   scenarios.General, Action: scenarios.ActFire,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := fmt.Sprintf(`{"space": %q, "query": %s, "parallelism": 1}`, space, innerDoc)
+
+	untimedTS := newTestServer(t)
+	untimedResp, untimedData := postEnvelope(t, untimedTS, "/v1/envelope", body)
+	if untimedResp.StatusCode != http.StatusOK {
+		t.Fatalf("untimed status %d: %s", untimedResp.StatusCode, untimedData)
+	}
+	var untimed EnvelopeResponse
+	if err := json.Unmarshal([]byte(untimedData), &untimed); err != nil {
+		t.Fatal(err)
+	}
+
+	timedTS := newTestServer(t, WithRequestTimeout(60*time.Millisecond))
+	// Warm the engine cache: deadline-cut requests still complete the
+	// builds they started, so a few rounds warm the whole space.
+	for i := 0; i < 80; i++ {
+		resp, _ := postEnvelope(t, timedTS, "/v1/envelope", body)
+		resp.Body.Close()
+		stats, err := http.Get(timedTS.URL + "/v1/stats")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sr StatsResponse
+		if err := json.NewDecoder(stats.Body).Decode(&sr); err != nil {
+			t.Fatal(err)
+		}
+		stats.Body.Close()
+		if sr.EngineCache.Len >= 26 {
+			break
+		}
+	}
+
+	resp, data := postEnvelope(t, timedTS, "/v1/envelope", body)
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Skipf("sweep finished inside the budget on this machine (status %d); the deterministic partial test covers the contract", resp.StatusCode)
+	}
+	var timed EnvelopeResponse
+	if err := json.Unmarshal([]byte(data), &timed); err != nil {
+		t.Fatal(err)
+	}
+	env := timed.Envelope
+	if env.Visited >= env.Total {
+		t.Fatalf("timed sweep visited %d/%d; truncation not exercised", env.Visited, env.Total)
+	}
+	finished := 0
+	for i, ar := range timed.Assignments {
+		if ar.Result.Error != "" {
+			if !strings.Contains(ar.Result.Error, "context deadline exceeded") {
+				t.Errorf("slot %d: unfinished error %q does not name the deadline", i, ar.Result.Error)
+			}
+			continue
+		}
+		finished++
+		if g, w := compactJSON(t, ar.Result), compactJSON(t, untimed.Assignments[i].Result); g != w {
+			t.Errorf("finished slot %d not byte-identical to untimed:\ntimed:   %s\nuntimed: %s", i, g, w)
+		}
+	}
+	if finished != env.Visited {
+		t.Errorf("envelope labeled %d visited but %d slots finished", env.Visited, finished)
+	}
+	t.Logf("partial sweep: %d/%d visited", env.Visited, env.Total)
+}
+
+// TestEnvelopeAllSkipped exercises the degenerate one-point space and
+// the all-skipped error shape: an inner query whose action is never
+// performed skips its assignment by name, bounds nothing, and a fully
+// skipped sweep reports the undefined-envelope error rather than a
+// zero-value range.
+func TestEnvelopeAllSkipped(t *testing.T) {
+	rs, err := registry.Default().ResolveSpace("sweep(figure1)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	insts := rs.Instances()
+	if len(insts) != 1 || insts[0].Assignment.String() != "" {
+		t.Fatalf("figure1 space = %+v", insts)
+	}
+	sys, err := registry.Default().Build(insts[0].Canonical)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := query.EvalEnvelope(query.EnvelopeQuery{
+		Inner: query.ConstraintQuery{Fact: paper.Figure1PhiFact(), Agent: paper.AgentI, Action: "never-performed"},
+		Items: []query.EnvelopeItem{{Assignment: "", Spec: insts[0].Canonical, Engine: core.New(sys)}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := out.Result.Envelope
+	if env.Defined() || env.Visited != 1 || len(env.Skipped) != 1 {
+		t.Fatalf("all-skipped envelope = %+v", env)
+	}
+	if out.Result.Err == nil || !strings.Contains(out.Result.Err.Error(), "undefined under every assignment") {
+		t.Fatalf("all-skipped err = %v", out.Result.Err)
+	}
+}
+
+// TestEnvelopeWireGolden pins the envelope endpoints' exact wire
+// shapes — the happy buffered body, both stream endings, and every
+// envelope-specific error path — one golden file per case, under the
+// same -update flag as the rest of the wire goldens. Determinism:
+// parallelism 1 streams in assignment order, the fold is
+// order-independent, and every error message is a pure function of the
+// request and the server's fixed caps.
+func TestEnvelopeWireGolden(t *testing.T) {
+	srv := New(nil, WithMaxAssignments(4), WithMaxBodyBytes(2048))
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	timeoutTS := httptest.NewServer(New(nil, WithRequestTimeout(time.Nanosecond)).Handler())
+	t.Cleanup(timeoutTS.Close)
+
+	goldenSpace := "sweep(nsquad,n=2,loss=0..1/5/1/10)" // 3 assignments
+	goldenBody := fmt.Sprintf(`{"space": %q, "query": %s, "parallelism": 1}`, goldenSpace, envConstraintDoc(t))
+
+	cases := []struct {
+		name   string
+		server *httptest.Server
+		method string
+		path   string
+		body   string
+		status int
+	}{
+		{"envelope-complete", ts, http.MethodPost, "/v1/envelope", goldenBody, http.StatusOK},
+		{"envelope-stream-complete", ts, http.MethodPost, "/v1/envelope/stream", goldenBody, http.StatusOK},
+		{"envelope-stream-deadline", timeoutTS, http.MethodPost, "/v1/envelope/stream", goldenBody, http.StatusOK},
+		{"envelope-timeout-504", timeoutTS, http.MethodPost, "/v1/envelope", goldenBody, http.StatusGatewayTimeout},
+		{"envelope-method-not-allowed", ts, http.MethodGet, "/v1/envelope", "", http.StatusMethodNotAllowed},
+		{"envelope-stream-method-not-allowed", ts, http.MethodGet, "/v1/envelope/stream", "", http.StatusMethodNotAllowed},
+		{"envelope-empty-request", ts, http.MethodPost, "/v1/envelope", `{}`, http.StatusBadRequest},
+		{"envelope-no-query", ts, http.MethodPost, "/v1/envelope",
+			fmt.Sprintf(`{"space": %q}`, goldenSpace), http.StatusBadRequest},
+		{"envelope-bad-query", ts, http.MethodPost, "/v1/envelope",
+			fmt.Sprintf(`{"space": %q, "query": {"kind": "nope"}}`, goldenSpace), http.StatusBadRequest},
+		{"envelope-not-a-sweep", ts, http.MethodPost, "/v1/envelope",
+			fmt.Sprintf(`{"space": "nsquad(2)", "query": %s}`, envConstraintDoc(t)), http.StatusBadRequest},
+		{"envelope-unknown-scenario", ts, http.MethodPost, "/v1/envelope",
+			fmt.Sprintf(`{"space": "sweep(nosuch,loss=0..1)", "query": %s}`, envConstraintDoc(t)), http.StatusNotFound},
+		{"envelope-bad-range", ts, http.MethodPost, "/v1/envelope",
+			fmt.Sprintf(`{"space": "sweep(nsquad,loss=1..0)", "query": %s}`, envConstraintDoc(t)), http.StatusBadRequest},
+		{"envelope-over-assignment-cap", ts, http.MethodPost, "/v1/envelope",
+			fmt.Sprintf(`{"space": %q, "query": %s}`, "sweep(nsquad,n=2,loss=0..1/2/1/10)", envConstraintDoc(t)), http.StatusBadRequest},
+		{"envelope-unknown-field", ts, http.MethodPost, "/v1/envelope", `{"bogus": 1}`, http.StatusBadRequest},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var (
+				resp *http.Response
+				err  error
+			)
+			switch tc.method {
+			case http.MethodGet:
+				resp, err = http.Get(tc.server.URL + tc.path)
+			default:
+				resp, err = http.Post(tc.server.URL+tc.path, "application/json", strings.NewReader(tc.body))
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			body := readAll(t, resp)
+			if resp.StatusCode != tc.status {
+				t.Fatalf("status %d, want %d: %s", resp.StatusCode, tc.status, body)
+			}
+			goldenCompare(t, tc.name, body)
+		})
+	}
+}

@@ -8,10 +8,15 @@
 //
 // Endpoints:
 //
-//	GET  /v1/scenarios         — the self-describing catalog (JSON)
+//	GET  /v1/scenarios         — the self-describing catalog (JSON),
+//	                             space-valued sweep specs included
 //	GET  /v1/scenarios/{name}  — one scenario's metadata
 //	POST /v1/eval              — evaluate a query batch against named systems
 //	POST /v1/eval/stream       — the same, answered as an NDJSON frame stream
+//	POST /v1/envelope          — evaluate one query's min/max envelope over
+//	                             an adversary space ("sweep(...)" specs)
+//	POST /v1/envelope/stream   — the same, streamed one assignment per frame
+//	                             with the running envelope (see envelope.go)
 //	GET  /v1/stats             — engine-cache counters (hits/misses/evictions)
 //
 // An eval request names systems by spec and carries query batches in the
@@ -98,6 +103,18 @@ func WithMaxSystems(n int) Option {
 	}
 }
 
+// WithMaxAssignments caps the adversary-space assignments one
+// /v1/envelope request may sweep (default defaultMaxAssignments).
+// Every assignment resolves, builds and evaluates one system, so this
+// is the envelope analogue of WithMaxSystems.
+func WithMaxAssignments(n int) Option {
+	return func(s *Server) {
+		if n > 0 {
+			s.maxAssignments = n
+		}
+	}
+}
+
 // WithEngineCacheSize bounds the engines retained across requests
 // (default defaultEngineCacheSize). The cache is LRU over canonical
 // specs: traffic concentrated on few scenarios keeps them warm forever,
@@ -144,17 +161,23 @@ const maxBodyBytes = 8 << 20
 // random(seed=…) cannot grow the process without limit.
 const defaultEngineCacheSize = 128
 
+// defaultMaxAssignments is the default per-request bound on envelope
+// sweep size: roomy for real loss/seed sweeps, far below the registry's
+// own MaxSpaceAssignments hard cap.
+const defaultMaxAssignments = 256
+
 // Server serves the registry and the query layer over HTTP. It is safe
 // for concurrent use; engines are shared across requests through a
 // size-bounded LRU cache with singleflight builds.
 type Server struct {
-	reg         *registry.Registry
-	maxParallel int
-	maxQueries  int
-	maxSystems  int
-	cacheSize   int
-	timeout     time.Duration
-	bodyLimit   int64
+	reg            *registry.Registry
+	maxParallel    int
+	maxQueries     int
+	maxSystems     int
+	maxAssignments int
+	cacheSize      int
+	timeout        time.Duration
+	bodyLimit      int64
 
 	engines *EngineCache
 }
@@ -165,12 +188,13 @@ func New(reg *registry.Registry, opts ...Option) *Server {
 		reg = registry.Default()
 	}
 	s := &Server{
-		reg:         reg,
-		maxParallel: runtime.GOMAXPROCS(0),
-		maxQueries:  10000,
-		maxSystems:  64,
-		cacheSize:   defaultEngineCacheSize,
-		bodyLimit:   maxBodyBytes,
+		reg:            reg,
+		maxParallel:    runtime.GOMAXPROCS(0),
+		maxQueries:     10000,
+		maxSystems:     64,
+		maxAssignments: defaultMaxAssignments,
+		cacheSize:      defaultEngineCacheSize,
+		bodyLimit:      maxBodyBytes,
 	}
 	for _, opt := range opts {
 		opt(s)
@@ -190,6 +214,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/scenarios/", s.handleScenario)
 	mux.HandleFunc("/v1/eval", s.handleEval)
 	mux.HandleFunc("/v1/eval/stream", s.handleEvalStream)
+	mux.HandleFunc("/v1/envelope", s.handleEnvelope)
+	mux.HandleFunc("/v1/envelope/stream", s.handleEnvelopeStream)
 	mux.HandleFunc("/v1/stats", s.handleStats)
 	return mux
 }
@@ -632,10 +658,9 @@ func (s *Server) handleEval(w http.ResponseWriter, r *http.Request) {
 }
 
 // isContextErr reports whether err is the expiry/cancellation of the
-// request context rather than a genuine request defect.
-func isContextErr(err error) bool {
-	return errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled)
-}
+// request context rather than a genuine request defect (the one
+// classifier every layer shares, exported from core).
+func isContextErr(err error) bool { return core.IsContextErr(err) }
 
 // streamStatusOf classifies a context cause for the wire: the same
 // deadline/cancelled vocabulary the stream terminal frame uses.

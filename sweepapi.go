@@ -1,0 +1,162 @@
+package pak
+
+import (
+	"pak/internal/core"
+	"pak/internal/query"
+	"pak/internal/registry"
+	"pak/internal/service"
+)
+
+// Adversary sweeps, re-exported: the space-valued scenario specs of
+// internal/registry ("sweep(nsquad,loss=0.0..0.5/0.1)") and the query
+// layer's envelope evaluation over them. A sweep names the whole
+// adversary space of systems obtained by ranging rat/int parameters;
+// resolving it yields one canonical system spec per assignment, and the
+// envelope of any single-valued query folds over those instances — the
+// paper's Section 2 quantification over adversaries as one call. The
+// pakd service exposes the same evaluation as POST /v1/envelope (+
+// /v1/envelope/stream); `pakcheck -sweep` renders it progressively.
+type (
+	// SweepSpec is the grammar-level form of a space-valued spec.
+	SweepSpec = registry.SpaceSpec
+	// SweepRange is one swept parameter's lo..hi/step progression.
+	SweepRange = registry.SweepRange
+	// ResolvedSweep is a space spec bound against the registry: the
+	// adversary space plus the enumerated canonical instances.
+	ResolvedSweep = registry.ResolvedSpace
+	// SweepInstance is one enumerated assignment with its canonical
+	// system spec (the engine-cache key).
+	SweepInstance = registry.SpaceInstance
+
+	// EnvelopeQuery wraps a single-valued query with the compiled space
+	// items; EvalEnvelope / EnvelopeStream evaluate it.
+	EnvelopeQuery = query.EnvelopeQuery
+	// EnvelopeItem pairs one assignment with its engine.
+	EnvelopeItem = query.EnvelopeItem
+	// EnvelopeRange is the min/max/witness answer of an envelope, with
+	// the visited/total accounting that labels partial sweeps.
+	EnvelopeRange = query.Range
+	// EnvelopeFrame is one emission of a streamed envelope: an
+	// assignment's result plus the running envelope, or the terminal
+	// status frame carrying the final one.
+	EnvelopeFrame = query.EnvelopeFrame
+	// EnvelopeOutcome is the buffered envelope answer: the envelope
+	// result, per-assignment slots, and how the sweep ended.
+	EnvelopeOutcome = query.EnvelopeOutcome
+	// MetricQuery evaluates an opaque Go metric as a query (in-process
+	// only; it refuses to serialize) — the escape hatch for sweeping
+	// quantities the wire grammar does not name.
+	MetricQuery = query.MetricQuery
+)
+
+// KindEnvelope and KindMetric extend the query kinds.
+const (
+	KindEnvelope = query.KindEnvelope
+	KindMetric   = query.KindMetric
+)
+
+// ParseSweepSpec parses a space-valued spec at the grammar level,
+// without consulting the registry (the sweep analogue of ParseSpec's
+// grammar half). It never panics.
+func ParseSweepSpec(spec string) (SweepSpec, error) { return registry.ParseSpaceSpec(spec) }
+
+// ResolveSweep binds a space-valued spec against the built-in registry:
+// ranges expand under their declared kinds and every assignment
+// resolves to its canonical system spec.
+func ResolveSweep(spec string) (*ResolvedSweep, error) {
+	return registry.Default().ResolveSpace(spec)
+}
+
+// sweepEngines is the process-wide engine cache the in-process sweep
+// path shares with repeated SweepItems calls: one memoizing engine per
+// canonical spec under singleflight builds, exactly the machinery pakd
+// uses — a second sweep over an overlapping space pays zero rebuilds.
+var sweepEngines = service.NewEngineCache(128)
+
+// SweepItems builds the envelope items for a resolved sweep: one engine
+// per assignment, obtained from the shared in-process engine cache
+// keyed by canonical spec (built through the registry on first use).
+func SweepItems(rs *ResolvedSweep) ([]EnvelopeItem, error) {
+	insts := rs.Instances()
+	items := make([]EnvelopeItem, len(insts))
+	for i, inst := range insts {
+		inst := inst
+		eng, err := sweepEngines.Get(inst.Canonical, func() (*core.Engine, error) {
+			sys, err := registry.Default().Build(inst.Canonical)
+			if err != nil {
+				return nil, err
+			}
+			return core.New(sys), nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		items[i] = EnvelopeItem{
+			Assignment: inst.Assignment.String(),
+			Spec:       inst.Canonical,
+			Engine:     eng,
+		}
+	}
+	return items, nil
+}
+
+// IsEnvelopeSkip reports whether a slot error is a skip (the quantity
+// is undefined under that assignment) rather than a hard failure.
+func IsEnvelopeSkip(err error) bool { return query.IsEnvelopeSkip(err) }
+
+// EnvelopeFailure renders a slot slice's hard failures (neither skips
+// nor context cuts) for error reports, in assignment order.
+func EnvelopeFailure(slots []QueryResult) string { return query.EnvelopeFailure(slots) }
+
+// EvalEnvelope evaluates an envelope to completion (buffered). See
+// EvalBatch's options: WithParallelism bounds the worker pool,
+// WithEvalContext makes the sweep cooperatively cancellable — a
+// deadline mid-sweep yields a sound partial envelope labeled with the
+// visited-assignment count.
+func EvalEnvelope(q EnvelopeQuery, opts ...EvalOption) (EnvelopeOutcome, error) {
+	return query.EvalEnvelope(q, opts...)
+}
+
+// EnvelopeStream evaluates an envelope progressively: one frame per
+// assignment as its worker finishes, each carrying the running
+// envelope, then a terminal frame with the final one.
+func EnvelopeStream(q EnvelopeQuery, opts ...EvalOption) (<-chan EnvelopeFrame, error) {
+	return query.EnvelopeStream(q, opts...)
+}
+
+// EvalSweep is the one-call form: resolve the space against the
+// built-in registry, build (or reuse) the instance engines through the
+// shared cache, and evaluate the inner query's envelope.
+func EvalSweep(spec string, inner Query, opts ...EvalOption) (EnvelopeOutcome, error) {
+	rs, err := ResolveSweep(spec)
+	if err != nil {
+		return EnvelopeOutcome{}, err
+	}
+	items, err := SweepItems(rs)
+	if err != nil {
+		return EnvelopeOutcome{}, err
+	}
+	return EvalEnvelope(EnvelopeQuery{Inner: inner, Items: items}, opts...)
+}
+
+// WithServiceMaxAssignments caps the adversary-space assignments one
+// /v1/envelope request may sweep.
+func WithServiceMaxAssignments(n int) ServiceOption { return service.WithMaxAssignments(n) }
+
+// Envelope wire types, re-exported alongside the other service shapes.
+type (
+	// ServiceEnvelopeRequest is the POST /v1/envelope body: a space
+	// spec plus one query document.
+	ServiceEnvelopeRequest = service.EnvelopeRequest
+	// ServiceEnvelopeResponse is the buffered envelope answer.
+	ServiceEnvelopeResponse = service.EnvelopeResponse
+	// ServiceAssignmentResult is one assignment's slice of the answer.
+	ServiceAssignmentResult = service.AssignmentResult
+	// ServiceEnvelopeResultFrame is one /v1/envelope/stream result line.
+	ServiceEnvelopeResultFrame = service.EnvelopeResultFrame
+	// ServiceEnvelopeStatusFrame is the stream's terminal line.
+	ServiceEnvelopeStatusFrame = service.EnvelopeStatusFrame
+	// EnvelopeRangeDoc is the envelope's wire form (exact RatString
+	// bounds, witness assignments, visited/total accounting).
+	EnvelopeRangeDoc = query.RangeDoc
+)
