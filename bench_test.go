@@ -491,3 +491,60 @@ func BenchmarkEnvelopeSharedCache(b *testing.B) {
 		}
 	})
 }
+
+// BenchmarkEnvelopeSampledPrune compares the exhaustive envelope sweep
+// against the sampled-first sweep over the same space (the
+// BenchmarkEnvelopeSharedCache workload on cold engines, where exact
+// work dominates): the coarse seeded pass estimates every assignment,
+// then exact evaluation runs only where the confidence interval says
+// the envelope could still move. The "pruned" metric counts exact
+// evaluations skipped per op — the work the approximate tier saves,
+// bought at a 1−N·δ (not certain) correctness guarantee. On this small
+// comparator workload (chosen to match BenchmarkEnvelopeSharedCache)
+// the sampling pass costs more than the exact folds it skips; the
+// pruned/op metric is the point — each skip is one full unfold+fold
+// avoided, and that cost grows exponentially in system size while the
+// sampling pass grows only with the run length.
+func BenchmarkEnvelopeSampledPrune(b *testing.B) {
+	const space = "sweep(nsquad,n=3,loss=0..1/2/1/10)"
+	inner := pak.ConstraintQuery{Fact: pak.AllFire(3), Agent: "General", Action: "fire"}
+	rs, err := pak.ResolveSweep(space)
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	// Cold items per iteration: pruning saves unfold + exact fold work,
+	// which warm engine caches would otherwise hide.
+	items := func() []pak.EnvelopeItem {
+		it, err := pak.SweepItems(rs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return it
+	}
+
+	b.Run("exhaustive", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			out, err := pak.EvalEnvelope(pak.EnvelopeQuery{Inner: inner, Items: items()})
+			if err != nil || out.Result.Envelope.Visited != 6 {
+				b.Fatalf("sweep: %v (%+v)", err, out.Result.Envelope)
+			}
+		}
+	})
+
+	b.Run("sampled-first", func(b *testing.B) {
+		spec := pak.ApproxSpec{Samples: 2400, Seed: 21}
+		pruned := 0
+		for i := 0; i < b.N; i++ {
+			out, err := pak.EvalEnvelopeSampled(pak.EnvelopeQuery{Inner: inner, Items: items()}, spec)
+			if err != nil || out.Err != nil {
+				b.Fatalf("sampled sweep: %v / %v", err, out.Err)
+			}
+			if len(out.Pruned) == 0 {
+				b.Fatal("sampled sweep pruned nothing; the benchmark's premise is broken")
+			}
+			pruned += len(out.Pruned)
+		}
+		b.ReportMetric(float64(pruned)/float64(b.N), "pruned/op")
+	})
+}

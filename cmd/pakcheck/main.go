@@ -39,6 +39,8 @@ import (
 	"math/big"
 	"os"
 	"sort"
+	"strconv"
+	"strings"
 
 	"pak"
 	"pak/internal/encode"
@@ -63,6 +65,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	deltaStr := fs.String("delta", "1/10", "δ for the PAK analysis (Theorem 7.1)")
 	parallel := fs.Int("parallel", 0, "EvalBatch workers (0 = GOMAXPROCS)")
 	stream := fs.Bool("stream", false, "with -batch: render each result as it finishes (EvalStream) instead of one final table")
+	approxStr := fs.String("approx", "", `approximate tier, e.g. "eps=1/20,delta=1/100" or "samples=500,seed=3": answer supported queries from a seeded sample first, then refine to exact`)
+	approxOnly := fs.Bool("approx-only", false, "with -approx: skip exact refinement, answer from samples alone")
 	fs.Usage = func() {
 		fmt.Fprintf(stderr, "Usage: pakcheck {-system sys.json | -scenario spec | -sweep space} {-query query.json | -batch queries.json}\n")
 		fmt.Fprintf(stderr, "                [-dump] [-eps 1/10] [-delta 1/10] [-parallel N] [-stream]\n\nFlags:\n")
@@ -94,6 +98,23 @@ Examples:
                                                    stream results in input order
   pakcheck -sweep "sweep(nsquad,loss=0.0..0.5/0.1)" -query q.json
                                                    the constraint's envelope over the loss sweep
+  pakcheck -scenario "nsquad(3)" -batch q.json -approx eps=1/20,delta=1/100
+                                                   approx-first: seeded estimates with exact-
+                                                   rational CIs, refined to exact (ciCovered)
+  pakcheck -sweep "sweep(nsquad,loss=0..1/2/1/10)" -query q.json -approx samples=2400,seed=21
+                                                   sampled-first sweep: exact evaluation only
+                                                   where an assignment's CI could still move
+                                                   the envelope (pruned assignments listed)
+
+-approx enables the approximate tier: supported queries (constraint,
+expectation, threshold, belief-at-local) answer first from a seeded
+Monte-Carlo sample with an exact-rational Hoeffding interval, then
+refine to the exact value; the report marks whether the exact value
+landed inside the interval (ciCovered). Keys: eps, delta (rationals),
+samples, seed (integers). Same seed and budget => byte-identical
+estimates. With -sweep, -approx switches to the sampled-first envelope:
+assignments whose interval cannot reach the running min/max are pruned
+without exact evaluation (correct with probability >= 1 - N*delta).
 `)
 	}
 	if err := fs.Parse(args); err != nil {
@@ -118,6 +139,19 @@ Examples:
 		fmt.Fprintln(stderr, "pakcheck: -sweep always renders progressively; -stream applies to -batch only")
 		return 2
 	}
+	if *approxOnly && *approxStr == "" {
+		fmt.Fprintln(stderr, "pakcheck: -approx-only requires -approx")
+		return 2
+	}
+	approxSpec, err := parseApproxFlag(*approxStr, *approxOnly)
+	if err != nil {
+		fmt.Fprintf(stderr, "pakcheck: -approx: %v\n", err)
+		return 2
+	}
+	if approxSpec != nil && *sweepSpec == "" && *batchPath == "" {
+		fmt.Fprintln(stderr, "pakcheck: -approx applies to -batch and -sweep (the -query battery always reports exact values)")
+		return 2
+	}
 
 	if *sweepSpec != "" {
 		inner, err := sweepInnerQuery(*queryPath, *batchPath)
@@ -128,6 +162,13 @@ Examples:
 		opts := []pak.EvalOption{}
 		if *parallel > 0 {
 			opts = append(opts, pak.WithParallelism(*parallel))
+		}
+		if approxSpec != nil {
+			if err := sweepRunSampled(stdout, *sweepSpec, inner, *approxSpec, opts); err != nil {
+				fmt.Fprintf(stderr, "pakcheck: %v\n", err)
+				return 1
+			}
+			return 0
 		}
 		if err := sweepRun(stdout, *sweepSpec, inner, opts); err != nil {
 			fmt.Fprintf(stderr, "pakcheck: %v\n", err)
@@ -175,6 +216,9 @@ Examples:
 	if *parallel > 0 {
 		opts = append(opts, pak.WithParallelism(*parallel))
 	}
+	if approxSpec != nil {
+		opts = append(opts, pak.WithApprox(*approxSpec))
+	}
 
 	if *batchPath != "" {
 		data, readErr := os.ReadFile(*batchPath)
@@ -188,7 +232,7 @@ Examples:
 			return 1
 		}
 		if *stream {
-			if err := streamBatch(stdout, sys, qs, opts); err != nil {
+			if err := streamBatch(stdout, sys, qs, approxSpec, opts); err != nil {
 				fmt.Fprintf(stderr, "pakcheck: %v\n", err)
 				return 1
 			}
@@ -324,14 +368,71 @@ func analyze(w io.Writer, sys *pak.System, q encode.Query, fact pak.Fact, eps, d
 	return nil
 }
 
+// parseApproxFlag parses the -approx value: comma-separated key=value
+// pairs with keys eps, delta (rationals) and samples, seed (integers).
+// An empty value means the tier is off (nil spec).
+func parseApproxFlag(s string, only bool) (*pak.ApproxSpec, error) {
+	if s == "" {
+		return nil, nil
+	}
+	spec := pak.ApproxSpec{Only: only}
+	for _, kv := range strings.Split(s, ",") {
+		key, val, found := strings.Cut(strings.TrimSpace(kv), "=")
+		if !found || val == "" {
+			return nil, fmt.Errorf("expected key=value, got %q", kv)
+		}
+		switch key {
+		case "eps":
+			r, err := ratutil.Parse(val)
+			if err != nil {
+				return nil, fmt.Errorf("eps: %w", err)
+			}
+			spec.Eps = r
+		case "delta":
+			r, err := ratutil.Parse(val)
+			if err != nil {
+				return nil, fmt.Errorf("delta: %w", err)
+			}
+			spec.Delta = r
+		case "samples":
+			n, err := strconv.Atoi(val)
+			if err != nil {
+				return nil, fmt.Errorf("samples: %w", err)
+			}
+			spec.Samples = n
+		case "seed":
+			n, err := strconv.ParseInt(val, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("seed: %w", err)
+			}
+			spec.Seed = n
+		default:
+			return nil, fmt.Errorf("unknown key %q (have eps, delta, samples, seed)", key)
+		}
+	}
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	return &spec, nil
+}
+
+// estimateStr renders a sampled estimate's interval and provenance.
+func estimateStr(est *pak.QueryEstimate) string {
+	return fmt.Sprintf("∈ [%s, %s] (n=%d of %d, seed=%d)",
+		est.Lo.RatString(), est.Hi.RatString(), est.N, est.Samples, est.Seed)
+}
+
 // streamBatch evaluates an explicit query list through EvalStream,
 // printing each result the moment its worker finishes — progressive
 // rendering for huge batches, where the final table would otherwise
 // arrive all at once at the end. Lines carry the query's batch index
 // (completion order and input order coincide under -parallel 1), and
 // the terminal frame reports how the stream ended, deadline truncation
-// included.
-func streamBatch(w io.Writer, sys *pak.System, qs []pak.Query, opts []pak.EvalOption) error {
+// included. Under -approx supported queries print two lines — the
+// sampled estimate (stage "approx"), then the refined exact value with
+// its ciCovered self-check — and only final frames count toward the
+// progress tally.
+func streamBatch(w io.Writer, sys *pak.System, qs []pak.Query, approx *pak.ApproxSpec, opts []pak.EvalOption) error {
 	fmt.Fprintf(w, "Streaming %d queries over %s\n", len(qs), sys)
 	done, failed := 0, 0
 	for f := range pak.EvalStream(pak.NewEngine(sys), qs, opts...) {
@@ -340,11 +441,24 @@ func streamBatch(w io.Writer, sys *pak.System, qs []pak.Query, opts []pak.EvalOp
 				f.Status, done, len(qs), failed)
 			break
 		}
-		done++
 		res := f.Result
+		// An approx frame is the slot's final answer only in -approx-only
+		// mode (or when a deadline cuts refinement, which the terminal
+		// status reports); otherwise the exact frame follows.
+		final := f.Stage != pak.StageApprox || (approx != nil && approx.Only)
+		if final {
+			done++
+		}
+		stage := ""
+		if f.Stage != "" {
+			stage = fmt.Sprintf(" %-6s", "["+string(f.Stage)+"]")
+		}
+		tally := fmt.Sprintf("[%d/%d]", done, len(qs))
 		if res.Err != nil {
-			failed++
-			fmt.Fprintf(w, "[%d/%d] #%d %s ERROR %v\n", done, len(qs), f.Index, res.Kind, res.Err)
+			if final {
+				failed++
+			}
+			fmt.Fprintf(w, "%s%s #%d %s ERROR %v\n", tally, stage, f.Index, res.Kind, res.Err)
 			continue
 		}
 		value := "-"
@@ -355,7 +469,13 @@ func streamBatch(w io.Writer, sys *pak.System, qs []pak.Query, opts []pak.EvalOp
 		if verdictStr == "" {
 			verdictStr = "-"
 		}
-		fmt.Fprintf(w, "[%d/%d] #%d %s %s %s %s\n", done, len(qs), f.Index, res.Kind, value, verdictStr, res.Detail)
+		detail := res.Detail
+		if f.Stage == pak.StageApprox && res.Estimate != nil {
+			detail = estimateStr(res.Estimate)
+		} else if f.Stage == pak.StageExact && res.Estimate != nil {
+			detail += fmt.Sprintf(" ciCovered=%v", res.Flags[pak.FlagCICovered])
+		}
+		fmt.Fprintf(w, "%s%s #%d %s %s %s %s\n", tally, stage, f.Index, res.Kind, value, verdictStr, detail)
 	}
 	if failed > 0 {
 		return fmt.Errorf("%d of %d queries failed", failed, len(qs))
@@ -384,6 +504,15 @@ func analyzeBatch(w io.Writer, sys *pak.System, qs []pak.Query, opts []pak.EvalO
 		detail := res.Detail
 		if res.Witness != nil {
 			detail += fmt.Sprintf(" witness=%d runs", res.Witness.Count())
+		}
+		if res.Estimate != nil {
+			// The sampled interval rides along; refined results add the
+			// self-check (a false ciCovered is the δ-probability miss),
+			// approx-only results stand on the estimate alone.
+			detail = fmt.Sprintf("estimate %s %s", res.Estimate.P.RatString(), estimateStr(res.Estimate))
+			if covered, refined := res.Flags[pak.FlagCICovered]; refined {
+				detail += fmt.Sprintf(" ciCovered=%v", covered)
+			}
 		}
 		tb.AddRow(i, res.Kind, value, verdictStr, detail)
 	}
@@ -482,6 +611,82 @@ func sweepRun(w io.Writer, spec string, inner pak.Query, opts []pak.EvalOption) 
 			done, len(items), f.Index, f.Assignment, value, env)
 	}
 	return fmt.Errorf("sweep ended without a terminal frame")
+}
+
+// sweepRunSampled is the sampled-first sweep: a coarse seeded pass
+// estimates the query under every assignment, exact evaluation runs
+// only where an assignment's confidence interval could still attain the
+// envelope's min or max, and the pruned assignments are reported rather
+// than exactly evaluated — correct with probability ≥ 1 − N·δ.
+func sweepRunSampled(w io.Writer, spec string, inner pak.Query, approx pak.ApproxSpec, opts []pak.EvalOption) error {
+	sw, err := pak.ResolveSweep(spec)
+	if err != nil {
+		return err
+	}
+	items, err := pak.SweepItems(sw)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "Sampled-first sweep of %s: %d assignments of %q\n", sw.Canonical(), len(items), inner)
+	out, err := pak.EvalEnvelopeSampled(pak.EnvelopeQuery{Inner: inner, Items: items}, approx, opts...)
+	if err != nil {
+		return err
+	}
+	if out.Estimates == nil {
+		fmt.Fprintln(w, "query not approximable: fell back to the exhaustive sweep")
+	}
+	pruned := make(map[string]bool, len(out.Pruned))
+	for _, a := range out.Pruned {
+		pruned[a] = true
+	}
+	for i, item := range items {
+		line := "-"
+		switch {
+		case out.Estimates != nil && out.Estimates[i] != nil:
+			est := out.Estimates[i]
+			line = fmt.Sprintf("%s %s", est.P.RatString(), estimateStr(est))
+		case out.Estimates != nil:
+			line = "estimate failed (kept for exact evaluation)"
+		}
+		mark := ""
+		if pruned[item.Assignment] {
+			mark = "  PRUNED (interval cannot reach the envelope)"
+		}
+		fmt.Fprintf(w, "[%d/%d] %-24s %s%s\n", i+1, len(items), item.Assignment, line, mark)
+	}
+
+	env := out.Range
+	tb := report.NewTable("quantity", "value")
+	tb.AddRow("space", sw.Canonical())
+	if env.Defined() {
+		tb.AddRow("min", fmt.Sprintf("%s ≈ %s", env.Min.RatString(), env.Min.FloatString(6)))
+		tb.AddRow("min at", env.ArgMin)
+		tb.AddRow("max", fmt.Sprintf("%s ≈ %s", env.Max.RatString(), env.Max.FloatString(6)))
+		tb.AddRow("max at", env.ArgMax)
+	} else {
+		tb.AddRow("envelope", "undefined (no assignment produced a value)")
+	}
+	tb.AddRow("exactly evaluated", fmt.Sprintf("%d/%d assignments", env.Visited, env.Total))
+	tb.AddRow("pruned by sampling", fmt.Sprintf("%d: %v", len(out.Pruned), out.Pruned))
+	if len(env.Skipped) > 0 {
+		tb.AddRow("skipped", fmt.Sprintf("%d: %v", len(env.Skipped), env.Skipped))
+	}
+	tb.AddRow("ended", string(out.Status))
+	if out.Estimates != nil {
+		tb.AddRow("confidence", fmt.Sprintf("correct w.p. ≥ 1 − %d·δ (δ per estimate)", len(items)))
+	}
+	fmt.Fprint(w, report.Section("Adversary envelope (sampled-first)", tb.Render()))
+
+	if out.Status != pak.StreamComplete {
+		return fmt.Errorf("sweep %s after %d of %d assignments: the envelope is partial", out.Status, env.Visited, env.Total)
+	}
+	if out.Err != nil {
+		return out.Err
+	}
+	if !env.Defined() {
+		return fmt.Errorf("envelope undefined: the query produced no value under any of the %d assignments", len(items))
+	}
+	return nil
 }
 
 // renderEnvelope prints the final envelope table and maps the sweep's

@@ -307,6 +307,162 @@ func TestRunStreamRequiresBatch(t *testing.T) {
 	}
 }
 
+// TestRunBatchApprox: -approx answers the batch approx-first; the
+// refined table carries each estimate's interval and the ciCovered
+// self-check, and the fixed samples+seed make the output deterministic.
+func TestRunBatchApprox(t *testing.T) {
+	systemPath, batchPath := writeBatchFixture(t)
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-system", systemPath, "-batch", batchPath,
+		"-approx", "samples=200,seed=5", "-parallel", "1"}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit code %d, stderr: %s", code, stderr.String())
+	}
+	out := stdout.String()
+	for _, want := range []string{
+		"99/100",         // the exact value still wins the value column
+		"estimate",       // the interval rides along
+		"of 200, seed=",  // provenance
+		"ciCovered=true", // the self-check (deterministic for this seed)
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("approx batch output missing %q:\n%s", want, out)
+		}
+	}
+
+	// Same seed and budget ⇒ byte-identical output, serial or parallel.
+	var again bytes.Buffer
+	if code := run([]string{"-system", systemPath, "-batch", batchPath,
+		"-approx", "samples=200,seed=5", "-parallel", "4"}, &again, &stderr); code != 0 {
+		t.Fatalf("parallel rerun exited %d: %s", code, stderr.String())
+	}
+	if again.String() != out {
+		t.Error("approx batch output differs between serial and parallel runs")
+	}
+}
+
+// TestRunStreamApprox: under -stream -approx each supported slot prints
+// its sampled estimate strictly before its refined exact line, and only
+// final frames advance the progress tally.
+func TestRunStreamApprox(t *testing.T) {
+	systemPath, batchPath := writeBatchFixture(t)
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-system", systemPath, "-batch", batchPath, "-stream",
+		"-approx", "eps=1/10,delta=1/100,seed=11", "-parallel", "1"}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit code %d, stderr: %s", code, stderr.String())
+	}
+	out := stdout.String()
+	approxAt := strings.Index(out, "[approx] #0 constraint")
+	exactAt := strings.Index(out, "[exact] #0 constraint")
+	if approxAt < 0 || exactAt < 0 || approxAt > exactAt {
+		t.Errorf("slot 0 does not stream approx before exact:\n%s", out)
+	}
+	for _, want := range []string{
+		"ciCovered=true",
+		"stream complete: 4 of 4 queries evaluated, 0 failed",
+		// Unsupported kinds keep their single exact line.
+		"[exact] #2 theorem",
+		"[exact] #3 independence",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("approx stream output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "[approx] #2") || strings.Contains(out, "[approx] #3") {
+		t.Errorf("unsupported kinds must not emit approx lines:\n%s", out)
+	}
+}
+
+// TestRunApproxOnly: -approx-only answers from samples alone — no
+// refinement, no self-check.
+func TestRunApproxOnly(t *testing.T) {
+	systemPath, batchPath := writeBatchFixture(t)
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-system", systemPath, "-batch", batchPath,
+		"-approx", "samples=200,seed=5", "-approx-only", "-parallel", "1"}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit code %d, stderr: %s", code, stderr.String())
+	}
+	out := stdout.String()
+	if !strings.Contains(out, "estimate") {
+		t.Errorf("approx-only output has no estimates:\n%s", out)
+	}
+	if strings.Contains(out, "ciCovered") {
+		t.Errorf("approx-only output claims a self-check that never ran:\n%s", out)
+	}
+}
+
+// TestRunSweepSampled: -sweep with -approx runs the sampled-first
+// envelope — the bench-pinned configuration prunes two interior
+// assignments whose intervals cannot reach the envelope, and the exact
+// bounds still match the exhaustive sweep's.
+func TestRunSweepSampled(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "q3.json")
+	doc := `{
+		"agent": "General",
+		"action": "fire",
+		"fact": {"op":"and","args":[
+			{"op":"does","agent":"General","action":"fire"},
+			{"op":"does","agent":"s1","action":"fire"},
+			{"op":"does","agent":"s2","action":"fire"}]}
+	}`
+	if err := os.WriteFile(path, []byte(doc), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-sweep", "sweep(nsquad,n=3,loss=0..1/2/1/10)",
+		"-query", path, "-approx", "samples=2400,seed=21", "-parallel", "1"}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr.String())
+	}
+	out := stdout.String()
+	for _, want := range []string{
+		"Sampled-first sweep",
+		"PRUNED (interval cannot reach the envelope)",
+		"9/16 ≈ 0.562500", // exact min, from the exact pass over survivors
+		"min at",
+		"loss=1/2",
+		"exactly evaluated",
+		"4/6 assignments",
+		"pruned by sampling",
+		"complete",
+		"correct w.p.",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("sampled sweep output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestRunApproxFlagErrors: the -approx grammar and its mode
+// restrictions fail fast as usage errors.
+func TestRunApproxFlagErrors(t *testing.T) {
+	systemPath, queryPath := writeFixtures(t)
+	_, batchPath := writeBatchFixture(t)
+	cases := []struct {
+		name string
+		args []string
+	}{
+		{"approx with -query battery", []string{"-system", systemPath, "-query", queryPath, "-approx", "samples=100"}},
+		{"approx-only without approx", []string{"-system", systemPath, "-batch", batchPath, "-approx-only"}},
+		{"not key=value", []string{"-system", systemPath, "-batch", batchPath, "-approx", "samples"}},
+		{"unknown key", []string{"-system", systemPath, "-batch", batchPath, "-approx", "nope=1"}},
+		{"bad eps", []string{"-system", systemPath, "-batch", batchPath, "-approx", "eps=zzz"}},
+		{"bad samples", []string{"-system", systemPath, "-batch", batchPath, "-approx", "samples=many"}},
+		{"no budget", []string{"-system", systemPath, "-batch", batchPath, "-approx", "delta=1/100"}},
+		{"delta out of range", []string{"-system", systemPath, "-batch", batchPath, "-approx", "samples=100,delta=2"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var stdout, stderr bytes.Buffer
+			if code := run(tc.args, &stdout, &stderr); code != 2 {
+				t.Errorf("exit code = %d, want 2 (stderr: %s)", code, stderr.String())
+			}
+		})
+	}
+}
+
 // writeSweepQuery materializes the nsquad constraint document the sweep
 // tests share.
 func writeSweepQuery(t *testing.T) string {

@@ -18,11 +18,24 @@
 //	GET  /v1/scenarios/{name}  one scenario's metadata
 //	POST /v1/eval              evaluate a query-batch document (the format
 //	                           of pak.ParseQueryBatch / pakrand -batch)
-//	                           against one or more named systems
+//	                           against one or more named systems; an
+//	                           optional "approx" object ({"eps": "1/10",
+//	                           "delta": "1/100"} or {"samples": N},
+//	                           "seed", "only") answers supported queries
+//	                           approx-first — each refined result carries
+//	                           its seeded estimate (exact-rational
+//	                           confidence interval) and a ciCovered
+//	                           self-check, and a deadline mid-refinement
+//	                           returns the standing estimates as a sound
+//	                           504 payload
 //	POST /v1/eval/stream       the same request, answered as an NDJSON
 //	                           stream: one result frame per query the
 //	                           moment it finishes, closed by a terminal
-//	                           status frame (complete|deadline|cancelled)
+//	                           status frame (complete|deadline|cancelled);
+//	                           under "approx" each supported slot emits
+//	                           its estimate frame (stage "approx")
+//	                           strictly before its refined frame (stage
+//	                           "exact")
 //	POST /v1/envelope          evaluate ONE query's min/max envelope over
 //	                           an adversary space: {"space":
 //	                           "sweep(nsquad,loss=0.0..0.5/0.1)",
@@ -101,6 +114,9 @@ Examples:
   curl -s localhost:8371/v1/eval -d '{"systems":["fsquad","nsquad(3)"],"queries":[...]}'
   curl -s localhost:8371/v1/envelope -d '{"space":"sweep(nsquad,loss=0.0..0.5/0.1)","query":{...}}'
                                   a constraint's min/max envelope over the loss sweep
+  curl -s localhost:8371/v1/eval -d '{"systems":["nsquad(3)"],"queries":[...],"approx":{"eps":"1/10","delta":"1/100","seed":7}}'
+                                  approx-first: seeded estimates with exact-rational
+                                  confidence intervals, refined to exact in one response
   go run ./cmd/pakload -url http://localhost:8371 -mix envelope -duration 30s
                                   drive the envelope endpoints with the load harness
 `)

@@ -8,9 +8,10 @@
 //
 // Usage:
 //
-//	pakload [-url http://host:8371] [-mix squad|mixed|heavy|stream|envelope]
+//	pakload [-url http://host:8371] [-mix squad|mixed|heavy|stream|envelope|approx]
 //	        [-c 8] [-n 200] [-duration 0] [-timeout 30s] [-seed 1]
-//	        [-engine-cache 8] [-eval-timeout 0] [-out report.json]
+//	        [-engine-cache 8] [-eval-timeout 0] [-stats-interval 0]
+//	        [-out report.json]
 //
 // The "envelope" mix drives the adversary-sweep endpoints: buffered
 // /v1/envelope requests (fully visited envelopes on 200) and
@@ -18,6 +19,18 @@
 // (hole-free assignment indices, running envelopes, a terminal frame
 // whose final envelope accounts for every finished slot), plus the
 // sweep grammar's deliberate 4xx probes.
+//
+// The "approx" mix drives the approximate tier: /v1/eval with the
+// "approx" knob (seeded estimates attached to refined results) and
+// /v1/eval/stream under the approx frame contract — per slot an approx
+// frame (carrying its exact-rational confidence interval) strictly
+// before the exact frame, approx-only requests answered by estimates
+// alone — plus the bad-spec 4xx probes.
+//
+// -stats-interval enables soak mode: the run samples the target's GET
+// /v1/stats on that cadence and records the trajectory (engine-cache
+// hit/miss/eviction counters over time) under "statsTrajectory" in the
+// report, so a long -duration run shows how the cache converges.
 //
 // Without -url, pakload starts an in-process pakd over the built-in
 // registry (engine cache bounded by -engine-cache, per-request deadline
@@ -62,6 +75,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	seed := fs.Int64("seed", 1, "mix-sequence seed (deterministic per worker)")
 	engineCache := fs.Int("engine-cache", 8, "in-process server: engine-cache bound (0 = unbounded)")
 	evalTimeout := fs.Duration("eval-timeout", 0, "in-process server: per-request eval deadline (0 = none)")
+	statsInterval := fs.Duration("stats-interval", 0, "soak mode: sample GET /v1/stats on this cadence into the report (0 = off)")
 	out := fs.String("out", "-", "report destination ('-' = stdout)")
 	fs.Usage = func() {
 		fmt.Fprintf(stderr, "Usage: pakload [-url URL] [-mix %s] [-c N] [-n N | -duration D] [-out report.json]\n\nFlags:\n",
@@ -75,6 +89,12 @@ Examples:
                                             frame validation (set, no holes, terminal)
   pakload -mix envelope -n 200              drive /v1/envelope[/stream]: adversary
                                             sweeps with envelope frame validation
+  pakload -mix approx -n 200                drive the approximate tier: seeded
+                                            estimates first, exact refinements after,
+                                            validated per slot on the wire
+  pakload -mix approx -duration 30s -stats-interval 1s
+                                            soak: record the engine-cache counter
+                                            trajectory alongside the latency report
   pakload -url http://localhost:8371 -mix mixed -duration 30s
                                             drive a live pakd for 30s, 4xx probes included
   pakload -n 100 -out report.json           write the JSON report to a file
@@ -112,13 +132,14 @@ records the server's engine-cache counters under "serverStats".
 	}
 
 	rep, err := load.Run(context.Background(), load.Config{
-		BaseURL:     strings.TrimSuffix(target, "/"),
-		Concurrency: *concurrency,
-		Requests:    *requests,
-		Duration:    *duration,
-		Timeout:     *timeout,
-		Seed:        *seed,
-		Mix:         mix,
+		BaseURL:       strings.TrimSuffix(target, "/"),
+		Concurrency:   *concurrency,
+		Requests:      *requests,
+		Duration:      *duration,
+		Timeout:       *timeout,
+		Seed:          *seed,
+		Mix:           mix,
+		StatsInterval: *statsInterval,
 	})
 	if err != nil {
 		fmt.Fprintf(stderr, "pakload: %v\n", err)

@@ -60,6 +60,34 @@ func TestPakloadReportFile(t *testing.T) {
 	}
 }
 
+// TestPakloadApproxMixSoak: the approx mix validates approximate-tier
+// streams end to end (approx frames strictly before exact, estimates on
+// the wire), and -stats-interval records the engine-cache trajectory in
+// the report.
+func TestPakloadApproxMixSoak(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-n", "30", "-c", "4", "-mix", "approx", "-seed", "3",
+		"-stats-interval", "10ms"}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr.String())
+	}
+	var rep load.Report
+	if err := json.Unmarshal(stdout.Bytes(), &rep); err != nil {
+		t.Fatalf("stdout is not a report: %v\n%s", err, stdout.String())
+	}
+	if rep.Total != 30 || rep.OK != 30 {
+		t.Errorf("report totals: %d requests, %d ok, errors=%v", rep.Total, rep.OK, rep.Errors)
+	}
+	if len(rep.StatsTrajectory) == 0 {
+		t.Error("soak mode recorded no stats trajectory")
+	}
+	for i, s := range rep.StatsTrajectory {
+		if s.Error == "" && !strings.Contains(string(s.Stats), "engineCache") {
+			t.Errorf("trajectory[%d] lacks cache counters: %s", i, s.Stats)
+		}
+	}
+}
+
 // TestPakloadBadFlags: unusable invocations exit 2 with usage guidance.
 func TestPakloadBadFlags(t *testing.T) {
 	cases := [][]string{

@@ -13,7 +13,7 @@
 //
 //	pakrand [-seed 1] [-agents 2] [-depth 4] [-branch 3] [-obs 2]
 //	        [-action-time 2] [-det] [-out sys.json] [-query query.json]
-//	        [-batch batch.json] [-selfcheck]
+//	        [-batch batch.json] [-selfcheck] [-ci-check N]
 //
 // With no -out the system document is written to stdout and the query
 // files are omitted. -query writes the single-constraint document the
@@ -23,6 +23,10 @@
 // batch on the generated system through EvalStream, rendering each
 // verdict the moment it is known and reporting pass/fail, making
 // pakrand a one-shot property tester with progressive output.
+// -ci-check N audits the approximate tier on the generated system: N
+// seeded trials of the battery's approximable queries, each exact value
+// checked against its sampled confidence interval, with the miss rate
+// held to the Hoeffding guarantee's δ allowance.
 package main
 
 import (
@@ -54,6 +58,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	queryPath := fs.String("query", "", "also write a matching single-constraint pakcheck query to this file")
 	batchPath := fs.String("batch", "", "also write a matching query-batch spec to this file")
 	selfcheck := fs.Bool("selfcheck", false, "evaluate the generated batch on the generated system via EvalBatch")
+	ciCheck := fs.Int("ci-check", 0, "audit the approximate tier's CI coverage: N seeded trials of the battery's approximable queries, exact value checked against each interval (0 = off)")
 	fs.Usage = func() {
 		fmt.Fprintf(stderr, "Usage: pakrand [-seed 1] [-agents 2] [-depth 4] [-branch 3] [-obs 2]\n")
 		fmt.Fprintf(stderr, "               [-action-time 2] [-det] [-out sys.json] [-query query.json]\n")
@@ -68,6 +73,10 @@ Examples:
   pakrand -out sys.json -query query.json    a system + matching pakcheck query
   pakrand -batch batch.json                  also write a full query-batch spec
   pakrand -seed 7 -selfcheck                 generate, evaluate the batch, verify verdicts
+  pakrand -seed 7 -ci-check 20               audit the approximate tier: 20 seeded trials,
+                                             each exact value checked against its sampled
+                                             confidence interval (miss rate must stay
+                                             within the Hoeffding guarantee's allowance)
 `)
 	}
 	if err := fs.Parse(args); err != nil {
@@ -174,6 +183,72 @@ Examples:
 			}
 			fmt.Fprintf(stdout, "selfcheck: %d queries evaluated, all verdicts pass\n", done)
 		}
+	}
+	if *ciCheck > 0 {
+		if code := runCICheck(stdout, stderr, sys, *agents, *seed, *ciCheck); code != 0 {
+			return code
+		}
+	}
+	return 0
+}
+
+// runCICheck audits the approximate tier's headline guarantee on the
+// generated system: over trials seeded evaluations of the battery's
+// approximable queries (δ = 1/100 per estimate), the exact value must
+// land inside each sampled confidence interval except for a δ-rate
+// allowance — and the ciCovered flag the refined results carry must
+// agree with the interval check. Everything is deterministic given
+// -seed, so a pass is reproducible and a failure is a bug report:
+// either the Hoeffding radius under-covers (unsound rounding) or the
+// self-check wiring lies.
+func runCICheck(stdout, stderr io.Writer, sys *pak.System, agents int, seed int64, trials int) int {
+	var qs []pak.Query
+	for _, q := range analysisBatch(agents) {
+		if pak.CanApprox(q) {
+			qs = append(qs, q)
+		}
+	}
+	e := pak.NewEngine(sys)
+	misses, total := 0, 0
+	for trial := 0; trial < trials; trial++ {
+		spec := pak.ApproxSpec{Samples: 150, Seed: seed*1000 + int64(trial) + 1}
+		results, err := pak.EvalBatch(e, qs, pak.WithApprox(spec))
+		if err != nil {
+			fmt.Fprintf(stderr, "pakrand: ci-check trial %d: %v\n", trial, err)
+			return 1
+		}
+		for i, res := range results {
+			est := res.Estimate
+			if est == nil {
+				fmt.Fprintf(stderr, "pakrand: ci-check trial %d: query %d carries no estimate\n", trial, i)
+				return 1
+			}
+			total++
+			covered := est.Contains(res.Value)
+			if flagged, ok := res.Flags[pak.FlagCICovered]; !ok || flagged != covered {
+				fmt.Fprintf(stderr, "pakrand: ci-check trial %d: query %d ciCovered flag disagrees with the interval\n", trial, i)
+				return 1
+			}
+			if !covered {
+				misses++
+				fmt.Fprintf(stdout, "ci-check miss (trial %d, query %d): exact %s outside [%s, %s]\n",
+					trial, i, res.Value.RatString(), est.Lo.RatString(), est.Hi.RatString())
+			}
+		}
+	}
+	// δ = 1/100 per estimate; allow triple the expected miss count (and
+	// never fail on a single miss) so an honest δ-rate tail can't flip a
+	// deterministic audit that future seeds re-run.
+	allowance := total * 3 / 100
+	if allowance < 1 {
+		allowance = 1
+	}
+	fmt.Fprintf(stdout, "ci-check: %d of %d intervals covered the exact value (%d misses, allowance %d)\n",
+		total-misses, total, misses, allowance)
+	if misses > allowance {
+		fmt.Fprintf(stderr, "pakrand: ci-check: %d misses exceed the allowance %d — the claimed (ε,δ) guarantee does not hold\n",
+			misses, allowance)
+		return 1
 	}
 	return 0
 }

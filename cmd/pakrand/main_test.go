@@ -119,6 +119,42 @@ func TestRunUnwritablePaths(t *testing.T) {
 	}
 }
 
+// TestRunCICheck: -ci-check audits the approximate tier on the
+// generated system — every trial's exact values against their sampled
+// intervals, deterministic given the seed, and the rendered tally
+// accounts for trials × approximable queries.
+func TestRunCICheck(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-seed", "7", "-ci-check", "10"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit %d: %s", code, stderr.String())
+	}
+	out := stdout.String()
+	// The battery has 3 approximable queries (constraint, expectation,
+	// threshold), so 10 trials audit 30 intervals.
+	if !strings.Contains(out, "of 30 intervals covered the exact value") {
+		t.Errorf("ci-check tally missing or wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "allowance") {
+		t.Errorf("ci-check summary does not state its allowance:\n%s", out)
+	}
+
+	// Deterministic given -seed: a rerun renders byte-identical output.
+	var again bytes.Buffer
+	if code := run([]string{"-seed", "7", "-ci-check", "10"}, &again, &stderr); code != 0 {
+		t.Fatalf("rerun exited %d: %s", code, stderr.String())
+	}
+	if again.String() != stdout.String() {
+		t.Error("ci-check output differs across reruns with one seed")
+	}
+
+	// A second generation seed exercises a different system shape and
+	// must still hold the guarantee.
+	var other bytes.Buffer
+	if code := run([]string{"-seed", "23", "-agents", "3", "-ci-check", "5"}, &other, &stderr); code != 0 {
+		t.Fatalf("seed 23 audit exited %d: %s", code, stderr.String())
+	}
+}
+
 // TestRunSelfcheckProgressive: -selfcheck streams the battery serially,
 // rendering one deterministic line per verdict before the summary.
 func TestRunSelfcheckProgressive(t *testing.T) {

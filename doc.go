@@ -56,11 +56,27 @@
 //     sound under deadlines (visited/total labeled), engines shared
 //     through the same cache as every other request; MetricQuery sweeps
 //     opaque in-process metrics;
+//   - the approximate tier: WithApprox(ApproxSpec{...}) answers
+//     supported queries (CanApprox: constraint, expectation, threshold,
+//     belief-at-local) approx-first — a seeded, deterministic sampled
+//     estimate with an exact-rational Hoeffding confidence interval
+//     (QueryEstimate, stage StageApprox) streamed strictly before the
+//     refined exact result (stage StageExact, carrying the estimate and
+//     a ciCovered self-check); Only skips refinement, a deadline
+//     mid-refinement leaves the estimate standing as the slot's sound
+//     answer, and the same seed and budget produce byte-identical
+//     estimates at any parallelism; EvalEnvelopeSampled is the
+//     sampled-first sweep — exact evaluation only where an assignment's
+//     interval could still attain the envelope, the rest pruned
+//     (correct w.p. >= 1 − N·Delta);
 //   - the service: ServiceHandler/NewService expose the registry and the
 //     query layer over HTTP/JSON (what cmd/pakd serves) — named systems,
 //     query-batch documents, cross-system fan-out, an NDJSON streaming
 //     endpoint (/v1/eval/stream: one result frame per query the moment
-//     it finishes, golden-pinned frame shapes), adversary envelopes
+//     it finishes, golden-pinned frame shapes; an "approx" request knob
+//     turns any eval approx-first, estimate frames before exact frames,
+//     with the sampling model memoized beside the engine), adversary
+//     envelopes
 //     (/v1/envelope and /v1/envelope/stream: a query's exact [min, max]
 //     over a sweep(...) space, witness assignments included) and
 //     engine-cache stats (/v1/stats) — hardened for sustained traffic:

@@ -67,6 +67,15 @@ type Scenario struct {
 	// deadline/cancelled); for a buffered /v1/envelope 200 body, a fully
 	// visited envelope. Violations classify as "bad_stream".
 	CheckEnvelope bool `json:"checkEnvelope,omitempty"`
+	// CheckApproxStream requires the response body to be a well-formed
+	// approximate-tier NDJSON stream: slots may emit up to two frames
+	// (stage "approx" strictly before stage "exact", never duplicated),
+	// hole-free slot coordinates, approx frames carrying estimates, and
+	// the deadline contract — a slot whose stream was cut after its
+	// approx frame keeps the estimate as a clean final answer.
+	// ExpectFrames then counts SLOTS, not frames (a slot's frame count
+	// is 1 or 2 by design). Violations classify as "bad_stream".
+	CheckApproxStream bool `json:"checkApproxStream,omitempty"`
 }
 
 // Config parameterizes one load run.
@@ -90,6 +99,12 @@ type Config struct {
 	Seed int64
 	// Mix is the weighted scenario set (required).
 	Mix []Scenario
+	// StatsInterval, when positive, samples the target's GET /v1/stats
+	// every interval for the run's duration (soak mode): the report then
+	// carries the cache hit/miss trajectory, not just the final
+	// snapshot, so a soak run shows warmup, steady state and eviction
+	// churn over time.
+	StatsInterval time.Duration
 }
 
 // Report is the JSON-serializable outcome of one run.
@@ -128,6 +143,22 @@ type Report struct {
 	// server's engine-cache counters after the run — the soak-mode
 	// accounting ROADMAP asked for (see FetchServerStats).
 	ServerStats json.RawMessage `json:"serverStats,omitempty"`
+
+	// StatsTrajectory is the periodic GET /v1/stats samples recorded
+	// when Config.StatsInterval is set, in capture order: the cache
+	// counters' evolution across the run.
+	StatsTrajectory []StatsSample `json:"statsTrajectory,omitempty"`
+}
+
+// StatsSample is one soak-mode stats capture.
+type StatsSample struct {
+	// AtMS is the capture time relative to the run start.
+	AtMS float64 `json:"atMs"`
+	// Stats is the GET /v1/stats document verbatim; Error records a
+	// failed capture instead (the trajectory keeps its cadence either
+	// way).
+	Stats json.RawMessage `json:"stats,omitempty"`
+	Error string          `json:"error,omitempty"`
 }
 
 // FetchServerStats reads the target's GET /v1/stats document so a
@@ -249,12 +280,17 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 		}
 	}
 
-	runCtx := ctx
+	// runCtx is always cancellable (not only under a Duration budget) so
+	// the soak-mode stats sampler has a reliable stop signal when a
+	// request-budget run drains its tickets.
+	var runCtx context.Context
 	var cancel context.CancelFunc
 	if cfg.Duration > 0 {
 		runCtx, cancel = context.WithTimeout(ctx, cfg.Duration)
-		defer cancel()
+	} else {
+		runCtx, cancel = context.WithCancel(ctx)
 	}
+	defer cancel()
 
 	// tickets dispenses request slots: with a request budget it closes
 	// after Requests sends; duration-only runs draw until the context
@@ -274,6 +310,43 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 	samplesPer := make([][]sample, workers)
 	var wg sync.WaitGroup
 	start := time.Now()
+
+	// Soak mode: sample the server's stats endpoint on a fixed cadence
+	// until the run ends. The sampler uses its own bounded client so a
+	// wedged stats endpoint can't stall the trajectory forever, but the
+	// bound gets a floor well above the tick: an aggressive cadence
+	// against a server saturated by the workload itself must produce
+	// late samples (the loop is serial, missed ticks drop), not
+	// timeout-errored ones.
+	var trajectory []StatsSample
+	statsDone := make(chan struct{})
+	if cfg.StatsInterval > 0 {
+		go func() {
+			defer close(statsDone)
+			statsTimeout := cfg.StatsInterval
+			if floor := 2 * time.Second; statsTimeout < floor {
+				statsTimeout = floor
+			}
+			statsClient := &http.Client{Timeout: statsTimeout}
+			ticker := time.NewTicker(cfg.StatsInterval)
+			defer ticker.Stop()
+			for {
+				select {
+				case <-runCtx.Done():
+					return
+				case <-ticker.C:
+					doc, err := FetchServerStats(statsClient, cfg.BaseURL)
+					s := StatsSample{AtMS: float64(time.Since(start).Microseconds()) / 1000, Stats: doc}
+					if err != nil {
+						s.Error = err.Error()
+					}
+					trajectory = append(trajectory, s)
+				}
+			}
+		}()
+	} else {
+		close(statsDone)
+	}
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func(w int) {
@@ -292,12 +365,16 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 	}
 	wg.Wait()
 	elapsed := time.Since(start)
+	cancel()
+	<-statsDone
 
 	var all []sample
 	for _, s := range samplesPer {
 		all = append(all, s...)
 	}
-	return summarize(cfg, workers, all, elapsed), nil
+	rep := summarize(cfg, workers, all, elapsed)
+	rep.StatsTrajectory = trajectory
+	return rep, nil
 }
 
 // doRequest performs one request and classifies its outcome.
@@ -336,6 +413,8 @@ func doRequest(ctx context.Context, client *http.Client, base string, sc Scenari
 	case sc.ExpectStatus != 0 && resp.StatusCode != sc.ExpectStatus:
 		s.outcome = outcomeBadStatus
 	case sc.CheckStream && checkStream(body, sc.ExpectFrames) != "":
+		s.outcome = outcomeBadStream
+	case sc.CheckApproxStream && checkApproxStream(body, sc.ExpectFrames) != "":
 		s.outcome = outcomeBadStream
 	case sc.CheckEnvelope && checkEnvelope(body, resp.StatusCode, sc.ExpectFrames) != "":
 		s.outcome = outcomeBadStream

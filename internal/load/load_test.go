@@ -184,6 +184,84 @@ func TestLoadConfigValidation(t *testing.T) {
 	}
 }
 
+// TestLoadSmokeApprox is the approximate-tier gate, run under -race in
+// make load-smoke: the approx mix (buffered approx evals, approx
+// streams under full CheckApproxStream validation, bad-spec probes)
+// against the eviction-sized in-process pakd, with soak mode on — the
+// stats trajectory must have sampled the cache's hit/miss counters
+// during the run and survive the report's JSON round-trip.
+func TestLoadSmokeApprox(t *testing.T) {
+	ts := stressServer(t)
+	requests := 120
+	concurrency := 8
+	if testing.Short() {
+		requests, concurrency = 48, 4
+	}
+	mix, err := BuiltinMix("approx")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Run(context.Background(), Config{
+		BaseURL:       ts.URL,
+		Concurrency:   concurrency,
+		Requests:      requests,
+		Timeout:       time.Minute,
+		Seed:          1,
+		Mix:           mix,
+		StatsInterval: 20 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Total != requests {
+		t.Errorf("completed %d requests, want %d", rep.Total, requests)
+	}
+	if rep.OK != rep.Total {
+		t.Errorf("approx taxonomy not clean: ok=%d of %d, errors=%v", rep.OK, rep.Total, rep.Errors)
+	}
+	if n := rep.Outcomes[outcomeBadStream]; n > 0 {
+		t.Errorf("%d approx streams violated the frame contract", n)
+	}
+	for _, name := range []string{"approx-eval-nsquad2", "approx-stream-nsquad2", "approx-only-stream"} {
+		if st := rep.Scenarios[name]; st == nil || st.Requests == 0 {
+			t.Errorf("scenario %s never ran", name)
+		}
+	}
+
+	// Soak accounting: at least one trajectory sample landed (a run of
+	// 48+ eval requests takes well past one 20ms tick), each stamped
+	// inside the run and carrying the stats document.
+	if len(rep.StatsTrajectory) == 0 {
+		t.Fatal("soak mode recorded no stats samples")
+	}
+	for i, s := range rep.StatsTrajectory {
+		if s.Error != "" {
+			t.Errorf("trajectory[%d] errored: %s", i, s.Error)
+		}
+		if s.AtMS <= 0 {
+			t.Errorf("trajectory[%d] has no timestamp: %+v", i, s)
+		}
+		var doc struct {
+			EngineCache *json.RawMessage `json:"engineCache"`
+		}
+		if err := json.Unmarshal(s.Stats, &doc); err != nil || doc.EngineCache == nil {
+			t.Errorf("trajectory[%d] stats = %s, want an engineCache document", i, s.Stats)
+		}
+	}
+	data, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatalf("report does not marshal: %v", err)
+	}
+	var back Report
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("report does not round-trip: %v", err)
+	}
+	if len(back.StatsTrajectory) != len(rep.StatsTrajectory) {
+		t.Errorf("round-trip lost trajectory: %d of %d samples",
+			len(back.StatsTrajectory), len(rep.StatsTrajectory))
+	}
+}
+
 // TestLoadSmokeEnvelope is the envelope-mix gate: buffered and streamed
 // sweeps (full envelope frame validation, hole-free assignment indices,
 // fully visited envelopes on 200) plus the sweep grammar's deliberate

@@ -28,7 +28,9 @@ import (
 // one seed issue the same request sequence.
 
 // MixNames lists the built-in mixes.
-func MixNames() []string { return []string{"squad", "mixed", "heavy", "stream", "envelope"} }
+func MixNames() []string {
+	return []string{"squad", "mixed", "heavy", "stream", "envelope", "approx"}
+}
 
 // BuiltinMix returns the named mix, or an error naming the valid set.
 func BuiltinMix(name string) ([]Scenario, error) {
@@ -43,6 +45,8 @@ func BuiltinMix(name string) ([]Scenario, error) {
 		return streamMix()
 	case "envelope":
 		return envelopeMix()
+	case "approx":
+		return approxMix()
 	default:
 		return nil, fmt.Errorf("load: unknown mix %q (have %v)", name, MixNames())
 	}
@@ -202,6 +206,68 @@ func envelopeMix() ([]Scenario, error) {
 			Weight: 1, ExpectStatus: http.StatusNotFound, CheckJSON: true},
 		{Name: "err-envelope-bad-range", Path: "/v1/envelope",
 			Body:   []byte(`{"space": "sweep(nsquad,loss=1..0)", "query": {"kind":"constraint","agent":"a","action":"b","fact":{"op":"does","agent":"a","action":"b"}}}`),
+			Weight: 1, ExpectStatus: http.StatusBadRequest, CheckJSON: true},
+		{Name: "stats", Path: "/v1/stats", Weight: 1,
+			ExpectStatus: http.StatusOK, CheckJSON: true},
+	}, nil
+}
+
+// approxEvalBody is evalBody with the approximate-tier knob spliced in:
+// the same standard squad batch, answered approx-first. approxJSON is
+// the raw `"approx"` object (fixed samples + seed keeps every run of a
+// scenario byte-identical — mixes stay deterministic data).
+func approxEvalBody(n int, approxJSON string, systems ...string) ([]byte, error) {
+	body, err := evalBody(n, systems...)
+	if err != nil {
+		return nil, err
+	}
+	body = body[:len(body)-1] // drop the closing brace
+	body = append(body, `, "approx": `...)
+	body = append(body, approxJSON...)
+	body = append(body, '}')
+	return body, nil
+}
+
+// approxMix drives the approximate tier end to end: buffered approx
+// evals (estimates attached to refined results on 200), approx streams
+// under full frame validation via CheckApproxStream — per slot the
+// stage sequence must be approx-then-exact (or approx alone under Only
+// / a deadline cut, or exact alone for unsupported kinds), approx
+// frames must carry their intervals, and ExpectFrames pins the SLOT
+// count — plus the bad-spec error probes and the stats read. The
+// fixed samples+seed in every body make each scenario's responses
+// deterministic, which is what lets the validator be strict.
+func approxMix() ([]Scenario, error) {
+	two, err := approxEvalBody(2, `{"samples": 64, "seed": 7}`, "nsquad(2)")
+	if err != nil {
+		return nil, err
+	}
+	fan, err := approxEvalBody(2, `{"samples": 64, "seed": 7}`,
+		"nsquad(2)", "nsquad(n=2,loss=1/10)", "fsquad")
+	if err != nil {
+		return nil, err
+	}
+	only, err := approxEvalBody(2, `{"eps": "1/10", "delta": "1/100", "seed": 3, "only": true}`,
+		"nsquad(2)")
+	if err != nil {
+		return nil, err
+	}
+	return []Scenario{
+		// evalBody carries 4 queries (4 slots per system); the fan-out
+		// names 3 systems.
+		{Name: "approx-eval-nsquad2", Path: "/v1/eval", Body: two, Weight: 3,
+			ExpectStatus: http.StatusOK, CheckJSON: true},
+		{Name: "approx-stream-nsquad2", Path: "/v1/eval/stream", Body: two, Weight: 3,
+			ExpectStatus: http.StatusOK, CheckApproxStream: true, ExpectFrames: 4},
+		{Name: "approx-stream-fanout", Path: "/v1/eval/stream", Body: fan, Weight: 2,
+			ExpectStatus: http.StatusOK, CheckApproxStream: true, ExpectFrames: 12},
+		{Name: "approx-only-stream", Path: "/v1/eval/stream", Body: only, Weight: 2,
+			ExpectStatus: http.StatusOK, CheckApproxStream: true, ExpectFrames: 4},
+		{Name: "err-approx-bad-eps", Path: "/v1/eval",
+			Body:   []byte(`{"systems": ["nsquad(2)"], "queries": [], "approx": {"eps": "0"}}`),
+			Weight: 1, ExpectStatus: http.StatusBadRequest, CheckJSON: true},
+		{Name: "err-approx-bad-delta", Path: "/v1/eval",
+			Body:   []byte(`{"systems": ["nsquad(2)"], "queries": [], "approx": {"samples": 16, "delta": "2"}}`),
 			Weight: 1, ExpectStatus: http.StatusBadRequest, CheckJSON: true},
 		{Name: "stats", Path: "/v1/stats", Weight: 1,
 			ExpectStatus: http.StatusOK, CheckJSON: true},

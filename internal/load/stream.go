@@ -116,6 +116,129 @@ func checkStream(body []byte, expectFrames int) string {
 	return ""
 }
 
+// approxWireFrame extends wireFrame with the approximate tier's fields.
+type approxWireFrame struct {
+	Frame  string `json:"frame"`
+	System int    `json:"system"`
+	Index  int    `json:"index"`
+	Stage  string `json:"stage"`
+	Status string `json:"status"`
+	Error  string `json:"error"`
+	Result struct {
+		Error    string `json:"error"`
+		Estimate *struct {
+			P  string `json:"p"`
+			Lo string `json:"lo"`
+			Hi string `json:"hi"`
+		} `json:"estimate"`
+	} `json:"result"`
+}
+
+// checkApproxStream validates one approximate-tier NDJSON eval-stream
+// body (a request that set the "approx" knob) and returns "" when it
+// honours the contract, or a short reason. The ordinary checkStream
+// invariants do not apply verbatim — a supported slot emits TWO frames
+// — so the approx contract gets its own validator:
+//
+//   - framing: every line a JSON frame, one terminal status frame,
+//     last; expectSlots > 0 pins the distinct (system, index) count
+//     (frames per slot are 1 or 2 by design, so the SLOT count is the
+//     stable quantity);
+//   - per slot, in emission order, the stage sequence is one of
+//     ["exact"] (unsupported kind, or a failed estimate), ["approx"]
+//     (approx-only requests, or a deadline cutting refinement — the
+//     estimate stands), or ["approx", "exact"] — never exact before
+//     approx, never duplicates;
+//   - every approx-stage frame carries an estimate with its interval
+//     unless it reports an error;
+//   - a "complete" terminal admits no context errors; under
+//     "deadline"/"cancelled" a slot whose approx frame landed must NOT
+//     carry a context error (the estimate is the sound answer), while
+//     error-carrying slots must name the context cause.
+func checkApproxStream(body []byte, expectSlots int) string {
+	lines := strings.Split(strings.TrimSuffix(string(bytes.TrimSpace(body)), "\n"), "\n")
+	var results []approxWireFrame
+	var terminal *approxWireFrame
+	for ln, line := range lines {
+		var f approxWireFrame
+		if err := json.Unmarshal([]byte(line), &f); err != nil {
+			return fmt.Sprintf("line %d is not a JSON frame", ln)
+		}
+		if terminal != nil {
+			return fmt.Sprintf("line %d follows the terminal status frame", ln)
+		}
+		switch f.Frame {
+		case "result":
+			results = append(results, f)
+		case "status":
+			tf := f
+			terminal = &tf
+		default:
+			return fmt.Sprintf("line %d has unknown frame kind %q", ln, f.Frame)
+		}
+	}
+	if terminal == nil {
+		return "stream has no terminal status frame"
+	}
+
+	stages := make(map[[2]int][]string)
+	var slots [][2]int
+	for _, f := range results {
+		key := [2]int{f.System, f.Index}
+		if len(stages[key]) == 0 {
+			slots = append(slots, key)
+		}
+		stages[key] = append(stages[key], f.Stage)
+		if f.Stage == "approx" && f.Result.Error == "" && f.Result.Estimate == nil {
+			return fmt.Sprintf("approx frame (%d,%d) carries no estimate", f.System, f.Index)
+		}
+	}
+	if expectSlots > 0 && len(slots) != expectSlots {
+		return fmt.Sprintf("stream covers %d slots, want %d", len(slots), expectSlots)
+	}
+	for _, key := range slots {
+		switch strings.Join(stages[key], ",") {
+		case "exact", "approx", "approx,exact":
+		default:
+			return fmt.Sprintf("slot (%d,%d) emitted stage sequence %v", key[0], key[1], stages[key])
+		}
+	}
+
+	isCtx := func(msg string) bool {
+		return strings.Contains(msg, "context deadline exceeded") || strings.Contains(msg, "context canceled")
+	}
+	switch terminal.Status {
+	case "complete":
+		for _, f := range results {
+			if isCtx(f.Result.Error) {
+				return fmt.Sprintf("complete stream carries a context error in slot (%d,%d)", f.System, f.Index)
+			}
+		}
+	case "deadline", "cancelled":
+		if terminal.Error == "" {
+			return fmt.Sprintf("%s terminal frame has no error message", terminal.Status)
+		}
+		for _, key := range slots {
+			seq := strings.Join(stages[key], ",")
+			for _, f := range results {
+				if [2]int{f.System, f.Index} != key {
+					continue
+				}
+				if seq == "approx" && isCtx(f.Result.Error) {
+					return fmt.Sprintf("cut slot (%d,%d) reports a context error instead of its standing estimate", key[0], key[1])
+				}
+				if f.Result.Error != "" && f.Stage != "approx" && !isCtx(f.Result.Error) {
+					return fmt.Sprintf("unfinished slot (%d,%d) has a non-context error under %s: %s",
+						key[0], key[1], terminal.Status, f.Result.Error)
+				}
+			}
+		}
+	default:
+		return fmt.Sprintf("terminal status %q is not a designed outcome for this scenario", terminal.Status)
+	}
+	return ""
+}
+
 // envWireFrame is the superset of one envelope line's fields the
 // validator needs (again deliberately decoded with local structs: the
 // harness plays an external client).

@@ -135,6 +135,63 @@ func TestCheckStream(t *testing.T) {
 	}
 }
 
+// TestCheckApproxStream pins the approximate-tier validator on
+// hand-written bodies: the per-slot stage grammar, the
+// estimate-on-approx requirement, and the deadline contract (a cut
+// slot's standing estimate, never a context error).
+func TestCheckApproxStream(t *testing.T) {
+	res := func(sys, idx int, stage, errMsg, est string) string {
+		doc := fmt.Sprintf(`{"frame":"result","system":%d,"index":%d`, sys, idx)
+		if stage != "" {
+			doc += `,"stage":"` + stage + `"`
+		}
+		doc += `,"result":{"kind":"constraint"`
+		if errMsg != "" {
+			doc += `,"error":"` + errMsg + `"`
+		}
+		if est != "" {
+			doc += `,"estimate":` + est
+		}
+		return doc + `}}`
+	}
+	e := `{"p":"1/2","radius":"1/10","lo":"2/5","hi":"3/5"}`
+	complete := `{"frame":"status","status":"complete"}`
+	deadline := `{"frame":"status","status":"deadline","error":"request deadline exceeded"}`
+	ctxErr := "not evaluated: context deadline exceeded"
+
+	cases := []struct {
+		name        string
+		lines       []string
+		expectSlots int
+		wantOK      bool
+	}{
+		{"refined slot", []string{res(0, 0, "approx", "", e), res(0, 0, "exact", "", e), complete}, 1, true},
+		{"unsupported slot", []string{res(0, 0, "exact", "", ""), complete}, 1, true},
+		{"approx-only complete", []string{res(0, 0, "approx", "", e), complete}, 1, true},
+		{"mixed slots", []string{res(0, 0, "approx", "", e), res(0, 1, "exact", "", ""), res(0, 0, "exact", "", e), complete}, 2, true},
+		{"cut slot stands on its estimate", []string{res(0, 0, "approx", "", e), deadline}, 1, true},
+		{"unstarted slot under deadline", []string{res(0, 0, "approx", "", e), res(0, 0, "exact", "", e), res(0, 1, "exact", ctxErr, ""), deadline}, 2, true},
+		{"exact before approx", []string{res(0, 0, "exact", "", e), res(0, 0, "approx", "", e), complete}, 1, false},
+		{"duplicate approx", []string{res(0, 0, "approx", "", e), res(0, 0, "approx", "", e), complete}, 1, false},
+		{"stageless frame", []string{res(0, 0, "", "", ""), complete}, 1, false},
+		{"approx without estimate", []string{res(0, 0, "approx", "", ""), complete}, 1, false},
+		{"approx error frame ok", []string{res(0, 0, "approx", "sampling failed", ""), complete}, 1, true},
+		{"wrong slot count", []string{res(0, 0, "approx", "", e), res(0, 0, "exact", "", e), complete}, 2, false},
+		{"context error under complete", []string{res(0, 0, "exact", ctxErr, ""), complete}, 1, false},
+		{"cut slot with context error", []string{res(0, 0, "approx", ctxErr, e), deadline}, 1, false},
+		{"foreign error under deadline", []string{res(0, 0, "exact", "engine exploded", ""), deadline}, 1, false},
+		{"no terminal", []string{res(0, 0, "approx", "", e)}, 1, false},
+		{"frame after terminal", []string{complete, res(0, 0, "exact", "", "")}, 1, false},
+		{"not json", []string{"nope"}, 0, false},
+	}
+	for _, tc := range cases {
+		reason := checkApproxStream([]byte(strings.Join(tc.lines, "\n")+"\n"), tc.expectSlots)
+		if ok := reason == ""; ok != tc.wantOK {
+			t.Errorf("%s: checkApproxStream = %q, want ok=%v", tc.name, reason, tc.wantOK)
+		}
+	}
+}
+
 func TestCheckEnvelope(t *testing.T) {
 	res := func(i int, errStr, env string) string {
 		return `{"frame":"result","index":` + itoa(i) + `,"assignment":"loss=0","result":{"error":"` + errStr + `"},"envelope":` + env + `}`

@@ -1,0 +1,73 @@
+// The Model/Sampler split: a Model is the immutable sampling substrate
+// over one system — cumulative edge-probability tables and the leaf→run
+// index — precomputed eagerly so one Model can serve any number of
+// concurrent Samplers without synchronization. Samplers are cheap,
+// single-goroutine cursors (a seeded rng over a shared Model); anything
+// that wants deterministic parallel sampling hands each worker its own
+// Sampler over one shared Model.
+package montecarlo
+
+import (
+	"math/rand"
+
+	"pak/internal/pps"
+	"pak/internal/ratutil"
+)
+
+// Model is the precomputed, read-only sampling substrate for one system.
+// It is safe for concurrent use: all tables are built eagerly by
+// NewModel and never mutated afterwards. Build one Model per system and
+// share it; derive per-use Samplers with Model.Sampler.
+type Model struct {
+	sys *pps.System
+	// cum[node] holds the cumulative edge probabilities of node's
+	// children as float64 for fast inverse-transform sampling (nil for
+	// leaves).
+	cum [][]float64
+	// leafRun resolves leaf nodes to run identifiers (-1 for internal
+	// nodes).
+	leafRun []pps.RunID
+}
+
+// NewModel precomputes the sampling tables for sys. The cost is one pass
+// over the tree's nodes and runs; after that, sampling never touches the
+// exact rationals again.
+func NewModel(sys *pps.System) *Model {
+	m := &Model{
+		sys:     sys,
+		cum:     make([][]float64, sys.NumNodes()),
+		leafRun: make([]pps.RunID, sys.NumNodes()),
+	}
+	for id := range m.leafRun {
+		m.leafRun[id] = -1
+	}
+	for id := 0; id < sys.NumNodes(); id++ {
+		node := pps.NodeID(id)
+		if sys.IsLeaf(node) {
+			continue
+		}
+		children := sys.ChildrenOf(node)
+		c := make([]float64, len(children))
+		total := 0.0
+		for i, ch := range children {
+			total += ratutil.Float(sys.EdgeProb(ch))
+			c[i] = total
+		}
+		m.cum[id] = c
+	}
+	for r := 0; r < sys.NumRuns(); r++ {
+		run := pps.RunID(r)
+		m.leafRun[sys.NodeAt(run, sys.RunLen(run)-1)] = run
+	}
+	return m
+}
+
+// System returns the system the model samples.
+func (m *Model) System() *pps.System { return m.sys }
+
+// Sampler derives a deterministic, seeded sampling cursor over the
+// model. Samplers are not safe for concurrent use; Models are — give
+// each goroutine its own Sampler.
+func (m *Model) Sampler(seed int64) *Sampler {
+	return &Sampler{model: m, sys: m.sys, rng: rand.New(rand.NewSource(seed))}
+}

@@ -64,40 +64,21 @@ func hoeffdingRadius(n int) float64 {
 	return math.Sqrt(math.Log(2/0.01) / (2 * float64(n)))
 }
 
-// Sampler draws runs from a pps according to µ_T.
+// Sampler draws runs from a pps according to µ_T. A Sampler is a seeded
+// cursor over an immutable Model: the rng is the only mutable state, so
+// Samplers are cheap and single-goroutine while the Model underneath is
+// freely shared.
 type Sampler struct {
-	sys *pps.System
-	rng *rand.Rand
-	// cum[node] holds the cumulative edge probabilities of node's
-	// children as float64 for fast inverse-transform sampling.
-	cum map[pps.NodeID][]float64
-	// leafRun caches the resolution from leaf nodes to run identifiers.
-	leafRun map[pps.NodeID]pps.RunID
+	model *Model
+	sys   *pps.System
+	rng   *rand.Rand
 }
 
-// NewSampler returns a Sampler over sys seeded deterministically.
+// NewSampler returns a Sampler over sys seeded deterministically. It
+// builds a private Model; callers sampling one system repeatedly (or
+// concurrently) should build the Model once and derive Samplers from it.
 func NewSampler(sys *pps.System, seed int64) *Sampler {
-	return &Sampler{
-		sys: sys,
-		rng: rand.New(rand.NewSource(seed)),
-		cum: make(map[pps.NodeID][]float64),
-	}
-}
-
-// cumFor returns the cumulative distribution over the children of node.
-func (s *Sampler) cumFor(node pps.NodeID) []float64 {
-	if c, ok := s.cum[node]; ok {
-		return c
-	}
-	children := s.sys.ChildrenOf(node)
-	c := make([]float64, len(children))
-	total := 0.0
-	for i, ch := range children {
-		total += ratutil.Float(s.sys.EdgeProb(ch))
-		c[i] = total
-	}
-	s.cum[node] = c
-	return c
+	return NewModel(sys).Sampler(seed)
 }
 
 // SampleNodePath draws one root-to-leaf node path according to the tree's
@@ -107,7 +88,7 @@ func (s *Sampler) SampleNodePath() []pps.NodeID {
 	node := pps.Root
 	for !s.sys.IsLeaf(node) {
 		children := s.sys.ChildrenOf(node)
-		cum := s.cumFor(node)
+		cum := s.model.cum[node]
 		x := s.rng.Float64() * cum[len(cum)-1]
 		idx := 0
 		for idx < len(cum)-1 && x > cum[idx] {
@@ -122,19 +103,7 @@ func (s *Sampler) SampleNodePath() []pps.NodeID {
 // SampleRun draws one run (as a RunID) according to µ_T.
 func (s *Sampler) SampleRun() pps.RunID {
 	path := s.SampleNodePath()
-	return s.runOf(path[len(path)-1])
-}
-
-// runOf resolves a leaf node to its run, building the index lazily.
-func (s *Sampler) runOf(leaf pps.NodeID) pps.RunID {
-	if s.leafRun == nil {
-		s.leafRun = make(map[pps.NodeID]pps.RunID)
-		for r := 0; r < s.sys.NumRuns(); r++ {
-			run := pps.RunID(r)
-			s.leafRun[s.sys.NodeAt(run, s.sys.RunLen(run)-1)] = run
-		}
-	}
-	return s.leafRun[leaf]
+	return s.model.leafRun[path[len(path)-1]]
 }
 
 // EstimateEvent estimates µ_T of the event defined by pred over n samples.

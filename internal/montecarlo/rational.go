@@ -1,0 +1,221 @@
+// Exact-rational Hoeffding machinery. The float64 hoeffdingRadius is
+// fine for in-process cross-validation, but a radius that travels the
+// wire must round-trip through JSON without drift and must be identical
+// on every platform. RadiusRat therefore computes a *rational upper
+// bound* on the true radius sqrt(ln(2/δ)/(2n)) using only integer
+// arithmetic: ln is bounded above by an argument-reduced atanh series
+// with an explicit remainder term, sqrt by an integer-sqrt ceiling.
+// Over-estimating the radius only widens the interval, so soundness of
+// the (ε, δ) guarantee is preserved while every byte of the wire form
+// is a deterministic function of (n, δ).
+package montecarlo
+
+import (
+	"fmt"
+	"math/big"
+)
+
+// ln2Upper is a rational upper bound on ln 2, accurate to 1e-18:
+// ln 2 = 0.693147180559945309417... < 0.693147180559945310.
+var ln2Upper = big.NewRat(693147180559945310, 1e18)
+
+var (
+	ratOne = big.NewRat(1, 1)
+	ratTwo = big.NewRat(2, 1)
+)
+
+// roundUpDyadic returns the smallest multiple of 2^-bits that is ≥ x
+// (x must be non-negative). Dyadic rounding keeps wire strings compact:
+// the raw series/sqrt bounds have huge denominators, the rounded bound
+// has denominator at most 2^bits.
+func roundUpDyadic(x *big.Rat, bits uint) *big.Rat {
+	scale := new(big.Int).Lsh(big.NewInt(1), bits)
+	num := new(big.Int).Mul(x.Num(), scale)
+	q, rem := new(big.Int).QuoRem(num, x.Denom(), new(big.Int))
+	if rem.Sign() != 0 {
+		q.Add(q, big.NewInt(1))
+	}
+	return new(big.Rat).SetFrac(q, scale)
+}
+
+// lnUpper returns a rational upper bound on ln x for x ≥ 1, rounded up
+// to 2^-48 granularity. Argument reduction writes x = 2^m · r with
+// r ∈ [1, 2), so ln x = m·ln2 + ln r; ln r comes from the atanh series
+// ln r = 2·Σ y^(2k+1)/(2k+1) with y = (r-1)/(r+1) ∈ [0, 1/3), truncated
+// with an explicit geometric remainder bound added back on top.
+func lnUpper(x *big.Rat) *big.Rat {
+	r := new(big.Rat).Set(x)
+	m := int64(0)
+	for r.Cmp(ratTwo) >= 0 {
+		r.Quo(r, ratTwo)
+		m++
+	}
+	y := new(big.Rat).Sub(r, ratOne)
+	y.Quo(y, new(big.Rat).Add(r, ratOne))
+	y2 := new(big.Rat).Mul(y, y)
+	sum := new(big.Rat)
+	term := new(big.Rat).Set(y) // y^(2k+1)
+	tol := new(big.Rat).SetFrac(big.NewInt(1), new(big.Int).Lsh(big.NewInt(1), 64))
+	for k := int64(0); term.Sign() > 0; k++ {
+		sum.Add(sum, new(big.Rat).Quo(term, big.NewRat(2*k+1, 1)))
+		term.Mul(term, y2)
+		if term.Cmp(tol) < 0 {
+			break
+		}
+	}
+	// Tail bound: Σ_{j>k} y^(2j+1)/(2j+1) ≤ y^(2k+3) · Σ_j y^(2j)
+	//           = term / (1 - y²), with term = y^(2k+3) after the loop.
+	sum.Add(sum, new(big.Rat).Quo(term, new(big.Rat).Sub(ratOne, y2)))
+	sum.Mul(sum, ratTwo)
+	if m > 0 {
+		sum.Add(sum, new(big.Rat).Mul(big.NewRat(m, 1), ln2Upper))
+	}
+	return roundUpDyadic(sum, 48)
+}
+
+// sqrtUpper returns a rational upper bound on sqrt(x) for x ≥ 0:
+// sqrt(a/b) ≤ ⌈sqrt(a·b)⌉ / b, with the integer square-root ceiling
+// taken via big.Int.Sqrt.
+func sqrtUpper(x *big.Rat) *big.Rat {
+	if x.Sign() <= 0 {
+		return new(big.Rat)
+	}
+	ab := new(big.Int).Mul(x.Num(), x.Denom())
+	s := new(big.Int).Sqrt(ab)
+	if new(big.Int).Mul(s, s).Cmp(ab) < 0 {
+		s.Add(s, big.NewInt(1))
+	}
+	return new(big.Rat).SetFrac(s, x.Denom())
+}
+
+// validDelta reports whether delta is a usable confidence parameter.
+func validDelta(delta *big.Rat) bool {
+	return delta != nil && delta.Sign() > 0 && delta.Cmp(ratOne) < 0
+}
+
+// RadiusRat returns a deterministic rational upper bound on the
+// two-sided Hoeffding radius sqrt(ln(2/δ)/(2n)) at confidence 1-δ,
+// rounded up to 2^-30 granularity and clamped to 1 (a radius beyond 1
+// is vacuous for values in [0, 1]). The bound errs only upward, so an
+// interval built from it still covers the true value with probability
+// at least 1-δ; and being a pure function of (n, δ) in integer
+// arithmetic, it is byte-identical across platforms and round-trips
+// through its RatString form losslessly. For n ≤ 0 or a degenerate δ it
+// returns the trivial radius 1.
+func RadiusRat(n int, delta *big.Rat) *big.Rat {
+	if n <= 0 || !validDelta(delta) {
+		return new(big.Rat).Set(ratOne)
+	}
+	l := lnUpper(new(big.Rat).Quo(ratTwo, delta))
+	l.Quo(l, big.NewRat(2*int64(n), 1))
+	r := roundUpDyadic(sqrtUpper(l), 30)
+	if r.Cmp(ratOne) > 0 {
+		return new(big.Rat).Set(ratOne)
+	}
+	return r
+}
+
+// maxSampleSize caps the budget SampleSize will derive; beyond this the
+// request is a mistake (or an overflow), not a sampling plan.
+const maxSampleSize = 1 << 31
+
+// SampleSize returns the Hoeffding sample complexity ⌈ln(2/δ)/(2ε²)⌉:
+// the number of samples after which the (rational-bound) radius at
+// confidence 1-δ is at most ε. Like RadiusRat it uses the upper ln
+// bound, so the returned n satisfies RadiusRat(n, δ) ≈≤ ε while never
+// under-sampling.
+func SampleSize(eps, delta *big.Rat) (int, error) {
+	if eps == nil || eps.Sign() <= 0 || eps.Cmp(ratOne) >= 0 {
+		return 0, fmt.Errorf("montecarlo: eps must be in (0,1), got %s", ratString(eps))
+	}
+	if !validDelta(delta) {
+		return 0, fmt.Errorf("montecarlo: delta must be in (0,1), got %s", ratString(delta))
+	}
+	l := lnUpper(new(big.Rat).Quo(ratTwo, delta))
+	l.Quo(l, new(big.Rat).Mul(ratTwo, new(big.Rat).Mul(eps, eps)))
+	// ceil(l) for positive l.
+	n := new(big.Int).Div(l.Num(), l.Denom())
+	if new(big.Int).Mul(n, l.Denom()).Cmp(l.Num()) < 0 {
+		n.Add(n, big.NewInt(1))
+	}
+	if !n.IsInt64() || n.Int64() > maxSampleSize {
+		return 0, fmt.Errorf("montecarlo: (eps=%s, delta=%s) needs %s samples, beyond the %d cap",
+			eps.RatString(), delta.RatString(), n.String(), maxSampleSize)
+	}
+	if n.Int64() < 1 {
+		return 1, nil
+	}
+	return int(n.Int64()), nil
+}
+
+func ratString(x *big.Rat) string {
+	if x == nil {
+		return "<nil>"
+	}
+	return x.RatString()
+}
+
+// EstimateRat is the exact-rational form of a sampled estimate: the
+// point frequency and a Hoeffding interval whose every component is a
+// rational with a canonical string form, so the estimate serializes to
+// the wire and back without float drift.
+type EstimateRat struct {
+	// P is the exact point estimate (hits/n, or a rational mean).
+	P *big.Rat
+	// Radius is the rational upper bound on the Hoeffding radius at the
+	// estimate's confidence level.
+	Radius *big.Rat
+	// Lo and Hi are the interval endpoints clamped to [0, 1]: with
+	// probability at least 1-δ the true value lies in [Lo, Hi].
+	Lo, Hi *big.Rat
+	// N is the number of (conditioning) samples behind P.
+	N int
+}
+
+// NewEstimateRat builds the estimate for hits successes out of n
+// conditioning samples at confidence 1-delta. With n == 0 the
+// conditioning event was never sampled and the estimate degenerates to
+// the trivially sound "no information" interval 1/2 ± 1/2 = [0, 1].
+func NewEstimateRat(hits, n int, delta *big.Rat) EstimateRat {
+	if n <= 0 {
+		return NewEstimateRatMean(nil, 0, delta)
+	}
+	return NewEstimateRatMean(big.NewRat(int64(hits), int64(n)), n, delta)
+}
+
+// NewEstimateRatMean builds the estimate around an exact rational mean
+// p of n samples of a [0, 1]-valued variable (Hoeffding's inequality
+// covers bounded means, not just frequencies). A nil p or n ≤ 0 yields
+// the trivial [0, 1] interval.
+func NewEstimateRatMean(p *big.Rat, n int, delta *big.Rat) EstimateRat {
+	if p == nil || n <= 0 {
+		half := big.NewRat(1, 2)
+		return EstimateRat{
+			P:      new(big.Rat).Set(half),
+			Radius: new(big.Rat).Set(half),
+			Lo:     new(big.Rat),
+			Hi:     new(big.Rat).Set(ratOne),
+			N:      0,
+		}
+	}
+	e := EstimateRat{P: new(big.Rat).Set(p), Radius: RadiusRat(n, delta), N: n}
+	e.Lo = new(big.Rat).Sub(e.P, e.Radius)
+	if e.Lo.Sign() < 0 {
+		e.Lo.SetInt64(0)
+	}
+	e.Hi = new(big.Rat).Add(e.P, e.Radius)
+	if e.Hi.Cmp(ratOne) > 0 {
+		e.Hi.Set(ratOne)
+	}
+	return e
+}
+
+// Contains reports whether the exact value v lies within [Lo, Hi].
+func (e EstimateRat) Contains(v *big.Rat) bool {
+	return v != nil && v.Cmp(e.Lo) >= 0 && v.Cmp(e.Hi) <= 0
+}
+
+// String renders the estimate in its exact wire form.
+func (e EstimateRat) String() string {
+	return fmt.Sprintf("%s ∈ [%s, %s] (n=%d)", e.P.RatString(), e.Lo.RatString(), e.Hi.RatString(), e.N)
+}

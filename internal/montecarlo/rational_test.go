@@ -1,0 +1,191 @@
+package montecarlo
+
+import (
+	"encoding/json"
+	"math"
+	"math/big"
+	"testing"
+)
+
+// TestRadiusRatPinned pins the exact wire bytes of the rational
+// Hoeffding radius. These strings ARE the wire format (estimates
+// serialize via RatString), so any diff here is a cross-version wire
+// break and must be a deliberate, reviewed change.
+func TestRadiusRatPinned(t *testing.T) {
+	cases := []struct {
+		n     int
+		delta *big.Rat
+		want  string
+	}{
+		{100, big.NewRat(1, 100), "174764757/1073741824"},
+		{1000, big.NewRat(1, 100), "55265469/1073741824"},
+		{64, big.NewRat(1, 20), "45570325/268435456"},
+		{256, big.NewRat(1, 1000), "130827027/1073741824"},
+		{1, big.NewRat(1, 2), "893948707/1073741824"},
+		{10000, big.NewRat(1, 100), "4369119/268435456"},
+		// Degenerate inputs: the trivial radius.
+		{0, big.NewRat(1, 100), "1"},
+		{-3, big.NewRat(1, 100), "1"},
+		{100, nil, "1"},
+		{100, big.NewRat(2, 1), "1"},
+	}
+	for _, c := range cases {
+		if got := RadiusRat(c.n, c.delta).RatString(); got != c.want {
+			t.Errorf("RadiusRat(%d, %v) = %s, want %s", c.n, c.delta, got, c.want)
+		}
+	}
+}
+
+// TestRadiusRatSoundAndTight: the rational radius must upper-bound the
+// true radius (soundness: the interval may only widen) while staying
+// within a sliver of it (usefulness: the dyadic and series round-ups
+// cost well under 1e-8 absolute).
+func TestRadiusRatSoundAndTight(t *testing.T) {
+	deltas := []*big.Rat{big.NewRat(1, 2), big.NewRat(1, 20), big.NewRat(1, 100), big.NewRat(1, 1000), big.NewRat(3, 7)}
+	for _, delta := range deltas {
+		df, _ := delta.Float64()
+		for _, n := range []int{1, 2, 3, 10, 100, 1000, 65536, 1 << 20} {
+			truth := math.Sqrt(math.Log(2/df) / (2 * float64(n)))
+			got, _ := RadiusRat(n, delta).Float64()
+			if truth > 1 {
+				truth = 1
+			}
+			if got < truth-1e-15 {
+				t.Errorf("RadiusRat(%d, %s) = %.12f under-estimates true radius %.12f", n, delta.RatString(), got, truth)
+			}
+			if got > truth+1e-8 {
+				t.Errorf("RadiusRat(%d, %s) = %.12f is loose vs true radius %.12f", n, delta.RatString(), got, truth)
+			}
+		}
+	}
+}
+
+// TestRadiusRatRoundTrips: the radius must survive the wire. RatString
+// is the serialization used by EstimateDoc, so parse(format(r)) == r.
+func TestRadiusRatRoundTrips(t *testing.T) {
+	r := RadiusRat(1060, big.NewRat(1, 100))
+	s := r.RatString()
+	back, ok := new(big.Rat).SetString(s)
+	if !ok || back.Cmp(r) != 0 {
+		t.Fatalf("RatString round trip lost precision: %s -> %v", s, back)
+	}
+	// And through JSON, the way the service ships it.
+	var boxed string
+	data, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(data, &boxed); err != nil {
+		t.Fatal(err)
+	}
+	if boxed != s {
+		t.Fatalf("JSON round trip drifted: %q -> %q", s, boxed)
+	}
+}
+
+func TestSampleSize(t *testing.T) {
+	cases := []struct {
+		eps, delta *big.Rat
+		want       int
+	}{
+		{big.NewRat(1, 20), big.NewRat(1, 100), 1060},
+		{big.NewRat(1, 10), big.NewRat(1, 20), 185},
+		{big.NewRat(1, 100), big.NewRat(1, 100), 26492},
+	}
+	for _, c := range cases {
+		n, err := SampleSize(c.eps, c.delta)
+		if err != nil {
+			t.Fatalf("SampleSize(%s, %s): %v", c.eps.RatString(), c.delta.RatString(), err)
+		}
+		if n != c.want {
+			t.Errorf("SampleSize(%s, %s) = %d, want %d", c.eps.RatString(), c.delta.RatString(), n, c.want)
+		}
+		// The derived budget must actually achieve the target half-width.
+		if r := RadiusRat(n, c.delta); r.Cmp(c.eps) > 0 {
+			t.Errorf("RadiusRat(%d, %s) = %s exceeds eps %s", n, c.delta.RatString(), r.RatString(), c.eps.RatString())
+		}
+	}
+
+	for _, bad := range []struct{ eps, delta *big.Rat }{
+		{nil, big.NewRat(1, 100)},
+		{big.NewRat(0, 1), big.NewRat(1, 100)},
+		{big.NewRat(1, 1), big.NewRat(1, 100)},
+		{big.NewRat(1, 20), nil},
+		{big.NewRat(1, 20), big.NewRat(1, 1)},
+		{big.NewRat(1, 1000000), big.NewRat(1, 100)}, // over the derived-budget cap
+	} {
+		if _, err := SampleSize(bad.eps, bad.delta); err == nil {
+			t.Errorf("SampleSize(%v, %v) accepted invalid parameters", bad.eps, bad.delta)
+		}
+	}
+}
+
+func TestEstimateRat(t *testing.T) {
+	delta := big.NewRat(1, 100)
+	e := NewEstimateRat(30, 100, delta)
+	if got := e.P.RatString(); got != "3/10" {
+		t.Fatalf("P = %s, want 3/10", got)
+	}
+	if e.N != 100 {
+		t.Fatalf("N = %d, want 100", e.N)
+	}
+	if want := RadiusRat(100, delta); e.Radius.Cmp(want) != 0 {
+		t.Fatalf("Radius = %s, want %s", e.Radius.RatString(), want.RatString())
+	}
+	if lo := new(big.Rat).Sub(e.P, e.Radius); e.Lo.Cmp(lo) != 0 {
+		t.Fatalf("Lo = %s, want P-Radius = %s", e.Lo.RatString(), lo.RatString())
+	}
+	if !e.Contains(big.NewRat(3, 10)) || !e.Contains(e.Lo) || !e.Contains(e.Hi) {
+		t.Fatal("interval must contain its point estimate and both endpoints")
+	}
+	if e.Contains(nil) {
+		t.Fatal("nil value must not be 'contained'")
+	}
+
+	// Clamping: an estimate near the boundary keeps [Lo, Hi] ⊆ [0, 1].
+	edge := NewEstimateRat(0, 100, delta)
+	if edge.Lo.Sign() != 0 {
+		t.Fatalf("Lo = %s, want clamped to 0", edge.Lo.RatString())
+	}
+	full := NewEstimateRat(100, 100, delta)
+	if full.Hi.Cmp(big.NewRat(1, 1)) != 0 {
+		t.Fatalf("Hi = %s, want clamped to 1", full.Hi.RatString())
+	}
+
+	// n == 0: the trivially sound "no information" interval [0, 1].
+	empty := NewEstimateRat(0, 0, delta)
+	if empty.Lo.Sign() != 0 || empty.Hi.Cmp(big.NewRat(1, 1)) != 0 || empty.N != 0 {
+		t.Fatalf("empty estimate = %v, want 1/2 ± 1/2 over [0,1]", empty)
+	}
+	if empty.P.Cmp(big.NewRat(1, 2)) != 0 {
+		t.Fatalf("empty P = %s, want 1/2", empty.P.RatString())
+	}
+
+	// The mean form: Hoeffding covers [0,1]-valued means, not just
+	// frequencies.
+	mean := NewEstimateRatMean(big.NewRat(5, 8), 64, big.NewRat(1, 20))
+	if mean.P.RatString() != "5/8" || mean.N != 64 {
+		t.Fatalf("mean estimate = %v", mean)
+	}
+	if want := RadiusRat(64, big.NewRat(1, 20)); mean.Radius.Cmp(want) != 0 {
+		t.Fatalf("mean Radius = %s, want %s", mean.Radius.RatString(), want.RatString())
+	}
+}
+
+// TestModelSamplerEquivalence: a Sampler derived from a shared Model
+// must sample the identical run sequence as the compat NewSampler path,
+// and two Samplers over one Model must not perturb each other.
+func TestModelSamplerEquivalence(t *testing.T) {
+	sys := fsSystem(t)
+	model := NewModel(sys)
+	a := NewSampler(sys, 42)
+	b := model.Sampler(42)
+	c := model.Sampler(7) // interleaved third cursor must not disturb b
+	for i := 0; i < 200; i++ {
+		ra, rb := a.SampleRun(), b.SampleRun()
+		c.SampleRun()
+		if ra != rb {
+			t.Fatalf("sample %d: NewSampler drew run %d, Model.Sampler drew %d", i, ra, rb)
+		}
+	}
+}

@@ -53,6 +53,9 @@ type config struct {
 	parallelism int
 	cache       bool
 	ctx         context.Context
+	// approx, when set, enables the approximate tier (see WithApprox
+	// and approx.go). It is normalized once per stream in streamItems.
+	approx *ApproxSpec
 }
 
 // newConfig applies the options over the defaults shared by the batch

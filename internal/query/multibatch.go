@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"pak/internal/core"
+	"pak/internal/montecarlo"
 )
 
 // MultiBatch: cross-system fan-out. EvalBatch parallelizes within one
@@ -36,6 +37,13 @@ type MultiItem struct {
 	Engine *core.Engine
 	// Queries are evaluated in order against Engine.
 	Queries []Query
+	// Model optionally carries a prebuilt sampling model for the
+	// approximate tier (see WithApprox); nil means the stream builds one
+	// on demand when the batch contains approximable queries. Exact
+	// evaluation ignores it. The service layer injects the model
+	// memoized in its EngineCache here, so repeated approx requests
+	// against a cached engine never rebuild the sampling tables.
+	Model *montecarlo.Model
 }
 
 // MultiBatch evaluates every item's query batch against that item's

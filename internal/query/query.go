@@ -120,6 +120,12 @@ type Result struct {
 	// Envelope carries an EvalEnvelope result's min/max range over the
 	// adversary space (nil on every other kind).
 	Envelope *Range
+	// Estimate carries the approximate tier's sampled estimate (see
+	// WithApprox): on an approx-stage frame it is the result; on an
+	// exact-stage frame it rides along with the refined value, and
+	// Flags[FlagCICovered] records the self-check. Nil outside approx
+	// mode.
+	Estimate *Estimate
 	// Detail is a human-readable summary for reports.
 	Detail string
 	// Err records this query's evaluation error inside a batch (nil on

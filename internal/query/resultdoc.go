@@ -20,8 +20,59 @@ type ResultDoc struct {
 	Timeline    []TimelinePointDoc `json:"timeline,omitempty"`
 	// Envelope carries an envelope result's range (KindEnvelope only).
 	Envelope *RangeDoc `json:"envelope,omitempty"`
-	Detail   string    `json:"detail,omitempty"`
-	Error    string    `json:"error,omitempty"`
+	// Estimate carries the approximate tier's sampled estimate: the
+	// whole result of an approx-stage frame, provenance on an
+	// exact-stage frame (whose flags then include the ciCovered
+	// self-check). Absent outside approx mode.
+	Estimate *EstimateDoc `json:"estimate,omitempty"`
+	Detail   string       `json:"detail,omitempty"`
+	Error    string       `json:"error,omitempty"`
+}
+
+// EstimateDoc is the wire form of a sampled estimate. Every numeric
+// field is an exact rational's RatString — the radius is computed in
+// integer arithmetic (montecarlo.RadiusRat), so the bytes here are a
+// platform-independent pure function of the request and re-parse via
+// big.Rat.SetString with zero drift.
+type EstimateDoc struct {
+	// P is the point estimate; [Lo, Hi] is the Hoeffding interval at
+	// confidence 1-Delta, clamped to [0, 1].
+	P      string `json:"p"`
+	Radius string `json:"radius"`
+	Lo     string `json:"lo"`
+	Hi     string `json:"hi"`
+	// N counts samples that hit the conditioning event; Samples is the
+	// total budget spent. N = 0 marks the trivial [0, 1] interval.
+	N       int `json:"n"`
+	Samples int `json:"samples"`
+	// Seed is the slot's derived seed: replaying the same query with
+	// this seed and budget reproduces the estimate byte for byte.
+	Seed int64 `json:"seed"`
+	// Eps echoes the requested half-width (absent when the budget was
+	// given directly); Delta is the CI failure probability.
+	Eps   string `json:"eps,omitempty"`
+	Delta string `json:"delta"`
+}
+
+// EstimateDocOf converts an Estimate to its wire form.
+func EstimateDocOf(e *Estimate) *EstimateDoc {
+	if e == nil {
+		return nil
+	}
+	doc := &EstimateDoc{
+		P:       e.P.RatString(),
+		Radius:  e.Radius.RatString(),
+		Lo:      e.Lo.RatString(),
+		Hi:      e.Hi.RatString(),
+		N:       e.N,
+		Samples: e.Samples,
+		Seed:    e.Seed,
+		Delta:   e.Delta.RatString(),
+	}
+	if e.Eps != nil {
+		doc.Eps = e.Eps.RatString()
+	}
+	return doc
 }
 
 // RangeDoc is the wire form of an envelope Range: exact bounds as
@@ -102,6 +153,7 @@ func DocOf(res Result) ResultDoc {
 		env := RangeDocOf(*res.Envelope)
 		doc.Envelope = &env
 	}
+	doc.Estimate = EstimateDocOf(res.Estimate)
 	for _, p := range res.Timeline {
 		doc.Timeline = append(doc.Timeline, TimelinePointDoc{
 			Time: p.Time, Local: p.Local, Belief: p.Belief.RatString(), Knows: p.Knows,

@@ -30,6 +30,7 @@ import (
 	"errors"
 
 	"pak/internal/core"
+	"pak/internal/montecarlo"
 )
 
 // StreamStatus is how a streamed evaluation ended, carried by the
@@ -65,6 +66,11 @@ type Frame struct {
 	// Err is the context's cause on a deadline/cancelled terminal frame
 	// (nil on result frames and on StreamComplete).
 	Err error
+	// Stage labels the frame's tier under WithApprox: StageApprox for a
+	// sampled estimate, StageExact for the refined (or exact-only)
+	// result. Empty outside approx mode, so the classic wire shape is
+	// untouched.
+	Stage Stage
 }
 
 // Terminal reports whether this is the closing status frame.
@@ -90,7 +96,10 @@ func EvalMultiStream(items []MultiItem, opts ...Option) <-chan Frame {
 
 // streamItems runs the shared worker pool and owns the emission
 // contract. The channel buffers every frame, so the pool never blocks
-// on a slow (or gone) consumer and the goroutine cannot leak.
+// on a slow (or gone) consumer and the goroutine cannot leak. Under an
+// approx config each supported slot may emit two frames (approx then
+// exact, in that order on the channel since one worker owns the slot),
+// so the buffer doubles; batch consumers keep the last frame per slot.
 func streamItems(items []MultiItem, cfg config) <-chan Frame {
 	type unit struct{ sys, q int }
 	var units []unit
@@ -99,18 +108,101 @@ func streamItems(items []MultiItem, cfg config) <-chan Frame {
 			units = append(units, unit{i, j})
 		}
 	}
-	out := make(chan Frame, len(units)+1)
+	buffer := len(units) + 1
+	if cfg.approx != nil {
+		buffer += len(units)
+	}
+	out := make(chan Frame, buffer)
 	go func() {
 		defer close(out)
+		var models []*montecarlo.Model
+		if cfg.approx != nil {
+			norm, err := cfg.approx.normalized()
+			if err != nil {
+				// An invalid spec fails every slot in place: the stream
+				// keeps its one-frame-per-slot floor and the batch
+				// consumers report the error per coordinate.
+				for _, u := range units {
+					qu := items[u.sys].Queries[u.q]
+					out <- Frame{System: u.sys, Index: u.q, Result: Result{Kind: kindOf(qu), Query: stringOf(qu), Err: err}}
+				}
+				status, cause := statusOf(cfg.ctx)
+				out <- Frame{Status: status, Err: cause}
+				return
+			}
+			cfg.approx = &norm
+			models = make([]*montecarlo.Model, len(items))
+			for i := range items {
+				switch {
+				case items[i].Model != nil:
+					models[i] = items[i].Model
+				case items[i].Engine != nil && anyApproxable(items[i].Queries):
+					models[i] = montecarlo.NewModel(items[i].Engine.System())
+				}
+			}
+		}
 		runPool(len(units), cfg.parallelism, func(u int) {
 			sys, q := units[u].sys, units[u].q
-			res, _ := evalSlot(items[sys], q, cfg)
-			out <- Frame{System: sys, Index: q, Result: res}
+			if cfg.approx == nil {
+				res, _ := evalSlot(items[sys], q, cfg)
+				out <- Frame{System: sys, Index: q, Result: res}
+				return
+			}
+			streamApproxSlot(out, items[sys], models[sys], sys, q, cfg)
 		})
 		status, cause := statusOf(cfg.ctx)
 		out <- Frame{Status: status, Err: cause}
 	}()
 	return out
+}
+
+// anyApproxable reports whether any query in the batch can use the
+// sampling model, so exact-only batches under WithApprox skip the
+// model build.
+func anyApproxable(qs []Query) bool {
+	for _, q := range qs {
+		if CanApprox(q) {
+			return true
+		}
+	}
+	return false
+}
+
+// streamApproxSlot owns one slot's emission under the approximate tier:
+//
+//   - unsupported kind: one exact frame (stage "exact"), as ever.
+//   - supported, approx-only: one approx frame, estimate or error.
+//   - supported, refine mode: the approx frame (when the estimate
+//     landed), then the exact frame carrying the estimate and the
+//     ciCovered self-check — unless the context died between the two,
+//     in which case the approx frame stands as the slot's final, sound
+//     answer and no exact frame is emitted (a deadline mid-refinement
+//     must never overwrite a sound estimate with an error).
+func streamApproxSlot(out chan<- Frame, item MultiItem, model *montecarlo.Model, sys, q int, cfg config) {
+	var est *Estimate
+	if CanApprox(item.Queries[q]) {
+		ares := evalApproxSlot(item, model, sys, q, cfg)
+		if ares.Err == nil || cfg.approx.Only {
+			out <- Frame{System: sys, Index: q, Result: ares, Stage: StageApprox}
+			est = ares.Estimate
+		}
+		if cfg.approx.Only {
+			return
+		}
+		if gate := approxRefineGate; gate != nil {
+			gate(cfg.ctx, sys, q)
+		}
+	}
+	res, _ := evalSlot(item, q, cfg)
+	if est != nil {
+		if ctxAborted(res.Err) {
+			return
+		}
+		if res.Err == nil {
+			attachEstimate(&res, est)
+		}
+	}
+	out <- Frame{System: sys, Index: q, Result: res, Stage: StageExact}
 }
 
 // evalSlot evaluates one (item, query) slot under the batch config: the

@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"pak/internal/core"
+	"pak/internal/montecarlo"
 )
 
 // EngineCache is the size-bounded, concurrency-safe LRU of shared
@@ -36,10 +37,19 @@ type EngineCache struct {
 	hits, misses, evictions, shared uint64
 }
 
-// cacheEntry is one retained engine.
+// cacheEntry is one retained engine, plus the lazily built sampling
+// model the approximate tier uses against it. The model is a pure
+// function of the engine's system, so memoizing it alongside the engine
+// closes the orphaned-sampler seam: repeated approx requests against a
+// cached engine share one set of cumulative-probability tables instead
+// of rebuilding them per request, and eviction drops engine and model
+// together.
 type cacheEntry struct {
 	key    string
 	engine *core.Engine
+
+	modelOnce sync.Once
+	model     *montecarlo.Model
 }
 
 // buildCall is one in-flight singleflight build; waiters block on done.
@@ -129,6 +139,28 @@ func (c *EngineCache) insertLocked(key string, e *core.Engine) {
 		delete(c.entries, oldest.Value.(*cacheEntry).key)
 		c.evictions++
 	}
+}
+
+// ModelFor returns the sampling model memoized alongside the engine
+// cached under key, building it on first use. It reports false when the
+// key is not retained (the caller then lets the query layer build a
+// per-request model — correctness never depends on cache warmth). The
+// build runs outside the cache lock under the entry's own sync.Once, so
+// concurrent approx requests share one table build without serializing
+// unrelated cache traffic.
+func (c *EngineCache) ModelFor(key string) (*montecarlo.Model, bool) {
+	c.mu.Lock()
+	el, ok := c.entries[key]
+	if !ok {
+		c.mu.Unlock()
+		return nil, false
+	}
+	entry := el.Value.(*cacheEntry)
+	c.mu.Unlock()
+	entry.modelOnce.Do(func() {
+		entry.model = montecarlo.NewModel(entry.engine.System())
+	})
+	return entry.model, true
 }
 
 // Contains reports whether key is currently retained (without touching

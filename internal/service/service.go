@@ -27,8 +27,22 @@
 //	{
 //	  "systems": ["fsquad", "nsquad(3)"],
 //	  "queries": [ {"kind":"constraint", ...}, ... ],
-//	  "parallelism": 0
+//	  "parallelism": 0,
+//	  "approx": {"eps": "1/10", "delta": "1/100", "seed": 7}
 //	}
+//
+// The optional "approx" object turns the evaluation approx-first (the
+// query layer's WithApprox): supported queries answer from a seeded
+// sample with an exact-rational Hoeffding confidence interval before
+// refining to the exact value. Buffered responses carry the estimate on
+// each refined result (with the ciCovered self-check); the stream emits
+// a stage-"approx" frame strictly before each slot's stage-"exact"
+// frame; "only" suppresses refinement; and a deadline mid-refinement
+// returns standing estimates as sound answers inside the usual 504
+// body. Rationals travel as strings ("1/10"), the sample budget is
+// capped (maxApproxSamples), invalid specs are 400 at decode, and the
+// per-system sampling model is memoized in the engine cache beside the
+// engine (EngineCache.ModelFor).
 //
 // Top-level queries fan out to every named system; a "requests" list
 // gives per-system batches instead (or additionally). The response keeps
@@ -65,6 +79,7 @@ import (
 
 	"pak/internal/core"
 	"pak/internal/query"
+	"pak/internal/ratutil"
 	"pak/internal/registry"
 )
 
@@ -424,6 +439,65 @@ type EvalRequest struct {
 	// above the server's cap are clamped). 1 evaluates serially — the
 	// results are identical either way, only slower.
 	Parallelism int `json:"parallelism,omitempty"`
+	// Approx enables the approximate tier for the whole request: every
+	// supported query answers with a seeded sampled estimate first, then
+	// (unless "only" is set) refines to the exact value. On the
+	// streaming path the estimate arrives as its own stage:"approx"
+	// frame before the exact frame.
+	Approx *ApproxRequest `json:"approx,omitempty"`
+}
+
+// ApproxRequest is the wire form of a query.ApproxSpec. Rationals
+// travel as strings ("1/20", "0.05") so the request round-trips the
+// exact values the response's estimate echoes.
+type ApproxRequest struct {
+	// Eps is the target CI half-width; the sample budget is derived from
+	// (eps, delta) when Samples is 0.
+	Eps string `json:"eps,omitempty"`
+	// Delta is the per-interval failure probability (default 1/100).
+	Delta string `json:"delta,omitempty"`
+	// Samples fixes the per-slot budget directly, overriding Eps.
+	Samples int `json:"samples,omitempty"`
+	// Seed is the base seed (0 = the deterministic default); per-slot
+	// seeds derive from it, so one request is reproducible end to end.
+	Seed int64 `json:"seed,omitempty"`
+	// Only answers from samples alone: no exact refinement runs.
+	Only bool `json:"only,omitempty"`
+}
+
+// maxApproxSamples caps the per-slot sample budget a request may set
+// directly; eps-derived budgets are capped inside montecarlo.SampleSize.
+const maxApproxSamples = 1 << 22
+
+// approxSpec converts the wire form to the query layer's spec,
+// validating exactly as the evaluator would so a bad spec is a 400 at
+// decode, never N identical per-slot failures.
+func (a *ApproxRequest) approxSpec() (*query.ApproxSpec, error) {
+	if a == nil {
+		return nil, nil
+	}
+	spec := query.ApproxSpec{Samples: a.Samples, Seed: a.Seed, Only: a.Only}
+	if a.Eps != "" {
+		eps, err := ratutil.Parse(a.Eps)
+		if err != nil {
+			return nil, fmt.Errorf("approx: bad eps: %w", err)
+		}
+		spec.Eps = eps
+	}
+	if a.Delta != "" {
+		delta, err := ratutil.Parse(a.Delta)
+		if err != nil {
+			return nil, fmt.Errorf("approx: bad delta: %w", err)
+		}
+		spec.Delta = delta
+	}
+	if spec.Samples > maxApproxSamples {
+		return nil, fmt.Errorf("approx: sample budget %d above the server cap of %d", spec.Samples, maxApproxSamples)
+	}
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	return &spec, nil
 }
 
 // SystemRequest is one per-system batch inside an EvalRequest.
@@ -469,6 +543,31 @@ type evalPlan struct {
 	targets  []resolved
 	batches  [][]query.Query
 	parallel int
+	// approx is the validated approximate-tier spec (nil = exact only).
+	approx *query.ApproxSpec
+}
+
+// evalOptions renders the plan as query-layer options.
+func (p evalPlan) evalOptions(ctx context.Context) []query.Option {
+	opts := []query.Option{query.WithParallelism(p.parallel), query.WithContext(ctx)}
+	if p.approx != nil {
+		opts = append(opts, query.WithApprox(*p.approx))
+	}
+	return opts
+}
+
+// itemFor assembles target i's MultiItem, injecting the cache-memoized
+// sampling model when the approximate tier will run against a cached
+// engine (a cold or evicted key just builds per-request — warmth, not
+// correctness).
+func (s *Server) itemFor(plan evalPlan, i int, engine *core.Engine) query.MultiItem {
+	item := query.MultiItem{Engine: engine, Queries: plan.batches[i]}
+	if plan.approx != nil && engine != nil {
+		if m, ok := s.engines.ModelFor(plan.targets[i].key); ok {
+			item.Model = m
+		}
+	}
+	return item
 }
 
 // decodeEvalRequest parses, validates and resolves an eval request
@@ -580,12 +679,18 @@ func (s *Server) decodeEvalRequest(w http.ResponseWriter, r *http.Request) (eval
 	if req.Parallelism > 0 && req.Parallelism < parallel {
 		parallel = req.Parallelism
 	}
+	approx, err := req.Approx.approxSpec()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return evalPlan{}, false
+	}
 
 	plan := evalPlan{
 		specs:    make([]string, len(targets)),
 		targets:  resolvedTargets,
 		batches:  batches,
 		parallel: parallel,
+		approx:   approx,
 	}
 	for i, tg := range targets {
 		plan.specs[i] = tg.spec
@@ -631,12 +736,11 @@ func (s *Server) handleEval(w http.ResponseWriter, r *http.Request) {
 
 	items := make([]query.MultiItem, len(plan.targets))
 	for i := range plan.targets {
-		items[i] = query.MultiItem{Engine: engines[i], Queries: plan.batches[i]}
+		items[i] = s.itemFor(plan, i, engines[i])
 	}
 	// Per-query errors are already isolated in their result slots; the
 	// joined error adds nothing for a wire client.
-	results, _ := query.MultiBatch(items,
-		query.WithParallelism(plan.parallel), query.WithContext(ctx))
+	results, _ := query.MultiBatch(items, plan.evalOptions(ctx)...)
 
 	resp := EvalResponse{Results: make([]SystemResult, len(plan.targets))}
 	for i := range plan.targets {

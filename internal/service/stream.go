@@ -63,6 +63,13 @@ type StreamResultFrame struct {
 	Canonical string `json:"canonical"`
 	// Index is the query's position within its system's batch.
 	Index int `json:"index"`
+	// Stage labels the frame's tier under an approx request: "approx"
+	// for the sampled estimate, "exact" for the refined result. A
+	// supported slot emits its approx frame strictly before its exact
+	// frame; a deadline between the two leaves the approx frame as the
+	// slot's final, sound answer. Absent on exact-only requests, so the
+	// classic wire shape is byte-identical to before the tier existed.
+	Stage string `json:"stage,omitempty"`
 	// Result is the slot's wire result — identical to the entry the
 	// buffered /v1/eval response would carry at [System][Index].
 	Result query.ResultDoc `json:"result"`
@@ -175,8 +182,8 @@ func (s *Server) handleEvalStream(w http.ResponseWriter, r *http.Request) {
 			sw.fail(statusOfEvalErr(br.err), br.err)
 			return
 		}
-		for f := range query.EvalStream(engine, plan.batches[i],
-			query.WithParallelism(plan.parallel), query.WithContext(ctx)) {
+		for f := range query.EvalMultiStream(
+			[]query.MultiItem{s.itemFor(plan, i, engine)}, plan.evalOptions(ctx)...) {
 			if f.Terminal() {
 				// Per-system terminals are suppressed; the request emits
 				// one terminal frame, below, after every system.
@@ -188,6 +195,7 @@ func (s *Server) handleEvalStream(w http.ResponseWriter, r *http.Request) {
 				Spec:      plan.specs[i],
 				Canonical: plan.targets[i].key,
 				Index:     f.Index,
+				Stage:     string(f.Stage),
 				Result:    query.DocOf(f.Result),
 			})
 			if err != nil {

@@ -60,6 +60,33 @@ type (
 	// QueryStreamStatus is how a streamed evaluation ended (the
 	// terminal frame's status).
 	QueryStreamStatus = query.StreamStatus
+
+	// ApproxSpec configures the approximate tier (see WithApprox): a
+	// target CI half-width Eps or a direct Samples budget, the failure
+	// probability Delta, the base Seed, and Only to skip refinement.
+	ApproxSpec = query.ApproxSpec
+	// QueryEstimate is a seeded sampled estimate with its exact-rational
+	// Hoeffding confidence interval, carried by approx-stage frames and,
+	// as provenance, by the refined exact results.
+	QueryEstimate = query.Estimate
+	// QueryStage labels a frame's tier under WithApprox: StageApprox or
+	// StageExact (empty outside approx mode).
+	QueryStage = query.Stage
+)
+
+// Approximate-tier stages and flags.
+const (
+	// StageApprox marks a frame carrying a sampled estimate; its exact
+	// refinement (stage StageExact) follows on the same slot unless the
+	// spec set Only or the context died in between.
+	StageApprox = query.StageApprox
+	// StageExact marks a slot's exact result (also used for slots the
+	// tier does not support, which skip the approx stage).
+	StageExact = query.StageExact
+	// FlagCICovered is set on refined results: whether the exact value
+	// landed inside the estimate's confidence interval (false is the
+	// δ-probability miss, reported honestly rather than as an error).
+	FlagCICovered = query.FlagCICovered
 )
 
 // Terminal stream statuses.
@@ -178,6 +205,21 @@ func WithCache(enabled bool) EvalOption { return query.WithCache(enabled) }
 // queries run to completion — finished slots are always exact, never
 // torn.
 func WithEvalContext(ctx context.Context) EvalOption { return query.WithContext(ctx) }
+
+// WithApprox enables the approximate tier: every supported query
+// (constraint, expectation, threshold, belief-at-local) first answers
+// with a seeded, deterministic sampled estimate carrying an
+// exact-rational Hoeffding confidence interval (stage StageApprox),
+// then refines to the exact value (stage StageExact) with a ciCovered
+// self-check — unless the spec set Only, or the context died between
+// the two, in which case the estimate stands as the slot's sound
+// answer. Same seed and budget ⇒ byte-identical estimates, serial or
+// parallel.
+func WithApprox(spec ApproxSpec) EvalOption { return query.WithApprox(spec) }
+
+// CanApprox reports whether the approximate tier supports q; other
+// queries evaluate exactly even under WithApprox.
+func CanApprox(q Query) bool { return query.CanApprox(q) }
 
 // MarshalQuery renders one query as a JSON document.
 func MarshalQuery(q Query) ([]byte, error) { return query.Marshal(q) }

@@ -124,6 +124,23 @@ func EnvelopeStream(q EnvelopeQuery, opts ...EvalOption) (<-chan EnvelopeFrame, 
 	return query.EnvelopeStream(q, opts...)
 }
 
+// SampledEnvelope is EvalEnvelopeSampled's answer: the exact envelope
+// over the surviving candidate assignments plus the pruning ledger and
+// the coarse pass's per-assignment estimates.
+type SampledEnvelope = query.SampledEnvelope
+
+// EvalEnvelopeSampled is the sampled-first envelope sweep: a coarse,
+// seeded approx pass estimates every assignment, then exact evaluation
+// runs only where an assignment's confidence interval shows it could
+// still attain the envelope's min or max. Pruned assignments are never
+// exactly evaluated, so the result is correct with probability at least
+// 1 − N·Delta (union bound) rather than with certainty — the trade
+// that makes sweeping spaces too large for EvalEnvelope feasible. A
+// non-approximable inner query falls back to the exhaustive sweep.
+func EvalEnvelopeSampled(q EnvelopeQuery, spec ApproxSpec, opts ...EvalOption) (SampledEnvelope, error) {
+	return query.EvalEnvelopeSampled(q, spec, opts...)
+}
+
 // EvalSweep is the one-call form: resolve the space against the
 // built-in registry, build (or reuse) the instance engines through the
 // shared cache, and evaluate the inner query's envelope.
