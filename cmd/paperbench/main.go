@@ -1,7 +1,8 @@
 // Command paperbench regenerates every numeric claim, figure and theorem
 // of the paper and prints a paper-vs-measured comparison table per
-// experiment (E1..E16, including the unified query layer's batch
-// invariants and the scenario registry's multi-system fan-out checks).
+// experiment (E1..E18, including the unified query layer's batch
+// invariants, the scenario registry's multi-system fan-out checks, and
+// the LP backend's differential agreement record).
 // It exits non-zero if any value fails to match.
 //
 // Usage:
@@ -37,9 +38,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "Usage: paperbench [-markdown] [-systems 100] [-samples 60000] [-seed 1]\n\nFlags:\n")
 		fs.PrintDefaults()
 		fmt.Fprintf(stderr, `
-Runs E1..E16 (including E15's batch-=-serial invariant and E16's
-registry + multi-system fan-out checks) and exits non-zero if any
-measured value fails to match the paper.
+Runs E1..E18 (including E15's batch-=-serial invariant, E16's registry
++ multi-system fan-out checks, and E18's enum-vs-lp differential
+agreement record) and exits non-zero if any measured value fails to
+match the paper.
 
 Examples:
   paperbench                     the full reproduction gate (CI runs this)

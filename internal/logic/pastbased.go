@@ -1,0 +1,40 @@
+package logic
+
+// PastBased reports whether every fact matching this spec is past-based
+// in the paper's sense: its truth value at a point (r, t) is a function
+// of the run's prefix through time t alone — equivalently, of the tree
+// node the point sits at — never of how the run continues.
+//
+// The judgement is structural and conservative. Leaf operators that
+// read only the current point (local state, environment state, clock)
+// are past-based; so are "believes" and "knows" unconditionally,
+// because belief and knowledge at (r, t) are functions of the agent's
+// local state there regardless of what the inner fact talks about.
+// Connectives and backward-looking temporal operators (not, and, or,
+// once, soFar) preserve past-basedness of their operands. Everything
+// that can read the future — "does" (the action taken on the edge
+// leaving the point), sometime/always, eventually/henceforth, atTime —
+// reports false even when a particular system would make it
+// prefix-determined.
+//
+// The LP backend (internal/lpengine) uses this gate: past-based facts
+// take one value per tree node, which is what lets it evaluate a fact
+// once per world-column instead of once per run.
+func (s FactSpec) PastBased() bool {
+	switch s.Op {
+	case "true", "false", "localIs", "localContains", "envIs", "timeIs",
+		"believes", "knows":
+		return true
+	case "not", "once", "soFar":
+		return s.Arg != nil && s.Arg.PastBased()
+	case "and", "or":
+		for _, a := range s.Args {
+			if !a.PastBased() {
+				return false
+			}
+		}
+		return true
+	default:
+		return false
+	}
+}

@@ -1,0 +1,491 @@
+package lpengine
+
+import (
+	"fmt"
+	"math/big"
+	"sort"
+	"sync"
+
+	"pak/internal/core"
+	"pak/internal/logic"
+	"pak/internal/pps"
+	"pak/internal/ratutil"
+	"pak/internal/runset"
+)
+
+// Engine answers the belief-bound query surface (Belief, Constraint,
+// Threshold) over a single pps by linear programming instead of run
+// enumeration. It mirrors core.Engine's semantics and error contract
+// exactly — the differential harness in internal/query requires
+// byte-identical results from both backends — but does the measure
+// arithmetic differently:
+//
+// Runs are aggregated into world-columns keyed by tree node (runs
+// through one α-node or one ℓ-node), the queried fact is evaluated once
+// per column generator at a representative run instead of once per run
+// — sound exactly for past-based facts, whose value at a point is a
+// function of the tree node, which is why query.CanSolveLP gates entry
+// — and the conditional bound is the optimum of a small LP over the
+// polytope of mass assignments consistent with the column masses and
+// the conditioning row. Per-column mass bounds plus the conditioning
+// equality pin the polytope to a single point, so the maximum and
+// minimum coincide; the engine solves both with an exact-rational
+// simplex and asserts their equality, making every answer a two-sided
+// LP certificate computed without enumerating the run space.
+//
+// Facts passed to an Engine must be past-based; callers gate with
+// query.CanSolveLP. An Engine is safe for concurrent use.
+type Engine struct {
+	sys *pps.System
+
+	mu    sync.Mutex
+	acts  map[actKey]*actInfo
+	locs  map[locKey]*locInfo
+	stats Stats
+}
+
+// Stats counts the structural work an Engine has done; the differential
+// experiment (E18) reports these against the enumeration engine's
+// states×runs products.
+type Stats struct {
+	// Bounds counts conditional bounds answered by LP solves.
+	Bounds int64
+	// Classes counts run-class column generators built (distinct tree
+	// nodes); the fact under query is evaluated once per class.
+	Classes int64
+	// Columns counts aggregated LP columns across all solves.
+	Columns int64
+	// Solves counts simplex solves (each bound solves max and min).
+	Solves int64
+	// Pivots counts simplex pivots across all solves.
+	Pivots int64
+}
+
+// New returns an Engine bound to sys.
+func New(sys *pps.System) *Engine {
+	return &Engine{
+		sys:  sys,
+		acts: make(map[actKey]*actInfo),
+		locs: make(map[locKey]*locInfo),
+	}
+}
+
+// System returns the underlying system.
+func (e *Engine) System() *pps.System { return e.sys }
+
+// Stats returns a snapshot of the engine's work counters.
+func (e *Engine) Stats() Stats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.stats
+}
+
+type actKey struct {
+	agent  pps.AgentID
+	action string
+}
+
+type locKey struct {
+	agent pps.AgentID
+	local string
+}
+
+// runClass is one world-column generator: the set of runs that pass
+// through one tree node relevant to the query — the α-node whose edge
+// records the action, or the node at which the local state ℓ occurs.
+// Every past-based fact takes a single value on the whole class, read
+// at (repr, time).
+type runClass struct {
+	node    pps.NodeID
+	time    int      // fact-evaluation time (performance / occurrence time)
+	local   string   // acting local state, or ℓ itself for ℓ-classes
+	mass    *big.Rat // µ of the class
+	repr    pps.RunID
+	members []int
+}
+
+// actInfo mirrors core's performance index for one (agent, action),
+// refined into run classes.
+type actInfo struct {
+	set      *runset.Set
+	times    []int
+	multiple bool
+	locals   []string
+	classes  []*runClass
+	total    *big.Rat // Σ class masses = µ(R_α)
+}
+
+// locInfo indexes one (agent, local) occurrence event, refined into run
+// classes by occurrence node.
+type locInfo struct {
+	classes []*runClass
+	total   *big.Rat // µ(ℓ)
+}
+
+// agent resolves an agent name (same contract as core.Engine).
+func (e *Engine) agent(name string) (pps.AgentID, error) {
+	id, ok := e.sys.AgentIndex(name)
+	if !ok {
+		return 0, fmt.Errorf("%w: %q", core.ErrUnknownAgent, name)
+	}
+	return id, nil
+}
+
+// actFor computes (and memoizes) the class-refined performance index.
+func (e *Engine) actFor(a pps.AgentID, action string) *actInfo {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	key := actKey{a, action}
+	if info, ok := e.acts[key]; ok {
+		return info
+	}
+	info := &actInfo{
+		set:   e.sys.NewSet(),
+		times: make([]int, e.sys.NumRuns()),
+		total: new(big.Rat),
+	}
+	byNode := make(map[pps.NodeID]*runClass)
+	localSeen := make(map[string]bool)
+	for r := 0; r < e.sys.NumRuns(); r++ {
+		run := pps.RunID(r)
+		info.times[r] = -1
+		for t := 0; t < e.sys.RunLen(run); t++ {
+			act, ok := e.sys.Action(run, t, a)
+			if !ok || act != action {
+				continue
+			}
+			if info.times[r] >= 0 {
+				info.multiple = true
+				continue
+			}
+			info.times[r] = t
+			info.set.Add(r)
+			local := e.sys.Local(run, t, a)
+			localSeen[local] = true
+			// The class key is the α-node: the child node whose incoming
+			// edge records the performance. Runs through the same acting
+			// point can diverge on whether they perform α (the action sits
+			// on the edge), but runs through the same α-node all perform it
+			// at the same time, in the same local state, with the same
+			// value for every past-based fact at the acting point.
+			u := e.sys.NodeAt(run, t+1)
+			c := byNode[u]
+			if c == nil {
+				c = &runClass{node: u, time: t, local: local, mass: new(big.Rat), repr: run}
+				byNode[u] = c
+				info.classes = append(info.classes, c)
+			}
+			c.mass.Add(c.mass, e.sys.RunProb(run))
+			c.members = append(c.members, r)
+		}
+	}
+	sort.Slice(info.classes, func(i, j int) bool {
+		return info.classes[i].node < info.classes[j].node
+	})
+	for _, c := range info.classes {
+		info.total.Add(info.total, c.mass)
+	}
+	info.locals = make([]string, 0, len(localSeen))
+	for l := range localSeen {
+		info.locals = append(info.locals, l)
+	}
+	sort.Strings(info.locals)
+	e.stats.Classes += int64(len(info.classes))
+	e.acts[key] = info
+	return info
+}
+
+// locFor computes (and memoizes) the class-refined occurrence index for
+// a local state, with core.Engine's unknown-local error.
+func (e *Engine) locFor(a pps.AgentID, agent, local string) (*locInfo, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	key := locKey{a, local}
+	if info, ok := e.locs[key]; ok {
+		return info, nil
+	}
+	occ, tm, ok := e.sys.Occurs(a, local)
+	if !ok {
+		return nil, fmt.Errorf("%w: agent %q state %q", core.ErrUnknownLocal, agent, local)
+	}
+	info := &locInfo{total: new(big.Rat)}
+	byNode := make(map[pps.NodeID]*runClass)
+	occ.ForEach(func(r int) bool {
+		run := pps.RunID(r)
+		u := e.sys.NodeAt(run, tm)
+		c := byNode[u]
+		if c == nil {
+			c = &runClass{node: u, time: tm, local: local, mass: new(big.Rat), repr: run}
+			byNode[u] = c
+			info.classes = append(info.classes, c)
+		}
+		c.mass.Add(c.mass, e.sys.RunProb(run))
+		c.members = append(c.members, r)
+		return true
+	})
+	sort.Slice(info.classes, func(i, j int) bool {
+		return info.classes[i].node < info.classes[j].node
+	})
+	for _, c := range info.classes {
+		info.total.Add(info.total, c.mass)
+	}
+	e.stats.Classes += int64(len(info.classes))
+	e.locs[key] = info
+	return info, nil
+}
+
+// properFor resolves agent and requires the action to be proper, with
+// core.Engine's exact error texts and precedence.
+func (e *Engine) properFor(agent, action string) (pps.AgentID, *actInfo, error) {
+	a, err := e.agent(agent)
+	if err != nil {
+		return 0, nil, err
+	}
+	info := e.actFor(a, action)
+	if info.set.IsEmpty() {
+		return 0, nil, fmt.Errorf("%w: %s never performs %q", core.ErrNotProper, agent, action)
+	}
+	if info.multiple {
+		return 0, nil, fmt.Errorf("%w: %s performs %q more than once in some run", core.ErrNotProper, agent, action)
+	}
+	return a, info, nil
+}
+
+// column is an aggregated LP column: the total mass of the run classes
+// sharing an acting local state and a fact value.
+type column struct {
+	v    bool
+	mass *big.Rat
+}
+
+// condLP answers µ(E | ⋃classes) where E is the union of the classes
+// the holds predicate selects. Columns are generated lazily in class
+// order and aggregated by (local state, value) — the pgel-sat move of
+// producing world-columns on demand rather than enumerating worlds up
+// front; because the conditioning row demands the full mass, the
+// pricing step degenerates to "uncovered mass > 0", and generation
+// terminates exactly when the master becomes feasible. The payoff is
+// that holds runs once per class (tree node), not once per run.
+//
+// The master LP over columns c with masses m_c is
+//
+//	max/min Σ_{c: v(c)} x_c   s.t.  x_c + s_c = m_c,  Σ_c x_c = M
+//
+// whose feasible set is the single point x = m (the mass bounds plus
+// the conditioning equality Σ m_c = M leave no slack), so the two
+// optima must agree; condLP solves both and asserts it, returning the
+// shared optimum divided by M. The caller guarantees M > 0.
+func (e *Engine) condLP(classes []*runClass, total *big.Rat, holds func(*runClass) bool) (*big.Rat, *runset.Set) {
+	ev := e.sys.NewSet()
+	type colKey struct {
+		local string
+		v     bool
+	}
+	cols := make(map[colKey]*column)
+	var order []*column
+	uncovered := new(big.Rat).Set(total)
+	for _, c := range classes {
+		v := holds(c)
+		if v {
+			for _, r := range c.members {
+				ev.Add(r)
+			}
+		}
+		k := colKey{c.local, v}
+		col := cols[k]
+		if col == nil {
+			col = &column{v: v, mass: new(big.Rat)}
+			cols[k] = col
+			order = append(order, col)
+		}
+		col.mass.Add(col.mass, c.mass)
+		uncovered.Sub(uncovered, c.mass)
+	}
+	if uncovered.Sign() != 0 {
+		// The conditioning row could not be covered: the class masses do
+		// not sum to the conditioning mass, which is an indexing bug, not
+		// a query error.
+		panic(fmt.Sprintf("lpengine: column generation left %s of the conditioning mass uncovered",
+			uncovered.RatString()))
+	}
+
+	// Master LP: one structural variable x_c and one slack s_c per
+	// column; rows are the per-column mass bounds plus the conditioning
+	// equality.
+	k := len(order)
+	p := Problem{
+		A: make([][]*big.Rat, k+1),
+		B: make([]*big.Rat, k+1),
+		C: make([]*big.Rat, 2*k),
+	}
+	condRow := make([]*big.Rat, 2*k)
+	for i, col := range order {
+		row := make([]*big.Rat, 2*k)
+		for j := range row {
+			row[j] = new(big.Rat)
+		}
+		row[i].SetInt64(1)
+		row[k+i].SetInt64(1)
+		p.A[i] = row
+		p.B[i] = new(big.Rat).Set(col.mass)
+		condRow[i] = big.NewRat(1, 1)
+		p.C[i] = new(big.Rat)
+		if col.v {
+			p.C[i].SetInt64(1)
+		}
+		p.C[k+i] = new(big.Rat)
+	}
+	for i := k; i < 2*k; i++ {
+		condRow[i] = new(big.Rat)
+	}
+	p.A[k] = condRow
+	p.B[k] = new(big.Rat).Set(total)
+
+	hi := Maximize(p)
+	lo := Minimize(p)
+	if hi.Status != Optimal || lo.Status != Optimal {
+		panic(fmt.Sprintf("lpengine: master LP not optimal: max %v, min %v", hi.Status, lo.Status))
+	}
+	if hi.Objective.Cmp(lo.Objective) != 0 {
+		panic(fmt.Sprintf("lpengine: LP bounds disagree: max %s, min %s",
+			hi.Objective.RatString(), lo.Objective.RatString()))
+	}
+
+	e.mu.Lock()
+	e.stats.Bounds++
+	e.stats.Columns += int64(k)
+	e.stats.Solves += 2
+	e.stats.Pivots += int64(hi.Pivots + lo.Pivots)
+	e.mu.Unlock()
+
+	return new(big.Rat).Quo(hi.Objective, total), ev
+}
+
+// Belief returns β_i(φ) at local state ℓ: µ_T(φ@ℓ | ℓ), matching
+// core.Engine.Belief bit for bit. φ must be past-based.
+func (e *Engine) Belief(f logic.Fact, agent, local string) (*big.Rat, error) {
+	a, err := e.agent(agent)
+	if err != nil {
+		return nil, err
+	}
+	info, err := e.locFor(a, agent, local)
+	if err != nil {
+		return nil, err
+	}
+	if info.total.Sign() == 0 {
+		// Unreachable in a valid pps (mirrors core.Engine.Belief).
+		return nil, fmt.Errorf("%w: state %q has zero measure", core.ErrUnknownLocal, local)
+	}
+	bel, _ := e.condLP(info.classes, info.total, func(c *runClass) bool {
+		return f.Holds(e.sys, c.repr, c.time)
+	})
+	return bel, nil
+}
+
+// BeliefByActionState returns β_i(φ) for each local state in L_i[α],
+// matching core.Engine.BeliefByActionState.
+func (e *Engine) BeliefByActionState(f logic.Fact, agent, action string) (map[string]*big.Rat, error) {
+	_, info, err := e.properFor(agent, action)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]*big.Rat, len(info.locals))
+	for _, local := range info.locals {
+		bel, belErr := e.Belief(f, agent, local)
+		if belErr != nil {
+			return nil, belErr
+		}
+		out[local] = bel
+	}
+	return out, nil
+}
+
+// FactAtAction returns the event φ@α, matching core.Engine.FactAtAction;
+// the fact is evaluated once per α-node class.
+func (e *Engine) FactAtAction(f logic.Fact, agent, action string) (*runset.Set, error) {
+	_, info, err := e.properFor(agent, action)
+	if err != nil {
+		return nil, err
+	}
+	ev := e.sys.NewSet()
+	for _, c := range info.classes {
+		if f.Holds(e.sys, c.repr, c.time) {
+			for _, r := range c.members {
+				ev.Add(r)
+			}
+		}
+	}
+	return ev, nil
+}
+
+// ConstraintProb returns µ_T(φ@α | α) as an LP bound, matching
+// core.Engine.ConstraintProb.
+func (e *Engine) ConstraintProb(f logic.Fact, agent, action string) (*big.Rat, error) {
+	_, info, err := e.properFor(agent, action)
+	if err != nil {
+		return nil, err
+	}
+	if info.total.Sign() == 0 {
+		return nil, fmt.Errorf("%w: %s never performs %q", core.ErrNotProper, agent, action)
+	}
+	mu, _ := e.condLP(info.classes, info.total, func(c *runClass) bool {
+		return f.Holds(e.sys, c.repr, c.time)
+	})
+	return mu, nil
+}
+
+// thresholdBeliefs computes β_i(φ) once per acting local state, in
+// core's sorted-locals order so error precedence matches.
+func (e *Engine) thresholdBeliefs(f logic.Fact, agent string, info *actInfo) (map[string]*big.Rat, error) {
+	byLocal := make(map[string]*big.Rat, len(info.locals))
+	for _, local := range info.locals {
+		bel, err := e.Belief(f, agent, local)
+		if err != nil {
+			return nil, err
+		}
+		byLocal[local] = bel
+	}
+	return byLocal, nil
+}
+
+// BeliefThresholdEvent returns {r ∈ R_α : (β_i(φ)@α)[r] ≥ p}, matching
+// core.Engine.BeliefThresholdEvent.
+func (e *Engine) BeliefThresholdEvent(f logic.Fact, agent, action string, p *big.Rat) (*runset.Set, error) {
+	_, info, err := e.properFor(agent, action)
+	if err != nil {
+		return nil, err
+	}
+	byLocal, err := e.thresholdBeliefs(f, agent, info)
+	if err != nil {
+		return nil, err
+	}
+	ev := e.sys.NewSet()
+	for _, c := range info.classes {
+		if ratutil.Geq(byLocal[c.local], p) {
+			for _, r := range c.members {
+				ev.Add(r)
+			}
+		}
+	}
+	return ev, nil
+}
+
+// ThresholdMeasure returns µ_T(β_i(φ)@α ≥ p | α) as an LP bound,
+// matching core.Engine.ThresholdMeasure.
+func (e *Engine) ThresholdMeasure(f logic.Fact, agent, action string, p *big.Rat) (*big.Rat, error) {
+	_, info, err := e.properFor(agent, action)
+	if err != nil {
+		return nil, err
+	}
+	byLocal, err := e.thresholdBeliefs(f, agent, info)
+	if err != nil {
+		return nil, err
+	}
+	if info.total.Sign() == 0 {
+		return nil, fmt.Errorf("%w: %s never performs %q", core.ErrNotProper, agent, action)
+	}
+	tm, _ := e.condLP(info.classes, info.total, func(c *runClass) bool {
+		return ratutil.Geq(byLocal[c.local], p)
+	})
+	return tm, nil
+}

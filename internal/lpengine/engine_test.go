@@ -1,0 +1,174 @@
+package lpengine_test
+
+import (
+	"errors"
+	"fmt"
+	"math/big"
+	"testing"
+
+	"pak/internal/core"
+	"pak/internal/epistemic"
+	"pak/internal/logic"
+	"pak/internal/lpengine"
+	"pak/internal/pps"
+	"pak/internal/randsys"
+	"pak/internal/ratutil"
+	"pak/internal/scenarios"
+)
+
+// diffEngines holds the two backends to identical answers — equal
+// rationals, equal witness sets, and identical error strings — on every
+// belief-bound method, for one (system, fact) pair.
+func diffEngines(t *testing.T, sys *pps.System, f logic.Fact, agent, action string, locals []string) {
+	t.Helper()
+	en := core.New(sys)
+	lp := lpengine.New(sys)
+
+	sameErr := func(what string, a, b error) bool {
+		t.Helper()
+		if (a == nil) != (b == nil) {
+			t.Fatalf("%s: enum err %v, lp err %v", what, a, b)
+		}
+		if a != nil && a.Error() != b.Error() {
+			t.Fatalf("%s: enum err %q, lp err %q", what, a, b)
+		}
+		return a == nil
+	}
+
+	for _, local := range locals {
+		what := fmt.Sprintf("Belief(%s, %s, %q)", f, agent, local)
+		want, wantErr := en.Belief(f, agent, local)
+		got, gotErr := lp.Belief(f, agent, local)
+		if sameErr(what, wantErr, gotErr) && want.Cmp(got) != 0 {
+			t.Fatalf("%s: enum %s, lp %s", what, want.RatString(), got.RatString())
+		}
+	}
+
+	wantBy, wantErr := en.BeliefByActionState(f, agent, action)
+	gotBy, gotErr := lp.BeliefByActionState(f, agent, action)
+	if sameErr("BeliefByActionState", wantErr, gotErr) {
+		if len(wantBy) != len(gotBy) {
+			t.Fatalf("BeliefByActionState: enum %d states, lp %d", len(wantBy), len(gotBy))
+		}
+		for local, want := range wantBy {
+			if got, ok := gotBy[local]; !ok || want.Cmp(got) != 0 {
+				t.Fatalf("BeliefByActionState[%q]: enum %s, lp %v", local, want.RatString(), got)
+			}
+		}
+	}
+
+	wantMu, wantErr := en.ConstraintProb(f, agent, action)
+	gotMu, gotErr := lp.ConstraintProb(f, agent, action)
+	if sameErr("ConstraintProb", wantErr, gotErr) && wantMu.Cmp(gotMu) != 0 {
+		t.Fatalf("ConstraintProb: enum %s, lp %s", wantMu.RatString(), gotMu.RatString())
+	}
+
+	wantEv, wantErr := en.FactAtAction(f, agent, action)
+	gotEv, gotErr := lp.FactAtAction(f, agent, action)
+	if sameErr("FactAtAction", wantErr, gotErr) && !wantEv.Equal(gotEv) {
+		t.Fatalf("FactAtAction: enum %v, lp %v", wantEv, gotEv)
+	}
+
+	for _, p := range []*big.Rat{ratutil.Zero(), ratutil.R(1, 2), ratutil.R(9, 10), ratutil.One()} {
+		what := fmt.Sprintf("ThresholdMeasure(p=%s)", p.RatString())
+		want, wantErr := en.ThresholdMeasure(f, agent, action, p)
+		got, gotErr := lp.ThresholdMeasure(f, agent, action, p)
+		if sameErr(what, wantErr, gotErr) && want.Cmp(got) != 0 {
+			t.Fatalf("%s: enum %s, lp %s", what, want.RatString(), got.RatString())
+		}
+		wantEv, wantErr := en.BeliefThresholdEvent(f, agent, action, p)
+		gotEv, gotErr := lp.BeliefThresholdEvent(f, agent, action, p)
+		if sameErr("BeliefThresholdEvent", wantErr, gotErr) && !wantEv.Equal(gotEv) {
+			t.Fatalf("BeliefThresholdEvent(p=%s): enum %v, lp %v", p.RatString(), wantEv, gotEv)
+		}
+	}
+}
+
+func TestEngineMatchesCoreOnSquads(t *testing.T) {
+	for _, n := range []int{2, 3} {
+		sys, err := scenarios.NFiringSquadSystem(n, ratutil.R(1, 10), false)
+		if err != nil {
+			t.Fatalf("nsquad(%d): %v", n, err)
+		}
+		var locals []string
+		for _, ag := range sys.Agents() {
+			if id, ok := sys.AgentIndex(ag); ok {
+				locals = append(locals, sys.LocalStates(id)...)
+			}
+		}
+		facts := []logic.Fact{
+			logic.True(),
+			logic.False(),
+			logic.LocalContains(scenarios.General, "Yes"),
+			logic.Not(logic.LocalContains("s1", "o")),
+			logic.Once(logic.LocalContains(scenarios.General, "Yes")),
+			epistemic.Believes("s1", ratutil.R(1, 2), scenarios.AllFireFact(n)),
+			epistemic.Knows(scenarios.General, logic.True()),
+		}
+		for _, agent := range []string{scenarios.General, "s1"} {
+			for _, f := range facts {
+				diffEngines(t, sys, f, agent, scenarios.ActFire, locals)
+			}
+		}
+	}
+}
+
+// Random systems with node-labelled (past-based, but opaque) facts: the
+// engine itself does not require a structural spec — only the query
+// layer's CanSolveLP gate does — so randsys.PastFact exercises it.
+func TestEngineMatchesCoreOnRandomSystems(t *testing.T) {
+	for seed := int64(1); seed <= 12; seed++ {
+		cfg := randsys.Default(seed)
+		cfg.DetAction = seed%2 == 0
+		sys, err := randsys.Generate(cfg)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		id, _ := sys.AgentIndex(sys.Agents()[0])
+		locals := append(sys.LocalStates(id), "no-such-local")
+		f := randsys.PastFact(sys, seed*17)
+		diffEngines(t, sys, f, sys.Agents()[0], randsys.DesignatedAction, locals)
+	}
+}
+
+func TestEngineErrorParity(t *testing.T) {
+	sys, err := scenarios.NFiringSquadSystem(2, ratutil.R(1, 10), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	en := core.New(sys)
+	lp := lpengine.New(sys)
+
+	_, wantErr := en.Belief(logic.True(), "zork", "x")
+	_, gotErr := lp.Belief(logic.True(), "zork", "x")
+	if !errors.Is(gotErr, core.ErrUnknownAgent) || gotErr.Error() != wantErr.Error() {
+		t.Fatalf("unknown agent: enum %q, lp %q", wantErr, gotErr)
+	}
+
+	_, wantErr = en.Belief(logic.True(), scenarios.General, "no-such-state")
+	_, gotErr = lp.Belief(logic.True(), scenarios.General, "no-such-state")
+	if !errors.Is(gotErr, core.ErrUnknownLocal) || gotErr.Error() != wantErr.Error() {
+		t.Fatalf("unknown local: enum %q, lp %q", wantErr, gotErr)
+	}
+
+	_, wantErr = en.ConstraintProb(logic.True(), scenarios.General, "no-such-action")
+	_, gotErr = lp.ConstraintProb(logic.True(), scenarios.General, "no-such-action")
+	if !errors.Is(gotErr, core.ErrNotProper) || gotErr.Error() != wantErr.Error() {
+		t.Fatalf("improper action: enum %q, lp %q", wantErr, gotErr)
+	}
+}
+
+func TestEngineStatsCount(t *testing.T) {
+	sys, err := scenarios.NFiringSquadSystem(2, ratutil.R(1, 10), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lp := lpengine.New(sys)
+	if _, err := lp.ConstraintProb(logic.True(), scenarios.General, scenarios.ActFire); err != nil {
+		t.Fatal(err)
+	}
+	st := lp.Stats()
+	if st.Bounds != 1 || st.Solves != 2 || st.Columns < 1 || st.Classes < 1 {
+		t.Fatalf("stats = %+v, want 1 bound / 2 solves and some columns", st)
+	}
+}

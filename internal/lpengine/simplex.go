@@ -1,0 +1,268 @@
+// Package lpengine is the second exact backend: it answers Threshold /
+// Constraint / Belief bound queries by linear programming over exact
+// rationals instead of enumerating the run space.
+//
+// The solver below is a dense two-phase primal simplex over big.Rat
+// with Bland's anti-cycling rule. No floats appear anywhere on the
+// answer path: every tableau cell, objective and solution coordinate is
+// a *big.Rat, so an Optimal verdict is an exact-rational certificate,
+// bit-for-bit comparable with the enumeration engine's answers.
+package lpengine
+
+import (
+	"fmt"
+	"math/big"
+)
+
+// Status classifies the outcome of a simplex solve.
+type Status int
+
+const (
+	// Optimal means the program has a finite optimum; Solution carries it.
+	Optimal Status = iota
+	// Infeasible means no x ≥ 0 satisfies Ax = b.
+	Infeasible
+	// Unbounded means the objective is unbounded above on the feasible set.
+	Unbounded
+)
+
+func (s Status) String() string {
+	switch s {
+	case Optimal:
+		return "optimal"
+	case Infeasible:
+		return "infeasible"
+	case Unbounded:
+		return "unbounded"
+	}
+	return fmt.Sprintf("Status(%d)", int(s))
+}
+
+// Problem is a linear program in standard equality form:
+//
+//	maximize   C·x
+//	subject to A·x = B,  x ≥ 0
+//
+// A is len(B) rows by len(C) columns. Inputs are not mutated.
+type Problem struct {
+	A [][]*big.Rat
+	B []*big.Rat
+	C []*big.Rat
+}
+
+// Solution is the outcome of a solve. Objective and X are set only when
+// Status is Optimal. Pivots counts simplex pivots across both phases.
+type Solution struct {
+	Status    Status
+	Objective *big.Rat
+	X         []*big.Rat
+	Pivots    int
+}
+
+// Maximize solves the program with a two-phase Bland's-rule simplex.
+func Maximize(p Problem) Solution {
+	t := newTableau(p)
+
+	// Phase 1: maximize −Σ artificials from the all-artificial basis.
+	// The optimum is 0 exactly when the program is feasible.
+	phase1 := make([]*big.Rat, t.cols)
+	for j := t.n; j < t.cols; j++ {
+		phase1[j] = big.NewRat(-1, 1)
+	}
+	t.setObjective(phase1)
+	if st := t.pivotLoop(t.cols); st != Optimal {
+		// −Σ artificials is bounded above by 0, so Unbounded is impossible.
+		panic("lpengine: phase-1 simplex unbounded")
+	}
+	if t.cost[t.cols].Sign() != 0 {
+		return Solution{Status: Infeasible, Pivots: t.pivots}
+	}
+	t.evictArtificials()
+
+	// Phase 2: the real objective, artificial columns barred from entering.
+	phase2 := make([]*big.Rat, t.cols)
+	for j := 0; j < t.n; j++ {
+		phase2[j] = p.C[j]
+	}
+	t.setObjective(phase2)
+	if st := t.pivotLoop(t.n); st != Optimal {
+		return Solution{Status: Unbounded, Pivots: t.pivots}
+	}
+
+	x := make([]*big.Rat, t.n)
+	for j := range x {
+		x[j] = new(big.Rat)
+	}
+	for i, v := range t.basis {
+		if v < t.n {
+			x[v].Set(t.a[i][t.cols])
+		}
+	}
+	return Solution{
+		Status:    Optimal,
+		Objective: new(big.Rat).Set(t.cost[t.cols]),
+		X:         x,
+		Pivots:    t.pivots,
+	}
+}
+
+// Minimize solves the same program for the minimum of C·x.
+func Minimize(p Problem) Solution {
+	neg := Problem{A: p.A, B: p.B, C: make([]*big.Rat, len(p.C))}
+	for j, c := range p.C {
+		neg.C[j] = new(big.Rat).Neg(c)
+	}
+	sol := Maximize(neg)
+	if sol.Status == Optimal {
+		sol.Objective.Neg(sol.Objective)
+	}
+	return sol
+}
+
+// tableau is the working state: m constraint rows over n structural
+// columns plus m artificial columns, with the right-hand side stored in
+// column index cols (= n+m). cost is the reduced-cost row in the
+// "z − c·x = 0" convention: cost[j] ≥ 0 for all candidate j means
+// optimal, and cost[cols] then holds the objective value.
+type tableau struct {
+	m, n, cols int
+	a          [][]*big.Rat // m rows × (cols+1) cells
+	cost       []*big.Rat   // cols+1 cells
+	basis      []int        // basis[i] = variable basic in row i
+	pivots     int
+}
+
+func newTableau(p Problem) *tableau {
+	m, n := len(p.B), len(p.C)
+	t := &tableau{m: m, n: n, cols: n + m}
+	t.a = make([][]*big.Rat, m)
+	t.basis = make([]int, m)
+	for i := 0; i < m; i++ {
+		row := make([]*big.Rat, t.cols+1)
+		for j := 0; j < n; j++ {
+			row[j] = new(big.Rat).Set(p.A[i][j])
+		}
+		for j := n; j < t.cols; j++ {
+			row[j] = new(big.Rat)
+		}
+		row[t.cols] = new(big.Rat).Set(p.B[i])
+		if row[t.cols].Sign() < 0 {
+			for j := 0; j <= t.cols; j++ {
+				row[j].Neg(row[j])
+			}
+		}
+		row[n+i].SetInt64(1)
+		t.a[i] = row
+		t.basis[i] = n + i
+	}
+	return t
+}
+
+// setObjective installs maximize d·x (nil entries read as 0) as the cost
+// row and eliminates the current basic variables from it.
+func (t *tableau) setObjective(d []*big.Rat) {
+	t.cost = make([]*big.Rat, t.cols+1)
+	for j := 0; j <= t.cols; j++ {
+		t.cost[j] = new(big.Rat)
+		if j < t.cols && d[j] != nil {
+			t.cost[j].Neg(d[j])
+		}
+	}
+	tmp := new(big.Rat)
+	for i, v := range t.basis {
+		if t.cost[v].Sign() == 0 {
+			continue
+		}
+		factor := new(big.Rat).Set(t.cost[v])
+		for j := 0; j <= t.cols; j++ {
+			t.cost[j].Sub(t.cost[j], tmp.Mul(factor, t.a[i][j]))
+		}
+	}
+}
+
+// pivotLoop runs Bland's-rule pivots until optimal or unbounded.
+// Columns with index ≥ limit may not enter the basis (phase 2 passes
+// limit = n to bar the artificials).
+func (t *tableau) pivotLoop(limit int) Status {
+	// Bland's rule cannot cycle; the cap is a defensive backstop that
+	// turns an implementation bug into a loud failure instead of a hang.
+	maxPivots := 1000 * (t.cols + 1)
+	ratio, best := new(big.Rat), new(big.Rat)
+	for {
+		enter := -1
+		for j := 0; j < limit; j++ {
+			if t.cost[j].Sign() < 0 {
+				enter = j
+				break
+			}
+		}
+		if enter < 0 {
+			return Optimal
+		}
+		leave := -1
+		for i := 0; i < t.m; i++ {
+			if t.a[i][enter].Sign() <= 0 {
+				continue
+			}
+			ratio.Quo(t.a[i][t.cols], t.a[i][enter])
+			if leave < 0 || ratio.Cmp(best) < 0 ||
+				(ratio.Cmp(best) == 0 && t.basis[i] < t.basis[leave]) {
+				leave = i
+				best.Set(ratio)
+			}
+		}
+		if leave < 0 {
+			return Unbounded
+		}
+		t.pivot(leave, enter)
+		if t.pivots > maxPivots {
+			panic("lpengine: simplex pivot cap exceeded")
+		}
+	}
+}
+
+// pivot makes column enter basic in row leave.
+func (t *tableau) pivot(leave, enter int) {
+	t.pivots++
+	piv := new(big.Rat).Set(t.a[leave][enter])
+	row := t.a[leave]
+	for j := 0; j <= t.cols; j++ {
+		row[j].Quo(row[j], piv)
+	}
+	tmp := new(big.Rat)
+	eliminate := func(target []*big.Rat) {
+		if target[enter].Sign() == 0 {
+			return
+		}
+		factor := new(big.Rat).Set(target[enter])
+		for j := 0; j <= t.cols; j++ {
+			target[j].Sub(target[j], tmp.Mul(factor, row[j]))
+		}
+	}
+	for i := 0; i < t.m; i++ {
+		if i != leave {
+			eliminate(t.a[i])
+		}
+	}
+	eliminate(t.cost)
+	t.basis[leave] = enter
+}
+
+// evictArtificials pivots any artificial variable still basic after
+// phase 1 (necessarily at value 0) out of the basis where a structural
+// column allows it. A row whose structural coefficients are all zero is
+// a redundant constraint; its artificial stays basic at zero and is
+// harmless because phase 2 bars artificial columns from entering.
+func (t *tableau) evictArtificials() {
+	for i := 0; i < t.m; i++ {
+		if t.basis[i] < t.n {
+			continue
+		}
+		for j := 0; j < t.n; j++ {
+			if t.a[i][j].Sign() != 0 {
+				t.pivot(i, j)
+				break
+			}
+		}
+	}
+}

@@ -1,0 +1,143 @@
+package lpengine
+
+import (
+	"math/big"
+	"testing"
+)
+
+func r(a, b int64) *big.Rat { return big.NewRat(a, b) }
+
+func row(vals ...*big.Rat) []*big.Rat { return vals }
+
+func requireOptimal(t *testing.T, sol Solution, want *big.Rat) {
+	t.Helper()
+	if sol.Status != Optimal {
+		t.Fatalf("status = %v, want optimal", sol.Status)
+	}
+	if sol.Objective.Cmp(want) != 0 {
+		t.Fatalf("objective = %s, want %s", sol.Objective.RatString(), want.RatString())
+	}
+}
+
+// max x+y s.t. x + s1 = 2, y + s2 = 3 → 5 at x=2, y=3.
+func TestMaximizeSimpleBounds(t *testing.T) {
+	p := Problem{
+		A: [][]*big.Rat{
+			row(r(1, 1), r(0, 1), r(1, 1), r(0, 1)),
+			row(r(0, 1), r(1, 1), r(0, 1), r(1, 1)),
+		},
+		B: []*big.Rat{r(2, 1), r(3, 1)},
+		C: []*big.Rat{r(1, 1), r(1, 1), r(0, 1), r(0, 1)},
+	}
+	sol := Maximize(p)
+	requireOptimal(t, sol, r(5, 1))
+	if sol.X[0].Cmp(r(2, 1)) != 0 || sol.X[1].Cmp(r(3, 1)) != 0 {
+		t.Fatalf("x = %v, want (2, 3, _, _)", sol.X)
+	}
+}
+
+// Exact fractions: max x s.t. 3x + s = 1 → 1/3, no rounding anywhere.
+func TestMaximizeExactFractions(t *testing.T) {
+	p := Problem{
+		A: [][]*big.Rat{row(r(3, 1), r(1, 1))},
+		B: []*big.Rat{r(1, 1)},
+		C: []*big.Rat{r(1, 1), r(0, 1)},
+	}
+	requireOptimal(t, Maximize(p), r(1, 3))
+}
+
+// min x+y s.t. x + y - s = 1 → 1 (Minimize negates through Maximize).
+func TestMinimize(t *testing.T) {
+	p := Problem{
+		A: [][]*big.Rat{row(r(1, 1), r(1, 1), r(-1, 1))},
+		B: []*big.Rat{r(1, 1)},
+		C: []*big.Rat{r(1, 1), r(1, 1), r(0, 1)},
+	}
+	requireOptimal(t, Minimize(p), r(1, 1))
+}
+
+// x + y = 1, x - y = 2, both ≥ 0 has the unique solution (3/2, -1/2),
+// which violates y ≥ 0: infeasible.
+func TestInfeasible(t *testing.T) {
+	p := Problem{
+		A: [][]*big.Rat{
+			row(r(1, 1), r(1, 1)),
+			row(r(1, 1), r(-1, 1)),
+		},
+		B: []*big.Rat{r(1, 1), r(2, 1)},
+		C: []*big.Rat{r(1, 1), r(0, 1)},
+	}
+	if sol := Maximize(p); sol.Status != Infeasible {
+		t.Fatalf("status = %v, want infeasible", sol.Status)
+	}
+}
+
+// max x s.t. x - y = 0: the ray x = y → ∞ is feasible, so unbounded.
+func TestUnbounded(t *testing.T) {
+	p := Problem{
+		A: [][]*big.Rat{row(r(1, 1), r(-1, 1))},
+		B: []*big.Rat{r(0, 1)},
+		C: []*big.Rat{r(1, 1), r(0, 1)},
+	}
+	if sol := Maximize(p); sol.Status != Unbounded {
+		t.Fatalf("status = %v, want unbounded", sol.Status)
+	}
+}
+
+// A negative right-hand side must be row-normalized, not rejected:
+// -x - s = -2 ⇔ x + s = 2 → max x = 2.
+func TestNegativeRHS(t *testing.T) {
+	p := Problem{
+		A: [][]*big.Rat{row(r(-1, 1), r(-1, 1))},
+		B: []*big.Rat{r(-2, 1)},
+		C: []*big.Rat{r(1, 1), r(0, 1)},
+	}
+	requireOptimal(t, Maximize(p), r(2, 1))
+}
+
+// A redundant (dependent) constraint leaves an artificial basic at zero
+// after phase 1; the solve must still reach the optimum.
+func TestRedundantConstraint(t *testing.T) {
+	p := Problem{
+		A: [][]*big.Rat{
+			row(r(1, 1), r(1, 1)),
+			row(r(2, 1), r(2, 1)), // 2× the first row
+		},
+		B: []*big.Rat{r(1, 1), r(2, 1)},
+		C: []*big.Rat{r(1, 1), r(0, 1)},
+	}
+	requireOptimal(t, Maximize(p), r(1, 1))
+}
+
+// Beale's classic cycling example (converted to equalities with slack
+// columns); Bland's rule must terminate at the optimum 1/20.
+func TestBealeNoCycling(t *testing.T) {
+	p := Problem{
+		A: [][]*big.Rat{
+			row(r(1, 4), r(-60, 1), r(-1, 25), r(9, 1), r(1, 1), r(0, 1), r(0, 1)),
+			row(r(1, 2), r(-90, 1), r(-1, 50), r(3, 1), r(0, 1), r(1, 1), r(0, 1)),
+			row(r(0, 1), r(0, 1), r(1, 1), r(0, 1), r(0, 1), r(0, 1), r(1, 1)),
+		},
+		B: []*big.Rat{r(0, 1), r(0, 1), r(1, 1)},
+		C: []*big.Rat{r(3, 4), r(-150, 1), r(1, 50), r(-6, 1), r(0, 1), r(0, 1), r(0, 1)},
+	}
+	requireOptimal(t, Maximize(p), r(1, 20))
+}
+
+// The degenerate master shape condLP builds: column bounds plus a
+// conditioning row that pins x = m; max and min must coincide.
+func TestDegenerateMasterMaxEqualsMin(t *testing.T) {
+	p := Problem{
+		A: [][]*big.Rat{
+			row(r(1, 1), r(0, 1), r(1, 1), r(0, 1)),
+			row(r(0, 1), r(1, 1), r(0, 1), r(1, 1)),
+			row(r(1, 1), r(1, 1), r(0, 1), r(0, 1)),
+		},
+		B: []*big.Rat{r(1, 3), r(2, 3), r(1, 1)},
+		C: []*big.Rat{r(1, 1), r(0, 1), r(0, 1), r(0, 1)},
+	}
+	hi := Maximize(p)
+	lo := Minimize(p)
+	requireOptimal(t, hi, r(1, 3))
+	requireOptimal(t, lo, r(1, 3))
+}

@@ -1,0 +1,158 @@
+package query
+
+// Backend selection. The repo carries two exact engines: core.Engine
+// enumerates the run space, and lpengine.Engine answers belief-bound
+// shapes (Belief / Constraint / Threshold over past-based facts) by
+// exact-rational linear programming. Both compute the same rationals —
+// the differential harness (differential_test.go) holds them to
+// byte-identical ResultDocs over every registry scenario — so a backend
+// is a performance and cross-checking choice, never a semantic one.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/big"
+
+	"pak/internal/core"
+	"pak/internal/logic"
+	"pak/internal/lpengine"
+	"pak/internal/runset"
+)
+
+// Backend names the engine a batch evaluates on.
+type Backend string
+
+const (
+	// BackendEnum is the enumeration engine (core.Engine), the default;
+	// it answers every query kind.
+	BackendEnum Backend = "enum"
+	// BackendLP is the LP engine, strict: queries CanSolveLP rejects
+	// fail in their slots with ErrBackendUnsupported.
+	BackendLP Backend = "lp"
+	// BackendAuto routes each query to the LP engine when CanSolveLP
+	// accepts it and to the enumeration engine otherwise.
+	BackendAuto Backend = "auto"
+)
+
+// ErrBackendUnsupported is the typed error a strict-lp slot reports
+// when the query has no LP form. The service maps it to a 400.
+var ErrBackendUnsupported = errors.New("query: backend does not support this query")
+
+// ParseBackend parses a wire/flag backend name. The empty string means
+// the default enumeration backend.
+func ParseBackend(s string) (Backend, error) {
+	switch Backend(s) {
+	case "":
+		return BackendEnum, nil
+	case BackendEnum, BackendLP, BackendAuto:
+		return Backend(s), nil
+	}
+	return "", fmt.Errorf("query: unknown backend %q (have %q, %q, %q)",
+		s, BackendEnum, BackendLP, BackendAuto)
+}
+
+// WithBackend selects the evaluation backend for a batch or stream.
+// The zero value and BackendEnum are the status quo; see Backend for
+// the lp and auto contracts.
+func WithBackend(b Backend) Option {
+	return func(c *config) { c.backend = b }
+}
+
+// CanSolveLP reports whether the LP backend can answer q: the kind must
+// be Belief, Constraint or Threshold, and the fact must be structurally
+// past-based (logic.FactSpec.PastBased) — the property that lets the LP
+// engine evaluate it once per world-column instead of once per run.
+// Facts with opaque Go predicates have no structural spec and are
+// rejected.
+func CanSolveLP(q Query) bool {
+	var f logic.Fact
+	switch qq := q.(type) {
+	case BeliefQuery:
+		f = qq.Fact
+	case ConstraintQuery:
+		f = qq.Fact
+	case ThresholdQuery:
+		f = qq.Fact
+	default:
+		return false
+	}
+	if f == nil {
+		return false
+	}
+	spec, ok := logic.SpecOf(f)
+	return ok && spec.PastBased()
+}
+
+// beliefSolver is the engine surface the three LP-supported query kinds
+// evaluate against. *core.Engine and *lpengine.Engine both satisfy it,
+// and the query kinds assemble their Results through it (see evalOn in
+// query.go), so the two backends share one Result-assembly path and
+// cannot drift in formatting — only the six measure computations
+// differ.
+type beliefSolver interface {
+	Belief(f logic.Fact, agent, local string) (*big.Rat, error)
+	BeliefByActionState(f logic.Fact, agent, action string) (map[string]*big.Rat, error)
+	ConstraintProb(f logic.Fact, agent, action string) (*big.Rat, error)
+	FactAtAction(f logic.Fact, agent, action string) (*runset.Set, error)
+	ThresholdMeasure(f logic.Fact, agent, action string, p *big.Rat) (*big.Rat, error)
+	BeliefThresholdEvent(f logic.Fact, agent, action string, p *big.Rat) (*runset.Set, error)
+}
+
+var (
+	_ beliefSolver = (*core.Engine)(nil)
+	_ beliefSolver = (*lpengine.Engine)(nil)
+)
+
+// unsupportedErr labels a query a strict-lp evaluation cannot answer.
+func unsupportedErr(q Query) error {
+	return fmt.Errorf("%w: %s (kind %q)", ErrBackendUnsupported, stringOf(q), kindOf(q))
+}
+
+// evalLPCtx is evalCtx for the LP backend: the same nil/validate/panic
+// envelope, dispatching to the query's evalOn against the LP engine.
+// Callers route only kinds CanSolveLP accepts; the default arm is a
+// defensive ErrBackendUnsupported, not a reachable path.
+func evalLPCtx(ctx context.Context, lp *lpengine.Engine, q Query) (res Result, err error) {
+	if q == nil {
+		return Result{}, fmt.Errorf("query: nil query")
+	}
+	if vErr := q.validate(); vErr != nil {
+		return Result{Kind: q.Kind(), Query: q.String(), Err: vErr}, vErr
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("query: %s: panic: %v", q, r)
+			res = Result{Kind: q.Kind(), Query: q.String(), Err: err}
+		}
+	}()
+	switch qq := q.(type) {
+	case BeliefQuery:
+		res, err = qq.evalOn(ctx, lp)
+	case ConstraintQuery:
+		res, err = qq.evalOn(ctx, lp)
+	case ThresholdQuery:
+		res, err = qq.evalOn(ctx, lp)
+	default:
+		err = unsupportedErr(q)
+	}
+	if err != nil {
+		return Result{Kind: q.Kind(), Query: q.String(), Err: err}, err
+	}
+	return res, nil
+}
+
+// anyLPRouted reports whether the backend would route any query in the
+// batch to the LP engine, so enum-shaped batches under auto skip the
+// engine build.
+func anyLPRouted(qs []Query, b Backend) bool {
+	if b != BackendLP && b != BackendAuto {
+		return false
+	}
+	for _, q := range qs {
+		if CanSolveLP(q) {
+			return true
+		}
+	}
+	return false
+}

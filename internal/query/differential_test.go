@@ -1,0 +1,424 @@
+package query_test
+
+// The differential harness: the enumeration backend (core.Engine) and
+// the LP backend (lpengine.Engine) must be byte-indistinguishable on
+// the wire for every LP-supported query shape. TestBackendsAgree holds
+// them to identical ResultDoc JSON over every registry scenario's
+// declared differential instances — serial, parallel, auto-routed and
+// streamed — and the fuzz targets extend the same contract to random
+// systems with random structural past-based facts. The tests live in
+// package query_test because they consume the registry, which itself
+// sits above package query in the import graph.
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sort"
+	"testing"
+
+	"pak/internal/core"
+	"pak/internal/epistemic"
+	"pak/internal/logic"
+	"pak/internal/pps"
+	"pak/internal/query"
+	"pak/internal/randsys"
+	"pak/internal/ratutil"
+	"pak/internal/registry"
+	"pak/internal/scenarios"
+)
+
+// wireJSON renders a Result exactly as the pakd service would put it on
+// the wire; two results that agree here are indistinguishable to any
+// client.
+func wireJSON(t testing.TB, res query.Result) string {
+	t.Helper()
+	data, err := json.Marshal(query.DocOf(res))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data)
+}
+
+// properPairs discovers the system's proper (agent, action) pairs — the
+// pairs every run performs exactly once — by direct scan, independent
+// of either engine's properness bookkeeping.
+func properPairs(sys *pps.System) [][2]string {
+	var pairs [][2]string
+	for _, name := range sys.Agents() {
+		id, ok := sys.AgentIndex(name)
+		if !ok {
+			continue
+		}
+		acts := make(map[string]bool)
+		for r := 0; r < sys.NumRuns(); r++ {
+			for t := 0; t < sys.RunLen(pps.RunID(r)); t++ {
+				if a, performed := sys.Action(pps.RunID(r), t, id); performed && a != "" {
+					acts[a] = true
+				}
+			}
+		}
+		names := make([]string, 0, len(acts))
+		for a := range acts {
+			names = append(names, a)
+		}
+		sort.Strings(names)
+		for _, a := range names {
+			proper := true
+			for r := 0; r < sys.NumRuns() && proper; r++ {
+				count := 0
+				for t := 0; t < sys.RunLen(pps.RunID(r)); t++ {
+					if got, performed := sys.Action(pps.RunID(r), t, id); performed && got == a {
+						count++
+					}
+				}
+				proper = count == 1
+			}
+			if proper {
+				pairs = append(pairs, [2]string{name, a})
+			}
+		}
+	}
+	return pairs
+}
+
+// agentLocals returns the agent's local-state alphabet.
+func agentLocals(sys *pps.System, agent string) []string {
+	id, ok := sys.AgentIndex(agent)
+	if !ok {
+		return nil
+	}
+	return sys.LocalStates(id)
+}
+
+// supportedBatch assembles, from the system's own structure, a batch of
+// queries the LP backend claims to answer — every shape (belief at a
+// local, belief by acting states, constraint with and without
+// threshold, threshold at the probability extremes) over a spread of
+// past-based facts, plus deliberate error shapes (unknown agent,
+// unknown local) whose failures must also match byte for byte.
+func supportedBatch(t testing.TB, sys *pps.System) []query.Query {
+	t.Helper()
+	agents := sys.Agents()
+	if len(agents) == 0 {
+		t.Fatal("system has no agents")
+	}
+	a0 := agents[0]
+	locals := agentLocals(sys, a0)
+	if len(locals) == 0 {
+		t.Fatalf("agent %q has no local states", a0)
+	}
+
+	facts := []logic.Fact{
+		logic.True(),
+		logic.False(),
+		logic.LocalIs(a0, locals[0]),
+		logic.Not(logic.LocalContains(a0, locals[0][:1])),
+		logic.Once(logic.LocalIs(a0, locals[len(locals)-1])),
+		logic.SoFar(logic.Not(logic.LocalContains(a0, "\x00"))),
+		logic.Or(logic.TimeIs(0), logic.TimeIs(sys.MaxTime())),
+		epistemic.Knows(a0, logic.LocalIs(a0, locals[0])),
+	}
+	if len(agents) > 1 {
+		facts = append(facts, epistemic.Believes(agents[1], ratutil.R(1, 2), logic.LocalIs(a0, locals[0])))
+	}
+
+	var qs []query.Query
+	for _, f := range facts {
+		qs = append(qs, query.BeliefQuery{Fact: f, Agent: a0, Local: locals[0]})
+	}
+	for _, pair := range properPairs(sys) {
+		agent, action := pair[0], pair[1]
+		for _, f := range facts[:4] {
+			qs = append(qs,
+				query.BeliefQuery{Fact: f, Agent: agent, Action: action},
+				query.ConstraintQuery{Fact: f, Agent: agent, Action: action},
+				query.ConstraintQuery{Fact: f, Agent: agent, Action: action, Threshold: ratutil.R(1, 2)},
+			)
+			for _, p := range []*big2{{0, 1}, {1, 2}, {1, 1}} {
+				qs = append(qs, query.ThresholdQuery{Fact: f, Agent: agent, Action: action, P: ratutil.R(p.a, p.b)})
+			}
+		}
+	}
+	// Error shapes: both backends must fail these slots identically.
+	qs = append(qs,
+		query.BeliefQuery{Fact: logic.True(), Agent: "no-such-agent", Local: locals[0]},
+		query.BeliefQuery{Fact: logic.True(), Agent: a0, Local: "no-such-local"},
+	)
+
+	for i, q := range qs {
+		if !query.CanSolveLP(q) {
+			t.Fatalf("batch slot %d (%s) is not LP-supported; the batch must route entirely to lp", i, q)
+		}
+	}
+	return qs
+}
+
+// big2 is a numerator/denominator pair (a local helper; big.Rat values
+// must not be shared across query slots, so thresholds are minted per
+// use).
+type big2 struct{ a, b int64 }
+
+// evalFrames reassembles a stream into batch order by frame index.
+func evalFrames(t testing.TB, sys *pps.System, qs []query.Query, opts ...query.Option) []query.Result {
+	t.Helper()
+	out := make([]query.Result, len(qs))
+	seen := make([]bool, len(qs))
+	for f := range query.EvalStream(core.New(sys), qs, opts...) {
+		if f.Terminal() {
+			if f.Status != query.StreamComplete {
+				t.Fatalf("terminal status %q, want complete", f.Status)
+			}
+			continue
+		}
+		if f.Index < 0 || f.Index >= len(qs) || seen[f.Index] {
+			t.Fatalf("bad or duplicate frame index %d", f.Index)
+		}
+		out[f.Index], seen[f.Index] = f.Result, true
+	}
+	for i, ok := range seen {
+		if !ok {
+			t.Fatalf("slot %d never emitted", i)
+		}
+	}
+	return out
+}
+
+// TestBackendsAgree is the harness gate: for every registry scenario's
+// declared differential instances, the LP backend — serial, parallel,
+// auto-routed and streamed — returns exactly the bytes the enumeration
+// backend returns, on every supported query shape including error
+// slots.
+func TestBackendsAgree(t *testing.T) {
+	reg := registry.Default()
+	covered := 0
+	for _, s := range reg.Scenarios() {
+		if len(s.Differential) == 0 {
+			t.Errorf("scenario %q declares no differential instances; every scenario must enroll", s.Name)
+			continue
+		}
+		for _, spec := range s.Differential {
+			spec := spec
+			covered++
+			t.Run(spec, func(t *testing.T) {
+				sys, err := reg.Build(spec)
+				if err != nil {
+					t.Fatalf("build %q: %v", spec, err)
+				}
+				qs := supportedBatch(t, sys)
+
+				want, _ := query.EvalBatch(core.New(sys), qs, query.WithParallelism(1))
+				wantDocs := make([]string, len(want))
+				for i, res := range want {
+					wantDocs[i] = wireJSON(t, res)
+				}
+
+				check := func(mode string, got []query.Result) {
+					t.Helper()
+					if len(got) != len(wantDocs) {
+						t.Fatalf("%s: %d results, want %d", mode, len(got), len(wantDocs))
+					}
+					for i := range got {
+						if doc := wireJSON(t, got[i]); doc != wantDocs[i] {
+							t.Errorf("%s slot %d (%s) differs:\nlp:   %s\nenum: %s", mode, i, qs[i], doc, wantDocs[i])
+						}
+					}
+				}
+
+				serial, _ := query.EvalBatch(core.New(sys), qs,
+					query.WithParallelism(1), query.WithBackend(query.BackendLP))
+				check("serial lp", serial)
+
+				par, _ := query.EvalBatch(core.New(sys), qs,
+					query.WithParallelism(4), query.WithBackend(query.BackendLP))
+				check("parallel lp", par)
+
+				auto, _ := query.EvalBatch(core.New(sys), qs, query.WithBackend(query.BackendAuto))
+				check("auto", auto)
+
+				uncached, _ := query.EvalBatch(core.New(sys), qs,
+					query.WithBackend(query.BackendLP), query.WithCache(false))
+				check("uncached lp", uncached)
+
+				check("streamed lp", evalFrames(t, sys, qs,
+					query.WithParallelism(4), query.WithBackend(query.BackendLP)))
+			})
+		}
+	}
+	if covered == 0 {
+		t.Fatal("registry declares no differential instances at all")
+	}
+}
+
+// TestBackendStrictUnsupported pins the strict-lp contract: a query
+// outside the LP fragment fails its own slot with
+// ErrBackendUnsupported (and only its slot), while auto routes it to
+// enumeration and matches the enum bytes.
+func TestBackendStrictUnsupported(t *testing.T) {
+	sys, err := scenarios.NFiringSquadSystem(2, ratutil.R(1, 10), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	supported := query.ConstraintQuery{Fact: logic.True(), Agent: scenarios.General, Action: scenarios.ActFire}
+	unsupported := []query.Query{
+		// does reads the future: outside the past-based fragment.
+		query.ConstraintQuery{Fact: scenarios.AllFireFact(2), Agent: scenarios.General, Action: scenarios.ActFire},
+		// expectation has no LP form at all.
+		query.ExpectationQuery{Fact: logic.True(), Agent: scenarios.General, Action: scenarios.ActFire},
+	}
+	qs := append([]query.Query{supported}, unsupported...)
+
+	strict, err := query.EvalBatch(core.New(sys), qs, query.WithBackend(query.BackendLP), query.WithParallelism(1))
+	if err == nil {
+		t.Fatal("strict lp over unsupported queries returned a nil joined error")
+	}
+	if strict[0].Err != nil {
+		t.Errorf("supported slot was disturbed: %v", strict[0].Err)
+	}
+	for i := 1; i < len(qs); i++ {
+		if !errors.Is(strict[i].Err, query.ErrBackendUnsupported) {
+			t.Errorf("slot %d error %v does not wrap ErrBackendUnsupported", i, strict[i].Err)
+		}
+	}
+
+	enum, err := query.EvalBatch(core.New(sys), qs, query.WithParallelism(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	auto, err := query.EvalBatch(core.New(sys), qs, query.WithBackend(query.BackendAuto), query.WithParallelism(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range qs {
+		if got, want := wireJSON(t, auto[i]), wireJSON(t, enum[i]); got != want {
+			t.Errorf("auto slot %d differs from enum:\nauto: %s\nenum: %s", i, got, want)
+		}
+	}
+}
+
+func TestParseBackend(t *testing.T) {
+	for s, want := range map[string]query.Backend{
+		"":     query.BackendEnum,
+		"enum": query.BackendEnum,
+		"lp":   query.BackendLP,
+		"auto": query.BackendAuto,
+	} {
+		got, err := query.ParseBackend(s)
+		if err != nil || got != want {
+			t.Errorf("ParseBackend(%q) = %q, %v; want %q", s, got, err, want)
+		}
+	}
+	if _, err := query.ParseBackend("quantum"); err == nil {
+		t.Error("ParseBackend accepted an unknown backend")
+	}
+}
+
+// differentialOnce is the fuzz body: one random system, one random
+// structural past-based fact, both backends, identical bytes — and a
+// run-labelled (future-reading, opaque) fact that strict lp must
+// reject with the typed error while auto answers it via enumeration.
+func differentialOnce(t *testing.T, seed int64) {
+	t.Helper()
+	if seed < 0 {
+		seed = -seed
+	}
+	cfg := randsys.Default(seed%1000 + 1)
+	cfg.DetAction = seed%2 == 0
+	sys, err := randsys.Generate(cfg)
+	if err != nil {
+		t.Fatalf("seed %d: %v", seed, err)
+	}
+	a0 := sys.Agents()[0]
+	locals := agentLocals(sys, a0)
+
+	past := randsys.StructuredPastFact(sys, seed*31+7)
+	qs := []query.Query{
+		query.BeliefQuery{Fact: past, Agent: a0, Local: locals[0]},
+		query.BeliefQuery{Fact: past, Agent: a0, Action: randsys.DesignatedAction},
+		query.ConstraintQuery{Fact: past, Agent: a0, Action: randsys.DesignatedAction},
+		query.ThresholdQuery{Fact: past, Agent: a0, Action: randsys.DesignatedAction, P: ratutil.R(1, 2)},
+	}
+	for i, q := range qs {
+		if !query.CanSolveLP(q) {
+			t.Fatalf("seed %d: structured past fact rejected by CanSolveLP at slot %d", seed, i)
+		}
+	}
+
+	enum, _ := query.EvalBatch(core.New(sys), qs, query.WithParallelism(1))
+	lp, _ := query.EvalBatch(core.New(sys), qs,
+		query.WithParallelism(1), query.WithBackend(query.BackendLP))
+	for i := range qs {
+		if got, want := wireJSON(t, lp[i]), wireJSON(t, enum[i]); got != want {
+			t.Errorf("seed %d slot %d (%s):\nlp:   %s\nenum: %s", seed, i, qs[i], got, want)
+		}
+	}
+
+	// The opaque run-labelled fact can read the future: CanSolveLP must
+	// refuse it, strict lp must fail the slot with the typed error, and
+	// auto must fall through to enumeration bytes.
+	runQ := query.ConstraintQuery{Fact: randsys.RunFact(sys, seed*13+3), Agent: a0, Action: randsys.DesignatedAction}
+	if query.CanSolveLP(runQ) {
+		t.Fatalf("seed %d: run-labelled fact passed CanSolveLP", seed)
+	}
+	strict, _ := query.EvalBatch(core.New(sys), []query.Query{runQ}, query.WithBackend(query.BackendLP))
+	if !errors.Is(strict[0].Err, query.ErrBackendUnsupported) {
+		t.Errorf("seed %d: strict lp error %v does not wrap ErrBackendUnsupported", seed, strict[0].Err)
+	}
+	enumRun, _ := query.EvalBatch(core.New(sys), []query.Query{runQ}, query.WithParallelism(1))
+	autoRun, _ := query.EvalBatch(core.New(sys), []query.Query{runQ},
+		query.WithBackend(query.BackendAuto), query.WithParallelism(1))
+	if got, want := wireJSON(t, autoRun[0]), wireJSON(t, enumRun[0]); got != want {
+		t.Errorf("seed %d: auto on unsupported query differs from enum:\nauto: %s\nenum: %s", seed, got, want)
+	}
+}
+
+// TestDifferentialSweep is the bounded deterministic slice of the fuzz
+// target that runs in every plain `go test ./...` (and under -race in
+// `make check`): fixed seeds, no corpus required.
+func TestDifferentialSweep(t *testing.T) {
+	for seed := int64(1); seed <= 40; seed++ {
+		differentialOnce(t, seed)
+	}
+}
+
+// FuzzDifferentialBackends lets the fuzzer hunt for seeds where the
+// backends disagree: go test -fuzz=FuzzDifferentialBackends ./internal/query/
+func FuzzDifferentialBackends(f *testing.F) {
+	for seed := int64(1); seed <= 8; seed++ {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, seed int64) {
+		differentialOnce(t, seed)
+	})
+}
+
+// BenchmarkLPvsEnumeration compares the backends on the n-squad
+// threshold workload that motivates the LP engine: the belief fact is
+// evaluated once per world-column there instead of once per run. Fresh
+// engines per iteration keep memoization from crossing iterations.
+func BenchmarkLPvsEnumeration(b *testing.B) {
+	for _, n := range []int{3, 4, 5} {
+		sys, err := scenarios.NFiringSquadSystem(n, ratutil.R(1, 10), false)
+		if err != nil {
+			b.Fatal(err)
+		}
+		fact := epistemic.Believes(scenarios.General, ratutil.R(1, 2), scenarios.AllFireFact(n))
+		var qs []query.Query
+		for _, p := range []*big2{{0, 1}, {1, 4}, {1, 2}, {3, 4}, {1, 1}} {
+			qs = append(qs, query.ThresholdQuery{
+				Fact: fact, Agent: scenarios.General, Action: scenarios.ActFire, P: ratutil.R(p.a, p.b),
+			})
+		}
+		for _, backend := range []query.Backend{query.BackendEnum, query.BackendLP} {
+			backend := backend
+			b.Run(fmt.Sprintf("n=%d/backend=%s", n, backend), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, err := query.EvalBatch(core.New(sys), qs,
+						query.WithParallelism(1), query.WithBackend(backend)); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}

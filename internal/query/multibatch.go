@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"pak/internal/core"
+	"pak/internal/lpengine"
 	"pak/internal/montecarlo"
 )
 
@@ -44,6 +45,13 @@ type MultiItem struct {
 	// memoized in its EngineCache here, so repeated approx requests
 	// against a cached engine never rebuild the sampling tables.
 	Model *montecarlo.Model
+	// LP optionally carries a prebuilt LP-backend engine (see
+	// WithBackend); nil means the stream builds one on demand when the
+	// backend routes any of the item's queries to it. The enumeration
+	// backend ignores it. The service layer injects the engine memoized
+	// in its EngineCache here, so repeated lp-backend requests against a
+	// cached system never rebuild the class indexes.
+	LP *lpengine.Engine
 }
 
 // MultiBatch evaluates every item's query batch against that item's

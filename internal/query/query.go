@@ -201,6 +201,12 @@ func (q BeliefQuery) validate() error {
 }
 
 func (q BeliefQuery) eval(ctx context.Context, e *core.Engine) (Result, error) {
+	return q.evalOn(ctx, e)
+}
+
+// evalOn is the backend-generic body: both engines answer through the
+// beliefSolver surface, so enum and lp results share one assembly path.
+func (q BeliefQuery) evalOn(_ context.Context, e beliefSolver) (Result, error) {
 	res := Result{Kind: q.Kind(), Query: q.String()}
 	if q.Local != "" {
 		bel, err := e.Belief(q.Fact, q.Agent, q.Local)
@@ -266,6 +272,11 @@ func (q ConstraintQuery) validate() error {
 }
 
 func (q ConstraintQuery) eval(ctx context.Context, e *core.Engine) (Result, error) {
+	return q.evalOn(ctx, e)
+}
+
+// evalOn is the backend-generic body shared by both engines.
+func (q ConstraintQuery) evalOn(_ context.Context, e beliefSolver) (Result, error) {
 	mu, err := e.ConstraintProb(q.Fact, q.Agent, q.Action)
 	if err != nil {
 		return Result{}, err
@@ -363,6 +374,11 @@ func (q ThresholdQuery) validate() error {
 }
 
 func (q ThresholdQuery) eval(ctx context.Context, e *core.Engine) (Result, error) {
+	return q.evalOn(ctx, e)
+}
+
+// evalOn is the backend-generic body shared by both engines.
+func (q ThresholdQuery) evalOn(_ context.Context, e beliefSolver) (Result, error) {
 	tm, err := e.ThresholdMeasure(q.Fact, q.Agent, q.Action, q.P)
 	if err != nil {
 		return Result{}, err

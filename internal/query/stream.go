@@ -30,6 +30,7 @@ import (
 	"errors"
 
 	"pak/internal/core"
+	"pak/internal/lpengine"
 	"pak/internal/montecarlo"
 )
 
@@ -115,6 +116,27 @@ func streamItems(items []MultiItem, cfg config) <-chan Frame {
 	out := make(chan Frame, buffer)
 	go func() {
 		defer close(out)
+		// Under an lp/auto backend each item gets one LP engine for its
+		// lifetime (class indexes memoize per engine, exactly like the
+		// enumeration engine's caches), honoring a caller-injected one.
+		var lps []*lpengine.Engine
+		if cfg.backend != BackendEnum {
+			lps = make([]*lpengine.Engine, len(items))
+			for i := range items {
+				switch {
+				case items[i].LP != nil:
+					lps[i] = items[i].LP
+				case items[i].Engine != nil && anyLPRouted(items[i].Queries, cfg.backend):
+					lps[i] = lpengine.New(items[i].Engine.System())
+				}
+			}
+		}
+		lpFor := func(sys int) *lpengine.Engine {
+			if lps == nil {
+				return nil
+			}
+			return lps[sys]
+		}
 		var models []*montecarlo.Model
 		if cfg.approx != nil {
 			norm, err := cfg.approx.normalized()
@@ -144,11 +166,11 @@ func streamItems(items []MultiItem, cfg config) <-chan Frame {
 		runPool(len(units), cfg.parallelism, func(u int) {
 			sys, q := units[u].sys, units[u].q
 			if cfg.approx == nil {
-				res, _ := evalSlot(items[sys], q, cfg)
+				res, _ := evalSlot(items[sys], lpFor(sys), q, cfg)
 				out <- Frame{System: sys, Index: q, Result: res}
 				return
 			}
-			streamApproxSlot(out, items[sys], models[sys], sys, q, cfg)
+			streamApproxSlot(out, items[sys], models[sys], lpFor(sys), sys, q, cfg)
 		})
 		status, cause := statusOf(cfg.ctx)
 		out <- Frame{Status: status, Err: cause}
@@ -178,7 +200,7 @@ func anyApproxable(qs []Query) bool {
 //     in which case the approx frame stands as the slot's final, sound
 //     answer and no exact frame is emitted (a deadline mid-refinement
 //     must never overwrite a sound estimate with an error).
-func streamApproxSlot(out chan<- Frame, item MultiItem, model *montecarlo.Model, sys, q int, cfg config) {
+func streamApproxSlot(out chan<- Frame, item MultiItem, model *montecarlo.Model, lp *lpengine.Engine, sys, q int, cfg config) {
 	var est *Estimate
 	if CanApprox(item.Queries[q]) {
 		ares := evalApproxSlot(item, model, sys, q, cfg)
@@ -193,7 +215,7 @@ func streamApproxSlot(out chan<- Frame, item MultiItem, model *montecarlo.Model,
 			gate(cfg.ctx, sys, q)
 		}
 	}
-	res, _ := evalSlot(item, q, cfg)
+	res, _ := evalSlot(item, lp, q, cfg)
 	if est != nil {
 		if ctxAborted(res.Err) {
 			return
@@ -207,9 +229,11 @@ func streamApproxSlot(out chan<- Frame, item MultiItem, model *montecarlo.Model,
 
 // evalSlot evaluates one (item, query) slot under the batch config: the
 // context check first (so a dead context fails the slot with the cause,
-// never touching the engine), then the engine, cold when the batch
-// disabled cache sharing.
-func evalSlot(item MultiItem, q int, cfg config) (Result, error) {
+// never touching the engine), then backend routing — strict lp fails
+// unsupported shapes in their slots with ErrBackendUnsupported, auto
+// falls them through to enumeration — then the chosen engine, cold when
+// the batch disabled cache sharing.
+func evalSlot(item MultiItem, lp *lpengine.Engine, q int, cfg config) (Result, error) {
 	qu := item.Queries[q]
 	if err := ctxErr(cfg.ctx, qu); err != nil {
 		return Result{Kind: kindOf(qu), Query: stringOf(qu), Err: err}, err
@@ -217,6 +241,23 @@ func evalSlot(item MultiItem, q int, cfg config) (Result, error) {
 	if item.Engine == nil {
 		err := errors.New("query: nil engine")
 		return Result{Err: err}, err
+	}
+	if cfg.backend == BackendLP || cfg.backend == BackendAuto {
+		if CanSolveLP(qu) {
+			target := lp
+			if target == nil || !cfg.cache {
+				target = lpengine.New(item.Engine.System())
+			}
+			res, err := evalLPCtx(cfg.ctx, target, qu)
+			if err != nil && res.Err == nil {
+				res.Err = err
+			}
+			return res, err
+		}
+		if cfg.backend == BackendLP {
+			err := unsupportedErr(qu)
+			return Result{Kind: kindOf(qu), Query: stringOf(qu), Err: err}, err
+		}
 	}
 	target := item.Engine
 	if !cfg.cache {

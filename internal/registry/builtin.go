@@ -112,11 +112,12 @@ func builtins() []Scenario {
 		Doc: "use the Section 8 refinement (never fire on 'No')"}
 	return []Scenario{
 		{
-			Name:      "fsquad",
-			Doc:       "Example 1's two-agent relaxed firing squad over a lossy synchronous channel",
-			Construct: "Example 1; Section 8 when improved=true",
-			Params:    []Param{lossParam, improvedParam},
-			Sweep:     "sweep(fsquad,loss=0..1/2/1/10)",
+			Name:         "fsquad",
+			Doc:          "Example 1's two-agent relaxed firing squad over a lossy synchronous channel",
+			Construct:    "Example 1; Section 8 when improved=true",
+			Params:       []Param{lossParam, improvedParam},
+			Sweep:        "sweep(fsquad,loss=0..1/2/1/10)",
+			Differential: []string{"fsquad", "fsquad(improved=true)"},
 			Build: func(a Args) (*pps.System, error) {
 				variant := paper.FSOriginal
 				if a.Bool("improved") {
@@ -134,7 +135,8 @@ func builtins() []Scenario {
 					Doc: fmt.Sprintf("total number of agents including the general (2 ≤ n ≤ %d)", maxSquad)},
 				lossParam, improvedParam,
 			},
-			Sweep: "sweep(nsquad,loss=0..1/2/1/10)",
+			Sweep:        "sweep(nsquad,loss=0..1/2/1/10)",
+			Differential: []string{"nsquad(2)", "nsquad(3,loss=1/4)"},
 			Build: func(a Args) (*pps.System, error) {
 				// Check at full width before narrowing: int(n) on 32-bit
 				// would alias out-of-range values into the valid window.
@@ -146,21 +148,23 @@ func builtins() []Scenario {
 			},
 		},
 		{
-			Name:      "mutex",
-			Doc:       "relaxed mutual exclusion: two requesters, an arbiter over a lossy channel, timeout entry",
-			Construct: "Section 1's mutual-exclusion motivation",
-			Params:    []Param{lossParam},
-			Sweep:     "sweep(mutex,loss=0..2/5/1/10)",
+			Name:         "mutex",
+			Doc:          "relaxed mutual exclusion: two requesters, an arbiter over a lossy channel, timeout entry",
+			Construct:    "Section 1's mutual-exclusion motivation",
+			Params:       []Param{lossParam},
+			Sweep:        "sweep(mutex,loss=0..2/5/1/10)",
+			Differential: []string{"mutex"},
 			Build: func(a Args) (*pps.System, error) {
 				return scenarios.MutexSystem(a.Rat("loss"))
 			},
 		},
 		{
-			Name:      "consensus",
-			Doc:       "bounded randomized binary consensus: uniform bits, one lossy exchange, AND decision rule",
-			Construct: "Section 1's consensus motivation",
-			Params:    []Param{lossParam},
-			Sweep:     "sweep(consensus,loss=0..2/5/1/10)",
+			Name:         "consensus",
+			Doc:          "bounded randomized binary consensus: uniform bits, one lossy exchange, AND decision rule",
+			Construct:    "Section 1's consensus motivation",
+			Params:       []Param{lossParam},
+			Sweep:        "sweep(consensus,loss=0..2/5/1/10)",
+			Differential: []string{"consensus"},
 			Build: func(a Args) (*pps.System, error) {
 				return scenarios.ConsensusSystem(a.Rat("loss"))
 			},
@@ -173,15 +177,17 @@ func builtins() []Scenario {
 				{Name: "p", Kind: KindRat, Default: "9/10", Doc: "constraint threshold p (ε < p < 1)"},
 				{Name: "eps", Kind: KindRat, Default: "1/10", Doc: "belief deficit ε (0 < ε < p)"},
 			},
-			Sweep: "sweep(that,eps=1/20..1/4/1/20)",
+			Sweep:        "sweep(that,eps=1/20..1/4/1/20)",
+			Differential: []string{"that"},
 			Build: func(a Args) (*pps.System, error) {
 				return paper.That(a.Rat("p"), a.Rat("eps"))
 			},
 		},
 		{
-			Name:      "figure1",
-			Doc:       "the mixed-action counterexample where local-state independence fails",
-			Construct: "Figure 1 / Section 4",
+			Name:         "figure1",
+			Doc:          "the mixed-action counterexample where local-state independence fails",
+			Construct:    "Figure 1 / Section 4",
+			Differential: []string{"figure1"},
 			Build: func(a Args) (*pps.System, error) {
 				return paper.Figure1()
 			},
@@ -199,7 +205,8 @@ func builtins() []Scenario {
 				{Name: "actiontime", Kind: KindInt, Default: "2", Doc: "time at which a0 may perform the designated action"},
 				{Name: "det", Kind: KindBool, Default: "false", Doc: "make the designated action deterministic (Lemma 4.3(a) mode)"},
 			},
-			Sweep: "sweep(random,seed=1..5)",
+			Sweep:        "sweep(random,seed=1..5)",
+			Differential: []string{"random(seed=1)", "random(seed=7,det=true)"},
 			Build: func(a Args) (*pps.System, error) {
 				// Narrow through intArg so out-of-range values error on
 				// 32-bit platforms instead of silently aliasing (the

@@ -71,6 +71,15 @@ type Scenario struct {
 	// envelope requests. Register validates that it parses and names
 	// this scenario.
 	Sweep string `json:"sweep,omitempty"`
+	// Differential lists the spec instances the two-backend differential
+	// harness evaluates for this scenario: internal/query's
+	// TestBackendsAgree builds each one and requires the enumeration and
+	// LP backends to return byte-identical results over every supported
+	// query shape on it. Register validates that each entry parses,
+	// names this scenario and binds its declared parameters; the catalog
+	// and GET /v1/scenarios advertise the list so new scenarios are
+	// visibly expected to enroll in the cross-check.
+	Differential []string `json:"differential,omitempty"`
 	// Build constructs the system from validated arguments. It is never
 	// nil for a registered scenario and is not serialized.
 	Build func(Args) (*pps.System, error) `json:"-"`
@@ -194,8 +203,21 @@ func (r *Registry) Register(s Scenario) error {
 			return fmt.Errorf("%w: scenario %q sweep example names %q", ErrBadSpec, s.Name, ss.Scenario)
 		}
 	}
-	// Normalizing writes back into s.Params, so copy the slice first:
+	for _, d := range s.Differential {
+		name, pos, named, err := parseSpec(d)
+		if err != nil {
+			return fmt.Errorf("registry: scenario %q differential example: %w", s.Name, err)
+		}
+		if name != s.Name {
+			return fmt.Errorf("%w: scenario %q differential example names %q", ErrBadSpec, s.Name, name)
+		}
+		if _, err := bind(s, pos, named); err != nil {
+			return fmt.Errorf("registry: scenario %q differential example %q: %w", s.Name, d, err)
+		}
+	}
+	// Normalizing writes back into s.Params, so copy the slices first:
 	// Register must not mutate the caller's Scenario value.
+	s.Differential = append([]string(nil), s.Differential...)
 	s.Params = append([]Param(nil), s.Params...)
 	seen := make(map[string]bool, len(s.Params))
 	for i, p := range s.Params {

@@ -1,0 +1,165 @@
+package service
+
+// Wire-level tests for the "backend" request knob: the lp and auto
+// backends must be invisible in the response body (byte-identical to
+// enum — the differential harness's contract carried to the HTTP
+// layer), the strict-lp rejections must be deterministic 400s, and the
+// shapes are golden-pinned like every other wire surface.
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"testing"
+
+	"pak/internal/logic"
+	"pak/internal/query"
+	"pak/internal/ratutil"
+	"pak/internal/scenarios"
+)
+
+// lpWireBatch is a deterministic LP-supported batch over nsquad(2):
+// every query shape the LP fragment covers, serializable facts only.
+func lpWireBatch(t *testing.T) []byte {
+	t.Helper()
+	return mustBatch(t,
+		query.ConstraintQuery{Fact: logic.True(), Agent: scenarios.General,
+			Action: scenarios.ActFire, Threshold: ratutil.R(1, 2)},
+		query.ThresholdQuery{Fact: logic.Once(logic.LocalContains(scenarios.General, "Yes")),
+			Agent: scenarios.General, Action: scenarios.ActFire, P: ratutil.R(1, 2)},
+		query.BeliefQuery{Fact: logic.Not(logic.LocalContains(scenarios.General, "never")),
+			Agent: scenarios.General, Action: scenarios.ActFire},
+	)
+}
+
+// TestEvalBackendGolden: the same batch answered by enum, lp and auto
+// returns byte-identical /v1/eval bodies (the response carries no
+// backend marker, and the results must not differ), golden-pinned on
+// the lp form.
+func TestEvalBackendGolden(t *testing.T) {
+	ts := newTestServer(t)
+	batch := lpWireBatch(t)
+	bodies := make(map[string]string)
+	for _, backend := range []string{"enum", "lp", "auto"} {
+		resp, data := postEval(t, ts, fmt.Sprintf(
+			`{"systems": ["nsquad(2)"], "queries": %s, "parallelism": 1, "backend": %q}`, batch, backend))
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("backend %q: status %d: %s", backend, resp.StatusCode, data)
+		}
+		bodies[backend] = string(data)
+	}
+	if bodies["lp"] != bodies["enum"] || bodies["auto"] != bodies["enum"] {
+		t.Errorf("backend bodies differ:\nenum: %s\nlp:   %s\nauto: %s",
+			bodies["enum"], bodies["lp"], bodies["auto"])
+	}
+	goldenCompare(t, "eval-backend-lp", bodies["lp"])
+}
+
+// TestEvalStreamBackendGolden: the serial lp stream is frame-for-frame
+// byte-identical to the enum stream.
+func TestEvalStreamBackendGolden(t *testing.T) {
+	ts := newTestServer(t)
+	batch := lpWireBatch(t)
+	bodies := make(map[string]string)
+	for _, backend := range []string{"enum", "lp"} {
+		resp, data := postStream(t, ts, fmt.Sprintf(
+			`{"systems": ["nsquad(2)"], "queries": %s, "parallelism": 1, "backend": %q}`, batch, backend))
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("backend %q: status %d: %s", backend, resp.StatusCode, data)
+		}
+		bodies[backend] = data
+	}
+	if bodies["lp"] != bodies["enum"] {
+		t.Errorf("stream bodies differ:\nenum: %s\nlp:   %s", bodies["enum"], bodies["lp"])
+	}
+	goldenCompare(t, "eval-stream-backend-lp", bodies["lp"])
+}
+
+// TestEvalBackendErrors pins the two 400 paths: an unknown backend
+// name, and a strict-lp request carrying a query outside the LP
+// fragment (a does-fact reads the future). The streaming endpoint
+// fails before any frame, so it returns the same JSON error bodies
+// with real status lines.
+func TestEvalBackendErrors(t *testing.T) {
+	ts := newTestServer(t)
+	unsupported := mustBatch(t,
+		query.ConstraintQuery{Fact: scenarios.AllFireFact(2), Agent: scenarios.General, Action: scenarios.ActFire})
+
+	cases := []struct {
+		name string
+		body string
+	}{
+		{"backend-unknown", `{"systems": ["nsquad(2)"], "queries": [], "backend": "quantum"}`},
+		{"backend-unsupported", fmt.Sprintf(
+			`{"systems": ["nsquad(2)"], "queries": %s, "backend": "lp"}`, unsupported)},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			resp, data := postEval(t, ts, tc.body)
+			if resp.StatusCode != http.StatusBadRequest {
+				t.Fatalf("status %d, want 400: %s", resp.StatusCode, data)
+			}
+			goldenCompare(t, tc.name, string(data))
+
+			sresp, sdata := postStream(t, ts, tc.body)
+			if sresp.StatusCode != http.StatusBadRequest {
+				t.Fatalf("stream status %d, want 400: %s", sresp.StatusCode, sdata)
+			}
+			if sdata != string(data) {
+				t.Errorf("stream error body differs from buffered:\nstream:   %s\nbuffered: %s", sdata, data)
+			}
+		})
+	}
+
+	// Auto accepts the same batch: unsupported queries route to enum.
+	resp, data := postEval(t, ts, fmt.Sprintf(
+		`{"systems": ["nsquad(2)"], "queries": %s, "backend": "auto"}`, unsupported))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("auto over an unsupported query: status %d: %s", resp.StatusCode, data)
+	}
+	var out EvalResponse
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Results) != 1 || len(out.Results[0].Results) != 1 || out.Results[0].Results[0].Error != "" {
+		t.Errorf("auto response malformed: %s", data)
+	}
+}
+
+// TestStatsBackendCountsAuto: auto-routed requests split their slots
+// between the counters by CanSolveLP, and strict-lp rejections count
+// nothing.
+func TestStatsBackendCountsAuto(t *testing.T) {
+	ts := newTestServer(t)
+	mixed := mustBatch(t,
+		// LP-supported: past-based fact.
+		query.ConstraintQuery{Fact: logic.True(), Agent: scenarios.General, Action: scenarios.ActFire},
+		// Enum-only: does reads the future.
+		query.ConstraintQuery{Fact: scenarios.AllFireFact(2), Agent: scenarios.General, Action: scenarios.ActFire},
+	)
+	resp, data := postEval(t, ts, fmt.Sprintf(
+		`{"systems": ["nsquad(2)"], "queries": %s, "backend": "auto"}`, mixed))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, data)
+	}
+
+	// A rejected strict-lp request must leave the counters untouched.
+	resp, data = postEval(t, ts, fmt.Sprintf(
+		`{"systems": ["nsquad(2)"], "queries": %s, "backend": "lp"}`, mixed))
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("strict lp over a mixed batch: status %d, want 400: %s", resp.StatusCode, data)
+	}
+
+	sresp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := readAll(t, sresp)
+	var out StatsResponse
+	if err := json.Unmarshal([]byte(body), &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Backends.Enum != 1 || out.Backends.LP != 1 {
+		t.Errorf("backend slots = %+v, want enum=1 lp=1", out.Backends)
+	}
+}

@@ -28,7 +28,8 @@
 //	  "systems": ["fsquad", "nsquad(3)"],
 //	  "queries": [ {"kind":"constraint", ...}, ... ],
 //	  "parallelism": 0,
-//	  "approx": {"eps": "1/10", "delta": "1/100", "seed": 7}
+//	  "approx": {"eps": "1/10", "delta": "1/100", "seed": 7},
+//	  "backend": "lp"
 //	}
 //
 // The optional "approx" object turns the evaluation approx-first (the
@@ -43,6 +44,18 @@
 // capped (maxApproxSamples), invalid specs are 400 at decode, and the
 // per-system sampling model is memoized in the engine cache beside the
 // engine (EngineCache.ModelFor).
+//
+// The optional "backend" field selects the exact engine: "enum" (the
+// default run-enumeration engine), "lp" (the exact-rational LP engine
+// of internal/lpengine — strict, so a batch carrying a query outside
+// the LP fragment is rejected with a 400 naming the offending slot),
+// or "auto" (per-query routing). The two backends return byte-identical
+// result documents on every supported query — internal/query's
+// differential harness enforces exactly that — so "lp" is a
+// cross-check and performance knob, never a semantic one. The LP
+// engine is memoized in the engine cache beside the enumeration engine
+// (EngineCache.LPFor), and GET /v1/stats reports per-backend slot
+// counts under "backends".
 //
 // Top-level queries fan out to every named system; a "requests" list
 // gives per-system batches instead (or additionally). The response keeps
@@ -75,6 +88,7 @@ import (
 	"net/http"
 	"runtime"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"pak/internal/core"
@@ -195,6 +209,11 @@ type Server struct {
 	bodyLimit      int64
 
 	engines *EngineCache
+
+	// evalEnum and evalLP count accepted evaluation slots per backend
+	// (see countBackendSlots); /v1/stats reports them.
+	evalEnum atomic.Int64
+	evalLP   atomic.Int64
 }
 
 // New returns a server over the registry (nil means registry.Default()).
@@ -242,7 +261,10 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("%s not allowed; use GET", r.Method))
 		return
 	}
-	writeJSON(w, http.StatusOK, StatsResponse{EngineCache: s.engines.Stats()})
+	writeJSON(w, http.StatusOK, StatsResponse{
+		EngineCache: s.engines.Stats(),
+		Backends:    BackendStats{Enum: s.evalEnum.Load(), LP: s.evalLP.Load()},
+	})
 }
 
 // StatsResponse is the GET /v1/stats body.
@@ -250,6 +272,16 @@ type StatsResponse struct {
 	// EngineCache snapshots the shared engine cache: retained engines
 	// (len/cap) and the hit/miss/eviction/shared-build counters.
 	EngineCache CacheStats `json:"engineCache"`
+	// Backends counts accepted evaluation slots by the backend that
+	// answers them (auto-routed slots count under the backend they
+	// resolve to).
+	Backends BackendStats `json:"backends"`
+}
+
+// BackendStats is the per-backend slot accounting in StatsResponse.
+type BackendStats struct {
+	Enum int64 `json:"enum"`
+	LP   int64 `json:"lp"`
 }
 
 // resolved is a spec vetted for the service path: its canonical cache
@@ -445,6 +477,14 @@ type EvalRequest struct {
 	// streaming path the estimate arrives as its own stage:"approx"
 	// frame before the exact frame.
 	Approx *ApproxRequest `json:"approx,omitempty"`
+	// Backend selects the exact engine answering this request: "enum"
+	// (the default, every query kind), "lp" (the exact-rational LP
+	// engine — strict: a request carrying any query outside its
+	// fragment is a 400 naming the offending slot), or "auto" (each
+	// query routes to lp when supported, enum otherwise). Both backends
+	// return byte-identical result documents on the LP fragment; the
+	// differential harness in internal/query pins that.
+	Backend string `json:"backend,omitempty"`
 }
 
 // ApproxRequest is the wire form of a query.ApproxSpec. Rationals
@@ -545,6 +585,9 @@ type evalPlan struct {
 	parallel int
 	// approx is the validated approximate-tier spec (nil = exact only).
 	approx *query.ApproxSpec
+	// backend is the parsed evaluation backend (BackendEnum when the
+	// request omitted the field).
+	backend query.Backend
 }
 
 // evalOptions renders the plan as query-layer options.
@@ -553,18 +596,53 @@ func (p evalPlan) evalOptions(ctx context.Context) []query.Option {
 	if p.approx != nil {
 		opts = append(opts, query.WithApprox(*p.approx))
 	}
+	if p.backend != "" && p.backend != query.BackendEnum {
+		opts = append(opts, query.WithBackend(p.backend))
+	}
 	return opts
+}
+
+// lpSlot reports whether the plan routes q to the LP engine.
+func (p evalPlan) lpSlot(q query.Query) bool {
+	return (p.backend == query.BackendLP || p.backend == query.BackendAuto) && query.CanSolveLP(q)
+}
+
+// countBackendSlots classifies the plan's (system, query) slots by the
+// backend that will answer them and adds them to the server's
+// per-backend counters. Classification happens at plan time — after
+// validation, before evaluation — so strict-lp requests rejected with
+// 400 never count, and /v1/stats reflects accepted work even when a
+// deadline later truncates it.
+func (s *Server) countBackendSlots(plan evalPlan) {
+	var lp, enum int64
+	for _, batch := range plan.batches {
+		for _, q := range batch {
+			if plan.lpSlot(q) {
+				lp++
+			} else {
+				enum++
+			}
+		}
+	}
+	s.evalEnum.Add(enum)
+	s.evalLP.Add(lp)
 }
 
 // itemFor assembles target i's MultiItem, injecting the cache-memoized
 // sampling model when the approximate tier will run against a cached
-// engine (a cold or evicted key just builds per-request — warmth, not
-// correctness).
+// engine, and the cache-memoized LP engine when the backend routes any
+// of the system's queries to lp (a cold or evicted key just builds
+// per-request — warmth, not correctness).
 func (s *Server) itemFor(plan evalPlan, i int, engine *core.Engine) query.MultiItem {
 	item := query.MultiItem{Engine: engine, Queries: plan.batches[i]}
 	if plan.approx != nil && engine != nil {
 		if m, ok := s.engines.ModelFor(plan.targets[i].key); ok {
 			item.Model = m
+		}
+	}
+	if engine != nil && (plan.backend == query.BackendLP || plan.backend == query.BackendAuto) {
+		if lp, ok := s.engines.LPFor(plan.targets[i].key); ok {
+			item.LP = lp
 		}
 	}
 	return item
@@ -684,6 +762,25 @@ func (s *Server) decodeEvalRequest(w http.ResponseWriter, r *http.Request) (eval
 		writeError(w, http.StatusBadRequest, err)
 		return evalPlan{}, false
 	}
+	backend, err := query.ParseBackend(req.Backend)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return evalPlan{}, false
+	}
+	if backend == query.BackendLP {
+		// Strict lp validates at decode: one 400 naming the first offending
+		// slot, never N identical per-slot failures. Auto needs no check —
+		// unsupported queries fall through to enumeration.
+		for i, tg := range targets {
+			for j, q := range batches[i] {
+				if !query.CanSolveLP(q) {
+					writeError(w, http.StatusBadRequest,
+						fmt.Errorf("%w: system %q query %d (%s)", query.ErrBackendUnsupported, tg.spec, j, q))
+					return evalPlan{}, false
+				}
+			}
+		}
+	}
 
 	plan := evalPlan{
 		specs:    make([]string, len(targets)),
@@ -691,6 +788,7 @@ func (s *Server) decodeEvalRequest(w http.ResponseWriter, r *http.Request) (eval
 		batches:  batches,
 		parallel: parallel,
 		approx:   approx,
+		backend:  backend,
 	}
 	for i, tg := range targets {
 		plan.specs[i] = tg.spec
@@ -720,6 +818,7 @@ func (s *Server) handleEval(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
+	s.countBackendSlots(plan)
 
 	engines, err := s.buildEngines(ctx, plan.targets)
 	if err != nil && (!isContextErr(err) || context.Cause(ctx) == nil) {
@@ -797,6 +896,8 @@ func statusOfEvalErr(err error) int {
 	case errors.Is(err, registry.ErrUnknownScenario):
 		return http.StatusNotFound
 	case errors.Is(err, registry.ErrBadSpec):
+		return http.StatusBadRequest
+	case errors.Is(err, query.ErrBackendUnsupported):
 		return http.StatusBadRequest
 	default:
 		return http.StatusInternalServerError

@@ -164,6 +164,7 @@ func (s *Server) handleEvalStream(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
+	s.countBackendSlots(plan)
 
 	builds := s.startBuilds(ctx, plan.targets)
 	sw := newStreamWriter(w)

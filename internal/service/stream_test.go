@@ -396,9 +396,10 @@ func TestEvalTimeoutReturnsFinishedPrefix(t *testing.T) {
 	t.Logf("prefix: %d finished, %d unfinished", finished, unfinished)
 }
 
-// TestStatsEndpoint: /v1/stats reports the engine cache's counters, and
-// its wire shape is golden-pinned after a deterministic priming
-// sequence (one miss, one hit on the same canonical spec).
+// TestStatsEndpoint: /v1/stats reports the engine cache's counters and
+// the per-backend slot counters, and its wire shape is golden-pinned
+// after a deterministic priming sequence (one miss, two hits on the
+// same canonical spec; two enum slots and one lp slot).
 func TestStatsEndpoint(t *testing.T) {
 	ts := newTestServer(t)
 	batch := mustBatch(t,
@@ -408,6 +409,12 @@ func TestStatsEndpoint(t *testing.T) {
 		if resp.StatusCode != http.StatusOK {
 			t.Fatalf("prime %d: status %d: %s", i, resp.StatusCode, data)
 		}
+	}
+	lpBatch := mustBatch(t,
+		query.ConstraintQuery{Fact: logic.True(), Agent: scenarios.General, Action: scenarios.ActFire})
+	resp0, data := postEval(t, ts, fmt.Sprintf(`{"systems": ["nsquad(2)"], "queries": %s, "backend": "lp"}`, lpBatch))
+	if resp0.StatusCode != http.StatusOK {
+		t.Fatalf("lp prime: status %d: %s", resp0.StatusCode, data)
 	}
 
 	resp, err := http.Get(ts.URL + "/v1/stats")
@@ -422,8 +429,11 @@ func TestStatsEndpoint(t *testing.T) {
 	if err := json.Unmarshal([]byte(body), &out); err != nil {
 		t.Fatalf("decode stats: %v", err)
 	}
-	if out.EngineCache.Len != 1 || out.EngineCache.Hits != 1 || out.EngineCache.Misses != 1 {
-		t.Errorf("stats after priming = %+v, want len=1 hits=1 misses=1", out.EngineCache)
+	if out.EngineCache.Len != 1 || out.EngineCache.Hits != 2 || out.EngineCache.Misses != 1 {
+		t.Errorf("stats after priming = %+v, want len=1 hits=2 misses=1", out.EngineCache)
+	}
+	if out.Backends.Enum != 2 || out.Backends.LP != 1 {
+		t.Errorf("backend slots = %+v, want enum=2 lp=1", out.Backends)
 	}
 	goldenCompare(t, "stats", body)
 }
