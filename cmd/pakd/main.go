@@ -7,7 +7,7 @@
 // Usage:
 //
 //	pakd [-addr :8371] [-parallel N] [-max-queries N] [-max-systems N]
-//	     [-timeout D] [-engine-cache N]
+//	     [-timeout D] [-engine-cache N] [-store-dir DIR] [-client-quota N]
 //	pakd -catalog > SCENARIOS.md
 //
 // Endpoints:
@@ -53,9 +53,11 @@
 //	                           assignment with the running envelope, the
 //	                           terminal frame carrying the final one
 //	GET  /v1/stats             the engine cache's hit/miss/eviction
-//	                           counters and the per-backend evaluation
+//	                           counters, the per-backend evaluation
 //	                           counters ("backends": {"enum": N, "lp": N})
-//	                           as JSON
+//	                           and — with -store-dir — the persistent
+//	                           store's hit/miss/corrupt/write counters
+//	                           ("store": {...}) as JSON
 //
 // Hardening knobs (see DESIGN.md "Service hardening" and "Streaming
 // results" for the contracts): -timeout bounds each eval request's wall
@@ -67,6 +69,18 @@
 // byte-identical results); cold engines named by one request build
 // concurrently, and concurrent requests for one spec share a single
 // build. cmd/pakload is the matching load driver.
+//
+// Persistence knobs (see DESIGN.md "Persistent results"): -store-dir
+// enables the content-addressed result store — every deterministic
+// complete exact result is persisted under (canonical system spec ×
+// canonical query document), a restarted pakd on the same directory
+// serves stored answers byte-identically with zero engine rebuilds,
+// and entries failing their integrity re-hash are counted and
+// recomputed, never served (cmd/pakstore inspects, verifies and
+// garbage-collects the directory). -client-quota is the first
+// admission-control knob for multi-client fleets: each client
+// (X-Client-ID header, else source host) may hold at most N in-flight
+// evaluation requests; the N+1-th answers a deterministic 429.
 //
 // Example (two systems, one batch, one request):
 //
@@ -91,6 +105,7 @@ import (
 
 	"pak/internal/registry"
 	"pak/internal/service"
+	"pak/internal/store"
 )
 
 func main() {
@@ -106,9 +121,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 	maxSystems := fs.Int("max-systems", 0, "max named systems per request — bounds per-request build work (0 = server default)")
 	timeout := fs.Duration("timeout", 0, "per-request eval deadline; expiry answers 504 (0 = none)")
 	engineCache := fs.Int("engine-cache", 0, "engines retained across requests, LRU over canonical specs (0 = server default, negative = unbounded)")
+	storeDir := fs.String("store-dir", "", "persistent result store directory: stored answers survive restarts and serve byte-identically without recomputation (empty = off)")
+	clientQuota := fs.Int("client-quota", 0, "max concurrent in-flight evaluation requests per client (X-Client-ID or source host); excess answers 429 (0 = unlimited)")
 	catalog := fs.Bool("catalog", false, "print the generated SCENARIOS.md catalog and exit")
 	fs.Usage = func() {
-		fmt.Fprintf(stderr, "Usage: pakd [-addr :8371] [-parallel N] [-max-queries N] [-max-systems N] [-timeout D] [-engine-cache N]\n")
+		fmt.Fprintf(stderr, "Usage: pakd [-addr :8371] [-parallel N] [-max-queries N] [-max-systems N] [-timeout D] [-engine-cache N] [-store-dir DIR] [-client-quota N]\n")
 		fmt.Fprintf(stderr, "       pakd -catalog > SCENARIOS.md\n\nFlags:\n")
 		fs.PrintDefaults()
 		fmt.Fprintf(stderr, `
@@ -117,6 +134,11 @@ Examples:
   pakd -timeout 30s               bound each eval request; late answers become 504
   pakd -engine-cache 64           retain at most 64 engines (LRU; eviction is
                                   invisible — rebuilt engines answer identically)
+  pakd -store-dir /var/lib/pak    persist results: a restart serves stored answers
+                                  byte-identically, zero recomputation (inspect the
+                                  directory with pakstore -dir /var/lib/pak -list)
+  pakd -client-quota 4            admit at most 4 in-flight eval requests per
+                                  client (X-Client-ID or source host); excess 429s
   pakd -catalog > SCENARIOS.md    regenerate the scenario catalog (make docs)
   curl -s localhost:8371/v1/scenarios | jq '.[].name'
   curl -s localhost:8371/v1/eval -d '{"systems":["fsquad","nsquad(3)"],"queries":[...]}'
@@ -157,6 +179,17 @@ Examples:
 	}
 	if *engineCache != 0 {
 		opts = append(opts, service.WithEngineCacheSize(*engineCache))
+	}
+	if *storeDir != "" {
+		st, err := store.OpenDisk(*storeDir)
+		if err != nil {
+			fmt.Fprintf(stderr, "pakd: %v\n", err)
+			return 2
+		}
+		opts = append(opts, service.WithResultStore(st))
+	}
+	if *clientQuota > 0 {
+		opts = append(opts, service.WithClientQuota(*clientQuota))
 	}
 	srv := &http.Server{
 		Addr:    *addr,

@@ -10,8 +10,20 @@
 //
 //	pakload [-url http://host:8371] [-mix squad|mixed|heavy|stream|envelope|approx|lp]
 //	        [-c 8] [-n 200] [-duration 0] [-timeout 30s] [-seed 1]
-//	        [-engine-cache 8] [-eval-timeout 0] [-stats-interval 0]
-//	        [-out report.json]
+//	        [-engine-cache 8] [-eval-timeout 0] [-store-dir DIR]
+//	        [-stats-interval 0] [-out report.json]
+//
+// Reports separate cold and warm latency: each scenario's first request
+// of the run — the one that pays the server's cold engine build — lands
+// in "latencyCold", everything after in "latencyWarm", with "latency"
+// the combined view. Without the split a handful of one-off build
+// latencies would silently dominate the tail percentiles of a short
+// run.
+//
+// -store-dir hands the in-process server a persistent result store
+// (pakd's -store-dir); a second run over the same directory then
+// measures the stored-answer path — byte-identical replies without
+// recomputation, visible as store hits in "serverStats".
 //
 // The "envelope" mix drives the adversary-sweep endpoints: buffered
 // /v1/envelope requests (fully visited envelopes on 200) and
@@ -65,6 +77,7 @@ import (
 
 	"pak/internal/load"
 	"pak/internal/service"
+	"pak/internal/store"
 )
 
 func main() {
@@ -83,6 +96,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	seed := fs.Int64("seed", 1, "mix-sequence seed (deterministic per worker)")
 	engineCache := fs.Int("engine-cache", 8, "in-process server: engine-cache bound (0 = unbounded)")
 	evalTimeout := fs.Duration("eval-timeout", 0, "in-process server: per-request eval deadline (0 = none)")
+	storeDir := fs.String("store-dir", "", "in-process server: persistent result store directory — a second run over the same directory measures the warm store path (empty = off)")
 	statsInterval := fs.Duration("stats-interval", 0, "soak mode: sample GET /v1/stats on this cadence into the report (0 = off)")
 	out := fs.String("out", "-", "report destination ('-' = stdout)")
 	fs.Usage = func() {
@@ -108,6 +122,10 @@ Examples:
                                             trajectory alongside the latency report
   pakload -url http://localhost:8371 -mix mixed -duration 30s
                                             drive a live pakd for 30s, 4xx probes included
+  pakload -n 200 -store-dir /tmp/pak && pakload -n 200 -store-dir /tmp/pak
+                                            populate the persistent result store, then
+                                            measure the stored-answer path (store hits
+                                            in serverStats, zero recomputation)
   pakload -n 100 -out report.json           write the JSON report to a file
 
 Exit status is 0 only when every request landed in its designed outcome
@@ -136,10 +154,21 @@ records the server's engine-cache counters under "serverStats".
 		if *evalTimeout > 0 {
 			opts = append(opts, service.WithRequestTimeout(*evalTimeout))
 		}
+		if *storeDir != "" {
+			st, err := store.OpenDisk(*storeDir)
+			if err != nil {
+				fmt.Fprintf(stderr, "pakload: %v\n", err)
+				return 2
+			}
+			opts = append(opts, service.WithResultStore(st))
+		}
 		ts := httptest.NewServer(service.New(nil, opts...).Handler())
 		defer ts.Close()
 		target = ts.URL
 		fmt.Fprintf(stderr, "pakload: in-process pakd at %s (engine-cache %d)\n", target, *engineCache)
+	} else if *storeDir != "" {
+		fmt.Fprintln(stderr, "pakload: -store-dir only configures the in-process server; drop -url or start pakd with -store-dir")
+		return 2
 	}
 
 	rep, err := load.Run(context.Background(), load.Config{
@@ -189,5 +218,9 @@ records the server's engine-cache counters under "serverStats".
 	}
 	fmt.Fprintf(stderr, "pakload: %d requests ok, p50 %.2fms p99 %.2fms, %.1f req/s\n",
 		rep.Total, rep.Latency.P50MS, rep.Latency.P99MS, rep.Throughput)
+	if rep.LatencyCold != nil && rep.LatencyWarm != nil {
+		fmt.Fprintf(stderr, "pakload: cold (first-touch, n=%d) p50 %.2fms, warm (n=%d) p50 %.2fms\n",
+			rep.LatencyCold.Count, rep.LatencyCold.P50MS, rep.LatencyWarm.Count, rep.LatencyWarm.P50MS)
+	}
 	return 0
 }

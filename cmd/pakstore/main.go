@@ -1,0 +1,137 @@
+// Command pakstore inspects, verifies and garbage-collects a pakd
+// result-store directory (the -store-dir of cmd/pakd): the operator's
+// window into the persistent tier.
+//
+// Usage:
+//
+//	pakstore -dir DIR            summary: entry count and integrity state
+//	pakstore -dir DIR -list      one line per entry: key, system, query kind
+//	pakstore -dir DIR -verify    re-hash every entry; exit 1 if any is corrupt
+//	pakstore -dir DIR -gc N      keep the N most recently written entries,
+//	                             delete the rest
+//
+// Every entry is a content-addressed envelope — see DESIGN.md
+// "Persistent results" — carrying its own canonical coordinates, so
+// -list needs no registry and works on any store directory. -verify
+// is the offline version of the check pakd performs on every read:
+// an entry whose bytes do not re-hash to their recorded sum is named
+// and counted, and pakd would refuse to serve it (counting it under
+// the "corrupt" stat and recomputing instead).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"pak/internal/store"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("pakstore", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	dir := fs.String("dir", "", "result store directory (pakd's -store-dir)")
+	list := fs.Bool("list", false, "list every entry: key, system spec, query kind")
+	verify := fs.Bool("verify", false, "re-hash every entry; exit 1 on any corruption")
+	gc := fs.Int("gc", -1, "keep the N most recently written entries, delete the rest (-1 = off)")
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "Usage: pakstore -dir DIR [-list | -verify | -gc N]\n\nFlags:\n")
+		fs.PrintDefaults()
+		fmt.Fprintf(stderr, `
+Examples:
+  pakstore -dir /var/lib/pak             entry count + integrity summary
+  pakstore -dir /var/lib/pak -list       what is stored, one line per entry
+  pakstore -dir /var/lib/pak -verify     offline integrity sweep (exit 1 on corruption)
+  pakstore -dir /var/lib/pak -gc 10000   bound the store to its 10000 newest entries
+`)
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *dir == "" {
+		fmt.Fprintln(stderr, "pakstore: set -dir to a result store directory")
+		return 2
+	}
+	d, err := store.OpenDisk(*dir)
+	if err != nil {
+		fmt.Fprintf(stderr, "pakstore: %v\n", err)
+		return 2
+	}
+
+	switch {
+	case *gc >= 0:
+		removed, err := d.GC(*gc)
+		if err != nil {
+			fmt.Fprintf(stderr, "pakstore: %v\n", err)
+			return 1
+		}
+		n, _ := d.Len()
+		fmt.Fprintf(stdout, "pakstore: removed %d entries, %d kept\n", removed, n)
+		return 0
+
+	case *list:
+		keys, err := d.Keys()
+		if err != nil {
+			fmt.Fprintf(stderr, "pakstore: %v\n", err)
+			return 1
+		}
+		for _, k := range keys {
+			e, err := d.Read(k)
+			if err != nil {
+				fmt.Fprintf(stdout, "%s  CORRUPT  %v\n", k, err)
+				continue
+			}
+			fmt.Fprintf(stdout, "%s  %s  %s\n", k, e.System, queryKind(e.Query))
+		}
+		return 0
+
+	case *verify:
+		bad, err := d.Verify()
+		if err != nil {
+			fmt.Fprintf(stderr, "pakstore: %v\n", err)
+			return 1
+		}
+		n, _ := d.Len()
+		if len(bad) > 0 {
+			for _, k := range bad {
+				fmt.Fprintf(stdout, "CORRUPT %s\n", k)
+			}
+			fmt.Fprintf(stderr, "pakstore: %d of %d entries corrupt\n", len(bad), n)
+			return 1
+		}
+		fmt.Fprintf(stdout, "pakstore: %d entries, all verified\n", n)
+		return 0
+
+	default:
+		keys, err := d.Keys()
+		if err != nil {
+			fmt.Fprintf(stderr, "pakstore: %v\n", err)
+			return 1
+		}
+		bad, err := d.Verify()
+		if err != nil {
+			fmt.Fprintf(stderr, "pakstore: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "pakstore: %d entries in %s (%d corrupt)\n", len(keys), d.Dir(), len(bad))
+		return 0
+	}
+}
+
+// queryKind extracts the "kind" of a stored canonical query document
+// for the -list rendering (the document is self-describing JSON).
+func queryKind(doc []byte) string {
+	var probe struct {
+		Kind string `json:"kind"`
+	}
+	if err := json.Unmarshal(doc, &probe); err != nil || probe.Kind == "" {
+		return "?"
+	}
+	return probe.Kind
+}

@@ -1,0 +1,157 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"testing"
+
+	"pak/internal/query"
+	"pak/internal/scenarios"
+	"pak/internal/service"
+	"pak/internal/store"
+)
+
+// populate evaluates one small batch through a store-backed in-process
+// pakd, so the directory under test holds real service-written
+// entries, not synthetic ones.
+func populate(t *testing.T, dir string) {
+	t.Helper()
+	d, err := store.OpenDisk(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(service.New(nil, service.WithResultStore(d)).Handler())
+	defer ts.Close()
+
+	batch, err := query.MarshalBatch([]query.Query{
+		query.ConstraintQuery{Fact: scenarios.AllFireFact(2), Agent: scenarios.General, Action: scenarios.ActFire},
+		query.ExpectationQuery{Fact: scenarios.AllFireFact(2), Agent: scenarios.General, Action: scenarios.ActFire},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := fmt.Sprintf(`{"systems": ["nsquad(2)"], "queries": %s}`, batch)
+	resp, err := ts.Client().Post(ts.URL+"/v1/eval", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("populate: status %d", resp.StatusCode)
+	}
+}
+
+func runCmd(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	var stdout, stderr bytes.Buffer
+	code := run(args, &stdout, &stderr)
+	return code, stdout.String(), stderr.String()
+}
+
+func TestSummaryListVerifyGC(t *testing.T) {
+	dir := t.TempDir()
+	populate(t, dir)
+
+	// Summary.
+	code, out, _ := runCmd(t, "-dir", dir)
+	if code != 0 || !strings.Contains(out, "2 entries") || !strings.Contains(out, "(0 corrupt)") {
+		t.Fatalf("summary: code %d, out %q", code, out)
+	}
+
+	// List: one line per entry, carrying system and kind.
+	code, out, _ = runCmd(t, "-dir", dir, "-list")
+	if code != 0 {
+		t.Fatalf("list: code %d", code)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("list printed %d lines, want 2:\n%s", len(lines), out)
+	}
+	joined := out
+	for _, want := range []string{"nsquad(n=2,loss=1/10,improved=false)", "constraint", "expectation"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("list output is missing %q:\n%s", want, out)
+		}
+	}
+
+	// Verify: clean.
+	code, out, _ = runCmd(t, "-dir", dir, "-verify")
+	if code != 0 || !strings.Contains(out, "all verified") {
+		t.Fatalf("verify clean: code %d, out %q", code, out)
+	}
+
+	// Corrupt one entry: verify names it and exits 1; the summary
+	// counts it.
+	d, err := store.OpenDisk(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys, err := d.Keys()
+	if err != nil || len(keys) != 2 {
+		t.Fatalf("keys: %v, %v", keys, err)
+	}
+	data, err := os.ReadFile(d.Path(keys[0]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/3] ^= 0x01
+	if err := os.WriteFile(d.Path(keys[0]), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, out, serr := runCmd(t, "-dir", dir, "-verify")
+	if code != 1 || !strings.Contains(out, "CORRUPT "+string(keys[0])) {
+		t.Fatalf("verify corrupt: code %d, out %q, err %q", code, out, serr)
+	}
+	code, out, _ = runCmd(t, "-dir", dir)
+	if code != 0 || !strings.Contains(out, "(1 corrupt)") {
+		t.Fatalf("summary with corruption: code %d, out %q", code, out)
+	}
+
+	// GC to one entry.
+	code, out, _ = runCmd(t, "-dir", dir, "-gc", "1")
+	if code != 0 || !strings.Contains(out, "removed 1 entries, 1 kept") {
+		t.Fatalf("gc: code %d, out %q", code, out)
+	}
+	if n, _ := d.Len(); n != 1 {
+		t.Fatalf("store holds %d entries after gc, want 1", n)
+	}
+}
+
+func TestBadInvocations(t *testing.T) {
+	if code, _, serr := runCmd(t); code != 2 || !strings.Contains(serr, "-dir") {
+		t.Errorf("missing -dir: code %d, stderr %q", code, serr)
+	}
+	if code, _, _ := runCmd(t, "-nope"); code != 2 {
+		t.Error("unknown flag accepted")
+	}
+}
+
+// TestListedQueriesReparse: the canonical query documents an entry
+// carries are real parseable queries — the store's coordinates stay
+// round-trippable, not just printable.
+func TestListedQueriesReparse(t *testing.T) {
+	dir := t.TempDir()
+	populate(t, dir)
+	d, err := store.OpenDisk(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys, _ := d.Keys()
+	for _, k := range keys {
+		e, err := d.Read(k)
+		if err != nil {
+			t.Fatalf("Read(%s): %v", k, err)
+		}
+		if _, err := query.Parse(e.Query); err != nil {
+			t.Errorf("stored query for %s does not re-parse: %v", k, err)
+		}
+		var doc query.ResultDoc
+		if err := json.Unmarshal(e.Value, &doc); err != nil {
+			t.Errorf("stored value for %s is not a ResultDoc: %v", k, err)
+		}
+	}
+}

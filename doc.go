@@ -97,9 +97,23 @@
 //     (WithServiceEngineCache — rebuilt engines answer byte-identically,
 //     experiment E17), and concurrent singleflight cold builds;
 //     cmd/pakload + internal/load drive it all under concurrent load
-//     with latency/error-taxonomy JSON reports; see examples/service for
-//     the walkthrough (start pakd, POST a batch with curl, read the
-//     exact JSON results);
+//     with latency/error-taxonomy JSON reports (cold/warm latency split
+//     per scenario); see examples/service for the walkthrough (start
+//     pakd, POST a batch with curl, read the exact JSON results);
+//   - persistent results: WithServiceResultStore (pakd -store-dir)
+//     installs a content-addressed store — keys are SHA-256 over the
+//     canonical system spec × canonical query document — as a
+//     read-through/write-behind tier, so a restarted server answers
+//     previously computed slots byte-identically with zero engine
+//     rebuilds; only deterministic, complete, exact results are
+//     persisted (never error slots, estimates, or slots cut by a
+//     deadline), reads are integrity-checked (a corrupt entry is
+//     counted and recomputed, never served — StoreErrCorrupt), and
+//     OpenDiskStore's writes are crash-safe (temp-then-rename);
+//     cmd/pakstore lists, verifies and garbage-collects a store
+//     offline; WithServiceClientQuota (pakd -client-quota) caps each
+//     client's concurrent in-flight evaluation requests with
+//     golden-pinned 429s;
 //   - the paper's own systems: Figure1, That (Figure 2 / Theorem 5.2), and
 //     the relaxed firing squad FiringSquad of Example 1 with its Section 8
 //     improvement;

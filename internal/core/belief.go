@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math/big"
 
@@ -22,39 +23,60 @@ import (
 // that point. Extensions are memoized per (φ, agent, ℓ); the returned set
 // is a private copy the caller may mutate.
 func (e *Engine) FactAtLocal(f logic.Fact, agent, local string) (*runset.Set, error) {
+	return e.FactAtLocalCtx(context.Background(), f, agent, local)
+}
+
+// FactAtLocalCtx is FactAtLocal bound to a context: the scan over the
+// runs through ℓ checks ctx every indepCtxInterval runs and aborts with
+// the context's cause, so a deadline cuts even one long extension scan
+// instead of letting it run to completion. An aborted scan is never
+// memoized (the memo evicts context aborts), so a later caller with a
+// live context recomputes the extension.
+func (e *Engine) FactAtLocalCtx(ctx context.Context, f logic.Fact, agent, local string) (*runset.Set, error) {
 	a, err := e.agent(agent)
 	if err != nil {
 		return nil, err
 	}
-	ev, err := e.factAtLocal(f, a, agent, local)
+	ev, err := e.factAtLocal(ctx, f, a, agent, local)
 	if err != nil {
 		return nil, err
 	}
 	return ev.Clone(), nil
 }
 
-// factAtLocal is FactAtLocal without the defensive clone; the returned
-// set may be the shared cache entry and must not be mutated.
-func (e *Engine) factAtLocal(f logic.Fact, a pps.AgentID, agent, local string) (*runset.Set, error) {
+// factAtLocal is FactAtLocalCtx without the defensive clone; the
+// returned set may be the shared cache entry and must not be mutated.
+func (e *Engine) factAtLocal(ctx context.Context, f logic.Fact, a pps.AgentID, agent, local string) (*runset.Set, error) {
 	compute := func() (*runset.Set, error) {
 		occ, tm, ok := e.sys.Occurs(a, local)
 		if !ok {
 			return nil, fmt.Errorf("%w: agent %q state %q", ErrUnknownLocal, agent, local)
 		}
 		ev := e.sys.NewSet()
+		n := 0
+		var cause error
 		occ.ForEach(func(r int) bool {
+			if n%indepCtxInterval == indepCtxInterval-1 {
+				if cause = context.Cause(ctx); cause != nil {
+					return false
+				}
+			}
+			n++
 			if f.Holds(e.sys, pps.RunID(r), tm) {
 				ev.Add(r)
 			}
 			return true
 		})
+		if cause != nil {
+			return nil, fmt.Errorf("core: φ@ℓ scan aborted after %d runs: %w", n, cause)
+		}
 		return ev, nil
 	}
 	fk, cacheable := factKey(f)
 	if !cacheable {
 		return compute()
 	}
-	return e.events.get(eventKey{fact: fk, agent: a, kind: eventAtLocal, at: local}, compute)
+	return e.events.getCtx(ctx, eventKey{fact: fk, agent: a, kind: eventAtLocal, at: local}, compute)
 }
 
 // Belief returns β_i(φ) at local state ℓ: µ_T(φ@ℓ | ℓ) (Definition 3.1).
@@ -70,7 +92,7 @@ func (e *Engine) Belief(f logic.Fact, agent, local string) (*big.Rat, error) {
 		if !ok {
 			return nil, fmt.Errorf("%w: agent %q state %q", ErrUnknownLocal, agent, local)
 		}
-		ev, evErr := e.factAtLocal(f, a, agent, local)
+		ev, evErr := e.factAtLocal(context.Background(), f, a, agent, local)
 		if evErr != nil {
 			return nil, evErr
 		}
@@ -137,35 +159,53 @@ func (e *Engine) Knows(f logic.Fact, agent string, r pps.RunID, t int) (bool, er
 // the proper action α, and φ holds at the (unique) point of performance
 // (Section 3.1).
 func (e *Engine) FactAtAction(f logic.Fact, agent, action string) (*runset.Set, error) {
-	ev, err := e.factAtAction(f, agent, action)
+	return e.FactAtActionCtx(context.Background(), f, agent, action)
+}
+
+// FactAtActionCtx is FactAtAction bound to a context, with the same
+// every-indepCtxInterval-runs cancellation discipline (and the same
+// no-memoized-aborts guarantee) as FactAtLocalCtx.
+func (e *Engine) FactAtActionCtx(ctx context.Context, f logic.Fact, agent, action string) (*runset.Set, error) {
+	ev, err := e.factAtAction(ctx, f, agent, action)
 	if err != nil {
 		return nil, err
 	}
 	return ev.Clone(), nil
 }
 
-// factAtAction is FactAtAction without the defensive clone; the returned
-// set may be the shared cache entry and must not be mutated.
-func (e *Engine) factAtAction(f logic.Fact, agent, action string) (*runset.Set, error) {
+// factAtAction is FactAtActionCtx without the defensive clone; the
+// returned set may be the shared cache entry and must not be mutated.
+func (e *Engine) factAtAction(ctx context.Context, f logic.Fact, agent, action string) (*runset.Set, error) {
 	a, info, err := e.properFor(agent, action)
 	if err != nil {
 		return nil, err
 	}
 	compute := func() (*runset.Set, error) {
 		ev := e.sys.NewSet()
+		n := 0
+		var cause error
 		info.set.ForEach(func(r int) bool {
+			if n%indepCtxInterval == indepCtxInterval-1 {
+				if cause = context.Cause(ctx); cause != nil {
+					return false
+				}
+			}
+			n++
 			if f.Holds(e.sys, pps.RunID(r), info.times[r]) {
 				ev.Add(r)
 			}
 			return true
 		})
+		if cause != nil {
+			return nil, fmt.Errorf("core: φ@α scan aborted after %d runs: %w", n, cause)
+		}
 		return ev, nil
 	}
 	fk, cacheable := factKey(f)
 	if !cacheable {
 		return compute()
 	}
-	return e.events.get(eventKey{fact: fk, agent: a, kind: eventAtAction, at: action}, compute)
+	return e.events.getCtx(ctx, eventKey{fact: fk, agent: a, kind: eventAtAction, at: action}, compute)
 }
 
 // ConstraintProb returns µ_T(φ@α | α), the left-hand side of a
@@ -175,7 +215,7 @@ func (e *Engine) ConstraintProb(f logic.Fact, agent, action string) (*big.Rat, e
 	if err != nil {
 		return nil, err
 	}
-	ev, err := e.factAtAction(f, agent, action)
+	ev, err := e.factAtAction(context.Background(), f, agent, action)
 	if err != nil {
 		return nil, err
 	}

@@ -70,6 +70,26 @@ func (c *memo[K, V]) get(key K, compute func() (V, error)) (V, error) {
 	return e.val, e.err
 }
 
+// getCtx is get for a context-bound compute function: it distinguishes
+// the CALLER's abort from a shared computation's. A context error
+// surfacing from the memo may belong to another caller whose scan this
+// one joined (singleflight shares one computation per key); the memo
+// evicts aborted entries, so while our own context is live we retry
+// against a fresh entry, and after a few collisions we compute
+// unmemoized under our own context so an adversarial neighbour can
+// never starve us.
+func (c *memo[K, V]) getCtx(ctx context.Context, key K, compute func() (V, error)) (V, error) {
+	var v V
+	var err error
+	for attempt := 0; attempt < 3; attempt++ {
+		v, err = c.get(key, compute)
+		if err == nil || !IsContextErr(err) || context.Cause(ctx) != nil {
+			return v, err
+		}
+	}
+	return compute()
+}
+
 // IsContextErr reports whether err is (or wraps) a context cancellation
 // or deadline expiry — the error class the memo refuses to retain, the
 // query layer's envelope fold counts as not-visited, and the service

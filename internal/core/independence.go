@@ -68,8 +68,9 @@ func (e *Engine) LocalStateIndependence(f logic.Fact, agent, action string) (Ind
 }
 
 // indepCtxInterval is the coarse cancellation granularity of the
-// independence scan: the context is consulted once per this many local
-// states, so the check's cost is invisible on small systems while a deep
+// engine's deep scans — the independence scan (once per this many local
+// states) and the fact-extension scans in belief.go (once per this many
+// runs): the check's cost is invisible on small systems while a deep
 // scan inside one envelope assignment can still be cut at the deadline
 // within a bounded amount of extra work (the ROADMAP's "finer
 // cancellation", first slice).
@@ -89,23 +90,9 @@ func (e *Engine) LocalStateIndependenceCtx(ctx context.Context, f logic.Fact, ag
 	var report IndependenceReport
 	if fk, cacheable := factKey(f); cacheable {
 		key := eventKey{fact: fk, agent: a, kind: eventIndep, at: action}
-		// A context abort surfacing from the memo may belong to ANOTHER
-		// caller whose scan this one joined (singleflight shares one
-		// computation per key). The memo evicts aborted entries, so while
-		// our own context is live, retry against a fresh entry; after a
-		// few collisions scan unmemoized under our own context so an
-		// adversarial neighbour can never starve us.
-		for attempt := 0; attempt < 3; attempt++ {
-			report, err = e.indeps.get(key, func() (IndependenceReport, error) {
-				return e.localStateIndependence(ctx, f, a, action)
-			})
-			if err == nil || !IsContextErr(err) || context.Cause(ctx) != nil {
-				break
-			}
-		}
-		if err != nil && IsContextErr(err) && context.Cause(ctx) == nil {
-			report, err = e.localStateIndependence(ctx, f, a, action)
-		}
+		report, err = e.indeps.getCtx(ctx, key, func() (IndependenceReport, error) {
+			return e.localStateIndependence(ctx, f, a, action)
+		})
 	} else {
 		report, err = e.localStateIndependence(ctx, f, a, action)
 	}

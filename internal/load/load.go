@@ -142,6 +142,15 @@ type Report struct {
 	// Latency summarizes the full latency distribution.
 	Latency LatencySummary `json:"latency"`
 
+	// LatencyCold summarizes only the run's first-touch requests — the
+	// first request of each scenario, the ones that pay cold engine
+	// builds on the server — and LatencyWarm the rest, so a report no
+	// longer conflates one-off build cost with steady-state latency.
+	// Latency stays the combined view; both phases are omitted when the
+	// run produced no samples for them.
+	LatencyCold *LatencySummary `json:"latencyCold,omitempty"`
+	LatencyWarm *LatencySummary `json:"latencyWarm,omitempty"`
+
 	// Scenarios breaks the outcome classes down per mix entry.
 	Scenarios map[string]*ScenarioStats `json:"scenarios"`
 
@@ -207,6 +216,8 @@ type ScenarioStats struct {
 // LatencySummary carries the distribution stats plus a fixed log-scale
 // histogram, all in milliseconds.
 type LatencySummary struct {
+	// Count is the number of samples the summary covers.
+	Count  int     `json:"count"`
 	MinMS  float64 `json:"minMs"`
 	MeanMS float64 `json:"meanMs"`
 	P50MS  float64 `json:"p50Ms"`
@@ -246,6 +257,28 @@ type sample struct {
 	outcome  string
 	status   int
 	latency  time.Duration
+	// cold marks the run's first request of this scenario — the one
+	// that pays the server's cold engine build when the scenario names
+	// a system no earlier request touched.
+	cold bool
+}
+
+// firstTouch classifies each scenario's first request of the run as
+// cold; everything after is warm. Shared across workers, so exactly one
+// request per scenario is cold regardless of which worker drew it.
+type firstTouch struct {
+	mu   sync.Mutex
+	seen map[string]bool
+}
+
+func (f *firstTouch) cold(name string) bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.seen[name] {
+		return false
+	}
+	f.seen[name] = true
+	return true
 }
 
 // Run drives the target with the configured mix and returns the report.
@@ -318,6 +351,7 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 	}()
 
 	samplesPer := make([][]sample, workers)
+	touch := &firstTouch{seen: make(map[string]bool, len(cfg.Mix))}
 	var wg sync.WaitGroup
 	start := time.Now()
 
@@ -364,12 +398,18 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 			rng := rand.New(rand.NewSource(cfg.Seed + int64(w)*7919))
 			for range tickets {
 				sc := cfg.Mix[pick[rng.Intn(len(pick))]]
+				// The cold bit is claimed BEFORE the request fires: under
+				// concurrency, the claimant is the request that actually
+				// races the engine build, not whichever finished first.
+				cold := touch.cold(sc.Name)
 				// Requests run under the PARENT context, not the duration
 				// budget: expiry stops issuing tickets, while requests
 				// already in flight drain normally — a healthy server must
 				// never earn "timeout" classifications just because the run
 				// ended around it.
-				samplesPer[w] = append(samplesPer[w], doRequest(ctx, client, cfg.BaseURL, sc))
+				s := doRequest(ctx, client, cfg.BaseURL, sc)
+				s.cold = cold
+				samplesPer[w] = append(samplesPer[w], s)
 			}
 		}(w)
 	}
@@ -490,6 +530,7 @@ func summarize(cfg Config, workers int, all []sample, elapsed time.Duration) *Re
 	}
 
 	latencies := make([]float64, 0, len(all))
+	var coldMS, warmMS []float64
 	for _, s := range all {
 		rep.Outcomes[s.outcome]++
 		if s.outcome == outcomeOK {
@@ -508,7 +549,13 @@ func summarize(cfg Config, workers int, all []sample, elapsed time.Duration) *Re
 		st.Requests++
 		st.Outcomes[s.outcome]++
 		if s.latency > 0 {
-			latencies = append(latencies, float64(s.latency.Microseconds())/1000)
+			ms := float64(s.latency.Microseconds()) / 1000
+			latencies = append(latencies, ms)
+			if s.cold {
+				coldMS = append(coldMS, ms)
+			} else {
+				warmMS = append(warmMS, ms)
+			}
 		}
 	}
 	if len(rep.Errors) == 0 {
@@ -518,12 +565,20 @@ func summarize(cfg Config, workers int, all []sample, elapsed time.Duration) *Re
 		rep.StatusCounts = nil
 	}
 	rep.Latency = summarizeLatency(latencies)
+	if len(coldMS) > 0 {
+		cold := summarizeLatency(coldMS)
+		rep.LatencyCold = &cold
+	}
+	if len(warmMS) > 0 {
+		warm := summarizeLatency(warmMS)
+		rep.LatencyWarm = &warm
+	}
 	return rep
 }
 
 // summarizeLatency computes the distribution stats and histogram.
 func summarizeLatency(ms []float64) LatencySummary {
-	sum := LatencySummary{}
+	sum := LatencySummary{Count: len(ms)}
 	buckets := make([]HistogramBucket, len(bucketBounds)+1)
 	for i, b := range bucketBounds {
 		buckets[i].UpperMS = b

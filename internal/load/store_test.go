@@ -1,0 +1,247 @@
+package load
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"pak/internal/service"
+	"pak/internal/store"
+)
+
+// storeServer is an in-process pakd backed by a persistent result store
+// over dir, tuned like stressServer.
+func storeServer(t *testing.T, dir string) (*service.Server, *httptest.Server) {
+	t.Helper()
+	d, err := store.OpenDisk(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := service.New(nil,
+		service.WithResultStore(d),
+		service.WithEngineCacheSize(3),
+		service.WithRequestTimeout(30*time.Second),
+		service.WithMaxParallelism(4),
+	)
+	ts := httptest.NewServer(srv.Handler())
+	return srv, ts
+}
+
+// postBody POSTs one scenario body and returns status + response bytes.
+func postBody(t *testing.T, client *http.Client, url string, sc Scenario) (int, []byte) {
+	t.Helper()
+	resp, err := client.Post(url+sc.Path, "application/json", bytes.NewReader(sc.Body))
+	if err != nil {
+		t.Fatalf("POST %s: %v", sc.Path, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read %s: %v", sc.Path, err)
+	}
+	return resp.StatusCode, body
+}
+
+// serverCounters pulls the stats document's store and engine-cache
+// counters.
+func serverCounters(t *testing.T, url string) (storeHits, storeMisses, cacheMisses int64) {
+	t.Helper()
+	stats, err := FetchServerStats(nil, url)
+	if err != nil {
+		t.Fatalf("stats snapshot: %v", err)
+	}
+	var doc struct {
+		EngineCache struct {
+			Misses int64 `json:"misses"`
+		} `json:"engineCache"`
+		Store *struct {
+			Hits   int64 `json:"hits"`
+			Misses int64 `json:"misses"`
+		} `json:"store"`
+	}
+	if err := json.Unmarshal(stats, &doc); err != nil {
+		t.Fatalf("stats document: %v", err)
+	}
+	if doc.Store == nil {
+		t.Fatalf("stats carry no store counters: %s", stats)
+	}
+	return doc.Store.Hits, doc.Store.Misses, doc.EngineCache.Misses
+}
+
+// TestStoreRestartSmoke is the restart-without-recomputation gate, run
+// under -race in make load-smoke: the squad mix populates a persistent
+// result store through one server, that server dies, and a fresh server
+// over the same directory answers the same eval bodies byte-identically
+// — with store hits, zero store misses and ZERO engine builds. The
+// restart really does skip recomputation; it does not just happen to
+// agree.
+func TestStoreRestartSmoke(t *testing.T) {
+	dir := t.TempDir()
+	mix, err := BuiltinMix("squad")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The eval POST scenarios: the slots the store must carry across the
+	// restart (the catalog GETs have no results to persist). The fanout
+	// body is held aside: its fsquad slots answer designed per-slot
+	// domain errors, which are never persisted — it proves the mixed
+	// hit/recompute merge instead of the zero-rebuild replay.
+	var evals []Scenario
+	var fanout *Scenario
+	for _, sc := range mix {
+		if sc.Body == nil || sc.Path != "/v1/eval" {
+			continue
+		}
+		if sc.Name == "eval-fanout" {
+			sc := sc
+			fanout = &sc
+			continue
+		}
+		evals = append(evals, sc)
+	}
+	if len(evals) == 0 || fanout == nil {
+		t.Fatal("squad mix lost its eval scenarios")
+	}
+
+	// First life: drive the mix under load, then capture one reference
+	// body per eval scenario from the still-running server.
+	_, ts1 := storeServer(t, dir)
+	requests := 60
+	concurrency := 6
+	if testing.Short() {
+		requests, concurrency = 30, 3
+	}
+	rep, err := Run(context.Background(), Config{
+		BaseURL:     ts1.URL,
+		Concurrency: concurrency,
+		Requests:    requests,
+		Timeout:     time.Minute,
+		Seed:        1,
+		Mix:         mix,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OK != rep.Total {
+		t.Fatalf("populate run not clean: ok=%d of %d, errors=%v", rep.OK, rep.Total, rep.Errors)
+	}
+	client := &http.Client{Timeout: time.Minute}
+	reference := make([][]byte, len(evals))
+	for i, sc := range evals {
+		status, body := postBody(t, client, ts1.URL, sc)
+		if status != http.StatusOK {
+			t.Fatalf("reference %s answered %d", sc.Name, status)
+		}
+		reference[i] = body
+	}
+	fanStatus, fanReference := postBody(t, client, ts1.URL, *fanout)
+	if fanStatus != http.StatusOK {
+		t.Fatalf("reference %s answered %d", fanout.Name, fanStatus)
+	}
+	ts1.Close()
+
+	// Second life: a fresh server (cold engine cache) over the same
+	// directory must replay every body byte-identically from the store.
+	srv2, ts2 := storeServer(t, dir)
+	defer ts2.Close()
+	for i, sc := range evals {
+		status, body := postBody(t, client, ts2.URL, sc)
+		if status != http.StatusOK {
+			t.Errorf("replay %s answered %d", sc.Name, status)
+			continue
+		}
+		if !bytes.Equal(body, reference[i]) {
+			t.Errorf("replay %s is not byte-identical:\n first life: %s\nsecond life: %s",
+				sc.Name, reference[i], body)
+		}
+	}
+	hits, misses, cacheMisses := serverCounters(t, ts2.URL)
+	if hits == 0 {
+		t.Error("restarted server served no store hits")
+	}
+	if misses != 0 {
+		t.Errorf("restarted server missed the store %d times", misses)
+	}
+	if cacheMisses != 0 {
+		t.Errorf("restarted server built %d engines, want 0 — the store did not skip recomputation", cacheMisses)
+	}
+	if st := srv2.Cache().Stats(); st.Len != 0 {
+		t.Errorf("restarted server retains %d engines, want 0", st.Len)
+	}
+
+	// The fanout body mixes stored slots with fsquad's never-persisted
+	// error slots: the restarted server must merge store hits and fresh
+	// recomputation into the same byte-identical response.
+	status, body := postBody(t, client, ts2.URL, *fanout)
+	if status != http.StatusOK {
+		t.Fatalf("fanout replay answered %d", status)
+	}
+	if !bytes.Equal(body, fanReference) {
+		t.Errorf("fanout replay is not byte-identical:\n first life: %s\nsecond life: %s",
+			fanReference, body)
+	}
+	hits2, misses2, _ := serverCounters(t, ts2.URL)
+	if hits2 <= hits {
+		t.Errorf("fanout replay served no store hits (hits %d -> %d)", hits, hits2)
+	}
+	if misses2 == 0 {
+		t.Error("fanout's error slots hit the store — error results must never persist")
+	}
+}
+
+// TestLoadColdWarmSplit: the report separates first-touch latency from
+// steady-state latency — exactly one cold sample per scenario that ran,
+// the phases partition the combined distribution, and the split
+// survives the report's JSON round-trip.
+func TestLoadColdWarmSplit(t *testing.T) {
+	ts := stressServer(t)
+	mix, err := BuiltinMix("squad")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Run(context.Background(), Config{
+		BaseURL:     ts.URL,
+		Concurrency: 4,
+		Requests:    40,
+		Timeout:     time.Minute,
+		Seed:        2,
+		Mix:         mix,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OK != rep.Total {
+		t.Fatalf("run not clean: ok=%d of %d, errors=%v", rep.OK, rep.Total, rep.Errors)
+	}
+	if rep.LatencyCold == nil || rep.LatencyWarm == nil {
+		t.Fatalf("report lacks the cold/warm split: cold=%v warm=%v", rep.LatencyCold, rep.LatencyWarm)
+	}
+	if rep.LatencyCold.Count != len(rep.Scenarios) {
+		t.Errorf("cold samples = %d, want one per scenario that ran (%d)",
+			rep.LatencyCold.Count, len(rep.Scenarios))
+	}
+	if got := rep.LatencyCold.Count + rep.LatencyWarm.Count; got != rep.Latency.Count {
+		t.Errorf("phases do not partition the distribution: %d cold + %d warm != %d total",
+			rep.LatencyCold.Count, rep.LatencyWarm.Count, rep.Latency.Count)
+	}
+	if rep.Latency.Count != rep.Total {
+		t.Errorf("latency summary covers %d samples of %d requests", rep.Latency.Count, rep.Total)
+	}
+
+	data, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatalf("report does not marshal: %v", err)
+	}
+	var back Report
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("report does not round-trip: %v", err)
+	}
+	if back.LatencyCold == nil || back.LatencyCold.Count != rep.LatencyCold.Count {
+		t.Errorf("round-trip lost the cold summary: %+v", back.LatencyCold)
+	}
+}

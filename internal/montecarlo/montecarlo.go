@@ -15,7 +15,7 @@ package montecarlo
 import (
 	"errors"
 	"fmt"
-	"math"
+	"math/big"
 	"math/rand"
 
 	"pak/internal/pps"
@@ -55,13 +55,21 @@ func (e Estimate) String() string {
 	return fmt.Sprintf("%.6f ±%.6f (n=%d)", e.P, e.Radius, e.N)
 }
 
-// hoeffdingRadius returns the two-sided 99% Hoeffding radius for n samples:
-// sqrt(ln(2/0.01) / (2n)).
+// delta99 is the fixed confidence parameter of the float-radius tier:
+// every Estimate carries a 99% interval (δ = 1/100).
+var delta99 = big.NewRat(1, 100)
+
+// hoeffdingRadius returns the two-sided 99% Hoeffding radius for n
+// samples as the float64 view of the exact rational bound
+// RadiusRat(n, 1/100) — NOT a parallel math.Sqrt/math.Log computation.
+// Routing the float through the rational keeps the two tiers in
+// lockstep: the rational errs only upward, and its 2^-30-dyadic form is
+// exactly representable in float64, so the float radius is itself a
+// strict upper bound on sqrt(ln(200)/(2n)) and the interval never
+// under-covers (pinned by TestRadiusNeverUnderCovers).
 func hoeffdingRadius(n int) float64 {
-	if n <= 0 {
-		return 1
-	}
-	return math.Sqrt(math.Log(2/0.01) / (2 * float64(n)))
+	f, _ := RadiusRat(n, delta99).Float64()
+	return f
 }
 
 // Sampler draws runs from a pps according to µ_T. A Sampler is a seeded

@@ -2,6 +2,7 @@ package montecarlo
 
 import (
 	"errors"
+	"math"
 	"strings"
 	"testing"
 
@@ -128,6 +129,34 @@ func TestHoeffdingRadiusShrinks(t *testing.T) {
 	}
 	if hoeffdingRadius(0) != 1 {
 		t.Error("radius for n=0 should be the trivial bound 1")
+	}
+}
+
+// TestRadiusNeverUnderCovers pins the bugfix that routed the float
+// radius through the exact rational tier: for every n the float radius
+// must (1) be the exact float64 view of RadiusRat(n, 1/100) — the two
+// tiers in lockstep, no parallel float computation to drift — and
+// (2) sit at or above the true radius sqrt(ln(200)/(2n)), so an
+// interval built from the float can only over-cover, never under-cover
+// the 99% guarantee. The slack is bounded too (lnUpper plus one
+// 2^-30 dyadic round-up), so the fix cannot hide behind a vacuously
+// wide bound.
+func TestRadiusNeverUnderCovers(t *testing.T) {
+	for _, n := range []int{1, 2, 7, 10, 100, 1_000, 10_000, 1_000_000} {
+		got := hoeffdingRadius(n)
+		rat, _ := RadiusRat(n, delta99).Float64()
+		if got != rat {
+			t.Errorf("n=%d: float radius %v != rational tier's %v", n, got, rat)
+		}
+		// A radius beyond 1 is vacuous for values in [0, 1]; both tiers
+		// clamp there, so the truth to cover is clamped too.
+		truth := math.Min(1, math.Sqrt(math.Log(200)/(2*float64(n))))
+		if got < truth {
+			t.Errorf("n=%d: float radius %v under-covers the true radius %v", n, got, truth)
+		}
+		if got > truth+1e-6 && got < 1 {
+			t.Errorf("n=%d: float radius %v is vacuously loose (true %v)", n, got, truth)
+		}
 	}
 }
 

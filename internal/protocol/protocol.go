@@ -22,6 +22,7 @@
 package protocol
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/big"
@@ -130,9 +131,26 @@ func Unstamp(stamped string) string {
 // accidentally huge horizon) from exhausting memory.
 const maxNodes = 2_000_000
 
+// unfoldCtxInterval is the coarse cancellation granularity of the
+// breadth-first unfolding: the context is consulted once per this many
+// dequeued nodes (and before the first), so small models pay nothing
+// while a deadline can cut a runaway unfolding within a bounded amount
+// of extra work — the same every-64-items discipline as the engine's
+// deep scans.
+const unfoldCtxInterval = 64
+
 // Unfold expands the joint protocol into the purely probabilistic system
 // containing exactly its executions.
 func Unfold(m Model) (*pps.System, error) {
+	return UnfoldCtx(context.Background(), m)
+}
+
+// UnfoldCtx is Unfold bound to a context: the enumeration checks ctx
+// every unfoldCtxInterval dequeued nodes and aborts with an error
+// wrapping the context's cause, so a pre-cancelled or expired context
+// cuts even a cold unfolding promptly instead of enumerating the whole
+// tree first.
+func UnfoldCtx(ctx context.Context, m Model) (*pps.System, error) {
 	agents := m.Agents()
 	if len(agents) == 0 {
 		return nil, fmt.Errorf("%w: no agents", ErrBadModel)
@@ -162,7 +180,12 @@ func Unfold(m Model) (*pps.System, error) {
 	}
 
 	nodes := len(queue)
-	for len(queue) > 0 {
+	for dequeued := 0; len(queue) > 0; dequeued++ {
+		if dequeued%unfoldCtxInterval == 0 {
+			if cause := context.Cause(ctx); cause != nil {
+				return nil, fmt.Errorf("protocol: unfold aborted after %d nodes: %w", nodes, cause)
+			}
+		}
 		it := queue[0]
 		queue = queue[1:]
 		if it.t >= m.Horizon() {

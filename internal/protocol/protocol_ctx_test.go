@@ -1,0 +1,70 @@
+package protocol
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+
+	"pak/internal/ratutil"
+)
+
+// TestUnfoldCtxPreCancelled: a context that is already dead when UnfoldCtx
+// is called aborts the unfolding before any protocol step runs — the check
+// fires at the first dequeued node, so even a cold (never unfolded) model
+// does no work for a caller that has already given up.
+func TestUnfoldCtxPreCancelled(t *testing.T) {
+	var steps atomic.Int64
+	m := coinModel()
+	inner := m.Step
+	m.Step = func(agent int, local string, t int) []Weighted[string] {
+		steps.Add(1)
+		return inner(agent, local, t)
+	}
+
+	ctx, cancel := context.WithCancelCause(context.Background())
+	cancel(context.DeadlineExceeded)
+	if _, err := UnfoldCtx(ctx, m); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("UnfoldCtx under dead context: err = %v, want wrapped deadline cause", err)
+	}
+	if n := steps.Load(); n != 0 {
+		t.Fatalf("dead-context unfold called AgentStep %d times, want 0", n)
+	}
+
+	// The abort leaves no residue: the same model unfolds for a live caller.
+	sys, err := UnfoldCtx(context.Background(), m)
+	if err != nil {
+		t.Fatalf("live unfold after abort: %v", err)
+	}
+	if sys.NumRuns() != 2 || !ratutil.IsOne(sys.TotalMeasure()) {
+		t.Fatalf("live unfold: runs=%d measure=%v", sys.NumRuns(), sys.TotalMeasure())
+	}
+}
+
+// TestUnfoldCtxMidwayCancel: a context cancelled from inside a protocol
+// step cuts the enumeration at the next interval check instead of
+// unfolding the whole tree — the bound on extra work is one interval of
+// dequeues, not the model size.
+func TestUnfoldCtxMidwayCancel(t *testing.T) {
+	ctx, cancel := context.WithCancelCause(context.Background())
+	var steps atomic.Int64
+	m := twoAgentModel()
+	m.Bound = 6 // 4^6 = 4096 runs if allowed to finish
+	inner := m.Step
+	m.Step = func(agent int, local string, t int) []Weighted[string] {
+		if steps.Add(1) == 100 {
+			cancel(context.Canceled)
+		}
+		return inner(agent, local, t)
+	}
+
+	_, err := UnfoldCtx(ctx, m)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("UnfoldCtx cancelled midway: err = %v, want wrapped cancellation", err)
+	}
+	// Two Step calls per dequeued interior node; the next check comes
+	// within unfoldCtxInterval dequeues of the cancellation.
+	if n := steps.Load(); n > 100+2*unfoldCtxInterval {
+		t.Fatalf("unfold ran %d steps after cancel at 100, want at most %d", n, 100+2*unfoldCtxInterval)
+	}
+}

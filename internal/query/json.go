@@ -188,6 +188,26 @@ func Marshal(q Query) ([]byte, error) {
 	return out, nil
 }
 
+// MarshalCanonical renders one query as its canonical compact JSON
+// document: the same envelope as Marshal, one deterministic byte
+// string per query value, no insignificant whitespace. This is the
+// store-key form — internal/store addresses results by
+// (canonical system spec × this rendering), so it must stay a pure
+// function of the query value. Queries carrying opaque Go facts do
+// not serialize (encode.ErrOpaqueFact) and therefore have no store
+// address.
+func MarshalCanonical(q Query) ([]byte, error) {
+	doc, err := docOf(q)
+	if err != nil {
+		return nil, err
+	}
+	out, err := json.Marshal(doc)
+	if err != nil {
+		return nil, fmt.Errorf("query.MarshalCanonical: %w", err)
+	}
+	return out, nil
+}
+
 // Parse parses one query document.
 func Parse(data []byte) (Query, error) {
 	var doc queryDoc

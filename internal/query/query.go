@@ -201,6 +201,16 @@ func (q BeliefQuery) validate() error {
 }
 
 func (q BeliefQuery) eval(ctx context.Context, e *core.Engine) (Result, error) {
+	// Warm the φ@ℓ extension under the request context before the
+	// backend-generic body: the scan is the dominant cost, the ctx-bound
+	// variant can abort mid-scan at a deadline, and a completed scan is
+	// memoized so evalOn reuses it — evaluation never runs the scan
+	// twice, and never runs it past the context's expiry.
+	if q.Local != "" {
+		if _, err := e.FactAtLocalCtx(ctx, q.Fact, q.Agent, q.Local); err != nil && core.IsContextErr(err) {
+			return Result{}, err
+		}
+	}
 	return q.evalOn(ctx, e)
 }
 
@@ -272,6 +282,14 @@ func (q ConstraintQuery) validate() error {
 }
 
 func (q ConstraintQuery) eval(ctx context.Context, e *core.Engine) (Result, error) {
+	// Warm the φ@α extension under the request context (see
+	// BeliefQuery.eval): a deadline aborts the scan mid-run, a completed
+	// scan is memoized for evalOn's ConstraintProb and FactAtAction.
+	// Non-context errors fall through to evalOn so domain failures keep
+	// their single reporting path.
+	if _, err := e.FactAtActionCtx(ctx, q.Fact, q.Agent, q.Action); err != nil && core.IsContextErr(err) {
+		return Result{}, err
+	}
 	return q.evalOn(ctx, e)
 }
 

@@ -95,6 +95,7 @@ import (
 	"pak/internal/query"
 	"pak/internal/ratutil"
 	"pak/internal/registry"
+	"pak/internal/store"
 )
 
 // Option configures a Server.
@@ -180,6 +181,19 @@ func WithMaxBodyBytes(n int64) Option {
 	}
 }
 
+// WithClientQuota caps each client's concurrent in-flight evaluation
+// requests (/v1/eval[/stream], /v1/envelope[/stream]) at n; the
+// n+1-th answers a deterministic 429 before any work happens. Clients
+// are told apart by X-Client-ID, falling back to the remote host (see
+// quota.go). n ≤ 0 (the default) admits everything.
+func WithClientQuota(n int) Option {
+	return func(s *Server) {
+		if n > 0 {
+			s.quota = newClientQuota(n)
+		}
+	}
+}
+
 // maxBodyBytes bounds the /v1/eval request body (8 MiB): far above any
 // reasonable query batch, far below what could exhaust server memory.
 const maxBodyBytes = 8 << 20
@@ -210,10 +224,21 @@ type Server struct {
 
 	engines *EngineCache
 
+	// resultStore is the persistent result tier (nil = off; see
+	// store.go), quota the per-client admission control (nil = off;
+	// see quota.go).
+	resultStore store.Store
+	quota       *clientQuota
+
 	// evalEnum and evalLP count accepted evaluation slots per backend
-	// (see countBackendSlots); /v1/stats reports them.
-	evalEnum atomic.Int64
-	evalLP   atomic.Int64
+	// (see countBackendSlots); /v1/stats reports them. The store
+	// counters classify persistent-tier lookups and writes.
+	evalEnum     atomic.Int64
+	evalLP       atomic.Int64
+	storeHits    atomic.Int64
+	storeMisses  atomic.Int64
+	storeCorrupt atomic.Int64
+	storeWrites  atomic.Int64
 }
 
 // New returns a server over the registry (nil means registry.Default()).
@@ -264,6 +289,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, StatsResponse{
 		EngineCache: s.engines.Stats(),
 		Backends:    BackendStats{Enum: s.evalEnum.Load(), LP: s.evalLP.Load()},
+		Store:       s.storeStats(),
 	})
 }
 
@@ -274,8 +300,11 @@ type StatsResponse struct {
 	EngineCache CacheStats `json:"engineCache"`
 	// Backends counts accepted evaluation slots by the backend that
 	// answers them (auto-routed slots count under the backend they
-	// resolve to).
+	// resolve to; store-served slots never count — no backend ran).
 	Backends BackendStats `json:"backends"`
+	// Store snapshots the persistent result tier; absent when no store
+	// is configured, so the classic stats shape is byte-identical.
+	Store *StoreStats `json:"store,omitempty"`
 }
 
 // BackendStats is the per-backend slot accounting in StatsResponse.
@@ -802,11 +831,23 @@ func (s *Server) decodeEvalRequest(w http.ResponseWriter, r *http.Request) (eval
 // byte-identical to its untimed value) plus per-slot deadline errors
 // for the queries that never ran, with the top-level status/error
 // fields naming the cause — the finished prefix is never lost.
+//
+// With a result store configured, the request reads through it first:
+// stored slots are answered from their persisted ResultDoc
+// (byte-identical to a fresh evaluation), only the missing slots are
+// evaluated, and systems whose every slot hit skip their engine build
+// entirely. Fresh deterministic results are written back (store.go
+// has the full contract).
 func (s *Server) handleEval(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("%s not allowed; use POST", r.Method))
 		return
 	}
+	release, admitted := s.admit(w, r)
+	if !admitted {
+		return
+	}
+	defer release()
 	ctx := r.Context()
 	if s.timeout > 0 {
 		var cancel context.CancelFunc
@@ -818,35 +859,72 @@ func (s *Server) handleEval(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	s.countBackendSlots(plan)
+	lookup := s.lookupStored(plan)
+	evalView, slotMap := reducePlan(plan, lookup)
+	// Backend accounting covers the slots evaluation will actually
+	// answer — store-served slots ran no backend.
+	s.countBackendSlots(evalView)
 
-	engines, err := s.buildEngines(ctx, plan.targets)
-	if err != nil && (!isContextErr(err) || context.Cause(ctx) == nil) {
-		// A genuine build failure (bad spec, builder domain error — or a
-		// context-flavoured error from a custom builder while this
-		// request is still live) is a plain request error. Context
-		// expiry falls through instead: engines may be missing, but the
-		// evaluator's per-slot context check fires before any engine is
-		// touched, so missing engines surface as per-slot deadline
-		// errors in an otherwise well-formed response.
-		writeError(w, statusOfEvalErr(err), err)
-		return
+	// Build engines only for systems with un-stored work: a fully-hit
+	// system costs zero engine rebuilds, which is what makes restart-
+	// without-recomputation literal.
+	engines := make([]*core.Engine, len(plan.targets))
+	var needs []int
+	for i := range evalView.batches {
+		if !lookup.fullyHit(i) {
+			needs = append(needs, i)
+		}
+	}
+	if len(needs) > 0 {
+		sub := make([]resolved, len(needs))
+		for k, i := range needs {
+			sub[k] = plan.targets[i]
+		}
+		built, err := s.buildEngines(ctx, sub)
+		if err != nil && (!isContextErr(err) || context.Cause(ctx) == nil) {
+			// A genuine build failure (bad spec, builder domain error — or a
+			// context-flavoured error from a custom builder while this
+			// request is still live) is a plain request error. Context
+			// expiry falls through instead: engines may be missing, but the
+			// evaluator's per-slot context check fires before any engine is
+			// touched, so missing engines surface as per-slot deadline
+			// errors in an otherwise well-formed response.
+			writeError(w, statusOfEvalErr(err), err)
+			return
+		}
+		for k, i := range needs {
+			engines[i] = built[k]
+		}
 	}
 
 	items := make([]query.MultiItem, len(plan.targets))
 	for i := range plan.targets {
-		items[i] = s.itemFor(plan, i, engines[i])
+		items[i] = s.itemFor(evalView, i, engines[i])
 	}
 	// Per-query errors are already isolated in their result slots; the
 	// joined error adds nothing for a wire client.
-	results, _ := query.MultiBatch(items, plan.evalOptions(ctx)...)
+	results, _ := query.MultiBatch(items, evalView.evalOptions(ctx)...)
 
 	resp := EvalResponse{Results: make([]SystemResult, len(plan.targets))}
 	for i := range plan.targets {
+		docs := make([]query.ResultDoc, len(plan.batches[i]))
+		for j := range plan.batches[i] {
+			if hit := lookup.hit(i, j); hit != nil {
+				docs[j] = *hit
+			}
+		}
+		for jj, res := range results[i] {
+			orig := jj
+			if slotMap != nil {
+				orig = slotMap[i][jj]
+			}
+			docs[orig] = query.DocOf(res)
+			s.persistResult(ctx, lookup, plan.targets[i].key, i, orig, docs[orig])
+		}
 		resp.Results[i] = SystemResult{
 			System:    plan.specs[i],
 			Canonical: plan.targets[i].key,
-			Results:   query.DocsOf(results[i]),
+			Results:   docs,
 		}
 	}
 	if cause := context.Cause(ctx); cause != nil {

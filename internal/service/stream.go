@@ -153,6 +153,11 @@ func (s *Server) handleEvalStream(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("%s not allowed; use POST", r.Method))
 		return
 	}
+	release, admitted := s.admit(w, r)
+	if !admitted {
+		return
+	}
+	defer release()
 	ctx := r.Context()
 	if s.timeout > 0 {
 		var cancel context.CancelFunc
@@ -164,12 +169,52 @@ func (s *Server) handleEvalStream(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	s.countBackendSlots(plan)
+	lookup := s.lookupStored(plan)
+	evalView, slotMap := reducePlan(plan, lookup)
+	s.countBackendSlots(evalView)
 
-	builds := s.startBuilds(ctx, plan.targets)
+	// Builds start only for systems with un-stored work (store.go);
+	// fully-hit systems stream straight from the store, engine-free.
+	var needs []int
+	needsAt := make([]int, len(plan.targets)) // system -> its builds index
+	for i := range evalView.batches {
+		needsAt[i] = -1
+		if !lookup.fullyHit(i) {
+			needsAt[i] = len(needs)
+			needs = append(needs, i)
+		}
+	}
+	sub := make([]resolved, len(needs))
+	for k, i := range needs {
+		sub[k] = plan.targets[i]
+	}
+	builds := s.startBuilds(ctx, sub)
 	sw := newStreamWriter(w)
 	for i := range plan.targets {
-		br := <-builds[i]
+		// Stored slots stream first, in batch order: they are on hand
+		// before any engine is, and the frame contract orders frames
+		// within a system by completion.
+		for j := range plan.batches[i] {
+			hit := lookup.hit(i, j)
+			if hit == nil {
+				continue
+			}
+			err := sw.frame(StreamResultFrame{
+				Frame:     frameResult,
+				System:    i,
+				Spec:      plan.specs[i],
+				Canonical: plan.targets[i].key,
+				Index:     j,
+				Result:    *hit,
+			})
+			if err != nil {
+				return
+			}
+		}
+		if needsAt[i] < 0 {
+			continue
+		}
+		br := <-builds[needsAt[i]]
 		var engine *core.Engine
 		switch {
 		case br.err == nil:
@@ -184,20 +229,28 @@ func (s *Server) handleEvalStream(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		for f := range query.EvalMultiStream(
-			[]query.MultiItem{s.itemFor(plan, i, engine)}, plan.evalOptions(ctx)...) {
+			[]query.MultiItem{s.itemFor(evalView, i, engine)}, evalView.evalOptions(ctx)...) {
 			if f.Terminal() {
 				// Per-system terminals are suppressed; the request emits
 				// one terminal frame, below, after every system.
 				continue
+			}
+			orig := f.Index
+			if slotMap != nil {
+				orig = slotMap[i][f.Index]
+			}
+			doc := query.DocOf(f.Result)
+			if f.Stage != query.StageApprox {
+				s.persistResult(ctx, lookup, plan.targets[i].key, i, orig, doc)
 			}
 			err := sw.frame(StreamResultFrame{
 				Frame:     frameResult,
 				System:    i,
 				Spec:      plan.specs[i],
 				Canonical: plan.targets[i].key,
-				Index:     f.Index,
+				Index:     orig,
 				Stage:     string(f.Stage),
-				Result:    query.DocOf(f.Result),
+				Result:    doc,
 			})
 			if err != nil {
 				// The client is gone; the buffered query stream drains

@@ -315,20 +315,23 @@ func mustBatch(t *testing.T, qs ...query.Query) []byte {
 // without a deadline, and every slot the deadlined run finished must be
 // byte-identical to its untimed value, with every unfinished slot
 // carrying a per-slot deadline error and the response carrying the
-// top-level timeout marker on a 504. The batch is large enough that a
-// 250ms budget cannot finish it, and the first slots cheap enough that
+// top-level timeout marker on a 504. The batch is large enough that
+// the budget cannot finish it, and the first slots cheap enough that
 // some always do — but the assertions themselves only rely on the
 // dichotomy, so scheduling noise cannot flake the test.
 func TestEvalTimeoutReturnsFinishedPrefix(t *testing.T) {
 	if testing.Short() {
 		t.Skip("timed prefix test in -short")
 	}
-	// 250 queries over nsquad(5), every fact distinct so the engine's
-	// memoization cannot collapse them: ~4ms each serial, ~1s total —
-	// far beyond a 150ms budget collectively, while any single query
-	// finishes well inside it. The assertions only rely on the
-	// finished/unfinished dichotomy, so scheduling noise cannot flake
-	// the byte-identity check.
+	// 250 queries over nsquad(5): ~8ms each serial (several seconds
+	// total, far beyond the budget collectively), while decoding the
+	// batch plus any single query finishes well inside it even under
+	// -race (~150ms + ~80ms against 600ms). The budget must leave that
+	// headroom: scans now abort cooperatively at the deadline, so a
+	// slot in flight when it fires no longer completes on borrowed
+	// time. The assertions only rely on the finished/unfinished
+	// dichotomy, so scheduling noise cannot flake the byte-identity
+	// check.
 	var qs []query.Query
 	for i := 0; i < 250; i++ {
 		fact := logic.And(scenarios.AllFireFact(5),
@@ -354,7 +357,7 @@ func TestEvalTimeoutReturnsFinishedPrefix(t *testing.T) {
 	// Warm the engine first (in-flight builds complete and stay cached
 	// even past a deadline), so the timed request spends its whole
 	// budget evaluating rather than unfolding.
-	timedTS := newTestServer(t, WithRequestTimeout(150*time.Millisecond))
+	timedTS := newTestServer(t, WithRequestTimeout(600*time.Millisecond))
 	warmResp, _ := postEval(t, timedTS, `{"systems": ["nsquad(5)"], "queries": []}`)
 	warmResp.Body.Close()
 

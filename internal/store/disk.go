@@ -1,0 +1,267 @@
+// The crash-safe disk backend. One entry is one file,
+// <dir>/<key>.json, holding a versioned JSON envelope:
+//
+//	{"version":1,"system":"nsquad(n=2,...)","query":{...},
+//	 "sha256":"<hex of value bytes>","value":{...ResultDoc...}}
+//
+// Exact rationals travel inside the value as RatStrings — the
+// envelope never holds a float. Writes are temp-then-rename: the
+// value lands under a hidden temp name, is fsynced, and only then
+// renamed onto its content address, so a crash mid-write leaves
+// either the old entry or no entry — never a torn one. Reads verify
+// everything re-derivable: the envelope parses, its version is known,
+// the coordinates re-derive the file's own address, and the value
+// re-hashes to the recorded sum. Any failure is ErrCorrupt — served
+// answers are exactly the bytes Put stored, or nothing.
+package store
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// envelopeVersion is the on-disk format version; readers reject
+// anything else as corrupt rather than guessing.
+const envelopeVersion = 1
+
+// entrySuffix names entry files; everything else in the directory is
+// ignored (temp files, user droppings).
+const entrySuffix = ".json"
+
+// envelope is the on-disk JSON form of an Entry.
+type envelope struct {
+	Version int             `json:"version"`
+	System  string          `json:"system"`
+	Query   json.RawMessage `json:"query"`
+	Sum     string          `json:"sha256"`
+	Value   json.RawMessage `json:"value"`
+}
+
+// Disk is the crash-safe file backend.
+type Disk struct {
+	dir string
+}
+
+// OpenDisk opens (creating if needed) a disk store rooted at dir.
+func OpenDisk(dir string) (*Disk, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("store: empty directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	return &Disk{dir: dir}, nil
+}
+
+// Dir returns the store's root directory.
+func (d *Disk) Dir() string { return d.dir }
+
+// Path returns the entry file a key addresses (whether or not it
+// exists yet).
+func (d *Disk) Path(k Key) string {
+	return filepath.Join(d.dir, string(k)+entrySuffix)
+}
+
+// Get implements Store.
+func (d *Disk) Get(k Key) ([]byte, error) {
+	if !k.valid() {
+		return nil, errBadKey(k)
+	}
+	data, err := os.ReadFile(d.Path(k))
+	if os.IsNotExist(err) {
+		return nil, ErrNotFound
+	}
+	if err != nil {
+		return nil, fmt.Errorf("store: read %s: %w", k, err)
+	}
+	e, err := decodeEnvelope(k, data)
+	if err != nil {
+		return nil, err
+	}
+	return e.Value, nil
+}
+
+// decodeEnvelope parses and integrity-checks one entry file's bytes
+// against the address it was read from. Every failure mode — parse,
+// version, address, hash — wraps ErrCorrupt: a flipped byte anywhere
+// in the file necessarily breaks one of these checks, because the
+// envelope is pure JSON with no ignored regions.
+func decodeEnvelope(k Key, data []byte) (envelope, error) {
+	var e envelope
+	if err := json.Unmarshal(data, &e); err != nil {
+		return envelope{}, errCorrupt(k, "envelope does not parse: "+err.Error())
+	}
+	if e.Version != envelopeVersion {
+		return envelope{}, errCorrupt(k, fmt.Sprintf("envelope version %d, want %d", e.Version, envelopeVersion))
+	}
+	if derived := NewKey(e.System, e.Query); derived != k {
+		return envelope{}, errCorrupt(k, "coordinates derive address "+string(derived))
+	}
+	sum := sha256.Sum256(e.Value)
+	if hex.EncodeToString(sum[:]) != e.Sum {
+		return envelope{}, errCorrupt(k, "value bytes do not match their recorded hash")
+	}
+	return e, nil
+}
+
+// Put implements Store: write-temp-then-rename with an fsync in
+// between, so the content address never names a torn file.
+func (d *Disk) Put(e Entry) error {
+	k := NewKey(e.System, e.Query)
+	sum := sha256.Sum256(e.Value)
+	env := envelope{
+		Version: envelopeVersion,
+		System:  e.System,
+		Query:   json.RawMessage(e.Query),
+		Sum:     hex.EncodeToString(sum[:]),
+		Value:   json.RawMessage(e.Value),
+	}
+	data, err := json.Marshal(env)
+	if err != nil {
+		// RawMessage fields must be valid JSON; a caller handing us
+		// non-JSON value bytes surfaces here rather than as a corrupt
+		// file later.
+		return fmt.Errorf("store: encode %s: %w", k, err)
+	}
+	// The encoder compacts (and HTML-escapes) embedded RawMessages, so
+	// a caller whose query bytes are not already in that canonical form
+	// would file an entry whose read-back coordinates derive a DIFFERENT
+	// address — permanently corrupt by construction. Catch it at write
+	// time instead: the marshaled envelope must decode back to the
+	// address we are about to write.
+	if _, err := decodeEnvelope(k, data); err != nil {
+		return fmt.Errorf("store: coordinates are not canonical JSON (use query.MarshalCanonical): %w", err)
+	}
+
+	tmp, err := os.CreateTemp(d.dir, ".put-*")
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return fmt.Errorf("store: write %s: %w", k, err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("store: sync %s: %w", k, err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("store: close %s: %w", k, err)
+	}
+	if err := os.Rename(tmp.Name(), d.Path(k)); err != nil {
+		return fmt.Errorf("store: rename %s: %w", k, err)
+	}
+	return nil
+}
+
+// Len implements Store.
+func (d *Disk) Len() (int, error) {
+	ks, err := d.Keys()
+	return len(ks), err
+}
+
+// Keys lists every stored address in lexicographic order (a stable
+// order for pakstore -list and the verify sweep).
+func (d *Disk) Keys() ([]Key, error) {
+	names, err := os.ReadDir(d.dir)
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	var out []Key
+	for _, de := range names {
+		name := de.Name()
+		if de.IsDir() || !strings.HasSuffix(name, entrySuffix) {
+			continue
+		}
+		k := Key(strings.TrimSuffix(name, entrySuffix))
+		if !k.valid() {
+			continue
+		}
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out, nil
+}
+
+// Read returns one entry with its coordinates, integrity-checked —
+// the pakstore -list/-verify primitive.
+func (d *Disk) Read(k Key) (Entry, error) {
+	if !k.valid() {
+		return Entry{}, errBadKey(k)
+	}
+	data, err := os.ReadFile(d.Path(k))
+	if os.IsNotExist(err) {
+		return Entry{}, ErrNotFound
+	}
+	if err != nil {
+		return Entry{}, fmt.Errorf("store: read %s: %w", k, err)
+	}
+	e, err := decodeEnvelope(k, data)
+	if err != nil {
+		return Entry{}, err
+	}
+	return Entry{System: e.System, Query: e.Query, Value: e.Value}, nil
+}
+
+// Verify integrity-checks every entry, returning the keys that failed
+// (empty = a clean store). The error reports only sweep-level
+// failures (an unreadable directory), not per-entry corruption.
+func (d *Disk) Verify() ([]Key, error) {
+	ks, err := d.Keys()
+	if err != nil {
+		return nil, err
+	}
+	var bad []Key
+	for _, k := range ks {
+		if _, err := d.Read(k); err != nil {
+			bad = append(bad, k)
+		}
+	}
+	return bad, nil
+}
+
+// GC deletes entries beyond the keep most recently modified ones
+// (keep ≤ 0 empties the store) and returns how many were removed.
+// Corrupt entries count like any other — gc is a size policy, verify
+// is the integrity sweep.
+func (d *Disk) GC(keep int) (int, error) {
+	ks, err := d.Keys()
+	if err != nil {
+		return 0, err
+	}
+	type aged struct {
+		k   Key
+		mod int64
+	}
+	entries := make([]aged, 0, len(ks))
+	for _, k := range ks {
+		fi, err := os.Stat(d.Path(k))
+		if err != nil {
+			continue // raced with a concurrent gc; nothing to remove
+		}
+		entries = append(entries, aged{k: k, mod: fi.ModTime().UnixNano()})
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		if entries[i].mod != entries[j].mod {
+			return entries[i].mod > entries[j].mod // newest first
+		}
+		return entries[i].k < entries[j].k
+	})
+	removed := 0
+	for i := keep; i < len(entries); i++ {
+		if i < 0 {
+			continue
+		}
+		if err := os.Remove(d.Path(entries[i].k)); err == nil {
+			removed++
+		}
+	}
+	return removed, nil
+}

@@ -1,0 +1,145 @@
+package store_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math/big"
+	"os"
+	"strings"
+	"testing"
+
+	"pak/internal/query"
+	"pak/internal/store"
+)
+
+// fuzzDoc builds a deterministic ResultDoc from fuzzed primitives:
+// exact rationals derived from the integers, envelopes/estimates/
+// error slots toggled by the flags, and raw fuzzed strings in the
+// free-text fields so JSON escaping is exercised.
+func fuzzDoc(a, b int64, detail, errMsg string, hasEnv, hasEst, hasTL bool, n int) query.ResultDoc {
+	if b == 0 {
+		b = 1
+	}
+	rat := big.NewRat(a, b).RatString()
+	doc := query.ResultDoc{
+		Kind:        query.KindConstraint,
+		Query:       fmt.Sprintf("constraint[%d]", n),
+		Value:       rat,
+		Verdict:     query.Verdict("holds"),
+		WitnessRuns: n,
+		Detail:      detail,
+		Error:       errMsg,
+		Values:      map[string]string{"p": rat, "q": big.NewRat(b, abs64(a)+1).RatString()},
+		Flags:       map[string]bool{"strict": n%2 == 0, "ciCovered": hasEst},
+	}
+	if hasEnv {
+		doc.Envelope = &query.RangeDoc{
+			Min: rat, Max: "1", ArgMin: detail, ArgMax: "loss=1/2",
+			Visited: n % 7, Total: 7, Skipped: []string{"loss=0"},
+		}
+	}
+	if hasEst {
+		doc.Estimate = &query.EstimateDoc{
+			P: rat, Radius: "1/128", Lo: "0", Hi: "1",
+			N: n % 100, Samples: n%100 + 1, Seed: a ^ b,
+			Eps: "1/10", Delta: "1/100",
+		}
+	}
+	if hasTL {
+		doc.Timeline = []query.TimelinePointDoc{
+			{Time: 0, Local: detail, Belief: rat, Knows: false},
+			{Time: 1, Local: "fired", Belief: "1", Knows: true},
+		}
+	}
+	return doc
+}
+
+func abs64(a int64) int64 {
+	if a < 0 && a != -1<<63 {
+		return -a
+	}
+	if a == -1<<63 {
+		return 1<<63 - 1
+	}
+	return a
+}
+
+// FuzzStoreRoundTrip is satellite coverage for the persistence tier:
+// for random ResultDocs (exact rationals, envelopes, estimates, error
+// slots) the store must return byte-identical value bytes, the doc
+// must survive decode(encode(x)) byte-identically (the property the
+// service's hit path leans on when it re-embeds a stored doc in a
+// response), and a single flipped byte anywhere in the on-disk entry
+// must surface as ErrCorrupt — never as a served answer.
+func FuzzStoreRoundTrip(f *testing.F) {
+	f.Add(int64(2), int64(3), "all fire", "", true, false, false, 3, uint16(0))
+	f.Add(int64(-7), int64(11), "loss=1/10", "core: unknown agent", false, true, true, 0, uint16(97))
+	f.Add(int64(0), int64(1), `esc"ape<&>`, "", true, true, false, -1, uint16(255))
+
+	canonical := canonicalQuery(f)
+
+	f.Fuzz(func(t *testing.T, a, b int64, detail, errMsg string, hasEnv, hasEst, hasTL bool, n int, flip uint16) {
+		// Every real ResultDoc string originates from parsed JSON or an
+		// internal rendering, so it is valid UTF-8 by construction;
+		// json.Marshal is not byte-stable on invalid UTF-8 (it escapes
+		// to �, which decodes to a literal replacement char), so
+		// hold the fuzz corpus to the same invariant the code has.
+		detail = strings.ToValidUTF8(detail, "�")
+		errMsg = strings.ToValidUTF8(errMsg, "�")
+		doc := fuzzDoc(a, b, detail, errMsg, hasEnv, hasEst, hasTL, n)
+		enc, err := json.Marshal(doc)
+		if err != nil {
+			t.Fatalf("marshal doc: %v", err)
+		}
+
+		// decode(encode(x)) is byte-identical: the service's hit path
+		// re-marshals a decoded stored doc into the response, so any
+		// lossy field would silently break wire byte-identity.
+		var back query.ResultDoc
+		if err := json.Unmarshal(enc, &back); err != nil {
+			t.Fatalf("unmarshal doc: %v", err)
+		}
+		enc2, err := json.Marshal(back)
+		if err != nil {
+			t.Fatalf("re-marshal doc: %v", err)
+		}
+		if !bytes.Equal(enc, enc2) {
+			t.Fatalf("decode(encode(x)) drifted:\n in: %s\nout: %s", enc, enc2)
+		}
+
+		dir := t.TempDir()
+		d, err := store.OpenDisk(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sys := "nsquad(n=2,improved=false)"
+		if err := d.Put(store.Entry{System: sys, Query: canonical, Value: enc}); err != nil {
+			t.Fatalf("Put: %v", err)
+		}
+		k := store.NewKey(sys, canonical)
+		got, err := d.Get(k)
+		if err != nil {
+			t.Fatalf("Get: %v", err)
+		}
+		if !bytes.Equal(got, enc) {
+			t.Fatalf("stored value drifted:\n in: %s\nout: %s", enc, got)
+		}
+
+		// Flip exactly one bit of the entry file: the integrity check
+		// must refuse to serve it, whatever byte the flip landed on.
+		data, err := os.ReadFile(d.Path(k))
+		if err != nil {
+			t.Fatal(err)
+		}
+		data[int(flip)%len(data)] ^= 0x01
+		if err := os.WriteFile(d.Path(k), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if served, err := d.Get(k); !errors.Is(err, store.ErrCorrupt) {
+			t.Fatalf("flipped byte %d of %d served anyway: err=%v value=%s",
+				int(flip)%len(data), len(data), err, served)
+		}
+	})
+}

@@ -1,0 +1,70 @@
+package pak
+
+import (
+	"pak/internal/service"
+	"pak/internal/store"
+)
+
+// The persistent result tier, re-exported from internal/store: a
+// content-addressed map from (canonical system spec × canonical query
+// document) to exact ResultDoc bytes, wired into the service as a
+// read-through/write-behind tier so a restarted server answers stored
+// results byte-identically with zero engine rebuilds. See DESIGN.md
+// "Persistent results" for the addressing, persistence and integrity
+// contracts.
+type (
+	// ResultStore is the storage interface the service persists results
+	// through: Get/Put/Len over content-addressed entries, with
+	// integrity-checked reads (a corrupt entry is an error wrapping
+	// StoreErrCorrupt, never a served answer).
+	ResultStore = store.Store
+	// StoreEntry is one stored result: the canonical system spec, the
+	// canonical query document, and the ResultDoc value bytes.
+	StoreEntry = store.Entry
+	// StoreKey is the content address of one stored result (SHA-256 of
+	// the versioned system×query preimage, lowercase hex).
+	StoreKey = store.Key
+	// DiskStore is the crash-safe file-per-entry backend
+	// (temp-then-rename writes, verify-don't-trust reads).
+	DiskStore = store.Disk
+	// MemoryStore is the in-process backend with the same integrity
+	// discipline, for tests and ephemeral tiers.
+	MemoryStore = store.Memory
+	// StoreStats is the persistent-store section of GET /v1/stats:
+	// disjoint hit/miss/corrupt lookup counters plus writes and length.
+	StoreStats = service.StoreStats
+)
+
+// Store error sentinels, matched with errors.Is.
+var (
+	// StoreErrNotFound reports a key with no stored entry.
+	StoreErrNotFound = store.ErrNotFound
+	// StoreErrCorrupt reports an entry that failed its integrity check
+	// — refused, counted, and recomputed, never served.
+	StoreErrCorrupt = store.ErrCorrupt
+)
+
+// NewStoreKey derives the content address for a canonical system spec
+// and a canonical query document.
+func NewStoreKey(systemSpec string, queryDoc []byte) StoreKey {
+	return store.NewKey(systemSpec, queryDoc)
+}
+
+// OpenDiskStore opens (creating if needed) a disk-backed result store
+// rooted at dir — what pakd -store-dir and pakload -store-dir use.
+func OpenDiskStore(dir string) (*DiskStore, error) { return store.OpenDisk(dir) }
+
+// NewMemoryStore returns an empty in-memory result store.
+func NewMemoryStore() *MemoryStore { return store.NewMemory() }
+
+// WithServiceResultStore installs a persistent result store as a
+// read-through/write-behind tier in front of evaluation: stored slots
+// are answered byte-identically without building engines, and only
+// deterministic, complete, exact results are written back (never
+// error slots, estimates, or slots cut by a deadline).
+func WithServiceResultStore(st ResultStore) ServiceOption { return service.WithResultStore(st) }
+
+// WithServiceClientQuota caps each client's concurrent in-flight
+// evaluation requests (keyed by X-Client-ID, else source host);
+// excess requests answer 429 (n ≤ 0 = unlimited).
+func WithServiceClientQuota(n int) ServiceOption { return service.WithClientQuota(n) }

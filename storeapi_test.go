@@ -1,0 +1,51 @@
+package pak_test
+
+import (
+	"errors"
+	"testing"
+
+	"pak"
+)
+
+// TestStoreFacade drives the re-exported store API end to end: a disk
+// store round-trips an entry under its content address, misses and
+// corruption surface as the exported sentinels, and the service
+// accepts the store and quota options.
+func TestStoreFacade(t *testing.T) {
+	st, err := pak.OpenDiskStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	entry := pak.StoreEntry{
+		System: "nsquad(n=2,loss=1/10,improved=false)",
+		Query:  []byte(`{"kind":"constraint","fact":{"kind":"true"},"agent":"General","action":"fire"}`),
+		Value:  []byte(`{"kind":"constraint","value":"1"}`),
+	}
+	key := pak.NewStoreKey(entry.System, entry.Query)
+	if _, err := st.Get(key); !errors.Is(err, pak.StoreErrNotFound) {
+		t.Fatalf("cold Get err = %v, want StoreErrNotFound", err)
+	}
+	if err := st.Put(entry); err != nil {
+		t.Fatal(err)
+	}
+	got, err := st.Get(key)
+	if err != nil || string(got) != string(entry.Value) {
+		t.Fatalf("Get = (%q, %v), want the stored value", got, err)
+	}
+	if n, err := st.Len(); err != nil || n != 1 {
+		t.Fatalf("Len = (%d, %v), want 1", n, err)
+	}
+
+	mem := pak.NewMemoryStore()
+	if err := mem.Put(entry); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mem.Get(key); err != nil {
+		t.Fatalf("memory Get: %v", err)
+	}
+
+	// Both options wire into a server without touching the network.
+	if srv := pak.NewService(nil, pak.WithServiceResultStore(mem), pak.WithServiceClientQuota(2)); srv == nil {
+		t.Fatal("NewService returned nil")
+	}
+}
