@@ -492,6 +492,134 @@ func BenchmarkEnvelopeSharedCache(b *testing.B) {
 	})
 }
 
+// BenchmarkEnvelopeStructureSharing isolates the memo-seeding half of
+// the sweep economics from the engine cache: every iteration builds all
+// engines fresh (nothing crosses iterations), and the only variable is
+// whether each assignment's engine is independent (New) or seeded from
+// its predecessor (NewEngineSeeded). The assignments of one sweep
+// differ only in adversary weights, so the seeded chain pays the
+// structural scans — where actions are performed, where the fact holds
+// — once for the whole sweep instead of once per assignment; the
+// per-op gap is that saved re-scanning. Serial evaluation keeps the
+// comparison clean of scheduling noise.
+func BenchmarkEnvelopeStructureSharing(b *testing.B) {
+	const n = 4
+	// loss=0 is deliberately absent: a zero-weight branch is pruned from
+	// the unfold, so that assignment has a different shape and cannot
+	// share (the chain would just skip it; the bench wants full sharing).
+	losses := []string{"1/10", "1/5", "3/10", "2/5", "1/2"}
+	systems := make([]*pak.System, len(losses))
+	for i, l := range losses {
+		sys, err := pak.NFiringSquadSystem(n, pak.MustRat(l), false)
+		if err != nil {
+			b.Fatal(err)
+		}
+		systems[i] = sys
+	}
+	// The run-based reading of the squad constraint ("the run is one
+	// where everyone eventually fires together") prices each Holds call
+	// at a scan of the run, so the fact-extension sets the chain shares
+	// carry real weight next to the per-assignment measure arithmetic.
+	inner := pak.ConstraintQuery{Fact: pak.Sometime(pak.AllFire(n)), Agent: "General", Action: "fire"}
+
+	run := func(b *testing.B, engines func() []*pak.Engine) {
+		b.Helper()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			es := engines()
+			items := make([]pak.EnvelopeItem, len(es))
+			for j, e := range es {
+				items[j] = pak.EnvelopeItem{Assignment: "loss=" + losses[j], Engine: e}
+			}
+			out, err := pak.EvalEnvelope(pak.EnvelopeQuery{Inner: inner, Items: items}, pak.WithParallelism(1))
+			if err != nil || out.Result.Envelope.Visited != len(losses) {
+				b.Fatalf("sweep: %v (%+v)", err, out.Result.Envelope)
+			}
+			// The sweep also gates Theorem 4.2 per assignment: the
+			// Definition 4.1 scan reads the fact-extension sets at every
+			// local state — the heaviest table the chain shares.
+			for _, e := range es {
+				if _, err := e.LocalStateIndependence(inner.Fact, "General", "fire"); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+
+	b.Run("independent-engines", func(b *testing.B) {
+		run(b, func() []*pak.Engine {
+			es := make([]*pak.Engine, len(systems))
+			for j, sys := range systems {
+				es[j] = pak.NewEngine(sys)
+			}
+			return es
+		})
+	})
+
+	b.Run("seeded-chain", func(b *testing.B) {
+		run(b, func() []*pak.Engine {
+			es := make([]*pak.Engine, len(systems))
+			var prev *pak.Engine
+			for j, sys := range systems {
+				e, shared := pak.NewEngineSeeded(sys, prev)
+				if prev != nil && !shared {
+					b.Fatal("loss neighbours refused to share; the benchmark's premise is broken")
+				}
+				es[j], prev = e, e
+			}
+			return es
+		})
+	})
+}
+
+// BenchmarkIndependenceIncremental prices the Definition 4.1 scan under
+// the occurrence-index rewrite on a deep random system (hundreds of
+// local states). "cold" pays everything — the performance index, the
+// fact-extension scans, the per-local fold; "seeded-neighbour" starts
+// from a shape-equal neighbour's warm structural tables, as each
+// assignment of a sweep does, leaving only the per-local measure
+// checks. The gap is the work structure sharing removes from every
+// sweep assignment after the first.
+func BenchmarkIndependenceIncremental(b *testing.B) {
+	sys, err := randsys.Generate(randsys.Config{
+		Agents: 2, Depth: 6, MaxBranch: 3, MaxInitial: 2,
+		ObsAlphabet: 64, ActionTime: 2, Seed: 7,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	agent := sys.Agents()[0]
+	fact := pak.Does(agent, randsys.DesignatedAction)
+
+	b.Run("cold", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			e := pak.NewEngine(sys)
+			if _, err := e.LocalStateIndependence(fact, agent, randsys.DesignatedAction); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	b.Run("seeded-neighbour", func(b *testing.B) {
+		warm := pak.NewEngine(sys)
+		if _, err := warm.LocalStateIndependence(fact, agent, randsys.DesignatedAction); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			e, shared := pak.NewEngineSeeded(sys, warm)
+			if !shared {
+				b.Fatal("identical systems refused to share")
+			}
+			if _, err := e.LocalStateIndependence(fact, agent, randsys.DesignatedAction); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
 // BenchmarkEnvelopeSampledPrune compares the exhaustive envelope sweep
 // against the sampled-first sweep over the same space (the
 // BenchmarkEnvelopeSharedCache workload on cold engines, where exact

@@ -603,10 +603,10 @@ func sweepRun(w io.Writer, spec string, inner pak.Query, opts []pak.EvalOption) 
 	if err != nil {
 		return err
 	}
-	items, err := pak.SweepItems(sw)
-	if err != nil {
-		return err
-	}
+	// Lazy items: each assignment's engine builds when its worker first
+	// reaches it, so the first progress line prints as soon as the first
+	// engine is up — not after every engine has built.
+	items := pak.SweepItemsLazy(sw)
 	fmt.Fprintf(w, "Sweeping %s: %d assignments of %q\n", sw.Canonical(), len(items), inner)
 	frames, err := pak.EnvelopeStream(pak.EnvelopeQuery{Inner: inner, Items: items}, opts...)
 	if err != nil {

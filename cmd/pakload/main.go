@@ -11,7 +11,13 @@
 //	pakload [-url http://host:8371] [-mix squad|mixed|heavy|stream|envelope|approx|lp]
 //	        [-c 8] [-n 200] [-duration 0] [-timeout 30s] [-seed 1]
 //	        [-engine-cache 8] [-eval-timeout 0] [-store-dir DIR]
-//	        [-stats-interval 0] [-out report.json]
+//	        [-stats-interval 0] [-cache-sweep 1,2,4,8] [-out report.json]
+//
+// -cache-sweep runs the latency-vs-engine-cache-size experiment: the
+// same mix and budget against one fresh in-process server per listed
+// cache size, reported as one row per size (p50/p99/throughput plus the
+// server's cache counters), so eviction churn under a too-small bound
+// is measured rather than guessed.
 //
 // Reports separate cold and warm latency: each scenario's first request
 // of the run — the one that pays the server's cold engine build — lands
@@ -72,6 +78,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
@@ -98,6 +105,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	evalTimeout := fs.Duration("eval-timeout", 0, "in-process server: per-request eval deadline (0 = none)")
 	storeDir := fs.String("store-dir", "", "in-process server: persistent result store directory — a second run over the same directory measures the warm store path (empty = off)")
 	statsInterval := fs.Duration("stats-interval", 0, "soak mode: sample GET /v1/stats on this cadence into the report (0 = off)")
+	cacheSweep := fs.String("cache-sweep", "", "latency-vs-engine-cache-size sweep: comma-separated sizes (e.g. 1,2,4,8); runs the mix once per size against a fresh in-process server and reports one row per size (in-process only)")
 	out := fs.String("out", "-", "report destination ('-' = stdout)")
 	fs.Usage = func() {
 		fmt.Fprintf(stderr, "Usage: pakload [-url URL] [-mix %s] [-c N] [-n N | -duration D] [-out report.json]\n\nFlags:\n",
@@ -120,6 +128,9 @@ Examples:
   pakload -mix approx -duration 30s -stats-interval 1s
                                             soak: record the engine-cache counter
                                             trajectory alongside the latency report
+  pakload -mix heavy -cache-sweep 1,2,4,8   latency vs engine-cache size: one fresh
+                                            in-process server per size, one report row
+                                            per size (eviction churn made measurable)
   pakload -url http://localhost:8371 -mix mixed -duration 30s
                                             drive a live pakd for 30s, 4xx probes included
   pakload -n 200 -store-dir /tmp/pak && pakload -n 200 -store-dir /tmp/pak
@@ -148,6 +159,27 @@ records the server's engine-cache counters under "serverStats".
 		return 2
 	}
 
+	cfg := load.Config{
+		Concurrency:   *concurrency,
+		Requests:      *requests,
+		Duration:      *duration,
+		Timeout:       *timeout,
+		Seed:          *seed,
+		Mix:           mix,
+		StatsInterval: *statsInterval,
+	}
+	if *cacheSweep != "" {
+		if *url != "" {
+			fmt.Fprintln(stderr, "pakload: -cache-sweep restarts the in-process server per size; drop -url")
+			return 2
+		}
+		if *storeDir != "" {
+			fmt.Fprintln(stderr, "pakload: -cache-sweep measures engine-cache pressure; a persistent store would mask it, drop -store-dir")
+			return 2
+		}
+		return runCacheSweep(*cacheSweep, *mixName, cfg, *evalTimeout, *out, stdout, stderr)
+	}
+
 	target := *url
 	if target == "" {
 		opts := []service.Option{service.WithEngineCacheSize(*engineCache)}
@@ -171,16 +203,8 @@ records the server's engine-cache counters under "serverStats".
 		return 2
 	}
 
-	rep, err := load.Run(context.Background(), load.Config{
-		BaseURL:       strings.TrimSuffix(target, "/"),
-		Concurrency:   *concurrency,
-		Requests:      *requests,
-		Duration:      *duration,
-		Timeout:       *timeout,
-		Seed:          *seed,
-		Mix:           mix,
-		StatsInterval: *statsInterval,
-	})
+	cfg.BaseURL = strings.TrimSuffix(target, "/")
+	rep, err := load.Run(context.Background(), cfg)
 	if err != nil {
 		fmt.Fprintf(stderr, "pakload: %v\n", err)
 		return 2
@@ -221,6 +245,127 @@ records the server's engine-cache counters under "serverStats".
 	if rep.LatencyCold != nil && rep.LatencyWarm != nil {
 		fmt.Fprintf(stderr, "pakload: cold (first-touch, n=%d) p50 %.2fms, warm (n=%d) p50 %.2fms\n",
 			rep.LatencyCold.Count, rep.LatencyCold.P50MS, rep.LatencyWarm.Count, rep.LatencyWarm.P50MS)
+	}
+	if ss := decodeStatsSummary(rep.ServerStats); ss != nil {
+		fmt.Fprintf(stderr, "pakload: server engine cache hits=%d misses=%d evictions=%d, builds avoided=%d, memo-seeded=%d\n",
+			ss.EngineCache.Hits, ss.EngineCache.Misses, ss.EngineCache.Evictions, ss.EngineBuildsAvoided, ss.MemoSeeded)
+	}
+	return 0
+}
+
+// statsSummary is the slice of GET /v1/stats the summary lines quote:
+// the engine-cache counters plus the lazy-build ledger. The report
+// itself carries the stats document verbatim under "serverStats".
+type statsSummary struct {
+	EngineCache struct {
+		Hits      uint64 `json:"hits"`
+		Misses    uint64 `json:"misses"`
+		Evictions uint64 `json:"evictions"`
+	} `json:"engineCache"`
+	EngineBuildsAvoided int64 `json:"engineBuildsAvoided"`
+	MemoSeeded          int64 `json:"memoSeeded"`
+}
+
+func decodeStatsSummary(raw json.RawMessage) *statsSummary {
+	if len(raw) == 0 {
+		return nil
+	}
+	var ss statsSummary
+	if err := json.Unmarshal(raw, &ss); err != nil {
+		return nil
+	}
+	return &ss
+}
+
+// CacheSweepRow is one engine-cache size's slice of a -cache-sweep
+// report: the size, the run's headline latency numbers, and the
+// server's stats document after the run.
+type CacheSweepRow struct {
+	EngineCache   int             `json:"engineCache"`
+	Total         int             `json:"total"`
+	OK            int             `json:"ok"`
+	P50MS         float64         `json:"p50Ms"`
+	P99MS         float64         `json:"p99Ms"`
+	ThroughputRPS float64         `json:"throughputRps"`
+	ServerStats   json.RawMessage `json:"serverStats,omitempty"`
+}
+
+// CacheSweepReport is the -cache-sweep JSON document: one row per
+// engine-cache size, same mix and request budget throughout.
+type CacheSweepReport struct {
+	Mix  string          `json:"mix"`
+	Rows []CacheSweepRow `json:"rows"`
+}
+
+// runCacheSweep is the latency-vs-engine-cache-size mode: one fresh
+// in-process pakd per size (so every run starts cold and the cache
+// bound is the only variable), the same mix and budget against each,
+// and one report row per size. Small caches surface eviction churn —
+// rebuild latency and eviction counters climbing as the working set
+// exceeds the bound — while a cache at least as large as the mix's
+// distinct canonical specs converges to pure hits.
+func runCacheSweep(sizes, mixName string, cfg load.Config, evalTimeout time.Duration, out string, stdout, stderr io.Writer) int {
+	var rep CacheSweepReport
+	rep.Mix = mixName
+	allOK := true
+	for _, field := range strings.Split(sizes, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(field))
+		if err != nil || n < 0 {
+			fmt.Fprintf(stderr, "pakload: -cache-sweep wants non-negative sizes, got %q\n", field)
+			return 2
+		}
+		opts := []service.Option{service.WithEngineCacheSize(n)}
+		if evalTimeout > 0 {
+			opts = append(opts, service.WithRequestTimeout(evalTimeout))
+		}
+		ts := httptest.NewServer(service.New(nil, opts...).Handler())
+		runCfg := cfg
+		runCfg.BaseURL = ts.URL
+		r, err := load.Run(context.Background(), runCfg)
+		if err != nil {
+			ts.Close()
+			fmt.Fprintf(stderr, "pakload: cache=%d: %v\n", n, err)
+			return 2
+		}
+		row := CacheSweepRow{
+			EngineCache:   n,
+			Total:         r.Total,
+			OK:            r.OK,
+			P50MS:         r.Latency.P50MS,
+			P99MS:         r.Latency.P99MS,
+			ThroughputRPS: r.Throughput,
+		}
+		if stats, statsErr := load.FetchServerStats(&http.Client{Timeout: cfg.Timeout}, ts.URL); statsErr == nil {
+			row.ServerStats = stats
+		}
+		ts.Close()
+		rep.Rows = append(rep.Rows, row)
+		allOK = allOK && r.OK == r.Total
+		line := fmt.Sprintf("pakload: cache=%-4d p50 %8.2fms  p99 %8.2fms  %7.1f req/s", n, row.P50MS, row.P99MS, row.ThroughputRPS)
+		if ss := decodeStatsSummary(row.ServerStats); ss != nil {
+			line += fmt.Sprintf("  hits=%d misses=%d evictions=%d", ss.EngineCache.Hits, ss.EngineCache.Misses, ss.EngineCache.Evictions)
+		}
+		fmt.Fprintln(stderr, line)
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintf(stderr, "pakload: marshal report: %v\n", err)
+		return 1
+	}
+	data = append(data, '\n')
+	if out == "-" {
+		_, _ = stdout.Write(data)
+	} else {
+		if err := os.WriteFile(out, data, 0o644); err != nil {
+			fmt.Fprintf(stderr, "pakload: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(stderr, "pakload: report written to %s\n", out)
+	}
+	if !allOK {
+		fmt.Fprintln(stderr, "pakload: some sweep runs had requests outside their outcome class")
+		return 1
 	}
 	return 0
 }

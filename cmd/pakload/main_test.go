@@ -36,6 +36,40 @@ func TestPakloadInProcessSmoke(t *testing.T) {
 	}
 }
 
+// TestPakloadCacheSweep: -cache-sweep runs the mix once per listed
+// engine-cache size against fresh in-process servers and reports one
+// row per size, each carrying the server's post-run stats.
+func TestPakloadCacheSweep(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-n", "20", "-c", "4", "-mix", "squad", "-cache-sweep", "1,4"}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr.String())
+	}
+	var rep CacheSweepReport
+	if err := json.Unmarshal(stdout.Bytes(), &rep); err != nil {
+		t.Fatalf("stdout is not a sweep report: %v\n%s", err, stdout.String())
+	}
+	if rep.Mix != "squad" || len(rep.Rows) != 2 {
+		t.Fatalf("sweep report = %+v, want mix=squad with 2 rows", rep)
+	}
+	for i, want := range []int{1, 4} {
+		row := rep.Rows[i]
+		if row.EngineCache != want || row.Total != 20 || row.OK != 20 {
+			t.Errorf("row %d = %+v, want cache=%d with 20/20 ok", i, row, want)
+		}
+		if len(row.ServerStats) == 0 || !json.Valid(row.ServerStats) {
+			t.Errorf("row %d missing server stats", i)
+		}
+	}
+	// -cache-sweep owns the server lifecycle, so -url contradicts it.
+	if code := run([]string{"-n", "5", "-cache-sweep", "2", "-url", "http://localhost:1"}, &stdout, &stderr); code != 2 {
+		t.Errorf("-cache-sweep with -url: exit %d, want 2", code)
+	}
+	if code := run([]string{"-n", "5", "-cache-sweep", "zero"}, &stdout, &stderr); code != 2 {
+		t.Errorf("malformed -cache-sweep size: exit %d, want 2", code)
+	}
+}
+
 // TestPakloadReportFile: -out writes the report to disk.
 func TestPakloadReportFile(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "report.json")

@@ -32,6 +32,8 @@ import (
 	"math/big"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"pak/internal/core"
 	"pak/internal/logic"
@@ -156,19 +158,137 @@ func (inst Instance) Engine() *core.Engine {
 	return core.New(inst.System)
 }
 
-// Resolve builds the full family of systems, one per assignment.
-func Resolve(space *Space, build Builder) ([]Instance, error) {
-	var out []Instance
-	err := space.ForEach(func(a Assignment) error {
-		sys, err := build(a)
-		if err != nil {
-			return fmt.Errorf("adversary %v: %w", a, err)
-		}
-		out = append(out, Instance{Assignment: a, System: sys, engine: core.New(sys)})
+// Family is the lazy form of a resolved adversary family: assignments
+// are enumerated eagerly (enumeration is cheap), but each instance's
+// system and engine are built only on first demand — from an envelope
+// worker reaching one of its slots, or an explicit Instance call — and
+// at most once. Envelopes over a Family therefore overlap building one
+// adversary with evaluating another, and a deadline mid-sweep means the
+// unvisited adversaries are never built at all.
+//
+// Builds are neighbour-seeded: each new engine seeds its memo tables
+// from the most recently built engine of the family where provably
+// sound (core.NewSeeded, gated on pps.SameShape — see that gate's
+// soundness line), so a sweep over adversary weights shares its
+// performance and fact-extension scans across the whole family instead
+// of re-deriving them per assignment.
+type Family struct {
+	build       Builder
+	assignments []Assignment
+	cells       []familyCell
+	// seed is the most recently built engine, the next build's seeding
+	// neighbour. Sharing is live and bidirectional, so seeding every
+	// same-shape engine from any one of them joins them all to one set
+	// of structural memo tables.
+	seed   atomic.Pointer[core.Engine]
+	seeded atomic.Int64
+}
+
+type familyCell struct {
+	once sync.Once
+	inst Instance
+	err  error // raw builder error; callers wrap with the assignment
+}
+
+// NewFamily enumerates the space's assignments (in ForEach order)
+// without building any system.
+func NewFamily(space *Space, build Builder) *Family {
+	fam := &Family{build: build}
+	_ = space.ForEach(func(a Assignment) error {
+		fam.assignments = append(fam.assignments, a)
 		return nil
 	})
-	if err != nil {
-		return nil, err
+	fam.cells = make([]familyCell, len(fam.assignments))
+	return fam
+}
+
+// Size returns the number of assignments in the family.
+func (f *Family) Size() int { return len(f.assignments) }
+
+// Assignment returns the i-th assignment (ForEach order).
+func (f *Family) Assignment(i int) Assignment { return f.assignments[i] }
+
+// MemoSeeded reports how many builds so far shared a neighbour's memo
+// tables (the sweep's structure-sharing hit count).
+func (f *Family) MemoSeeded() int64 { return f.seeded.Load() }
+
+// cell resolves the i-th instance exactly once; concurrent callers
+// share the one build. The cell's error is the raw builder error.
+func (f *Family) cell(i int) *familyCell {
+	c := &f.cells[i]
+	c.once.Do(func() {
+		sys, err := f.build(f.assignments[i])
+		if err != nil {
+			c.err = err
+			return
+		}
+		eng, shared := core.NewSeeded(sys, f.seed.Load())
+		if shared {
+			f.seeded.Add(1)
+		}
+		f.seed.Store(eng)
+		c.inst = Instance{Assignment: f.assignments[i], System: sys, engine: eng}
+	})
+	return c
+}
+
+// Instance builds (once) and returns the i-th instance; errors name the
+// offending adversary.
+func (f *Family) Instance(i int) (Instance, error) {
+	c := f.cell(i)
+	if c.err != nil {
+		return Instance{}, fmt.Errorf("adversary %v: %w", f.assignments[i], c.err)
+	}
+	return c.inst, nil
+}
+
+// items compiles the family into lazy envelope items: each source
+// resolves its cell on first use, so the envelope stream builds
+// adversaries as its workers reach them.
+func (f *Family) items() []query.EnvelopeItem {
+	items := make([]query.EnvelopeItem, f.Size())
+	for i := range items {
+		items[i] = query.EnvelopeItem{
+			Assignment: f.assignments[i].String(),
+			Source: func(context.Context) (query.Engines, error) {
+				c := f.cell(i)
+				if c.err != nil {
+					return query.Engines{}, c.err
+				}
+				return query.Engines{Engine: c.inst.engine}, nil
+			},
+		}
+	}
+	return items
+}
+
+// ConstraintEnvelope is the package-level ConstraintEnvelope over the
+// family's lazy instances: adversaries are built as the sweep reaches
+// them (neighbour-seeded), and a builder failure fails the sweep naming
+// the offending adversary without building the rest.
+func (f *Family) ConstraintEnvelope(fact logic.Fact, agent, action string) (ConstraintRange, error) {
+	return constraintEnvelope(f.items(), f.assignments, fact, agent, action)
+}
+
+// MetricEnvelope is the package-level MetricEnvelope over the family's
+// lazy instances.
+func (f *Family) MetricEnvelope(metric Metric) (MetricRange, error) {
+	return metricEnvelope(f.items(), f.assignments, metric)
+}
+
+// Resolve builds the full family of systems, one per assignment. The
+// engines are neighbour-seeded exactly as a lazy Family's are (Resolve
+// is just a Family materialized up front), so sweeps over the returned
+// instances share structural memo tables across same-shape assignments.
+func Resolve(space *Space, build Builder) ([]Instance, error) {
+	fam := NewFamily(space, build)
+	out := make([]Instance, fam.Size())
+	for i := range out {
+		inst, err := fam.Instance(i)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = inst
 	}
 	return out, nil
 }
@@ -197,7 +317,12 @@ func (r ConstraintRange) String() string {
 // instance is skipped, both fail loudly with ErrNoInstances — a
 // zero-value range is never returned without an error.
 func ConstraintEnvelope(instances []Instance, f logic.Fact, agent, action string) (ConstraintRange, error) {
-	env, skipped, err := envelopeOver(instances,
+	items, assignments := eagerItems(instances)
+	return constraintEnvelope(items, assignments, f, agent, action)
+}
+
+func constraintEnvelope(items []query.EnvelopeItem, assignments []Assignment, f logic.Fact, agent, action string) (ConstraintRange, error) {
+	env, skipped, err := envelopeOver(items, assignments,
 		query.ConstraintQuery{Fact: f, Agent: agent, Action: action})
 	if err != nil {
 		return ConstraintRange{}, err
@@ -208,8 +333,8 @@ func ConstraintEnvelope(instances []Instance, f logic.Fact, agent, action string
 	return ConstraintRange{
 		Min:     env.Min,
 		Max:     env.Max,
-		ArgMin:  instances[env.MinIndex].Assignment,
-		ArgMax:  instances[env.MaxIndex].Assignment,
+		ArgMin:  assignments[env.MinIndex],
+		ArgMax:  assignments[env.MaxIndex],
 		Skipped: skipped,
 	}, nil
 }
@@ -241,7 +366,12 @@ func (r MetricRange) String() string {
 // ConstraintEnvelope, an empty or all-skipped family fails loudly with
 // ErrNoInstances rather than returning a zero-value range.
 func MetricEnvelope(instances []Instance, metric Metric) (MetricRange, error) {
-	env, skipped, err := envelopeOver(instances, query.MetricQuery{Name: "adversary metric", Fn: metric})
+	items, assignments := eagerItems(instances)
+	return metricEnvelope(items, assignments, metric)
+}
+
+func metricEnvelope(items []query.EnvelopeItem, assignments []Assignment, metric Metric) (MetricRange, error) {
+	env, skipped, err := envelopeOver(items, assignments, query.MetricQuery{Name: "adversary metric", Fn: metric})
 	if err != nil {
 		return MetricRange{}, err
 	}
@@ -251,8 +381,8 @@ func MetricEnvelope(instances []Instance, metric Metric) (MetricRange, error) {
 	return MetricRange{
 		Min:     env.Min,
 		Max:     env.Max,
-		ArgMin:  instances[env.MinIndex].Assignment,
-		ArgMax:  instances[env.MaxIndex].Assignment,
+		ArgMin:  assignments[env.MinIndex],
+		ArgMax:  assignments[env.MaxIndex],
 		Skipped: skipped,
 	}, nil
 }
@@ -265,16 +395,24 @@ func MetricEnvelope(instances []Instance, metric Metric) (MetricRange, error) {
 // cheaply in their own slots instead of being evaluated, and the error
 // names the offending adversary exactly as the retired in-package fold
 // did.
-func envelopeOver(instances []Instance, inner query.Query) (query.Range, []Assignment, error) {
-	if len(instances) == 0 {
-		return query.Range{}, nil, ErrNoInstances
-	}
+// eagerItems compiles already-resolved instances into eager envelope
+// items, pairing them with their assignments for witness naming.
+func eagerItems(instances []Instance) ([]query.EnvelopeItem, []Assignment) {
 	items := make([]query.EnvelopeItem, len(instances))
+	assignments := make([]Assignment, len(instances))
 	for i := range instances {
 		items[i] = query.EnvelopeItem{
 			Assignment: instances[i].Assignment.String(),
 			Engine:     instances[i].Engine(),
 		}
+		assignments[i] = instances[i].Assignment
+	}
+	return items, assignments
+}
+
+func envelopeOver(items []query.EnvelopeItem, assignments []Assignment, inner query.Query) (query.Range, []Assignment, error) {
+	if len(items) == 0 {
+		return query.Range{}, nil, ErrNoInstances
 	}
 	ctx, cancel := context.WithCancelCause(context.Background())
 	defer cancel(nil)
@@ -295,11 +433,11 @@ func envelopeOver(instances []Instance, inner query.Query) (query.Range, []Assig
 		switch {
 		case f.Result.Err == nil:
 		case errors.Is(f.Result.Err, core.ErrNotProper) || errors.Is(f.Result.Err, core.ErrUnknownLocal):
-			skipped = append(skipped, instances[f.Index].Assignment)
+			skipped = append(skipped, assignments[f.Index])
 		case core.IsContextErr(f.Result.Err):
 			// A slot cut by our own fail-fast cancellation below.
 		case hardErr == nil:
-			hardErr = fmt.Errorf("adversary %v: %w", instances[f.Index].Assignment, f.Result.Err)
+			hardErr = fmt.Errorf("adversary %v: %w", assignments[f.Index], f.Result.Err)
 			cancel(context.Canceled)
 		}
 	}

@@ -60,6 +60,13 @@ type perfInfo struct {
 	// locals is L_i[α]: the local states at which the action is ever
 	// performed, sorted.
 	locals []string
+	// atLocal indexes set by the local state at the performance point:
+	// atLocal[ℓ] is the event of runs performing the action AT ℓ (the
+	// runs of set whose performance-time local state is ℓ). It is the
+	// occurrence index the Definition 4.1 scan folds over instead of
+	// re-deciding does_i(α) per (state, run); locals are exactly its
+	// keys. Shared cache entries: treat the sets as immutable.
+	atLocal map[string]*runset.Set
 }
 
 // eventKind distinguishes the two cached fact-extension shapes.
@@ -103,15 +110,60 @@ type beliefKey struct {
 type Engine struct {
 	sys *pps.System
 
-	perf    memo[actKey, *perfInfo]
-	events  memo[eventKey, *runset.Set]
-	beliefs memo[beliefKey, *big.Rat]
-	indeps  memo[eventKey, IndependenceReport]
+	// The memo tables are held by pointer so that engines over
+	// SameShape-equal systems can share the measure-independent ones
+	// live (see NewSeeded): perf and events are pure functions of the
+	// label shape, while beliefs and indeps depend on µ_T and are always
+	// per-engine.
+	perf    *memo[actKey, *perfInfo]
+	events  *memo[eventKey, *runset.Set]
+	beliefs *memo[beliefKey, *big.Rat]
+	indeps  *memo[eventKey, IndependenceReport]
 }
 
-// New returns an Engine bound to sys.
+// New returns an Engine bound to sys with fresh memo tables.
 func New(sys *pps.System) *Engine {
-	return &Engine{sys: sys}
+	return &Engine{
+		sys:     sys,
+		perf:    &memo[actKey, *perfInfo]{},
+		events:  &memo[eventKey, *runset.Set]{},
+		beliefs: &memo[beliefKey, *big.Rat]{},
+		indeps:  &memo[eventKey, IndependenceReport]{},
+	}
+}
+
+// NewSeeded returns an Engine bound to sys that shares its
+// measure-independent memoization with neighbour — the structure-sharing
+// constructor for sweep families, whose assignments differ only in
+// adversary weights.
+//
+// The soundness line, precisely: an entry of the perf table (where an
+// action is performed, and at which local states) and of the events
+// table (the fact-extension sets φ@ℓ and φ@α) is a pure function of the
+// system's LABELS — the per-(run, time) env/locals/acts/envAct tuples
+// and the run lengths — because every cacheable fact's Holds reads only
+// those labels (opaque predicates are cacheable=false and never enter
+// the tables; see factKey). pps.SameShape compares exactly the labels,
+// so when it holds, both engines would compute bit-identical entries
+// for every shared key, and the two tables are shared LIVE: whichever
+// engine scans first, the other inherits the entry, in either order and
+// concurrently. The beliefs and indeps tables condition on µ_T — the
+// one thing SameShape deliberately ignores — so they are always fresh.
+//
+// shared reports whether sharing engaged; it is false (and the engine
+// is simply New(sys)) when neighbour is nil or the shapes differ, so
+// callers can seed opportunistically and count what stuck.
+func NewSeeded(sys *pps.System, neighbour *Engine) (e *Engine, shared bool) {
+	if neighbour == nil || !pps.SameShape(sys, neighbour.sys) {
+		return New(sys), false
+	}
+	return &Engine{
+		sys:     sys,
+		perf:    neighbour.perf,
+		events:  neighbour.events,
+		beliefs: &memo[beliefKey, *big.Rat]{},
+		indeps:  &memo[eventKey, IndependenceReport]{},
+	}, true
 }
 
 // CacheStats reports the engine's memoization sizes: the number of cached
@@ -153,10 +205,10 @@ func (e *Engine) agent(name string) (pps.AgentID, error) {
 func (e *Engine) perfFor(a pps.AgentID, action string) *perfInfo {
 	info, _ := e.perf.get(actKey{a, action}, func() (*perfInfo, error) {
 		info := &perfInfo{
-			times: make([]int, e.sys.NumRuns()),
-			set:   e.sys.NewSet(),
+			times:   make([]int, e.sys.NumRuns()),
+			set:     e.sys.NewSet(),
+			atLocal: make(map[string]*runset.Set),
 		}
-		localSeen := make(map[string]bool)
 		for r := 0; r < e.sys.NumRuns(); r++ {
 			run := pps.RunID(r)
 			info.times[r] = -1
@@ -171,11 +223,17 @@ func (e *Engine) perfFor(a pps.AgentID, action string) *perfInfo {
 				}
 				info.times[r] = t
 				info.set.Add(r)
-				localSeen[e.sys.Local(run, t, a)] = true
+				local := e.sys.Local(run, t, a)
+				at, seen := info.atLocal[local]
+				if !seen {
+					at = e.sys.NewSet()
+					info.atLocal[local] = at
+				}
+				at.Add(r)
 			}
 		}
-		info.locals = make([]string, 0, len(localSeen))
-		for l := range localSeen {
+		info.locals = make([]string, 0, len(info.atLocal))
+		for l := range info.atLocal {
 			info.locals = append(info.locals, l)
 		}
 		sort.Strings(info.locals)

@@ -105,39 +105,46 @@ func (e *Engine) LocalStateIndependenceCtx(ctx context.Context, f logic.Fact, ag
 	return report, nil
 }
 
-// localStateIndependence performs the actual Definition 4.1 scan.
+// localStateIndependence performs the actual Definition 4.1 scan,
+// incrementally over precomputed indexes rather than O(states × runs)
+// per call:
+//
+//   - α@ℓ comes straight from the perf index's atLocal occurrence map
+//     (one performance scan per (agent, action), ever) — local states at
+//     which α is never performed satisfy the equation with both sides
+//     exactly 0 and are settled without evaluating the fact at all;
+//   - φ@ℓ is the memoized fact-extension scan (factAtLocal), shared with
+//     the belief queries and — through seeded engines (NewSeeded) — with
+//     neighbouring sweep assignments;
+//   - [φ∧α]@ℓ is a bitset intersection of the two.
+//
+// Violation order (LocalStates' sorted enumeration) and the
+// every-indepCtxInterval cancellation checks are preserved exactly.
 func (e *Engine) localStateIndependence(ctx context.Context, f logic.Fact, a pps.AgentID, action string) (IndependenceReport, error) {
 	report := IndependenceReport{Independent: true}
+	info := e.perfFor(a, action)
+	agent := e.sys.AgentName(a)
 	for n, local := range e.sys.LocalStates(a) {
 		if n%indepCtxInterval == indepCtxInterval-1 {
 			if cause := context.Cause(ctx); cause != nil {
 				return IndependenceReport{}, fmt.Errorf("core: independence scan aborted after %d local states: %w", n, cause)
 			}
 		}
-		occ, tm, ok := e.sys.Occurs(a, local)
+		actAt := info.atLocal[local]
+		if actAt == nil {
+			// α is never performed at ℓ: µ(α@ℓ|ℓ) and µ([φ∧α]@ℓ|ℓ) are
+			// both exactly 0, so Definition 4.1 holds at ℓ trivially.
+			continue
+		}
+		occ, _, ok := e.sys.Occurs(a, local)
 		if !ok {
 			continue // unreachable: LocalStates only lists occurring states
 		}
-		// Events conditioned on ℓ occurring.
-		factAt := e.sys.NewSet()  // φ@ℓ
-		actAt := e.sys.NewSet()   // α@ℓ  (does_i(α)@ℓ)
-		jointAt := e.sys.NewSet() // [φ∧α]@ℓ
-		occ.ForEach(func(r int) bool {
-			run := pps.RunID(r)
-			holds := f.Holds(e.sys, run, tm)
-			act, actOK := e.sys.Action(run, tm, a)
-			performs := actOK && act == action
-			if holds {
-				factAt.Add(r)
-			}
-			if performs {
-				actAt.Add(r)
-			}
-			if holds && performs {
-				jointAt.Add(r)
-			}
-			return true
-		})
+		factAt, err := e.factAtLocal(ctx, f, a, agent, local) // φ@ℓ (shared cache entry)
+		if err != nil {
+			return IndependenceReport{}, err
+		}
+		jointAt := factAt.Intersect(actAt) // [φ∧α]@ℓ
 		mOcc := e.sys.Measure(occ)
 		if mOcc.Sign() == 0 {
 			continue // unreachable in a valid pps

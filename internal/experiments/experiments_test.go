@@ -12,8 +12,8 @@ func TestAllExperimentsMatch(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(results) != 18 {
-		t.Fatalf("expected 18 experiments, got %d", len(results))
+	if len(results) != 19 {
+		t.Fatalf("expected 19 experiments, got %d", len(results))
 	}
 	ids := map[string]bool{}
 	for _, res := range results {
@@ -31,7 +31,7 @@ func TestAllExperimentsMatch(t *testing.T) {
 			t.Errorf("%s: AllMatch false", res.ID)
 		}
 	}
-	for _, want := range []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "E15", "E16", "E17", "E18"} {
+	for _, want := range []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "E15", "E16", "E17", "E18", "E19"} {
 		if !ids[want] {
 			t.Errorf("missing experiment %s", want)
 		}

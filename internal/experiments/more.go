@@ -395,6 +395,7 @@ func Builders(systems, samples int, seed int64) []func() (Result, error) {
 		E16RegistryMultiBatch,
 		E17EvictionEquivalence,
 		E18DifferentialBackends,
+		E19StructureSharing,
 	}
 }
 

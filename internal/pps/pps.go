@@ -115,6 +115,11 @@ type System struct {
 	// MeasureFloat fast path.
 	floatOnce  sync.Once
 	floatProbs []float64
+
+	// shapeOnce/shapeSig lazily cache the canonical shape signature that
+	// SameShape compares (see shape.go).
+	shapeOnce sync.Once
+	shapeSig  string
 }
 
 // Step describes one child of an existing node: the transition probability,

@@ -71,6 +71,11 @@ type EnvelopeItem struct {
 	Spec string
 	// Engine evaluates the inner query for this assignment.
 	Engine *core.Engine
+	// Source, when non-nil, resolves the assignment's engine lazily (see
+	// MultiItem.Source); Engine is then ignored. A source the context
+	// cuts mid-build counts its assignment as not visited, exactly like
+	// a slot the context cut before it started.
+	Source EngineSource
 }
 
 // EnvelopeQuery asks for the [min, max] envelope of Inner across the
@@ -186,7 +191,7 @@ func EnvelopeStream(q EnvelopeQuery, opts ...Option) (<-chan EnvelopeFrame, erro
 	}
 	items := make([]MultiItem, len(q.Items))
 	for i, it := range q.Items {
-		items[i] = MultiItem{Engine: it.Engine, Queries: []Query{q.Inner}}
+		items[i] = MultiItem{Engine: it.Engine, Source: it.Source, Queries: []Query{q.Inner}}
 	}
 	cfg := newConfig(opts)
 	out := make(chan EnvelopeFrame, len(q.Items)+1)

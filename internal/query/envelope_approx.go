@@ -87,12 +87,24 @@ func EvalEnvelopeSampled(q EnvelopeQuery, spec ApproxSpec, opts ...Option) (Samp
 	ests := make([]*Estimate, len(q.Items))
 	coarseErrs := make([]error, len(q.Items))
 	runPool(len(q.Items), cfg.parallelism, func(i int) {
-		item := MultiItem{Engine: q.Items[i].Engine, Queries: []Query{q.Inner}}
+		item := MultiItem{Engine: q.Items[i].Engine, Source: q.Items[i].Source, Queries: []Query{q.Inner}}
+		st := itemState{item: &item}
+		mat := MultiItem{Queries: item.Queries}
 		var model *montecarlo.Model
-		if item.Engine != nil {
-			model = montecarlo.NewModel(item.Engine.System())
+		// Same discipline as streamItems: a dead context never triggers a
+		// build (evalApproxSlot's own context check fails the slot first).
+		// Lazy items resolve here too, so a coarse estimate prices a lazy
+		// assignment's build once; the exact sub-sweep's source call hits
+		// whatever cache backs the source (service sources are memoized).
+		if ctxErr(cfg.ctx, q.Inner) == nil {
+			var err error
+			mat, _, model, err = st.resolve(cfg)
+			if err != nil {
+				ests[i], coarseErrs[i] = nil, err
+				return
+			}
 		}
-		res := evalApproxSlot(item, model, i, 0, cfg)
+		res := evalApproxSlot(mat, model, i, 0, cfg)
 		ests[i], coarseErrs[i] = res.Estimate, res.Err
 	})
 

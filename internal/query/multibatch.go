@@ -1,6 +1,7 @@
 package query
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -31,11 +32,51 @@ import (
 //     each prefixed with its (system, query) coordinates, and is nil
 //     only when every query on every system succeeded.
 
-// MultiItem pairs an engine with the queries to evaluate against it.
+// Engines bundles the evaluation backends one item resolves to: the
+// exact enumeration engine (required), plus the optional prebuilt
+// sampling model and LP engine a warm cache can inject. It is what an
+// EngineSource yields and what an eager MultiItem's Engine/Model/LP
+// fields denote.
+type Engines struct {
+	// Engine is the evaluation target; nil fails the item's slots with
+	// the usual nil-engine error.
+	Engine *core.Engine
+	// Model optionally carries a prebuilt sampling model (see
+	// MultiItem.Model); nil lets the stream build one on demand.
+	Model *montecarlo.Model
+	// LP optionally carries a prebuilt LP-backend engine (see
+	// MultiItem.LP); nil lets the stream build one on demand.
+	LP *lpengine.Engine
+}
+
+// EngineSource resolves an item's engines on demand — the lazy half of
+// the streaming core's contract. The stream calls it at most once per
+// item (concurrent workers share one resolution), from whichever worker
+// first reaches one of the item's slots, so evaluation of early items
+// overlaps the build of later ones instead of waiting behind an
+// all-engines barrier. The context is the evaluation context: a source
+// should return its cause promptly once it is cancelled, and an error
+// that is (or wraps) a context cancellation/deadline while the
+// evaluation context has a cause is classified exactly like a slot the
+// context cut — not visited by envelope folds, a per-slot deadline
+// error elsewhere — whereas any other error is a hard failure carried
+// by every slot of the item.
+type EngineSource func(ctx context.Context) (Engines, error)
+
+// MultiItem pairs an engine — eager, or lazily resolved through Source
+// — with the queries to evaluate against it.
 type MultiItem struct {
 	// Engine is the evaluation target (its memoization is shared by the
 	// item's queries, and by any other MultiItem holding the same engine).
+	// When Source is set, Engine (with Model and LP) is ignored: the
+	// eager fields are just the trivial source.
 	Engine *core.Engine
+	// Source, when non-nil, resolves the item's engines on first use.
+	// The stream invokes it at most once, after at least one of the
+	// item's slots has passed its pre-evaluation context check — so a
+	// request that dies before any slot of this item starts never pays
+	// for the build.
+	Source EngineSource
 	// Queries are evaluated in order against Engine.
 	Queries []Query
 	// Model optionally carries a prebuilt sampling model for the

@@ -28,6 +28,8 @@ package query
 import (
 	"context"
 	"errors"
+	"fmt"
+	"sync"
 
 	"pak/internal/core"
 	"pak/internal/lpengine"
@@ -101,6 +103,14 @@ func EvalMultiStream(items []MultiItem, opts ...Option) <-chan Frame {
 // approx config each supported slot may emit two frames (approx then
 // exact, in that order on the channel since one worker owns the slot),
 // so the buffer doubles; batch consumers keep the last frame per slot.
+//
+// Engines are lazy values here: each item resolves (through its Source,
+// or trivially from its eager fields) at most once, from whichever
+// worker first reaches one of its slots with a live context — so a
+// slot's evaluation starts the moment ITS engine is ready, early items
+// evaluate while later items are still building, and a context that
+// dies before any slot of an item starts means that item's engine is
+// never built at all.
 func streamItems(items []MultiItem, cfg config) <-chan Frame {
 	type unit struct{ sys, q int }
 	var units []unit
@@ -116,28 +126,6 @@ func streamItems(items []MultiItem, cfg config) <-chan Frame {
 	out := make(chan Frame, buffer)
 	go func() {
 		defer close(out)
-		// Under an lp/auto backend each item gets one LP engine for its
-		// lifetime (class indexes memoize per engine, exactly like the
-		// enumeration engine's caches), honoring a caller-injected one.
-		var lps []*lpengine.Engine
-		if cfg.backend != BackendEnum {
-			lps = make([]*lpengine.Engine, len(items))
-			for i := range items {
-				switch {
-				case items[i].LP != nil:
-					lps[i] = items[i].LP
-				case items[i].Engine != nil && anyLPRouted(items[i].Queries, cfg.backend):
-					lps[i] = lpengine.New(items[i].Engine.System())
-				}
-			}
-		}
-		lpFor := func(sys int) *lpengine.Engine {
-			if lps == nil {
-				return nil
-			}
-			return lps[sys]
-		}
-		var models []*montecarlo.Model
 		if cfg.approx != nil {
 			norm, err := cfg.approx.normalized()
 			if err != nil {
@@ -153,29 +141,128 @@ func streamItems(items []MultiItem, cfg config) <-chan Frame {
 				return
 			}
 			cfg.approx = &norm
-			models = make([]*montecarlo.Model, len(items))
-			for i := range items {
-				switch {
-				case items[i].Model != nil:
-					models[i] = items[i].Model
-				case items[i].Engine != nil && anyApproxable(items[i].Queries):
-					models[i] = montecarlo.NewModel(items[i].Engine.System())
-				}
-			}
+		}
+		states := make([]itemState, len(items))
+		for i := range items {
+			states[i].item = &items[i]
 		}
 		runPool(len(units), cfg.parallelism, func(u int) {
 			sys, q := units[u].sys, units[u].q
+			st := &states[sys]
+			mat := MultiItem{Queries: st.item.Queries}
+			var lp *lpengine.Engine
+			var model *montecarlo.Model
+			// The context check precedes resolution so a dead context
+			// never triggers an engine build; the unresolved view's nil
+			// engine is unreachable because evalSlot and evalApproxSlot
+			// both check the context before touching the engine.
+			if ctxErr(cfg.ctx, st.item.Queries[q]) == nil {
+				var err error
+				mat, lp, model, err = st.resolve(cfg)
+				if err != nil {
+					failSlot(out, st.item.Queries[q], sys, q, cfg, err)
+					return
+				}
+			}
 			if cfg.approx == nil {
-				res, _ := evalSlot(items[sys], lpFor(sys), q, cfg)
+				res, _ := evalSlot(mat, lp, q, cfg)
 				out <- Frame{System: sys, Index: q, Result: res}
 				return
 			}
-			streamApproxSlot(out, items[sys], models[sys], lpFor(sys), sys, q, cfg)
+			streamApproxSlot(out, mat, model, lp, sys, q, cfg)
 		})
 		status, cause := statusOf(cfg.ctx)
 		out <- Frame{Status: status, Err: cause}
 	}()
 	return out
+}
+
+// itemState is one item's resolution cell: the first worker to reach
+// one of the item's slots (with a live context) resolves the engines —
+// calling the Source at most once, then deriving the per-item LP engine
+// and sampling model the eager path used to prebuild — and every later
+// worker shares the outcome.
+type itemState struct {
+	item *MultiItem
+
+	once  sync.Once
+	mat   MultiItem // materialized view: resolved engines + the queries
+	lp    *lpengine.Engine
+	model *montecarlo.Model
+	err   error // classified source error (see classifySourceErr)
+}
+
+// resolve materializes the item. Safe for concurrent use; the source
+// runs at most once and its classified error is shared by every slot.
+func (st *itemState) resolve(cfg config) (MultiItem, *lpengine.Engine, *montecarlo.Model, error) {
+	st.once.Do(func() {
+		eng := Engines{Engine: st.item.Engine, Model: st.item.Model, LP: st.item.LP}
+		if st.item.Source != nil {
+			eng, st.err = st.item.Source(cfg.ctx)
+			if st.err != nil {
+				st.err = classifySourceErr(cfg.ctx, st.err)
+				st.mat = MultiItem{Queries: st.item.Queries}
+				return
+			}
+		}
+		st.mat = MultiItem{Engine: eng.Engine, Queries: st.item.Queries, Model: eng.Model, LP: eng.LP}
+		// Under an lp/auto backend each item gets one LP engine for its
+		// lifetime (class indexes memoize per engine, exactly like the
+		// enumeration engine's caches), honoring an injected one; same
+		// for the approximate tier's sampling model.
+		if cfg.backend != BackendEnum {
+			switch {
+			case eng.LP != nil:
+				st.lp = eng.LP
+			case eng.Engine != nil && anyLPRouted(st.item.Queries, cfg.backend):
+				st.lp = lpengine.New(eng.Engine.System())
+			}
+		}
+		if cfg.approx != nil {
+			switch {
+			case eng.Model != nil:
+				st.model = eng.Model
+			case eng.Engine != nil && anyApproxable(st.item.Queries):
+				st.model = montecarlo.NewModel(eng.Engine.System())
+			}
+		}
+	})
+	return st.mat, st.lp, st.model, st.err
+}
+
+// classifySourceErr fixes a source failure's error class for the slots
+// that will carry it. A context-flavoured error while the evaluation
+// context has a cause is the context cutting the build: it stays
+// context-classed (wrapped, so envelope folds count the slot as not
+// visited and batch consumers report a per-slot deadline error). Any
+// other failure is a genuine build error — a hard failure — and a
+// context-flavoured error from a source while OUR context is live is
+// flattened so it cannot masquerade as a cut.
+func classifySourceErr(ctx context.Context, err error) error {
+	if core.IsContextErr(err) {
+		if context.Cause(ctx) != nil {
+			return fmt.Errorf("query: engine not built: %w", err)
+		}
+		return fmt.Errorf("query: engine build failed: %v", err)
+	}
+	return fmt.Errorf("query: engine build failed: %w", err)
+}
+
+// failSlot emits one slot's source-failure frame, honoring the stage
+// labelling: exact-only streams carry no stage, approx streams label
+// the slot's single (and therefore final) frame with the tier it
+// stands for — approx under "only", exact otherwise.
+func failSlot(out chan<- Frame, qu Query, sys, q int, cfg config, err error) {
+	res := Result{Kind: kindOf(qu), Query: stringOf(qu), Err: err}
+	if cfg.approx == nil {
+		out <- Frame{System: sys, Index: q, Result: res}
+		return
+	}
+	stage := StageExact
+	if cfg.approx.Only {
+		stage = StageApprox
+	}
+	out <- Frame{System: sys, Index: q, Result: res, Stage: stage}
 }
 
 // anyApproxable reports whether any query in the batch can use the

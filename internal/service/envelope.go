@@ -26,10 +26,14 @@
 // request that outruns its budget answers 504 (buffered) or a
 // "deadline" terminal frame (streamed) whose envelope is the exact fold
 // of the assignments that finished, labeled with the visited count —
-// a sound partial envelope, never a discarded sweep. Unlike
-// /v1/eval/stream, engines are collected before the first frame, so
-// request-level failures always get a real status line here; per-
-// assignment failures travel inside their slots.
+// a sound partial envelope, never a discarded sweep. Engines are lazy
+// sources chained through a per-request seed (structural memo tables
+// shared across same-shape assignments), so the first assignment
+// streams as soon as its own engine is up and assignments the deadline
+// never reaches are never built; a genuine build failure mid-stream
+// ends the sweep with the terminal "error" frame carrying its HTTP
+// code (a real status line while nothing has flushed). Per-assignment
+// evaluation failures travel inside their slots, as always.
 package service
 
 import (
@@ -38,6 +42,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"sync/atomic"
 
 	"pak/internal/core"
 	"pak/internal/query"
@@ -110,14 +115,33 @@ type EnvelopeResultFrame struct {
 type EnvelopeStatusFrame struct {
 	// Frame is always "status".
 	Frame string `json:"frame"`
-	// Status is "complete", "deadline" or "cancelled".
+	// Status is "complete", "deadline", "cancelled" — or "error" for a
+	// request-level failure once streaming has begun (engines build
+	// lazily mid-sweep, so a genuine build failure can postdate the
+	// first frame).
 	Status string `json:"status"`
+	// Code is the HTTP status a mid-stream failure would have carried
+	// (set only on "error" frames).
+	Code int `json:"code,omitempty"`
 	// Envelope is the final envelope — identical to the buffered
-	// response's, partial (Visited < Total) under a deadline.
+	// response's, partial (Visited < Total) under a deadline; zero on
+	// "error" frames.
 	Envelope query.RangeDoc `json:"envelope"`
-	// Error carries the timeout/cancellation message (empty on
+	// Error carries the timeout/cancellation/failure message (empty on
 	// "complete").
 	Error string `json:"error,omitempty"`
+}
+
+// failEnvelope reports a request-level failure on the envelope stream
+// in whichever shape is still expressible: a plain JSON error with its
+// own status line while nothing has flushed, the terminal "error"
+// status frame (carrying the HTTP code) once streaming has begun.
+func (sw *streamWriter) failEnvelope(status int, err error) {
+	if !sw.started {
+		writeError(sw.w, status, err)
+		return
+	}
+	_ = sw.frame(EnvelopeStatusFrame{Frame: frameStatus, Status: streamStatusError, Code: status, Error: err.Error()})
 }
 
 // envelopePlan is one vetted envelope request, shared by the buffered
@@ -208,36 +232,26 @@ func (s *Server) decodeEnvelopeRequest(w http.ResponseWriter, r *http.Request) (
 	return plan, true
 }
 
-// envelopeItems pairs the plan's targets with their built engines. A
-// nil engine (its build aborted by the deadline) leaves the slot to the
-// evaluator's per-slot context check, so it reports as not-visited
-// rather than failing the request.
-func (plan envelopePlan) envelopeItems(engines []*core.Engine) query.EnvelopeQuery {
+// envelopeSources compiles the plan into lazy envelope items: one
+// engine source per assignment over the shared cache, chained through a
+// per-request seed so cold builds share structural memo tables with the
+// sweep's first-built engine where provably sound (core.NewSeeded). An
+// assignment whose build the deadline cuts reports as not-visited — the
+// same partial-envelope contract the eval path honours — and one the
+// deadline never reaches is not built at all.
+func (s *Server) envelopeSources(plan envelopePlan) ([]*sourceState, query.EnvelopeQuery) {
+	seed := &atomic.Pointer[core.Engine]{}
+	states := make([]*sourceState, len(plan.targets))
 	items := make([]query.EnvelopeItem, len(plan.targets))
 	for i := range plan.targets {
+		states[i] = &sourceState{target: plan.targets[i]}
 		items[i] = query.EnvelopeItem{
 			Assignment: plan.names[i],
 			Spec:       plan.targets[i].key,
-			Engine:     engines[i],
+			Source:     s.sourceFor(states[i], false, false, seed),
 		}
 	}
-	return query.EnvelopeQuery{Inner: plan.inner, Items: items}
-}
-
-// collectEngines adapts buildEngines to the envelope handlers' needs:
-// genuine build failures abort (the caller still holds the status
-// line, so they become real 4xx/5xx), while deadline expiry falls
-// through with nil engines for the affected slots — the evaluator's
-// per-slot context check fires before any engine dereference, so those
-// slots report as not-visited and the partial-envelope contract is the
-// same one the eval path honours, by shared code rather than parallel
-// maintenance.
-func (s *Server) collectEngines(ctx context.Context, targets []resolved) ([]*core.Engine, error) {
-	engines, err := s.buildEngines(ctx, targets)
-	if err != nil && (!isContextErr(err) || context.Cause(ctx) == nil) {
-		return nil, err
-	}
-	return engines, nil
+	return states, query.EnvelopeQuery{Inner: plan.inner, Items: items}
 }
 
 // handleEnvelope serves POST /v1/envelope: the buffered sweep. A
@@ -264,17 +278,19 @@ func (s *Server) handleEnvelope(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	engines, err := s.collectEngines(ctx, plan.targets)
-	if err != nil {
-		writeError(w, statusOfEvalErr(err), err)
-		return
-	}
-	out, err := query.EvalEnvelope(plan.envelopeItems(engines),
+	states, eq := s.envelopeSources(plan)
+	out, err := query.EvalEnvelope(eq,
 		query.WithParallelism(plan.parallel), query.WithContext(ctx))
 	if err != nil {
 		// Validation failures are caught at decode; anything else here is
 		// a server defect.
 		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	if err := s.sweepSources(ctx, states); err != nil {
+		// A genuine build failure stays a request-level error with a real
+		// status line, exactly as the retired engine barrier reported it.
+		writeError(w, statusOfEvalErr(err), err)
 		return
 	}
 	resp := EnvelopeResponse{
@@ -301,11 +317,12 @@ func (s *Server) handleEnvelope(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleEnvelopeStream serves POST /v1/envelope/stream: the NDJSON
-// sweep. Engines for every assignment build concurrently and are
-// collected before the first frame (request-level failures therefore
-// keep a real status line); each assignment then streams the moment its
-// worker finishes, carrying the running envelope, and the terminal
-// frame carries the final one.
+// sweep. Engines are lazy sources over the shared cache, chained
+// through the request's seed so cold assignments share structural memo
+// tables: the first assignment streams the moment its own engine is up,
+// with later builds overlapping earlier evaluations. A genuine build
+// failure before the first frame keeps a real status line; after it,
+// the failure travels as the terminal "error" frame with its HTTP code.
 func (s *Server) handleEnvelopeStream(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("%s not allowed; use POST", r.Method))
@@ -326,12 +343,8 @@ func (s *Server) handleEnvelopeStream(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	engines, err := s.collectEngines(ctx, plan.targets)
-	if err != nil {
-		writeError(w, statusOfEvalErr(err), err)
-		return
-	}
-	frames, err := query.EnvelopeStream(plan.envelopeItems(engines),
+	states, eq := s.envelopeSources(plan)
+	frames, err := query.EnvelopeStream(eq,
 		query.WithParallelism(plan.parallel), query.WithContext(ctx))
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, err)
@@ -340,6 +353,12 @@ func (s *Server) handleEnvelopeStream(w http.ResponseWriter, r *http.Request) {
 	sw := newStreamWriter(w)
 	for f := range frames {
 		if f.Terminal() {
+			if err := s.sweepSources(ctx, states); err != nil {
+				// Defensive: genuine failures surface on their own frames
+				// below before the terminal arrives.
+				sw.failEnvelope(statusOfEvalErr(err), err)
+				return
+			}
 			terminal := EnvelopeStatusFrame{
 				Frame:    frameStatus,
 				Status:   string(f.Status),
@@ -349,6 +368,10 @@ func (s *Server) handleEnvelopeStream(w http.ResponseWriter, r *http.Request) {
 				terminal.Error = evalErrMessage(f.Err, s.timeout).Error()
 			}
 			_ = sw.frame(terminal)
+			return
+		}
+		if err := states[f.Index].genuineBuildErr(ctx); err != nil {
+			sw.failEnvelope(statusOfEvalErr(err), err)
 			return
 		}
 		err := sw.frame(EnvelopeResultFrame{

@@ -88,6 +88,7 @@ import (
 	"net/http"
 	"runtime"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -239,6 +240,16 @@ type Server struct {
 	storeMisses  atomic.Int64
 	storeCorrupt atomic.Int64
 	storeWrites  atomic.Int64
+
+	// buildsAvoided counts engine unfolds the lazy-source contract
+	// skipped outright: a target whose source was never invoked (its
+	// request died before any of its slots started) and whose key was
+	// not already cached — an unfold the retired all-engines barrier
+	// would have paid for nothing. memoSeeded counts cold builds that
+	// seeded their memo tables from a neighbouring engine
+	// (core.NewSeeded), the envelope sweeps' structure-sharing hits.
+	buildsAvoided atomic.Int64
+	memoSeeded    atomic.Int64
 }
 
 // New returns a server over the registry (nil means registry.Default()).
@@ -287,9 +298,11 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, StatsResponse{
-		EngineCache: s.engines.Stats(),
-		Backends:    BackendStats{Enum: s.evalEnum.Load(), LP: s.evalLP.Load()},
-		Store:       s.storeStats(),
+		EngineCache:         s.engines.Stats(),
+		Backends:            BackendStats{Enum: s.evalEnum.Load(), LP: s.evalLP.Load()},
+		EngineBuildsAvoided: s.buildsAvoided.Load(),
+		MemoSeeded:          s.memoSeeded.Load(),
+		Store:               s.storeStats(),
 	})
 }
 
@@ -302,6 +315,13 @@ type StatsResponse struct {
 	// answers them (auto-routed slots count under the backend they
 	// resolve to; store-served slots never count — no backend ran).
 	Backends BackendStats `json:"backends"`
+	// EngineBuildsAvoided counts unfolds the lazy engine sources skipped
+	// because the request died before any of the target's slots started
+	// (and the key was not already cached).
+	EngineBuildsAvoided int64 `json:"engineBuildsAvoided"`
+	// MemoSeeded counts cold builds that seeded their structural memo
+	// tables from a neighbouring engine (sweep structure sharing).
+	MemoSeeded int64 `json:"memoSeeded"`
 	// Store snapshots the persistent result tier; absent when no store
 	// is configured, so the classic stats shape is byte-identical.
 	Store *StoreStats `json:"store,omitempty"`
@@ -315,13 +335,16 @@ type BackendStats struct {
 
 // resolved is a spec vetted for the service path: its canonical cache
 // key plus a deferred build closure. Resolution (cheap, always serial)
-// is split from building (expensive, parallelizable) so handleEval can
-// reject a bad request before any unfold starts and fan the cold builds
-// out afterwards.
+// is split from building (expensive, lazily triggered) so handleEval
+// can reject a bad request before any unfold starts and defer the cold
+// builds to the evaluator's first touch. The build accepts an optional
+// seeding neighbour: a same-shape engine whose structural memo tables
+// the new engine shares (core.NewSeeded; nil builds fresh); the bool
+// reports whether seeding actually took.
 type resolved struct {
 	spec  string
 	key   string
-	build func() (*core.Engine, error)
+	build func(seed *core.Engine) (*core.Engine, bool, error)
 }
 
 // resolveTarget resolves and vets one spec without building it.
@@ -347,116 +370,196 @@ func (s *Server) resolveTarget(spec string) (resolved, error) {
 		}
 	}
 	key := args.Canonical()
-	return resolved{spec: spec, key: key, build: func() (*core.Engine, error) {
+	return resolved{spec: spec, key: key, build: func(seed *core.Engine) (*core.Engine, bool, error) {
 		sys, err := sc.Build(args)
 		if err != nil {
 			// Validated params fully determine a build, so a builder failure
 			// here is a domain error in the client's spec (loss outside
 			// [0,1], agents=0, eps ≥ p, ...): report it as one, not as a 500.
-			return nil, fmt.Errorf("%w: %v", registry.ErrBadSpec, err)
+			return nil, false, fmt.Errorf("%w: %v", registry.ErrBadSpec, err)
 		}
 		if sys == nil {
 			// Same guard Registry.Build applies: a custom builder returning
 			// (nil, nil) must not become a permanently cached nil-system
 			// engine that panics on every query.
-			return nil, fmt.Errorf("%w: scenario %q returned a nil system", registry.ErrBadSpec, key)
+			return nil, false, fmt.Errorf("%w: scenario %q returned a nil system", registry.ErrBadSpec, key)
 		}
-		return core.New(sys), nil
+		// NewSeeded is gated on pps.SameShape, so a nil or shape-
+		// mismatched seed degrades to a fresh engine — seeding is a
+		// warmth transfer, never a correctness dependency.
+		e, shared := core.NewSeeded(sys, seed)
+		return e, shared, nil
 	}}, nil
 }
 
 // engineFor resolves a spec and returns the shared engine for its
 // canonical form, building (and caching) the system on first use —
-// the serial single-spec path; handleEval uses buildEngines to fan
-// cold builds out.
+// the serial single-spec path; the request handlers go through lazy
+// sources (sourceFor) instead.
 func (s *Server) engineFor(spec string) (*core.Engine, string, error) {
 	r, err := s.resolveTarget(spec)
 	if err != nil {
 		return nil, "", err
 	}
-	e, err := s.engines.Get(r.key, r.build)
+	e, err := s.engines.Get(r.key, func() (*core.Engine, error) {
+		e, _, err := r.build(nil)
+		return e, err
+	})
 	if err != nil {
 		return nil, "", err
 	}
 	return e, r.key, nil
 }
 
-// buildResult pairs one target's engine with its build error.
-type buildResult struct {
-	engine *core.Engine
-	err    error
+// sourceState is one target's lazy build cell for a single request: the
+// EngineSource handed to the query layer, plus the record of whether it
+// was ever invoked and with what outcome. The handlers read it after
+// evaluation (sweepSources) — and the streaming handlers on each frame
+// — to classify failures and count the builds laziness avoided.
+type sourceState struct {
+	target  resolved
+	src     query.EngineSource
+	invoked atomic.Bool
+
+	mu  sync.Mutex
+	err error
 }
 
-// startBuilds launches the engine builds for every resolved target and
-// returns one channel per target, each delivering exactly one
-// buildResult. Distinct canonical keys build concurrently (bounded by
-// the server's parallelism cap) through the cache's singleflight — a
-// request naming N un-cached specs pays max-of-unfolds, not
-// sum-of-unfolds, and two concurrent requests naming the same spec
-// share one build. Targets repeating a canonical key alias one engine
-// and one delivery fan-out. Build starts check ctx cooperatively: once
-// the request deadline passes, no NEW unfold begins (the target's
-// channel delivers the context's cause), but in-flight builds complete
-// and stay cached — the work is shared, so finishing it warms the next
-// request. The per-target channels are what lets the streaming handler
-// emit system 0's results while system 3 is still unfolding.
-func (s *Server) startBuilds(ctx context.Context, targets []resolved) []<-chan buildResult {
-	chans := make([]chan buildResult, len(targets))
-	out := make([]<-chan buildResult, len(targets))
-	for i := range targets {
-		chans[i] = make(chan buildResult, 1)
-		out[i] = chans[i]
+// genuineBuildErr returns the target's build failure when it is a
+// genuine one — a bad spec or builder domain error — and nil when the
+// build was merely cut by the request context (those slots already
+// carry the cut as per-slot context errors).
+func (st *sourceState) genuineBuildErr(ctx context.Context) error {
+	st.mu.Lock()
+	err := st.err
+	st.mu.Unlock()
+	if err != nil && (!isContextErr(err) || context.Cause(ctx) == nil) {
+		return err
 	}
-
-	byKey := make(map[string][]int, len(targets))
-	keys := make([]string, 0, len(targets))
-	for i, tg := range targets {
-		if _, ok := byKey[tg.key]; !ok {
-			keys = append(keys, tg.key)
-		}
-		byKey[tg.key] = append(byKey[tg.key], i)
-	}
-
-	workers := s.maxParallel
-	if workers < 1 {
-		workers = 1
-	}
-	sem := make(chan struct{}, workers)
-	for _, key := range keys {
-		go func(key string, idxs []int) {
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			var e *core.Engine
-			err := context.Cause(ctx)
-			if err == nil {
-				e, err = s.engines.Get(key, targets[idxs[0]].build)
-			}
-			for _, i := range idxs {
-				chans[i] <- buildResult{engine: e, err: err}
-			}
-		}(key, byKey[key])
-	}
-	return out
+	return nil
 }
 
-// buildEngines collects startBuilds for callers that need every engine
-// before proceeding (the buffered /v1/eval path). On failure it still
-// returns the partial engine slice — under an expired deadline the
-// evaluator's per-slot context check fires before any engine is
-// touched, which is what lets the timeout response carry the finished
-// prefix instead of discarding the request. The returned error is the
-// first failure in target order.
-func (s *Server) buildEngines(ctx context.Context, targets []resolved) ([]*core.Engine, error) {
-	engines := make([]*core.Engine, len(targets))
-	var firstErr error
-	for i, ch := range s.startBuilds(ctx, targets) {
-		br := <-ch
-		engines[i] = br.engine
-		if br.err != nil && firstErr == nil {
-			firstErr = br.err
+// sourceFor wires one target into the query layer's lazy-engine
+// contract: an EngineSource that reads through the shared engine cache
+// (LRU + singleflight — concurrent requests naming one key still share
+// one unfold), optionally seeds a cold build from the request's seed
+// chain, and attaches the cache-memoized sampling model / LP engine the
+// eager path used to inject. The evaluator invokes it when its first
+// worker reaches one of the target's slots with a live context, so
+// early systems evaluate while later ones are still cold and a request
+// that dies first never pays for the build at all.
+//
+// seed, when non-nil, is a per-request chain for sweep-shaped requests:
+// the first successfully built engine is published once (CAS) and every
+// later cold build seeds from it. Sharing is live and bidirectional
+// (core.NewSeeded), so one published neighbour joins every same-shape
+// assignment of the sweep to one set of structural memo tables.
+func (s *Server) sourceFor(st *sourceState, wantModel, wantLP bool, seed *atomic.Pointer[core.Engine]) query.EngineSource {
+	st.src = func(ctx context.Context) (query.Engines, error) {
+		st.invoked.Store(true)
+		var refused bool
+		e, err := s.engines.Get(st.target.key, func() (*core.Engine, error) {
+			var neighbour *core.Engine
+			if seed != nil {
+				neighbour = seed.Load()
+			}
+			e, shared, err := st.target.build(neighbour)
+			if shared {
+				s.memoSeeded.Add(1)
+			} else if neighbour != nil {
+				refused = true
+			}
+			return e, err
+		})
+		if err != nil {
+			st.mu.Lock()
+			st.err = err
+			st.mu.Unlock()
+			return query.Engines{}, err
+		}
+		if seed != nil && !seed.CompareAndSwap(nil, e) && refused {
+			// The published seed has a different shape than this cold
+			// build (a sweep endpoint like loss=0 prunes zero-weight
+			// branches from its unfold, so it can anchor nothing);
+			// publish this engine instead so the rest of its
+			// shape-class still shares.
+			seed.Store(e)
+		}
+		eng := query.Engines{Engine: e}
+		if wantModel {
+			if m, ok := s.engines.ModelFor(st.target.key); ok {
+				eng.Model = m
+			}
+		}
+		if wantLP {
+			if lp, ok := s.engines.LPFor(st.target.key); ok {
+				eng.LP = lp
+			}
+		}
+		return eng, nil
+	}
+	return st.src
+}
+
+// sweepSources closes out a request's lazy builds after evaluation:
+//
+//   - A target whose source was never invoked under a live context is a
+//     batchless probe (an empty query batch has no slot to trigger the
+//     build): its source is resolved now, so the probe still vets the
+//     builder and surfaces its 4xx exactly as the retired all-engines
+//     barrier did. Once the context has a cause, probing is skipped —
+//     the eager path never started new builds past the deadline either
+//     — and the skipped unfold counts as a build avoided (per distinct
+//     key, and only when the key is not already cached).
+//   - The first genuine build failure in target order is returned; the
+//     caller reports it request-level with statusOfEvalErr, exactly as
+//     the barrier's first-error-in-target-order did.
+//
+// Callers run it strictly after the evaluator has terminated, so every
+// source either finished or was never invoked.
+func (s *Server) sweepSources(ctx context.Context, states []*sourceState) error {
+	avoided := make(map[string]bool)
+	var probes []*sourceState
+	for _, st := range states {
+		if st == nil || st.invoked.Load() {
+			continue
+		}
+		if context.Cause(ctx) != nil {
+			if !avoided[st.target.key] && !s.engines.Contains(st.target.key) {
+				avoided[st.target.key] = true
+				s.buildsAvoided.Add(1)
+			}
+			continue
+		}
+		probes = append(probes, st)
+	}
+	// Batchless probes run concurrently, bounded like evaluation workers:
+	// the retired barrier built cold engines side by side, and a probe-
+	// only request (systems named, no queries) keeps that cost profile.
+	// The cache's singleflight dedupes targets sharing a canonical key.
+	if len(probes) > 0 {
+		var wg sync.WaitGroup
+		sem := make(chan struct{}, s.maxParallel)
+		for _, st := range probes {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				sem <- struct{}{}
+				defer func() { <-sem }()
+				_, _ = st.src(ctx)
+			}()
+		}
+		wg.Wait()
+	}
+	for _, st := range states {
+		if st == nil {
+			continue
+		}
+		if err := st.genuineBuildErr(ctx); err != nil {
+			return err
 		}
 	}
-	return engines, firstErr
+	return nil
 }
 
 // The catalog endpoints serialize registry.Scenario directly: its JSON
@@ -657,24 +760,25 @@ func (s *Server) countBackendSlots(plan evalPlan) {
 	s.evalLP.Add(lp)
 }
 
-// itemFor assembles target i's MultiItem, injecting the cache-memoized
-// sampling model when the approximate tier will run against a cached
-// engine, and the cache-memoized LP engine when the backend routes any
-// of the system's queries to lp (a cold or evicted key just builds
-// per-request — warmth, not correctness).
-func (s *Server) itemFor(plan evalPlan, i int, engine *core.Engine) query.MultiItem {
-	item := query.MultiItem{Engine: engine, Queries: plan.batches[i]}
-	if plan.approx != nil && engine != nil {
-		if m, ok := s.engines.ModelFor(plan.targets[i].key); ok {
-			item.Model = m
+// lazyItems assembles the plan's MultiItems around lazy engine sources:
+// one source per target with un-stored work (fully-hit systems stream
+// straight from the store and never get one), each reading through the
+// shared engine cache and injecting the cache-memoized sampling model /
+// LP engine on resolution. The returned states parallel the items;
+// callers pass them to sweepSources after evaluation.
+func (s *Server) lazyItems(plan evalPlan, lookup *storeLookup) ([]*sourceState, []query.MultiItem) {
+	states := make([]*sourceState, len(plan.targets))
+	items := make([]query.MultiItem, len(plan.targets))
+	wantLP := plan.backend == query.BackendLP || plan.backend == query.BackendAuto
+	for i := range plan.targets {
+		items[i] = query.MultiItem{Queries: plan.batches[i]}
+		if lookup.fullyHit(i) {
+			continue
 		}
+		states[i] = &sourceState{target: plan.targets[i]}
+		items[i].Source = s.sourceFor(states[i], plan.approx != nil, wantLP, nil)
 	}
-	if engine != nil && (plan.backend == query.BackendLP || plan.backend == query.BackendAuto) {
-		if lp, ok := s.engines.LPFor(plan.targets[i].key); ok {
-			item.LP = lp
-		}
-	}
-	return item
+	return states, items
 }
 
 // decodeEvalRequest parses, validates and resolves an eval request
@@ -865,45 +969,27 @@ func (s *Server) handleEval(w http.ResponseWriter, r *http.Request) {
 	// answer — store-served slots ran no backend.
 	s.countBackendSlots(evalView)
 
-	// Build engines only for systems with un-stored work: a fully-hit
-	// system costs zero engine rebuilds, which is what makes restart-
-	// without-recomputation literal.
-	engines := make([]*core.Engine, len(plan.targets))
-	var needs []int
-	for i := range evalView.batches {
-		if !lookup.fullyHit(i) {
-			needs = append(needs, i)
-		}
-	}
-	if len(needs) > 0 {
-		sub := make([]resolved, len(needs))
-		for k, i := range needs {
-			sub[k] = plan.targets[i]
-		}
-		built, err := s.buildEngines(ctx, sub)
-		if err != nil && (!isContextErr(err) || context.Cause(ctx) == nil) {
-			// A genuine build failure (bad spec, builder domain error — or a
-			// context-flavoured error from a custom builder while this
-			// request is still live) is a plain request error. Context
-			// expiry falls through instead: engines may be missing, but the
-			// evaluator's per-slot context check fires before any engine is
-			// touched, so missing engines surface as per-slot deadline
-			// errors in an otherwise well-formed response.
-			writeError(w, statusOfEvalErr(err), err)
-			return
-		}
-		for k, i := range needs {
-			engines[i] = built[k]
-		}
-	}
-
-	items := make([]query.MultiItem, len(plan.targets))
-	for i := range plan.targets {
-		items[i] = s.itemFor(evalView, i, engines[i])
-	}
+	// Engines are lazy sources, not a pre-built barrier: each system
+	// with un-stored work builds (through the shared cache) when the
+	// evaluator first reaches one of its slots, fully-hit systems cost
+	// zero engine rebuilds — which is what makes restart-without-
+	// recomputation literal — and a deadline mid-request leaves the
+	// unreached builds unstarted.
+	states, items := s.lazyItems(evalView, lookup)
 	// Per-query errors are already isolated in their result slots; the
 	// joined error adds nothing for a wire client.
 	results, _ := query.MultiBatch(items, evalView.evalOptions(ctx)...)
+	if err := s.sweepSources(ctx, states); err != nil {
+		// A genuine build failure (bad spec, builder domain error — or a
+		// context-flavoured error from a custom builder while this
+		// request is still live) is a plain request error, reported with
+		// the first failing target's error exactly as the retired
+		// barrier reported it. Context-cut builds fall through instead:
+		// their slots already carry per-slot deadline errors in an
+		// otherwise well-formed response.
+		writeError(w, statusOfEvalErr(err), err)
+		return
+	}
 
 	resp := EvalResponse{Results: make([]SystemResult, len(plan.targets))}
 	for i := range plan.targets {

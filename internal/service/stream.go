@@ -16,11 +16,13 @@
 //	           mid-stream engine build failure); carries the HTTP status
 //	           the failure would have had in "code"
 //
-// Frames are grouped by system in request order; within one system they
-// arrive in completion order (serial parallelism therefore streams in
-// input order). Engines for later systems build concurrently in the
-// background while earlier systems stream, so a cold multi-system
-// request starts answering as soon as its first engine is up.
+// Store-served frames stream first, in (system, batch) order; evaluated
+// frames then arrive in completion order across ALL systems at once
+// (serial parallelism therefore streams in request order). Engines are
+// lazy: each system's engine builds when the evaluator's first worker
+// reaches one of its slots, so a cold multi-system request starts
+// answering as soon as its first engine is up — and systems the
+// deadline cuts before any slot starts never build at all.
 //
 // Request-level failures BEFORE the first frame (bad body, unknown
 // scenario, caps, a cold build failing while nothing has streamed) are
@@ -35,7 +37,6 @@ import (
 	"fmt"
 	"net/http"
 
-	"pak/internal/core"
 	"pak/internal/query"
 )
 
@@ -143,11 +144,13 @@ func (sw *streamWriter) fail(status int, err error) {
 }
 
 // handleEvalStream serves POST /v1/eval/stream. It shares request
-// decoding with the buffered path, then streams: engine builds for
-// every system start concurrently up front, and each system's batch
-// streams through query.EvalStream as soon as its engine is ready — a
-// finished result reaches the client the moment its worker completes,
-// so deadline truncation can only ever cost unfinished work.
+// decoding with the buffered path, then streams one EvalMultiStream
+// over every system at once: each system's engine is a lazy source that
+// builds when the evaluator's first worker reaches one of its slots, so
+// system 0's results stream while system 3's engine is still unfolding,
+// a finished result reaches the client the moment its worker completes,
+// and a deadline mid-request leaves unreached builds unstarted —
+// truncation can only ever cost unfinished work.
 func (s *Server) handleEvalStream(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("%s not allowed; use POST", r.Method))
@@ -173,27 +176,12 @@ func (s *Server) handleEvalStream(w http.ResponseWriter, r *http.Request) {
 	evalView, slotMap := reducePlan(plan, lookup)
 	s.countBackendSlots(evalView)
 
-	// Builds start only for systems with un-stored work (store.go);
-	// fully-hit systems stream straight from the store, engine-free.
-	var needs []int
-	needsAt := make([]int, len(plan.targets)) // system -> its builds index
-	for i := range evalView.batches {
-		needsAt[i] = -1
-		if !lookup.fullyHit(i) {
-			needsAt[i] = len(needs)
-			needs = append(needs, i)
-		}
-	}
-	sub := make([]resolved, len(needs))
-	for k, i := range needs {
-		sub[k] = plan.targets[i]
-	}
-	builds := s.startBuilds(ctx, sub)
+	states, items := s.lazyItems(evalView, lookup)
 	sw := newStreamWriter(w)
+	// Stored slots stream first, across every system in (system, batch)
+	// order: they are on hand before any engine is. Fully-hit systems
+	// are thereby answered in full, engine-free.
 	for i := range plan.targets {
-		// Stored slots stream first, in batch order: they are on hand
-		// before any engine is, and the frame contract orders frames
-		// within a system by completion.
 		for j := range plan.batches[i] {
 			hit := lookup.hit(i, j)
 			if hit == nil {
@@ -211,53 +199,51 @@ func (s *Server) handleEvalStream(w http.ResponseWriter, r *http.Request) {
 				return
 			}
 		}
-		if needsAt[i] < 0 {
+	}
+	for f := range query.EvalMultiStream(items, evalView.evalOptions(ctx)...) {
+		if f.Terminal() {
+			// The evaluator's terminal is folded into the request
+			// terminal below, where the context cause names the ending.
 			continue
 		}
-		br := <-builds[needsAt[i]]
-		var engine *core.Engine
-		switch {
-		case br.err == nil:
-			engine = br.engine
-		case isContextErr(br.err) && context.Cause(ctx) != nil:
-			// The deadline died while this system's engine was pending:
-			// leave the engine nil — the evaluator's per-slot context
-			// check fires before any engine dereference, so the system's
-			// slots stream as per-slot deadline errors.
-		default:
-			sw.fail(statusOfEvalErr(br.err), br.err)
-			return
-		}
-		for f := range query.EvalMultiStream(
-			[]query.MultiItem{s.itemFor(evalView, i, engine)}, evalView.evalOptions(ctx)...) {
-			if f.Terminal() {
-				// Per-system terminals are suppressed; the request emits
-				// one terminal frame, below, after every system.
-				continue
-			}
-			orig := f.Index
-			if slotMap != nil {
-				orig = slotMap[i][f.Index]
-			}
-			doc := query.DocOf(f.Result)
-			if f.Stage != query.StageApprox {
-				s.persistResult(ctx, lookup, plan.targets[i].key, i, orig, doc)
-			}
-			err := sw.frame(StreamResultFrame{
-				Frame:     frameResult,
-				System:    i,
-				Spec:      plan.specs[i],
-				Canonical: plan.targets[i].key,
-				Index:     orig,
-				Stage:     string(f.Stage),
-				Result:    doc,
-			})
-			if err != nil {
-				// The client is gone; the buffered query stream drains
-				// itself, so just stop writing.
+		if st := states[f.System]; st != nil {
+			if err := st.genuineBuildErr(ctx); err != nil {
+				// A genuine mid-stream build failure (bad spec, builder
+				// domain error) ends the stream request-level: a plain
+				// error response while nothing has flushed, the terminal
+				// "error" frame with its HTTP code otherwise.
+				sw.fail(statusOfEvalErr(err), err)
 				return
 			}
 		}
+		orig := f.Index
+		if slotMap != nil {
+			orig = slotMap[f.System][f.Index]
+		}
+		doc := query.DocOf(f.Result)
+		if f.Stage != query.StageApprox {
+			s.persistResult(ctx, lookup, plan.targets[f.System].key, f.System, orig, doc)
+		}
+		err := sw.frame(StreamResultFrame{
+			Frame:     frameResult,
+			System:    f.System,
+			Spec:      plan.specs[f.System],
+			Canonical: plan.targets[f.System].key,
+			Index:     orig,
+			Stage:     string(f.Stage),
+			Result:    doc,
+		})
+		if err != nil {
+			// The client is gone; the buffered query stream drains
+			// itself, so just stop writing.
+			return
+		}
+	}
+	if err := s.sweepSources(ctx, states); err != nil {
+		// A batchless probe's builder error surfaces request-level, as
+		// on the buffered path.
+		sw.fail(statusOfEvalErr(err), err)
+		return
 	}
 
 	terminal := StreamStatusFrame{Frame: frameStatus, Status: string(query.StreamComplete)}

@@ -61,6 +61,22 @@ func NewBuilder(agents ...string) *Builder { return pps.NewBuilder(agents...) }
 // NewEngine returns an analysis engine bound to sys.
 func NewEngine(sys *System) *Engine { return core.New(sys) }
 
+// NewEngineSeeded returns an engine bound to sys that shares its
+// measure-independent memoization (the performance and fact-extension
+// tables) with neighbour when the two systems have the same shape —
+// identical labels per (run, time), probabilities free to differ. That
+// is exactly the relationship between assignments of one adversary
+// sweep, so seeding each engine from a neighbour makes a sweep pay the
+// structural scans once instead of once per assignment. Sharing is
+// sound because those tables never read the run measure; the
+// measure-dependent tables (beliefs, independence reports) stay
+// private. shared reports whether sharing engaged (false on a nil
+// neighbour or a shape mismatch, in which case the engine is simply
+// fresh).
+func NewEngineSeeded(sys *System, neighbour *Engine) (e *Engine, shared bool) {
+	return core.NewSeeded(sys, neighbour)
+}
+
 // Rational constructors, re-exported for building systems and thresholds.
 
 // Rat returns the exact rational a/b (panics if b == 0).

@@ -1,6 +1,9 @@
 package pak
 
 import (
+	"context"
+	"sync/atomic"
+
 	"pak/internal/core"
 	"pak/internal/query"
 	"pak/internal/registry"
@@ -76,21 +79,20 @@ var sweepEngines = service.NewEngineCache(128)
 // SweepItems builds the envelope items for a resolved sweep: one engine
 // per assignment, obtained from the shared in-process engine cache
 // keyed by canonical spec (built through the registry on first use).
+// Builds run serially in assignment order, each cold engine seeded from
+// its predecessor: neighbouring assignments of one sweep share run
+// structure, so shape-equal neighbours hand their perf/events memo
+// tables forward (see core.NewSeeded for the soundness line).
 func SweepItems(rs *ResolvedSweep) ([]EnvelopeItem, error) {
 	insts := rs.Instances()
 	items := make([]EnvelopeItem, len(insts))
+	var prev *core.Engine
 	for i, inst := range insts {
-		inst := inst
-		eng, err := sweepEngines.Get(inst.Canonical, func() (*core.Engine, error) {
-			sys, err := registry.Default().Build(inst.Canonical)
-			if err != nil {
-				return nil, err
-			}
-			return core.New(sys), nil
-		})
+		eng, _, err := buildSweepEngine(inst.Canonical, prev)
 		if err != nil {
 			return nil, err
 		}
+		prev = eng
 		items[i] = EnvelopeItem{
 			Assignment: inst.Assignment.String(),
 			Spec:       inst.Canonical,
@@ -98,6 +100,61 @@ func SweepItems(rs *ResolvedSweep) ([]EnvelopeItem, error) {
 		}
 	}
 	return items, nil
+}
+
+// SweepItemsLazy builds lazy envelope items for a resolved sweep: each
+// assignment's engine builds through the shared cache only when the
+// envelope evaluator's first worker reaches that assignment, so a
+// progressive sweep (`pakcheck -sweep`) prints its first row as soon as
+// the first engine is up instead of waiting behind every build. Cold
+// builds seed their memo tables from the first engine the sweep
+// completed, when shapes match. Build errors surface on the
+// assignment's slot exactly as a failed eager build would.
+func SweepItemsLazy(rs *ResolvedSweep) []EnvelopeItem {
+	insts := rs.Instances()
+	items := make([]EnvelopeItem, len(insts))
+	var seed atomic.Pointer[core.Engine]
+	for i, inst := range insts {
+		inst := inst
+		items[i] = EnvelopeItem{
+			Assignment: inst.Assignment.String(),
+			Spec:       inst.Canonical,
+			Source: func(context.Context) (query.Engines, error) {
+				eng, shared, err := buildSweepEngine(inst.Canonical, seed.Load())
+				if err != nil {
+					return query.Engines{}, err
+				}
+				if !seed.CompareAndSwap(nil, eng) && !shared {
+					// The published seed has a different shape (a sweep
+					// endpoint like loss=0 prunes zero-weight branches
+					// from its unfold); publish this engine instead so
+					// the rest of its shape-class still shares.
+					seed.Store(eng)
+				}
+				return query.Engines{Engine: eng}, nil
+			},
+		}
+	}
+	return items
+}
+
+// buildSweepEngine resolves one canonical spec through the shared sweep
+// cache, seeding a cold build's memo tables from neighbour when the two
+// systems are shape-equal (a cache hit ignores the seed: the cached
+// engine's tables are already warm, and reports shared=true so callers
+// don't demote their seed over it).
+func buildSweepEngine(canonical string, neighbour *core.Engine) (*core.Engine, bool, error) {
+	shared := true
+	eng, err := sweepEngines.Get(canonical, func() (*core.Engine, error) {
+		sys, err := registry.Default().Build(canonical)
+		if err != nil {
+			return nil, err
+		}
+		eng, s := core.NewSeeded(sys, neighbour)
+		shared = s || neighbour == nil
+		return eng, nil
+	})
+	return eng, shared, err
 }
 
 // IsEnvelopeSkip reports whether a slot error is a skip (the quantity
