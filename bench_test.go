@@ -12,6 +12,7 @@ package pak_test
 
 import (
 	"fmt"
+	bigmath "math/big"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -20,7 +21,9 @@ import (
 	"pak"
 	"pak/internal/experiments"
 	"pak/internal/montecarlo"
+	"pak/internal/pps"
 	"pak/internal/randsys"
+	"pak/internal/runset"
 )
 
 // requireMatch runs one experiment and fails the benchmark if any row
@@ -675,4 +678,115 @@ func BenchmarkEnvelopeSampledPrune(b *testing.B) {
 		}
 		b.ReportMetric(float64(pruned)/float64(b.N), "pruned/op")
 	})
+}
+
+// BenchmarkMeasureKernel pins the exact-arithmetic measure kernel
+// against the per-run big.Rat reference fold, on both kernel tiers
+// (shared denominator in uint64 vs big.Int) and on both hot shapes
+// (plain Measure and the fused conditional). The kernel must hold a
+// ≥3x ns/op and ≥5x allocs/op advantage on the fold benchmarks — the
+// PR's acceptance gate, re-recorded in BENCHMARKS.md.
+func BenchmarkMeasureKernel(b *testing.B) {
+	// uint64 tier: a deep random system with small edge denominators.
+	cfg := randsys.Default(7)
+	cfg.Depth = 6
+	cfg.ActionTime = 3
+	small, err := randsys.Generate(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	// big.Int tier: four levels of branching with distinct ~2³² prime
+	// denominators make the shared denominator ≈ 2¹²⁸, overflowing the
+	// word tier (the overflow proof in internal/pps/measure.go gates on
+	// D alone).
+	primes := []int64{4294967291, 4294967279, 4294967231, 4294967197}
+	bld := pps.NewBuilder("i")
+	level := []pps.NodeID{bld.Init(pak.Rat(1, 1), "e", "g0")}
+	serial := 0
+	for depth, p := range primes {
+		var next []pps.NodeID
+		for _, u := range level {
+			rest := p
+			for k := 0; k < 4; k++ {
+				serial++
+				pr := pak.Rat(1, p)
+				if k == 3 {
+					pr = pak.Rat(rest, p)
+				} else {
+					rest--
+				}
+				next = append(next, bld.Child(u, pps.Step{
+					Pr: pr, Acts: []string{"a"}, Env: "e",
+					Locals: []string{fmt.Sprintf("g%d-%d", depth+1, serial)},
+				}))
+			}
+		}
+		level = next
+	}
+	big, err := bld.Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	// naiveCond replicates the pre-kernel conditional: materialize the
+	// intersection, fold both measures per run, divide.
+	naiveCond := func(sys *pak.System, a, ev *runset.Set) *bigmath.Rat {
+		mb := sys.MeasureNaive(ev)
+		return new(bigmath.Rat).Quo(sys.MeasureNaive(a.Intersect(ev)), mb)
+	}
+
+	event := func(sys *pak.System, seed uint64) *runset.Set {
+		ev := sys.NewSet()
+		x := seed
+		for r := 0; r < sys.NumRuns(); r++ {
+			x = x*6364136223846793005 + 1442695040888963407
+			if x&1 == 1 {
+				ev.Add(r)
+			}
+		}
+		return ev
+	}
+
+	for _, tier := range []struct {
+		name string
+		sys  *pak.System
+	}{{"int64", small}, {"big", big}} {
+		a, c := event(tier.sys, 3), event(tier.sys, 99)
+		want := tier.sys.MeasureNaive(a).RatString()
+		b.Run(tier.name+"/measure/kernel", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if tier.sys.Measure(a).RatString() != want {
+					b.Fatal("kernel ≠ naive")
+				}
+			}
+		})
+		b.Run(tier.name+"/measure/naive", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if tier.sys.MeasureNaive(a).RatString() != want {
+					b.Fatal("naive drifted")
+				}
+			}
+		})
+		wantCond := naiveCond(tier.sys, a, c).RatString()
+		b.Run(tier.name+"/cond/kernel", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				got, ok := tier.sys.Cond(a, c)
+				if !ok || got.RatString() != wantCond {
+					b.Fatal("kernel cond ≠ naive")
+				}
+			}
+		})
+		b.Run(tier.name+"/cond/naive", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if naiveCond(tier.sys, a, c).RatString() != wantCond {
+					b.Fatal("naive cond drifted")
+				}
+			}
+		})
+	}
 }

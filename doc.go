@@ -130,7 +130,17 @@
 //
 // All probabilities are exact rationals (math/big.Rat); the paper's
 // numbers (0.99, 0.991, 990/991, (p−ε)/(1−ε), ...) are reproduced as
-// rational identities, not floating-point approximations. See DESIGN.md
+// rational identities, not floating-point approximations. Measure
+// arithmetic runs on an exact-arithmetic kernel: each system lazily
+// precomputes a shared denominator D (the lcm of its run-probability
+// denominators) with scaled integer numerators, so an event's measure
+// is a word-at-a-time integer sum over the run bitset with exactly one
+// final rational reduction — in machine words when D fits a uint64
+// (provably overflow-free, since every event sum is bounded by D),
+// falling back to big.Int otherwise — and conditional measures fuse
+// both sums into one pass with D cancelling; results are byte-identical
+// to the naive per-run fold, which the property tests and the
+// two-backend differential harness pin. See DESIGN.md
 // for the architecture, EXPERIMENTS.md for the paper-vs-measured record,
 // and SCENARIOS.md for the scenario catalog.
 package pak

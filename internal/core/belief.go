@@ -48,7 +48,7 @@ func (e *Engine) FactAtLocalCtx(ctx context.Context, f logic.Fact, agent, local 
 // returned set may be the shared cache entry and must not be mutated.
 func (e *Engine) factAtLocal(ctx context.Context, f logic.Fact, a pps.AgentID, agent, local string) (*runset.Set, error) {
 	compute := func() (*runset.Set, error) {
-		occ, tm, ok := e.sys.Occurs(a, local)
+		occ, tm, ok := e.sys.OccursShared(a, local)
 		if !ok {
 			return nil, fmt.Errorf("%w: agent %q state %q", ErrUnknownLocal, agent, local)
 		}
@@ -88,7 +88,7 @@ func (e *Engine) Belief(f logic.Fact, agent, local string) (*big.Rat, error) {
 		return nil, err
 	}
 	compute := func() (*big.Rat, error) {
-		occ, _, ok := e.sys.Occurs(a, local)
+		occ, _, ok := e.sys.OccursShared(a, local)
 		if !ok {
 			return nil, fmt.Errorf("%w: agent %q state %q", ErrUnknownLocal, agent, local)
 		}
@@ -96,6 +96,7 @@ func (e *Engine) Belief(f logic.Fact, agent, local string) (*big.Rat, error) {
 		if evErr != nil {
 			return nil, evErr
 		}
+		// Fused kernel conditional: φ@ℓ ∩ ℓ is never materialized.
 		cond, condOK := e.sys.Cond(ev, occ)
 		if !condOK {
 			// Unreachable in a valid pps: every occurring local state has
@@ -135,6 +136,17 @@ func (e *Engine) BeliefAtPoint(f logic.Fact, agent string, r pps.RunID, t int) (
 // agent's current local state ℓ occurs. In a pps the prior has full
 // support, so K_i(φ) coincides with β_i(φ) = 1.
 func (e *Engine) Knows(f logic.Fact, agent string, r pps.RunID, t int) (bool, error) {
+	return e.KnowsCtx(context.Background(), f, agent, r, t)
+}
+
+// KnowsCtx is Knows bound to a context. It routes through the memoized
+// factAtLocal path — K_i(φ) at ℓ holds exactly when the extension φ@ℓ
+// covers every run through ℓ, i.e. occ ⊆ ev — so repeated knowledge
+// queries at the same state (the Lemma F.1 checker asks once per acting
+// run) share one extension scan instead of rescanning f.Holds per call,
+// and a dead context cuts a long scan with the same
+// every-indepCtxInterval-runs discipline as FactAtLocalCtx.
+func (e *Engine) KnowsCtx(ctx context.Context, f logic.Fact, agent string, r pps.RunID, t int) (bool, error) {
 	a, err := e.agent(agent)
 	if err != nil {
 		return false, err
@@ -143,16 +155,16 @@ func (e *Engine) Knows(f logic.Fact, agent string, r pps.RunID, t int) (bool, er
 		return false, fmt.Errorf("%w: (%d, %d)", ErrBadPoint, r, t)
 	}
 	local := e.sys.Local(r, t, a)
-	occ, tm, _ := e.sys.Occurs(a, local)
-	known := true
-	occ.ForEach(func(rr int) bool {
-		if !f.Holds(e.sys, pps.RunID(rr), tm) {
-			known = false
-			return false
-		}
-		return true
-	})
-	return known, nil
+	occ, _, ok := e.sys.OccursShared(a, local)
+	if !ok {
+		// Unreachable: the point (r, t) exhibits the state.
+		return false, fmt.Errorf("%w: agent %q state %q", ErrUnknownLocal, agent, local)
+	}
+	ev, err := e.factAtLocal(ctx, f, a, agent, local)
+	if err != nil {
+		return false, err
+	}
+	return occ.SubsetOf(ev), nil
 }
 
 // FactAtAction returns the event φ@α: the runs in which agent performs
@@ -258,42 +270,47 @@ func (e *Engine) BeliefAtAction(f logic.Fact, agent, action string) ([]*big.Rat,
 
 // ExpectedBelief returns E_µT(β_i(φ)@α | α), the expected degree of the
 // agent's belief in φ when it performs α, conditioned on α being performed
-// (Definition 6.1).
+// (Definition 6.1). The fold groups by acting local state — β is constant
+// on each α@ℓ cell, so E[β@α|α] = Σ_ℓ β_ℓ · µ(α@ℓ) / µ(α) — which prices
+// it at one kernel measure per acting state instead of one rational
+// multiply-add per run. Exactness makes the regrouping invisible: the
+// sum is the same rational either way.
 func (e *Engine) ExpectedBelief(f logic.Fact, agent, action string) (*big.Rat, error) {
 	_, info, err := e.properFor(agent, action)
 	if err != nil {
 		return nil, err
 	}
-	beliefs, err := e.BeliefAtAction(f, agent, action)
-	if err != nil {
-		return nil, err
+	total := new(big.Rat)
+	for _, local := range info.locals {
+		bel, belErr := e.Belief(f, agent, local)
+		if belErr != nil {
+			return nil, belErr
+		}
+		total.Add(total, bel.Mul(bel, e.sys.Measure(info.atLocal[local])))
 	}
 	mAlpha := e.sys.Measure(info.set)
-	total := new(big.Rat)
-	info.set.ForEach(func(r int) bool {
-		total.Add(total, ratutil.Mul(e.sys.RunProb(pps.RunID(r)), beliefs[r]))
-		return true
-	})
-	return ratutil.Div(total, mAlpha), nil
+	return total.Quo(total, mAlpha), nil
 }
 
 // BeliefThresholdEvent returns the event {r ∈ R_α : (β_i(φ)@α)[r] ≥ p}.
+// The acting runs partition by acting local state and β is constant per
+// state, so the event is the union of the α@ℓ cells whose belief meets
+// the threshold — one comparison per acting state, not per run.
 func (e *Engine) BeliefThresholdEvent(f logic.Fact, agent, action string, p *big.Rat) (*runset.Set, error) {
 	_, info, err := e.properFor(agent, action)
 	if err != nil {
 		return nil, err
 	}
-	beliefs, err := e.BeliefAtAction(f, agent, action)
-	if err != nil {
-		return nil, err
-	}
 	ev := e.sys.NewSet()
-	info.set.ForEach(func(r int) bool {
-		if ratutil.Geq(beliefs[r], p) {
-			ev.Add(r)
+	for _, local := range info.locals {
+		bel, belErr := e.Belief(f, agent, local)
+		if belErr != nil {
+			return nil, belErr
 		}
-		return true
-	})
+		if ratutil.Geq(bel, p) {
+			ev.UnionWith(info.atLocal[local])
+		}
+	}
 	return ev, nil
 }
 

@@ -325,7 +325,7 @@ func (e *Engine) IsDeterministicAction(agent, action string) (bool, error) {
 	}
 	info := e.perfFor(a, action)
 	for _, local := range info.locals {
-		occ, tm, ok := e.sys.Occurs(a, local)
+		occ, tm, ok := e.sys.OccursShared(a, local)
 		if !ok {
 			continue // unreachable: locals come from occurrences
 		}

@@ -136,7 +136,7 @@ func (e *Engine) localStateIndependence(ctx context.Context, f logic.Fact, a pps
 			// both exactly 0, so Definition 4.1 holds at ℓ trivially.
 			continue
 		}
-		occ, _, ok := e.sys.Occurs(a, local)
+		occ, _, ok := e.sys.OccursShared(a, local)
 		if !ok {
 			continue // unreachable: LocalStates only lists occurring states
 		}
@@ -144,14 +144,14 @@ func (e *Engine) localStateIndependence(ctx context.Context, f logic.Fact, a pps
 		if err != nil {
 			return IndependenceReport{}, err
 		}
-		jointAt := factAt.Intersect(actAt) // [φ∧α]@ℓ
-		mOcc := e.sys.Measure(occ)
-		if mOcc.Sign() == 0 {
-			continue // unreachable in a valid pps
+		// Both sides via fused kernel conditionals: no [φ∧α]@ℓ intermediate
+		// set, integer numerator sums, one reduction per quantity.
+		pFact, okF := e.sys.Cond(factAt, occ)
+		pAct, okA := e.sys.Cond(actAt, occ)
+		pJoint, okJ := e.sys.CondIntersect(factAt, actAt, occ)
+		if !okF || !okA || !okJ {
+			continue // unreachable in a valid pps: µ(ℓ) > 0
 		}
-		pFact := ratutil.Div(e.sys.Measure(factAt), mOcc)
-		pAct := ratutil.Div(e.sys.Measure(actAt), mOcc)
-		pJoint := ratutil.Div(e.sys.Measure(jointAt), mOcc)
 		product := ratutil.Mul(pFact, pAct)
 		if !ratutil.Eq(product, pJoint) {
 			report.Independent = false

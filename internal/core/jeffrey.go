@@ -82,7 +82,6 @@ func (e *Engine) Decompose(f logic.Fact, agent, action string) (JeffreyDecomposi
 	if err != nil {
 		return JeffreyDecomposition{}, err
 	}
-	mAlpha := e.sys.Measure(info.set)
 
 	var d JeffreyDecomposition
 	d.ExpectedBelief = new(big.Rat)
@@ -90,7 +89,7 @@ func (e *Engine) Decompose(f logic.Fact, agent, action string) (JeffreyDecomposi
 	locals := append([]string(nil), info.locals...)
 	sort.Strings(locals)
 	for _, local := range locals {
-		occ, tm, ok := e.sys.Occurs(a, local)
+		occ, tm, ok := e.sys.OccursShared(a, local)
 		if !ok {
 			continue // unreachable: locals come from occurrences
 		}
@@ -110,13 +109,20 @@ func (e *Engine) Decompose(f logic.Fact, agent, action string) (JeffreyDecomposi
 		if cell.IsEmpty() {
 			continue
 		}
-		mCell := e.sys.Measure(cell)
-		weight := ratutil.Div(mCell, mAlpha)
+		// Fused kernel conditionals: µ(α@ℓ|α) and µ(φ@α|α@ℓ) as integer
+		// numerator ratios, one reduction each.
+		weight, okW := e.sys.Cond(cell, info.set)
+		if !okW {
+			continue // unreachable: properFor guarantees µ(α) > 0
+		}
 		posterior, berr := e.Belief(f, agent, local)
 		if berr != nil {
 			return JeffreyDecomposition{}, berr
 		}
-		cellConstraint := ratutil.Div(e.sys.Measure(factInCell), mCell)
+		cellConstraint, okC := e.sys.Cond(factInCell, cell)
+		if !okC {
+			continue // unreachable: cell is nonempty
+		}
 		d.Cells = append(d.Cells, JeffreyCell{
 			Local:          local,
 			Weight:         weight,

@@ -1,0 +1,121 @@
+package core
+
+import (
+	"context"
+	"testing"
+
+	"pak/internal/logic"
+	"pak/internal/pps"
+	"pak/internal/randsys"
+	"pak/internal/ratutil"
+)
+
+// TestKnowsUsesFactExtensionMemo pins the Knows bugfix: knowledge
+// queries route through the memoized factAtLocal extension (K_i(φ) at ℓ
+// ⇔ occ(ℓ) ⊆ φ@ℓ) instead of rescanning f.Holds per call. The memo hit
+// is observed through CacheStats: the first Knows at a state populates
+// the events table, and any number of further Knows calls at the same
+// state leave it unchanged.
+func TestKnowsUsesFactExtensionMemo(t *testing.T) {
+	sys, err := randsys.Generate(randsys.Config{
+		Agents: 2, Depth: 7, MaxBranch: 3, MaxInitial: 2,
+		ObsAlphabet: 64, ActionTime: 2, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := New(sys)
+	agent := sys.AgentName(0)
+	fact := logic.Does(agent, randsys.DesignatedAction)
+
+	if _, events0, _ := e.CacheStats(); events0 != 0 {
+		t.Fatalf("fresh engine has %d cached extensions", events0)
+	}
+	first, err := e.Knows(fact, agent, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, events1, _ := e.CacheStats()
+	if events1 == 0 {
+		t.Fatal("Knows did not populate the fact-extension memo")
+	}
+	for n := 0; n < 5; n++ {
+		again, err := e.Knows(fact, agent, 0, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if again != first {
+			t.Fatalf("repeat Knows = %v, first %v", again, first)
+		}
+	}
+	if _, events2, _ := e.CacheStats(); events2 != events1 {
+		t.Fatalf("repeated Knows grew the extension memo %d → %d; the memoized path was bypassed", events1, events2)
+	}
+
+	// Knows must agree with Belief = 1 (full-support prior) at every
+	// sampled point.
+	for r := 0; r < sys.NumRuns(); r += 7 {
+		run := pps.RunID(r)
+		for tm := 0; tm < sys.RunLen(run); tm++ {
+			k, err := e.Knows(fact, agent, run, tm)
+			if err != nil {
+				t.Fatal(err)
+			}
+			bel, err := e.Belief(fact, agent, sys.Local(run, tm, 0))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if k != ratutil.IsOne(bel) {
+				t.Fatalf("(%d,%d): Knows = %v but Belief = %s", r, tm, k, bel.RatString())
+			}
+		}
+	}
+}
+
+// TestKnowsCtxAbort: on a local state whose occurrence set spans more
+// runs than the scan's check interval, a dead context cuts the
+// extension scan behind KnowsCtx with the context's cause — and the
+// abort is never memoized, so a live caller still gets the exact answer
+// and the now-cached extension then serves even dead-context callers.
+func TestKnowsCtxAbort(t *testing.T) {
+	sys, err := randsys.Generate(randsys.Config{
+		Agents: 2, Depth: 7, MaxBranch: 3, MaxInitial: 2,
+		ObsAlphabet: 64, ActionTime: 2, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := New(sys)
+	agent := sys.AgentName(0)
+	fact := logic.Does(agent, randsys.DesignatedAction)
+
+	// Find a point whose local state spans enough runs for the scan to
+	// consult the context at all.
+	run, tm := pps.RunID(-1), 0
+	for r := 0; r < sys.NumRuns() && run < 0; r++ {
+		for ti := 0; ti < sys.RunLen(pps.RunID(r)); ti++ {
+			l := sys.Local(pps.RunID(r), ti, 0)
+			if occ, _, ok := sys.OccursShared(0, l); ok && occ.Count() > indepCtxInterval {
+				run, tm = pps.RunID(r), ti
+				break
+			}
+		}
+	}
+	if run < 0 {
+		t.Skipf("no local state spans more than the %d-run check interval", indepCtxInterval)
+	}
+
+	dead, cancel := context.WithCancelCause(context.Background())
+	cancel(context.DeadlineExceeded)
+	if _, err := e.KnowsCtx(dead, fact, agent, run, tm); !IsContextErr(err) {
+		t.Fatalf("dead-context KnowsCtx err = %v, want the deadline cause", err)
+	}
+	live, err := e.Knows(fact, agent, run, tm)
+	if err != nil {
+		t.Fatalf("live Knows after abort: %v", err)
+	}
+	again, err := e.KnowsCtx(dead, fact, agent, run, tm)
+	if err != nil || again != live {
+		t.Fatalf("memoized KnowsCtx under dead context = (%v, %v), want %v", again, err, live)
+	}
+}

@@ -85,7 +85,8 @@ func (e *Engine) ExpectedBeliefAtTime(f logic.Fact, agent string, t int) (*big.R
 			iterErr = berr
 			return false
 		}
-		total.Add(total, ratutil.Mul(e.sys.RunProb(pps.RunID(r)), bel))
+		// RunProbShared: Mul only reads its operands, no defensive copy.
+		total.Add(total, ratutil.Mul(e.sys.RunProbShared(pps.RunID(r)), bel))
 		return true
 	})
 	if iterErr != nil {

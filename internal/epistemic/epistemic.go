@@ -35,7 +35,7 @@ import (
 // beliefAt computes β_a(f) at the point (r, t): µ(f@ℓ | ℓ) for ℓ = r_a(t).
 func beliefAt(sys *pps.System, a pps.AgentID, f logic.Fact, r pps.RunID, t int) *big.Rat {
 	local := sys.Local(r, t, a)
-	occ, tm, ok := sys.Occurs(a, local)
+	occ, tm, ok := sys.OccursShared(a, local)
 	if !ok {
 		// Unreachable for points inside the system; treat as belief 0.
 		return ratutil.Zero()
@@ -96,7 +96,7 @@ type knowsFact struct {
 func (k knowsFact) Holds(sys *pps.System, r pps.RunID, t int) bool {
 	a := mustAgent(sys, k.agent)
 	local := sys.Local(r, t, a)
-	occ, tm, ok := sys.Occurs(a, local)
+	occ, tm, ok := sys.OccursShared(a, local)
 	if !ok {
 		return false
 	}

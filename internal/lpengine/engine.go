@@ -171,20 +171,22 @@ func (e *Engine) actFor(a pps.AgentID, action string) *actInfo {
 			u := e.sys.NodeAt(run, t+1)
 			c := byNode[u]
 			if c == nil {
-				c = &runClass{node: u, time: t, local: local, mass: new(big.Rat), repr: run}
+				c = &runClass{node: u, time: t, local: local, repr: run}
 				byNode[u] = c
 				info.classes = append(info.classes, c)
 			}
-			c.mass.Add(c.mass, e.sys.RunProb(run))
 			c.members = append(c.members, r)
 		}
 	}
 	sort.Slice(info.classes, func(i, j int) bool {
 		return info.classes[i].node < info.classes[j].node
 	})
+	// Class and column masses through the measure kernel: one integer sum
+	// and one reduction per class instead of a big.Rat Add per member run.
 	for _, c := range info.classes {
-		info.total.Add(info.total, c.mass)
+		c.mass = e.sys.MeasureRuns(c.members)
 	}
+	info.total = e.sys.Measure(info.set)
 	info.locals = make([]string, 0, len(localSeen))
 	for l := range localSeen {
 		info.locals = append(info.locals, l)
@@ -204,30 +206,31 @@ func (e *Engine) locFor(a pps.AgentID, agent, local string) (*locInfo, error) {
 	if info, ok := e.locs[key]; ok {
 		return info, nil
 	}
-	occ, tm, ok := e.sys.Occurs(a, local)
+	occ, tm, ok := e.sys.OccursShared(a, local)
 	if !ok {
 		return nil, fmt.Errorf("%w: agent %q state %q", core.ErrUnknownLocal, agent, local)
 	}
-	info := &locInfo{total: new(big.Rat)}
+	info := &locInfo{}
 	byNode := make(map[pps.NodeID]*runClass)
 	occ.ForEach(func(r int) bool {
 		run := pps.RunID(r)
 		u := e.sys.NodeAt(run, tm)
 		c := byNode[u]
 		if c == nil {
-			c = &runClass{node: u, time: tm, local: local, mass: new(big.Rat), repr: run}
+			c = &runClass{node: u, time: tm, local: local, repr: run}
 			byNode[u] = c
 			info.classes = append(info.classes, c)
 		}
-		c.mass.Add(c.mass, e.sys.RunProb(run))
 		c.members = append(c.members, r)
 		return true
 	})
 	sort.Slice(info.classes, func(i, j int) bool {
 		return info.classes[i].node < info.classes[j].node
 	})
+	// Masses through the measure kernel (see actFor).
+	info.total = e.sys.Measure(occ)
 	for _, c := range info.classes {
-		info.total.Add(info.total, c.mass)
+		c.mass = e.sys.MeasureRuns(c.members)
 	}
 	e.stats.Classes += int64(len(info.classes))
 	e.locs[key] = info

@@ -21,7 +21,7 @@ func (s *Sampler) EstimateBelief(f logic.Fact, agent pps.AgentID, local string, 
 	if n <= 0 {
 		return Estimate{}, ErrNoSamples
 	}
-	_, tm, ok := s.sys.Occurs(agent, local)
+	_, tm, ok := s.sys.OccursShared(agent, local)
 	if !ok {
 		return Estimate{}, fmt.Errorf("montecarlo: state %q never occurs: %w", local, ErrNoHits)
 	}

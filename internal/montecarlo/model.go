@@ -50,7 +50,8 @@ func NewModel(sys *pps.System) *Model {
 		c := make([]float64, len(children))
 		total := 0.0
 		for i, ch := range children {
-			total += ratutil.Float(sys.EdgeProb(ch))
+			// EdgeProbShared: Float only reads the rational, no clone needed.
+			total += ratutil.Float(sys.EdgeProbShared(ch))
 			c[i] = total
 		}
 		m.cum[id] = c

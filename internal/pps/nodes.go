@@ -34,6 +34,17 @@ func (s *System) EdgeProb(id NodeID) *big.Rat {
 	return ratutil.Copy(s.nodes[id].pr)
 }
 
+// EdgeProbShared is EdgeProb without the defensive copy: the returned
+// rational is the system's own π(parent, id) and MUST NOT be mutated.
+// For internal read paths (the montecarlo cumulative-table build reads
+// one float per edge); public callers keep EdgeProb.
+func (s *System) EdgeProbShared(id NodeID) *big.Rat {
+	if id == Root {
+		return nil
+	}
+	return s.nodes[id].pr
+}
+
 // EnvOf returns the environment state of node id (empty for the root).
 func (s *System) EnvOf(id NodeID) string { return s.nodes[id].env }
 

@@ -116,6 +116,12 @@ type System struct {
 	floatOnce  sync.Once
 	floatProbs []float64
 
+	// kernelOnce/kernel lazily cache the exact-arithmetic measure kernel:
+	// the shared-denominator integer view of runPr that Measure, Cond and
+	// the fused set-measure ops sum over (see measure.go).
+	kernelOnce sync.Once
+	kernel     *measureKernel
+
 	// shapeOnce/shapeSig lazily cache the canonical shape signature that
 	// SameShape compares (see shape.go).
 	shapeOnce sync.Once
@@ -400,27 +406,6 @@ func (s *System) RunsWhere(pred func(r RunID) bool) *runset.Set {
 	return set
 }
 
-// Measure returns µ_T(ev), the prior probability of the event.
-func (s *System) Measure(ev *runset.Set) *big.Rat {
-	total := new(big.Rat)
-	ev.ForEach(func(r int) bool {
-		total.Add(total, s.runPr[r])
-		return true
-	})
-	return total
-}
-
-// Cond returns the conditional probability µ_T(a | b). The second result is
-// false when µ_T(b) = 0 (which, in a pps, happens only for the empty
-// event, since every run has positive probability).
-func (s *System) Cond(a, b *runset.Set) (*big.Rat, bool) {
-	mb := s.Measure(b)
-	if mb.Sign() == 0 {
-		return nil, false
-	}
-	return ratutil.Div(s.Measure(a.Intersect(b)), mb), true
-}
-
 // Occurs reports where agent a's local state ℓ occurs: the event of runs
 // containing it and the unique time at which it appears. ok is false if the
 // state never occurs in the system.
@@ -431,6 +416,25 @@ func (s *System) Occurs(a AgentID, local string) (ev *runset.Set, time int, ok b
 	}
 	return info.set.Clone(), info.time, true
 }
+
+// OccursShared is Occurs without the defensive clone: the returned set
+// is the system's own occurrence index and MUST NOT be mutated. It
+// exists for engine-internal read paths (belief conditioning, the
+// Definition 4.1 scan, sampling-time lookups) that only iterate or
+// intersect the event; public callers keep the clone-on-return Occurs.
+func (s *System) OccursShared(a AgentID, local string) (ev *runset.Set, time int, ok bool) {
+	info, found := s.occ[localKey{a, local}]
+	if !found {
+		return nil, 0, false
+	}
+	return info.set, info.time, true
+}
+
+// RunProbShared is RunProb without the defensive copy: the returned
+// rational is the system's own µ_T(r) and MUST NOT be mutated. For
+// engine-internal folds that only read the value (big.Rat arithmetic
+// never mutates its operands); public callers keep RunProb.
+func (s *System) RunProbShared(r RunID) *big.Rat { return s.runPr[r] }
 
 // LocalStates returns all local states of agent a that occur anywhere in
 // the system, sorted lexicographically.

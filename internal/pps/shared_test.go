@@ -1,0 +1,66 @@
+package pps
+
+import (
+	"testing"
+
+	"pak/internal/ratutil"
+)
+
+// The shared read paths (OccursShared, RunProbShared, EdgeProbShared)
+// exist for hot internal callers: they return the engine's own storage
+// with a MUST-NOT-MUTATE contract, while the public Occurs / RunProb /
+// EdgeProb keep their clone-on-return contract (pinned by TestOccurs
+// and TestEdgeProbIsCopy). This test pins both halves: value equality,
+// aliasing of the shared path, and isolation of the public path.
+
+func TestSharedReadPathsAliasAndAgree(t *testing.T) {
+	sys := buildDiamond(t)
+
+	// Value agreement on every surface.
+	occShared, tmS, okS := sys.OccursShared(0, "g0")
+	occPublic, tmP, okP := sys.Occurs(0, "g0")
+	if !okS || !okP || tmS != tmP || occShared.Count() != occPublic.Count() {
+		t.Fatalf("OccursShared = (%v,%d,%v), Occurs = (%v,%d,%v)",
+			occShared, tmS, okS, occPublic, tmP, okP)
+	}
+	if _, _, ok := sys.OccursShared(0, "nope"); ok {
+		t.Fatal("OccursShared(nonexistent) should be false")
+	}
+	for r := RunID(0); r < RunID(sys.NumRuns()); r++ {
+		if !ratutil.Eq(sys.RunProbShared(r), sys.RunProb(r)) {
+			t.Fatalf("RunProbShared(%d) disagrees with RunProb", r)
+		}
+	}
+	child := sys.ChildrenOf(Root)[0]
+	if !ratutil.Eq(sys.EdgeProbShared(child), sys.EdgeProb(child)) {
+		t.Fatal("EdgeProbShared disagrees with EdgeProb")
+	}
+	if sys.EdgeProbShared(Root) != nil {
+		t.Fatal("EdgeProbShared(Root) should be nil")
+	}
+
+	// The shared path aliases internal storage: repeated shared reads
+	// return the same object (no clone per call) …
+	occShared2, _, _ := sys.OccursShared(0, "g0")
+	if occShared != occShared2 {
+		t.Fatal("OccursShared cloned; the shared path must return internal storage")
+	}
+	if sys.RunProbShared(0) != sys.RunProbShared(0) {
+		t.Fatal("RunProbShared cloned; the shared path must return internal storage")
+	}
+	if sys.EdgeProbShared(child) != sys.EdgeProbShared(child) {
+		t.Fatal("EdgeProbShared cloned; the shared path must return internal storage")
+	}
+
+	// … while the public path stays isolated: mutating a public result
+	// never reaches the storage the shared path exposes.
+	occPublic.Remove(0)
+	if got, _, _ := sys.OccursShared(0, "g0"); got.Count() != 2 {
+		t.Fatal("mutating Occurs' clone corrupted shared storage")
+	}
+	pr := sys.RunProb(0)
+	pr.SetInt64(0)
+	if sys.RunProbShared(0).Sign() == 0 {
+		t.Fatal("mutating RunProb's clone corrupted shared storage")
+	}
+}

@@ -258,7 +258,7 @@ func approxEval(e *core.Engine, model *montecarlo.Model, q Query, spec ApproxSpe
 		if !ok {
 			return nil, fmt.Errorf("%w: %q", core.ErrUnknownAgent, qq.Agent)
 		}
-		_, tm, ok := sys.Occurs(a, qq.Local)
+		_, tm, ok := sys.OccursShared(a, qq.Local)
 		if !ok {
 			return nil, fmt.Errorf("%w: agent %q state %q", core.ErrUnknownLocal, qq.Agent, qq.Local)
 		}

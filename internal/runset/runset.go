@@ -186,6 +186,16 @@ func (s *Set) SubsetOf(t *Set) bool {
 	return true
 }
 
+// UnionWith adds every member of t to s in place (s ∪= t) and returns s.
+// It is the allocation-free counterpart of Union for accumulation loops.
+func (s *Set) UnionWith(t *Set) *Set {
+	s.sameUniverse(t)
+	for i, w := range t.words {
+		s.words[i] |= w
+	}
+	return s
+}
+
 // Intersects reports whether s ∩ t is nonempty, without allocating.
 func (s *Set) Intersects(t *Set) bool {
 	s.sameUniverse(t)
@@ -196,6 +206,17 @@ func (s *Set) Intersects(t *Set) bool {
 	}
 	return false
 }
+
+// Words exposes the set's backing bit words for word-at-a-time
+// consumers (the pps measure kernel walks events one word per 64 runs
+// instead of one callback per member). Word i covers members
+// [64i, 64i+63]; bits beyond the universe are always zero (trim
+// maintains that invariant). The returned slice IS the backing storage:
+// callers must treat it as read-only.
+func (s *Set) Words() []uint64 { return s.words }
+
+// NumWords returns the number of backing words, ⌈n/64⌉.
+func (s *Set) NumWords() int { return len(s.words) }
 
 // ForEach calls fn for every member in increasing order. If fn returns
 // false, iteration stops early.

@@ -323,29 +323,35 @@ func TestEvalTimeoutReturnsFinishedPrefix(t *testing.T) {
 	if testing.Short() {
 		t.Skip("timed prefix test in -short")
 	}
-	// 250 queries over nsquad(5): ~8ms each serial (several seconds
-	// total, far beyond the budget collectively), while decoding the
-	// batch plus any single query finishes well inside it even under
-	// -race (~150ms + ~80ms against 600ms). The budget must leave that
-	// headroom: scans now abort cooperatively at the deadline, so a
-	// slot in flight when it fires no longer completes on borrowed
+	// 1000 queries over nsquad(6), each slot's fact carrying a distinct
+	// never-matching conjunct so the engine's per-fact memo cannot
+	// collapse the batch into a handful of evaluations — each slot pays
+	// a full acting-runs scan. The timed budget is derived from the
+	// measured untimed run (a tenth of it) rather than hard-coded:
+	// evaluation dominates that run by two orders of magnitude over
+	// batch decoding, so a tenth always admits roughly a hundred slots
+	// and truncates the rest, under any uniform slowdown (-race, a
+	// loaded CI machine). Scans abort cooperatively at the deadline, so
+	// a slot in flight when it fires no longer completes on borrowed
 	// time. The assertions only rely on the finished/unfinished
 	// dichotomy, so scheduling noise cannot flake the byte-identity
 	// check.
 	var qs []query.Query
-	for i := 0; i < 250; i++ {
-		fact := logic.And(scenarios.AllFireFact(5),
-			logic.Not(logic.AtTime(i%5, logic.Does(scenarios.General, scenarios.ActFire))))
+	for i := 0; i < 1000; i++ {
+		fact := logic.And(scenarios.AllFireFact(6),
+			logic.Not(logic.LocalContains(scenarios.General, fmt.Sprintf("#never-%d#", i))))
 		qs = append(qs, query.ConstraintQuery{Fact: fact, Agent: scenarios.General, Action: scenarios.ActFire})
 	}
 	batch, err := query.MarshalBatch(qs)
 	if err != nil {
 		t.Fatal(err)
 	}
-	body := fmt.Sprintf(`{"systems": ["nsquad(5)"], "queries": %s, "parallelism": 1}`, batch)
+	body := fmt.Sprintf(`{"systems": ["nsquad(6)"], "queries": %s, "parallelism": 1}`, batch)
 
 	untimedTS := newTestServer(t)
+	untimedStart := time.Now()
 	untimedResp, untimedData := postEval(t, untimedTS, body)
+	untimedDur := time.Since(untimedStart)
 	if untimedResp.StatusCode != http.StatusOK {
 		t.Fatalf("untimed status %d", untimedResp.StatusCode)
 	}
@@ -357,8 +363,8 @@ func TestEvalTimeoutReturnsFinishedPrefix(t *testing.T) {
 	// Warm the engine first (in-flight builds complete and stay cached
 	// even past a deadline), so the timed request spends its whole
 	// budget evaluating rather than unfolding.
-	timedTS := newTestServer(t, WithRequestTimeout(600*time.Millisecond))
-	warmResp, _ := postEval(t, timedTS, `{"systems": ["nsquad(5)"], "queries": []}`)
+	timedTS := newTestServer(t, WithRequestTimeout(untimedDur/10))
+	warmResp, _ := postEval(t, timedTS, `{"systems": ["nsquad(6)"], "queries": []}`)
 	warmResp.Body.Close()
 
 	timedResp, timedData := postEval(t, timedTS, body)

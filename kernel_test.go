@@ -1,0 +1,122 @@
+package pak_test
+
+import (
+	"fmt"
+	"testing"
+
+	pak "pak"
+	"pak/internal/randsys"
+	"pak/internal/ratutil"
+	"pak/internal/runset"
+)
+
+// Kernel ≡ naive sweep over the public surface: on every registry
+// scenario (each one's differential instances plus its bare name when
+// it resolves) and on ≥20 randsys systems, the exact-arithmetic measure
+// kernel must return byte-identical (RatString) results to the direct
+// big.Rat reference fold for Measure, MeasureIntersect, Cond and
+// CondIntersect, and the total measure must be exactly 1. The
+// package-level tests in internal/pps cover the tiers and edge events;
+// this sweep pins the kernel on the systems users actually build.
+
+// kernelSpecs collects one buildable spec set per registered scenario.
+func kernelSpecs(t *testing.T) []string {
+	t.Helper()
+	var specs []string
+	for _, s := range pak.Scenarios().Scenarios() {
+		specs = append(specs, s.Differential...)
+		if _, err := pak.BuildScenario(s.Name); err == nil {
+			specs = append(specs, s.Name)
+		}
+		if len(s.Differential) == 0 {
+			if _, err := pak.BuildScenario(s.Name); err != nil {
+				t.Fatalf("scenario %q has no differential instances and its bare name does not build: %v", s.Name, err)
+			}
+		}
+	}
+	return specs
+}
+
+// kernelEvent derives a deterministic pseudo-random event.
+func kernelEvent(sys *pak.System, seed uint64) *runset.Set {
+	ev := sys.NewSet()
+	x := seed
+	for r := 0; r < sys.NumRuns(); r++ {
+		x = x*6364136223846793005 + 1442695040888963407
+		if x&1 == 1 {
+			ev.Add(r)
+		}
+	}
+	return ev
+}
+
+func checkKernelOnSystem(t *testing.T, sys *pak.System, label string) {
+	t.Helper()
+	if !ratutil.IsOne(sys.TotalMeasure()) {
+		t.Fatalf("%s: TotalMeasure = %s", label, sys.TotalMeasure().RatString())
+	}
+	for seed := uint64(1); seed <= 6; seed++ {
+		a := kernelEvent(sys, seed)
+		b := kernelEvent(sys, seed+50)
+		if got, want := sys.Measure(a).RatString(), sys.MeasureNaive(a).RatString(); got != want {
+			t.Fatalf("%s: Measure = %s, naive %s", label, got, want)
+		}
+		if got, want := sys.MeasureIntersect(a, b).RatString(), sys.MeasureNaive(a.Intersect(b)).RatString(); got != want {
+			t.Fatalf("%s: MeasureIntersect = %s, naive %s", label, got, want)
+		}
+		mb := sys.MeasureNaive(b)
+		cond, ok := sys.Cond(a, b)
+		if ok != (mb.Sign() > 0) {
+			t.Fatalf("%s: Cond ok = %v with µ(b) = %s", label, ok, mb.RatString())
+		}
+		if ok {
+			want := ratutil.Div(sys.MeasureNaive(a.Intersect(b)), mb).RatString()
+			if cond.RatString() != want {
+				t.Fatalf("%s: Cond = %s, naive %s", label, cond.RatString(), want)
+			}
+			joint, okJ := sys.CondIntersect(a, a, b)
+			if !okJ || joint.RatString() != cond.RatString() {
+				t.Fatalf("%s: CondIntersect(a,a,b) = (%v, %v), want Cond(a,b) = %s", label, joint, okJ, cond.RatString())
+			}
+		}
+	}
+}
+
+// TestKernelMatchesNaiveOnRegistryScenarios sweeps every registered
+// scenario.
+func TestKernelMatchesNaiveOnRegistryScenarios(t *testing.T) {
+	seen := map[string]bool{}
+	for _, spec := range kernelSpecs(t) {
+		if seen[spec] {
+			continue
+		}
+		seen[spec] = true
+		t.Run(spec, func(t *testing.T) {
+			sys, err := pak.BuildScenario(spec)
+			if err != nil {
+				t.Fatalf("BuildScenario(%q): %v", spec, err)
+			}
+			checkKernelOnSystem(t, sys, spec)
+		})
+	}
+}
+
+// TestKernelMatchesNaiveOnRandomSystems sweeps 20 randsys systems of
+// varying shape.
+func TestKernelMatchesNaiveOnRandomSystems(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		sys, err := randsys.Generate(randsys.Config{
+			Agents:      1 + int(seed%3),
+			Depth:       2 + int(seed%5),
+			MaxBranch:   2 + int(seed%2),
+			MaxInitial:  1 + int(seed%3),
+			ObsAlphabet: 4 + int(seed%13),
+			ActionTime:  int(seed % 2),
+			Seed:        seed,
+		})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		checkKernelOnSystem(t, sys, fmt.Sprintf("randsys seed %d", seed))
+	}
+}
